@@ -1,0 +1,112 @@
+#ifndef PYTOND_BENCH_BENCH_UTIL_H_
+#define PYTOND_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/session.h"
+
+namespace pytond::bench {
+
+/// Scale factor for benchmark datasets: PYTOND_BENCH_SF env var, default
+/// 0.02 (the paper uses SF 1; shapes are preserved at smaller scale —
+/// see EXPERIMENTS.md).
+inline double ScaleFactor() {
+  const char* env = std::getenv("PYTOND_BENCH_SF");
+  return env != nullptr ? std::atof(env) : 0.02;
+}
+
+/// The competitor systems of the paper's end-to-end figures.
+///  - kPython:     eager interpreter baseline (Pandas/NumPy stand-in)
+///  - kGrizzlyDuck/Hyper: unoptimized TondIR codegen (O0) per backend
+///  - kPyTondDuck/Hyper/Lingo: full PyTond (O4) per backend profile
+enum class System {
+  kPython,
+  kGrizzlyDuck,
+  kGrizzlyHyper,
+  kPyTondDuck,
+  kPyTondHyper,
+  kPyTondLingo,
+};
+
+inline const char* SystemName(System s) {
+  switch (s) {
+    case System::kPython: return "Python";
+    case System::kGrizzlyDuck: return "GrizzlySim_duck";
+    case System::kGrizzlyHyper: return "GrizzlySim_hyper";
+    case System::kPyTondDuck: return "PyTond_duck";
+    case System::kPyTondHyper: return "PyTond_hyper";
+    case System::kPyTondLingo: return "PyTond_lingo";
+  }
+  return "?";
+}
+
+inline RunOptions OptionsFor(System s, int threads) {
+  RunOptions o;
+  o.num_threads = threads;
+  switch (s) {
+    case System::kPython:
+      break;
+    case System::kGrizzlyDuck:
+      o.optimization_level = 0;
+      o.profile = engine::BackendProfile::kVectorized;
+      break;
+    case System::kGrizzlyHyper:
+      o.optimization_level = 0;
+      o.profile = engine::BackendProfile::kCompiled;
+      break;
+    case System::kPyTondDuck:
+      o.profile = engine::BackendProfile::kVectorized;
+      break;
+    case System::kPyTondHyper:
+      o.profile = engine::BackendProfile::kCompiled;
+      break;
+    case System::kPyTondLingo:
+      o.profile = engine::BackendProfile::kResearch;
+      break;
+  }
+  return o;
+}
+
+/// Times one execution of `source` under `system`. SQL compilation happens
+/// once outside the loop (the paper measures query execution with the data
+/// already in the database). Skips (and reports) unsupported combinations
+/// — e.g. the lingo profile rejecting window functions, mirroring the
+/// paper's LingoDB exclusions.
+inline void RunWorkload(benchmark::State& state, Session& session,
+                        const std::string& source, System system,
+                        int threads) {
+  if (system == System::kPython) {
+    for (auto _ : state) {
+      auto r = session.RunBaseline(source);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r->num_rows());
+    }
+    return;
+  }
+  RunOptions opts = OptionsFor(system, threads);
+  auto compiled = session.Compile(source, opts);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = session.Execute(*compiled, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize((*r)->num_rows());
+  }
+}
+
+}  // namespace pytond::bench
+
+#endif  // PYTOND_BENCH_BENCH_UTIL_H_

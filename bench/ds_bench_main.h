@@ -1,0 +1,91 @@
+#ifndef PYTOND_BENCH_DS_BENCH_MAIN_H_
+#define PYTOND_BENCH_DS_BENCH_MAIN_H_
+
+// Shared harness for Figures 5/6: hybrid data-science workloads across
+// the competitor systems.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/datasci.h"
+
+namespace pytond::bench {
+
+inline int g_ds_threads = 1;
+
+struct DsWorkload {
+  const char* name;
+  std::string source;
+};
+
+inline Session& DsSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    double sf = ScaleFactor();
+    // Row counts scaled so SF 1 roughly matches the paper's dataset sizes
+    // (Crime Index SF100 ~ 1M rows; N3 ~ 700MB of airline rows).
+    auto rows = [&](double base) {
+      return std::max<int64_t>(500, static_cast<int64_t>(base * sf));
+    };
+    Status st = workloads::datasci::PopulateCrimeIndex(&s->db(),
+                                                       rows(1000000));
+    if (st.ok()) {
+      st = workloads::datasci::PopulateBirthAnalysis(&s->db(), rows(1500000));
+    }
+    if (st.ok()) st = workloads::datasci::PopulateN3(&s->db(), rows(5000000));
+    if (st.ok()) st = workloads::datasci::PopulateN9(&s->db(), rows(1000000));
+    if (st.ok()) st = workloads::datasci::PopulateHybrid(&s->db(),
+                                                         rows(1000000));
+    if (!st.ok()) std::abort();
+    return s;
+  }();
+  return *session;
+}
+
+inline const std::vector<DsWorkload>& DsWorkloads() {
+  static const std::vector<DsWorkload>* w = new std::vector<DsWorkload>{
+      {"CrimeIndex", workloads::datasci::CrimeIndexSource()},
+      {"BirthAnalysis", workloads::datasci::BirthAnalysisSource()},
+      {"N3", workloads::datasci::N3Source()},
+      {"N9", workloads::datasci::N9Source()},
+      {"HybridMatMul", workloads::datasci::HybridMatMulSource(false)},
+      {"HybridMatMulFilt", workloads::datasci::HybridMatMulSource(true)},
+      {"HybridCovar", workloads::datasci::HybridCovarSource(false)},
+      {"HybridCovarFilt", workloads::datasci::HybridCovarSource(true)},
+  };
+  return *w;
+}
+
+inline void RegisterDsBenchmarks() {
+  const System kSystems[] = {System::kPython, System::kGrizzlyDuck,
+                             System::kPyTondDuck, System::kGrizzlyHyper,
+                             System::kPyTondHyper, System::kPyTondLingo};
+  for (const DsWorkload& w : DsWorkloads()) {
+    for (System s : kSystems) {
+      std::string name = std::string(w.name) + "/" + SystemName(s);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [src = w.source, s](benchmark::State& st) {
+            RunWorkload(st, DsSession(), src, s, g_ds_threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+inline int DsBenchMain(int argc, char** argv, int default_threads) {
+  g_ds_threads = default_threads;
+  const char* t = std::getenv("PYTOND_BENCH_THREADS");
+  if (t != nullptr) g_ds_threads = std::atoi(t);
+  benchmark::Initialize(&argc, argv);
+  RegisterDsBenchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pytond::bench
+
+#endif  // PYTOND_BENCH_DS_BENCH_MAIN_H_

@@ -1,0 +1,96 @@
+// Figure 10: break-down of the TondIR optimizations. Starting from the
+// Grizzly-simulated baseline (O0) and stacking passes:
+//   O1 = local + global dead-code elimination
+//   O2 = O1 + group/aggregate elimination
+//   O3 = O2 + self-join elimination
+//   O4 = O3 + rule inlining (full PyTond)
+// over the paper's representative workloads (Q3, Q6, Q9, Crime Index,
+// Hybrid Covar) on both main backend profiles.
+
+#include "bench_util.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond::bench {
+namespace {
+
+Session& AblationSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    double sf = ScaleFactor();
+    Status st = workloads::tpch::Populate(&s->db(), sf);
+    auto rows = [&](double base) {
+      return std::max<int64_t>(500, static_cast<int64_t>(base * sf));
+    };
+    if (st.ok()) {
+      st = workloads::datasci::PopulateCrimeIndex(&s->db(), rows(1000000));
+    }
+    if (st.ok()) {
+      st = workloads::datasci::PopulateHybrid(&s->db(), rows(1000000));
+    }
+    if (!st.ok()) std::abort();
+    return s;
+  }();
+  return *session;
+}
+
+void AblationBench(benchmark::State& state, const std::string& source,
+                   engine::BackendProfile profile, int level) {
+  RunOptions opts;
+  opts.profile = profile;
+  opts.optimization_level = level;
+  auto compiled = AblationSession().Compile(source, opts);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = AblationSession().Execute(*compiled, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize((*r)->num_rows());
+  }
+}
+
+void Register() {
+  struct W { const char* name; std::string src; };
+  static const std::vector<W>* workloads = new std::vector<W>{
+      {"Q3", workloads::tpch::GetQuery(3).source},
+      {"Q6", workloads::tpch::GetQuery(6).source},
+      {"Q9", workloads::tpch::GetQuery(9).source},
+      {"CrimeIndex", workloads::datasci::CrimeIndexSource()},
+      {"HybridCovar", workloads::datasci::HybridCovarSource(false)},
+  };
+  struct P { const char* name; engine::BackendProfile profile; };
+  const P kProfiles[] = {{"duck", engine::BackendProfile::kVectorized},
+                         {"hyper", engine::BackendProfile::kCompiled}};
+  for (const W& w : *workloads) {
+    for (const P& p : kProfiles) {
+      for (int level = 0; level <= 4; ++level) {
+        std::string name = std::string(w.name) + "/" + p.name + "/O" +
+                           std::to_string(level);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [src = w.src, profile = p.profile, level](benchmark::State& st) {
+              AblationBench(st, src, profile, level);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pytond::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pytond::bench::Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 3: all TPC-H queries on a single thread — Python baseline,
+// Grizzly-simulated (unoptimized codegen) and PyTond per backend profile.
+// Prints per-query times plus the §V-B geomean summary rows.
+
+#include "tpch_bench_main.h"
+
+int main(int argc, char** argv) {
+  return pytond::bench::TpchBenchMain(argc, argv, /*default_threads=*/1);
+}

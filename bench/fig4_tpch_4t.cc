@@ -1,0 +1,9 @@
+// Figure 4: all TPC-H queries on 4 threads (the Python baseline stays
+// single-threaded — "Pandas library does not support parallelization",
+// paper §V-C). Prints per-query times plus the geomean summary rows.
+
+#include "tpch_bench_main.h"
+
+int main(int argc, char** argv) {
+  return pytond::bench::TpchBenchMain(argc, argv, /*default_threads=*/4);
+}

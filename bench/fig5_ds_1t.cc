@@ -1,0 +1,11 @@
+// Figures 5 and 6: the data-science workloads (Crime Index, Birth
+// Analysis, Kaggle-style N3/N9, and the hybrid matrix computations, plain
+// and filtered) for Python / Grizzly-simulated / PyTond on each profile.
+// Threads default to 1 (Figure 5); fig6_ds_4t runs the same set at 4
+// threads (Figure 6); PYTOND_BENCH_THREADS overrides.
+
+#include "ds_bench_main.h"
+
+int main(int argc, char** argv) {
+  return pytond::bench::DsBenchMain(argc, argv, /*default_threads=*/1);
+}

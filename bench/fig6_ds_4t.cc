@@ -1,0 +1,7 @@
+// Figure 6: the data-science workloads on 4 threads (see fig5_ds_1t).
+
+#include "ds_bench_main.h"
+
+int main(int argc, char** argv) {
+  return pytond::bench::DsBenchMain(argc, argv, /*default_threads=*/4);
+}

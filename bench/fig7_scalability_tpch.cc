@@ -1,0 +1,56 @@
+// Figure 7: thread scalability (1..4 threads) of the representative
+// TPC-H queries {Q1, Q4, Q6, Q13, Q19, Q22} for PyTond on both main
+// profiles. The paper plots speedup over each system's single-threaded
+// run; benchmark names encode query/profile/threads so the series can be
+// read off directly. (Absolute scaling depends on host cores — recorded
+// as measured in EXPERIMENTS.md.)
+
+#include "bench_util.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond::bench {
+namespace {
+
+Session& TpchSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    Status st = workloads::tpch::Populate(&s->db(), ScaleFactor());
+    if (!st.ok()) std::abort();
+    return s;
+  }();
+  return *session;
+}
+
+void Register() {
+  const int kQueries[] = {1, 4, 6, 13, 19, 22};
+  const System kSystems[] = {System::kPyTondDuck, System::kPyTondHyper};
+  for (int id : kQueries) {
+    for (System s : kSystems) {
+      for (int threads = 1; threads <= 4; ++threads) {
+        std::string name = std::string(workloads::tpch::GetQuery(id).name) +
+                           "/" + SystemName(s) + "/threads:" +
+                           std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [id, s, threads](benchmark::State& st) {
+              RunWorkload(st, TpchSession(),
+                          workloads::tpch::GetQuery(id).source, s, threads);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pytond::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pytond::bench::Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: thread scalability (1..4 threads) of the hybrid workloads
+// (Crime Index, Birth Analysis, N3, N9, Hybrid Covar) for PyTond on both
+// main profiles.
+
+#include "bench_util.h"
+#include "workloads/datasci.h"
+
+namespace pytond::bench {
+namespace {
+
+Session& DsSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    double sf = ScaleFactor();
+    auto rows = [&](double base) {
+      return std::max<int64_t>(500, static_cast<int64_t>(base * sf));
+    };
+    Status st =
+        workloads::datasci::PopulateCrimeIndex(&s->db(), rows(1000000));
+    if (st.ok()) {
+      st = workloads::datasci::PopulateBirthAnalysis(&s->db(), rows(1500000));
+    }
+    if (st.ok()) st = workloads::datasci::PopulateN3(&s->db(), rows(5000000));
+    if (st.ok()) st = workloads::datasci::PopulateN9(&s->db(), rows(1000000));
+    if (st.ok()) {
+      st = workloads::datasci::PopulateHybrid(&s->db(), rows(1000000));
+    }
+    if (!st.ok()) std::abort();
+    return s;
+  }();
+  return *session;
+}
+
+void Register() {
+  struct W { const char* name; std::string src; };
+  static const std::vector<W>* workloads = new std::vector<W>{
+      {"CrimeIndex", workloads::datasci::CrimeIndexSource()},
+      {"BirthAnalysis", workloads::datasci::BirthAnalysisSource()},
+      {"N3", workloads::datasci::N3Source()},
+      {"N9", workloads::datasci::N9Source()},
+      {"HybridCovar", workloads::datasci::HybridCovarSource(false)},
+  };
+  const System kSystems[] = {System::kPyTondDuck, System::kPyTondHyper};
+  for (const W& w : *workloads) {
+    for (System s : kSystems) {
+      for (int threads = 1; threads <= 4; ++threads) {
+        std::string name = std::string(w.name) + "/" + SystemName(s) +
+                           "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [src = w.src, s, threads](benchmark::State& st) {
+              RunWorkload(st, DsSession(), src, s, threads);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pytond::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pytond::bench::Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

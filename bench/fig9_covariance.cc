@@ -1,0 +1,126 @@
+// Figure 9: covariance-matrix computation sweeps. Three series of charts:
+// vary sparsity (density), vary rows, vary columns — comparing the NumPy
+// stand-in (eager dense einsum), PyTond dense layout and PyTond sparse
+// (COO) layout on both main profiles. Fixed dimensions follow the paper
+// (scaled): rows = 1e6*SF (paper: 1e6), cols = 32, density = 1.
+
+#include "bench_util.h"
+#include "workloads/datasci.h"
+
+namespace pytond::bench {
+namespace {
+
+struct CovCase {
+  int64_t rows;
+  int cols;
+  double density;
+};
+
+/// One Session per input shape, built lazily and cached.
+Session& CovSession(const CovCase& c) {
+  static std::map<std::string, Session*>* cache =
+      new std::map<std::string, Session*>();
+  std::string key = std::to_string(c.rows) + "x" + std::to_string(c.cols) +
+                    "@" + std::to_string(c.density);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    auto* s = new Session();
+    Status st = workloads::datasci::PopulateCovariance(&s->db(), c.rows,
+                                                       c.cols, c.density);
+    if (!st.ok()) std::abort();
+    it = cache->emplace(key, s).first;
+  }
+  return *it->second;
+}
+
+enum class Layout { kNumpy, kDense, kSparse };
+
+void CovBench(benchmark::State& state, const CovCase& c, Layout layout,
+              System system) {
+  Session& session = CovSession(c);
+  const char* src = layout == Layout::kSparse
+                        ? workloads::datasci::CovarSparseSource()
+                        : workloads::datasci::CovarDenseSource();
+  if (layout == Layout::kNumpy) {
+    RunWorkload(state, session, src, System::kPython, 1);
+    return;
+  }
+  RunWorkload(state, session, src, system, 1);
+}
+
+void Register() {
+  double sf = ScaleFactor();
+  const int64_t kFixedRows =
+      std::max<int64_t>(1000, static_cast<int64_t>(1000000 * sf));
+  const int kFixedCols = 32;
+
+  struct Series {
+    const char* label;
+    Layout layout;
+    System system;
+  };
+  const Series kSeries[] = {
+      {"NumPy", Layout::kNumpy, System::kPython},
+      {"PyTond_duck_dense", Layout::kDense, System::kPyTondDuck},
+      {"PyTond_hyper_dense", Layout::kDense, System::kPyTondHyper},
+      {"PyTond_duck_sparse", Layout::kSparse, System::kPyTondDuck},
+      {"PyTond_hyper_sparse", Layout::kSparse, System::kPyTondHyper},
+  };
+
+  // (a) vary sparsity/density at fixed rows x 32 cols.
+  for (double density : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    for (const Series& s : kSeries) {
+      std::string name = "VarySparsity/density:" + std::to_string(density) +
+                         "/" + s.label;
+      CovCase c{kFixedRows, kFixedCols, density};
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [c, s](benchmark::State& st) {
+            CovBench(st, c, s.layout, s.system);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  // (b) vary rows at 32 cols, density 1.
+  for (int64_t rows : {kFixedRows / 100, kFixedRows / 10, kFixedRows}) {
+    for (const Series& s : kSeries) {
+      std::string name =
+          "VaryRows/rows:" + std::to_string(rows) + "/" + s.label;
+      CovCase c{rows, kFixedCols, 1.0};
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [c, s](benchmark::State& st) {
+            CovBench(st, c, s.layout, s.system);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  // (c) vary columns at fixed rows, density 1.
+  for (int cols : {4, 8, 16, 32}) {
+    for (const Series& s : kSeries) {
+      std::string name =
+          "VaryCols/cols:" + std::to_string(cols) + "/" + s.label;
+      CovCase c{kFixedRows / 10, cols, 1.0};
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [c, s](benchmark::State& st) {
+            CovBench(st, c, s.layout, s.system);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pytond::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  pytond::bench::Register();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

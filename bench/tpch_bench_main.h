@@ -1,0 +1,136 @@
+#ifndef PYTOND_BENCH_TPCH_BENCH_MAIN_H_
+#define PYTOND_BENCH_TPCH_BENCH_MAIN_H_
+
+// Shared harness for Figures 3 and 4: all TPC-H queries across the
+// paper's competitor systems, plus the geometric-mean summary rows the
+// paper reports in §V-B (Python-relative speedups and the
+// Grizzly-to-PyTond rewriting gain).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond::bench {
+
+inline int g_tpch_threads = 1;
+
+inline Session& TpchSession() {
+  static Session* session = [] {
+    auto* s = new Session();
+    Status st = workloads::tpch::Populate(&s->db(), ScaleFactor());
+    if (!st.ok()) std::abort();
+    return s;
+  }();
+  return *session;
+}
+
+/// Console reporter that also records per-(query, system) wall times and
+/// prints the paper's geomean summary at the end.
+class TpchGeoMeanReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      size_t slash = name.find('/');
+      if (slash != std::string::npos) {
+        // Strip trailing "/iterations:N" decorations.
+        std::string sys = name.substr(slash + 1);
+        size_t extra = sys.find('/');
+        if (extra != std::string::npos) sys = sys.substr(0, extra);
+        times_[name.substr(0, slash)][sys] = run.GetAdjustedRealTime();
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    std::printf(
+        "\n-- TPC-H summary (threads=%d, SF=%.3f): geometric-mean "
+        "speedup over Python --\n",
+        g_tpch_threads, ScaleFactor());
+    const char* systems[] = {"GrizzlySim_duck", "PyTond_duck",
+                             "GrizzlySim_hyper", "PyTond_hyper",
+                             "PyTond_lingo"};
+    for (const char* sys : systems) {
+      double log_sum = 0;
+      int n = 0;
+      for (const auto& [query, per_system] : times_) {
+        auto py = per_system.find("Python");
+        auto it = per_system.find(sys);
+        if (py == per_system.end() || it == per_system.end()) continue;
+        if (it->second <= 0 || py->second <= 0) continue;
+        log_sum += std::log(py->second / it->second);
+        ++n;
+      }
+      if (n > 0) {
+        std::printf("  %-18s %.2fx (over %d queries)\n", sys,
+                    std::exp(log_sum / n), n);
+      }
+    }
+    struct Pair { const char* grizzly; const char* pytond; };
+    for (const Pair& pr : {Pair{"GrizzlySim_duck", "PyTond_duck"},
+                           Pair{"GrizzlySim_hyper", "PyTond_hyper"}}) {
+      double log_sum = 0;
+      int n = 0;
+      for (const auto& [query, per_system] : times_) {
+        auto g = per_system.find(pr.grizzly);
+        auto p = per_system.find(pr.pytond);
+        if (g == per_system.end() || p == per_system.end()) continue;
+        if (g->second <= 0 || p->second <= 0) continue;
+        log_sum += std::log(g->second / p->second);
+        ++n;
+      }
+      if (n > 0) {
+        std::printf(
+            "  TondIR rewriting gain (%s -> %s): %.2fx over %d queries\n",
+            pr.grizzly, pr.pytond, std::exp(log_sum / n), n);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, double>> times_;
+};
+
+inline void RegisterTpchBenchmarks() {
+  const System kSystems[] = {System::kPython,      System::kGrizzlyDuck,
+                             System::kPyTondDuck,  System::kGrizzlyHyper,
+                             System::kPyTondHyper, System::kPyTondLingo};
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    for (System s : kSystems) {
+      std::string name = std::string(q.name) + "/" + SystemName(s);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [id = q.id, s](benchmark::State& st) {
+            const auto& query = workloads::tpch::GetQuery(id);
+            RunWorkload(st, TpchSession(), query.source, s, g_tpch_threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+inline int TpchBenchMain(int argc, char** argv, int default_threads) {
+  g_tpch_threads = default_threads;
+  const char* t = std::getenv("PYTOND_BENCH_THREADS");
+  if (t != nullptr) g_tpch_threads = std::atoi(t);
+  benchmark::Initialize(&argc, argv);
+  RegisterTpchBenchmarks();
+  TpchGeoMeanReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pytond::bench
+
+#endif  // PYTOND_BENCH_TPCH_BENCH_MAIN_H_

@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/date_util.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace pytond {
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case StatusCode::kOk: name = "OK"; break;
+    case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+    case StatusCode::kNotFound: name = "NotFound"; break;
+    case StatusCode::kUnsupported: name = "Unsupported"; break;
+    case StatusCode::kParseError: name = "ParseError"; break;
+    case StatusCode::kTypeError: name = "TypeError"; break;
+    case StatusCode::kInternal: name = "Internal"; break;
+  }
+  return std::string(name) + ": " + message_;
+}
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kFloat64: return "FLOAT64";
+    case DataType::kString: return "STRING";
+    case DataType::kBool: return "BOOL";
+    case DataType::kDate: return "DATE";
+    case DataType::kNull: return "NULL";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kFloat64 ||
+         type == DataType::kDate || type == DataType::kBool;
+}
+
+DataType CommonNumericType(DataType a, DataType b) {
+  if (a == DataType::kNull) return b;
+  if (b == DataType::kNull) return a;
+  if (a == b) return a;
+  auto widen = [](DataType t) {
+    return (t == DataType::kBool || t == DataType::kDate) ? DataType::kInt64
+                                                          : t;
+  };
+  DataType wa = widen(a), wb = widen(b);
+  if (wa == wb) return wa;
+  if ((wa == DataType::kInt64 && wb == DataType::kFloat64) ||
+      (wa == DataType::kFloat64 && wb == DataType::kInt64)) {
+    return DataType::kFloat64;
+  }
+  return DataType::kNull;
+}
+
+double Value::ToDouble() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kDate:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case DataType::kFloat64: return std::get<double>(data_);
+    case DataType::kBool: return std::get<bool>(data_) ? 1.0 : 0.0;
+    default: return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull: return "NULL";
+    case DataType::kInt64: return std::to_string(AsInt64());
+    case DataType::kBool: return AsBool() ? "true" : "false";
+    case DataType::kString: return AsString();
+    case DataType::kDate: return date_util::Format(AsDate());
+    case DataType::kFloat64: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6f", AsFloat64());
+      std::string s(buf);
+      // Trim trailing zeros but keep at least one fractional digit.
+      size_t dot = s.find('.');
+      size_t last = s.find_last_not_of('0');
+      if (last > dot) s.erase(last + 1);
+      else s.erase(dot + 2);
+      return s;
+    }
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) {
+    // int64 / float64 cross-compare numerically (handy in tests).
+    if (IsNumeric(type_) && IsNumeric(other.type_)) {
+      return ToDouble() == other.ToDouble();
+    }
+    return false;
+  }
+  return data_ == other.data_;
+}
+
+namespace date_util {
+namespace {
+
+// Howard Hinnant's civil-days algorithms.
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* yy, unsigned* mm, unsigned* dd) {
+  z += 719468;
+  const int era = static_cast<int>((z >= 0 ? z : z - 146096) / 146097);
+  const unsigned doe = static_cast<unsigned>(z - era * 146097LL);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *yy = y + (m <= 2);
+  *mm = m;
+  *dd = d;
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  return m == 2 && IsLeap(y) ? 29 : kDays[m - 1];
+}
+
+}  // namespace
+
+Result<int32_t> FromYMD(int y, int m, int d) {
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("invalid date " + std::to_string(y) + "-" +
+                                   std::to_string(m) + "-" +
+                                   std::to_string(d));
+  }
+  return static_cast<int32_t>(
+      DaysFromCivil(y, static_cast<unsigned>(m), static_cast<unsigned>(d)));
+}
+
+Result<int32_t> Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::ParseError("bad date literal '" + text + "'");
+  }
+  return FromYMD(y, m, d);
+}
+
+void ToYMD(int32_t days, int* y, int* m, int* d) {
+  unsigned mm, dd;
+  CivilFromDays(days, y, &mm, &dd);
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+std::string Format(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+int Year(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return y;
+}
+
+int Month(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return m;
+}
+
+int32_t AddDays(int32_t days, int n) { return days + n; }
+
+int32_t AddMonths(int32_t days, int n) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + n;
+  int ny = total / 12;
+  int nm = total % 12;
+  if (nm < 0) {
+    nm += 12;
+    ny -= 1;
+  }
+  nm += 1;
+  int nd = std::min(d, DaysInMonth(ny, nm));
+  return static_cast<int32_t>(DaysFromCivil(ny, static_cast<unsigned>(nm),
+                                            static_cast<unsigned>(nd)));
+}
+
+int32_t AddYears(int32_t days, int n) { return AddMonths(days, n * 12); }
+
+}  // namespace date_util
+
+namespace string_util {
+
+bool Like(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Strip(std::string_view text) {
+  size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return std::string(text.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+}  // namespace string_util
+}  // namespace pytond

@@ -1,0 +1,43 @@
+#ifndef PYTOND_COMMON_DATE_UTIL_H_
+#define PYTOND_COMMON_DATE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pytond {
+
+/// Calendar helpers over the int32 days-since-epoch date representation.
+/// All functions use the proleptic Gregorian calendar.
+namespace date_util {
+
+/// Days since 1970-01-01 for the given civil date. Values are validated;
+/// e.g. month 13 returns an error.
+Result<int32_t> FromYMD(int y, int m, int d);
+
+/// Parses "YYYY-MM-DD".
+Result<int32_t> Parse(const std::string& text);
+
+/// Inverse of FromYMD.
+void ToYMD(int32_t days, int* y, int* m, int* d);
+
+/// "YYYY-MM-DD".
+std::string Format(int32_t days);
+
+/// Calendar year of the date.
+int Year(int32_t days);
+
+/// Calendar month (1..12) of the date.
+int Month(int32_t days);
+
+/// Adds a calendar interval; months/years clamp the day-of-month
+/// (1994-01-31 + 1 month = 1994-02-28), matching SQL INTERVAL semantics.
+int32_t AddDays(int32_t days, int n);
+int32_t AddMonths(int32_t days, int n);
+int32_t AddYears(int32_t days, int n);
+
+}  // namespace date_util
+}  // namespace pytond
+
+#endif  // PYTOND_COMMON_DATE_UTIL_H_

@@ -1,0 +1,106 @@
+#ifndef PYTOND_COMMON_STATUS_H_
+#define PYTOND_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pytond {
+
+/// Error categories used across the PyTond pipeline.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // missing table / column / rule
+  kUnsupported,       // valid input outside the supported subset
+  kParseError,        // SQL or mini-Python syntax error
+  kTypeError,         // type inference / binding failure
+  kInternal,          // invariant violation inside the library
+};
+
+/// Lightweight RocksDB-style status object. PyTond does not use C++
+/// exceptions; every fallible public API returns a Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result. `ok()` must be checked before dereferencing.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic returns.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic error returns.
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+  const Status& status() const { return std::get<Status>(payload_); }
+
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace pytond
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define PYTOND_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::pytond::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise binds the value to `lhs`.
+#define PYTOND_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto PYTOND_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!PYTOND_CONCAT_(_res_, __LINE__).ok())     \
+    return PYTOND_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(PYTOND_CONCAT_(_res_, __LINE__)).value()
+
+#define PYTOND_CONCAT_IMPL_(a, b) a##b
+#define PYTOND_CONCAT_(a, b) PYTOND_CONCAT_IMPL_(a, b)
+
+#endif  // PYTOND_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef PYTOND_COMMON_STRING_UTIL_H_
+#define PYTOND_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pytond {
+namespace string_util {
+
+/// SQL LIKE with '%' (any run) and '_' (single char) wildcards.
+bool Like(std::string_view text, std::string_view pattern);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool Contains(std::string_view text, std::string_view needle);
+
+}  // namespace string_util
+}  // namespace pytond
+
+#endif  // PYTOND_COMMON_STRING_UTIL_H_

@@ -1,0 +1,84 @@
+#ifndef PYTOND_COMMON_VALUE_H_
+#define PYTOND_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pytond {
+
+/// Column / scalar data types understood by the whole stack.
+/// Dates are stored as int32 days since 1970-01-01 (proleptic Gregorian).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64,
+  kString,
+  kBool,
+  kDate,
+  kNull,  // type of an untyped NULL literal; resolved during binding
+};
+
+/// Human-readable type name ("INT64", "FLOAT64", ...).
+const char* DataTypeName(DataType type);
+
+/// True for kInt64 / kFloat64 / kDate / kBool (orderable, arithmetic-capable
+/// except bool).
+bool IsNumeric(DataType type);
+
+/// Result type of an arithmetic op over two inputs; kFloat64 wins over
+/// kInt64. Returns kNull on incompatible inputs.
+DataType CommonNumericType(DataType a, DataType b);
+
+/// A dynamically typed scalar. Used for literals, aggregate results and
+/// row access in tests; hot loops use the typed column vectors directly.
+class Value {
+ public:
+  Value() : type_(DataType::kNull) {}
+
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Float64(double v) { return Value(DataType::kFloat64, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Date(int32_t days) {
+    return Value(DataType::kDate, static_cast<int64_t>(days));
+  }
+  static Value Null() { return Value(); }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsFloat64() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  int32_t AsDate() const { return static_cast<int32_t>(AsInt64()); }
+
+  /// Numeric value widened to double (int64/float64/date/bool).
+  double ToDouble() const;
+
+  /// Renders the value for result printing; NULL prints as "NULL",
+  /// dates as "YYYY-MM-DD", floats with up to 6 fractional digits.
+  std::string ToString() const;
+
+  /// Deep equality (type and payload). NULL == NULL here (useful in tests;
+  /// SQL three-valued logic lives in the evaluator, not in Value).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Value(DataType t, int64_t v) : type_(t), data_(v) {}
+  Value(DataType t, double v) : type_(t), data_(v) {}
+  Value(DataType t, std::string v) : type_(t), data_(std::move(v)) {}
+  Value(DataType t, bool v) : type_(t), data_(v) {}
+
+  DataType type_;
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_COMMON_VALUE_H_

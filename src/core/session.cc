@@ -1,0 +1,42 @@
+#include "core/session.h"
+
+namespace pytond {
+
+namespace {
+
+frontend::CompileOptions ToCompileOptions(const RunOptions& options) {
+  frontend::CompileOptions out;
+  out.optimization_level = options.optimization_level;
+  out.dialect = options.profile == engine::BackendProfile::kCompiled
+                    ? sqlgen::SqlDialect::kHyper
+                    : sqlgen::SqlDialect::kDuck;
+  return out;
+}
+
+}  // namespace
+
+Result<frontend::Compiled> Session::Compile(const std::string& source,
+                                            const RunOptions& options) const {
+  return frontend::CompileFunction(source, db_.catalog(),
+                                   ToCompileOptions(options));
+}
+
+Result<std::shared_ptr<const Table>> Session::Run(const std::string& source,
+                                                  const RunOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
+  return Execute(c, options);
+}
+
+Result<std::shared_ptr<const Table>> Session::Execute(
+    const frontend::Compiled& c, const RunOptions& options) {
+  engine::QueryOptions qopts;
+  qopts.profile = options.profile;
+  qopts.num_threads = options.num_threads;
+  return db_.Query(c.sql, qopts);
+}
+
+Result<Table> Session::RunBaseline(const std::string& source) const {
+  return runtime::InterpretSource(source, db_.catalog());
+}
+
+}  // namespace pytond

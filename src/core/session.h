@@ -1,0 +1,70 @@
+#ifndef PYTOND_CORE_SESSION_H_
+#define PYTOND_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "frontend/compiler.h"
+#include "runtime/interpreter.h"
+
+namespace pytond {
+
+/// How to execute a @pytond function.
+struct RunOptions {
+  /// Backend profile ("duck-like" vectorized, "hyper-like" compiled,
+  /// "lingo-like" research); also selects the SQL dialect.
+  engine::BackendProfile profile = engine::BackendProfile::kVectorized;
+  int num_threads = 1;
+  /// TondIR optimization preset 0..4 (0 reproduces the paper's
+  /// "Grizzly-simulated" competitor).
+  int optimization_level = 4;
+};
+
+/// The PyTond entry point: owns the database (catalog + engine), compiles
+/// mini-Python data-science functions to SQL, and executes them — or runs
+/// them eagerly through the interpreter baseline.
+///
+/// Typical use:
+///   Session session;
+///   session.db().CreateTable("t", table, constraints);
+///   auto result = session.Run(R"(
+///     @pytond()
+///     def q(t):
+///         v = t[t.x > 3]
+///         return v
+///   )");
+class Session {
+ public:
+  Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  engine::Database& db() { return db_; }
+  const engine::Database& db() const { return db_; }
+
+  /// Compiles the (single) @pytond function in `source` to SQL without
+  /// executing it.
+  Result<frontend::Compiled> Compile(const std::string& source,
+                                     const RunOptions& options = {}) const;
+
+  /// Compiles and executes through the SQL engine.
+  Result<std::shared_ptr<const Table>> Run(const std::string& source,
+                                           const RunOptions& options = {});
+
+  /// Executes a previously compiled function's SQL.
+  Result<std::shared_ptr<const Table>> Execute(const frontend::Compiled& c,
+                                               const RunOptions& options = {});
+
+  /// Runs the same source through the eager interpreter — the paper's
+  /// Python/Pandas/NumPy baseline.
+  Result<Table> RunBaseline(const std::string& source) const;
+
+ private:
+  engine::Database db_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_CORE_SESSION_H_

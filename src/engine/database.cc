@@ -1,0 +1,146 @@
+#include "engine/database.h"
+
+#include "engine/plan/binder.h"
+#include "engine/plan/optimizer.h"
+#include "engine/sql/parser.h"
+
+namespace pytond::engine {
+
+namespace {
+
+const char* ProfileNameImpl(BackendProfile p) {
+  switch (p) {
+    case BackendProfile::kVectorized: return "vectorized";
+    case BackendProfile::kCompiled: return "compiled";
+    case BackendProfile::kResearch: return "research";
+  }
+  return "?";
+}
+
+struct QueryScope {
+  std::map<std::string, std::shared_ptr<const Table>> temps;
+  std::map<std::string, Schema> temp_schemas;
+
+  BinderCatalog MakeBinderCatalog(const Catalog& catalog) const {
+    BinderCatalog bc;
+    bc.schema = [this, &catalog](const std::string& name) -> const Schema* {
+      auto it = temp_schemas.find(name);
+      if (it != temp_schemas.end()) return &it->second;
+      const Table* t = catalog.GetTable(name);
+      return t == nullptr ? nullptr : &t->schema();
+    };
+    bc.row_count = [this, &catalog](const std::string& name) -> double {
+      auto it = temps.find(name);
+      if (it != temps.end()) {
+        return static_cast<double>(it->second->num_rows());
+      }
+      const Table* t = catalog.GetTable(name);
+      return t == nullptr ? 1.0 : static_cast<double>(t->num_rows());
+    };
+    return bc;
+  }
+};
+
+Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
+                                               const Catalog& catalog,
+                                               QueryScope* scope,
+                                               const QueryOptions& opts) {
+  // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
+  if (stmt.is_values()) {
+    auto t = std::make_shared<Table>();
+    size_t width = stmt.values_rows[0].size();
+    Schema schema;
+    for (size_t i = 0; i < width; ++i) {
+      DataType ty = DataType::kInt64;
+      for (const auto& row : stmt.values_rows) {
+        if (!row[i].is_null()) {
+          ty = row[i].type();
+          break;
+        }
+      }
+      schema.Add("col" + std::to_string(i), ty);
+    }
+    *t = Table(schema);
+    for (const auto& row : stmt.values_rows) {
+      PYTOND_RETURN_IF_ERROR(t->AppendRow(row));
+    }
+    return std::shared_ptr<const Table>(t);
+  }
+
+  BinderCatalog bc = scope->MakeBinderCatalog(catalog);
+  sql::SelectStmt core = stmt;
+  core.ctes.clear();
+  PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(core, bc, opts.profile));
+  OptimizePlan(plan, opts.profile, bc.row_count);
+
+  ExecContext ctx;
+  ctx.catalog = &catalog;
+  ctx.temps = &scope->temps;
+  ctx.num_threads = opts.num_threads;
+  return ExecutePlan(*plan, ctx);
+}
+
+/// Renames a result table's columns to CTE alias names when given.
+Result<std::shared_ptr<const Table>> ApplyColumnAliases(
+    std::shared_ptr<const Table> t, const std::vector<std::string>& names) {
+  if (names.empty()) return t;
+  if (names.size() != t->num_columns()) {
+    return Status::InvalidArgument("CTE column alias count mismatch");
+  }
+  auto renamed = std::make_shared<Table>();
+  for (size_t i = 0; i < t->num_columns(); ++i) {
+    PYTOND_RETURN_IF_ERROR(renamed->AddColumn(names[i], t->column(i)));
+  }
+  return std::shared_ptr<const Table>(renamed);
+}
+
+}  // namespace
+
+const char* BackendProfileName(BackendProfile p) { return ProfileNameImpl(p); }
+
+Status Database::CreateTable(const std::string& name, Table table,
+                             TableConstraints constraints) {
+  return catalog_.CreateTable(name, std::move(table), std::move(constraints));
+}
+
+Result<std::shared_ptr<const Table>> Database::Query(
+    const std::string& sql, const QueryOptions& opts) {
+  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
+  QueryScope scope;
+  for (const auto& cte : stmt->ctes) {
+    PYTOND_ASSIGN_OR_RETURN(
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts));
+    PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
+    scope.temps[cte.name] = t;
+    scope.temp_schemas[cte.name] = t->schema();
+  }
+  return RunSelect(*stmt, catalog_, &scope, opts);
+}
+
+Result<std::string> Database::ExplainQuery(const std::string& sql,
+                                           const QueryOptions& opts) {
+  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
+  QueryScope scope;
+  std::string out;
+  for (const auto& cte : stmt->ctes) {
+    // Materialize CTEs so later plans can be bound/estimated.
+    PYTOND_ASSIGN_OR_RETURN(
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts));
+    PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
+    scope.temps[cte.name] = t;
+    scope.temp_schemas[cte.name] = t->schema();
+    out += "-- CTE " + cte.name + " (" + std::to_string(t->num_rows()) +
+           " rows)\n";
+  }
+  if (!stmt->is_values()) {
+    BinderCatalog bc = scope.MakeBinderCatalog(catalog_);
+    sql::SelectStmt core = *stmt;
+    core.ctes.clear();
+    PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(core, bc, opts.profile));
+    OptimizePlan(plan, opts.profile, bc.row_count);
+    out += plan->ToString();
+  }
+  return out;
+}
+
+}  // namespace pytond::engine

@@ -1,0 +1,50 @@
+#ifndef PYTOND_ENGINE_DATABASE_H_
+#define PYTOND_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/exec/executor.h"
+#include "engine/profile.h"
+#include "storage/catalog.h"
+
+namespace pytond::engine {
+
+/// Per-query execution options.
+struct QueryOptions {
+  BackendProfile profile = BackendProfile::kVectorized;
+  int num_threads = 1;
+  bool explain = false;  // reserved (plans can be printed via BindSelect)
+};
+
+/// The in-memory RDBMS substrate: a catalog plus a SQL front door.
+/// Queries execute as: parse -> materialize CTEs in order -> bind final
+/// SELECT -> profile-specific plan tuning -> interpret.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  Status CreateTable(const std::string& name, Table table,
+                     TableConstraints constraints = {});
+
+  /// Executes one SQL statement, returning the result table.
+  Result<std::shared_ptr<const Table>> Query(const std::string& sql,
+                                             const QueryOptions& opts = {});
+
+  /// Parses + binds, returning the plan text (for tests / debugging).
+  Result<std::string> ExplainQuery(const std::string& sql,
+                                   const QueryOptions& opts = {});
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_DATABASE_H_

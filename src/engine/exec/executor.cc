@@ -1,0 +1,764 @@
+#include "engine/exec/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pytond::engine {
+
+void ParallelFor(size_t n, int threads,
+                 const std::function<void(int, size_t, size_t)>& fn) {
+  if (threads <= 1 || n < 4096) {
+    fn(0, 0, n);
+    return;
+  }
+  size_t t = static_cast<size_t>(threads);
+  size_t chunk = (n + t - 1) / t;
+  std::vector<std::thread> workers;
+  for (size_t i = 0; i < t; ++i) {
+    size_t begin = i * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back(fn, static_cast<int>(i), begin, end);
+  }
+  for (auto& w : workers) w.join();
+}
+
+namespace {
+
+TablePtr WrapTable(Table t) {
+  return std::make_shared<const Table>(std::move(t));
+}
+
+Column NullColumn(DataType type, size_t n) {
+  Column c(type);
+  c.Reserve(n);
+  for (size_t i = 0; i < n; ++i) c.AppendNull();
+  return c;
+}
+
+/// Concatenates same-typed columns in order.
+Column ConcatColumns(std::vector<Column> parts, DataType type) {
+  Column out(type);
+  size_t total = 0;
+  for (const Column& p : parts) total += p.size();
+  out.Reserve(total);
+  for (const Column& p : parts) {
+    for (size_t i = 0; i < p.size(); ++i) out.AppendFrom(p, i);
+  }
+  return out;
+}
+
+/// Evaluates `expr` in parallel chunks over all of `input`.
+Result<Column> EvalParallel(const BoundExpr& expr, const Table& input,
+                            int threads) {
+  size_t n = input.num_rows();
+  if (threads <= 1 || n < 4096) return EvaluateExpr(expr, input, 0, n);
+  size_t t = static_cast<size_t>(threads);
+  size_t chunk = (n + t - 1) / t;
+  std::vector<Column> parts(t, Column(expr.type));
+  std::vector<Status> errs(t);
+  ParallelFor(n, threads, [&](int tid, size_t begin, size_t end) {
+    auto r = EvaluateExpr(expr, input, begin, end);
+    if (r.ok()) parts[tid] = std::move(*r);
+    else errs[tid] = r.status();
+  });
+  (void)chunk;
+  for (const Status& s : errs) {
+    if (!s.ok()) return s;
+  }
+  return ConcatColumns(std::move(parts), expr.type);
+}
+
+/// Encoded-row key for hashing a set of key columns at `row`.
+std::string EncodeKey(const std::vector<Column>& cols, size_t row) {
+  std::string key;
+  key.reserve(cols.size() * 12);
+  for (const Column& c : cols) AppendEncodedValue(c, row, &key);
+  return key;
+}
+
+Result<std::vector<Column>> EvalKeyColumns(
+    const std::vector<BoundExprPtr>& exprs, const Table& input,
+    int threads) {
+  std::vector<Column> out;
+  out.reserve(exprs.size());
+  for (const auto& e : exprs) {
+    PYTOND_ASSIGN_OR_RETURN(Column c, EvalParallel(*e, input, threads));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- filter
+Result<TablePtr> ExecFilter(const LogicalPlan& plan, TablePtr input,
+                            const ExecContext& ctx) {
+  size_t n = input->num_rows();
+  int t = ctx.num_threads;
+  size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
+  std::vector<std::vector<uint32_t>> sels(nt);
+  std::vector<Status> errs(nt);
+  ParallelFor(n, t, [&](int tid, size_t begin, size_t end) {
+    errs[tid] = EvaluatePredicate(*plan.predicate, *input, begin, end,
+                                  &sels[tid]);
+  });
+  for (const Status& s : errs) {
+    if (!s.ok()) return s;
+  }
+  std::vector<uint32_t> sel;
+  for (auto& part : sels) {
+    sel.insert(sel.end(), part.begin(), part.end());
+  }
+  return WrapTable(input->Gather(sel));
+}
+
+// ---------------------------------------------------------------- project
+Result<TablePtr> ExecProject(const LogicalPlan& plan, TablePtr input,
+                             const ExecContext& ctx) {
+  Table out;
+  for (size_t i = 0; i < plan.exprs.size(); ++i) {
+    PYTOND_ASSIGN_OR_RETURN(Column c, EvalParallel(*plan.exprs[i], *input,
+                                                   ctx.num_threads));
+    PYTOND_RETURN_IF_ERROR(out.AddColumn(plan.names[i], std::move(c)));
+  }
+  if (plan.exprs.empty()) return WrapTable(Table(plan.schema));
+  return WrapTable(std::move(out));
+}
+
+// ---------------------------------------------------------------- join
+struct HashTable {
+  std::unordered_map<std::string, std::vector<uint32_t>> buckets;
+};
+
+Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
+                          TablePtr right, const ExecContext& ctx) {
+  JoinType jt = plan.join_type;
+
+  // Output schema: left cols then right cols (semi/anti: left only).
+  auto assemble = [&](const std::vector<uint32_t>& lidx,
+                      const std::vector<uint32_t>& ridx,
+                      const std::vector<uint32_t>& l_only,
+                      const std::vector<uint32_t>& r_only) -> Table {
+    // matched pairs + left-unmatched (null right) + right-unmatched.
+    Table out;
+    size_t extra_l = l_only.size(), extra_r = r_only.size();
+    for (size_t c = 0; c < left->num_columns(); ++c) {
+      Column col = left->column(c).Gather(lidx);
+      if (extra_l) {
+        Column lpart = left->column(c).Gather(l_only);
+        std::vector<Column> parts;
+        parts.push_back(std::move(col));
+        parts.push_back(std::move(lpart));
+        col = ConcatColumns(std::move(parts), left->column(c).type());
+      }
+      if (extra_r) {
+        std::vector<Column> parts;
+        parts.push_back(std::move(col));
+        parts.push_back(NullColumn(left->column(c).type(), extra_r));
+        col = ConcatColumns(std::move(parts), left->column(c).type());
+      }
+      Status st = out.AddColumn(left->schema().names[c], std::move(col));
+      (void)st;
+    }
+    for (size_t c = 0; c < right->num_columns(); ++c) {
+      Column col = right->column(c).Gather(ridx);
+      if (extra_l) {
+        std::vector<Column> parts;
+        parts.push_back(std::move(col));
+        parts.push_back(NullColumn(right->column(c).type(), extra_l));
+        col = ConcatColumns(std::move(parts), right->column(c).type());
+      }
+      if (extra_r) {
+        Column rpart = right->column(c).Gather(r_only);
+        std::vector<Column> parts;
+        parts.push_back(std::move(col));
+        parts.push_back(std::move(rpart));
+        col = ConcatColumns(std::move(parts), right->column(c).type());
+      }
+      Status st = out.AddColumn(right->schema().names[c], std::move(col));
+      (void)st;
+    }
+    return out;
+  };
+
+  if (jt == JoinType::kCross) {
+    std::vector<uint32_t> lidx, ridx;
+    size_t ln = left->num_rows(), rn = right->num_rows();
+    lidx.reserve(ln * rn);
+    ridx.reserve(ln * rn);
+    for (size_t i = 0; i < ln; ++i) {
+      for (size_t j = 0; j < rn; ++j) {
+        lidx.push_back(static_cast<uint32_t>(i));
+        ridx.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    Table out = assemble(lidx, ridx, {}, {});
+    if (plan.predicate) {
+      LogicalPlan f;
+      f.kind = LogicalPlan::Kind::kFilter;
+      f.predicate = plan.predicate;
+      return ExecFilter(f, WrapTable(std::move(out)), ctx);
+    }
+    return WrapTable(std::move(out));
+  }
+
+  // Right joins probe the right side; inner joins may also build on the
+  // left when the planner's build-side selection decided so.
+  bool swapped = jt == JoinType::kRight ||
+                 (jt == JoinType::kInner && plan.build_left);
+  TablePtr probe_t = swapped ? right : left;
+  TablePtr build_t = swapped ? left : right;
+
+  std::vector<BoundExprPtr> probe_exprs, build_exprs;
+  for (const auto& [l, r] : plan.join_keys) {
+    probe_exprs.push_back(swapped ? r : l);
+    build_exprs.push_back(swapped ? l : r);
+  }
+  PYTOND_ASSIGN_OR_RETURN(
+      std::vector<Column> probe_keys,
+      EvalKeyColumns(probe_exprs, *probe_t, ctx.num_threads));
+  PYTOND_ASSIGN_OR_RETURN(
+      std::vector<Column> build_keys,
+      EvalKeyColumns(build_exprs, *build_t, ctx.num_threads));
+
+  // Build.
+  HashTable ht;
+  size_t bn = build_t->num_rows();
+  ht.buckets.reserve(bn * 2);
+  for (size_t i = 0; i < bn; ++i) {
+    // SQL join semantics: NULL keys never match.
+    bool has_null = false;
+    for (const Column& c : build_keys) {
+      if (!c.IsValid(i)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    ht.buckets[EncodeKey(build_keys, i)].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Probe (parallel chunks).
+  size_t pn = probe_t->num_rows();
+  int t = ctx.num_threads;
+  size_t nt = (t <= 1 || pn < 4096) ? 1 : static_cast<size_t>(t);
+  struct ProbeOut {
+    std::vector<uint32_t> pidx, bidx;      // surviving pairs
+    std::vector<uint32_t> p_unmatched;     // probe rows with no match
+    std::vector<uint8_t> build_matched;    // per build row (outer tracking)
+    Status status;
+  };
+  std::vector<ProbeOut> outs(nt);
+  bool need_build_matched = jt == JoinType::kFull;
+  bool need_unmatched = jt == JoinType::kLeft || jt == JoinType::kRight ||
+                        jt == JoinType::kFull || jt == JoinType::kAnti;
+  bool is_semi_anti = jt == JoinType::kSemi || jt == JoinType::kAnti;
+
+  ParallelFor(pn, t, [&](int tid, size_t begin, size_t end) {
+    ProbeOut& o = outs[tid];
+    if (need_build_matched) o.build_matched.assign(bn, 0);
+    std::vector<uint32_t> cand_p, cand_b;
+    for (size_t i = begin; i < end; ++i) {
+      bool has_null = false;
+      for (const Column& c : probe_keys) {
+        if (!c.IsValid(i)) {
+          has_null = true;
+          break;
+        }
+      }
+      const std::vector<uint32_t>* bucket = nullptr;
+      if (!has_null) {
+        auto it = ht.buckets.find(EncodeKey(probe_keys, i));
+        if (it != ht.buckets.end()) bucket = &it->second;
+      }
+      if (bucket == nullptr) {
+        if (need_unmatched || is_semi_anti) {
+          o.p_unmatched.push_back(static_cast<uint32_t>(i));
+        }
+        continue;
+      }
+      for (uint32_t b : *bucket) {
+        cand_p.push_back(static_cast<uint32_t>(i));
+        cand_b.push_back(b);
+      }
+    }
+    // Residual filtering over candidate pairs.
+    if (plan.predicate && !cand_p.empty()) {
+      // Build pair table in left/right order for the residual.
+      Table pair;
+      const Table& lt = swapped ? *build_t : *probe_t;
+      const Table& rt = swapped ? *probe_t : *build_t;
+      const std::vector<uint32_t>& li = swapped ? cand_b : cand_p;
+      const std::vector<uint32_t>& ri = swapped ? cand_p : cand_b;
+      for (size_t c = 0; c < lt.num_columns(); ++c) {
+        Status st = pair.AddColumn("l" + std::to_string(c),
+                                   lt.column(c).Gather(li));
+        (void)st;
+      }
+      for (size_t c = 0; c < rt.num_columns(); ++c) {
+        Status st = pair.AddColumn("r" + std::to_string(c),
+                                   rt.column(c).Gather(ri));
+        (void)st;
+      }
+      std::vector<uint32_t> keep;
+      o.status = EvaluatePredicate(*plan.predicate, pair, 0, pair.num_rows(),
+                                   &keep);
+      if (!o.status.ok()) return;
+      std::vector<uint32_t> fp, fb;
+      fp.reserve(keep.size());
+      fb.reserve(keep.size());
+      for (uint32_t k : keep) {
+        fp.push_back(cand_p[k]);
+        fb.push_back(cand_b[k]);
+      }
+      cand_p = std::move(fp);
+      cand_b = std::move(fb);
+    }
+    if (is_semi_anti) {
+      // Collapse pairs into per-probe-row match flags.
+      std::unordered_set<uint32_t> matched(cand_p.begin(), cand_p.end());
+      for (size_t i = begin; i < end; ++i) {
+        bool m = matched.count(static_cast<uint32_t>(i)) > 0;
+        if ((jt == JoinType::kSemi) == m) {
+          // Reuse pidx as the emit list for semi/anti.
+          if (m || jt == JoinType::kAnti) {
+            // For anti we must also skip rows already in p_unmatched
+            // (they had no bucket) -- they are unmatched, so they pass.
+          }
+          o.pidx.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      // p_unmatched rows had no bucket: for anti they pass, for semi fail.
+      // They were never added to cand_p, so the loop above already treated
+      // them as unmatched; clear the side list.
+      o.p_unmatched.clear();
+      return;
+    }
+    if (need_unmatched && plan.predicate) {
+      // Rows whose candidates were all filtered out become unmatched.
+      std::unordered_set<uint32_t> matched(cand_p.begin(), cand_p.end());
+      std::vector<uint32_t> um;
+      for (size_t i = begin; i < end; ++i) {
+        if (!matched.count(static_cast<uint32_t>(i))) {
+          um.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      o.p_unmatched = std::move(um);
+    }
+    if (need_build_matched) {
+      for (uint32_t b : cand_b) o.build_matched[b] = 1;
+    }
+    o.pidx = std::move(cand_p);
+    o.bidx = std::move(cand_b);
+  });
+
+  for (const ProbeOut& o : outs) {
+    if (!o.status.ok()) return o.status;
+  }
+
+  std::vector<uint32_t> pidx, bidx, p_unmatched;
+  std::vector<uint8_t> build_matched(need_build_matched ? bn : 0, 0);
+  for (const ProbeOut& o : outs) {
+    pidx.insert(pidx.end(), o.pidx.begin(), o.pidx.end());
+    bidx.insert(bidx.end(), o.bidx.begin(), o.bidx.end());
+    p_unmatched.insert(p_unmatched.end(), o.p_unmatched.begin(),
+                       o.p_unmatched.end());
+    if (need_build_matched && !o.build_matched.empty()) {
+      for (size_t i = 0; i < bn; ++i) build_matched[i] |= o.build_matched[i];
+    }
+  }
+
+  if (is_semi_anti) {
+    return WrapTable(left->Gather(pidx));
+  }
+
+  if (jt == JoinType::kInner) {
+    // With swapped sides, pidx indexes the right table and bidx the left.
+    return swapped ? WrapTable(assemble(bidx, pidx, {}, {}))
+                   : WrapTable(assemble(pidx, bidx, {}, {}));
+  }
+  if (jt == JoinType::kLeft) {
+    return WrapTable(assemble(pidx, bidx, p_unmatched, {}));
+  }
+  if (jt == JoinType::kRight) {
+    // Internally probe=right, build=left; output order is left,right.
+    return WrapTable(assemble(bidx, pidx, {}, p_unmatched));
+  }
+  // Full outer.
+  std::vector<uint32_t> b_unmatched;
+  for (size_t i = 0; i < bn; ++i) {
+    if (!build_matched[i]) b_unmatched.push_back(static_cast<uint32_t>(i));
+  }
+  return WrapTable(assemble(pidx, bidx, p_unmatched, b_unmatched));
+}
+
+// ---------------------------------------------------------------- aggregate
+struct AggCell {
+  double dsum = 0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  Value extreme;  // min/max
+  std::unique_ptr<std::unordered_set<std::string>> distinct;
+};
+
+struct GroupState {
+  uint32_t representative;  // row index of first occurrence
+  std::vector<AggCell> cells;
+};
+
+void AccumulateRow(const LogicalPlan& plan, GroupState* g,
+                   const std::vector<Column>& arg_cols, size_t row) {
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    const AggSpec& spec = plan.aggs[a];
+    AggCell& cell = g->cells[a];
+    if (spec.op == AggOp::kCountStar) {
+      ++cell.count;
+      continue;
+    }
+    const Column& arg = arg_cols[a];
+    if (!arg.IsValid(row)) continue;
+    switch (spec.op) {
+      case AggOp::kCount:
+        ++cell.count;
+        break;
+      case AggOp::kCountDistinct: {
+        if (!cell.distinct) {
+          cell.distinct = std::make_unique<std::unordered_set<std::string>>();
+        }
+        std::string k;
+        AppendEncodedValue(arg, row, &k);
+        cell.distinct->insert(std::move(k));
+        break;
+      }
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        if (arg.type() == DataType::kInt64) {
+          cell.isum += arg.ints()[row];
+        } else {
+          cell.dsum += arg.Get(row).ToDouble();
+        }
+        ++cell.count;
+        cell.has_value = true;
+        break;
+      case AggOp::kMin:
+      case AggOp::kMax: {
+        Value v = arg.Get(row);
+        if (!cell.has_value) {
+          cell.extreme = v;
+          cell.has_value = true;
+        } else {
+          bool less;
+          if (v.type() == DataType::kString) {
+            less = v.AsString() < cell.extreme.AsString();
+          } else {
+            less = v.ToDouble() < cell.extreme.ToDouble();
+          }
+          if ((spec.op == AggOp::kMin) == less) cell.extreme = v;
+        }
+        break;
+      }
+      case AggOp::kCountStar:
+        break;
+    }
+  }
+}
+
+void MergeCell(const AggSpec& spec, AggCell* into, AggCell& from) {
+  switch (spec.op) {
+    case AggOp::kCountStar:
+    case AggOp::kCount:
+      into->count += from.count;
+      break;
+    case AggOp::kCountDistinct:
+      if (from.distinct) {
+        if (!into->distinct) {
+          into->distinct = std::move(from.distinct);
+        } else {
+          into->distinct->insert(from.distinct->begin(),
+                                 from.distinct->end());
+        }
+      }
+      break;
+    case AggOp::kSum:
+    case AggOp::kAvg:
+      into->dsum += from.dsum;
+      into->isum += from.isum;
+      into->count += from.count;
+      into->has_value |= from.has_value;
+      break;
+    case AggOp::kMin:
+    case AggOp::kMax:
+      if (from.has_value) {
+        if (!into->has_value) {
+          into->extreme = from.extreme;
+          into->has_value = true;
+        } else {
+          bool less;
+          if (from.extreme.type() == DataType::kString) {
+            less = from.extreme.AsString() < into->extreme.AsString();
+          } else {
+            less = from.extreme.ToDouble() < into->extreme.ToDouble();
+          }
+          if ((spec.op == AggOp::kMin) == less) into->extreme = from.extreme;
+        }
+      }
+      break;
+  }
+}
+
+Value FinalizeCell(const AggSpec& spec, const AggCell& cell,
+                   DataType arg_type) {
+  switch (spec.op) {
+    case AggOp::kCountStar:
+    case AggOp::kCount:
+      return Value::Int64(cell.count);
+    case AggOp::kCountDistinct:
+      return Value::Int64(cell.distinct ? static_cast<int64_t>(
+                                              cell.distinct->size())
+                                        : 0);
+    case AggOp::kSum:
+      if (!cell.has_value) return Value::Null();
+      if (arg_type == DataType::kInt64) return Value::Int64(cell.isum);
+      return Value::Float64(cell.dsum);
+    case AggOp::kAvg: {
+      if (cell.count == 0) return Value::Null();
+      double total = cell.dsum + static_cast<double>(cell.isum);
+      return Value::Float64(total / static_cast<double>(cell.count));
+    }
+    case AggOp::kMin:
+    case AggOp::kMax:
+      return cell.has_value ? cell.extreme : Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
+                               const ExecContext& ctx) {
+  PYTOND_ASSIGN_OR_RETURN(
+      std::vector<Column> keys,
+      EvalKeyColumns(plan.group_exprs, *input, ctx.num_threads));
+  std::vector<Column> args(plan.aggs.size());
+  std::vector<DataType> arg_types(plan.aggs.size(), DataType::kInt64);
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    if (plan.aggs[a].arg) {
+      PYTOND_ASSIGN_OR_RETURN(args[a], EvalParallel(*plan.aggs[a].arg, *input,
+                                                    ctx.num_threads));
+      arg_types[a] = args[a].type();
+    }
+  }
+
+  size_t n = input->num_rows();
+  int t = ctx.num_threads;
+  size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
+
+  using LocalMap = std::unordered_map<std::string, GroupState>;
+  std::vector<LocalMap> locals(nt);
+  ParallelFor(n, t, [&](int tid, size_t begin, size_t end) {
+    LocalMap& m = locals[tid];
+    for (size_t i = begin; i < end; ++i) {
+      std::string key = EncodeKey(keys, i);
+      auto [it, inserted] = m.try_emplace(std::move(key));
+      if (inserted) {
+        it->second.representative = static_cast<uint32_t>(i);
+        it->second.cells.resize(plan.aggs.size());
+      }
+      AccumulateRow(plan, &it->second, args, i);
+    }
+  });
+
+  // Merge thread-local maps.
+  LocalMap& global = locals[0];
+  for (size_t m = 1; m < locals.size(); ++m) {
+    for (auto& [key, state] : locals[m]) {
+      auto it = global.find(key);
+      if (it == global.end()) {
+        global.emplace(key, std::move(state));
+      } else {
+        for (size_t a = 0; a < plan.aggs.size(); ++a) {
+          MergeCell(plan.aggs[a], &it->second.cells[a], state.cells[a]);
+        }
+      }
+    }
+  }
+
+  // Global aggregate over empty input still yields one row.
+  if (plan.group_exprs.empty() && global.empty()) {
+    GroupState g;
+    g.representative = 0;
+    g.cells.resize(plan.aggs.size());
+    global.emplace("", std::move(g));
+  }
+
+  // Assemble output: group key columns + aggregate columns.
+  Table out(plan.schema);
+  std::vector<uint32_t> reps;
+  reps.reserve(global.size());
+  std::vector<const GroupState*> states;
+  states.reserve(global.size());
+  for (const auto& [key, state] : global) {
+    reps.push_back(state.representative);
+    states.push_back(&state);
+  }
+  for (size_t k = 0; k < keys.size(); ++k) {
+    out.column(k) = keys[k].Gather(reps);
+  }
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    Column& col = out.column(keys.size() + a);
+    col.Reserve(states.size());
+    for (const GroupState* g : states) {
+      col.Append(FinalizeCell(plan.aggs[a], g->cells[a], arg_types[a]));
+    }
+  }
+  return WrapTable(std::move(out));
+}
+
+// ---------------------------------------------------------------- sort
+int CompareRows(const Table& t,
+                const std::vector<std::pair<int, bool>>& keys, uint32_t a,
+                uint32_t b) {
+  for (const auto& [col, asc] : keys) {
+    const Column& c = t.column(col);
+    bool va = c.IsValid(a), vb = c.IsValid(b);
+    int cmp = 0;
+    if (!va || !vb) {
+      cmp = static_cast<int>(vb) - static_cast<int>(va);  // nulls first
+    } else {
+      switch (c.type()) {
+        case DataType::kString: {
+          cmp = c.strings()[a].compare(c.strings()[b]);
+          break;
+        }
+        case DataType::kInt64:
+        case DataType::kNull:
+          cmp = c.ints()[a] < c.ints()[b] ? -1 : (c.ints()[a] > c.ints()[b]);
+          break;
+        case DataType::kFloat64:
+          cmp = c.doubles()[a] < c.doubles()[b]
+                    ? -1
+                    : (c.doubles()[a] > c.doubles()[b]);
+          break;
+        case DataType::kBool:
+          cmp = static_cast<int>(c.bools()[a]) - static_cast<int>(c.bools()[b]);
+          break;
+        case DataType::kDate:
+          cmp = c.dates()[a] < c.dates()[b] ? -1
+                                            : (c.dates()[a] > c.dates()[b]);
+          break;
+      }
+    }
+    if (cmp != 0) return asc ? cmp : -cmp;
+  }
+  return 0;
+}
+
+Result<TablePtr> ExecSort(const LogicalPlan& plan, TablePtr input) {
+  std::vector<uint32_t> idx(input->num_rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    return CompareRows(*input, plan.sort_keys, a, b) < 0;
+  });
+  return WrapTable(input->Gather(idx));
+}
+
+// ---------------------------------------------------------------- misc
+Result<TablePtr> ExecDistinct(TablePtr input) {
+  std::unordered_set<std::string> seen;
+  std::vector<uint32_t> keep;
+  size_t n = input->num_rows();
+  std::vector<const Column*> cols;
+  for (size_t c = 0; c < input->num_columns(); ++c) {
+    cols.push_back(&input->column(c));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::string key;
+    for (const Column* c : cols) AppendEncodedValue(*c, i, &key);
+    if (seen.insert(std::move(key)).second) {
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return WrapTable(input->Gather(keep));
+}
+
+Result<TablePtr> ExecWindow(const LogicalPlan& plan, TablePtr input) {
+  size_t n = input->num_rows();
+  std::vector<uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    return CompareRows(*input, plan.window_order, a, b) < 0;
+  });
+  std::vector<int64_t> rownum(n);
+  for (size_t r = 0; r < n; ++r) {
+    rownum[idx[r]] = static_cast<int64_t>(r) + 1;
+  }
+  Table out = input->Gather([&] {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }());
+  PYTOND_RETURN_IF_ERROR(
+      out.AddColumn(plan.window_name, Column::Int64(std::move(rownum))));
+  return WrapTable(std::move(out));
+}
+
+}  // namespace
+
+Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan: {
+      if (ctx.temps != nullptr) {
+        auto it = ctx.temps->find(plan.table_name);
+        if (it != ctx.temps->end()) return it->second;
+      }
+      const Table* t = ctx.catalog->GetTable(plan.table_name);
+      if (t == nullptr) {
+        return Status::NotFound("table '" + plan.table_name + "'");
+      }
+      return TablePtr(t, [](const Table*) {});  // non-owning
+    }
+    case LogicalPlan::Kind::kValues:
+      return TablePtr(plan.values);
+    case LogicalPlan::Kind::kFilter: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecFilter(plan, in, ctx);
+    }
+    case LogicalPlan::Kind::kProject: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecProject(plan, in, ctx);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr l, ExecutePlan(*plan.children[0], ctx));
+      PYTOND_ASSIGN_OR_RETURN(TablePtr r, ExecutePlan(*plan.children[1], ctx));
+      return ExecJoin(plan, l, r, ctx);
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecAggregate(plan, in, ctx);
+    }
+    case LogicalPlan::Kind::kSort: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecSort(plan, in);
+    }
+    case LogicalPlan::Kind::kLimit: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      size_t n = std::min<size_t>(in->num_rows(),
+                                  static_cast<size_t>(plan.limit));
+      std::vector<uint32_t> idx(n);
+      std::iota(idx.begin(), idx.end(), 0);
+      return WrapTable(in->Gather(idx));
+    }
+    case LogicalPlan::Kind::kDistinct: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecDistinct(in);
+    }
+    case LogicalPlan::Kind::kWindow: {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      return ExecWindow(plan, in);
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace pytond::engine

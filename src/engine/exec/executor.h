@@ -1,0 +1,35 @@
+#ifndef PYTOND_ENGINE_EXEC_EXECUTOR_H_
+#define PYTOND_ENGINE_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "engine/plan/logical.h"
+#include "storage/catalog.h"
+
+namespace pytond::engine {
+
+/// Execution context: base catalog, materialized CTE temporaries, and the
+/// intra-operator parallelism degree.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  const std::map<std::string, std::shared_ptr<const Table>>* temps = nullptr;
+  int num_threads = 1;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Interprets the plan tree bottom-up, materializing each operator's
+/// output. Filters, joins (probe side) and aggregations (partial states)
+/// parallelize over row ranges when ctx.num_threads > 1.
+Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx);
+
+/// Runs fn(thread_id, begin, end) over `threads` contiguous ranges of
+/// [0, n). With one thread (or tiny n) runs inline.
+void ParallelFor(size_t n, int threads,
+                 const std::function<void(int, size_t, size_t)>& fn);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_EXEC_EXECUTOR_H_

@@ -1,0 +1,752 @@
+#include "engine/expr/expr.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/date_util.h"
+#include "common/string_util.h"
+
+namespace pytond::engine {
+
+using sql::Expr;
+
+BoundExprPtr BoundExpr::ColRef(int index, DataType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = Kind::kColRef;
+  e->col_index = index;
+  e->type = type;
+  return e;
+}
+
+BoundExprPtr BoundExpr::Const(Value v) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = Kind::kConst;
+  e->type = v.type();
+  e->constant = std::move(v);
+  return e;
+}
+
+BoundExprPtr BoundExpr::Binary(sql::Expr::Op op, BoundExprPtr l,
+                               BoundExprPtr r, DataType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->type = type;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+BoundExprPtr BoundExpr::Unary(sql::Expr::Op op, BoundExprPtr c,
+                              DataType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = Kind::kUnary;
+  e->op = op;
+  e->type = type;
+  e->children = {std::move(c)};
+  return e;
+}
+
+BoundExprPtr BoundExpr::Func(std::string name, std::vector<BoundExprPtr> args,
+                             DataType type) {
+  auto e = std::make_shared<BoundExpr>();
+  e->kind = Kind::kFunc;
+  e->func = std::move(name);
+  e->type = type;
+  e->children = std::move(args);
+  return e;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColRef: return "#" + std::to_string(col_index);
+    case Kind::kConst: return constant.ToString();
+    case Kind::kBinary:
+      return "(" + children[0]->ToString() + " op" +
+             std::to_string(static_cast<int>(op)) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnary: return "(u " + children[0]->ToString() + ")";
+    case Kind::kFunc: {
+      std::string s = func + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ",";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kCase: return "case(...)";
+    case Kind::kCast: return "cast(" + children[0]->ToString() + ")";
+    case Kind::kIsNull: return "isnull(" + children[0]->ToString() + ")";
+    case Kind::kInList: return "in(" + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+void BoundExpr::CollectColumns(std::vector<int>* out) const {
+  if (kind == Kind::kColRef) out->push_back(col_index);
+  for (const auto& c : children) c->CollectColumns(out);
+}
+
+BoundExprPtr BoundExpr::CloneExpr() const {
+  auto e = std::make_shared<BoundExpr>(*this);
+  for (auto& c : e->children) c = c->CloneExpr();
+  return e;
+}
+
+BoundExprPtr BoundExpr::RemapColumns(const BoundExprPtr& e,
+                                     const std::vector<int>& mapping) {
+  auto copy = e->CloneExpr();
+  struct Walker {
+    const std::vector<int>& mapping;
+    void Walk(BoundExpr* n) {
+      if (n->kind == Kind::kColRef) {
+        n->col_index = mapping[n->col_index];
+      }
+      for (auto& c : n->children) Walk(c.get());
+    }
+  } w{mapping};
+  w.Walk(copy.get());
+  return copy;
+}
+
+namespace {
+
+size_t RangeLen(size_t begin, size_t end) { return end - begin; }
+
+// Reads column values as doubles over [begin, end).
+std::vector<double> AsDoubles(const Column& c, size_t begin, size_t end) {
+  std::vector<double> out(RangeLen(begin, end));
+  switch (c.type()) {
+    case DataType::kInt64:
+    case DataType::kNull: {
+      const auto& v = c.ints();
+      for (size_t i = begin; i < end; ++i) {
+        out[i - begin] = static_cast<double>(v[i]);
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& v = c.doubles();
+      std::copy(v.begin() + begin, v.begin() + end, out.begin());
+      break;
+    }
+    case DataType::kBool: {
+      const auto& v = c.bools();
+      for (size_t i = begin; i < end; ++i) out[i - begin] = v[i] ? 1.0 : 0.0;
+      break;
+    }
+    case DataType::kDate: {
+      const auto& v = c.dates();
+      for (size_t i = begin; i < end; ++i) {
+        out[i - begin] = static_cast<double>(v[i]);
+      }
+      break;
+    }
+    case DataType::kString: break;  // caller guarantees numeric
+  }
+  return out;
+}
+
+std::vector<int64_t> AsInts(const Column& c, size_t begin, size_t end) {
+  std::vector<int64_t> out(RangeLen(begin, end));
+  switch (c.type()) {
+    case DataType::kInt64:
+    case DataType::kNull: {
+      const auto& v = c.ints();
+      std::copy(v.begin() + begin, v.begin() + end, out.begin());
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& v = c.doubles();
+      for (size_t i = begin; i < end; ++i) {
+        out[i - begin] = static_cast<int64_t>(v[i]);
+      }
+      break;
+    }
+    case DataType::kBool: {
+      const auto& v = c.bools();
+      for (size_t i = begin; i < end; ++i) out[i - begin] = v[i];
+      break;
+    }
+    case DataType::kDate: {
+      const auto& v = c.dates();
+      for (size_t i = begin; i < end; ++i) out[i - begin] = v[i];
+      break;
+    }
+    case DataType::kString: break;
+  }
+  return out;
+}
+
+// Validity slice of [begin, end); empty => all valid.
+std::vector<uint8_t> SliceValidity(const Column& c, size_t begin,
+                                   size_t end) {
+  if (c.validity().empty()) return {};
+  return std::vector<uint8_t>(c.validity().begin() + begin,
+                              c.validity().begin() + end);
+}
+
+std::vector<uint8_t> MergeValidity(const std::vector<uint8_t>& a,
+                                   const std::vector<uint8_t>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  std::vector<uint8_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return out;
+}
+
+// Materializes a constant as a column of length n.
+Column ConstColumn(const Value& v, size_t n) {
+  DataType t = v.is_null() ? DataType::kInt64 : v.type();
+  Column c(t);
+  c.Reserve(n);
+  for (size_t i = 0; i < n; ++i) c.Append(v);
+  return c;
+}
+
+bool IsComparison(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kLt: case Expr::Op::kLe: case Expr::Op::kEq:
+    case Expr::Op::kNe: case Expr::Op::kGe: case Expr::Op::kGt:
+      return true;
+    default: return false;
+  }
+}
+
+template <typename T>
+uint8_t CompareOp(Expr::Op op, const T& a, const T& b) {
+  switch (op) {
+    case Expr::Op::kLt: return a < b;
+    case Expr::Op::kLe: return a <= b;
+    case Expr::Op::kEq: return a == b;
+    case Expr::Op::kNe: return a != b;
+    case Expr::Op::kGe: return a >= b;
+    case Expr::Op::kGt: return a > b;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+Result<DataType> ScalarFunctionType(const std::string& name,
+                                    const std::vector<DataType>& args) {
+  if (name == "round" || name == "abs") {
+    if (args.empty()) return Status::TypeError(name + " needs an argument");
+    return args[0] == DataType::kInt64 && name == "abs" ? DataType::kInt64
+                                                        : DataType::kFloat64;
+  }
+  if (name == "year" || name == "month" || name == "day" ||
+      name == "length") {
+    return DataType::kInt64;
+  }
+  if (name == "substr" || name == "substring" || name == "lower" ||
+      name == "upper") {
+    return DataType::kString;
+  }
+  if (name == "starts_with" || name == "ends_with" || name == "contains") {
+    return DataType::kBool;
+  }
+  if (name == "coalesce") {
+    for (DataType t : args) {
+      if (t != DataType::kNull) return t;
+    }
+    return DataType::kNull;
+  }
+  if (name == "sqrt" || name == "ln" || name == "exp" || name == "power") {
+    return DataType::kFloat64;
+  }
+  return Status::Unsupported("unknown scalar function '" + name + "'");
+}
+
+namespace {
+
+Result<Column> EvalBinary(const BoundExpr& expr, const Table& input,
+                          size_t begin, size_t end) {
+  size_t n = RangeLen(begin, end);
+  PYTOND_ASSIGN_OR_RETURN(Column lc,
+                          EvaluateExpr(*expr.children[0], input, begin, end));
+  // Short-circuitable logic ops still evaluate both sides (vectorized).
+  PYTOND_ASSIGN_OR_RETURN(Column rc,
+                          EvaluateExpr(*expr.children[1], input, begin, end));
+  std::vector<uint8_t> validity =
+      MergeValidity(SliceValidity(lc, 0, n), SliceValidity(rc, 0, n));
+
+  Expr::Op op = expr.op;
+  if (op == Expr::Op::kAnd || op == Expr::Op::kOr) {
+    const auto& a = lc.bools();
+    const auto& b = rc.bools();
+    std::vector<uint8_t> out(n);
+    // NULL collapses to false: mask invalid lanes to 0 first.
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t av = lc.IsValid(i) ? a[i] : 0;
+      uint8_t bv = rc.IsValid(i) ? b[i] : 0;
+      out[i] = op == Expr::Op::kAnd ? (av & bv) : (av | bv);
+    }
+    return Column::Bool(std::move(out));
+  }
+
+  if (op == Expr::Op::kLike || op == Expr::Op::kNotLike) {
+    const auto& a = lc.strings();
+    const auto& b = rc.strings();
+    std::vector<uint8_t> out(n);
+    bool rhs_const = expr.children[1]->kind == BoundExpr::Kind::kConst;
+    const std::string& pat0 = rhs_const ? b[0] : std::string();
+    for (size_t i = 0; i < n; ++i) {
+      bool m = string_util::Like(a[i], rhs_const ? pat0 : b[i]);
+      out[i] = (op == Expr::Op::kLike) ? m : !m;
+    }
+    Column c = Column::Bool(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+
+  if (IsComparison(op)) {
+    std::vector<uint8_t> out(n);
+    if (lc.type() == DataType::kString || rc.type() == DataType::kString) {
+      const auto& a = lc.strings();
+      const auto& b = rc.strings();
+      for (size_t i = 0; i < n; ++i) out[i] = CompareOp(op, a[i], b[i]);
+    } else if (lc.type() == DataType::kInt64 &&
+               rc.type() == DataType::kInt64) {
+      const auto& a = lc.ints();
+      const auto& b = rc.ints();
+      for (size_t i = 0; i < n; ++i) out[i] = CompareOp(op, a[i], b[i]);
+    } else if (lc.type() == DataType::kDate && rc.type() == DataType::kDate) {
+      const auto& a = lc.dates();
+      const auto& b = rc.dates();
+      for (size_t i = 0; i < n; ++i) out[i] = CompareOp(op, a[i], b[i]);
+    } else {
+      std::vector<double> a = AsDoubles(lc, 0, n), b = AsDoubles(rc, 0, n);
+      for (size_t i = 0; i < n; ++i) out[i] = CompareOp(op, a[i], b[i]);
+    }
+    Column c = Column::Bool(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+
+  if (op == Expr::Op::kConcat) {
+    const auto& a = lc.strings();
+    const auto& b = rc.strings();
+    std::vector<std::string> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+    Column c = Column::String(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+
+  // Arithmetic.
+  if (expr.type == DataType::kInt64 &&
+      (op == Expr::Op::kAdd || op == Expr::Op::kSub ||
+       op == Expr::Op::kMul || op == Expr::Op::kMod)) {
+    std::vector<int64_t> a = AsInts(lc, 0, n), b = AsInts(rc, 0, n);
+    std::vector<int64_t> out(n);
+    switch (op) {
+      case Expr::Op::kAdd:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+        break;
+      case Expr::Op::kSub:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+        break;
+      case Expr::Op::kMul:
+        for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+        break;
+      default:  // kMod
+        for (size_t i = 0; i < n; ++i) {
+          if (b[i] == 0) {
+            if (validity.empty()) validity.assign(n, 1);
+            validity[i] = 0;
+            out[i] = 0;
+          } else {
+            out[i] = a[i] % b[i];
+          }
+        }
+        break;
+    }
+    Column c = Column::Int64(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+
+  std::vector<double> a = AsDoubles(lc, 0, n), b = AsDoubles(rc, 0, n);
+  std::vector<double> out(n);
+  switch (op) {
+    case Expr::Op::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+      break;
+    case Expr::Op::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+      break;
+    case Expr::Op::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+      break;
+    case Expr::Op::kDiv:
+      for (size_t i = 0; i < n; ++i) {
+        if (b[i] == 0.0) {
+          if (validity.empty()) validity.assign(n, 1);
+          validity[i] = 0;
+          out[i] = 0;
+        } else {
+          out[i] = a[i] / b[i];
+        }
+      }
+      break;
+    case Expr::Op::kMod:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = b[i] == 0.0 ? 0.0 : std::fmod(a[i], b[i]);
+      }
+      break;
+    default:
+      return Status::Internal("unexpected binary op");
+  }
+  Column c = Column::Float64(std::move(out));
+  c.validity() = std::move(validity);
+  return c;
+}
+
+Result<Column> EvalFunc(const BoundExpr& expr, const Table& input,
+                        size_t begin, size_t end) {
+  size_t n = RangeLen(begin, end);
+  std::vector<Column> args;
+  args.reserve(expr.children.size());
+  for (const auto& ch : expr.children) {
+    PYTOND_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*ch, input, begin, end));
+    args.push_back(std::move(c));
+  }
+  std::vector<uint8_t> validity;
+  for (const Column& a : args) {
+    validity = MergeValidity(validity, SliceValidity(a, 0, n));
+  }
+  const std::string& f = expr.func;
+
+  if (f == "round") {
+    std::vector<double> x = AsDoubles(args[0], 0, n);
+    double scale = 1.0;
+    if (args.size() > 1) {
+      scale = std::pow(10.0, AsDoubles(args[1], 0, n)[0]);
+    }
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = std::round(x[i] * scale) / scale;
+    Column c = Column::Float64(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "abs") {
+    if (expr.type == DataType::kInt64) {
+      std::vector<int64_t> x = AsInts(args[0], 0, n);
+      for (auto& v : x) v = std::llabs(v);
+      Column c = Column::Int64(std::move(x));
+      c.validity() = std::move(validity);
+      return c;
+    }
+    std::vector<double> x = AsDoubles(args[0], 0, n);
+    for (auto& v : x) v = std::fabs(v);
+    Column c = Column::Float64(std::move(x));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "sqrt" || f == "ln" || f == "exp") {
+    std::vector<double> x = AsDoubles(args[0], 0, n);
+    for (auto& v : x) {
+      v = f == "sqrt" ? std::sqrt(v) : (f == "ln" ? std::log(v) : std::exp(v));
+    }
+    Column c = Column::Float64(std::move(x));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "power") {
+    std::vector<double> x = AsDoubles(args[0], 0, n);
+    std::vector<double> y = AsDoubles(args[1], 0, n);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = std::pow(x[i], y[i]);
+    Column c = Column::Float64(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "year" || f == "month" || f == "day") {
+    const auto& d = args[0].dates();
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      int y, m, dd;
+      date_util::ToYMD(d[i], &y, &m, &dd);
+      out[i] = f == "year" ? y : (f == "month" ? m : dd);
+    }
+    Column c = Column::Int64(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "length") {
+    const auto& s = args[0].strings();
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<int64_t>(s[i].size());
+    Column c = Column::Int64(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "substr" || f == "substring") {
+    const auto& s = args[0].strings();
+    std::vector<int64_t> start = AsInts(args[1], 0, n);
+    std::vector<int64_t> len =
+        args.size() > 2 ? AsInts(args[2], 0, n)
+                        : std::vector<int64_t>(n, 1 << 30);
+    std::vector<std::string> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t b = std::max<int64_t>(1, start[i]) - 1;  // SQL is 1-based
+      if (b >= static_cast<int64_t>(s[i].size())) continue;
+      int64_t l = std::max<int64_t>(0, len[i]);
+      out[i] = s[i].substr(static_cast<size_t>(b),
+                           static_cast<size_t>(
+                               std::min<int64_t>(l, s[i].size() - b)));
+    }
+    Column c = Column::String(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "lower" || f == "upper") {
+    const auto& s = args[0].strings();
+    std::vector<std::string> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = s[i];
+      for (char& ch : out[i]) {
+        ch = f == "lower"
+                 ? static_cast<char>(std::tolower(static_cast<unsigned char>(ch)))
+                 : static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+    }
+    Column c = Column::String(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "starts_with" || f == "ends_with" || f == "contains") {
+    const auto& s = args[0].strings();
+    const auto& p = args[1].strings();
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = f == "starts_with" ? string_util::StartsWith(s[i], p[i])
+               : f == "ends_with" ? string_util::EndsWith(s[i], p[i])
+                                  : string_util::Contains(s[i], p[i]);
+    }
+    Column c = Column::Bool(std::move(out));
+    c.validity() = std::move(validity);
+    return c;
+  }
+  if (f == "coalesce") {
+    Column out(expr.type);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      bool written = false;
+      for (const Column& a : args) {
+        if (a.IsValid(i)) {
+          Value v = a.Get(i);
+          out.Append(v);
+          written = true;
+          break;
+        }
+      }
+      if (!written) out.AppendNull();
+    }
+    return out;
+  }
+  return Status::Unsupported("scalar function '" + f + "'");
+}
+
+}  // namespace
+
+Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input,
+                            size_t begin, size_t end) {
+  size_t n = RangeLen(begin, end);
+  switch (expr.kind) {
+    case BoundExpr::Kind::kColRef: {
+      const Column& src = input.column(expr.col_index);
+      std::vector<uint32_t> rows(n);
+      for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(begin + i);
+      return src.Gather(rows);
+    }
+    case BoundExpr::Kind::kConst:
+      return ConstColumn(expr.constant, n);
+    case BoundExpr::Kind::kBinary:
+      return EvalBinary(expr, input, begin, end);
+    case BoundExpr::Kind::kUnary: {
+      PYTOND_ASSIGN_OR_RETURN(
+          Column c, EvaluateExpr(*expr.children[0], input, begin, end));
+      if (expr.op == Expr::Op::kNot) {
+        auto& b = c.bools();
+        for (size_t i = 0; i < n; ++i) {
+          b[i] = (c.IsValid(i) && !b[i]) ? 1 : 0;
+        }
+        c.validity().clear();
+        return c;
+      }
+      // Negate.
+      if (c.type() == DataType::kInt64) {
+        for (auto& v : c.ints()) v = -v;
+      } else {
+        for (auto& v : c.doubles()) v = -v;
+      }
+      return c;
+    }
+    case BoundExpr::Kind::kFunc:
+      return EvalFunc(expr, input, begin, end);
+    case BoundExpr::Kind::kCase: {
+      size_t pairs = expr.children.size() / 2;
+      std::vector<Column> conds, vals;
+      for (size_t p = 0; p < pairs; ++p) {
+        PYTOND_ASSIGN_OR_RETURN(
+            Column c, EvaluateExpr(*expr.children[2 * p], input, begin, end));
+        PYTOND_ASSIGN_OR_RETURN(
+            Column v,
+            EvaluateExpr(*expr.children[2 * p + 1], input, begin, end));
+        conds.push_back(std::move(c));
+        vals.push_back(std::move(v));
+      }
+      Column else_col(expr.type);
+      bool has_else = expr.case_has_else;
+      if (has_else) {
+        PYTOND_ASSIGN_OR_RETURN(
+            else_col,
+            EvaluateExpr(*expr.children.back(), input, begin, end));
+      }
+      Column out(expr.type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool hit = false;
+        for (size_t p = 0; p < pairs; ++p) {
+          if (conds[p].IsValid(i) && conds[p].bools()[i]) {
+            out.Append(vals[p].Get(i));
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          if (has_else) out.Append(else_col.Get(i));
+          else out.AppendNull();
+        }
+      }
+      return out;
+    }
+    case BoundExpr::Kind::kCast: {
+      PYTOND_ASSIGN_OR_RETURN(
+          Column c, EvaluateExpr(*expr.children[0], input, begin, end));
+      if (c.type() == expr.type) return c;
+      Column out(expr.type);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!c.IsValid(i)) {
+          out.AppendNull();
+          continue;
+        }
+        switch (expr.type) {
+          case DataType::kFloat64:
+            out.Append(Value::Float64(c.Get(i).ToDouble()));
+            break;
+          case DataType::kInt64:
+            if (c.type() == DataType::kString) {
+              out.Append(
+                  Value::Int64(std::strtoll(c.strings()[i].c_str(), nullptr, 10)));
+            } else {
+              out.Append(Value::Int64(static_cast<int64_t>(c.Get(i).ToDouble())));
+            }
+            break;
+          case DataType::kString:
+            out.Append(Value::String(c.Get(i).ToString()));
+            break;
+          case DataType::kDate:
+            out.Append(Value::Date(static_cast<int32_t>(c.Get(i).ToDouble())));
+            break;
+          default:
+            return Status::Unsupported("cast target");
+        }
+      }
+      return out;
+    }
+    case BoundExpr::Kind::kIsNull: {
+      PYTOND_ASSIGN_OR_RETURN(
+          Column c, EvaluateExpr(*expr.children[0], input, begin, end));
+      std::vector<uint8_t> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool isnull = !c.IsValid(i);
+        out[i] = expr.negated ? !isnull : isnull;
+      }
+      return Column::Bool(std::move(out));
+    }
+    case BoundExpr::Kind::kInList: {
+      PYTOND_ASSIGN_OR_RETURN(
+          Column c, EvaluateExpr(*expr.children[0], input, begin, end));
+      std::vector<uint8_t> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!c.IsValid(i)) {
+          out[i] = 0;
+          continue;
+        }
+        Value v = c.Get(i);
+        bool found = false;
+        for (const Value& item : expr.in_list) {
+          if (v == item) {
+            found = true;
+            break;
+          }
+        }
+        out[i] = expr.negated ? !found : found;
+      }
+      return Column::Bool(std::move(out));
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
+  return EvaluateExpr(expr, input, 0, input.num_rows());
+}
+
+Status EvaluatePredicate(const BoundExpr& pred, const Table& input,
+                         size_t begin, size_t end,
+                         std::vector<uint32_t>* out) {
+  PYTOND_ASSIGN_OR_RETURN(Column c, EvaluateExpr(pred, input, begin, end));
+  const auto& b = c.bools();
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (c.IsValid(i) && b[i]) out->push_back(static_cast<uint32_t>(begin + i));
+  }
+  return Status::OK();
+}
+
+void AppendEncodedValue(const Column& col, size_t row, std::string* out) {
+  if (!col.IsValid(row)) {
+    out->push_back('\xFF');
+    return;
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kNull: {
+      out->push_back('i');
+      int64_t v = col.ints()[row];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kFloat64: {
+      out->push_back('f');
+      double v = col.doubles()[row];
+      // Normalize -0.0 so it hashes like +0.0.
+      if (v == 0.0) v = 0.0;
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      out->push_back('s');
+      const std::string& s = col.strings()[row];
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      break;
+    }
+    case DataType::kBool:
+      out->push_back('b');
+      out->push_back(static_cast<char>(col.bools()[row]));
+      break;
+    case DataType::kDate: {
+      out->push_back('d');
+      int32_t v = col.dates()[row];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+  }
+}
+
+}  // namespace pytond::engine

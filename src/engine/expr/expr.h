@@ -1,0 +1,88 @@
+#ifndef PYTOND_ENGINE_EXPR_EXPR_H_
+#define PYTOND_ENGINE_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sql/ast.h"
+#include "storage/table.h"
+
+namespace pytond::engine {
+
+struct BoundExpr;
+using BoundExprPtr = std::shared_ptr<BoundExpr>;
+
+/// A scalar expression bound to input column indices, annotated with its
+/// result type. Evaluated vectorized over row ranges of a table.
+struct BoundExpr {
+  enum class Kind {
+    kColRef,   // input column by index
+    kConst,    // literal
+    kBinary,   // arithmetic / comparison / logic / like / concat
+    kUnary,    // NOT / negate
+    kFunc,     // scalar function by name
+    kCase,     // children = when1, then1, ..., [else]
+    kCast,
+    kIsNull,   // [NOT] IS NULL
+    kInList,   // membership in constant list
+  };
+
+  Kind kind;
+  DataType type = DataType::kNull;
+
+  int col_index = -1;                     // kColRef
+  Value constant;                         // kConst
+  sql::Expr::Op op = sql::Expr::Op::kNone;  // kBinary / kUnary
+  std::string func;                       // kFunc name (lower-case)
+  bool negated = false;                   // kIsNull / kInList
+  bool case_has_else = false;             // kCase
+  std::vector<Value> in_list;             // kInList
+  std::vector<BoundExprPtr> children;
+
+  static BoundExprPtr ColRef(int index, DataType type);
+  static BoundExprPtr Const(Value v);
+  static BoundExprPtr Binary(sql::Expr::Op op, BoundExprPtr l, BoundExprPtr r,
+                             DataType type);
+  static BoundExprPtr Unary(sql::Expr::Op op, BoundExprPtr c, DataType type);
+  static BoundExprPtr Func(std::string name, std::vector<BoundExprPtr> args,
+                           DataType type);
+
+  /// Structural description for debugging.
+  std::string ToString() const;
+  /// True if the expression only references columns (no constants-only).
+  void CollectColumns(std::vector<int>* out) const;
+  /// Rewrites column indices through `mapping` (old index -> new index).
+  static BoundExprPtr RemapColumns(const BoundExprPtr& e,
+                                   const std::vector<int>& mapping);
+  BoundExprPtr CloneExpr() const;
+};
+
+/// Evaluates `expr` over rows [begin, end) of `input`, returning a column of
+/// length end-begin. Type errors were caught at bind time; runtime errors
+/// (e.g. bad substring bounds) are clamped, division by zero yields NULL.
+Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input,
+                            size_t begin, size_t end);
+
+/// Convenience: evaluates over all rows.
+Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input);
+
+/// Evaluates a boolean predicate over [begin, end) and appends the indices
+/// of passing rows (absolute indices) to `out`. NULL predicate = not pass.
+Status EvaluatePredicate(const BoundExpr& pred, const Table& input,
+                         size_t begin, size_t end,
+                         std::vector<uint32_t>* out);
+
+/// Infers the result type of a scalar function at bind time.
+Result<DataType> ScalarFunctionType(const std::string& name,
+                                    const std::vector<DataType>& args);
+
+/// Appends a type-tagged binary encoding of row `row` of `col` to `out`;
+/// used for hash keys in joins / group-by / distinct. NULLs encode
+/// distinctly from every value.
+void AppendEncodedValue(const Column& col, size_t row, std::string* out);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_EXPR_EXPR_H_

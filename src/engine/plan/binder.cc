@@ -1,0 +1,1161 @@
+#include "engine/plan/binder.h"
+
+#include "common/date_util.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace pytond::engine {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprPtr;
+using sql::SelectStmt;
+using sql::TableRef;
+
+constexpr int kOuterBase = 1000000;
+
+/// Column name scope: global index -> (alias, name, type); supports one
+/// outer level for correlated subqueries (resolved indices are offset by
+/// kOuterBase).
+struct NameScope {
+  struct Entry {
+    std::string alias;
+    std::string name;
+    DataType type;
+  };
+  std::vector<Entry> cols;
+  const NameScope* outer = nullptr;
+
+  void Add(const std::string& alias, const Schema& schema) {
+    for (size_t i = 0; i < schema.names.size(); ++i) {
+      cols.push_back({alias, schema.names[i], schema.types[i]});
+    }
+  }
+
+  Result<std::pair<int, DataType>> Resolve(const std::string& table,
+                                           const std::string& name) const {
+    int found = -1;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (!table.empty() && cols[i].alias != table) continue;
+      if (cols[i].name != name) continue;
+      if (found >= 0) {
+        // Qualified duplicate: keep the first (self-join aliases are
+        // always distinct so this only fires on unqualified ambiguity).
+        if (table.empty()) {
+          return Status::TypeError("ambiguous column '" + name + "'");
+        }
+      }
+      if (found < 0) found = static_cast<int>(i);
+    }
+    if (found >= 0) return std::make_pair(found, cols[found].type);
+    if (outer != nullptr) {
+      auto r = outer->Resolve(table, name);
+      if (r.ok()) {
+        return std::make_pair(r->first + kOuterBase, r->second);
+      }
+    }
+    return Status::NotFound("column '" + (table.empty() ? name
+                                                        : table + "." + name) +
+                            "'");
+  }
+};
+
+bool IsAggregateName(const std::string& name) {
+  return name == "sum" || name == "avg" || name == "min" || name == "max" ||
+         name == "count";
+}
+
+/// Structural equality of unbound expressions (group-key matching).
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.op != b.op || a.name != b.name ||
+      a.table != b.table || a.distinct != b.distinct ||
+      a.negated != b.negated || a.children.size() != b.children.size()) {
+    return false;
+  }
+  if (a.kind == Expr::Kind::kLiteral && !(a.literal == b.literal)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == Expr::Kind::kFunction && IsAggregateName(e.name)) return true;
+  for (const auto& c : e.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+bool ContainsSubquery(const Expr& e) {
+  if (e.kind == Expr::Kind::kExists || e.kind == Expr::Kind::kInSubquery) {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (ContainsSubquery(*c)) return true;
+  }
+  return false;
+}
+
+bool ContainsWindow(const Expr& e) {
+  if (e.kind == Expr::Kind::kWindow) return true;
+  for (const auto& c : e.children) {
+    if (ContainsWindow(*c)) return true;
+  }
+  return false;
+}
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind == Expr::Kind::kBinary && e->op == Expr::Op::kAnd) {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool ExprUsesOuter(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kColRef && e.col_index >= kOuterBase) {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (ExprUsesOuter(*c)) return true;
+  }
+  return false;
+}
+
+void ShiftColumns(BoundExpr* e, int local_shift, int outer_shift) {
+  if (e->kind == BoundExpr::Kind::kColRef) {
+    if (e->col_index >= kOuterBase) {
+      e->col_index = e->col_index - kOuterBase + outer_shift;
+    } else {
+      e->col_index += local_shift;
+    }
+  }
+  for (auto& c : e->children) ShiftColumns(c.get(), local_shift, outer_shift);
+}
+
+/// Hook consulted before default binding at every node; returns a bound
+/// expression to override (used for group keys, aggregates, windows).
+using BindHook = std::function<Result<std::optional<BoundExprPtr>>(const Expr&)>;
+
+class ExprBinder {
+ public:
+  ExprBinder(const NameScope& scope, BindHook hook)
+      : scope_(scope), hook_(std::move(hook)) {}
+
+  Result<BoundExprPtr> Bind(const Expr& e) {
+    if (hook_) {
+      PYTOND_ASSIGN_OR_RETURN(std::optional<BoundExprPtr> hooked, hook_(e));
+      if (hooked.has_value()) return *hooked;
+    }
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef: {
+        PYTOND_ASSIGN_OR_RETURN(auto rc, scope_.Resolve(e.table, e.name));
+        return BoundExpr::ColRef(rc.first, rc.second);
+      }
+      case Expr::Kind::kLiteral:
+        return BoundExpr::Const(e.literal);
+      case Expr::Kind::kBinary: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr l, Bind(*e.children[0]));
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr r, Bind(*e.children[1]));
+        // Implicit coercion: comparing a DATE column against a string
+        // literal parses the literal as a date (standard SQL behaviour).
+        PYTOND_RETURN_IF_ERROR(CoerceDateLiteral(l.get(), r.get()));
+        PYTOND_RETURN_IF_ERROR(CoerceDateLiteral(r.get(), l.get()));
+        PYTOND_ASSIGN_OR_RETURN(DataType t, BinaryType(e.op, l->type, r->type));
+        return BoundExpr::Binary(e.op, std::move(l), std::move(r), t);
+      }
+      case Expr::Kind::kUnary: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*e.children[0]));
+        DataType t = e.op == Expr::Op::kNot ? DataType::kBool : c->type;
+        return BoundExpr::Unary(e.op, std::move(c), t);
+      }
+      case Expr::Kind::kFunction: {
+        std::vector<BoundExprPtr> args;
+        std::vector<DataType> arg_types;
+        for (const auto& ch : e.children) {
+          PYTOND_ASSIGN_OR_RETURN(BoundExprPtr a, Bind(*ch));
+          arg_types.push_back(a->type);
+          args.push_back(std::move(a));
+        }
+        PYTOND_ASSIGN_OR_RETURN(DataType t,
+                                ScalarFunctionType(e.name, arg_types));
+        return BoundExpr::Func(e.name, std::move(args), t);
+      }
+      case Expr::Kind::kCase: {
+        auto out = std::make_shared<BoundExpr>();
+        out->kind = BoundExpr::Kind::kCase;
+        out->case_has_else = e.case_has_else;
+        DataType t = DataType::kNull;
+        size_t pairs = e.children.size() / 2;
+        for (size_t p = 0; p < pairs; ++p) {
+          PYTOND_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*e.children[2 * p]));
+          PYTOND_ASSIGN_OR_RETURN(BoundExprPtr v,
+                                  Bind(*e.children[2 * p + 1]));
+          t = CommonNumericType(t, v->type) != DataType::kNull
+                  ? CommonNumericType(t, v->type)
+                  : (t == DataType::kNull ? v->type : t);
+          out->children.push_back(std::move(c));
+          out->children.push_back(std::move(v));
+        }
+        if (e.case_has_else) {
+          PYTOND_ASSIGN_OR_RETURN(BoundExprPtr v, Bind(*e.children.back()));
+          t = CommonNumericType(t, v->type) != DataType::kNull
+                  ? CommonNumericType(t, v->type)
+                  : t;
+          out->children.push_back(std::move(v));
+        }
+        out->type = t;
+        return out;
+      }
+      case Expr::Kind::kCast: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*e.children[0]));
+        auto out = std::make_shared<BoundExpr>();
+        out->kind = BoundExpr::Kind::kCast;
+        out->type = e.cast_type;
+        out->children = {std::move(c)};
+        return out;
+      }
+      case Expr::Kind::kIsNull: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*e.children[0]));
+        auto out = std::make_shared<BoundExpr>();
+        out->kind = BoundExpr::Kind::kIsNull;
+        out->type = DataType::kBool;
+        out->negated = e.negated;
+        out->children = {std::move(c)};
+        return out;
+      }
+      case Expr::Kind::kInList: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr c, Bind(*e.children[0]));
+        auto out = std::make_shared<BoundExpr>();
+        out->kind = BoundExpr::Kind::kInList;
+        out->type = DataType::kBool;
+        out->negated = e.negated;
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          if (e.children[i]->kind != Expr::Kind::kLiteral) {
+            return Status::Unsupported("IN list items must be literals");
+          }
+          out->in_list.push_back(e.children[i]->literal);
+        }
+        out->children = {std::move(c)};
+        return out;
+      }
+      case Expr::Kind::kBetween: {
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr x, Bind(*e.children[0]));
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr lo, Bind(*e.children[1]));
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr hi, Bind(*e.children[2]));
+        BoundExprPtr ge = BoundExpr::Binary(Expr::Op::kGe, x->CloneExpr(),
+                                            std::move(lo), DataType::kBool);
+        BoundExprPtr le = BoundExpr::Binary(Expr::Op::kLe, std::move(x),
+                                            std::move(hi), DataType::kBool);
+        BoundExprPtr both = BoundExpr::Binary(Expr::Op::kAnd, std::move(ge),
+                                              std::move(le), DataType::kBool);
+        if (e.negated) {
+          return BoundExpr::Unary(Expr::Op::kNot, std::move(both),
+                                  DataType::kBool);
+        }
+        return both;
+      }
+      case Expr::Kind::kStar:
+        return Status::TypeError("'*' outside COUNT(*)");
+      case Expr::Kind::kExists:
+      case Expr::Kind::kInSubquery:
+        return Status::Unsupported(
+            "subquery allowed only as a top-level WHERE conjunct");
+      case Expr::Kind::kWindow:
+        return Status::Unsupported(
+            "window function allowed only as a top-level select item");
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  static Status CoerceDateLiteral(BoundExpr* date_side, BoundExpr* lit) {
+    if (date_side->type == DataType::kDate &&
+        lit->kind == BoundExpr::Kind::kConst &&
+        lit->type == DataType::kString) {
+      PYTOND_ASSIGN_OR_RETURN(int32_t d,
+                              date_util::Parse(lit->constant.AsString()));
+      lit->constant = Value::Date(d);
+      lit->type = DataType::kDate;
+    }
+    return Status::OK();
+  }
+
+  static Result<DataType> BinaryType(Expr::Op op, DataType l, DataType r) {
+    switch (op) {
+      case Expr::Op::kAnd: case Expr::Op::kOr:
+      case Expr::Op::kLt: case Expr::Op::kLe: case Expr::Op::kEq:
+      case Expr::Op::kNe: case Expr::Op::kGe: case Expr::Op::kGt:
+      case Expr::Op::kLike: case Expr::Op::kNotLike:
+        return DataType::kBool;
+      case Expr::Op::kConcat:
+        return DataType::kString;
+      case Expr::Op::kDiv:
+        return DataType::kFloat64;
+      case Expr::Op::kAdd: case Expr::Op::kSub: case Expr::Op::kMul:
+      case Expr::Op::kMod: {
+        DataType t = CommonNumericType(l, r);
+        if (t == DataType::kNull || t == DataType::kDate ||
+            t == DataType::kBool) {
+          t = (t == DataType::kNull) ? DataType::kFloat64 : DataType::kInt64;
+        }
+        return t;
+      }
+      default:
+        return Status::Internal("bad binary op");
+    }
+  }
+
+  const NameScope& scope_;
+  BindHook hook_;
+};
+
+/// A bound FROM unit: plan + its alias->schema mapping entries.
+struct Unit {
+  PlanPtr plan;
+  NameScope scope;  // local scope of this unit only (no outer)
+  double est_rows = 1.0;
+};
+
+class SelectBinder {
+ public:
+  SelectBinder(const BinderCatalog& catalog, BackendProfile profile,
+               const NameScope* outer)
+      : catalog_(catalog), profile_(profile), outer_(outer) {}
+
+  /// Binds the full statement. When `for_subquery` is set, select items are
+  /// ignored, correlated conjuncts are exported to `correlated`, and the
+  /// returned plan is the unprojected FROM+filters tree (its scope is
+  /// exported via `subquery_scope`).
+  Result<PlanPtr> Bind(const SelectStmt& stmt, bool for_subquery,
+                       std::vector<ExprPtr>* correlated,
+                       NameScope* subquery_scope) {
+    if (!stmt.ctes.empty()) {
+      return Status::Internal("CTEs must be materialized before BindSelect");
+    }
+    // WHERE: split conjuncts into plain filters, subquery conjuncts and
+    // (for subqueries) correlated conjuncts.
+    std::vector<ExprPtr> where;
+    if (stmt.where) SplitConjuncts(stmt.where, &where);
+
+    std::vector<ExprPtr> plain, subqueries;
+    for (const ExprPtr& c : where) {
+      if (ContainsSubquery(*c)) {
+        subqueries.push_back(c);
+      } else {
+        plain.push_back(c);
+      }
+    }
+
+    // BindFrom consumes conjuncts it can push into units or turn into
+    // join keys; the remainder stays in `plain`.
+    PYTOND_ASSIGN_OR_RETURN(Unit joined, BindFrom(stmt, &plain));
+
+    NameScope scope = joined.scope;
+    scope.outer = outer_;
+    PlanPtr plan = joined.plan;
+
+    // Bind plain conjuncts; correlated ones (outer refs) are exported when
+    // binding a subquery body.
+    BoundExprPtr filter;
+    for (const ExprPtr& c : plain) {
+      ExprBinder b(scope, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr bc, b.Bind(*c));
+      if (for_subquery && ExprUsesOuter(*bc)) {
+        correlated->push_back(c);
+        continue;
+      }
+      filter = filter ? BoundExpr::Binary(Expr::Op::kAnd, filter, bc,
+                                          DataType::kBool)
+                      : bc;
+    }
+    if (filter) {
+      PlanPtr f = MakePlan(LogicalPlan::Kind::kFilter);
+      f->predicate = filter;
+      f->schema = plan->schema;
+      f->children = {plan};
+      plan = f;
+    }
+
+    // Semi/anti joins from EXISTS / IN subqueries.
+    for (const ExprPtr& c : subqueries) {
+      PYTOND_ASSIGN_OR_RETURN(plan, ApplySubquery(plan, &scope, *c));
+      scope.outer = outer_;
+    }
+
+    if (for_subquery) {
+      *subquery_scope = scope;
+      return plan;
+    }
+
+    return BindProjection(stmt, plan, scope);
+  }
+
+ private:
+  /// Pushes every conjunct in `*conjuncts` that only references `unit`
+  /// down as a filter on it; removes consumed conjuncts.
+  Status PushUnitFilters(Unit* unit, size_t unit_id,
+                         std::vector<Unit>& units,
+                         std::vector<ExprPtr>* conjuncts) {
+    BoundExprPtr pred;
+    auto it = conjuncts->begin();
+    while (it != conjuncts->end()) {
+      std::set<size_t> refs;
+      if (CollectUnits(**it, units, &refs) && refs.size() <= 1 &&
+          (refs.empty() || *refs.begin() == unit_id)) {
+        ExprBinder b(unit->scope, nullptr);
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr bc, b.Bind(**it));
+        pred = pred ? BoundExpr::Binary(Expr::Op::kAnd, pred, bc,
+                                        DataType::kBool)
+                    : bc;
+        it = conjuncts->erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pred) {
+      PlanPtr f = MakePlan(LogicalPlan::Kind::kFilter);
+      f->predicate = pred;
+      f->schema = unit->plan->schema;
+      f->children = {unit->plan};
+      unit->plan = f;
+      unit->est_rows *= 0.3;  // selectivity guess for join ordering
+    }
+    return Status::OK();
+  }
+
+  // ---------- FROM ----------
+  Result<Unit> BindFrom(const SelectStmt& stmt,
+                        std::vector<ExprPtr>* conjuncts) {
+    if (stmt.from.empty()) {
+      // FROM-less select: single-row dummy.
+      Unit u;
+      auto t = std::make_shared<Table>();
+      Column c = Column::Int64({0});
+      Status st = t->AddColumn("__dummy__", std::move(c));
+      (void)st;
+      u.plan = MakePlan(LogicalPlan::Kind::kValues);
+      u.plan->values = t;
+      u.plan->schema = t->schema();
+      u.scope.Add("", t->schema());
+      u.est_rows = 1;
+      return u;
+    }
+    std::vector<Unit> units;
+    for (const auto& ref : stmt.from) {
+      PYTOND_ASSIGN_OR_RETURN(Unit u, BindTableRef(*ref));
+      units.push_back(std::move(u));
+    }
+    for (size_t i = 0; i < units.size(); ++i) {
+      PYTOND_RETURN_IF_ERROR(
+          PushUnitFilters(&units[i], i, units, conjuncts));
+    }
+    if (units.size() == 1) return units[0];
+
+    // Classify remaining conjuncts to find cross-unit equi-join predicates.
+    struct EquiPred {
+      size_t a, b;       // unit ids
+      ExprPtr lhs, rhs;  // lhs references unit a, rhs unit b
+      ExprPtr source;    // original conjunct (for removal once used)
+      bool used = false;
+    };
+    std::vector<EquiPred> equis;
+    for (const ExprPtr& c : *conjuncts) {
+      if (c->kind != Expr::Kind::kBinary || c->op != Expr::Op::kEq) continue;
+      std::set<size_t> lu, ru;
+      if (!CollectUnits(*c->children[0], units, &lu)) continue;
+      if (!CollectUnits(*c->children[1], units, &ru)) continue;
+      if (lu.size() == 1 && ru.size() == 1 && *lu.begin() != *ru.begin()) {
+        equis.push_back({*lu.begin(), *ru.begin(), c->children[0],
+                         c->children[1], c, false});
+      }
+    }
+
+    // Join order. Both profiles avoid accidental cross products by only
+    // adding units connected to the already-joined set; they differ in the
+    // tie-break: FROM order (kVectorized / kResearch, duck-like baseline)
+    // vs estimated-cardinality greedy (kCompiled, hyper-like planner).
+    bool greedy_size = profile_ == BackendProfile::kCompiled;
+    std::vector<bool> placed(units.size(), false);
+    std::vector<size_t> order;
+    {
+      size_t first = 0;
+      if (greedy_size) {
+        for (size_t i = 1; i < units.size(); ++i) {
+          if (units[i].est_rows < units[first].est_rows) first = i;
+        }
+      }
+      order.push_back(first);
+      placed[first] = true;
+    }
+    while (order.size() < units.size()) {
+      int next = -1;
+      for (size_t i = 0; i < units.size(); ++i) {
+        if (placed[i]) continue;
+        bool connected = false;
+        for (const EquiPred& e : equis) {
+          if ((e.a == i && placed[e.b]) || (e.b == i && placed[e.a])) {
+            connected = true;
+            break;
+          }
+        }
+        if (!connected) continue;
+        if (next < 0 ||
+            (greedy_size && units[i].est_rows < units[next].est_rows)) {
+          next = static_cast<int>(i);
+        }
+        if (!greedy_size && next >= 0) break;  // first connected in order
+      }
+      if (next < 0) {  // genuinely disconnected: unavoidable cross join
+        for (size_t i = 0; i < units.size(); ++i) {
+          if (!placed[i] &&
+              (next < 0 ||
+               (greedy_size && units[i].est_rows < units[next].est_rows))) {
+            next = static_cast<int>(i);
+            if (!greedy_size) break;
+          }
+        }
+      }
+      order.push_back(static_cast<size_t>(next));
+      placed[static_cast<size_t>(next)] = true;
+    }
+
+    // Left-deep join build following `order`.
+    Unit acc = units[order[0]];
+    std::vector<size_t> in_acc = {order[0]};
+    for (size_t k = 1; k < order.size(); ++k) {
+      size_t uid = order[k];
+      const Unit& right = units[uid];
+      // Keys connecting acc to `uid`.
+      std::vector<std::pair<BoundExprPtr, BoundExprPtr>> keys;
+      for (EquiPred& e : equis) {
+        if (e.used) continue;
+        bool a_in = std::count(in_acc.begin(), in_acc.end(), e.a) > 0;
+        bool b_in = std::count(in_acc.begin(), in_acc.end(), e.b) > 0;
+        ExprPtr acc_side, right_side;
+        if (a_in && e.b == uid) {
+          acc_side = e.lhs;
+          right_side = e.rhs;
+        } else if (b_in && e.a == uid) {
+          acc_side = e.rhs;
+          right_side = e.lhs;
+        } else {
+          continue;
+        }
+        NameScope acc_scope = acc.scope;
+        acc_scope.outer = outer_;
+        ExprBinder lb(acc_scope, nullptr);
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr lk, lb.Bind(*acc_side));
+        NameScope r_scope = right.scope;
+        r_scope.outer = outer_;
+        ExprBinder rb(r_scope, nullptr);
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr rk, rb.Bind(*right_side));
+        keys.emplace_back(std::move(lk), std::move(rk));
+        e.used = true;
+      }
+      PlanPtr j = MakePlan(LogicalPlan::Kind::kJoin);
+      j->join_type = keys.empty() ? JoinType::kCross : JoinType::kInner;
+      j->join_keys = std::move(keys);
+      j->children = {acc.plan, right.plan};
+      j->schema = acc.plan->schema;
+      for (size_t i = 0; i < right.plan->schema.names.size(); ++i) {
+        j->schema.Add(right.plan->schema.names[i],
+                      right.plan->schema.types[i]);
+      }
+      acc.plan = j;
+      for (const auto& e : right.scope.cols) acc.scope.cols.push_back(e);
+      acc.est_rows = std::max(acc.est_rows, right.est_rows);
+      in_acc.push_back(uid);
+    }
+    // Remove conjuncts consumed as join keys.
+    for (const EquiPred& e : equis) {
+      if (!e.used) continue;
+      auto it = std::find(conjuncts->begin(), conjuncts->end(), e.source);
+      if (it != conjuncts->end()) conjuncts->erase(it);
+    }
+    return acc;
+  }
+
+  /// True (and fills `out`) if every column ref in `e` resolves to some
+  /// unit; refs that resolve to no unit (outer refs) make this return false.
+  bool CollectUnits(const Expr& e, const std::vector<Unit>& units,
+                    std::set<size_t>* out) {
+    if (e.kind == Expr::Kind::kColumnRef) {
+      for (size_t i = 0; i < units.size(); ++i) {
+        if (units[i].scope.Resolve(e.table, e.name).ok()) {
+          out->insert(i);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (const auto& c : e.children) {
+      if (!CollectUnits(*c, units, out)) return false;
+    }
+    return true;
+  }
+
+  Result<Unit> BindTableRef(const TableRef& ref) {
+    switch (ref.kind) {
+      case TableRef::Kind::kBase: {
+        const Schema* schema = catalog_.schema(ref.table_name);
+        if (schema == nullptr) {
+          return Status::NotFound("table '" + ref.table_name + "'");
+        }
+        Unit u;
+        u.plan = MakePlan(LogicalPlan::Kind::kScan);
+        u.plan->table_name = ref.table_name;
+        u.plan->schema = *schema;
+        u.scope.Add(ref.alias.empty() ? ref.table_name : ref.alias, *schema);
+        u.est_rows = catalog_.row_count(ref.table_name);
+        return u;
+      }
+      case TableRef::Kind::kValues: {
+        Unit u;
+        auto t = std::make_shared<Table>();
+        PYTOND_RETURN_IF_ERROR(BuildValuesTable(
+            ref.values_rows, ref.values_columns, t.get()));
+        u.plan = MakePlan(LogicalPlan::Kind::kValues);
+        u.plan->values = t;
+        u.plan->schema = t->schema();
+        u.scope.Add(ref.alias, t->schema());
+        u.est_rows = static_cast<double>(t->num_rows());
+        return u;
+      }
+      case TableRef::Kind::kJoin: {
+        PYTOND_ASSIGN_OR_RETURN(Unit l, BindTableRef(*ref.left));
+        PYTOND_ASSIGN_OR_RETURN(Unit r, BindTableRef(*ref.right));
+        NameScope merged = l.scope;
+        for (const auto& e : r.scope.cols) merged.cols.push_back(e);
+        merged.outer = outer_;
+
+        PlanPtr j = MakePlan(LogicalPlan::Kind::kJoin);
+        switch (ref.join_type) {
+          case TableRef::JoinType::kInner: j->join_type = JoinType::kInner; break;
+          case TableRef::JoinType::kLeft: j->join_type = JoinType::kLeft; break;
+          case TableRef::JoinType::kRight: j->join_type = JoinType::kRight; break;
+          case TableRef::JoinType::kFull: j->join_type = JoinType::kFull; break;
+          case TableRef::JoinType::kCross: j->join_type = JoinType::kCross; break;
+        }
+        if (ref.on_condition) {
+          std::vector<ExprPtr> conjuncts;
+          SplitConjuncts(ref.on_condition, &conjuncts);
+          size_t lwidth = l.scope.cols.size();
+          BoundExprPtr residual;
+          for (const ExprPtr& c : conjuncts) {
+            // Try an equi key: one side binds in l only, other in r only.
+            bool is_key = false;
+            if (c->kind == Expr::Kind::kBinary && c->op == Expr::Op::kEq) {
+              ExprBinder lb(l.scope, nullptr), rb(r.scope, nullptr);
+              auto l0 = lb.Bind(*c->children[0]);
+              auto r1 = rb.Bind(*c->children[1]);
+              if (l0.ok() && r1.ok()) {
+                j->join_keys.emplace_back(*l0, *r1);
+                is_key = true;
+              } else {
+                auto l1 = lb.Bind(*c->children[1]);
+                auto r0 = rb.Bind(*c->children[0]);
+                if (l1.ok() && r0.ok()) {
+                  j->join_keys.emplace_back(*l1, *r0);
+                  is_key = true;
+                }
+              }
+            }
+            if (!is_key) {
+              ExprBinder mb(merged, nullptr);
+              PYTOND_ASSIGN_OR_RETURN(BoundExprPtr bc, mb.Bind(*c));
+              (void)lwidth;
+              residual = residual
+                             ? BoundExpr::Binary(Expr::Op::kAnd, residual, bc,
+                                                 DataType::kBool)
+                             : bc;
+            }
+          }
+          j->predicate = residual;
+        }
+        j->children = {l.plan, r.plan};
+        j->schema = l.plan->schema;
+        for (size_t i = 0; i < r.plan->schema.names.size(); ++i) {
+          j->schema.Add(r.plan->schema.names[i], r.plan->schema.types[i]);
+        }
+        Unit u;
+        u.plan = j;
+        u.scope = merged;
+        u.scope.outer = nullptr;
+        u.est_rows = std::max(l.est_rows, r.est_rows);
+        return u;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  static Status BuildValuesTable(const std::vector<std::vector<Value>>& rows,
+                                 const std::vector<std::string>& col_names,
+                                 Table* out) {
+    if (rows.empty()) return Status::InvalidArgument("empty VALUES");
+    size_t width = rows[0].size();
+    Schema schema;
+    for (size_t i = 0; i < width; ++i) {
+      DataType t = DataType::kNull;
+      for (const auto& row : rows) {
+        if (!row[i].is_null()) {
+          t = row[i].type();
+          break;
+        }
+      }
+      if (t == DataType::kNull) t = DataType::kInt64;
+      schema.Add(i < col_names.size() ? col_names[i]
+                                      : "col" + std::to_string(i),
+                 t);
+    }
+    *out = Table(schema);
+    for (const auto& row : rows) {
+      PYTOND_RETURN_IF_ERROR(out->AppendRow(row));
+    }
+    return Status::OK();
+  }
+
+  // ---------- subqueries ----------
+  Result<PlanPtr> ApplySubquery(PlanPtr plan, NameScope* scope,
+                                const Expr& conjunct) {
+    const Expr* node = &conjunct;
+    bool negated = false;
+    while (node->kind == Expr::Kind::kUnary && node->op == Expr::Op::kNot) {
+      negated = !negated;
+      node = node->children[0].get();
+    }
+    if (node->kind == Expr::Kind::kExists) {
+      bool anti = negated != node->negated;
+      return BindSemiJoin(plan, scope, *node->subquery, nullptr, anti);
+    }
+    if (node->kind == Expr::Kind::kInSubquery) {
+      bool anti = negated != node->negated;
+      return BindSemiJoin(plan, scope, *node->subquery,
+                          node->children[0].get(), anti);
+    }
+    return Status::Unsupported(
+        "subqueries must appear as bare [NOT] EXISTS/IN conjuncts");
+  }
+
+  Result<PlanPtr> BindSemiJoin(PlanPtr plan, NameScope* scope,
+                               const SelectStmt& sub, const Expr* in_lhs,
+                               bool anti) {
+    SelectBinder inner_binder(catalog_, profile_, scope);
+    std::vector<ExprPtr> correlated;
+    NameScope inner_scope;
+    PYTOND_ASSIGN_OR_RETURN(
+        PlanPtr inner,
+        inner_binder.Bind(sub, /*for_subquery=*/true, &correlated,
+                          &inner_scope));
+
+    PlanPtr j = MakePlan(LogicalPlan::Kind::kJoin);
+    j->join_type = anti ? JoinType::kAnti : JoinType::kSemi;
+    j->children = {plan, inner};
+    j->schema = plan->schema;
+
+    // IN lhs: outer expr = inner select item.
+    if (in_lhs != nullptr) {
+      ExprBinder ob(*scope, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr lhs, ob.Bind(*in_lhs));
+      if (sub.items.size() != 1 || sub.items[0].is_star) {
+        return Status::Unsupported("IN subquery needs one select item");
+      }
+      NameScope is = inner_scope;
+      is.outer = nullptr;
+      ExprBinder ib(is, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr rhs, ib.Bind(*sub.items[0].expr));
+      j->join_keys.emplace_back(std::move(lhs), std::move(rhs));
+    }
+
+    // Correlated conjuncts: equality with one pure-outer / one pure-inner
+    // side becomes a key; anything else becomes a residual over
+    // concat(outer, inner).
+    size_t outer_width = plan->schema.names.size();
+    NameScope corr = inner_scope;
+    corr.outer = scope;
+    BoundExprPtr residual;
+    for (const ExprPtr& c : correlated) {
+      ExprBinder cb(corr, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr bc, cb.Bind(*c));
+      bool key_done = false;
+      if (bc->kind == BoundExpr::Kind::kBinary &&
+          bc->op == Expr::Op::kEq) {
+        BoundExprPtr a = bc->children[0], b = bc->children[1];
+        bool a_outer = ExprUsesOuter(*a), b_outer = ExprUsesOuter(*b);
+        auto pure = [](const BoundExpr& e, bool outer) {
+          // All colrefs on the same side.
+          std::vector<int> cols;
+          e.CollectColumns(&cols);
+          for (int idx : cols) {
+            if ((idx >= kOuterBase) != outer) return false;
+          }
+          return true;
+        };
+        if (a_outer != b_outer && pure(*a, a_outer) && pure(*b, b_outer)) {
+          BoundExprPtr outer_side = a_outer ? a : b;
+          BoundExprPtr inner_side = a_outer ? b : a;
+          // Outer refs become plain refs over the outer plan schema.
+          struct Rebase {
+            void operator()(BoundExpr* e) const {
+              if (e->kind == BoundExpr::Kind::kColRef &&
+                  e->col_index >= kOuterBase) {
+                e->col_index -= kOuterBase;
+              }
+              for (auto& c : e->children) (*this)(c.get());
+            }
+          };
+          Rebase{}(outer_side.get());
+          j->join_keys.emplace_back(outer_side, inner_side);
+          key_done = true;
+        }
+      }
+      if (!key_done) {
+        // Residual over concat(outer, inner): inner idx += outer_width,
+        // outer idx -= kOuterBase.
+        ShiftColumns(bc.get(), static_cast<int>(outer_width), 0);
+        struct Rebase {
+          void operator()(BoundExpr* e) const {
+            if (e->kind == BoundExpr::Kind::kColRef &&
+                e->col_index >= kOuterBase) {
+              e->col_index -= kOuterBase;
+            }
+            for (auto& c : e->children) (*this)(c.get());
+          }
+        };
+        Rebase{}(bc.get());
+        residual = residual ? BoundExpr::Binary(Expr::Op::kAnd, residual, bc,
+                                                DataType::kBool)
+                            : bc;
+      }
+    }
+    j->predicate = residual;
+    if (j->join_keys.empty()) {
+      return Status::Unsupported(
+          "EXISTS subquery needs at least one equality correlation");
+    }
+    return j;
+  }
+
+  // ---------- projection / aggregation / order ----------
+  Result<PlanPtr> BindProjection(const SelectStmt& stmt, PlanPtr plan,
+                                 NameScope& scope) {
+    bool has_agg = !stmt.group_by.empty();
+    for (const auto& item : stmt.items) {
+      if (!item.is_star && ContainsAggregate(*item.expr)) has_agg = true;
+    }
+    if (stmt.having && !has_agg) {
+      return Status::Unsupported("HAVING without aggregation");
+    }
+
+    bool has_window = false;
+    for (const auto& item : stmt.items) {
+      if (!item.is_star && ContainsWindow(*item.expr)) has_window = true;
+    }
+    if (has_window && has_agg) {
+      return Status::Unsupported("window + aggregate in one SELECT");
+    }
+    if (has_window && profile_ == BackendProfile::kResearch) {
+      return Status::Unsupported(
+          "backend profile 'research' does not support window functions");
+    }
+
+    std::vector<BoundExprPtr> out_exprs;
+    std::vector<std::string> out_names;
+
+    if (has_agg) {
+      PYTOND_ASSIGN_OR_RETURN(plan,
+                              BindAggregate(stmt, plan, scope, &out_exprs,
+                                            &out_names));
+    } else if (has_window) {
+      PYTOND_ASSIGN_OR_RETURN(plan,
+                              BindWindow(stmt, plan, scope, &out_exprs,
+                                         &out_names));
+    } else {
+      for (const auto& item : stmt.items) {
+        if (item.is_star) {
+          for (size_t i = 0; i < scope.cols.size(); ++i) {
+            out_exprs.push_back(
+                BoundExpr::ColRef(static_cast<int>(i), scope.cols[i].type));
+            out_names.push_back(scope.cols[i].name);
+          }
+          continue;
+        }
+        ExprBinder b(scope, nullptr);
+        PYTOND_ASSIGN_OR_RETURN(BoundExprPtr e, b.Bind(*item.expr));
+        out_exprs.push_back(e);
+        out_names.push_back(DeriveName(item));
+      }
+    }
+
+    PlanPtr proj = MakePlan(LogicalPlan::Kind::kProject);
+    proj->exprs = out_exprs;
+    proj->names = out_names;
+    proj->children = {plan};
+    for (size_t i = 0; i < out_exprs.size(); ++i) {
+      proj->schema.Add(out_names[i], out_exprs[i]->type);
+    }
+    plan = proj;
+
+    if (stmt.distinct) {
+      PlanPtr d = MakePlan(LogicalPlan::Kind::kDistinct);
+      d->children = {plan};
+      d->schema = plan->schema;
+      plan = d;
+    }
+
+    if (!stmt.order_by.empty()) {
+      // Keys referencing output columns sort directly; other keys (input
+      // columns / expressions) are appended as hidden projection columns,
+      // sorted on, then dropped.
+      PlanPtr s = MakePlan(LogicalPlan::Kind::kSort);
+      size_t visible = proj->schema.names.size();
+      for (const auto& key : stmt.order_by) {
+        int idx = -1;
+        if (key.expr->kind == Expr::Kind::kColumnRef &&
+            key.expr->table.empty()) {
+          idx = plan->schema.Find(key.expr->name);
+        }
+        if (idx < 0 && !has_agg && !stmt.distinct) {
+          ExprBinder b(scope, nullptr);
+          auto bound = b.Bind(*key.expr);
+          if (bound.ok()) {
+            proj->exprs.push_back(*bound);
+            std::string hidden =
+                "__sort" + std::to_string(proj->exprs.size()) + "__";
+            proj->names.push_back(hidden);
+            proj->schema.Add(hidden, (*bound)->type);
+            idx = static_cast<int>(proj->schema.names.size()) - 1;
+          }
+        }
+        if (idx < 0) {
+          return Status::NotFound("ORDER BY column '" +
+                                  (key.expr->kind == Expr::Kind::kColumnRef
+                                       ? key.expr->name
+                                       : std::string("<expr>")) +
+                                  "'");
+        }
+        s->sort_keys.emplace_back(idx, key.ascending);
+      }
+      s->children = {plan};
+      s->schema = plan->schema;
+      plan = s;
+      if (proj->schema.names.size() > visible) {
+        // Drop hidden sort columns.
+        PlanPtr strip = MakePlan(LogicalPlan::Kind::kProject);
+        for (size_t i = 0; i < visible; ++i) {
+          strip->exprs.push_back(BoundExpr::ColRef(
+              static_cast<int>(i), plan->schema.types[i]));
+          strip->names.push_back(plan->schema.names[i]);
+          strip->schema.Add(plan->schema.names[i], plan->schema.types[i]);
+        }
+        strip->children = {plan};
+        plan = strip;
+      }
+    }
+
+    if (stmt.limit) {
+      PlanPtr l = MakePlan(LogicalPlan::Kind::kLimit);
+      l->limit = *stmt.limit;
+      l->children = {plan};
+      l->schema = plan->schema;
+      plan = l;
+    }
+    return plan;
+  }
+
+  static std::string DeriveName(const sql::SelectItem& item) {
+    if (!item.alias.empty()) return item.alias;
+    if (item.expr->kind == Expr::Kind::kColumnRef) return item.expr->name;
+    return "expr";
+  }
+
+  Result<PlanPtr> BindAggregate(const SelectStmt& stmt, PlanPtr plan,
+                                NameScope& scope,
+                                std::vector<BoundExprPtr>* out_exprs,
+                                std::vector<std::string>* out_names) {
+    PlanPtr agg = MakePlan(LogicalPlan::Kind::kAggregate);
+
+    // Bind group expressions over the input.
+    for (const auto& g : stmt.group_by) {
+      ExprBinder b(scope, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr e, b.Bind(*g));
+      agg->group_exprs.push_back(e);
+      std::string name = g->kind == Expr::Kind::kColumnRef
+                             ? g->name
+                             : "g" + std::to_string(agg->group_exprs.size());
+      agg->group_names.push_back(name);
+    }
+
+    // Hook: group-key structural matches and aggregate calls map to
+    // post-aggregation columns.
+    size_t n_groups = stmt.group_by.size();
+    auto hook = [&](const Expr& e) -> Result<std::optional<BoundExprPtr>> {
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        if (ExprEquals(e, *stmt.group_by[i])) {
+          return std::optional<BoundExprPtr>(BoundExpr::ColRef(
+              static_cast<int>(i), agg->group_exprs[i]->type));
+        }
+      }
+      if (e.kind == Expr::Kind::kFunction && IsAggregateName(e.name)) {
+        AggSpec spec;
+        bool star = !e.children.empty() &&
+                    e.children[0]->kind == Expr::Kind::kStar;
+        if (e.name == "count" && (e.children.empty() || star)) {
+          spec.op = AggOp::kCountStar;
+          spec.out_type = DataType::kInt64;
+        } else {
+          ExprBinder ab(scope, nullptr);
+          PYTOND_ASSIGN_OR_RETURN(BoundExprPtr arg, ab.Bind(*e.children[0]));
+          if (e.name == "count") {
+            spec.op = e.distinct ? AggOp::kCountDistinct : AggOp::kCount;
+            spec.out_type = DataType::kInt64;
+          } else if (e.name == "sum") {
+            spec.op = AggOp::kSum;
+            spec.out_type = arg->type == DataType::kInt64 ? DataType::kInt64
+                                                          : DataType::kFloat64;
+          } else if (e.name == "avg") {
+            spec.op = AggOp::kAvg;
+            spec.out_type = DataType::kFloat64;
+          } else if (e.name == "min") {
+            spec.op = AggOp::kMin;
+            spec.out_type = arg->type;
+          } else {
+            spec.op = AggOp::kMax;
+            spec.out_type = arg->type;
+          }
+          spec.arg = arg;
+        }
+        spec.out_name = "a" + std::to_string(agg->aggs.size());
+        agg->aggs.push_back(spec);
+        return std::optional<BoundExprPtr>(BoundExpr::ColRef(
+            static_cast<int>(n_groups + agg->aggs.size() - 1),
+            spec.out_type));
+      }
+      return std::optional<BoundExprPtr>();
+    };
+
+    // Bind select items with the hook (the post-agg scope is positional;
+    // the hook intercepts every column-producing node).
+    NameScope post;  // names resolved only through the hook
+    for (const auto& item : stmt.items) {
+      if (item.is_star) {
+        return Status::Unsupported("SELECT * with aggregation");
+      }
+      ExprBinder b(post, hook);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr e, b.Bind(*item.expr));
+      out_exprs->push_back(e);
+      out_names->push_back(DeriveName(item));
+    }
+
+    BoundExprPtr having;
+    if (stmt.having) {
+      ExprBinder b(post, hook);
+      PYTOND_ASSIGN_OR_RETURN(having, b.Bind(*stmt.having));
+    }
+
+    agg->children = {plan};
+    for (size_t i = 0; i < agg->group_exprs.size(); ++i) {
+      agg->schema.Add(agg->group_names[i], agg->group_exprs[i]->type);
+    }
+    for (const AggSpec& s : agg->aggs) {
+      agg->schema.Add(s.out_name, s.out_type);
+    }
+    PlanPtr out = agg;
+    if (having) {
+      PlanPtr f = MakePlan(LogicalPlan::Kind::kFilter);
+      f->predicate = having;
+      f->children = {out};
+      f->schema = out->schema;
+      out = f;
+    }
+    return out;
+  }
+
+  Result<PlanPtr> BindWindow(const SelectStmt& stmt, PlanPtr plan,
+                             NameScope& scope,
+                             std::vector<BoundExprPtr>* out_exprs,
+                             std::vector<std::string>* out_names) {
+    // Collect the (single) window spec — it may be nested inside an
+    // expression (e.g. row_number() OVER (...) - 1).
+    const Expr* window = nullptr;
+    std::function<Status(const Expr&)> find = [&](const Expr& e) -> Status {
+      if (e.kind == Expr::Kind::kWindow) {
+        if (window != nullptr) {
+          return Status::Unsupported("multiple window functions");
+        }
+        window = &e;
+      }
+      for (const auto& c : e.children) PYTOND_RETURN_IF_ERROR(find(*c));
+      return Status::OK();
+    };
+    for (const auto& item : stmt.items) {
+      if (!item.is_star) PYTOND_RETURN_IF_ERROR(find(*item.expr));
+    }
+    if (window->name != "row_number") {
+      return Status::Unsupported("only row_number() windows are supported");
+    }
+    PlanPtr w = MakePlan(LogicalPlan::Kind::kWindow);
+    for (const auto& [key, asc] : window->window_order) {
+      ExprBinder b(scope, nullptr);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr e, b.Bind(*key));
+      if (e->kind != BoundExpr::Kind::kColRef) {
+        return Status::Unsupported("window ORDER BY must be a column");
+      }
+      w->window_order.emplace_back(e->col_index, asc);
+    }
+    w->window_name = "__rownum__";
+    w->children = {plan};
+    w->schema = plan->schema;
+    w->schema.Add(w->window_name, DataType::kInt64);
+    int rownum_idx = static_cast<int>(w->schema.names.size()) - 1;
+
+    auto hook = [&](const Expr& e) -> Result<std::optional<BoundExprPtr>> {
+      if (e.kind == Expr::Kind::kWindow) {
+        return std::optional<BoundExprPtr>(
+            BoundExpr::ColRef(rownum_idx, DataType::kInt64));
+      }
+      return std::optional<BoundExprPtr>();
+    };
+    for (const auto& item : stmt.items) {
+      if (item.is_star) {
+        for (size_t i = 0; i < scope.cols.size(); ++i) {
+          out_exprs->push_back(
+              BoundExpr::ColRef(static_cast<int>(i), scope.cols[i].type));
+          out_names->push_back(scope.cols[i].name);
+        }
+        continue;
+      }
+      ExprBinder b(scope, hook);
+      PYTOND_ASSIGN_OR_RETURN(BoundExprPtr e, b.Bind(*item.expr));
+      out_exprs->push_back(e);
+      out_names->push_back(item.alias.empty() && ContainsWindow(*item.expr)
+                               ? "row_number"
+                               : DeriveName(item));
+    }
+    return w;
+  }
+
+  const BinderCatalog& catalog_;
+  BackendProfile profile_;
+  const NameScope* outer_;
+};
+
+}  // namespace
+
+Result<PlanPtr> BindSelect(const sql::SelectStmt& stmt,
+                           const BinderCatalog& catalog,
+                           BackendProfile profile) {
+  SelectBinder binder(catalog, profile, nullptr);
+  std::vector<ExprPtr> correlated;
+  NameScope unused;
+  return binder.Bind(stmt, /*for_subquery=*/false, &correlated, &unused);
+}
+
+}  // namespace pytond::engine

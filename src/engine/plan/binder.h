@@ -1,0 +1,30 @@
+#ifndef PYTOND_ENGINE_PLAN_BINDER_H_
+#define PYTOND_ENGINE_PLAN_BINDER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/plan/logical.h"
+#include "engine/profile.h"
+#include "engine/sql/ast.h"
+
+namespace pytond::engine {
+
+/// Schema/row-count resolver for table names (base tables + materialized
+/// CTE temporaries).
+struct BinderCatalog {
+  std::function<const Schema*(const std::string&)> schema;
+  std::function<double(const std::string&)> row_count;
+};
+
+/// Binds one (CTE-free) SELECT against the catalog, producing an executable
+/// plan. CTE orchestration lives in Database::Query.
+Result<PlanPtr> BindSelect(const sql::SelectStmt& stmt,
+                           const BinderCatalog& catalog,
+                           BackendProfile profile);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_PLAN_BINDER_H_

@@ -1,0 +1,95 @@
+#include "engine/plan/logical.h"
+
+#include <functional>
+#include <sstream>
+
+namespace pytond::engine {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "INNER";
+    case JoinType::kLeft: return "LEFT";
+    case JoinType::kRight: return "RIGHT";
+    case JoinType::kFull: return "FULL";
+    case JoinType::kSemi: return "SEMI";
+    case JoinType::kAnti: return "ANTI";
+    case JoinType::kCross: return "CROSS";
+  }
+  return "?";
+}
+
+PlanPtr MakePlan(LogicalPlan::Kind kind) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = kind;
+  return p;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case Kind::kScan: os << "Scan(" << table_name << ")"; break;
+    case Kind::kValues: os << "Values(" << values->num_rows() << ")"; break;
+    case Kind::kFilter: os << "Filter(" << predicate->ToString() << ")"; break;
+    case Kind::kProject: {
+      os << "Project(";
+      for (size_t i = 0; i < names.size(); ++i) {
+        if (i) os << ", ";
+        os << names[i];
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kJoin: {
+      os << JoinTypeName(join_type) << "Join(";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i) os << ", ";
+        os << join_keys[i].first->ToString() << "="
+           << join_keys[i].second->ToString();
+      }
+      if (predicate) os << " residual";
+      os << ")";
+      break;
+    }
+    case Kind::kAggregate:
+      os << "Aggregate(groups=" << group_exprs.size()
+         << ", aggs=" << aggs.size() << ")";
+      break;
+    case Kind::kSort: os << "Sort"; break;
+    case Kind::kLimit: os << "Limit(" << limit << ")"; break;
+    case Kind::kDistinct: os << "Distinct"; break;
+    case Kind::kWindow: os << "Window(row_number)"; break;
+  }
+  os << "\n";
+  for (const PlanPtr& c : children) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+double LogicalPlan::EstimateRows(
+    const std::function<double(const std::string&)>& table_rows) const {
+  switch (kind) {
+    case Kind::kScan: return table_rows(table_name);
+    case Kind::kValues: return static_cast<double>(values->num_rows());
+    case Kind::kFilter: return 0.3 * children[0]->EstimateRows(table_rows);
+    case Kind::kJoin: {
+      double l = children[0]->EstimateRows(table_rows);
+      double r = children[1]->EstimateRows(table_rows);
+      if (join_type == JoinType::kCross) return l * r;
+      if (join_type == JoinType::kSemi || join_type == JoinType::kAnti) {
+        return l;
+      }
+      return std::max(l, r);
+    }
+    case Kind::kAggregate: {
+      double in = children[0]->EstimateRows(table_rows);
+      return group_exprs.empty() ? 1.0 : in / 10.0;
+    }
+    case Kind::kLimit:
+      return static_cast<double>(limit);
+    default:
+      return children.empty() ? 1.0 : children[0]->EstimateRows(table_rows);
+  }
+}
+
+}  // namespace pytond::engine

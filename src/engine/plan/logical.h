@@ -1,0 +1,95 @@
+#ifndef PYTOND_ENGINE_PLAN_LOGICAL_H_
+#define PYTOND_ENGINE_PLAN_LOGICAL_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expr/expr.h"
+#include "storage/table.h"
+
+namespace pytond::engine {
+
+enum class JoinType { kInner, kLeft, kRight, kFull, kSemi, kAnti, kCross };
+
+const char* JoinTypeName(JoinType t);
+
+/// Aggregate operations supported by the Aggregate node.
+enum class AggOp { kSum, kMin, kMax, kAvg, kCount, kCountStar, kCountDistinct };
+
+/// One aggregate computation: op over an input expression.
+struct AggSpec {
+  AggOp op;
+  BoundExprPtr arg;  // null for kCountStar
+  std::string out_name;
+  DataType out_type = DataType::kFloat64;
+};
+
+struct LogicalPlan;
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+/// Logical/physical plan node (the engine interprets this tree directly;
+/// planner passes rewrite it in place).
+struct LogicalPlan {
+  enum class Kind {
+    kScan,       // base or temp table by name
+    kValues,     // inline constant table
+    kFilter,     // predicate over child
+    kProject,    // exprs+names over child
+    kJoin,       // children[0] x children[1]
+    kAggregate,  // group_exprs + aggs over child
+    kSort,       // sort_keys over child columns
+    kLimit,
+    kDistinct,
+    kWindow,     // appends a row_number column ordered by window_order
+  };
+
+  Kind kind;
+  Schema schema;  // output schema (filled by the binder)
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_name;
+  // kValues
+  std::shared_ptr<Table> values;
+  // kFilter / kJoin residual
+  BoundExprPtr predicate;
+  // kProject
+  std::vector<BoundExprPtr> exprs;
+  std::vector<std::string> names;
+  // kJoin: equi-key pairs (left expr over left schema, right expr over
+  // right schema); `predicate` (if set) is a residual over the
+  // concatenated left+right schema.
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> join_keys;
+  /// Inner joins only: hash-build on the left child instead of the right
+  /// (set by the kCompiled profile's build-side selection pass).
+  bool build_left = false;
+  // kAggregate
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<std::string> group_names;
+  std::vector<AggSpec> aggs;
+  // kSort: indices into child schema + ascending flag.
+  std::vector<std::pair<int, bool>> sort_keys;
+  // kLimit
+  int64_t limit = 0;
+  // kWindow
+  std::vector<std::pair<int, bool>> window_order;
+  std::string window_name;
+
+  /// Indented tree rendering for debugging / plan tests.
+  std::string ToString(int indent = 0) const;
+
+  /// Rough output-cardinality estimate used by the kCompiled profile's
+  /// greedy join ordering.
+  double EstimateRows(
+      const std::function<double(const std::string&)>& table_rows) const;
+};
+
+PlanPtr MakePlan(LogicalPlan::Kind kind);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_PLAN_LOGICAL_H_

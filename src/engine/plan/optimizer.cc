@@ -1,0 +1,29 @@
+#include "engine/plan/optimizer.h"
+
+namespace pytond::engine {
+
+namespace {
+
+void SelectBuildSides(
+    const PlanPtr& plan,
+    const std::function<double(const std::string&)>& table_rows) {
+  for (const PlanPtr& c : plan->children) SelectBuildSides(c, table_rows);
+  if (plan->kind == LogicalPlan::Kind::kJoin &&
+      plan->join_type == JoinType::kInner) {
+    double l = plan->children[0]->EstimateRows(table_rows);
+    double r = plan->children[1]->EstimateRows(table_rows);
+    // Hash-build on the (estimated) smaller side.
+    plan->build_left = l < r;
+  }
+}
+
+}  // namespace
+
+void OptimizePlan(const PlanPtr& plan, BackendProfile profile,
+                  const std::function<double(const std::string&)>& table_rows) {
+  if (profile == BackendProfile::kCompiled) {
+    SelectBuildSides(plan, table_rows);
+  }
+}
+
+}  // namespace pytond::engine

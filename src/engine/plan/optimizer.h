@@ -1,0 +1,20 @@
+#ifndef PYTOND_ENGINE_PLAN_OPTIMIZER_H_
+#define PYTOND_ENGINE_PLAN_OPTIMIZER_H_
+
+#include <functional>
+
+#include "engine/plan/logical.h"
+#include "engine/profile.h"
+
+namespace pytond::engine {
+
+/// Physical-plan tuning applied after binding. The kCompiled profile
+/// ("hyper-like") runs build-side selection on inner hash joins; the other
+/// profiles leave the plan as bound (the binder already differs per
+/// profile in join ordering).
+void OptimizePlan(const PlanPtr& plan, BackendProfile profile,
+                  const std::function<double(const std::string&)>& table_rows);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_PLAN_OPTIMIZER_H_

@@ -1,0 +1,21 @@
+#ifndef PYTOND_ENGINE_PROFILE_H_
+#define PYTOND_ENGINE_PROFILE_H_
+
+namespace pytond::engine {
+
+/// Planner/executor profiles emulating the paper's three backends.
+///  - kVectorized ("duck-like"):  baseline planner — left-deep joins in
+///    FROM order, no build-side selection.
+///  - kCompiled ("hyper-like"):   full planner — greedy join ordering and
+///    build-side selection; narrows the gap left by unoptimized SQL,
+///    mirroring Hyper's stronger query planning in the paper.
+///  - kResearch ("lingo-like"):   baseline planner, and window functions
+///    are rejected (reproduces the paper's LingoDB exclusion for
+///    UID-bearing queries).
+enum class BackendProfile { kVectorized, kCompiled, kResearch };
+
+const char* BackendProfileName(BackendProfile p);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_PROFILE_H_

@@ -1,0 +1,123 @@
+#ifndef PYTOND_ENGINE_SQL_AST_H_
+#define PYTOND_ENGINE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pytond::engine::sql {
+
+struct SelectStmt;
+using SelectPtr = std::shared_ptr<SelectStmt>;
+
+/// Scalar expression AST produced by the SQL parser (unbound).
+struct Expr {
+  enum class Kind {
+    kColumnRef,    // [table.]name
+    kLiteral,      // typed constant
+    kStar,         // * (only inside COUNT(*))
+    kBinary,       // arithmetic / comparison / AND / OR / LIKE / concat
+    kUnary,        // NOT, unary minus
+    kFunction,     // name(args) — scalar or aggregate, resolved at binding
+    kCase,         // CASE WHEN .. THEN .. [ELSE ..] END
+    kCast,         // CAST(x AS type)
+    kIsNull,       // x IS [NOT] NULL
+    kInList,       // x [NOT] IN (v1, v2, ...)
+    kInSubquery,   // x [NOT] IN (SELECT ...)
+    kExists,       // [NOT] EXISTS (SELECT ...)
+    kWindow,       // row_number() OVER (ORDER BY ...)
+    kBetween,      // x BETWEEN a AND b
+  };
+
+  enum class Op {
+    kNone,
+    kAdd, kSub, kMul, kDiv, kMod, kConcat,
+    kLt, kLe, kEq, kNe, kGe, kGt,
+    kAnd, kOr, kLike, kNotLike,
+    kNot, kNeg,
+  };
+
+  Kind kind;
+  Op op = Op::kNone;
+
+  std::string table;        // kColumnRef qualifier (may be empty)
+  std::string name;         // kColumnRef column / kFunction name
+  Value literal;            // kLiteral
+  bool distinct = false;    // kFunction: COUNT(DISTINCT x)
+  bool negated = false;     // kInList / kInSubquery / kExists / kIsNull
+  DataType cast_type = DataType::kInt64;  // kCast
+
+  std::vector<std::shared_ptr<Expr>> children;  // operands / args
+  // kCase: children = [when1, then1, when2, then2, ..., else?]; the
+  // trailing odd child (if case_has_else) is the ELSE branch.
+  bool case_has_else = false;
+
+  SelectPtr subquery;  // kInSubquery / kExists
+
+  // kWindow: ORDER BY keys of the OVER clause.
+  std::vector<std::pair<std::shared_ptr<Expr>, bool>> window_order;
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// One item of the SELECT list.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty -> derived from expr
+  bool is_star = false;
+};
+
+/// FROM-clause item: a base table / CTE reference, an inline VALUES list,
+/// or an explicit JOIN tree.
+struct TableRef {
+  enum class Kind { kBase, kValues, kJoin };
+  enum class JoinType { kInner, kLeft, kRight, kFull, kCross };
+
+  Kind kind;
+  // kBase
+  std::string table_name;
+  std::string alias;
+  // kValues: rows of literals + optional column aliases.
+  std::vector<std::vector<Value>> values_rows;
+  std::vector<std::string> values_columns;
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  std::shared_ptr<TableRef> left;
+  std::shared_ptr<TableRef> right;
+  ExprPtr on_condition;  // null for CROSS
+};
+
+/// ORDER BY key.
+struct OrderKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A (possibly CTE-prefixed) SELECT statement.
+struct SelectStmt {
+  struct Cte {
+    std::string name;
+    std::vector<std::string> column_names;  // optional aliases
+    SelectPtr select;
+  };
+
+  std::vector<Cte> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::shared_ptr<TableRef>> from;  // comma-separated refs
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+  // Pure VALUES body (CTE like `v(c0) AS (VALUES (0), (1))`).
+  std::vector<std::vector<Value>> values_rows;
+  bool is_values() const { return !values_rows.empty(); }
+};
+
+}  // namespace pytond::engine::sql
+
+#endif  // PYTOND_ENGINE_SQL_AST_H_

@@ -1,0 +1,771 @@
+#include "engine/sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/date_util.h"
+#include "common/string_util.h"
+
+namespace pytond::engine::sql {
+namespace {
+
+enum class TokKind { kEnd, kIdent, kKeyword, kNumber, kString, kOp };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier (original case), op text, string payload
+  std::string upper;  // uppercase for keyword comparison
+  Value number;
+  size_t pos = 0;
+};
+
+const char* kKeywords[] = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "WITH", "AND", "OR", "NOT", "IN", "EXISTS", "LIKE", "BETWEEN",
+    "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT",
+    "JOIN", "LEFT", "RIGHT", "FULL", "OUTER", "INNER", "CROSS", "ON",
+    "ASC", "DESC", "VALUES", "DATE", "TRUE", "FALSE", "OVER", "UNION",
+    "ALL", "INTERVAL", "EXTRACT", "YEAR", "MONTH", "DAY",
+};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return cur_; }
+
+  Token Next() {
+    Token t = cur_;
+    Advance();
+    return t;
+  }
+
+  Status error(const std::string& msg) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < cur_.pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') { ++line; col = 1; } else { ++col; }
+    }
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              ":" + std::to_string(col) + " (near '" +
+                              cur_.text + "')");
+  }
+
+ private:
+  void Advance() {
+    SkipWsAndComments();
+    cur_ = Token{};
+    cur_.pos = pos_;
+    if (pos_ >= text_.size()) return;
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      cur_.text = text_.substr(start, pos_ - start);
+      cur_.upper = cur_.text;
+      for (char& ch : cur_.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      cur_.kind = IsKeyword(cur_.upper) ? TokKind::kKeyword : TokKind::kIdent;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool is_float = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+          is_float = true;
+        }
+        ++pos_;
+      }
+      std::string tok = text_.substr(start, pos_ - start);
+      cur_.kind = TokKind::kNumber;
+      cur_.text = tok;
+      cur_.number = is_float
+                        ? Value::Float64(std::strtod(tok.c_str(), nullptr))
+                        : Value::Int64(std::strtoll(tok.c_str(), nullptr, 10));
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '\'') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\'') {
+            out += '\'';
+            pos_ += 2;
+            continue;
+          }
+          break;
+        }
+        out += text_[pos_++];
+      }
+      ++pos_;  // closing quote
+      cur_.kind = TokKind::kString;
+      cur_.text = std::move(out);
+      return;
+    }
+    if (c == '"') {  // quoted identifier
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      cur_.kind = TokKind::kIdent;
+      cur_.text = text_.substr(start, pos_ - start);
+      cur_.upper = string_util::ToLower(cur_.text);
+      ++pos_;
+      return;
+    }
+    // Operators / punctuation.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||"};
+    for (const char* op : kTwoChar) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        cur_.kind = TokKind::kOp;
+        cur_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    cur_.kind = TokKind::kOp;
+    cur_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  void SkipWsAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+ExprPtr MakeExpr(Expr::Kind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Result<SelectPtr> ParseStatement() {
+    PYTOND_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSelect());
+    if (TryOp(";")) {
+      // trailing semicolon ok
+    }
+    if (lex_.Peek().kind != TokKind::kEnd) {
+      return lex_.error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  // ---- token helpers ----
+  bool PeekKeyword(const char* kw) const {
+    return lex_.Peek().kind == TokKind::kKeyword && lex_.Peek().upper == kw;
+  }
+  bool TryKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      lex_.Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!TryKeyword(kw)) return lex_.error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  bool PeekOp(const char* op) const {
+    return lex_.Peek().kind == TokKind::kOp && lex_.Peek().text == op;
+  }
+  bool TryOp(const char* op) {
+    if (PeekOp(op)) {
+      lex_.Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (!TryOp(op)) return lex_.error(std::string("expected '") + op + "'");
+    return Status::OK();
+  }
+  Result<std::string> Identifier() {
+    if (lex_.Peek().kind == TokKind::kIdent) return lex_.Next().text;
+    // Soft keywords usable as column names (e.g. a column called "month").
+    if (lex_.Peek().kind == TokKind::kKeyword &&
+        (lex_.Peek().upper == "YEAR" || lex_.Peek().upper == "MONTH" ||
+         lex_.Peek().upper == "DAY" || lex_.Peek().upper == "VALUES")) {
+      return lex_.Next().text;
+    }
+    return lex_.error("expected identifier");
+  }
+
+  // ---- statement level ----
+  Result<SelectPtr> ParseSelect() {
+    auto stmt = std::make_shared<SelectStmt>();
+    if (TryKeyword("WITH")) {
+      while (true) {
+        SelectStmt::Cte cte;
+        PYTOND_ASSIGN_OR_RETURN(cte.name, Identifier());
+        if (TryOp("(")) {
+          while (true) {
+            PYTOND_ASSIGN_OR_RETURN(std::string col, Identifier());
+            cte.column_names.push_back(col);
+            if (TryOp(")")) break;
+            PYTOND_RETURN_IF_ERROR(ExpectOp(","));
+          }
+        }
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+        PYTOND_ASSIGN_OR_RETURN(cte.select, ParseSelectCore());
+        PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+        stmt->ctes.push_back(std::move(cte));
+        if (!TryOp(",")) break;
+      }
+    }
+    PYTOND_ASSIGN_OR_RETURN(SelectPtr core, ParseSelectCore());
+    core->ctes = std::move(stmt->ctes);
+    return core;
+  }
+
+  Result<SelectPtr> ParseSelectCore() {
+    auto stmt = std::make_shared<SelectStmt>();
+    if (TryKeyword("VALUES")) {
+      PYTOND_RETURN_IF_ERROR(ParseValuesRows(&stmt->values_rows));
+      return stmt;
+    }
+    PYTOND_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (TryKeyword("DISTINCT")) stmt->distinct = true;
+    while (true) {
+      SelectItem item;
+      if (TryOp("*")) {
+        item.is_star = true;
+      } else {
+        PYTOND_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (TryKeyword("AS")) {
+          PYTOND_ASSIGN_OR_RETURN(item.alias, Identifier());
+        } else if (lex_.Peek().kind == TokKind::kIdent) {
+          item.alias = lex_.Next().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!TryOp(",")) break;
+    }
+    if (TryKeyword("FROM")) {
+      while (true) {
+        PYTOND_ASSIGN_OR_RETURN(auto ref, ParseTableRef());
+        stmt->from.push_back(ref);
+        if (!TryOp(",")) break;
+      }
+    }
+    if (TryKeyword("WHERE")) {
+      PYTOND_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (TryKeyword("GROUP")) {
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(e);
+        if (!TryOp(",")) break;
+      }
+    }
+    if (TryKeyword("HAVING")) {
+      PYTOND_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (TryKeyword("ORDER")) {
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderKey key;
+        PYTOND_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (TryKeyword("DESC")) key.ascending = false;
+        else TryKeyword("ASC");
+        stmt->order_by.push_back(std::move(key));
+        if (!TryOp(",")) break;
+      }
+    }
+    if (TryKeyword("LIMIT")) {
+      if (lex_.Peek().kind != TokKind::kNumber) {
+        return lex_.error("expected LIMIT count");
+      }
+      stmt->limit = lex_.Next().number.AsInt64();
+    }
+    return stmt;
+  }
+
+  Status ParseValuesRows(std::vector<std::vector<Value>>* rows) {
+    while (true) {
+      PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+      std::vector<Value> row;
+      while (true) {
+        PYTOND_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+        if (TryOp(")")) break;
+        PYTOND_RETURN_IF_ERROR(ExpectOp(","));
+      }
+      rows->push_back(std::move(row));
+      if (!TryOp(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& t = lex_.Peek();
+    if (t.kind == TokKind::kNumber) return lex_.Next().number;
+    if (t.kind == TokKind::kString) return Value::String(lex_.Next().text);
+    bool neg = false;
+    if (PeekOp("-")) {
+      lex_.Next();
+      neg = true;
+      if (lex_.Peek().kind == TokKind::kNumber) {
+        Value v = lex_.Next().number;
+        if (v.type() == DataType::kFloat64) {
+          return Value::Float64(-v.AsFloat64());
+        }
+        return Value::Int64(-v.AsInt64());
+      }
+      return lex_.error("expected number after '-'");
+    }
+    (void)neg;
+    if (TryKeyword("TRUE")) return Value::Bool(true);
+    if (TryKeyword("FALSE")) return Value::Bool(false);
+    if (TryKeyword("NULL")) return Value::Null();
+    if (TryKeyword("DATE")) {
+      if (lex_.Peek().kind != TokKind::kString) {
+        return lex_.error("expected date string");
+      }
+      PYTOND_ASSIGN_OR_RETURN(int32_t d, date_util::Parse(lex_.Next().text));
+      return Value::Date(d);
+    }
+    return lex_.error("expected literal");
+  }
+
+  // ---- FROM clause ----
+  Result<std::shared_ptr<TableRef>> ParseTableRef() {
+    PYTOND_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+    while (true) {
+      TableRef::JoinType jt;
+      if (TryKeyword("JOIN")) {
+        jt = TableRef::JoinType::kInner;
+      } else if (TryKeyword("INNER")) {
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = TableRef::JoinType::kInner;
+      } else if (TryKeyword("LEFT")) {
+        TryKeyword("OUTER");
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = TableRef::JoinType::kLeft;
+      } else if (TryKeyword("RIGHT")) {
+        TryKeyword("OUTER");
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = TableRef::JoinType::kRight;
+      } else if (TryKeyword("FULL")) {
+        TryKeyword("OUTER");
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = TableRef::JoinType::kFull;
+      } else if (TryKeyword("CROSS")) {
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = TableRef::JoinType::kCross;
+      } else {
+        break;
+      }
+      PYTOND_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+      auto join = std::make_shared<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->join_type = jt;
+      join->left = left;
+      join->right = right;
+      if (jt != TableRef::JoinType::kCross) {
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        PYTOND_ASSIGN_OR_RETURN(join->on_condition, ParseExpr());
+      }
+      left = join;
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<TableRef>> ParseTablePrimary() {
+    auto ref = std::make_shared<TableRef>();
+    if (TryOp("(")) {
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+      ref->kind = TableRef::Kind::kValues;
+      PYTOND_RETURN_IF_ERROR(ParseValuesRows(&ref->values_rows));
+      PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+    } else {
+      ref->kind = TableRef::Kind::kBase;
+      PYTOND_ASSIGN_OR_RETURN(ref->table_name, Identifier());
+    }
+    if (TryKeyword("AS")) {
+      PYTOND_ASSIGN_OR_RETURN(ref->alias, Identifier());
+    } else if (lex_.Peek().kind == TokKind::kIdent) {
+      ref->alias = lex_.Next().text;
+    }
+    if (ref->kind == TableRef::Kind::kValues && TryOp("(")) {
+      while (true) {
+        PYTOND_ASSIGN_OR_RETURN(std::string col, Identifier());
+        ref->values_columns.push_back(col);
+        if (TryOp(")")) break;
+        PYTOND_RETURN_IF_ERROR(ExpectOp(","));
+      }
+    }
+    return ref;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (TryKeyword("OR")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      auto e = MakeExpr(Expr::Kind::kBinary);
+      e->op = Expr::Op::kOr;
+      e->children = {lhs, rhs};
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (TryKeyword("AND")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      auto e = MakeExpr(Expr::Kind::kBinary);
+      e->op = Expr::Op::kAnd;
+      e->children = {lhs, rhs};
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (TryKeyword("NOT")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = MakeExpr(Expr::Kind::kUnary);
+      e->op = Expr::Op::kNot;
+      e->children = {inner};
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    if (TryKeyword("EXISTS")) {
+      PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+      auto e = MakeExpr(Expr::Kind::kExists);
+      PYTOND_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+      return e;
+    }
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // Postfix predicates.
+    while (true) {
+      if (TryKeyword("IS")) {
+        bool neg = TryKeyword("NOT");
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        auto e = MakeExpr(Expr::Kind::kIsNull);
+        e->negated = neg;
+        e->children = {lhs};
+        lhs = e;
+        continue;
+      }
+      bool neg = false;
+      if (PeekKeyword("NOT")) {
+        // lookahead for NOT IN / NOT LIKE / NOT BETWEEN
+        lex_.Next();
+        neg = true;
+      }
+      if (TryKeyword("LIKE")) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr pat, ParseAdditive());
+        auto e = MakeExpr(Expr::Kind::kBinary);
+        e->op = neg ? Expr::Op::kNotLike : Expr::Op::kLike;
+        e->children = {lhs, pat};
+        lhs = e;
+        continue;
+      }
+      if (TryKeyword("BETWEEN")) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+        auto e = MakeExpr(Expr::Kind::kBetween);
+        e->negated = neg;
+        e->children = {lhs, lo, hi};
+        lhs = e;
+        continue;
+      }
+      if (TryKeyword("IN")) {
+        PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+        if (PeekKeyword("SELECT") || PeekKeyword("WITH")) {
+          auto e = MakeExpr(Expr::Kind::kInSubquery);
+          e->negated = neg;
+          e->children = {lhs};
+          PYTOND_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+          lhs = e;
+        } else {
+          auto e = MakeExpr(Expr::Kind::kInList);
+          e->negated = neg;
+          e->children = {lhs};
+          while (true) {
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+            e->children.push_back(v);
+            if (TryOp(")")) break;
+            PYTOND_RETURN_IF_ERROR(ExpectOp(","));
+          }
+          lhs = e;
+        }
+        continue;
+      }
+      if (neg) return lex_.error("expected IN/LIKE/BETWEEN after NOT");
+      break;
+    }
+    // Binary comparison.
+    struct CmpTok { const char* tok; Expr::Op op; };
+    static const CmpTok kCmps[] = {
+        {"<=", Expr::Op::kLe}, {">=", Expr::Op::kGe}, {"<>", Expr::Op::kNe},
+        {"!=", Expr::Op::kNe}, {"<", Expr::Op::kLt},  {">", Expr::Op::kGt},
+        {"=", Expr::Op::kEq},
+    };
+    for (const CmpTok& ct : kCmps) {
+      if (TryOp(ct.tok)) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        auto e = MakeExpr(Expr::Kind::kBinary);
+        e->op = ct.op;
+        e->children = {lhs, rhs};
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      Expr::Op op;
+      if (TryOp("+")) op = Expr::Op::kAdd;
+      else if (TryOp("-")) op = Expr::Op::kSub;
+      else if (TryOp("||")) op = Expr::Op::kConcat;
+      else break;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      auto e = MakeExpr(Expr::Kind::kBinary);
+      e->op = op;
+      e->children = {lhs, rhs};
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      Expr::Op op;
+      if (TryOp("*")) op = Expr::Op::kMul;
+      else if (TryOp("/")) op = Expr::Op::kDiv;
+      else if (TryOp("%")) op = Expr::Op::kMod;
+      else break;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto e = MakeExpr(Expr::Kind::kBinary);
+      e->op = op;
+      e->children = {lhs, rhs};
+      lhs = e;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (TryOp("-")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = MakeExpr(Expr::Kind::kUnary);
+      e->op = Expr::Op::kNeg;
+      e->children = {inner};
+      return e;
+    }
+    if (TryOp("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = lex_.Peek();
+    if (t.kind == TokKind::kNumber) {
+      auto e = MakeExpr(Expr::Kind::kLiteral);
+      e->literal = lex_.Next().number;
+      return e;
+    }
+    if (t.kind == TokKind::kString) {
+      auto e = MakeExpr(Expr::Kind::kLiteral);
+      e->literal = Value::String(lex_.Next().text);
+      return e;
+    }
+    if (PeekKeyword("TRUE") || PeekKeyword("FALSE") || PeekKeyword("NULL") ||
+        PeekKeyword("DATE")) {
+      PYTOND_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      auto e = MakeExpr(Expr::Kind::kLiteral);
+      e->literal = std::move(v);
+      return e;
+    }
+    if (TryKeyword("CASE")) {
+      auto e = MakeExpr(Expr::Kind::kCase);
+      while (TryKeyword("WHEN")) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+        PYTOND_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+        e->children.push_back(cond);
+        e->children.push_back(val);
+      }
+      if (TryKeyword("ELSE")) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+        e->children.push_back(val);
+        e->case_has_else = true;
+      }
+      // Tolerate the codegen's compact form "(CASE WHEN .. ELSE x)" where
+      // END is supplied; END is required by grammar.
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return e;
+    }
+    if (TryKeyword("CAST")) {
+      PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+      auto e = MakeExpr(Expr::Kind::kCast);
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      e->children = {inner};
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("AS"));
+      PYTOND_ASSIGN_OR_RETURN(std::string ty, Identifier());
+      std::string tyl = string_util::ToLower(ty);
+      if (tyl == "double" || tyl == "float" || tyl == "real" ||
+          tyl == "float64") {
+        e->cast_type = DataType::kFloat64;
+      } else if (tyl == "int" || tyl == "integer" || tyl == "bigint" ||
+                 tyl == "int64") {
+        e->cast_type = DataType::kInt64;
+      } else if (tyl == "varchar" || tyl == "text" || tyl == "string") {
+        e->cast_type = DataType::kString;
+      } else if (tyl == "date") {
+        e->cast_type = DataType::kDate;
+      } else {
+        return lex_.error("unsupported cast type " + ty);
+      }
+      PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+      return e;
+    }
+    if (TryKeyword("EXTRACT")) {
+      PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+      std::string field;
+      if (TryKeyword("YEAR")) field = "year";
+      else if (TryKeyword("MONTH")) field = "month";
+      else if (TryKeyword("DAY")) field = "day";
+      else return lex_.error("unsupported EXTRACT field");
+      PYTOND_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+      auto e = MakeExpr(Expr::Kind::kFunction);
+      e->name = field;
+      e->children = {arg};
+      return e;
+    }
+    if (PeekKeyword("YEAR") || PeekKeyword("MONTH") || PeekKeyword("DAY")) {
+      // Soft keyword: year(x) is the Hyper-style date function; a bare
+      // `year` (or `tbl.year`) is an ordinary column reference.
+      std::string word = lex_.Next().text;
+      if (TryOp("(")) {
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+        auto e = MakeExpr(Expr::Kind::kFunction);
+        e->name = string_util::ToLower(word);
+        e->children = {arg};
+        return e;
+      }
+      auto e = MakeExpr(Expr::Kind::kColumnRef);
+      if (TryOp(".")) {
+        e->table = word;
+        PYTOND_ASSIGN_OR_RETURN(e->name, Identifier());
+      } else {
+        e->name = word;
+      }
+      return e;
+    }
+    if (TryOp("(")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    if (t.kind == TokKind::kIdent) {
+      std::string name = lex_.Next().text;
+      if (TryOp("(")) {
+        auto e = MakeExpr(Expr::Kind::kFunction);
+        e->name = string_util::ToLower(name);
+        if (TryKeyword("DISTINCT")) e->distinct = true;
+        if (TryOp("*")) {
+          e->children.push_back(MakeExpr(Expr::Kind::kStar));
+          PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+        } else if (!TryOp(")")) {
+          while (true) {
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->children.push_back(arg);
+            if (TryOp(")")) break;
+            PYTOND_RETURN_IF_ERROR(ExpectOp(","));
+          }
+        }
+        if (TryKeyword("OVER")) {
+          auto w = MakeExpr(Expr::Kind::kWindow);
+          w->name = e->name;
+          PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+          if (TryKeyword("ORDER")) {
+            PYTOND_RETURN_IF_ERROR(ExpectKeyword("BY"));
+            while (true) {
+              PYTOND_ASSIGN_OR_RETURN(ExprPtr k, ParseExpr());
+              bool asc = true;
+              if (TryKeyword("DESC")) asc = false;
+              else TryKeyword("ASC");
+              w->window_order.emplace_back(k, asc);
+              if (!TryOp(",")) break;
+            }
+          }
+          PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+          return w;
+        }
+        return e;
+      }
+      auto e = MakeExpr(Expr::Kind::kColumnRef);
+      if (TryOp(".")) {
+        e->table = name;
+        PYTOND_ASSIGN_OR_RETURN(e->name, Identifier());
+      } else {
+        e->name = name;
+      }
+      return e;
+    }
+    return lex_.error("unexpected token in expression");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<SelectPtr> ParseSql(const std::string& text) {
+  return Parser(text).ParseStatement();
+}
+
+}  // namespace pytond::engine::sql

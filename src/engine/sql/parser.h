@@ -1,0 +1,23 @@
+#ifndef PYTOND_ENGINE_SQL_PARSER_H_
+#define PYTOND_ENGINE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/sql/ast.h"
+
+namespace pytond::engine::sql {
+
+/// Parses one SQL statement (WITH ... SELECT ...). The supported dialect is
+/// the one PyTond's code generator emits plus hand-written reference
+/// queries: CTEs, SELECT [DISTINCT], FROM with comma joins and explicit
+/// [LEFT|RIGHT|FULL] [OUTER] JOIN .. ON, WHERE, GROUP BY, HAVING,
+/// ORDER BY .. [ASC|DESC], LIMIT, CASE, CAST, EXISTS/IN subqueries, IN
+/// lists, LIKE, IS [NOT] NULL, BETWEEN, date literals (DATE 'Y-M-D'),
+/// row_number() OVER (ORDER BY ..), VALUES lists, and the scalar/aggregate
+/// functions of the engine.
+Result<SelectPtr> ParseSql(const std::string& text);
+
+}  // namespace pytond::engine::sql
+
+#endif  // PYTOND_ENGINE_SQL_PARSER_H_

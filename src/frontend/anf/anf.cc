@@ -1,0 +1,101 @@
+#include "frontend/anf/anf.h"
+
+namespace pytond::frontend {
+
+namespace {
+
+using py::Expr;
+using py::ExprPtr;
+using py::Stmt;
+
+class AnfRewriter {
+ public:
+  Result<std::vector<Stmt>> Rewrite(const std::vector<Stmt>& body) {
+    std::vector<Stmt> out;
+    for (const Stmt& s : body) {
+      Stmt copy = s;
+      PYTOND_ASSIGN_OR_RETURN(copy.value,
+                              Walk(s.value, /*top_level=*/true, &out));
+      if (copy.target && copy.target->kind == Expr::Kind::kSubscript) {
+        // Normalize the frame side of `df['c'] = ...` too.
+        ExprPtr target = std::make_shared<Expr>(*copy.target);
+        PYTOND_ASSIGN_OR_RETURN(
+            target->children[0],
+            Walk(copy.target->children[0], /*top_level=*/true, &out));
+        copy.target = target;
+      }
+      out.push_back(std::move(copy));
+    }
+    return out;
+  }
+
+ private:
+  static bool IsHoistable(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kCall:
+      case Expr::Kind::kSubscript:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kBoolOp:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<ExprPtr> Walk(const ExprPtr& e, bool top_level,
+                       std::vector<Stmt>* out) {
+    ExprPtr copy = std::make_shared<Expr>(*e);
+    switch (e->kind) {
+      case Expr::Kind::kName:
+      case Expr::Kind::kLiteral:
+      case Expr::Kind::kList:   // literal argument structure: keep inline
+      case Expr::Kind::kTuple:  // ditto (named-agg specs etc.)
+        return copy;
+      case Expr::Kind::kAttribute: {
+        PYTOND_ASSIGN_OR_RETURN(copy->children[0],
+                                Walk(e->children[0], false, out));
+        return copy;
+      }
+      case Expr::Kind::kCall: {
+        // Normalize the callee and positional args; kwargs stay inline
+        // (they carry config like column lists, not data operations).
+        for (size_t i = 0; i < copy->children.size(); ++i) {
+          PYTOND_ASSIGN_OR_RETURN(copy->children[i],
+                                  Walk(e->children[i], false, out));
+        }
+        break;
+      }
+      case Expr::Kind::kSubscript:
+      case Expr::Kind::kBinOp:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kBoolOp:
+      case Expr::Kind::kUnary: {
+        for (size_t i = 0; i < copy->children.size(); ++i) {
+          PYTOND_ASSIGN_OR_RETURN(copy->children[i],
+                                  Walk(e->children[i], false, out));
+        }
+        break;
+      }
+    }
+    if (!top_level && IsHoistable(*copy)) {
+      std::string tmp = "_v" + std::to_string(++counter_);
+      Stmt hoisted;
+      hoisted.kind = Stmt::Kind::kAssign;
+      hoisted.target = py::MakeName(tmp);
+      hoisted.value = copy;
+      out->push_back(std::move(hoisted));
+      return py::MakeName(tmp);
+    }
+    return copy;
+  }
+
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<py::Stmt>> ToAnf(const std::vector<py::Stmt>& body) {
+  return AnfRewriter().Rewrite(body);
+}
+
+}  // namespace pytond::frontend

@@ -1,0 +1,20 @@
+#ifndef PYTOND_FRONTEND_ANF_ANF_H_
+#define PYTOND_FRONTEND_ANF_ANF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "frontend/pylang/ast.h"
+
+namespace pytond::frontend {
+
+/// A-normal form rewriting (paper §III-B): nested dataframe-level
+/// operations (calls, subscripts, comparisons, boolean masks) are hoisted
+/// into fresh `_vN` assignments so every statement performs one API-level
+/// step. Input variable names are preserved; literal structures (lists,
+/// tuples, kwargs) stay inline because they are arguments, not operations.
+Result<std::vector<py::Stmt>> ToAnf(const std::vector<py::Stmt>& body);
+
+}  // namespace pytond::frontend
+
+#endif  // PYTOND_FRONTEND_ANF_ANF_H_

@@ -1,0 +1,85 @@
+#include "frontend/compiler.h"
+
+#include "frontend/anf/anf.h"
+#include "frontend/pylang/parser.h"
+
+namespace pytond::frontend {
+
+namespace {
+
+Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
+                            const CompileOptions& options) {
+  // Decorator arguments override compile options (paper §III-A).
+  TranslateOptions topts;
+  topts.layout = options.layout;
+  for (const auto& [key, value] : fn.decorator_kwargs) {
+    if (key == "layout") {
+      if (value->kind == py::Expr::Kind::kLiteral &&
+          value->literal.type() == DataType::kString) {
+        topts.layout = value->literal.AsString() == "sparse"
+                           ? TensorLayout::kSparse
+                           : TensorLayout::kDense;
+      }
+    } else if (key == "pivot_values") {
+      for (const auto& item : value->children) {
+        if (item->kind == py::Expr::Kind::kLiteral &&
+            item->literal.type() == DataType::kString) {
+          topts.pivot_values.push_back(item->literal.AsString());
+        }
+      }
+    }
+  }
+
+  py::Function normalized = fn;
+  PYTOND_ASSIGN_OR_RETURN(normalized.body, ToAnf(fn.body));
+
+  PYTOND_ASSIGN_OR_RETURN(TranslationResult tr,
+                          TranslateFunction(normalized, catalog, topts));
+
+  Compiled out;
+  out.function_name = fn.name;
+  out.output_columns = tr.output_columns;
+  out.tondir_before = tr.program.ToString();
+
+  std::set<std::string> base;
+  for (const auto& [rel, cols] : tr.program.base_columns) base.insert(rel);
+  PYTOND_RETURN_IF_ERROR(opt::Optimize(
+      &tr.program, base,
+      opt::OptimizerOptions::Preset(options.optimization_level)));
+  out.tondir_after = tr.program.ToString();
+
+  sqlgen::SqlGenOptions sopts;
+  sopts.dialect = options.dialect;
+  PYTOND_ASSIGN_OR_RETURN(out.sql, sqlgen::GenerateSql(tr.program, sopts));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Compiled>> CompileModule(const std::string& source,
+                                            const Catalog& catalog,
+                                            const CompileOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(py::Module module, py::ParseModule(source));
+  if (module.functions.empty()) {
+    return Status::InvalidArgument("no @pytond-decorated function found");
+  }
+  std::vector<Compiled> out;
+  for (const py::Function& fn : module.functions) {
+    PYTOND_ASSIGN_OR_RETURN(Compiled c, CompileOne(fn, catalog, options));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<Compiled> CompileFunction(const std::string& source,
+                                 const Catalog& catalog,
+                                 const CompileOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(std::vector<Compiled> all,
+                          CompileModule(source, catalog, options));
+  if (all.size() != 1) {
+    return Status::InvalidArgument("expected exactly one @pytond function");
+  }
+  return std::move(all[0]);
+}
+
+}  // namespace pytond::frontend

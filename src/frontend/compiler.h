@@ -1,0 +1,48 @@
+#ifndef PYTOND_FRONTEND_COMPILER_H_
+#define PYTOND_FRONTEND_COMPILER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "frontend/translate/translator.h"
+#include "optimizer/passes.h"
+#include "sqlgen/sqlgen.h"
+#include "storage/catalog.h"
+
+namespace pytond::frontend {
+
+/// End-to-end compilation options.
+struct CompileOptions {
+  /// Optimization preset 0..4 (paper Figure 10: 0 = Grizzly-simulated,
+  /// 4 = full PyTond).
+  int optimization_level = 4;
+  sqlgen::SqlDialect dialect = sqlgen::SqlDialect::kDuck;
+  /// Overridden per-function by the decorator's layout= kwarg.
+  TensorLayout layout = TensorLayout::kDense;
+};
+
+/// A compiled @pytond function.
+struct Compiled {
+  std::string function_name;
+  std::string sql;
+  std::string tondir_before;  // IR before optimization (debugging/tests)
+  std::string tondir_after;   // IR after optimization
+  std::vector<std::string> output_columns;
+};
+
+/// Compiles every @pytond-decorated function in `source` against the
+/// catalog: parse -> ANF -> type-informed translation to TondIR ->
+/// optimization -> SQL codegen (the full Figure 1 pipeline).
+Result<std::vector<Compiled>> CompileModule(const std::string& source,
+                                            const Catalog& catalog,
+                                            const CompileOptions& options = {});
+
+/// Convenience: compiles a module expected to contain exactly one
+/// decorated function.
+Result<Compiled> CompileFunction(const std::string& source,
+                                 const Catalog& catalog,
+                                 const CompileOptions& options = {});
+
+}  // namespace pytond::frontend
+
+#endif  // PYTOND_FRONTEND_COMPILER_H_

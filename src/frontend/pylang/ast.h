@@ -1,0 +1,77 @@
+#ifndef PYTOND_FRONTEND_PYLANG_AST_H_
+#define PYTOND_FRONTEND_PYLANG_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace pytond::frontend::py {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Expression node of the mini-Python dialect PyTond accepts: the
+/// straight-line Pandas/NumPy subset (names, literals, attribute access,
+/// subscripts, calls with kwargs, arithmetic / comparison / mask operators,
+/// lists and tuples).
+struct Expr {
+  enum class Kind {
+    kName,       // identifier
+    kLiteral,    // number / string / bool / None
+    kList,       // [e1, e2, ...]
+    kTuple,      // (e1, e2, ...)
+    kAttribute,  // value.attr          children = [value]
+    kSubscript,  // value[index]        children = [value, index]
+    kCall,       // func(args...)       children = [func, args...]
+    kBinOp,      // + - * / // % **     children = [l, r]
+    kCompare,    // < <= == != >= >     children = [l, r]
+    kBoolOp,     // & | (or and/or)     children = [l, r]
+    kUnary,      // - ~ not             children = [e]
+  };
+
+  Kind kind;
+  std::string name;  // kName; kAttribute attr name
+  Value literal;     // kLiteral
+  std::string op;    // operator spelling ("+", "==", "&", "~", ...)
+  std::vector<ExprPtr> children;
+  std::vector<std::pair<std::string, ExprPtr>> kwargs;  // kCall only
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+ExprPtr MakeName(std::string name);
+ExprPtr MakeLiteral(Value v);
+
+/// Statement: assignment (`target = value`, target a name or subscript) or
+/// `return value`.
+struct Stmt {
+  enum class Kind { kAssign, kReturn };
+  Kind kind;
+  ExprPtr target;  // kAssign
+  ExprPtr value;
+  int line = 0;
+};
+
+/// A @pytond-decorated function: parameters are the input DataFrames /
+/// arrays (bound to database tables of the same name unless remapped).
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Stmt> body;
+  /// Decorator keyword arguments, e.g. layout='sparse',
+  /// pivot_values=['v1','v2'].
+  std::vector<std::pair<std::string, ExprPtr>> decorator_kwargs;
+};
+
+/// A parsed module: every @pytond-decorated function found in the source.
+struct Module {
+  std::vector<Function> functions;
+};
+
+}  // namespace pytond::frontend::py
+
+#endif  // PYTOND_FRONTEND_PYLANG_AST_H_

@@ -1,0 +1,605 @@
+#include "frontend/pylang/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+namespace pytond::frontend::py {
+
+namespace {
+
+enum class Tok { kEnd, kNewline, kName, kNumber, kString, kOp, kKeyword };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  Value number;
+  int line = 1;
+  int col = 1;  // 1-based column of token start
+};
+
+bool IsKeyword(const std::string& s) {
+  return s == "def" || s == "return" || s == "and" || s == "or" ||
+         s == "not" || s == "True" || s == "False" || s == "None" ||
+         s == "in";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { Tokenize(); }
+
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+ private:
+  void Tokenize() {
+    int line = 1;
+    int col = 1;
+    int depth = 0;
+    size_t i = 0;
+    bool line_start = true;
+    int indent = 0;
+    while (i < src_.size()) {
+      char c = src_[i];
+      if (c == '\n') {
+        if (depth == 0) {
+          if (!tokens_.empty() && tokens_.back().kind != Tok::kNewline) {
+            tokens_.push_back({Tok::kNewline, "\n", {}, line, col});
+          }
+        }
+        ++line;
+        col = 1;
+        ++i;
+        line_start = true;
+        indent = 0;
+        continue;
+      }
+      if (line_start && (c == ' ' || c == '\t')) {
+        indent += c == '\t' ? 8 : 1;
+        ++i;
+        ++col;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\\') {
+        ++i;
+        ++col;
+        continue;
+      }
+      if (c == '#') {
+        while (i < src_.size() && src_[i] != '\n') ++i;
+        continue;
+      }
+      if (line_start) line_start = false;
+      Token t;
+      t.line = line;
+      t.col = depth > 0 ? 9999 : indent + 1;  // col encodes indentation
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                src_[i] == '_')) {
+          ++i;
+        }
+        t.text = src_.substr(start, i - start);
+        t.kind = IsKeyword(t.text) ? Tok::kKeyword : Tok::kName;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && i + 1 < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[i + 1])))) {
+        size_t start = i;
+        bool is_float = false;
+        while (i < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[i])) ||
+                src_[i] == '.' || src_[i] == 'e' || src_[i] == 'E' ||
+                src_[i] == '_' ||
+                ((src_[i] == '+' || src_[i] == '-') && i > start &&
+                 (src_[i - 1] == 'e' || src_[i - 1] == 'E')))) {
+          if (src_[i] == '.' || src_[i] == 'e' || src_[i] == 'E') {
+            is_float = true;
+          }
+          ++i;
+        }
+        std::string num = src_.substr(start, i - start);
+        std::erase(num, '_');
+        t.kind = Tok::kNumber;
+        t.text = num;
+        t.number = is_float
+                       ? Value::Float64(std::strtod(num.c_str(), nullptr))
+                       : Value::Int64(std::strtoll(num.c_str(), nullptr, 10));
+      } else if (c == '\'' || c == '"') {
+        char quote = c;
+        ++i;
+        std::string out;
+        while (i < src_.size() && src_[i] != quote) {
+          if (src_[i] == '\\' && i + 1 < src_.size()) {
+            ++i;
+            switch (src_[i]) {
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              default: out += src_[i];
+            }
+          } else {
+            out += src_[i];
+          }
+          ++i;
+        }
+        ++i;  // closing quote
+        t.kind = Tok::kString;
+        t.text = std::move(out);
+      } else {
+        static const char* kTwo[] = {"==", "!=", "<=", ">=", "//", "**"};
+        t.kind = Tok::kOp;
+        bool matched = false;
+        for (const char* op : kTwo) {
+          if (src_.compare(i, 2, op) == 0) {
+            t.text = op;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          t.text = std::string(1, c);
+          ++i;
+          if (c == '(' || c == '[' || c == '{') ++depth;
+          if (c == ')' || c == ']' || c == '}') --depth;
+        }
+      }
+      col += static_cast<int>(t.text.size());
+      tokens_.push_back(std::move(t));
+    }
+    if (!tokens_.empty() && tokens_.back().kind != Tok::kNewline) {
+      tokens_.push_back({Tok::kNewline, "\n", {}, line, col});
+    }
+    tokens_.push_back({Tok::kEnd, "", {}, line, col});
+  }
+
+  const std::string& src_;
+  std::vector<Token> tokens_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lexer_(src) {}
+
+  Result<Module> ParseModuleSource() {
+    Module module;
+    while (!AtEnd()) {
+      if (PeekOp("@")) {
+        PYTOND_ASSIGN_OR_RETURN(auto decorator_kwargs, ParseDecorator());
+        if (!decorator_kwargs.has_value()) {
+          // Not @pytond: skip the decorated function entirely.
+          PYTOND_RETURN_IF_ERROR(SkipFunction());
+          continue;
+        }
+        PYTOND_ASSIGN_OR_RETURN(Function fn, ParseFunction());
+        fn.decorator_kwargs = *decorator_kwargs;
+        module.functions.push_back(std::move(fn));
+        continue;
+      }
+      if (PeekKeyword("def")) {
+        PYTOND_RETURN_IF_ERROR(SkipFunction());
+        continue;
+      }
+      // Module-level statement (imports etc.): skip the line.
+      SkipLine();
+    }
+    return module;
+  }
+
+  Result<ExprPtr> ParseExpressionOnly() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, lexer_.tokens().size() - 1);
+    return lexer_.tokens()[i];
+  }
+  Token Next() { return lexer_.tokens()[pos_++]; }
+  bool AtEnd() const { return Peek().kind == Tok::kEnd; }
+  void SkipNewlines() {
+    while (Peek().kind == Tok::kNewline) ++pos_;
+  }
+  void SkipLine() {
+    while (Peek().kind != Tok::kNewline && Peek().kind != Tok::kEnd) ++pos_;
+    SkipNewlines();
+  }
+  bool PeekOp(const char* op, size_t ahead = 0) const {
+    return Peek(ahead).kind == Tok::kOp && Peek(ahead).text == op;
+  }
+  bool TryOp(const char* op) {
+    if (PeekOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (!TryOp(op)) return Error(std::string("expected '") + op + "'");
+    return Status::OK();
+  }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == Tok::kKeyword && Peek().text == kw;
+  }
+  bool TryKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Peek().line) +
+                              " (near '" + Peek().text + "')");
+  }
+
+  /// Parses "@name" or "@name(kwargs)". Returns kwargs when the decorator
+  /// is @pytond, nullopt otherwise.
+  Result<std::optional<std::vector<std::pair<std::string, ExprPtr>>>>
+  ParseDecorator() {
+    PYTOND_RETURN_IF_ERROR(ExpectOp("@"));
+    if (Peek().kind != Tok::kName) return Error("expected decorator name");
+    std::string name = Next().text;
+    std::vector<std::pair<std::string, ExprPtr>> kwargs;
+    if (TryOp("(")) {
+      while (!TryOp(")")) {
+        if (Peek().kind != Tok::kName) return Error("expected kwarg name");
+        std::string kw = Next().text;
+        PYTOND_RETURN_IF_ERROR(ExpectOp("="));
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        kwargs.emplace_back(kw, v);
+        if (!TryOp(",") && !PeekOp(")")) return Error("expected ',' or ')'");
+      }
+    }
+    SkipNewlines();
+    if (name != "pytond") {
+      return std::optional<std::vector<std::pair<std::string, ExprPtr>>>();
+    }
+    return std::optional<std::vector<std::pair<std::string, ExprPtr>>>(
+        std::move(kwargs));
+  }
+
+  Status SkipFunction() {
+    // Skip "def name(...):" then all indented lines.
+    if (TryKeyword("def")) {
+      SkipLine();
+    }
+    while (!AtEnd() && Peek().col > 1) SkipLine();
+    return Status::OK();
+  }
+
+  Result<Function> ParseFunction() {
+    SkipNewlines();
+    if (!TryKeyword("def")) return Error("expected 'def'");
+    Function fn;
+    if (Peek().kind != Tok::kName) return Error("expected function name");
+    fn.name = Next().text;
+    PYTOND_RETURN_IF_ERROR(ExpectOp("("));
+    while (!TryOp(")")) {
+      if (Peek().kind != Tok::kName) return Error("expected parameter name");
+      fn.params.push_back(Next().text);
+      if (!TryOp(",") && !PeekOp(")")) return Error("expected ',' or ')'");
+    }
+    PYTOND_RETURN_IF_ERROR(ExpectOp(":"));
+    SkipNewlines();
+    // Body: statements with column > 1 until dedent.
+    while (!AtEnd() && Peek().col > 1) {
+      PYTOND_ASSIGN_OR_RETURN(Stmt s, ParseStatement());
+      fn.body.push_back(std::move(s));
+      SkipNewlines();
+    }
+    if (fn.body.empty()) return Error("empty function body");
+    return fn;
+  }
+
+  Result<Stmt> ParseStatement() {
+    Stmt s;
+    s.line = Peek().line;
+    if (TryKeyword("return")) {
+      s.kind = Stmt::Kind::kReturn;
+      PYTOND_ASSIGN_OR_RETURN(s.value, ParseExpr());
+      return s;
+    }
+    s.kind = Stmt::Kind::kAssign;
+    PYTOND_ASSIGN_OR_RETURN(s.target, ParsePostfix());
+    if (s.target->kind != Expr::Kind::kName &&
+        s.target->kind != Expr::Kind::kSubscript) {
+      return Error("assignment target must be a name or subscript");
+    }
+    PYTOND_RETURN_IF_ERROR(ExpectOp("="));
+    PYTOND_ASSIGN_OR_RETURN(s.value, ParseExpr());
+    return s;
+  }
+
+  // ------ expressions, Python precedence ------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  ExprPtr MakeBin(Expr::Kind kind, std::string op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->op = std::move(op);
+    e->children = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseAnd());
+    while (TryKeyword("or")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseAnd());
+      l = MakeBin(Expr::Kind::kBoolOp, "|", l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseNot());
+    while (TryKeyword("and")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseNot());
+      l = MakeBin(Expr::Kind::kBoolOp, "&", l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (TryKeyword("not")) {
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr c, ParseNot());
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "~";
+      e->children = {c};
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseBitOr());
+    static const char* kCmps[] = {"==", "!=", "<=", ">=", "<", ">"};
+    for (const char* op : kCmps) {
+      if (PeekOp(op)) {
+        ++pos_;
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseBitOr());
+        return MakeBin(Expr::Kind::kCompare, op, l, r);
+      }
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseBitAnd());
+    while (PeekOp("|")) {
+      ++pos_;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseBitAnd());
+      l = MakeBin(Expr::Kind::kBoolOp, "|", l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseBitAnd() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseAdd());
+    while (PeekOp("&")) {
+      ++pos_;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseAdd());
+      l = MakeBin(Expr::Kind::kBoolOp, "&", l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseMul());
+    while (PeekOp("+") || PeekOp("-")) {
+      std::string op = Next().text;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseMul());
+      l = MakeBin(Expr::Kind::kBinOp, op, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr l, ParseUnary());
+    while (PeekOp("*") || PeekOp("/") || PeekOp("//") || PeekOp("%") ||
+           PeekOp("**")) {
+      std::string op = Next().text;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+      l = MakeBin(Expr::Kind::kBinOp, op, l, r);
+    }
+    return l;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekOp("-") || PeekOp("~")) {
+      std::string op = Next().text;
+      PYTOND_ASSIGN_OR_RETURN(ExprPtr c, ParseUnary());
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = op;
+      e->children = {c};
+      return e;
+    }
+    if (TryOp("+")) return ParseUnary();
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseAtom());
+    while (true) {
+      if (TryOp(".")) {
+        if (Peek().kind != Tok::kName) return Error("expected attribute");
+        auto attr = std::make_shared<Expr>();
+        attr->kind = Expr::Kind::kAttribute;
+        attr->name = Next().text;
+        attr->children = {e};
+        e = attr;
+        continue;
+      }
+      if (TryOp("[")) {
+        auto sub = std::make_shared<Expr>();
+        sub->kind = Expr::Kind::kSubscript;
+        PYTOND_ASSIGN_OR_RETURN(ExprPtr idx, ParseExpr());
+        PYTOND_RETURN_IF_ERROR(ExpectOp("]"));
+        sub->children = {e, idx};
+        e = sub;
+        continue;
+      }
+      if (TryOp("(")) {
+        auto call = std::make_shared<Expr>();
+        call->kind = Expr::Kind::kCall;
+        call->children = {e};
+        while (!TryOp(")")) {
+          if (Peek().kind == Tok::kName && PeekOp("=", 1)) {
+            std::string kw = Next().text;
+            ++pos_;  // '='
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+            call->kwargs.emplace_back(kw, v);
+          } else {
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+            call->children.push_back(v);
+          }
+          if (!TryOp(",") && !PeekOp(")")) return Error("expected ',' or ')'");
+        }
+        e = call;
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Tok::kName: {
+        auto e = MakeName(Next().text);
+        e->line = t.line;
+        return e;
+      }
+      case Tok::kNumber: {
+        auto e = MakeLiteral(Next().number);
+        e->line = t.line;
+        return e;
+      }
+      case Tok::kString: {
+        auto e = MakeLiteral(Value::String(Next().text));
+        e->line = t.line;
+        return e;
+      }
+      case Tok::kKeyword: {
+        if (TryKeyword("True")) return MakeLiteral(Value::Bool(true));
+        if (TryKeyword("False")) return MakeLiteral(Value::Bool(false));
+        if (TryKeyword("None")) return MakeLiteral(Value::Null());
+        return Error("unexpected keyword");
+      }
+      case Tok::kOp: {
+        if (TryOp("(")) {
+          // Tuple or parenthesized expression.
+          PYTOND_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+          if (TryOp(")")) return first;
+          auto tup = std::make_shared<Expr>();
+          tup->kind = Expr::Kind::kTuple;
+          tup->children = {first};
+          while (TryOp(",")) {
+            if (PeekOp(")")) break;
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            tup->children.push_back(e);
+          }
+          PYTOND_RETURN_IF_ERROR(ExpectOp(")"));
+          return tup;
+        }
+        if (TryOp("[")) {
+          auto list = std::make_shared<Expr>();
+          list->kind = Expr::Kind::kList;
+          while (!TryOp("]")) {
+            PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            list->children.push_back(e);
+            if (!TryOp(",") && !PeekOp("]")) {
+              return Error("expected ',' or ']'");
+            }
+          }
+          return list;
+        }
+        return Error("unexpected token");
+      }
+      default:
+        return Error("unexpected end of input");
+    }
+  }
+
+  Lexer lexer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr MakeName(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kName;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kName: return name;
+    case Kind::kLiteral:
+      return literal.type() == DataType::kString ? "'" + literal.AsString() +
+                                                       "'"
+                                                 : literal.ToString();
+    case Kind::kList: {
+      std::string s = "[";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + "]";
+    }
+    case Kind::kTuple: {
+      std::string s = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kAttribute:
+      return children[0]->ToString() + "." + name;
+    case Kind::kSubscript:
+      return children[0]->ToString() + "[" + children[1]->ToString() + "]";
+    case Kind::kCall: {
+      std::string s = children[0]->ToString() + "(";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) s += ", ";
+        s += children[i]->ToString();
+      }
+      for (size_t i = 0; i < kwargs.size(); ++i) {
+        if (i || children.size() > 1) s += ", ";
+        s += kwargs[i].first + "=" + kwargs[i].second->ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kBinOp:
+    case Kind::kCompare:
+    case Kind::kBoolOp:
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    case Kind::kUnary:
+      return "(" + op + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<Module> ParseModule(const std::string& source) {
+  return Parser(source).ParseModuleSource();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& source) {
+  return Parser(source).ParseExpressionOnly();
+}
+
+}  // namespace pytond::frontend::py

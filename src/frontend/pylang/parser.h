@@ -1,0 +1,21 @@
+#ifndef PYTOND_FRONTEND_PYLANG_PARSER_H_
+#define PYTOND_FRONTEND_PYLANG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "frontend/pylang/ast.h"
+
+namespace pytond::frontend::py {
+
+/// Parses a source module, collecting every function marked with the
+/// @pytond decorator (bare `@pytond` or `@pytond(kw=...)`). Undecorated
+/// functions are skipped, mirroring the paper's selective compilation.
+Result<Module> ParseModule(const std::string& source);
+
+/// Parses a single expression (tests / decorator argument helpers).
+Result<ExprPtr> ParseExpression(const std::string& source);
+
+}  // namespace pytond::frontend::py
+
+#endif  // PYTOND_FRONTEND_PYLANG_PARSER_H_

@@ -1,0 +1,777 @@
+#include "frontend/translate/einsum.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pytond::frontend {
+
+using tondir::Atom;
+using tondir::BinOp;
+using tondir::Rule;
+using tondir::Term;
+using tondir::TermPtr;
+
+std::string EinsumSpec::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i) s += ",";
+    s += inputs[i];
+  }
+  return s + "->" + output;
+}
+
+Result<EinsumSpec> ParseEinsumSpec(const std::string& spec) {
+  EinsumSpec out;
+  size_t arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("einsum spec needs '->': " + spec);
+  }
+  std::string lhs = spec.substr(0, arrow);
+  out.output = spec.substr(arrow + 2);
+  std::string cur;
+  for (char c : lhs) {
+    if (c == ',') {
+      out.inputs.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  out.inputs.push_back(cur);
+  for (const std::string& in : out.inputs) {
+    if (in.size() > 2) {
+      return Status::Unsupported("tensors above order 2: '" + in + "'");
+    }
+  }
+  for (char c : out.output) {
+    bool found = false;
+    for (const std::string& in : out.inputs) {
+      if (in.find(c) != std::string::npos) found = true;
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          std::string("output index '") + c + "' not in any input");
+    }
+  }
+  return out;
+}
+
+EinsumSpec NormalizeSpec(const EinsumSpec& spec) {
+  static constexpr char kLetters[] = "ijklmn";
+  std::map<char, char> rename;
+  auto canon = [&](char c) {
+    auto it = rename.find(c);
+    if (it != rename.end()) return it->second;
+    char fresh = kLetters[rename.size() % (sizeof(kLetters) - 1)];
+    rename[c] = fresh;
+    return fresh;
+  };
+  EinsumSpec out;
+  for (const std::string& in : spec.inputs) {
+    std::string s;
+    for (char c : in) s += canon(c);
+    out.inputs.push_back(s);
+  }
+  for (char c : spec.output) out.output += canon(c);
+  return out;
+}
+
+namespace {
+
+bool ContainsChar(const std::string& s, char c) {
+  return s.find(c) != std::string::npos;
+}
+
+/// Direct kernel table (Table VI). Returns the ES id or empty.
+std::string MatchKernel(const EinsumSpec& s) {
+  std::string key = s.ToString();
+  static const std::map<std::string, std::string> kKernels = {
+      {"i->", "ES1"},        {"ij->i", "ES2"},     {"ii->i", "ES3"},
+      {"ij->ji", "ES4"},     {",->", "ES5"},       {",ij->ij", "ES6"},
+      {"ij,ij->ij", "ES7"},  {"ij,ik->jk", "ES8"}, {"ij,ik->ij", "ES9"},
+      // Extended kernels the workloads rely on (reducible to the ES set
+      // via swap/transpose but cheaper lowered directly).
+      {"ij->j", "COLSUM"},   {"ij->", "MATSUM"},   {"i,i->", "INNER"},
+      {"ij,j->i", "MATVEC"}, {"ij,jk->ik", "MATMUL"},
+      {"i,->i", "VSCALE"},   {",i->i", "VSCALE"},  {"ij,->ij", "MSCALE"},
+  };
+  auto it = kKernels.find(key);
+  return it == kKernels.end() ? "" : it->second;
+}
+
+}  // namespace
+
+Result<std::vector<PlanStep>> PlanEinsum(const EinsumSpec& raw) {
+  EinsumSpec spec = NormalizeSpec(raw);
+  std::vector<PlanStep> plan;
+  for (int guard = 0; guard < 8; ++guard) {
+    if (!MatchKernel(spec).empty()) {
+      plan.push_back({MatchKernel(spec), -1, spec});
+      return plan;
+    }
+    bool progressed = false;
+    // 1. Diagonal extraction: an operand 'xx' becomes 'x'.
+    for (size_t op = 0; op < spec.inputs.size() && !progressed; ++op) {
+      const std::string& in = spec.inputs[op];
+      if (in.size() == 2 && in[0] == in[1]) {
+        spec.inputs[op] = in.substr(0, 1);
+        plan.push_back({"diag", static_cast<int>(op), spec});
+        progressed = true;
+      }
+    }
+    if (progressed) continue;
+    // 2. Sum out letters private to one operand and absent from output.
+    for (size_t op = 0; op < spec.inputs.size() && !progressed; ++op) {
+      std::string& in = spec.inputs[op];
+      for (size_t pos = 0; pos < in.size(); ++pos) {
+        char c = in[pos];
+        bool elsewhere = ContainsChar(spec.output, c);
+        for (size_t other = 0; other < spec.inputs.size(); ++other) {
+          if (other != op && ContainsChar(spec.inputs[other], c)) {
+            elsewhere = true;
+          }
+        }
+        if (elsewhere) continue;
+        std::string kernel;
+        if (in.size() == 1) {
+          kernel = "vecsum";
+          in = "";
+        } else if (pos == 1) {
+          kernel = "rowsum";  // 'xy->x'
+          in = in.substr(0, 1);
+        } else {
+          kernel = "colsum";  // 'xy->y'
+          in = in.substr(1, 1);
+        }
+        plan.push_back({kernel, static_cast<int>(op),
+                        NormalizeSpec(spec)});
+        spec = NormalizeSpec(spec);
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // 3. Swap binary operands.
+    if (spec.inputs.size() == 2) {
+      EinsumSpec swapped = spec;
+      std::swap(swapped.inputs[0], swapped.inputs[1]);
+      swapped = NormalizeSpec(swapped);
+      if (!MatchKernel(swapped).empty() ||
+          swapped.ToString() != spec.ToString()) {
+        spec = swapped;
+        plan.push_back({"swap", -1, spec});
+        progressed = true;
+      }
+    }
+    if (progressed && !MatchKernel(spec).empty()) continue;
+    // 4. Transpose an input so the output ordering matches.
+    for (size_t op = 0; op < spec.inputs.size(); ++op) {
+      if (spec.inputs[op].size() != 2) continue;
+      EinsumSpec t = spec;
+      std::swap(t.inputs[op][0], t.inputs[op][1]);
+      EinsumSpec tn = NormalizeSpec(t);
+      if (!MatchKernel(tn).empty()) {
+        plan.push_back({"transpose", static_cast<int>(op), tn});
+        spec = tn;
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      return Status::Unsupported("no reduction plan for einsum '" +
+                                 raw.ToString() + "'");
+    }
+  }
+  return Status::Unsupported("einsum plan did not converge: '" +
+                             raw.ToString() + "'");
+}
+
+// ===================================================================
+// Dense lowering
+// ===================================================================
+
+namespace {
+
+constexpr char kId[] = "id";
+
+TermPtr Col(const std::string& name) { return Term::Var(name); }
+
+TermPtr Mul(TermPtr a, TermPtr b) {
+  return Term::Binary(BinOp::kMul, std::move(a), std::move(b));
+}
+
+TermPtr AddChain(std::vector<TermPtr> terms) {
+  TermPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    acc = Term::Binary(BinOp::kAdd, acc, terms[i]);
+  }
+  return acc;
+}
+
+std::vector<std::string> DataCols(const FrameInfo& f) {
+  std::vector<std::string> out;
+  for (size_t i = f.has_id ? 1 : 0; i < f.columns.size(); ++i) {
+    out.push_back(f.columns[i]);
+  }
+  return out;
+}
+
+FrameInfo MakeArrayFrame(const std::string& relation, size_t ncols,
+                         bool with_id) {
+  FrameInfo f;
+  f.relation = relation;
+  f.is_array = true;
+  f.has_id = with_id;
+  if (with_id) f.columns.push_back(kId);
+  for (size_t i = 0; i < ncols; ++i) {
+    f.columns.push_back("c" + std::to_string(i));
+  }
+  if (with_id) f.unique_positions = {0};
+  return f;
+}
+
+/// Emits: out(id, c0..cn) :- in(...), terms. Access vars use the input's
+/// own column names; outputs computed by `exprs`.
+FrameInfo EmitMap(const FrameInfo& in, std::vector<TermPtr> exprs,
+                  bool keep_id, const EinsumEmitter& e) {
+  Rule rule;
+  rule.body.push_back(Atom::RelAccess(in.relation, in.columns));
+  FrameInfo out = MakeArrayFrame(e.fresh_relation(), exprs.size(), keep_id);
+  out.layout = in.layout;
+  if (keep_id) {
+    rule.head.vars.push_back(kId);
+  }
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    std::string v = "o" + std::to_string(i);
+    rule.body.push_back(Atom::Compare(v, tondir::CmpOp::kEq, exprs[i]));
+    rule.head.vars.push_back(v);
+  }
+  rule.head.relation = out.relation;
+  rule.head.col_names = out.columns;
+  e.program->rules.push_back(std::move(rule));
+  e.program->relation_info[out.relation] = {out.unique_positions};
+  return out;
+}
+
+/// Emits a global-aggregate rule producing a single flat row.
+FrameInfo EmitFlatAgg(const std::vector<const FrameInfo*>& ins,
+                      const std::vector<TermPtr>& agg_terms,
+                      const EinsumEmitter& e, bool join_on_id) {
+  Rule rule;
+  // Join all inputs on their id columns by binding the same var.
+  for (size_t k = 0; k < ins.size(); ++k) {
+    std::vector<std::string> vars = ins[k]->columns;
+    if (join_on_id && ins[k]->has_id) vars[0] = kId;
+    // Distinguish column vars per operand.
+    for (size_t i = (ins[k]->has_id ? 1 : 0); i < vars.size(); ++i) {
+      vars[i] = "x" + std::to_string(k) + "_" + vars[i];
+    }
+    rule.body.push_back(Atom::RelAccess(ins[k]->relation, vars));
+  }
+  FrameInfo out = MakeArrayFrame(e.fresh_relation(), agg_terms.size(),
+                                 /*with_id=*/false);
+  for (size_t i = 0; i < agg_terms.size(); ++i) {
+    std::string v = "o" + std::to_string(i);
+    rule.body.push_back(Atom::Compare(v, tondir::CmpOp::kEq, agg_terms[i]));
+    rule.head.vars.push_back(v);
+  }
+  rule.head.relation = out.relation;
+  rule.head.col_names = out.columns;
+  e.program->rules.push_back(std::move(rule));
+  e.program->relation_info[out.relation] = {};
+  return out;
+}
+
+/// Prefixed column term for operand k's data column i in a joined body.
+TermPtr XCol(size_t k, const FrameInfo& f, size_t i) {
+  return Col("x" + std::to_string(k) + "_" + DataCols(f)[i]);
+}
+
+/// Reshapes a 1-row flat frame (r*c values, row-major) into an r x c
+/// matrix using a constant index relation + CASE chains (the paper's
+/// v4_2/v4_3 pattern in Figure 2).
+FrameInfo EmitReshape(const FrameInfo& flat, size_t rows, size_t cols,
+                      const EinsumEmitter& e) {
+  Rule rule;
+  rule.body.push_back(Atom::RelAccess(flat.relation, flat.columns));
+  std::vector<Value> indices;
+  for (size_t r = 0; r < rows; ++r) {
+    indices.push_back(Value::Int64(static_cast<int64_t>(r)));
+  }
+  rule.body.push_back(Atom::ConstRel(kId, std::move(indices)));
+  FrameInfo out = MakeArrayFrame(e.fresh_relation(), cols, /*with_id=*/true);
+  rule.head.vars.push_back(kId);
+  for (size_t c = 0; c < cols; ++c) {
+    // o_c = if(id=0, flat[0*cols+c], if(id=1, flat[1*cols+c], ...)).
+    TermPtr expr = Col(flat.columns[(rows - 1) * cols + c]);
+    for (size_t r = rows - 1; r-- > 0;) {
+      expr = Term::If(
+          Term::Binary(BinOp::kEq, Col(kId),
+                       Term::Const(Value::Int64(static_cast<int64_t>(r)))),
+          Col(flat.columns[r * cols + c]), expr);
+    }
+    std::string v = "o" + std::to_string(c);
+    rule.body.push_back(Atom::Compare(v, tondir::CmpOp::kEq, expr));
+    rule.head.vars.push_back(v);
+  }
+  rule.head.relation = out.relation;
+  rule.head.col_names = out.columns;
+  e.program->rules.push_back(std::move(rule));
+  e.program->relation_info[out.relation] = {{0}};
+  return out;
+}
+
+/// Pivots a dense vector (id, c0) of known length n into a single flat row
+/// (v0..v{n-1}) via sum(if(id = p, c0, 0)).
+FrameInfo EmitVectorPivot(const FrameInfo& vec, size_t n,
+                          const EinsumEmitter& e) {
+  std::vector<TermPtr> aggs;
+  for (size_t p = 0; p < n; ++p) {
+    aggs.push_back(Term::Agg(
+        tondir::AggFn::kSum,
+        Term::If(Term::Binary(BinOp::kEq, Col(kId),
+                              Term::Const(Value::Int64(
+                                  static_cast<int64_t>(p)))),
+                 XCol(0, vec, 0), Term::Const(Value::Int64(0)))));
+  }
+  // Rename vec id to `id` for the XCol reference.
+  FrameInfo v = vec;
+  return EmitFlatAgg({&v}, aggs, e, /*join_on_id=*/true);
+}
+
+}  // namespace
+
+Result<FrameInfo> LowerDenseEinsum(const EinsumSpec& raw,
+                                   const std::vector<FrameInfo>& operands,
+                                   const EinsumEmitter& e) {
+  EinsumSpec spec = NormalizeSpec(raw);
+  std::string kernel = MatchKernel(spec);
+  const std::string key = spec.ToString();
+
+  // Validate operand orders match the spec.
+  for (size_t i = 0; i < spec.inputs.size(); ++i) {
+    size_t want = spec.inputs[i].size();
+    if (i < operands.size() && want > 0 && operands[i].data_width() == 0) {
+      return Status::InvalidArgument("einsum operand " + std::to_string(i) +
+                                     " has no data columns");
+    }
+  }
+
+  if (kernel == "ES1") {  // 'i->'
+    const FrameInfo& v = operands[0];
+    return EmitFlatAgg({&v}, {Term::Agg(tondir::AggFn::kSum, XCol(0, v, 0))},
+                       e, false);
+  }
+  if (kernel == "ES2") {  // 'ij->i' : per-row sum across columns
+    const FrameInfo& m = operands[0];
+    std::vector<TermPtr> parts;
+    for (const std::string& c : DataCols(m)) parts.push_back(Col(c));
+    return EmitMap(m, {AddChain(parts)}, /*keep_id=*/true, e);
+  }
+  if (kernel == "ES3") {  // 'ii->i' : diagonal
+    const FrameInfo& m = operands[0];
+    std::vector<std::string> cols = DataCols(m);
+    TermPtr expr = Col(cols.back());
+    for (size_t r = cols.size() - 1; r-- > 0;) {
+      expr = Term::If(
+          Term::Binary(BinOp::kEq, Col(m.columns[0]),
+                       Term::Const(Value::Int64(static_cast<int64_t>(r)))),
+          Col(cols[r]), expr);
+    }
+    FrameInfo in = m;
+    Rule rule;
+    rule.body.push_back(Atom::RelAccess(in.relation, in.columns));
+    FrameInfo out = MakeArrayFrame(e.fresh_relation(), 1, true);
+    rule.head.vars = {in.columns[0], "o0"};
+    rule.body.push_back(Atom::Compare("o0", tondir::CmpOp::kEq, expr));
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    e.program->rules.push_back(std::move(rule));
+    e.program->relation_info[out.relation] = {{0}};
+    return out;
+  }
+  if (kernel == "COLSUM" || kernel == "MATSUM") {  // 'ij->j' / 'ij->'
+    const FrameInfo& m = operands[0];
+    std::vector<TermPtr> aggs;
+    if (kernel == "MATSUM") {
+      std::vector<TermPtr> parts;
+      for (const std::string& c : DataCols(m)) {
+        parts.push_back(Col("x0_" + c));
+      }
+      aggs.push_back(Term::Agg(tondir::AggFn::kSum, AddChain(parts)));
+      return EmitFlatAgg({&m}, aggs, e, false);
+    }
+    for (size_t i = 0; i < m.data_width(); ++i) {
+      aggs.push_back(Term::Agg(tondir::AggFn::kSum, XCol(0, m, i)));
+    }
+    FrameInfo flat = EmitFlatAgg({&m}, aggs, e, false);
+    // A 'j' output is a vector: reshape 1 x n into n x 1.
+    return EmitReshape(flat, m.data_width(), 1, e);
+  }
+  if (kernel == "INNER") {  // 'i,i->'
+    const FrameInfo &a = operands[0], &b = operands[1];
+    return EmitFlatAgg(
+        {&a, &b},
+        {Term::Agg(tondir::AggFn::kSum, Mul(XCol(0, a, 0), XCol(1, b, 0)))},
+        e, /*join_on_id=*/true);
+  }
+  if (kernel == "ES7") {  // 'ij,ij->ij' hadamard
+    const FrameInfo &a = operands[0], &b = operands[1];
+    // Join on id with prefixed vars, per-column product.
+    Rule rule;
+    std::vector<std::string> va = a.columns, vb = b.columns;
+    va[0] = kId;
+    vb[0] = kId;
+    for (size_t i = 1; i < va.size(); ++i) va[i] = "a_" + va[i];
+    for (size_t i = 1; i < vb.size(); ++i) vb[i] = "b_" + vb[i];
+    rule.body.push_back(Atom::RelAccess(a.relation, va));
+    rule.body.push_back(Atom::RelAccess(b.relation, vb));
+    FrameInfo out = MakeArrayFrame(e.fresh_relation(), a.data_width(), true);
+    rule.head.vars.push_back(kId);
+    for (size_t i = 0; i < a.data_width(); ++i) {
+      std::string v = "o" + std::to_string(i);
+      rule.body.push_back(Atom::Compare(
+          v, tondir::CmpOp::kEq,
+          Mul(Col(va[i + 1]), Col(vb[i + 1]))));
+      rule.head.vars.push_back(v);
+    }
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    e.program->rules.push_back(std::move(rule));
+    e.program->relation_info[out.relation] = {{0}};
+    return out;
+  }
+  if (kernel == "ES8") {  // 'ij,ik->jk' gram / batch outer
+    // Lowered the naive way (paper Figure 2): per-row outer products
+    // grouped by the unique id, then a global sum, then a reshape. The
+    // TondIR optimizer removes the group-by (O2), the self-join when both
+    // operands are the same relation (O3), and fuses the rules (O4).
+    const FrameInfo &a = operands[0], &b = operands[1];
+    size_t n = a.data_width(), m = b.data_width();
+    Rule r1;
+    std::vector<std::string> va = a.columns, vb = b.columns;
+    va[0] = kId;
+    vb[0] = kId;
+    for (size_t i = 1; i < va.size(); ++i) va[i] = "a_" + va[i];
+    for (size_t i = 1; i < vb.size(); ++i) vb[i] = "b_" + vb[i];
+    r1.body.push_back(Atom::RelAccess(a.relation, va));
+    r1.body.push_back(Atom::RelAccess(b.relation, vb));
+    FrameInfo partial = MakeArrayFrame(e.fresh_relation(), n * m, true);
+    r1.head.vars.push_back(kId);
+    r1.head.group_vars.push_back(kId);
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t k = 0; k < m; ++k) {
+        std::string v = "p" + std::to_string(j * m + k);
+        r1.body.push_back(Atom::Compare(
+            v, tondir::CmpOp::kEq,
+            Term::Agg(tondir::AggFn::kSum,
+                      Mul(Col(va[j + 1]), Col(vb[k + 1])))));
+        r1.head.vars.push_back(v);
+      }
+    }
+    r1.head.relation = partial.relation;
+    r1.head.col_names = partial.columns;
+    e.program->rules.push_back(std::move(r1));
+    e.program->relation_info[partial.relation] = {{0}};
+
+    std::vector<TermPtr> totals;
+    for (size_t i = 0; i < n * m; ++i) {
+      totals.push_back(
+          Term::Agg(tondir::AggFn::kSum, XCol(0, partial, i)));
+    }
+    FrameInfo flat = EmitFlatAgg({&partial}, totals, e, false);
+    return EmitReshape(flat, n, m, e);
+  }
+  if (kernel == "ES9") {  // 'ij,ik->ij' row-scaled matrix
+    const FrameInfo &a = operands[0], &b = operands[1];
+    if (b.data_width() != 1) {
+      return Status::Unsupported("ES9 expects a column vector second operand");
+    }
+    Rule rule;
+    std::vector<std::string> va = a.columns, vb = b.columns;
+    va[0] = kId;
+    vb[0] = kId;
+    for (size_t i = 1; i < va.size(); ++i) va[i] = "a_" + va[i];
+    for (size_t i = 1; i < vb.size(); ++i) vb[i] = "b_" + vb[i];
+    rule.body.push_back(Atom::RelAccess(a.relation, va));
+    rule.body.push_back(Atom::RelAccess(b.relation, vb));
+    FrameInfo out = MakeArrayFrame(e.fresh_relation(), a.data_width(), true);
+    rule.head.vars.push_back(kId);
+    for (size_t i = 0; i < a.data_width(); ++i) {
+      std::string v = "o" + std::to_string(i);
+      rule.body.push_back(Atom::Compare(v, tondir::CmpOp::kEq,
+                                        Mul(Col(va[i + 1]), Col(vb[1]))));
+      rule.head.vars.push_back(v);
+    }
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    e.program->rules.push_back(std::move(rule));
+    e.program->relation_info[out.relation] = {{0}};
+    return out;
+  }
+  if (kernel == "MATVEC") {  // 'ij,j->i'
+    const FrameInfo &m = operands[0], &v = operands[1];
+    FrameInfo vt = EmitVectorPivot(v, m.data_width(), e);
+    // out(id, s) :- M(id, a_c0..), VT(w0..wn), s = sum_k a_ck * w_k.
+    Rule rule;
+    std::vector<std::string> mv = m.columns;
+    mv[0] = kId;
+    for (size_t i = 1; i < mv.size(); ++i) mv[i] = "a_" + mv[i];
+    std::vector<std::string> wv;
+    for (size_t i = 0; i < vt.columns.size(); ++i) {
+      wv.push_back("w" + std::to_string(i));
+    }
+    rule.body.push_back(Atom::RelAccess(m.relation, mv));
+    rule.body.push_back(Atom::RelAccess(vt.relation, wv));
+    std::vector<TermPtr> parts;
+    for (size_t i = 0; i < m.data_width(); ++i) {
+      parts.push_back(Mul(Col(mv[i + 1]), Col(wv[i])));
+    }
+    FrameInfo out = MakeArrayFrame(e.fresh_relation(), 1, true);
+    rule.head.vars = {kId, "o0"};
+    rule.body.push_back(
+        Atom::Compare("o0", tondir::CmpOp::kEq, AddChain(parts)));
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    e.program->rules.push_back(std::move(rule));
+    e.program->relation_info[out.relation] = {{0}};
+    return out;
+  }
+  if (kernel == "MATMUL") {  // 'ij,jk->ik'
+    const FrameInfo &a = operands[0], &b = operands[1];
+    size_t p = a.data_width(), k = b.data_width();
+    // Flatten b (p rows x k cols) into one row of p*k values.
+    std::vector<TermPtr> aggs;
+    for (size_t r = 0; r < p; ++r) {
+      for (size_t c = 0; c < k; ++c) {
+        aggs.push_back(Term::Agg(
+            tondir::AggFn::kSum,
+            Term::If(Term::Binary(BinOp::kEq, Term::Var("x0_" + b.columns[0]),
+                                  Term::Const(Value::Int64(
+                                      static_cast<int64_t>(r)))),
+                     XCol(0, b, c), Term::Const(Value::Int64(0)))));
+      }
+    }
+    // EmitFlatAgg prefixes operand-0 data cols with x0_, but we also need
+    // its id var; rebind manually.
+    Rule flat_rule;
+    std::vector<std::string> bv = b.columns;
+    bv[0] = "x0_" + bv[0];
+    for (size_t i = 1; i < bv.size(); ++i) bv[i] = "x0_" + bv[i];
+    flat_rule.body.push_back(Atom::RelAccess(b.relation, bv));
+    FrameInfo bf = MakeArrayFrame(e.fresh_relation(), p * k, false);
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      std::string v = "o" + std::to_string(i);
+      flat_rule.body.push_back(Atom::Compare(v, tondir::CmpOp::kEq, aggs[i]));
+      flat_rule.head.vars.push_back(v);
+    }
+    flat_rule.head.relation = bf.relation;
+    flat_rule.head.col_names = bf.columns;
+    e.program->rules.push_back(std::move(flat_rule));
+    e.program->relation_info[bf.relation] = {};
+
+    Rule rule;
+    std::vector<std::string> av = a.columns;
+    av[0] = kId;
+    for (size_t i = 1; i < av.size(); ++i) av[i] = "a_" + av[i];
+    std::vector<std::string> bw;
+    for (size_t i = 0; i < bf.columns.size(); ++i) {
+      bw.push_back("w" + std::to_string(i));
+    }
+    rule.body.push_back(Atom::RelAccess(a.relation, av));
+    rule.body.push_back(Atom::RelAccess(bf.relation, bw));
+    FrameInfo out = MakeArrayFrame(e.fresh_relation(), k, true);
+    rule.head.vars.push_back(kId);
+    for (size_t c = 0; c < k; ++c) {
+      std::vector<TermPtr> parts;
+      for (size_t j = 0; j < p; ++j) {
+        parts.push_back(Mul(Col(av[j + 1]), Col(bw[j * k + c])));
+      }
+      std::string v = "oo" + std::to_string(c);
+      rule.body.push_back(
+          Atom::Compare(v, tondir::CmpOp::kEq, AddChain(parts)));
+      rule.head.vars.push_back(v);
+    }
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    e.program->rules.push_back(std::move(rule));
+    e.program->relation_info[out.relation] = {{0}};
+    return out;
+  }
+
+  return Status::Unsupported("dense einsum kernel for '" + raw.ToString() +
+                             "' (plan-level reductions: " +
+                             NormalizeSpec(raw).ToString() + ")");
+}
+
+// ===================================================================
+// Sparse (COO) lowering
+// ===================================================================
+
+Result<FrameInfo> LowerSparseEinsum(const EinsumSpec& raw,
+                                    const std::vector<FrameInfo>& operands,
+                                    const EinsumEmitter& e) {
+  EinsumSpec spec = NormalizeSpec(raw);
+  if (spec.inputs.size() > 2) {
+    return Status::Unsupported("sparse einsum supports <= 2 operands");
+  }
+  Rule rule;
+  std::vector<TermPtr> val_terms;
+  for (size_t k = 0; k < spec.inputs.size(); ++k) {
+    const FrameInfo& f = operands[k];
+    const std::string& idx = spec.inputs[k];
+    // COO columns: one index column per letter + trailing value column.
+    if (f.columns.size() != idx.size() + 1) {
+      return Status::InvalidArgument(
+          "sparse operand " + std::to_string(k) + " has " +
+          std::to_string(f.columns.size()) + " columns, spec '" + idx +
+          "' wants " + std::to_string(idx.size() + 1));
+    }
+    std::vector<std::string> vars;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      // Shared letters share var names -> natural join.
+      vars.push_back(std::string("ix_") + idx[i]);
+    }
+    std::string val_var = "val" + std::to_string(k);
+    vars.push_back(val_var);
+    // Repeated letter within one operand ('ii'): both positions get the
+    // same var, which TondIR treats as an equality filter.
+    rule.body.push_back(Atom::RelAccess(f.relation, vars));
+    val_terms.push_back(Term::Var(val_var));
+  }
+  TermPtr product = val_terms[0];
+  for (size_t i = 1; i < val_terms.size(); ++i) {
+    product = Mul(product, val_terms[i]);
+  }
+
+  FrameInfo out;
+  out.relation = e.fresh_relation();
+  out.is_array = true;
+  out.layout = TensorLayout::kSparse;
+  for (size_t i = 0; i < spec.output.size(); ++i) {
+    std::string col = spec.output.size() == 1
+                          ? "row_id"
+                          : (i == 0 ? "row_id" : "col_id");
+    out.columns.push_back(col);
+    rule.head.vars.push_back(std::string("ix_") + spec.output[i]);
+    rule.head.group_vars.push_back(std::string("ix_") + spec.output[i]);
+  }
+  out.columns.push_back("val");
+  rule.body.push_back(Atom::Compare(
+      "v_out", tondir::CmpOp::kEq, Term::Agg(tondir::AggFn::kSum, product)));
+  rule.head.vars.push_back("v_out");
+  rule.head.relation = out.relation;
+  rule.head.col_names = out.columns;
+  e.program->rules.push_back(std::move(rule));
+  e.program->relation_info[out.relation] = {};
+  return out;
+}
+
+// ===================================================================
+// N-ary contraction path (the opt_einsum role, §III-D)
+// ===================================================================
+
+namespace {
+
+size_t SharedLetters(const std::string& a, const std::string& b) {
+  size_t n = 0;
+  for (char c : a) {
+    if (ContainsChar(b, c)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<std::vector<ContractionStep>> PlanContractionPath(
+    const EinsumSpec& spec) {
+  std::vector<ContractionStep> steps;
+  std::vector<std::string> live = spec.inputs;
+  std::vector<size_t> origin(live.size());
+  for (size_t i = 0; i < origin.size(); ++i) origin[i] = i;
+
+  while (live.size() > 2) {
+    // Greedy: contract the pair sharing the most letters (ties: earliest).
+    size_t bi = 0, bj = 1, best = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        size_t shared = SharedLetters(live[i], live[j]);
+        if (shared > best) {
+          best = shared;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Letters of the pair that must survive (used by output or others).
+    std::string keep;
+    for (char c : live[bi] + live[bj]) {
+      if (ContainsChar(keep, c)) continue;
+      bool needed = ContainsChar(spec.output, c);
+      for (size_t k = 0; k < live.size() && !needed; ++k) {
+        if (k != bi && k != bj && ContainsChar(live[k], c)) needed = true;
+      }
+      if (needed) keep += c;
+    }
+    if (keep.size() > 2) {
+      return Status::Unsupported(
+          "n-ary einsum intermediate exceeds order 2: '" + keep + "'");
+    }
+    ContractionStep step;
+    step.lhs = origin[bi];
+    step.rhs = origin[bj];
+    step.binary.inputs = {live[bi], live[bj]};
+    step.binary.output = keep;
+    steps.push_back(step);
+    // The result replaces the first operand of the pair; its id in the
+    // operand store is n_operands + (step index).
+    live[bi] = keep;
+    origin[bi] = spec.inputs.size() + steps.size() - 1;
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(bj));
+    origin.erase(origin.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+  if (live.size() == 1 && live[0] == spec.output) {
+    return steps;  // the last contraction already produced the output
+  }
+  ContractionStep final_step;
+  final_step.lhs = origin[0];
+  final_step.rhs = live.size() > 1 ? origin[1] : origin[0];
+  final_step.binary.inputs = live;
+  final_step.binary.output = spec.output;
+  steps.push_back(final_step);
+  return steps;
+}
+
+Result<FrameInfo> LowerEinsum(const EinsumSpec& spec,
+                              const std::vector<FrameInfo>& operands,
+                              TensorLayout layout,
+                              const EinsumEmitter& emitter) {
+  auto lower_binary = [&](const EinsumSpec& s,
+                          const std::vector<FrameInfo>& ops)
+      -> Result<FrameInfo> {
+    if (layout == TensorLayout::kSparse) {
+      return LowerSparseEinsum(s, ops, emitter);
+    }
+    return LowerDenseEinsum(s, ops, emitter);
+  };
+  if (spec.inputs.size() <= 2) return lower_binary(spec, operands);
+
+  PYTOND_ASSIGN_OR_RETURN(std::vector<ContractionStep> path,
+                          PlanContractionPath(spec));
+  // Operand store: original operands followed by intermediates in step
+  // order (ids assigned in PlanContractionPath).
+  std::vector<FrameInfo> store = operands;
+  for (size_t s = 0; s < path.size(); ++s) {
+    const ContractionStep& step = path[s];
+    std::vector<FrameInfo> ops;
+    ops.push_back(store[step.lhs]);
+    if (step.binary.inputs.size() > 1) ops.push_back(store[step.rhs]);
+    PYTOND_ASSIGN_OR_RETURN(FrameInfo out,
+                            lower_binary(step.binary, ops));
+    store.push_back(std::move(out));
+  }
+  return store.back();
+}
+
+}  // namespace pytond::frontend

@@ -1,0 +1,89 @@
+#ifndef PYTOND_FRONTEND_TRANSLATE_EINSUM_H_
+#define PYTOND_FRONTEND_TRANSLATE_EINSUM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "frontend/translate/translator.h"
+#include "tondir/ir.h"
+
+namespace pytond::frontend {
+
+/// Parsed einsum specification: per-operand index strings + output string,
+/// normalized to letters i, j, k by first appearance (paper §III-D).
+struct EinsumSpec {
+  std::vector<std::string> inputs;
+  std::string output;
+
+  std::string ToString() const;
+};
+
+Result<EinsumSpec> ParseEinsumSpec(const std::string& spec);
+
+/// Normalizes index letters by order of first appearance: 'ab,cc->ba'
+/// becomes 'ij,kk->ji'.
+EinsumSpec NormalizeSpec(const EinsumSpec& spec);
+
+/// One step of the kernel-reduction plan (paper §III-D / Table VI).
+struct PlanStep {
+  /// Kernel id (ES1..ES9) or a named reduction ("diag", "rowsum",
+  /// "colsum", "vecsum", "swap", "transpose").
+  std::string kernel;
+  /// Which operand the step applies to (0/1), -1 for spec-level steps.
+  int operand = -1;
+  /// Spec after the step.
+  EinsumSpec after;
+};
+
+/// Computes the reduction plan that turns an arbitrary binary (or unary)
+/// einsum into one of the fundamental kernels. This reproduces the paper's
+/// worked example: 'ab,cc->ba' -> diag -> vecsum -> swap -> transpose ->
+/// ES6. Fails for specs outside the supported space.
+Result<std::vector<PlanStep>> PlanEinsum(const EinsumSpec& spec);
+
+/// Emission hooks the lowering uses to add rules to the program under
+/// construction.
+struct EinsumEmitter {
+  tondir::Program* program;
+  std::function<std::string()> fresh_relation;
+};
+
+/// Lowers an einsum over dense-layout operands, returning the output
+/// frame. Covers the kernel set exercised by the paper's workloads
+/// (sums, diagonal, inner/hadamard products, matrix-vector and
+/// gram/covariance contractions, matmul, scalar scaling).
+Result<FrameInfo> LowerDenseEinsum(const EinsumSpec& spec,
+                                   const std::vector<FrameInfo>& operands,
+                                   const EinsumEmitter& emitter);
+
+/// Lowers an einsum over sparse (COO) operands: joins on shared letters,
+/// groups by output letters, sums the product — fully general for unary
+/// and binary specs.
+Result<FrameInfo> LowerSparseEinsum(const EinsumSpec& spec,
+                                    const std::vector<FrameInfo>& operands,
+                                    const EinsumEmitter& emitter);
+
+/// N-ary einsum (paper §III-D, the opt_einsum path): greedily contracts
+/// operand pairs sharing the most letters into binary einsums, then
+/// lowers each through the dense or sparse path. Specs whose intermediate
+/// results would exceed order 2 are rejected.
+Result<FrameInfo> LowerEinsum(const EinsumSpec& spec,
+                              const std::vector<FrameInfo>& operands,
+                              TensorLayout layout,
+                              const EinsumEmitter& emitter);
+
+/// The contraction path chosen for an n-ary spec: pairs of operand
+/// indices with the intermediate spec each contraction computes
+/// (exposed for tests).
+struct ContractionStep {
+  size_t lhs, rhs;       // operand positions contracted
+  EinsumSpec binary;     // the binary einsum performed
+};
+Result<std::vector<ContractionStep>> PlanContractionPath(
+    const EinsumSpec& spec);
+
+}  // namespace pytond::frontend
+
+#endif  // PYTOND_FRONTEND_TRANSLATE_EINSUM_H_

@@ -1,0 +1,1422 @@
+#include "frontend/translate/translator.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "frontend/translate/einsum.h"
+
+namespace pytond::frontend {
+
+using py::Expr;
+using py::ExprPtr;
+using py::Stmt;
+using tondir::Atom;
+using tondir::BinOp;
+using tondir::CmpOp;
+using tondir::Rule;
+using tondir::Term;
+using tondir::TermPtr;
+
+size_t FrameInfo::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+namespace {
+
+constexpr char kIdCol[] = "id";
+
+/// Conjunctive EXISTS payload attached to masks built from isin().
+struct IsinPayload {
+  FrameInfo frame;       // relation providing the membership set
+  std::string column;    // its column
+  TermPtr probe;         // probe term over the filtered frame's columns
+  bool negated = false;
+};
+
+/// Translation-time value of a mini-Python expression.
+struct TValue {
+  enum class Kind { kFrame, kEmptyFrame, kColumn, kScalar, kGroupBy,
+                    kStrList };
+  Kind kind;
+  FrameInfo frame;                   // kFrame / kColumn owner / kGroupBy
+  TermPtr term;                      // kColumn / kScalar
+  std::vector<std::string> strings;  // kStrList (string items)
+  std::vector<Value> literals;       // kStrList (all literal items)
+  std::vector<std::string> group_keys;
+  std::vector<IsinPayload> isins;    // kColumn masks
+  bool str_ctx = false;              // after `.str`
+  bool dt_ctx = false;               // after `.dt`
+};
+
+Result<std::string> LiteralString(const ExprPtr& e) {
+  if (e->kind != Expr::Kind::kLiteral ||
+      e->literal.type() != DataType::kString) {
+    return Status::Unsupported("expected a string literal, got " +
+                               e->ToString());
+  }
+  return e->literal.AsString();
+}
+
+Result<std::vector<std::string>> StringList(const ExprPtr& e) {
+  std::vector<std::string> out;
+  if (e->kind == Expr::Kind::kLiteral) {
+    PYTOND_ASSIGN_OR_RETURN(std::string s, LiteralString(e));
+    out.push_back(s);
+    return out;
+  }
+  if (e->kind == Expr::Kind::kList || e->kind == Expr::Kind::kTuple) {
+    for (const ExprPtr& c : e->children) {
+      PYTOND_ASSIGN_OR_RETURN(std::string s, LiteralString(c));
+      out.push_back(s);
+    }
+    return out;
+  }
+  return Status::Unsupported("expected string or list of strings: " +
+                             e->ToString());
+}
+
+const ExprPtr* FindKwarg(const Expr& call, const std::string& name) {
+  for (const auto& [k, v] : call.kwargs) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool IsCmp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Translator {
+ public:
+  Translator(const Catalog& catalog, const TranslateOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<TranslationResult> Run(const py::Function& fn) {
+    fn_name_ = fn.name;
+    // Bind parameters to catalog tables (contextual information §III-A).
+    for (const std::string& param : fn.params) {
+      const Table* t = catalog_.GetTable(param);
+      if (t == nullptr) {
+        return Status::NotFound("parameter '" + param +
+                                "' has no catalog table");
+      }
+      FrameInfo f;
+      f.relation = param;
+      f.columns = t->schema().names;
+      const TableConstraints* tc = catalog_.GetConstraints(param);
+      if (tc != nullptr) {
+        for (size_t i = 0; i < f.columns.size(); ++i) {
+          if (tc->IsUniqueColumn(f.columns[i])) f.unique_positions.insert(i);
+        }
+      }
+      if (!f.columns.empty() && f.columns[0] == kIdCol) {
+        f.has_id = true;
+        f.unique_positions.insert(0);
+      }
+      if (options_.layout == TensorLayout::kSparse &&
+          f.columns.size() == 3 && f.columns[0] == "row_id") {
+        f.layout = TensorLayout::kSparse;
+        f.is_array = true;
+      }
+      program_.base_columns[param] = f.columns;
+      program_.relation_info[param] = {f.unique_positions};
+      base_relations_.insert(param);
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = std::move(f);
+      env_[param] = std::move(v);
+    }
+
+    for (const Stmt& stmt : fn.body) {
+      if (stmt.kind == Stmt::Kind::kReturn) {
+        PYTOND_ASSIGN_OR_RETURN(TValue v, Eval(stmt.value));
+        return Finalize(std::move(v));
+      }
+      PYTOND_RETURN_IF_ERROR(ExecAssign(stmt));
+    }
+    return Status::InvalidArgument("function has no return statement");
+  }
+
+  const std::set<std::string>& base_relations() const {
+    return base_relations_;
+  }
+
+ private:
+  std::string Fresh() {
+    return fn_name_ + "_v" + std::to_string(++counter_);
+  }
+
+  EinsumEmitter Emitter() {
+    return EinsumEmitter{&program_, [this] { return Fresh(); }};
+  }
+
+  // ------------------------------------------------------------ emit
+  /// Emits a single-source rule. `outputs` are (column name, term over
+  /// src columns); extra atoms (filters/exists) appended after.
+  FrameInfo EmitSimple(const FrameInfo& src,
+                       const std::vector<std::pair<std::string, TermPtr>>&
+                           outputs,
+                       tondir::Body extra = {},
+                       std::vector<std::string> group_cols = {},
+                       std::vector<tondir::SortKey> sort = {},
+                       std::optional<int64_t> limit = std::nullopt,
+                       bool distinct = false,
+                       std::set<size_t> unique_positions = {}) {
+    Rule rule;
+    rule.body.push_back(Atom::RelAccess(src.relation, src.columns));
+    FrameInfo out;
+    out.relation = Fresh();
+    out.is_array = src.is_array;
+    out.layout = src.layout;
+    int assign_n = 0;
+    for (const auto& [name, term] : outputs) {
+      out.columns.push_back(name);
+      if (term->kind == Term::Kind::kVar) {
+        rule.head.vars.push_back(term->var);
+      } else {
+        std::string v = "e" + std::to_string(++assign_n) + "_" + name;
+        rule.body.push_back(Atom::Compare(v, CmpOp::kEq, term));
+        rule.head.vars.push_back(v);
+      }
+    }
+    for (Atom& a : extra) rule.body.push_back(std::move(a));
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    for (const std::string& g : group_cols) {
+      // Group vars refer to head vars for the named columns.
+      size_t idx = out.FindColumn(g);
+      rule.head.group_vars.push_back(rule.head.vars[idx]);
+    }
+    for (const tondir::SortKey& k : sort) {
+      size_t idx = out.FindColumn(k.var);
+      rule.head.sort_keys.push_back({rule.head.vars[idx], k.ascending});
+    }
+    rule.head.limit = limit;
+    rule.head.distinct = distinct;
+    out.unique_positions = unique_positions;
+    out.has_id = !out.columns.empty() && out.columns[0] == kIdCol;
+    if (out.has_id) out.unique_positions.insert(0);
+    program_.relation_info[out.relation] = {out.unique_positions};
+    program_.rules.push_back(std::move(rule));
+    return out;
+  }
+
+  /// Identity projection (all columns).
+  std::vector<std::pair<std::string, TermPtr>> AllColumns(
+      const FrameInfo& f) {
+    std::vector<std::pair<std::string, TermPtr>> outs;
+    for (const std::string& c : f.columns) outs.emplace_back(c, Term::Var(c));
+    return outs;
+  }
+
+  /// Ensures the frame has a leading id column, generating UID if needed
+  /// (paper §III-C, implicit joins).
+  FrameInfo EnsureId(const FrameInfo& f) {
+    if (f.has_id) return f;
+    Rule rule;
+    rule.body.push_back(Atom::RelAccess(f.relation, f.columns));
+    rule.body.push_back(
+        Atom::Compare(kIdCol, CmpOp::kEq, Term::Ext("uid", {})));
+    FrameInfo out;
+    out.relation = Fresh();
+    out.columns.push_back(kIdCol);
+    for (const std::string& c : f.columns) out.columns.push_back(c);
+    out.has_id = true;
+    out.is_array = f.is_array;
+    out.layout = f.layout;
+    out.unique_positions = {0};
+    for (size_t p : f.unique_positions) out.unique_positions.insert(p + 1);
+    rule.head.relation = out.relation;
+    rule.head.vars = out.columns;
+    rule.head.col_names = out.columns;
+    program_.relation_info[out.relation] = {out.unique_positions};
+    program_.rules.push_back(std::move(rule));
+    return out;
+  }
+
+  /// Converts filter masks into body atoms (decomposing conjunctions and
+  /// comparisons for idiomatic SQL).
+  void AppendFilter(const TermPtr& cond, tondir::Body* body) {
+    if (cond->kind == Term::Kind::kBinary && cond->bin_op == BinOp::kAnd) {
+      AppendFilter(cond->children[0], body);
+      AppendFilter(cond->children[1], body);
+      return;
+    }
+    if (cond->kind == Term::Kind::kBinary && IsCmp(cond->bin_op)) {
+      CmpOp op;
+      switch (cond->bin_op) {
+        case BinOp::kEq: op = CmpOp::kEq; break;
+        case BinOp::kNe: op = CmpOp::kNe; break;
+        case BinOp::kLt: op = CmpOp::kLt; break;
+        case BinOp::kLe: op = CmpOp::kLe; break;
+        case BinOp::kGt: op = CmpOp::kGt; break;
+        default: op = CmpOp::kGe; break;
+      }
+      if (cond->children[0]->kind == Term::Kind::kVar) {
+        body->push_back(
+            Atom::Compare(cond->children[0]->var, op, cond->children[1]));
+        return;
+      }
+      std::string tmp = "f" + std::to_string(++filter_n_);
+      body->push_back(Atom::Compare(tmp, CmpOp::kEq, cond->children[0]));
+      body->push_back(Atom::Compare(tmp, op, cond->children[1]));
+      return;
+    }
+    // General boolean term (LIKE, OR, CASE...): bind then compare to TRUE.
+    std::string tmp = "f" + std::to_string(++filter_n_);
+    body->push_back(Atom::Compare(tmp, CmpOp::kEq, cond));
+    body->push_back(Atom::Compare(tmp, CmpOp::kEq,
+                                  Term::Const(Value::Bool(true))));
+  }
+
+  /// Builds the EXISTS atom for an isin payload.
+  Atom MakeExists(const IsinPayload& p) {
+    tondir::Body inner;
+    std::vector<std::string> vars;
+    size_t target = p.frame.FindColumn(p.column);
+    for (size_t i = 0; i < p.frame.columns.size(); ++i) {
+      vars.push_back("in_" + std::to_string(i));
+    }
+    inner.push_back(Atom::RelAccess(p.frame.relation, vars));
+    inner.push_back(
+        Atom::Compare(vars[target], CmpOp::kEq, p.probe));
+    return Atom::Exists(std::move(inner), p.negated);
+  }
+
+  // ------------------------------------------------------------ eval
+  Result<TValue> Eval(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kName: {
+        auto it = env_.find(e->name);
+        if (it == env_.end()) {
+          return Status::NotFound("undefined variable '" + e->name + "'");
+        }
+        return it->second;
+      }
+      case Expr::Kind::kLiteral: {
+        TValue v;
+        v.kind = TValue::Kind::kScalar;
+        v.term = Term::Const(e->literal);
+        return v;
+      }
+      case Expr::Kind::kList:
+      case Expr::Kind::kTuple: {
+        TValue v;
+        v.kind = TValue::Kind::kStrList;
+        for (const ExprPtr& c : e->children) {
+          if (c->kind != Expr::Kind::kLiteral) {
+            return Status::Unsupported("non-literal list item: " +
+                                       c->ToString());
+          }
+          v.literals.push_back(c->literal);
+          if (c->literal.type() == DataType::kString) {
+            v.strings.push_back(c->literal.AsString());
+          }
+        }
+        return v;
+      }
+      case Expr::Kind::kAttribute:
+        return EvalAttribute(*e);
+      case Expr::Kind::kSubscript:
+        return EvalSubscript(*e);
+      case Expr::Kind::kCall:
+        return EvalCall(*e);
+      case Expr::Kind::kBinOp:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kBoolOp:
+        return EvalBinary(*e);
+      case Expr::Kind::kUnary:
+        return EvalUnary(*e);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Result<TValue> EvalAttribute(const Expr& e) {
+    const std::string& attr = e.name;
+    PYTOND_ASSIGN_OR_RETURN(TValue base, Eval(e.children[0]));
+    if (base.kind == TValue::Kind::kFrame) {
+      if (attr == "values") return MarkArray(base);
+      size_t idx = base.frame.FindColumn(attr);
+      if (idx == static_cast<size_t>(-1)) {
+        return Status::NotFound("column '" + attr + "' in relation " +
+                                base.frame.relation);
+      }
+      TValue v;
+      v.kind = TValue::Kind::kColumn;
+      v.frame = base.frame;
+      v.term = Term::Var(attr);
+      return v;
+    }
+    if (base.kind == TValue::Kind::kColumn) {
+      if (attr == "str") {
+        base.str_ctx = true;
+        return base;
+      }
+      if (attr == "dt") {
+        base.dt_ctx = true;
+        return base;
+      }
+      if (base.dt_ctx &&
+          (attr == "year" || attr == "month" || attr == "day")) {
+        base.dt_ctx = false;
+        base.term = Term::Ext(attr, {base.term});
+        return base;
+      }
+      return Status::Unsupported("attribute '" + attr + "' on a column");
+    }
+    return Status::Unsupported("attribute '" + attr + "'");
+  }
+
+  Result<TValue> MarkArray(TValue v) {
+    if (v.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("to_numpy() needs a DataFrame");
+    }
+    v.frame = EnsureId(v.frame);
+    v.frame.is_array = true;
+    return v;
+  }
+
+  Result<TValue> EvalSubscript(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(TValue base, Eval(e.children[0]));
+    PYTOND_ASSIGN_OR_RETURN(TValue index, Eval(e.children[1]));
+    if (base.kind == TValue::Kind::kGroupBy &&
+        index.kind == TValue::Kind::kStrList) {
+      // groupby(..)[cols] restricts aggregation inputs; remember them.
+      base.strings = index.strings;
+      return base;
+    }
+    if (base.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("subscript on non-frame");
+    }
+    if (index.kind == TValue::Kind::kScalar &&
+        index.term->constant.type() == DataType::kString) {
+      const std::string& col = index.term->constant.AsString();
+      if (base.frame.FindColumn(col) == static_cast<size_t>(-1)) {
+        return Status::NotFound("column '" + col + "'");
+      }
+      TValue v;
+      v.kind = TValue::Kind::kColumn;
+      v.frame = base.frame;
+      v.term = Term::Var(col);
+      return v;
+    }
+    if (index.kind == TValue::Kind::kStrList) {
+      // Projection df[[c1, c2]].
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      std::set<size_t> uniq;
+      for (const std::string& c : index.strings) {
+        size_t idx = base.frame.FindColumn(c);
+        if (idx == static_cast<size_t>(-1)) {
+          return Status::NotFound("column '" + c + "'");
+        }
+        if (base.frame.unique_positions.count(idx)) {
+          uniq.insert(outs.size());
+        }
+        outs.emplace_back(c, Term::Var(c));
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame, outs, {}, {}, {}, std::nullopt, false,
+                           uniq);
+      return v;
+    }
+    if (index.kind == TValue::Kind::kColumn) {
+      // Filter df[mask] (including isin payloads as EXISTS atoms).
+      if (index.frame.relation != base.frame.relation &&
+          !index.isins.empty() && index.term == nullptr) {
+        return Status::Unsupported("mask frame mismatch");
+      }
+      if (index.frame.relation != base.frame.relation) {
+        return Status::Unsupported(
+            "boolean mask must derive from the filtered frame (got " +
+            index.frame.relation + " vs " + base.frame.relation + ")");
+      }
+      tondir::Body extra;
+      if (index.term) AppendFilter(index.term, &extra);
+      for (const IsinPayload& p : index.isins) {
+        extra.push_back(MakeExists(p));
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame, AllColumns(base.frame),
+                           std::move(extra), {}, {}, std::nullopt, false,
+                           base.frame.unique_positions);
+      v.frame.is_array = base.frame.is_array;
+      return v;
+    }
+    return Status::Unsupported("subscript index");
+  }
+
+  Result<TValue> EvalUnary(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(TValue v, Eval(e.children[0]));
+    if (e.op == "~") {
+      if (!v.isins.empty() && v.term == nullptr) {
+        for (IsinPayload& p : v.isins) p.negated = !p.negated;
+        return v;
+      }
+      if (v.kind == TValue::Kind::kColumn ||
+          v.kind == TValue::Kind::kScalar) {
+        v.term = Term::If(v.term, Term::Const(Value::Bool(false)),
+                          Term::Const(Value::Bool(true)));
+        return v;
+      }
+      return Status::Unsupported("~ on non-mask");
+    }
+    // Unary minus.
+    if (v.kind == TValue::Kind::kScalar &&
+        v.term->kind == Term::Kind::kConst) {
+      const Value& c = v.term->constant;
+      v.term = Term::Const(c.type() == DataType::kFloat64
+                               ? Value::Float64(-c.AsFloat64())
+                               : Value::Int64(-c.AsInt64()));
+      return v;
+    }
+    if (v.kind == TValue::Kind::kColumn) {
+      v.term = Term::Binary(BinOp::kSub, Term::Const(Value::Int64(0)),
+                            v.term);
+      return v;
+    }
+    return Status::Unsupported("unary minus");
+  }
+
+  Result<TValue> EvalBinary(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(TValue l, Eval(e.children[0]));
+    PYTOND_ASSIGN_OR_RETURN(TValue r, Eval(e.children[1]));
+
+    // Mask conjunction may carry isin payloads.
+    if (e.op == "&") {
+      TValue out;
+      out.kind = TValue::Kind::kColumn;
+      out.frame = l.kind == TValue::Kind::kColumn ? l.frame : r.frame;
+      if (l.kind == TValue::Kind::kColumn &&
+          r.kind == TValue::Kind::kColumn &&
+          l.frame.relation != r.frame.relation) {
+        return Status::Unsupported("mask conjunction across frames");
+      }
+      if (l.term && r.term) {
+        out.term = Term::Binary(BinOp::kAnd, l.term, r.term);
+      } else {
+        out.term = l.term ? l.term : r.term;
+      }
+      out.isins = l.isins;
+      out.isins.insert(out.isins.end(), r.isins.begin(), r.isins.end());
+      return out;
+    }
+
+    // Array-level elementwise arithmetic.
+    if (l.kind == TValue::Kind::kFrame && l.frame.is_array) {
+      return ArrayBinary(e.op, l, r);
+    }
+    if (r.kind == TValue::Kind::kFrame && r.frame.is_array) {
+      return ArrayBinary(e.op, l, r);
+    }
+
+    auto as_term = [](const TValue& v) -> TermPtr { return v.term; };
+    if ((l.kind != TValue::Kind::kColumn &&
+         l.kind != TValue::Kind::kScalar) ||
+        (r.kind != TValue::Kind::kColumn &&
+         r.kind != TValue::Kind::kScalar)) {
+      return Status::Unsupported("operands of '" + e.op + "'");
+    }
+    if (l.kind == TValue::Kind::kColumn &&
+        r.kind == TValue::Kind::kColumn &&
+        l.frame.relation != r.frame.relation) {
+      return Status::Unsupported(
+          "column arithmetic across different frames (use merge)");
+    }
+    static const std::map<std::string, BinOp> kOps = {
+        {"+", BinOp::kAdd}, {"-", BinOp::kSub},  {"*", BinOp::kMul},
+        {"/", BinOp::kDiv}, {"//", BinOp::kDiv}, {"%", BinOp::kMod},
+        {"==", BinOp::kEq}, {"!=", BinOp::kNe},  {"<", BinOp::kLt},
+        {"<=", BinOp::kLe}, {">", BinOp::kGt},   {">=", BinOp::kGe},
+        {"|", BinOp::kOr},  {"&", BinOp::kAnd},
+    };
+    auto it = kOps.find(e.op);
+    if (it == kOps.end()) {
+      if (e.op == "**") {
+        TValue out = l.kind == TValue::Kind::kColumn ? l : r;
+        out.term = Term::Ext("power", {as_term(l), as_term(r)});
+        return out;
+      }
+      return Status::Unsupported("operator '" + e.op + "'");
+    }
+    TValue out = l.kind == TValue::Kind::kColumn ? l : r;
+    out.kind = l.kind == TValue::Kind::kColumn ||
+                       r.kind == TValue::Kind::kColumn
+                   ? TValue::Kind::kColumn
+                   : TValue::Kind::kScalar;
+    out.term = Term::Binary(it->second, as_term(l), as_term(r));
+    out.isins.clear();
+    out.str_ctx = out.dt_ctx = false;
+    return out;
+  }
+
+  Result<TValue> ArrayBinary(const std::string& op, const TValue& l,
+                             const TValue& r) {
+    // array op scalar -> per-column map; array op array -> join on id.
+    static const std::map<std::string, BinOp> kOps = {
+        {"+", BinOp::kAdd}, {"-", BinOp::kSub}, {"*", BinOp::kMul},
+        {"/", BinOp::kDiv},
+    };
+    auto it = kOps.find(op);
+    if (it == kOps.end()) {
+      return Status::Unsupported("array operator '" + op + "'");
+    }
+    if (l.kind == TValue::Kind::kFrame && r.kind == TValue::Kind::kScalar) {
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      for (const std::string& c : l.frame.columns) {
+        if (c == kIdCol) {
+          outs.emplace_back(c, Term::Var(c));
+        } else {
+          outs.emplace_back(c,
+                            Term::Binary(it->second, Term::Var(c), r.term));
+        }
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(l.frame, outs, {}, {}, {}, std::nullopt, false,
+                           l.frame.unique_positions);
+      v.frame.is_array = true;
+      return v;
+    }
+    if (l.kind == TValue::Kind::kFrame && r.kind == TValue::Kind::kFrame &&
+        l.frame.data_width() == r.frame.data_width()) {
+      // Elementwise; reuse the hadamard-style join lowering via einsum.
+      EinsumSpec spec;
+      spec.inputs = {l.frame.data_width() == 1 ? "i" : "ij",
+                     r.frame.data_width() == 1 ? "i" : "ij"};
+      spec.output = spec.inputs[0];
+      if (op == "*") {
+        return WrapFrame(LowerDenseEinsum(spec, {l.frame, r.frame},
+                                          Emitter()));
+      }
+      return Status::Unsupported("array-array operator '" + op +
+                                 "' (only * is lowered)");
+    }
+    return Status::Unsupported("array arithmetic shape mismatch");
+  }
+
+  Result<TValue> WrapFrame(Result<FrameInfo> f) {
+    if (!f.ok()) return f.status();
+    TValue v;
+    v.kind = TValue::Kind::kFrame;
+    v.frame = std::move(*f);
+    return v;
+  }
+
+  // ------------------------------------------------------------ calls
+  Result<TValue> EvalCall(const Expr& e) {
+    const ExprPtr& callee = e.children[0];
+    if (callee->kind == Expr::Kind::kAttribute) {
+      const std::string& method = callee->name;
+      const ExprPtr& base_expr = callee->children[0];
+      // Module functions: np.xxx / pd.xxx.
+      if (base_expr->kind == Expr::Kind::kName &&
+          (base_expr->name == "np" || base_expr->name == "numpy")) {
+        return EvalNumpyCall(method, e);
+      }
+      if (base_expr->kind == Expr::Kind::kName &&
+          (base_expr->name == "pd" || base_expr->name == "pandas")) {
+        if (method == "DataFrame") return EvalDataFrameCtor(e);
+        return Status::Unsupported("pd." + method);
+      }
+      PYTOND_ASSIGN_OR_RETURN(TValue base, Eval(base_expr));
+      return EvalMethod(base, method, e);
+    }
+    if (callee->kind == Expr::Kind::kName && callee->name == "DataFrame") {
+      return EvalDataFrameCtor(e);
+    }
+    return Status::Unsupported("call to " + callee->ToString());
+  }
+
+  Result<TValue> EvalDataFrameCtor(const Expr& e) {
+    if (e.children.size() == 1) {  // DataFrame() -> empty
+      TValue v;
+      v.kind = TValue::Kind::kEmptyFrame;
+      return v;
+    }
+    PYTOND_ASSIGN_OR_RETURN(TValue arg, Eval(e.children[1]));
+    if (arg.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("DataFrame(<non-array>)");
+    }
+    arg.frame.is_array = false;
+    return arg;
+  }
+
+  Result<TValue> EvalNumpyCall(const std::string& fn, const Expr& e) {
+    if (fn == "einsum") {
+      if (e.children.size() < 3) {
+        return Status::InvalidArgument("einsum needs a spec and operands");
+      }
+      PYTOND_ASSIGN_OR_RETURN(std::string spec_str,
+                              LiteralString(e.children[1]));
+      PYTOND_ASSIGN_OR_RETURN(EinsumSpec spec, ParseEinsumSpec(spec_str));
+      std::vector<FrameInfo> operands;
+      TensorLayout layout = options_.layout;
+      for (size_t i = 2; i < e.children.size(); ++i) {
+        PYTOND_ASSIGN_OR_RETURN(TValue v, Eval(e.children[i]));
+        if (v.kind != TValue::Kind::kFrame) {
+          return Status::Unsupported("einsum operand must be an array");
+        }
+        if (v.frame.layout == TensorLayout::kSparse) {
+          layout = TensorLayout::kSparse;
+        }
+        operands.push_back(v.frame);
+      }
+      // Binary specs lower directly; n-ary specs go through the
+      // contraction-path planner first (the opt_einsum role, §III-D).
+      return WrapFrame(LowerEinsum(spec, operands, layout, Emitter()));
+    }
+    if (fn == "where") {
+      PYTOND_ASSIGN_OR_RETURN(TValue c, Eval(e.children[1]));
+      PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[2]));
+      PYTOND_ASSIGN_OR_RETURN(TValue b, Eval(e.children[3]));
+      TValue out = c;
+      out.term = Term::If(c.term, a.term, b.term);
+      return out;
+    }
+    if (fn == "sqrt" || fn == "abs" || fn == "log" || fn == "exp") {
+      PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[1]));
+      std::string ext = fn == "log" ? "ln" : fn;
+      if (a.kind == TValue::Kind::kColumn ||
+          a.kind == TValue::Kind::kScalar) {
+        a.term = Term::Ext(ext, {a.term});
+        return a;
+      }
+      return Status::Unsupported("np." + fn + " on non-column");
+    }
+    return Status::Unsupported("np." + fn);
+  }
+
+  Result<TValue> EvalMethod(TValue& base, const std::string& method,
+                            const Expr& e) {
+    // ---- column methods ----
+    if (base.kind == TValue::Kind::kColumn) {
+      return EvalColumnMethod(base, method, e);
+    }
+    if (base.kind == TValue::Kind::kGroupBy) {
+      return EvalGroupByMethod(base, method, e);
+    }
+    if (base.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("method '" + method + "'");
+    }
+    // ---- frame methods ----
+    if (method == "merge") return EvalMerge(base, e);
+    if (method == "groupby") {
+      if (e.children.size() < 2) {
+        return Status::InvalidArgument("groupby needs keys");
+      }
+      PYTOND_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                              StringList(e.children[1]));
+      TValue v;
+      v.kind = TValue::Kind::kGroupBy;
+      v.frame = base.frame;
+      v.group_keys = std::move(keys);
+      return v;
+    }
+    if (method == "agg" || method == "aggregate") {
+      return EvalAgg(base.frame, {}, e);
+    }
+    if (method == "sort_values") {
+      const ExprPtr* by = FindKwarg(e, "by");
+      std::vector<std::string> keys;
+      if (by != nullptr) {
+        PYTOND_ASSIGN_OR_RETURN(keys, StringList(*by));
+      } else if (e.children.size() > 1) {
+        PYTOND_ASSIGN_OR_RETURN(keys, StringList(e.children[1]));
+      } else {
+        return Status::InvalidArgument("sort_values needs 'by'");
+      }
+      std::vector<bool> asc(keys.size(), true);
+      const ExprPtr* ascending = FindKwarg(e, "ascending");
+      if (ascending != nullptr) {
+        const Expr& a = **ascending;
+        if (a.kind == Expr::Kind::kLiteral) {
+          std::fill(asc.begin(), asc.end(), a.literal.AsBool());
+        } else if (a.kind == Expr::Kind::kList) {
+          for (size_t i = 0; i < a.children.size() && i < asc.size(); ++i) {
+            asc[i] = a.children[i]->literal.AsBool();
+          }
+        }
+      }
+      TValue v = base;
+      v.frame.pending_sort.clear();
+      for (size_t i = 0; i < keys.size(); ++i) {
+        v.frame.pending_sort.push_back({keys[i], asc[i]});
+      }
+      return v;
+    }
+    if (method == "head") {
+      int64_t n = 5;
+      if (e.children.size() > 1 &&
+          e.children[1]->kind == Expr::Kind::kLiteral) {
+        n = e.children[1]->literal.AsInt64();
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame, AllColumns(base.frame), {}, {},
+                           base.frame.pending_sort, n, false,
+                           base.frame.unique_positions);
+      return v;
+    }
+    if (method == "drop") {
+      std::vector<std::string> cols;
+      if (e.children.size() > 1) {
+        PYTOND_ASSIGN_OR_RETURN(cols, StringList(e.children[1]));
+      } else if (const ExprPtr* kw = FindKwarg(e, "columns")) {
+        PYTOND_ASSIGN_OR_RETURN(cols, StringList(*kw));
+      }
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      std::set<size_t> uniq;
+      for (size_t i = 0; i < base.frame.columns.size(); ++i) {
+        const std::string& c = base.frame.columns[i];
+        bool dropped = std::count(cols.begin(), cols.end(), c) > 0;
+        // The ID column is never dropped (paper §III-F).
+        if (dropped && !(base.frame.has_id && i == 0)) continue;
+        if (base.frame.unique_positions.count(i)) uniq.insert(outs.size());
+        outs.emplace_back(c, Term::Var(c));
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame, outs, {}, {}, {}, std::nullopt, false,
+                           uniq);
+      v.frame.is_array = base.frame.is_array;
+      return v;
+    }
+    if (method == "reset_index" || method == "copy" || method == "astype") {
+      return base;
+    }
+    if (method == "to_numpy") return MarkArray(base);
+    if (method == "pivot_table") return EvalPivot(base.frame, e);
+    // Array methods.
+    if (base.frame.is_array) return EvalArrayMethod(base, method, e);
+    return Status::Unsupported("DataFrame method '" + method + "'");
+  }
+
+  Result<TValue> EvalColumnMethod(TValue& base, const std::string& method,
+                                  const Expr& e) {
+    if (base.str_ctx) {
+      base.str_ctx = false;
+      if (method == "startswith" || method == "endswith" ||
+          method == "contains") {
+        PYTOND_ASSIGN_OR_RETURN(std::string pat,
+                                LiteralString(e.children[1]));
+        std::string like = method == "startswith" ? pat + "%"
+                           : method == "endswith" ? "%" + pat
+                                                  : "%" + pat + "%";
+        base.term = Term::Binary(BinOp::kLike, base.term,
+                                 Term::Const(Value::String(like)));
+        return base;
+      }
+      if (method == "slice") {
+        PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[1]));
+        PYTOND_ASSIGN_OR_RETURN(TValue b, Eval(e.children[2]));
+        // Python slice [a, b) -> SQL substr(s, a+1, b-a).
+        int64_t start = a.term->constant.AsInt64();
+        int64_t stop = b.term->constant.AsInt64();
+        base.term = Term::Ext(
+            "substr", {base.term, Term::Const(Value::Int64(start + 1)),
+                       Term::Const(Value::Int64(stop - start))});
+        return base;
+      }
+      return Status::Unsupported(".str." + method);
+    }
+    if (method == "isin") {
+      PYTOND_ASSIGN_OR_RETURN(TValue other, Eval(e.children[1]));
+      if (other.kind == TValue::Kind::kStrList) {
+        // Membership in a literal list -> OR chain of equalities.
+        TermPtr cond;
+        for (const Value& lit : other.literals) {
+          TermPtr eq = Term::Binary(BinOp::kEq, base.term->Clone(),
+                                    Term::Const(lit));
+          cond = cond ? Term::Binary(BinOp::kOr, cond, eq) : eq;
+        }
+        if (!cond) return Status::InvalidArgument("isin([]) is empty");
+        TValue v = base;
+        v.term = cond;
+        return v;
+      }
+      FrameInfo other_frame;
+      std::string col;
+      if (other.kind == TValue::Kind::kColumn) {
+        other_frame = other.frame;
+        col = other.term->kind == Term::Kind::kVar ? other.term->var : "";
+      } else if (other.kind == TValue::Kind::kFrame &&
+                 other.frame.columns.size() == 1) {
+        other_frame = other.frame;
+        col = other.frame.columns[0];
+      }
+      if (col.empty()) {
+        return Status::Unsupported("isin() against this operand");
+      }
+      TValue v;
+      v.kind = TValue::Kind::kColumn;
+      v.frame = base.frame;
+      v.term = nullptr;
+      v.isins.push_back({other_frame, col, base.term, false});
+      return v;
+    }
+    if (method == "unique") {
+      std::string name =
+          base.term->kind == Term::Kind::kVar ? base.term->var : "value";
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame, {{name, base.term}}, {}, {}, {},
+                           std::nullopt, /*distinct=*/true, {0});
+      return v;
+    }
+    static const std::map<std::string, tondir::AggFn> kAggs = {
+        {"sum", tondir::AggFn::kSum},     {"min", tondir::AggFn::kMin},
+        {"max", tondir::AggFn::kMax},     {"mean", tondir::AggFn::kAvg},
+        {"count", tondir::AggFn::kCount},
+        {"nunique", tondir::AggFn::kCountDistinct},
+    };
+    auto agg = kAggs.find(method);
+    if (agg != kAggs.end()) {
+      // Scalar aggregate: single-row frame.
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(base.frame,
+                           {{method, Term::Agg(agg->second, base.term)}});
+      return v;
+    }
+    if (method == "round") {
+      TValue v = base;
+      std::vector<TermPtr> args = {base.term};
+      if (e.children.size() > 1) {
+        PYTOND_ASSIGN_OR_RETURN(TValue d, Eval(e.children[1]));
+        args.push_back(d.term);
+      }
+      v.term = Term::Ext("round", args);
+      return v;
+    }
+    if (method == "astype") return base;
+    return Status::Unsupported("column method '" + method + "'");
+  }
+
+  Result<TValue> EvalGroupByMethod(TValue& base, const std::string& method,
+                                   const Expr& e) {
+    if (method == "agg" || method == "aggregate") {
+      return EvalAgg(base.frame, base.group_keys, e);
+    }
+    static const std::map<std::string, std::string> kWholeFrame = {
+        {"sum", "sum"},   {"min", "min"},     {"max", "max"},
+        {"mean", "mean"}, {"count", "count"}, {"nunique", "nunique"},
+    };
+    auto it = kWholeFrame.find(method);
+    if (it != kWholeFrame.end()) {
+      // Aggregate the selected columns (or all non-key columns).
+      std::vector<std::string> cols = base.strings;
+      if (cols.empty()) {
+        for (const std::string& c : base.frame.columns) {
+          if (!std::count(base.group_keys.begin(), base.group_keys.end(),
+                          c)) {
+            cols.push_back(c);
+          }
+        }
+      }
+      return EmitAggregate(base.frame, base.group_keys,
+                           [&](auto add) {
+                             for (const std::string& c : cols) {
+                               add(c, c, it->second);
+                             }
+                           });
+    }
+    if (method == "size") {
+      return EmitAggregate(base.frame, base.group_keys, [&](auto add) {
+        add("size", base.frame.columns[0], "count");
+      });
+    }
+    return Status::Unsupported("groupby method '" + method + "'");
+  }
+
+  /// Shared aggregation emitter. `fill` calls add(out_name, col, fn).
+  template <typename Filler>
+  Result<TValue> EmitAggregate(const FrameInfo& src,
+                               const std::vector<std::string>& keys,
+                               Filler fill) {
+    std::vector<std::pair<std::string, TermPtr>> outs;
+    for (const std::string& k : keys) {
+      if (src.FindColumn(k) == static_cast<size_t>(-1)) {
+        return Status::NotFound("group key '" + k + "'");
+      }
+      outs.emplace_back(k, Term::Var(k));
+    }
+    Status st = Status::OK();
+    auto add = [&](const std::string& out, const std::string& col,
+                   const std::string& fn) {
+      static const std::map<std::string, tondir::AggFn> kFns = {
+          {"sum", tondir::AggFn::kSum},   {"min", tondir::AggFn::kMin},
+          {"max", tondir::AggFn::kMax},   {"mean", tondir::AggFn::kAvg},
+          {"avg", tondir::AggFn::kAvg},   {"count", tondir::AggFn::kCount},
+          {"nunique", tondir::AggFn::kCountDistinct},
+          {"count_distinct", tondir::AggFn::kCountDistinct},
+      };
+      auto fn_it = kFns.find(fn);
+      if (fn_it == kFns.end()) {
+        st = Status::Unsupported("aggregate '" + fn + "'");
+        return;
+      }
+      if (src.FindColumn(col) == static_cast<size_t>(-1)) {
+        st = Status::NotFound("aggregate input column '" + col + "'");
+        return;
+      }
+      outs.emplace_back(out, Term::Agg(fn_it->second, Term::Var(col)));
+    };
+    fill(add);
+    PYTOND_RETURN_IF_ERROR(st);
+    std::set<size_t> uniq;
+    if (keys.size() == 1) uniq.insert(0);
+    TValue v;
+    v.kind = TValue::Kind::kFrame;
+    v.frame = EmitSimple(src, outs, {}, keys, {}, std::nullopt, false, uniq);
+    return v;
+  }
+
+  /// Named aggregation: .agg(out=('col', 'fn'), ...).
+  Result<TValue> EvalAgg(const FrameInfo& src,
+                         const std::vector<std::string>& keys,
+                         const Expr& e) {
+    if (e.kwargs.empty()) {
+      return Status::Unsupported("agg() requires named aggregations");
+    }
+    std::vector<std::tuple<std::string, std::string, std::string>> specs;
+    for (const auto& [out, spec] : e.kwargs) {
+      if (spec->kind != Expr::Kind::kTuple || spec->children.size() != 2) {
+        return Status::Unsupported("agg spec must be (column, fn)");
+      }
+      PYTOND_ASSIGN_OR_RETURN(std::string col,
+                              LiteralString(spec->children[0]));
+      PYTOND_ASSIGN_OR_RETURN(std::string fn,
+                              LiteralString(spec->children[1]));
+      specs.emplace_back(out, col, fn);
+    }
+    return EmitAggregate(src, keys, [&](auto add) {
+      for (const auto& [out, col, fn] : specs) add(out, col, fn);
+    });
+  }
+
+  Result<TValue> EvalPivot(const FrameInfo& src, const Expr& e) {
+    const ExprPtr* index = FindKwarg(e, "index");
+    const ExprPtr* columns = FindKwarg(e, "columns");
+    const ExprPtr* values = FindKwarg(e, "values");
+    if (!index || !columns || !values) {
+      return Status::InvalidArgument(
+          "pivot_table needs index=, columns=, values=");
+    }
+    PYTOND_ASSIGN_OR_RETURN(std::string idx_col, LiteralString(*index));
+    PYTOND_ASSIGN_OR_RETURN(std::string col_col, LiteralString(*columns));
+    PYTOND_ASSIGN_OR_RETURN(std::string val_col, LiteralString(*values));
+    if (options_.pivot_values.empty()) {
+      return Status::InvalidArgument(
+          "pivot_table needs distinct values via the decorator "
+          "(pivot_values=[...], paper §III-C)");
+    }
+    // R(i, v1..vk) group(i) :- F(..), (vj = sum(if(c = 'vj', val, 0))).
+    std::vector<std::pair<std::string, TermPtr>> outs;
+    outs.emplace_back(idx_col, Term::Var(idx_col));
+    for (const std::string& dv : options_.pivot_values) {
+      TermPtr cond = Term::Binary(BinOp::kEq, Term::Var(col_col),
+                                  Term::Const(Value::String(dv)));
+      outs.emplace_back(
+          "p_" + dv,
+          Term::Agg(tondir::AggFn::kSum,
+                    Term::If(cond, Term::Var(val_col),
+                             Term::Const(Value::Int64(0)))));
+    }
+    TValue v;
+    v.kind = TValue::Kind::kFrame;
+    v.frame = EmitSimple(src, outs, {}, {idx_col}, {}, std::nullopt, false,
+                         {0});
+    return v;
+  }
+
+  Result<TValue> EvalArrayMethod(TValue& base, const std::string& method,
+                                 const Expr& e) {
+    const FrameInfo& f = base.frame;
+    EinsumEmitter em = Emitter();
+    if (method == "sum") {
+      const ExprPtr* axis = FindKwarg(e, "axis");
+      EinsumSpec spec;
+      bool is_vec = f.data_width() == 1;
+      if (axis == nullptr) {
+        spec.inputs = {is_vec ? "i" : "ij"};
+        spec.output = "";
+      } else if ((*axis)->literal.AsInt64() == 0) {
+        spec.inputs = {"ij"};
+        spec.output = "j";
+      } else {
+        spec.inputs = {"ij"};
+        spec.output = "i";
+      }
+      return WrapFrame(LowerDenseEinsum(spec, {f}, em));
+    }
+    if (method == "nonzero") {
+      tondir::Body extra;
+      extra.push_back(Atom::Compare(f.columns.back(), CmpOp::kNe,
+                                    Term::Const(Value::Int64(0))));
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(f, {{kIdCol, Term::Var(f.columns[0])}},
+                           std::move(extra), {}, {}, std::nullopt, false,
+                           {0});
+      v.frame.is_array = true;
+      return v;
+    }
+    if (method == "all") {
+      // min(value) acts as universal quantifier over booleans (§III-D).
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(
+          f, {{"all_",
+               Term::Agg(tondir::AggFn::kMin, Term::Var(f.columns.back()))}});
+      return v;
+    }
+    if (method == "round") {
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      for (const std::string& c : f.columns) {
+        if (c == kIdCol) outs.emplace_back(c, Term::Var(c));
+        else outs.emplace_back(c, Term::Ext("round", {Term::Var(c)}));
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(f, outs, {}, {}, {}, std::nullopt, false,
+                           f.unique_positions);
+      v.frame.is_array = true;
+      return v;
+    }
+    if (method == "compress") {
+      // compress(mask, axis=1): select columns where the literal mask is
+      // truthy (§III-D).
+      if (e.children.size() < 2 ||
+          e.children[1]->kind != Expr::Kind::kList) {
+        return Status::Unsupported("compress() needs a literal mask");
+      }
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      outs.emplace_back(kIdCol, Term::Var(f.columns[0]));
+      size_t data0 = f.has_id ? 1 : 0;
+      for (size_t i = 0; i < e.children[1]->children.size(); ++i) {
+        const Expr& m = *e.children[1]->children[i];
+        bool keep = m.kind == Expr::Kind::kLiteral &&
+                    ((m.literal.type() == DataType::kBool &&
+                      m.literal.AsBool()) ||
+                     (m.literal.type() == DataType::kInt64 &&
+                      m.literal.AsInt64() != 0));
+        if (keep && data0 + i < f.columns.size()) {
+          outs.emplace_back(f.columns[data0 + i],
+                            Term::Var(f.columns[data0 + i]));
+        }
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(f, outs, {}, {}, {}, std::nullopt, false, {0});
+      v.frame.is_array = true;
+      return v;
+    }
+    if (method == "transpose") {
+      return Status::Unsupported(
+          "dense transpose requires a known row count; use sparse layout");
+    }
+    return Status::Unsupported("array method '" + method + "'");
+  }
+
+  // ------------------------------------------------------------ merge
+  Result<TValue> EvalMerge(TValue& left, const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(TValue right_v, Eval(e.children[1]));
+    PYTOND_ASSIGN_OR_RETURN(FrameInfo right, FrameOf(right_v));
+    const FrameInfo& lf = left.frame;
+
+    std::string how = "inner";
+    if (const ExprPtr* kw = FindKwarg(e, "how")) {
+      PYTOND_ASSIGN_OR_RETURN(how, LiteralString(*kw));
+    }
+    std::vector<std::string> lkeys, rkeys;
+    if (const ExprPtr* kw = FindKwarg(e, "on")) {
+      PYTOND_ASSIGN_OR_RETURN(lkeys, StringList(*kw));
+      rkeys = lkeys;
+    } else {
+      if (const ExprPtr* kw2 = FindKwarg(e, "left_on")) {
+        PYTOND_ASSIGN_OR_RETURN(lkeys, StringList(*kw2));
+      }
+      if (const ExprPtr* kw2 = FindKwarg(e, "right_on")) {
+        PYTOND_ASSIGN_OR_RETURN(rkeys, StringList(*kw2));
+      }
+    }
+    if (how != "cross" && (lkeys.empty() || lkeys.size() != rkeys.size())) {
+      return Status::InvalidArgument("merge needs matching join keys");
+    }
+    for (const std::string& k : lkeys) {
+      if (lf.FindColumn(k) == static_cast<size_t>(-1)) {
+        return Status::NotFound("left merge key '" + k + "'");
+      }
+    }
+    for (const std::string& k : rkeys) {
+      if (right.FindColumn(k) == static_cast<size_t>(-1)) {
+        return Status::NotFound("right merge key '" + k + "'");
+      }
+    }
+
+    bool outer = how == "left" || how == "right" || how == "outer";
+    bool same_key_names = lkeys == rkeys;
+
+    // Variable naming: left col c -> "a_c", right -> "b_c"; inner-join keys
+    // share the left var (paper §III-C). Outer joins keep all vars distinct
+    // and add a marker atom.
+    auto lvar = [](const std::string& c) { return "a_" + c; };
+    auto rvar = [](const std::string& c) { return "b_" + c; };
+
+    Rule rule;
+    std::vector<std::string> lvars, rvars;
+    for (const std::string& c : lf.columns) lvars.push_back(lvar(c));
+    for (const std::string& c : right.columns) rvars.push_back(rvar(c));
+    if (!outer && how != "cross") {
+      for (size_t i = 0; i < lkeys.size(); ++i) {
+        size_t rpos = right.FindColumn(rkeys[i]);
+        rvars[rpos] = lvar(lkeys[i]);
+      }
+    }
+    rule.body.push_back(Atom::RelAccess(lf.relation, lvars));
+    rule.body.push_back(Atom::RelAccess(right.relation, rvars));
+    if (outer) {
+      std::vector<std::string> marker_vars;
+      for (size_t i = 0; i < lkeys.size(); ++i) {
+        marker_vars.push_back(lvar(lkeys[i]));
+        marker_vars.push_back(rvar(rkeys[i]));
+      }
+      std::string marker = how == "left" ? "outer_left"
+                           : how == "right" ? "outer_right"
+                                            : "outer_full";
+      rule.body.push_back(Atom::External(marker, marker_vars));
+    }
+
+    // Output columns per Pandas semantics: shared key (same name) once;
+    // overlapping non-key columns suffixed _x/_y.
+    FrameInfo out;
+    out.relation = Fresh();
+    auto overlaps = [&](const std::string& c) {
+      return lf.FindColumn(c) != static_cast<size_t>(-1) &&
+             right.FindColumn(c) != static_cast<size_t>(-1);
+    };
+    auto is_key = [](const std::vector<std::string>& ks,
+                     const std::string& c) {
+      return std::count(ks.begin(), ks.end(), c) > 0;
+    };
+    for (const std::string& c : lf.columns) {
+      bool shared_key = same_key_names && is_key(lkeys, c);
+      std::string name =
+          (!shared_key && overlaps(c)) ? c + "_x" : c;
+      out.columns.push_back(name);
+      rule.head.vars.push_back(lvar(c));
+    }
+    for (const std::string& c : right.columns) {
+      if (same_key_names && is_key(rkeys, c) && how != "cross") {
+        continue;  // single instance of shared key columns
+      }
+      std::string name = overlaps(c) ? c + "_y" : c;
+      out.columns.push_back(name);
+      rule.head.vars.push_back(rvars[right.FindColumn(c)]);
+    }
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+
+    // Uniqueness: joining on a unique right key preserves left uniqueness
+    // (and vice versa).
+    auto key_unique = [&](const FrameInfo& f,
+                          const std::vector<std::string>& ks) {
+      return ks.size() == 1 &&
+             f.unique_positions.count(f.FindColumn(ks[0])) > 0;
+    };
+    if (how == "inner" || how == "left") {
+      if (key_unique(right, rkeys)) {
+        for (size_t p : lf.unique_positions) out.unique_positions.insert(p);
+      }
+    }
+    if ((how == "inner" || how == "right") && key_unique(lf, lkeys)) {
+      size_t base_off = lf.columns.size();
+      size_t skipped = 0;
+      for (size_t i = 0; i < right.columns.size(); ++i) {
+        if (same_key_names && is_key(rkeys, right.columns[i]) &&
+            how != "cross") {
+          ++skipped;
+          continue;
+        }
+        if (right.unique_positions.count(i)) {
+          out.unique_positions.insert(base_off + i - skipped);
+        }
+      }
+    }
+    out.has_id = !out.columns.empty() && out.columns[0] == kIdCol;
+    program_.relation_info[out.relation] = {out.unique_positions};
+    program_.rules.push_back(std::move(rule));
+    TValue v;
+    v.kind = TValue::Kind::kFrame;
+    v.frame = std::move(out);
+    return v;
+  }
+
+  Result<FrameInfo> FrameOf(TValue& v) {
+    if (v.kind == TValue::Kind::kFrame) return v.frame;
+    if (v.kind == TValue::Kind::kColumn) {
+      // Materialize the column as a single-column relation.
+      std::string name =
+          v.term->kind == Term::Kind::kVar ? v.term->var : "value";
+      return EmitSimple(v.frame, {{name, v.term}});
+    }
+    return Status::Unsupported("expected a DataFrame");
+  }
+
+  // ------------------------------------------------------------ stmts
+  Status ExecAssign(const Stmt& stmt) {
+    if (stmt.target->kind == Expr::Kind::kName) {
+      PYTOND_ASSIGN_OR_RETURN(TValue v, Eval(stmt.value));
+      env_[stmt.target->name] = std::move(v);
+      return Status::OK();
+    }
+    // df['col'] = expr  (column creation / implicit joins, §III-C).
+    const Expr& target = *stmt.target;
+    if (target.children[0]->kind != Expr::Kind::kName) {
+      return Status::Unsupported("subscript assignment target");
+    }
+    const std::string& df_name = target.children[0]->name;
+    PYTOND_ASSIGN_OR_RETURN(std::string col,
+                            LiteralString(target.children[1]));
+    auto it = env_.find(df_name);
+    if (it == env_.end()) {
+      return Status::NotFound("undefined variable '" + df_name + "'");
+    }
+    PYTOND_ASSIGN_OR_RETURN(TValue value, Eval(stmt.value));
+    if (value.kind != TValue::Kind::kColumn &&
+        value.kind != TValue::Kind::kScalar) {
+      return Status::Unsupported("column assignment value");
+    }
+
+    TValue& dst = it->second;
+    if (dst.kind == TValue::Kind::kEmptyFrame) {
+      if (value.kind != TValue::Kind::kColumn) {
+        return Status::Unsupported("first column must come from a frame");
+      }
+      TValue v;
+      v.kind = TValue::Kind::kFrame;
+      v.frame = EmitSimple(value.frame, {{col, value.term}});
+      // Remember lineage for id alignment on later appends.
+      v.frame.pending_sort.clear();
+      env_[df_name] = std::move(v);
+      append_sources_[df_name] = value.frame;
+      return Status::OK();
+    }
+    if (dst.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("subscript assignment on non-frame");
+    }
+    bool same_frame =
+        value.kind == TValue::Kind::kScalar ||
+        value.frame.relation == dst.frame.relation ||
+        (append_sources_.count(df_name) &&
+         append_sources_[df_name].relation == value.frame.relation);
+
+    if (value.kind == TValue::Kind::kScalar ||
+        value.frame.relation == dst.frame.relation) {
+      // Same-frame column append / replacement.
+      std::vector<std::pair<std::string, TermPtr>> outs;
+      bool replaced = false;
+      for (const std::string& c : dst.frame.columns) {
+        if (c == col) {
+          outs.emplace_back(c, value.term);
+          replaced = true;
+        } else {
+          outs.emplace_back(c, Term::Var(c));
+        }
+      }
+      if (!replaced) outs.emplace_back(col, value.term);
+      FrameInfo nf = EmitSimple(dst.frame, outs, {}, {}, {}, std::nullopt,
+                                false, dst.frame.unique_positions);
+      nf.is_array = dst.frame.is_array;
+      dst.frame = std::move(nf);
+      return Status::OK();
+    }
+    (void)same_frame;
+    // Implicit join through UID columns (paper §III-C).
+    FrameInfo dst_id = EnsureId(dst.frame);
+    FrameInfo src_id = EnsureId(value.frame);
+    Rule rule;
+    std::vector<std::string> dvars, svars;
+    for (const std::string& c : dst_id.columns) dvars.push_back("a_" + c);
+    for (const std::string& c : src_id.columns) svars.push_back("b_" + c);
+    svars[0] = dvars[0];  // join on the shared id
+    rule.body.push_back(Atom::RelAccess(dst_id.relation, dvars));
+    rule.body.push_back(Atom::RelAccess(src_id.relation, svars));
+    // Rebuild the value term over prefixed source vars.
+    std::map<std::string, TermPtr> subst;
+    for (size_t i = 0; i < src_id.columns.size(); ++i) {
+      subst[src_id.columns[i]] = Term::Var(svars[i]);
+    }
+    TermPtr vterm = Term::Substitute(value.term, subst);
+    FrameInfo out;
+    out.relation = Fresh();
+    for (size_t i = 0; i < dst_id.columns.size(); ++i) {
+      out.columns.push_back(dst_id.columns[i]);
+      rule.head.vars.push_back(dvars[i]);
+    }
+    out.columns.push_back(col);
+    rule.body.push_back(Atom::Compare("newc", CmpOp::kEq, vterm));
+    rule.head.vars.push_back("newc");
+    rule.head.relation = out.relation;
+    rule.head.col_names = out.columns;
+    out.has_id = true;
+    out.unique_positions = {0};
+    program_.relation_info[out.relation] = {out.unique_positions};
+    program_.rules.push_back(std::move(rule));
+    dst.frame = std::move(out);
+    return Status::OK();
+  }
+
+  Result<TranslationResult> Finalize(TValue v) {
+    if (v.kind == TValue::Kind::kColumn) {
+      PYTOND_ASSIGN_OR_RETURN(FrameInfo f, FrameOf(v));
+      v.kind = TValue::Kind::kFrame;
+      v.frame = std::move(f);
+    }
+    if (v.kind != TValue::Kind::kFrame) {
+      return Status::Unsupported("return value must be a DataFrame/array");
+    }
+    // Sink rule: copy with the deferred ORDER BY (paper §III-E).
+    FrameInfo out = EmitSimple(v.frame, AllColumns(v.frame), {}, {},
+                               v.frame.pending_sort, std::nullopt, false,
+                               v.frame.unique_positions);
+    // Rename the sink to a stable name.
+    program_.rules.back().head.relation = fn_name_ + "_out";
+    TranslationResult result;
+    result.output_columns = out.columns;
+    result.program = std::move(program_);
+    return result;
+  }
+
+  const Catalog& catalog_;
+  TranslateOptions options_;
+  tondir::Program program_;
+  std::map<std::string, TValue> env_;
+  std::map<std::string, FrameInfo> append_sources_;
+  std::set<std::string> base_relations_;
+  std::string fn_name_;
+  int counter_ = 0;
+  int filter_n_ = 0;
+};
+
+}  // namespace
+
+Result<TranslationResult> TranslateFunction(const py::Function& function,
+                                            const Catalog& catalog,
+                                            const TranslateOptions& options) {
+  Translator t(catalog, options);
+  return t.Run(function);
+}
+
+}  // namespace pytond::frontend

@@ -1,0 +1,64 @@
+#ifndef PYTOND_FRONTEND_TRANSLATE_TRANSLATOR_H_
+#define PYTOND_FRONTEND_TRANSLATE_TRANSLATOR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "frontend/pylang/ast.h"
+#include "storage/catalog.h"
+#include "tondir/ir.h"
+
+namespace pytond::frontend {
+
+/// Tensor layout for NumPy arrays (paper §II-B): dense keeps one relation
+/// column per tensor column plus an ID column; sparse uses COO
+/// (row_id, col_id, val).
+enum class TensorLayout { kDense, kSparse };
+
+/// Schema-level description of a translated relation (a DataFrame, Series
+/// owner, or array) during translation.
+struct FrameInfo {
+  std::string relation;               // TondIR relation name
+  std::vector<std::string> columns;   // column names == TondIR var names
+  std::set<size_t> unique_positions;  // uniqueness knowledge
+  bool has_id = false;                // column 0 is a row-id column
+  bool is_array = false;              // produced by to_numpy / einsum
+  TensorLayout layout = TensorLayout::kDense;
+  /// Deferred ORDER BY (applied by head(n) or the sink rule).
+  std::vector<tondir::SortKey> pending_sort;
+
+  size_t FindColumn(const std::string& name) const;
+  /// Data columns of an array (excluding the id column).
+  size_t data_width() const {
+    return columns.size() - (has_id ? 1 : 0);
+  }
+};
+
+/// Translation options collected from the @pytond decorator and caller.
+struct TranslateOptions {
+  TensorLayout layout = TensorLayout::kDense;
+  /// Distinct values of the pivot_table `columns` column (paper §III-C:
+  /// passed via decorator or probed ahead of codegen).
+  std::vector<std::string> pivot_values;
+};
+
+/// Result of translating one @pytond function: the TondIR program (sink
+/// rule last) plus the output column names.
+struct TranslationResult {
+  tondir::Program program;
+  std::vector<std::string> output_columns;
+};
+
+/// Translates a parsed + ANF-normalized function body to TondIR. Function
+/// parameters bind to catalog tables of the same name; the catalog supplies
+/// schemas and uniqueness (paper §III-A contextual information).
+Result<TranslationResult> TranslateFunction(
+    const py::Function& function, const Catalog& catalog,
+    const TranslateOptions& options);
+
+}  // namespace pytond::frontend
+
+#endif  // PYTOND_FRONTEND_TRANSLATE_TRANSLATOR_H_

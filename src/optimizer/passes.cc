@@ -1,0 +1,631 @@
+#include "optimizer/passes.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace pytond::opt {
+
+using tondir::Atom;
+using tondir::Body;
+using tondir::CmpOp;
+using tondir::Program;
+using tondir::Rule;
+using tondir::Term;
+using tondir::TermPtr;
+
+namespace {
+
+/// Classifies the Compare atoms of a body in order: true = assignment
+/// (fresh var + '='), false = filter.
+std::vector<bool> ClassifyAssignments(const Body& body) {
+  std::set<std::string> defined;
+  std::vector<bool> is_assign(body.size(), false);
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Atom& a = body[i];
+    if (a.kind == Atom::Kind::kCompare) {
+      is_assign[i] = a.cmp_op == CmpOp::kEq && !defined.count(a.var0);
+    }
+    a.CollectDefinedVars(defined, &defined);
+  }
+  return is_assign;
+}
+
+/// Variables a rule "needs" regardless of assignments: head / group / sort
+/// vars, filter operands, join vars, exists and external atom vars.
+std::set<std::string> SeedNeededVars(const Rule& rule,
+                                     const std::vector<bool>& is_assign) {
+  std::set<std::string> needed(rule.head.vars.begin(), rule.head.vars.end());
+  needed.insert(rule.head.group_vars.begin(), rule.head.group_vars.end());
+  for (const auto& k : rule.head.sort_keys) needed.insert(k.var);
+
+  // Count appearances of vars across relation accesses (join vars).
+  std::map<std::string, int> access_count;
+  for (const Atom& a : rule.body) {
+    if (a.kind == Atom::Kind::kRelAccess) {
+      std::set<std::string> local;
+      for (const std::string& v : a.vars) {
+        // A var bound twice within one access is an equality filter.
+        if (!local.insert(v).second) needed.insert(v);
+        access_count[v]++;
+      }
+    }
+  }
+  for (const auto& [v, n] : access_count) {
+    if (n > 1) needed.insert(v);
+  }
+
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Atom& a = rule.body[i];
+    switch (a.kind) {
+      case Atom::Kind::kCompare:
+        if (!is_assign[i]) {
+          needed.insert(a.var0);
+          if (a.term) a.term->CollectVars(&needed);
+        }
+        break;
+      case Atom::Kind::kExists: {
+        // Vars shared between the exists body and the outer body act as
+        // correlations; conservatively mark all referenced vars needed.
+        for (const Atom& inner : *a.exists_body) inner.CollectVars(&needed);
+        break;
+      }
+      case Atom::Kind::kExternal:
+        needed.insert(a.vars.begin(), a.vars.end());
+        break;
+      case Atom::Kind::kConstRel:
+        // The generated column participates in the cross product; keep it.
+        needed.insert(a.var0);
+        break;
+      case Atom::Kind::kRelAccess:
+        break;
+    }
+  }
+  return needed;
+}
+
+bool RelationDefinedOnce(const Program& p, const std::string& rel,
+                         size_t* def_index) {
+  int found = -1;
+  for (size_t i = 0; i < p.rules.size(); ++i) {
+    if (p.rules[i].head.relation == rel) {
+      if (found >= 0) return false;
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return false;
+  *def_index = static_cast<size_t>(found);
+  return true;
+}
+
+/// Renames every occurrence of variables per `subst` (old name -> new name)
+/// throughout a body.
+void RenameVars(Body* body, const std::map<std::string, std::string>& subst) {
+  std::map<std::string, TermPtr> term_subst;
+  for (const auto& [from, to] : subst) term_subst[from] = Term::Var(to);
+  auto rename = [&](std::string* v) {
+    auto it = subst.find(*v);
+    if (it != subst.end()) *v = it->second;
+  };
+  for (Atom& a : *body) {
+    switch (a.kind) {
+      case Atom::Kind::kRelAccess:
+      case Atom::Kind::kExternal:
+        for (std::string& v : a.vars) rename(&v);
+        break;
+      case Atom::Kind::kConstRel:
+        rename(&a.var0);
+        break;
+      case Atom::Kind::kCompare:
+        rename(&a.var0);
+        if (a.term) a.term = Term::Substitute(a.term, term_subst);
+        break;
+      case Atom::Kind::kExists: {
+        RenameVars(a.exists_body.get(), subst);
+        break;
+      }
+    }
+  }
+}
+
+void RenameHead(tondir::Head* head,
+                const std::map<std::string, std::string>& subst) {
+  auto rename = [&](std::string* v) {
+    auto it = subst.find(*v);
+    if (it != subst.end()) *v = it->second;
+  };
+  for (std::string& v : head->vars) rename(&v);
+  for (std::string& v : head->group_vars) rename(&v);
+  for (auto& k : head->sort_keys) rename(&k.var);
+}
+
+}  // namespace
+
+namespace {
+
+bool TermHasUid(const Term& t) {
+  if (t.kind == Term::Kind::kExt && t.ext_name == "uid") return true;
+  for (const auto& c : t.children) {
+    if (TermHasUid(*c)) return true;
+  }
+  return false;
+}
+
+bool RuleHasUid(const Rule& rule) {
+  for (const Atom& a : rule.body) {
+    if (a.kind == Atom::Kind::kCompare && a.term && TermHasUid(*a.term)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsFlowBreaker(const Rule& rule) {
+  if (rule.HasAggregate()) return true;
+  if (rule.head.has_group()) return true;
+  if (rule.head.distinct) return true;
+  if (rule.head.has_sort() || rule.head.limit.has_value()) return true;
+  if (rule.HasOuterMarker()) return true;
+  // UID generation is a row_number window in SQL; it must stay in its own
+  // CTE (paper §III-E) so the ids are generated once and carried along.
+  if (RuleHasUid(rule)) return true;
+  return false;
+}
+
+bool LocalDeadCodeElimination(Program* program) {
+  bool changed = false;
+  for (Rule& rule : program->rules) {
+    bool rule_changed = true;
+    while (rule_changed) {
+      rule_changed = false;
+      std::vector<bool> is_assign = ClassifyAssignments(rule.body);
+      std::set<std::string> needed = SeedNeededVars(rule, is_assign);
+      // Backwards: an assignment feeding a needed var makes its term's
+      // vars needed too.
+      std::vector<bool> keep(rule.body.size(), true);
+      for (size_t i = rule.body.size(); i-- > 0;) {
+        if (!is_assign[i]) continue;
+        const Atom& a = rule.body[i];
+        if (needed.count(a.var0)) {
+          if (a.term) a.term->CollectVars(&needed);
+        } else {
+          keep[i] = false;
+        }
+      }
+      Body next;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (keep[i]) next.push_back(std::move(rule.body[i]));
+      }
+      if (next.size() != rule.body.size()) {
+        rule_changed = true;
+        changed = true;
+      }
+      rule.body = std::move(next);  // atoms were moved either way
+    }
+  }
+  return changed;
+}
+
+bool CopyPropagation(Program* program) {
+  bool changed = false;
+  for (Rule& rule : program->rules) {
+    bool retry = true;
+    while (retry) {
+      retry = false;
+      std::vector<bool> is_assign = ClassifyAssignments(rule.body);
+      // Assignment targets bound to non-variable expressions must not be
+      // unified into access bindings.
+      std::set<std::string> expr_targets;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Atom& a = rule.body[i];
+        if (a.kind == Atom::Kind::kCompare && is_assign[i] &&
+            a.term->kind != Term::Kind::kVar) {
+          expr_targets.insert(a.var0);
+        }
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const Atom& a = rule.body[i];
+        if (a.kind != Atom::Kind::kCompare || a.cmp_op != CmpOp::kEq ||
+            !a.term || a.term->kind != Term::Kind::kVar) {
+          continue;
+        }
+        std::string x = a.var0;
+        std::string y = a.term->var;
+        if (expr_targets.count(y)) continue;
+        if (!is_assign[i] && expr_targets.count(x)) continue;
+        rule.body.erase(rule.body.begin() + static_cast<std::ptrdiff_t>(i));
+        if (x != y) {
+          std::map<std::string, std::string> subst = {{x, y}};
+          RenameVars(&rule.body, subst);
+          RenameHead(&rule.head, subst);
+        }
+        changed = true;
+        retry = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+bool GlobalDeadCodeElimination(Program* program,
+                               const std::set<std::string>& base_relations) {
+  bool changed = false;
+  auto readers = program->BuildReaderIndex();
+
+  // Dead rule elimination: non-sink rules nobody reads.
+  for (size_t i = 0; i + 1 < program->rules.size();) {
+    const std::string& rel = program->rules[i].head.relation;
+    auto it = readers.find(rel);
+    if (it == readers.end() || it->second.empty()) {
+      program->rules.erase(program->rules.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      readers = program->BuildReaderIndex();
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+
+  // Column pruning: remove head positions no reader uses.
+  for (size_t r = 0; r + 1 < program->rules.size(); ++r) {
+    Rule& def = program->rules[r];
+    const std::string& rel = def.head.relation;
+    if (base_relations.count(rel)) continue;
+    size_t def_index;
+    if (!RelationDefinedOnce(*program, rel, &def_index) || def_index != r) {
+      continue;
+    }
+    size_t width = def.head.vars.size();
+    std::vector<bool> used(width, false);
+
+    auto it = readers.find(rel);
+    if (it == readers.end()) continue;
+    bool analyzable = true;
+    for (size_t reader_idx : it->second) {
+      const Rule& reader = program->rules[reader_idx];
+      std::vector<bool> is_assign = ClassifyAssignments(reader.body);
+      std::set<std::string> needed = SeedNeededVars(reader, is_assign);
+      // Assignment targets that are needed pull in their term vars
+      // (forward propagation to fixpoint).
+      bool grow = true;
+      while (grow) {
+        grow = false;
+        for (size_t i = 0; i < reader.body.size(); ++i) {
+          if (!is_assign[i]) continue;
+          const Atom& a = reader.body[i];
+          if (needed.count(a.var0)) {
+            size_t before = needed.size();
+            if (a.term) a.term->CollectVars(&needed);
+            if (needed.size() != before) grow = true;
+          }
+        }
+      }
+      // Join vars between accesses were seeded already. Now mark used
+      // positions of each access to `rel` (also inside exists bodies all
+      // vars were seeded as needed, so accesses there keep everything).
+      std::function<void(const Body&)> mark = [&](const Body& body) {
+        for (const Atom& a : body) {
+          if (a.kind == Atom::Kind::kRelAccess && a.relation == rel) {
+            if (a.vars.size() != width) {
+              analyzable = false;
+              continue;
+            }
+            for (size_t i = 0; i < width; ++i) {
+              if (needed.count(a.vars[i])) used[i] = true;
+            }
+          } else if (a.kind == Atom::Kind::kExists) {
+            // Inside exists everything was seeded needed; mark directly.
+            for (const Atom& inner : *a.exists_body) {
+              if (inner.kind == Atom::Kind::kRelAccess &&
+                  inner.relation == rel) {
+                if (inner.vars.size() != width) {
+                  analyzable = false;
+                  continue;
+                }
+                for (size_t i = 0; i < width; ++i) used[i] = true;
+              }
+            }
+          }
+        }
+      };
+      mark(reader.body);
+    }
+    if (!analyzable) continue;
+    if (std::all_of(used.begin(), used.end(), [](bool b) { return b; })) {
+      continue;
+    }
+
+    // Rewrite the defining head and every reader access.
+    std::vector<std::string> new_vars, new_cols;
+    std::set<size_t> kept_positions;
+    for (size_t i = 0; i < width; ++i) {
+      if (used[i]) {
+        new_vars.push_back(def.head.vars[i]);
+        if (!def.head.col_names.empty()) {
+          new_cols.push_back(def.head.col_names[i]);
+        }
+        kept_positions.insert(i);
+      }
+    }
+    def.head.vars = new_vars;
+    def.head.col_names = new_cols;
+
+    // Update uniqueness positions.
+    auto info_it = program->relation_info.find(rel);
+    if (info_it != program->relation_info.end()) {
+      std::set<size_t> remapped;
+      size_t new_pos = 0;
+      for (size_t i = 0; i < width; ++i) {
+        if (!used[i]) continue;
+        if (info_it->second.unique_positions.count(i)) {
+          remapped.insert(new_pos);
+        }
+        ++new_pos;
+      }
+      info_it->second.unique_positions = remapped;
+    }
+
+    std::function<void(Body*)> shrink = [&](Body* body) {
+      for (Atom& a : *body) {
+        if (a.kind == Atom::Kind::kRelAccess && a.relation == rel) {
+          std::vector<std::string> nv;
+          for (size_t i = 0; i < a.vars.size(); ++i) {
+            if (used[i]) nv.push_back(a.vars[i]);
+          }
+          a.vars = std::move(nv);
+        } else if (a.kind == Atom::Kind::kExists) {
+          shrink(a.exists_body.get());
+        }
+      }
+    };
+    for (size_t reader_idx : it->second) {
+      shrink(&program->rules[reader_idx].body);
+    }
+    changed = true;
+  }
+  return changed;
+}
+
+namespace {
+
+bool IsUniqueVarInAccess(const Program& p, const Atom& access,
+                         const std::string& var) {
+  auto it = p.relation_info.find(access.relation);
+  if (it == p.relation_info.end()) return false;
+  for (size_t pos : it->second.unique_positions) {
+    if (pos < access.vars.size() && access.vars[pos] == var) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool GroupAggregateElimination(Program* program) {
+  bool changed = false;
+  for (Rule& rule : program->rules) {
+    if (!rule.head.has_group()) continue;
+    // Condition: every relation access holds some group var at a unique
+    // position (so each group has at most one row), and nothing else
+    // multiplies cardinality (no constant relations).
+    bool ok = true;
+    bool has_access = false;
+    for (const Atom& a : rule.body) {
+      if (a.kind == Atom::Kind::kConstRel) {
+        ok = false;
+        break;
+      }
+      if (a.kind != Atom::Kind::kRelAccess) continue;
+      has_access = true;
+      bool covered = false;
+      for (const std::string& g : rule.head.group_vars) {
+        if (IsUniqueVarInAccess(*program, a, g)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || !has_access) continue;
+
+    // Aggregate assignments must be top-level aggs (rewritable).
+    bool rewritable = true;
+    for (const Atom& a : rule.body) {
+      if (a.kind == Atom::Kind::kCompare && a.term && a.term->ContainsAgg() &&
+          a.term->kind != Term::Kind::kAgg) {
+        rewritable = false;
+        break;
+      }
+    }
+    if (!rewritable) continue;
+
+    for (Atom& a : rule.body) {
+      if (a.kind != Atom::Kind::kCompare || !a.term ||
+          a.term->kind != Term::Kind::kAgg) {
+        continue;
+      }
+      switch (a.term->agg_fn) {
+        case tondir::AggFn::kSum:
+        case tondir::AggFn::kMin:
+        case tondir::AggFn::kMax:
+        case tondir::AggFn::kAvg:
+          a.term = a.term->children[0];
+          break;
+        case tondir::AggFn::kCount:
+        case tondir::AggFn::kCountDistinct:
+          a.term = Term::Const(Value::Int64(1));
+          break;
+      }
+    }
+    rule.head.group_vars.clear();
+    changed = true;
+  }
+  return changed;
+}
+
+bool SelfJoinElimination(Program* program) {
+  bool changed = false;
+  for (Rule& rule : program->rules) {
+    bool retry = true;
+    while (retry) {
+      retry = false;
+      // Find two accesses of the same relation sharing a var at the same
+      // unique position.
+      for (size_t i = 0; i < rule.body.size() && !retry; ++i) {
+        if (rule.body[i].kind != Atom::Kind::kRelAccess) continue;
+        for (size_t j = i + 1; j < rule.body.size() && !retry; ++j) {
+          if (rule.body[j].kind != Atom::Kind::kRelAccess) continue;
+          const Atom& a1 = rule.body[i];
+          const Atom& a2 = rule.body[j];
+          if (a1.relation != a2.relation ||
+              a1.vars.size() != a2.vars.size()) {
+            continue;
+          }
+          auto info = program->relation_info.find(a1.relation);
+          if (info == program->relation_info.end()) continue;
+          bool joined_on_unique = false;
+          for (size_t pos : info->second.unique_positions) {
+            if (pos < a1.vars.size() && a1.vars[pos] == a2.vars[pos]) {
+              joined_on_unique = true;
+              break;
+            }
+          }
+          if (!joined_on_unique) continue;
+          // Merge: a2's bindings become a1's.
+          std::map<std::string, std::string> subst;
+          for (size_t p = 0; p < a1.vars.size(); ++p) {
+            if (a2.vars[p] != a1.vars[p]) subst[a2.vars[p]] = a1.vars[p];
+          }
+          rule.body.erase(rule.body.begin() + static_cast<std::ptrdiff_t>(j));
+          if (!subst.empty()) {
+            RenameVars(&rule.body, subst);
+            RenameHead(&rule.head, subst);
+          }
+          changed = true;
+          retry = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool RuleInlining(Program* program,
+                  const std::set<std::string>& base_relations) {
+  bool changed = false;
+  bool progress = true;
+  int fresh_counter = 0;
+  while (progress) {
+    progress = false;
+    auto readers = program->BuildReaderIndex();
+    for (size_t r = 0; r < program->rules.size(); ++r) {
+      if (r + 1 == program->rules.size()) break;  // sink rule
+      Rule& def = program->rules[r];
+      const std::string& rel = def.head.relation;
+      if (base_relations.count(rel)) continue;
+      if (IsFlowBreaker(def)) continue;
+      size_t def_index;
+      if (!RelationDefinedOnce(*program, rel, &def_index)) continue;
+      auto it = readers.find(rel);
+      if (it == readers.end() || it->second.empty()) continue;
+
+      // Inline into every reader (including accesses inside exists).
+      for (size_t reader_idx : it->second) {
+        Rule& reader = program->rules[reader_idx];
+        std::function<void(Body*)> process = [&](Body* body) {
+          for (size_t k = 0; k < body->size(); ++k) {
+            Atom& a = (*body)[k];
+            if (a.kind == Atom::Kind::kExists) {
+              process(a.exists_body.get());
+              continue;
+            }
+            if (a.kind != Atom::Kind::kRelAccess || a.relation != rel) {
+              continue;
+            }
+            // Build substitution: def head vars -> reader access vars;
+            // all other def body vars -> fresh names.
+            std::map<std::string, std::string> subst;
+            Body extra_equalities;
+            for (size_t p = 0; p < def.head.vars.size(); ++p) {
+              const std::string& h = def.head.vars[p];
+              const std::string& y = a.vars[p];
+              auto s = subst.find(h);
+              if (s == subst.end()) {
+                subst[h] = y;
+              } else if (s->second != y) {
+                extra_equalities.push_back(
+                    Atom::Compare(y, CmpOp::kEq, Term::Var(s->second)));
+              }
+            }
+            std::set<std::string> body_vars;
+            for (const Atom& ba : def.body) ba.CollectVars(&body_vars);
+            for (const std::string& v : body_vars) {
+              if (!subst.count(v)) {
+                subst[v] = v + "_in" + std::to_string(fresh_counter);
+              }
+            }
+            ++fresh_counter;
+            Body inlined;
+            for (const Atom& ba : def.body) {
+              inlined.push_back(ba.CloneAtom());
+            }
+            RenameVars(&inlined, subst);
+            for (Atom& eq : extra_equalities) inlined.push_back(eq);
+            // Replace access atom with inlined body.
+            body->erase(body->begin() + static_cast<std::ptrdiff_t>(k));
+            body->insert(body->begin() + static_cast<std::ptrdiff_t>(k),
+                         inlined.begin(), inlined.end());
+            k += inlined.size() - 1;
+          }
+        };
+        process(&reader.body);
+      }
+      // Remove the inlined rule.
+      program->rules.erase(program->rules.begin() +
+                           static_cast<std::ptrdiff_t>(r));
+      changed = true;
+      progress = true;
+      break;  // indices invalidated; restart scan
+    }
+  }
+  return changed;
+}
+
+OptimizerOptions OptimizerOptions::Preset(int level) {
+  OptimizerOptions o;
+  o.local_dce = level >= 1;
+  o.global_dce = level >= 1;
+  o.group_agg_elim = level >= 2;
+  o.self_join_elim = level >= 3;
+  o.rule_inlining = level >= 4;
+  return o;
+}
+
+Status Optimize(tondir::Program* program,
+                const std::set<std::string>& base_relations,
+                const OptimizerOptions& options) {
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    if (options.rule_inlining) {
+      changed |= RuleInlining(program, base_relations);
+    }
+    if (options.self_join_elim) changed |= SelfJoinElimination(program);
+    if (options.group_agg_elim) changed |= GroupAggregateElimination(program);
+    if (options.global_dce) {
+      changed |= GlobalDeadCodeElimination(program, base_relations);
+    }
+    if (options.local_dce) {
+      changed |= CopyPropagation(program);
+      changed |= LocalDeadCodeElimination(program);
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace pytond::opt

@@ -1,0 +1,57 @@
+#ifndef PYTOND_OPTIMIZER_PASSES_H_
+#define PYTOND_OPTIMIZER_PASSES_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "tondir/ir.h"
+
+namespace pytond::opt {
+
+/// Which TondIR rewrites to run (paper §IV). The presets O0..O4 follow the
+/// ablation of Figure 10: O0 = none ("Grizzly-simulated"), O1 = dead-code
+/// eliminations, O2 = +group/aggregate elimination, O3 = +self-join
+/// elimination, O4 = +rule inlining (full PyTond).
+struct OptimizerOptions {
+  bool local_dce = true;
+  bool global_dce = true;
+  bool group_agg_elim = true;
+  bool self_join_elim = true;
+  bool rule_inlining = true;
+
+  /// Preset for ablation level 0..4.
+  static OptimizerOptions Preset(int level);
+};
+
+/// Runs the enabled passes to a fixpoint (bounded) over `program`.
+/// `base_relations` are database tables (never rewritten or inlined).
+/// Relation uniqueness knowledge is read from program->relation_info and
+/// updated as rules are rewritten.
+Status Optimize(tondir::Program* program,
+                const std::set<std::string>& base_relations,
+                const OptimizerOptions& options);
+
+/// Individual passes (exposed for unit tests). Each returns true if it
+/// changed the program.
+bool LocalDeadCodeElimination(tondir::Program* program);
+
+/// Canonicalization: variable-to-variable equality atoms (`(x = y)`) are
+/// removed by unifying the two names, turning explicit equality filters and
+/// pure aliases into shared-variable joins. Runs with local DCE.
+bool CopyPropagation(tondir::Program* program);
+bool GlobalDeadCodeElimination(tondir::Program* program,
+                               const std::set<std::string>& base_relations);
+bool GroupAggregateElimination(tondir::Program* program);
+bool SelfJoinElimination(tondir::Program* program);
+bool RuleInlining(tondir::Program* program,
+                  const std::set<std::string>& base_relations);
+
+/// True if the rule is a flow breaker for inlining (Table VII): aggregate,
+/// group-by, distinct, sort/limit, outer-join marker. (The sink rule is
+/// handled separately by the inliner.)
+bool IsFlowBreaker(const tondir::Rule& rule);
+
+}  // namespace pytond::opt
+
+#endif  // PYTOND_OPTIMIZER_PASSES_H_

@@ -1,0 +1,690 @@
+#include "runtime/eager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date_util.h"
+#include "common/string_util.h"
+#include "engine/expr/expr.h"  // AppendEncodedValue for hash keys
+
+namespace pytond::runtime::eager {
+
+namespace {
+
+std::vector<double> AsDoubles(const Column& c) {
+  size_t n = c.size();
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = c.Get(i).ToDouble();
+  return out;
+}
+
+std::string RowKey(const Table& t, const std::vector<int>& cols, size_t row) {
+  std::string key;
+  for (int c : cols) engine::AppendEncodedValue(t.column(c), row, &key);
+  return key;
+}
+
+Result<std::vector<int>> ResolveCols(const Table& t,
+                                     const std::vector<std::string>& names) {
+  std::vector<int> out;
+  for (const std::string& n : names) {
+    int i = t.schema().Find(n);
+    if (i < 0) return Status::NotFound("column '" + n + "'");
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Column Broadcast(const Value& v, size_t n, DataType type_hint) {
+  DataType t = v.is_null() ? type_hint : v.type();
+  Column c(t);
+  c.Reserve(n);
+  for (size_t i = 0; i < n; ++i) c.Append(v);
+  return c;
+}
+
+Result<Column> BinaryOp(const std::string& op, const Column& l,
+                        const Column& r) {
+  size_t n = l.size();
+  if (r.size() != n) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  auto cmp_result = [&](auto cmp) {
+    std::vector<uint8_t> out(n);
+    bool strings = l.type() == DataType::kString;
+    for (size_t i = 0; i < n; ++i) {
+      if (!l.IsValid(i) || !r.IsValid(i)) {
+        out[i] = 0;
+        continue;
+      }
+      if (strings) {
+        out[i] = cmp(l.strings()[i].compare(r.type() == DataType::kString
+                                                ? r.strings()[i]
+                                                : r.Get(i).ToString()),
+                     0);
+      } else if (r.type() == DataType::kString) {
+        // date vs string literal comparison
+        auto d = date_util::Parse(r.strings()[i]);
+        double rv = d.ok() ? static_cast<double>(*d) : 0;
+        double lv = l.Get(i).ToDouble();
+        out[i] = cmp(lv < rv ? -1 : (lv > rv ? 1 : 0), 0);
+      } else {
+        double lv = l.Get(i).ToDouble(), rv = r.Get(i).ToDouble();
+        out[i] = cmp(lv < rv ? -1 : (lv > rv ? 1 : 0), 0);
+      }
+    }
+    return Column::Bool(std::move(out));
+  };
+  if (op == "==") return cmp_result([](int c, int) { return c == 0; });
+  if (op == "!=") return cmp_result([](int c, int) { return c != 0; });
+  if (op == "<") return cmp_result([](int c, int) { return c < 0; });
+  if (op == "<=") return cmp_result([](int c, int) { return c <= 0; });
+  if (op == ">") return cmp_result([](int c, int) { return c > 0; });
+  if (op == ">=") return cmp_result([](int c, int) { return c >= 0; });
+  if (op == "&" || op == "|") {
+    std::vector<uint8_t> out(n);
+    const auto& a = l.bools();
+    const auto& b = r.bools();
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t av = l.IsValid(i) ? a[i] : 0;
+      uint8_t bv = r.IsValid(i) ? b[i] : 0;
+      out[i] = op == "&" ? (av & bv) : (av | bv);
+    }
+    return Column::Bool(std::move(out));
+  }
+  // Arithmetic: int64 stays integral for + - * with both int.
+  bool both_int =
+      l.type() == DataType::kInt64 && r.type() == DataType::kInt64;
+  if (both_int && (op == "+" || op == "-" || op == "*" || op == "%")) {
+    std::vector<int64_t> out(n);
+    const auto& a = l.ints();
+    const auto& b = r.ints();
+    for (size_t i = 0; i < n; ++i) {
+      if (op == "+") out[i] = a[i] + b[i];
+      else if (op == "-") out[i] = a[i] - b[i];
+      else if (op == "*") out[i] = a[i] * b[i];
+      else out[i] = b[i] == 0 ? 0 : a[i] % b[i];
+    }
+    return Column::Int64(std::move(out));
+  }
+  std::vector<double> a = AsDoubles(l), b = AsDoubles(r);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (op == "+") out[i] = a[i] + b[i];
+    else if (op == "-") out[i] = a[i] - b[i];
+    else if (op == "*") out[i] = a[i] * b[i];
+    else if (op == "/" || op == "//") out[i] = b[i] == 0 ? 0 : a[i] / b[i];
+    else if (op == "%") out[i] = b[i] == 0 ? 0 : std::fmod(a[i], b[i]);
+    else if (op == "**") out[i] = std::pow(a[i], b[i]);
+    else return Status::Unsupported("operator '" + op + "'");
+  }
+  return Column::Float64(std::move(out));
+}
+
+Table Filter(const Table& t, const Column& mask) {
+  std::vector<uint32_t> keep;
+  const auto& b = mask.bools();
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask.IsValid(i) && b[i]) keep.push_back(static_cast<uint32_t>(i));
+  }
+  return t.Gather(keep);
+}
+
+Result<Table> Project(const Table& t, const std::vector<std::string>& cols) {
+  PYTOND_ASSIGN_OR_RETURN(std::vector<int> idx, ResolveCols(t, cols));
+  Table out;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    PYTOND_RETURN_IF_ERROR(out.AddColumn(cols[i], t.column(idx[i])));
+  }
+  return out;
+}
+
+Result<Table> Merge(const Table& l, const Table& r,
+                    const std::vector<std::string>& lkeys,
+                    const std::vector<std::string>& rkeys,
+                    const std::string& how) {
+  bool same_keys = lkeys == rkeys;
+  std::vector<int> lk, rk;
+  if (how != "cross") {
+    PYTOND_ASSIGN_OR_RETURN(lk, ResolveCols(l, lkeys));
+    PYTOND_ASSIGN_OR_RETURN(rk, ResolveCols(r, rkeys));
+  }
+  // Output schema per Pandas naming.
+  auto overlaps = [&](const std::string& c) {
+    return l.schema().Find(c) >= 0 && r.schema().Find(c) >= 0;
+  };
+  auto is_key = [](const std::vector<std::string>& ks, const std::string& c) {
+    return std::count(ks.begin(), ks.end(), c) > 0;
+  };
+
+  std::vector<uint32_t> li, ri;          // matched pairs
+  std::vector<uint32_t> l_only, r_only;  // outer padding
+  if (how == "cross") {
+    for (size_t i = 0; i < l.num_rows(); ++i) {
+      for (size_t j = 0; j < r.num_rows(); ++j) {
+        li.push_back(static_cast<uint32_t>(i));
+        ri.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  } else {
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    for (size_t j = 0; j < r.num_rows(); ++j) {
+      ht[RowKey(r, rk, j)].push_back(static_cast<uint32_t>(j));
+    }
+    std::vector<uint8_t> r_matched(r.num_rows(), 0);
+    for (size_t i = 0; i < l.num_rows(); ++i) {
+      auto it = ht.find(RowKey(l, lk, i));
+      if (it == ht.end()) {
+        if (how == "left" || how == "outer") {
+          l_only.push_back(static_cast<uint32_t>(i));
+        }
+        continue;
+      }
+      for (uint32_t j : it->second) {
+        li.push_back(static_cast<uint32_t>(i));
+        ri.push_back(j);
+        r_matched[j] = 1;
+      }
+    }
+    if (how == "right" || how == "outer") {
+      for (size_t j = 0; j < r.num_rows(); ++j) {
+        if (!r_matched[j]) r_only.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+
+  Table out;
+  size_t pad_l = l_only.size(), pad_r = r_only.size();
+  for (size_t c = 0; c < l.num_columns(); ++c) {
+    const std::string& name = l.schema().names[c];
+    bool shared_key = same_keys && how != "cross" && is_key(lkeys, name);
+    std::string out_name =
+        (!shared_key && overlaps(name)) ? name + "_x" : name;
+    Column col = l.column(c).Gather(li);
+    for (uint32_t i : l_only) col.AppendFrom(l.column(c), i);
+    for (size_t i = 0; i < pad_r; ++i) {
+      // For an outer merge the shared key takes the right value.
+      if (shared_key) {
+        size_t rpos = static_cast<size_t>(r.schema().Find(name));
+        col.AppendFrom(r.column(rpos), r_only[i]);
+      } else {
+        col.AppendNull();
+      }
+    }
+    PYTOND_RETURN_IF_ERROR(out.AddColumn(out_name, std::move(col)));
+  }
+  for (size_t c = 0; c < r.num_columns(); ++c) {
+    const std::string& name = r.schema().names[c];
+    if (same_keys && how != "cross" && is_key(rkeys, name)) continue;
+    std::string out_name = overlaps(name) ? name + "_y" : name;
+    Column col = r.column(c).Gather(ri);
+    for (size_t i = 0; i < pad_l; ++i) col.AppendNull();
+    for (uint32_t j : r_only) col.AppendFrom(r.column(c), j);
+    PYTOND_RETURN_IF_ERROR(out.AddColumn(out_name, std::move(col)));
+  }
+  return out;
+}
+
+Result<Table> GroupByAgg(const Table& t, const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs) {
+  PYTOND_ASSIGN_OR_RETURN(std::vector<int> kcols, ResolveCols(t, keys));
+  struct State {
+    uint32_t rep;
+    std::vector<double> dsum;
+    std::vector<int64_t> isum;
+    std::vector<int64_t> count;
+    std::vector<Value> extreme;
+    std::vector<std::unordered_set<std::string>> distinct;
+    std::vector<bool> has;
+  };
+  std::vector<int> acols;
+  for (const AggSpec& a : aggs) {
+    int i = t.schema().Find(a.column);
+    if (i < 0) return Status::NotFound("agg column '" + a.column + "'");
+    acols.push_back(i);
+  }
+  std::unordered_map<std::string, State> groups;
+  std::vector<std::string> order;  // deterministic first-seen order
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key = RowKey(t, kcols, row);
+    auto [it, inserted] = groups.try_emplace(key);
+    State& s = it->second;
+    if (inserted) {
+      s.rep = static_cast<uint32_t>(row);
+      s.dsum.assign(aggs.size(), 0);
+      s.isum.assign(aggs.size(), 0);
+      s.count.assign(aggs.size(), 0);
+      s.extreme.assign(aggs.size(), Value::Null());
+      s.distinct.resize(aggs.size());
+      s.has.assign(aggs.size(), false);
+      order.push_back(key);
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const Column& col = t.column(acols[a]);
+      if (!col.IsValid(row)) continue;
+      const std::string& fn = aggs[a].fn;
+      if (fn == "count") {
+        ++s.count[a];
+      } else if (fn == "nunique") {
+        std::string k2;
+        engine::AppendEncodedValue(col, row, &k2);
+        s.distinct[a].insert(std::move(k2));
+      } else if (fn == "sum" || fn == "mean") {
+        if (col.type() == DataType::kInt64) s.isum[a] += col.ints()[row];
+        else s.dsum[a] += col.Get(row).ToDouble();
+        ++s.count[a];
+        s.has[a] = true;
+      } else {  // min / max
+        Value v = col.Get(row);
+        if (!s.has[a]) {
+          s.extreme[a] = v;
+          s.has[a] = true;
+        } else {
+          bool less = v.type() == DataType::kString
+                          ? v.AsString() < s.extreme[a].AsString()
+                          : v.ToDouble() < s.extreme[a].ToDouble();
+          if ((fn == "min") == less) s.extreme[a] = v;
+        }
+      }
+    }
+  }
+  // Assemble.
+  Table out;
+  std::vector<uint32_t> reps;
+  for (const std::string& k : order) reps.push_back(groups[k].rep);
+  for (size_t c = 0; c < kcols.size(); ++c) {
+    PYTOND_RETURN_IF_ERROR(
+        out.AddColumn(keys[c], t.column(kcols[c]).Gather(reps)));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const std::string& fn = aggs[a].fn;
+    DataType at = t.column(acols[a]).type();
+    DataType ot = fn == "count" || fn == "nunique" ? DataType::kInt64
+                  : fn == "mean"                   ? DataType::kFloat64
+                  : fn == "sum" ? (at == DataType::kInt64 ? DataType::kInt64
+                                                          : DataType::kFloat64)
+                                : at;
+    Column col(ot);
+    for (const std::string& k : order) {
+      const State& s = groups[k];
+      if (fn == "count") {
+        col.Append(Value::Int64(s.count[a]));
+      } else if (fn == "nunique") {
+        col.Append(Value::Int64(static_cast<int64_t>(s.distinct[a].size())));
+      } else if (fn == "sum") {
+        if (!s.has[a]) col.AppendNull();
+        else if (at == DataType::kInt64) col.Append(Value::Int64(s.isum[a]));
+        else col.Append(Value::Float64(s.dsum[a]));
+      } else if (fn == "mean") {
+        if (s.count[a] == 0) col.AppendNull();
+        else col.Append(Value::Float64(
+            (s.dsum[a] + static_cast<double>(s.isum[a])) /
+            static_cast<double>(s.count[a])));
+      } else {
+        col.Append(s.extreme[a]);
+      }
+    }
+    PYTOND_RETURN_IF_ERROR(out.AddColumn(aggs[a].out, std::move(col)));
+  }
+  if (keys.empty() && out.num_rows() == 0 && t.num_rows() == 0) {
+    // Global aggregate over empty input: one row of nulls/zeros.
+    std::vector<Value> row;
+    for (const AggSpec& a : aggs) {
+      row.push_back(a.fn == "count" || a.fn == "nunique"
+                        ? Value::Int64(0)
+                        : Value::Null());
+    }
+    PYTOND_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> SortValues(const Table& t, const std::vector<std::string>& keys,
+                         const std::vector<bool>& ascending) {
+  PYTOND_ASSIGN_OR_RETURN(std::vector<int> kcols, ResolveCols(t, keys));
+  std::vector<uint32_t> idx(t.num_rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < kcols.size(); ++k) {
+      const Column& c = t.column(kcols[k]);
+      Value va = c.Get(a), vb = c.Get(b);
+      int cmp;
+      if (va.is_null() || vb.is_null()) {
+        cmp = static_cast<int>(vb.is_null()) - static_cast<int>(va.is_null());
+        cmp = -cmp;  // nulls first
+      } else if (va.type() == DataType::kString) {
+        cmp = va.AsString().compare(vb.AsString());
+      } else {
+        double da = va.ToDouble(), db = vb.ToDouble();
+        cmp = da < db ? -1 : (da > db ? 1 : 0);
+      }
+      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  return t.Gather(idx);
+}
+
+Table Head(const Table& t, size_t n) {
+  std::vector<uint32_t> idx(std::min(n, t.num_rows()));
+  std::iota(idx.begin(), idx.end(), 0);
+  return t.Gather(idx);
+}
+
+Result<Table> Unique(const Table& t, const std::string& column) {
+  int c = t.schema().Find(column);
+  if (c < 0) return Status::NotFound("column '" + column + "'");
+  std::unordered_set<std::string> seen;
+  std::vector<uint32_t> keep;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    std::string key;
+    engine::AppendEncodedValue(t.column(c), i, &key);
+    if (seen.insert(std::move(key)).second) {
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  Table out;
+  PYTOND_RETURN_IF_ERROR(out.AddColumn(column, t.column(c).Gather(keep)));
+  return out;
+}
+
+Result<Column> IsinMask(const Column& probe, const Column& values) {
+  std::unordered_set<std::string> set;
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::string k;
+    engine::AppendEncodedValue(values, i, &k);
+    set.insert(std::move(k));
+  }
+  std::vector<uint8_t> out(probe.size());
+  for (size_t i = 0; i < probe.size(); ++i) {
+    std::string k;
+    engine::AppendEncodedValue(probe, i, &k);
+    out[i] = set.count(k) > 0;
+  }
+  return Column::Bool(std::move(out));
+}
+
+Result<Table> PivotTable(const Table& t, const std::string& index,
+                         const std::string& columns, const std::string& values,
+                         const std::vector<std::string>& distinct_values) {
+  int ic = t.schema().Find(index);
+  int cc = t.schema().Find(columns);
+  int vc = t.schema().Find(values);
+  if (ic < 0 || cc < 0 || vc < 0) {
+    return Status::NotFound("pivot_table column");
+  }
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<uint32_t> reps;
+  std::vector<std::vector<double>> sums;
+  std::unordered_map<std::string, size_t> col_of;
+  for (size_t i = 0; i < distinct_values.size(); ++i) {
+    col_of[distinct_values[i]] = i;
+  }
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::string key;
+    engine::AppendEncodedValue(t.column(ic), row, &key);
+    auto [it, inserted] = group_of.try_emplace(key, reps.size());
+    if (inserted) {
+      reps.push_back(static_cast<uint32_t>(row));
+      sums.emplace_back(distinct_values.size(), 0.0);
+    }
+    auto cit = col_of.find(t.column(cc).Get(row).ToString());
+    if (cit != col_of.end()) {
+      sums[it->second][cit->second] += t.column(vc).Get(row).ToDouble();
+    }
+  }
+  Table out;
+  PYTOND_RETURN_IF_ERROR(out.AddColumn(index, t.column(ic).Gather(reps)));
+  for (size_t c = 0; c < distinct_values.size(); ++c) {
+    std::vector<double> col(reps.size());
+    for (size_t g = 0; g < reps.size(); ++g) col[g] = sums[g][c];
+    PYTOND_RETURN_IF_ERROR(out.AddColumn("p_" + distinct_values[c],
+                                         Column::Float64(std::move(col))));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ einsum
+
+namespace {
+
+/// Reads a dense table as a row-major matrix (skipping a leading id col).
+std::vector<std::vector<double>> ToMatrix(const Table& t) {
+  size_t start = !t.schema().names.empty() && t.schema().names[0] == "id"
+                     ? 1
+                     : 0;
+  size_t rows = t.num_rows(), cols = t.num_columns() - start;
+  std::vector<std::vector<double>> m(rows, std::vector<double>(cols));
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> col = AsDoubles(t.column(start + c));
+    for (size_t r = 0; r < rows; ++r) m[r][c] = col[r];
+  }
+  return m;
+}
+
+Result<Table> FromMatrix(const std::vector<std::vector<double>>& m) {
+  Table out;
+  std::vector<int64_t> ids(m.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  PYTOND_RETURN_IF_ERROR(out.AddColumn("id", Column::Int64(std::move(ids))));
+  size_t cols = m.empty() ? 0 : m[0].size();
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> col(m.size());
+    for (size_t r = 0; r < m.size(); ++r) col[r] = m[r][c];
+    PYTOND_RETURN_IF_ERROR(
+        out.AddColumn("c" + std::to_string(c), Column::Float64(std::move(col))));
+  }
+  return out;
+}
+
+Result<Table> Scalar(double v) {
+  Table out;
+  PYTOND_RETURN_IF_ERROR(out.AddColumn("c0", Column::Float64({v})));
+  return out;
+}
+
+}  // namespace
+
+Result<Table> EinsumDense(const std::string& spec,
+                          const std::vector<const Table*>& operands) {
+  auto m0 = ToMatrix(*operands[0]);
+  if (spec == "i->" || spec == "ij->") {
+    double s = 0;
+    for (const auto& row : m0) {
+      for (double v : row) s += v;
+    }
+    return Scalar(s);
+  }
+  if (spec == "ij->i") {
+    std::vector<std::vector<double>> out(m0.size(),
+                                         std::vector<double>(1, 0.0));
+    for (size_t r = 0; r < m0.size(); ++r) {
+      for (double v : m0[r]) out[r][0] += v;
+    }
+    return FromMatrix(out);
+  }
+  if (spec == "ij->j") {
+    size_t cols = m0.empty() ? 0 : m0[0].size();
+    std::vector<std::vector<double>> out(cols, std::vector<double>(1, 0.0));
+    for (const auto& row : m0) {
+      for (size_t c = 0; c < cols; ++c) out[c][0] += row[c];
+    }
+    return FromMatrix(out);
+  }
+  if (spec == "ii->i") {
+    std::vector<std::vector<double>> out;
+    for (size_t r = 0; r < m0.size(); ++r) {
+      if (r < m0[r].size()) out.push_back({m0[r][r]});
+    }
+    return FromMatrix(out);
+  }
+  auto m1 = operands.size() > 1 ? ToMatrix(*operands[1])
+                                : std::vector<std::vector<double>>{};
+  if (spec == "i,i->") {
+    double s = 0;
+    for (size_t r = 0; r < m0.size() && r < m1.size(); ++r) {
+      s += m0[r][0] * m1[r][0];
+    }
+    return Scalar(s);
+  }
+  if (spec == "ij,ij->ij") {
+    std::vector<std::vector<double>> out = m0;
+    for (size_t r = 0; r < out.size() && r < m1.size(); ++r) {
+      for (size_t c = 0; c < out[r].size(); ++c) out[r][c] *= m1[r][c];
+    }
+    return FromMatrix(out);
+  }
+  if (spec == "ij,ik->jk") {
+    size_t n = m0.empty() ? 0 : m0[0].size();
+    size_t m = m1.empty() ? 0 : m1[0].size();
+    std::vector<std::vector<double>> out(n, std::vector<double>(m, 0.0));
+    for (size_t r = 0; r < m0.size() && r < m1.size(); ++r) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < m; ++k) out[j][k] += m0[r][j] * m1[r][k];
+      }
+    }
+    return FromMatrix(out);
+  }
+  if (spec == "ij,j->i") {
+    std::vector<std::vector<double>> out(m0.size(),
+                                         std::vector<double>(1, 0.0));
+    for (size_t r = 0; r < m0.size(); ++r) {
+      for (size_t c = 0; c < m0[r].size() && c < m1.size(); ++c) {
+        out[r][0] += m0[r][c] * m1[c][0];
+      }
+    }
+    return FromMatrix(out);
+  }
+  if (spec == "ij,jk->ik") {
+    size_t p = m0.empty() ? 0 : m0[0].size();
+    size_t k = m1.empty() ? 0 : m1[0].size();
+    std::vector<std::vector<double>> out(m0.size(),
+                                         std::vector<double>(k, 0.0));
+    for (size_t r = 0; r < m0.size(); ++r) {
+      for (size_t j = 0; j < p && j < m1.size(); ++j) {
+        for (size_t c = 0; c < k; ++c) out[r][c] += m0[r][j] * m1[j][c];
+      }
+    }
+    return FromMatrix(out);
+  }
+  return Status::Unsupported("eager dense einsum '" + spec + "'");
+}
+
+Result<Table> EinsumSparse(const std::string& spec,
+                           const std::vector<const Table*>& operands) {
+  // Parse "ab,cd->ef" style binary spec on COO tables.
+  size_t arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("bad spec");
+  }
+  std::string lhs = spec.substr(0, arrow), out_idx = spec.substr(arrow + 2);
+  std::vector<std::string> inputs = string_util::Split(lhs, ',');
+  if (inputs.size() != operands.size()) {
+    return Status::InvalidArgument("operand count mismatch");
+  }
+  // Value of each letter per nonzero; accumulate products grouped by
+  // output letters. Build letter -> (operand, column) map.
+  std::unordered_map<std::string, double> acc;
+  std::unordered_map<std::string, std::vector<int64_t>> acc_keys;
+  auto index_cols = [&](size_t op) {
+    std::vector<const std::vector<int64_t>*> cols;
+    for (size_t i = 0; i + 1 < operands[op]->num_columns(); ++i) {
+      cols.push_back(&operands[op]->column(i).ints());
+    }
+    return cols;
+  };
+  if (operands.size() == 1) {
+    auto idx = index_cols(0);
+    const Column& val = operands[0]->column(operands[0]->num_columns() - 1);
+    std::vector<double> vals = AsDoubles(val);
+    for (size_t r = 0; r < operands[0]->num_rows(); ++r) {
+      std::unordered_map<char, int64_t> binding;
+      bool ok = true;
+      for (size_t i = 0; i < inputs[0].size(); ++i) {
+        char c = inputs[0][i];
+        auto it = binding.find(c);
+        if (it != binding.end() && it->second != (*idx[i])[r]) {
+          ok = false;
+          break;
+        }
+        binding[c] = (*idx[i])[r];
+      }
+      if (!ok) continue;
+      std::string key;
+      std::vector<int64_t> kv;
+      for (char c : out_idx) {
+        kv.push_back(binding[c]);
+        key += std::to_string(binding[c]) + "|";
+      }
+      acc[key] += vals[r];
+      acc_keys.emplace(key, kv);
+    }
+  } else {
+    // Binary: hash-join on shared letters.
+    std::string shared;
+    for (char c : inputs[0]) {
+      if (inputs[1].find(c) != std::string::npos) shared += c;
+    }
+    auto idx0 = index_cols(0), idx1 = index_cols(1);
+    std::vector<double> v0 =
+        AsDoubles(operands[0]->column(operands[0]->num_columns() - 1));
+    std::vector<double> v1 =
+        AsDoubles(operands[1]->column(operands[1]->num_columns() - 1));
+    std::unordered_map<std::string, std::vector<uint32_t>> ht;
+    for (size_t r = 0; r < operands[1]->num_rows(); ++r) {
+      std::string key;
+      for (char c : shared) {
+        size_t pos = inputs[1].find(c);
+        key += std::to_string((*idx1[pos])[r]) + "|";
+      }
+      ht[key].push_back(static_cast<uint32_t>(r));
+    }
+    for (size_t r = 0; r < operands[0]->num_rows(); ++r) {
+      std::string key;
+      for (char c : shared) {
+        size_t pos = inputs[0].find(c);
+        key += std::to_string((*idx0[pos])[r]) + "|";
+      }
+      auto it = ht.find(key);
+      if (it == ht.end()) continue;
+      for (uint32_t rr : it->second) {
+        std::string okey;
+        std::vector<int64_t> kv;
+        for (char c : out_idx) {
+          size_t p0 = inputs[0].find(c);
+          int64_t v = p0 != std::string::npos
+                          ? (*idx0[p0])[r]
+                          : (*idx1[inputs[1].find(c)])[rr];
+          kv.push_back(v);
+          okey += std::to_string(v) + "|";
+        }
+        acc[okey] += v0[r] * v1[rr];
+        acc_keys.emplace(okey, kv);
+      }
+    }
+  }
+  Table out;
+  std::vector<std::vector<int64_t>> kcols(out_idx.size());
+  std::vector<double> vcol;
+  for (const auto& [key, sum] : acc) {
+    const auto& kv = acc_keys[key];
+    for (size_t i = 0; i < kv.size(); ++i) kcols[i].push_back(kv[i]);
+    vcol.push_back(sum);
+  }
+  for (size_t i = 0; i < out_idx.size(); ++i) {
+    std::string name = out_idx.size() == 1 ? "row_id"
+                       : i == 0            ? "row_id"
+                                           : "col_id";
+    PYTOND_RETURN_IF_ERROR(
+        out.AddColumn(name, Column::Int64(std::move(kcols[i]))));
+  }
+  PYTOND_RETURN_IF_ERROR(out.AddColumn("val", Column::Float64(std::move(vcol))));
+  return out;
+}
+
+}  // namespace pytond::runtime::eager

@@ -1,0 +1,85 @@
+#ifndef PYTOND_RUNTIME_EAGER_H_
+#define PYTOND_RUNTIME_EAGER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pytond::runtime {
+
+/// Eager, single-threaded DataFrame operations that materialize every
+/// intermediate — the stand-in for the paper's Python/Pandas/NumPy
+/// baseline. Each function performs one API call's worth of work with no
+/// cross-operation fusion (the two cost drivers the paper attributes to
+/// the Python baseline).
+namespace eager {
+
+/// Elementwise binary op over two equal-length columns (or column/scalar
+/// via ConstColumn). `op` is the mini-Python operator spelling.
+Result<Column> BinaryOp(const std::string& op, const Column& l,
+                        const Column& r);
+
+/// Materializes a scalar as a column of length n.
+Column Broadcast(const Value& v, size_t n, DataType type_hint);
+
+/// Rows where mask (bool column) is true.
+Table Filter(const Table& t, const Column& mask);
+
+/// Column projection by names.
+Result<Table> Project(const Table& t, const std::vector<std::string>& cols);
+
+/// Pandas-style merge. `how` in {inner,left,right,outer,cross}; output
+/// follows Pandas column naming (_x/_y suffixes, shared keys once).
+Result<Table> Merge(const Table& l, const Table& r,
+                    const std::vector<std::string>& lkeys,
+                    const std::vector<std::string>& rkeys,
+                    const std::string& how);
+
+/// One aggregation: output name, input column, fn in
+/// {sum,min,max,mean,count,nunique}.
+struct AggSpec {
+  std::string out;
+  std::string column;
+  std::string fn;
+};
+
+/// Hash group-by + aggregate; keys may be empty (global aggregate).
+Result<Table> GroupByAgg(const Table& t, const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs);
+
+/// Multi-key sort.
+Result<Table> SortValues(const Table& t, const std::vector<std::string>& keys,
+                         const std::vector<bool>& ascending);
+
+Table Head(const Table& t, size_t n);
+
+/// Distinct values of one column.
+Result<Table> Unique(const Table& t, const std::string& column);
+
+/// Membership mask of t[col] in values of `other_col`.
+Result<Column> IsinMask(const Column& probe, const Column& values);
+
+/// Pivot table (paper §II-A): index column, spreading column, value
+/// column, sum aggregation over the given distinct spread values.
+Result<Table> PivotTable(const Table& t, const std::string& index,
+                         const std::string& columns, const std::string& values,
+                         const std::vector<std::string>& distinct_values);
+
+/// Dense einsum over tables whose data columns (all but a leading "id",
+/// when present) are numeric. Supports the kernel set of the paper's
+/// workloads. Output tables carry a leading id column when the result has
+/// rows.
+Result<Table> EinsumDense(const std::string& spec,
+                          const std::vector<const Table*>& operands);
+
+/// Sparse COO einsum ((row_id[, col_id], val) tables), general binary.
+Result<Table> EinsumSparse(const std::string& spec,
+                           const std::vector<const Table*>& operands);
+
+}  // namespace eager
+}  // namespace pytond::runtime
+
+#endif  // PYTOND_RUNTIME_EAGER_H_

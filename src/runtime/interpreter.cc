@@ -1,0 +1,807 @@
+#include "runtime/interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/date_util.h"
+
+#include "common/string_util.h"
+#include "frontend/pylang/parser.h"
+#include "frontend/translate/einsum.h"
+#include "runtime/eager.h"
+
+namespace pytond::runtime {
+
+namespace {
+
+using py::Expr;
+using py::ExprPtr;
+using py::Stmt;
+
+/// Runtime value: a frame (table), a series (column + owner length), a
+/// scalar, a string list, or a pending group-by.
+struct RValue {
+  enum class Kind { kFrame, kSeries, kScalar, kStrList, kGroupBy,
+                    kEmptyFrame };
+  Kind kind;
+  Table table;                       // kFrame / kGroupBy base
+  Column column;                     // kSeries
+  Value scalar;                      // kScalar
+  std::vector<std::string> strings;  // kStrList / groupby selection
+  std::vector<Value> literals;       // kStrList raw items (isin lists)
+  std::vector<std::string> group_keys;
+  bool str_ctx = false;
+  bool dt_ctx = false;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Catalog& catalog, const InterpretOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<Table> Run(const py::Function& fn) {
+    for (const std::string& p : fn.params) {
+      const Table* t = catalog_.GetTable(p);
+      if (t == nullptr) return Status::NotFound("table '" + p + "'");
+      RValue v;
+      v.kind = RValue::Kind::kFrame;
+      v.table = *t;  // eager copy: the "data loading" the baseline pays
+      env_[p] = std::move(v);
+    }
+    for (const Stmt& s : fn.body) {
+      if (s.kind == Stmt::Kind::kReturn) {
+        PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(s.value));
+        if (v.kind == RValue::Kind::kSeries) {
+          Table out;
+          PYTOND_RETURN_IF_ERROR(out.AddColumn("value", v.column));
+          return out;
+        }
+        if (v.kind != RValue::Kind::kFrame) {
+          return Status::Unsupported("return value");
+        }
+        return v.table;
+      }
+      PYTOND_RETURN_IF_ERROR(ExecAssign(s));
+    }
+    return Status::InvalidArgument("no return");
+  }
+
+ private:
+  Status ExecAssign(const Stmt& s) {
+    if (s.target->kind == Expr::Kind::kName) {
+      PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(s.value));
+      env_[s.target->name] = std::move(v);
+      return Status::OK();
+    }
+    // df['col'] = series/scalar
+    const std::string& name = s.target->children[0]->name;
+    auto it = env_.find(name);
+    if (it == env_.end()) return Status::NotFound(name);
+    if (s.target->children[1]->kind != Expr::Kind::kLiteral) {
+      return Status::Unsupported("assignment subscript");
+    }
+    std::string col = s.target->children[1]->literal.AsString();
+    PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(s.value));
+    RValue& dst = it->second;
+    Column c;
+    if (v.kind == RValue::Kind::kSeries) {
+      c = v.column;
+    } else if (v.kind == RValue::Kind::kScalar) {
+      size_t n = dst.kind == RValue::Kind::kFrame ? dst.table.num_rows() : 0;
+      c = eager::Broadcast(v.scalar, n, DataType::kFloat64);
+    } else {
+      return Status::Unsupported("column assignment value");
+    }
+    if (dst.kind == RValue::Kind::kEmptyFrame) {
+      Table t;
+      PYTOND_RETURN_IF_ERROR(t.AddColumn(col, std::move(c)));
+      dst.kind = RValue::Kind::kFrame;
+      dst.table = std::move(t);
+      return Status::OK();
+    }
+    if (dst.kind != RValue::Kind::kFrame) {
+      return Status::Unsupported("column assignment target");
+    }
+    // Align lengths for cross-frame zips (paper's implicit join).
+    size_t n = std::min(dst.table.num_rows(), c.size());
+    if (c.size() != dst.table.num_rows()) {
+      std::vector<uint32_t> idx(n);
+      for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+      dst.table = dst.table.Gather(idx);
+      c = c.Gather(idx);
+    }
+    int existing = dst.table.schema().Find(col);
+    if (existing >= 0) {
+      dst.table.column(static_cast<size_t>(existing)) = std::move(c);
+    } else {
+      PYTOND_RETURN_IF_ERROR(dst.table.AddColumn(col, std::move(c)));
+    }
+    return Status::OK();
+  }
+
+  Result<RValue> Eval(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kName: {
+        auto it = env_.find(e->name);
+        if (it == env_.end()) return Status::NotFound(e->name);
+        return it->second;
+      }
+      case Expr::Kind::kLiteral: {
+        RValue v;
+        v.kind = RValue::Kind::kScalar;
+        v.scalar = e->literal;
+        return v;
+      }
+      case Expr::Kind::kList:
+      case Expr::Kind::kTuple: {
+        RValue v;
+        v.kind = RValue::Kind::kStrList;
+        for (const auto& c : e->children) {
+          if (c->kind != Expr::Kind::kLiteral) {
+            return Status::Unsupported("non-literal list");
+          }
+          v.literals.push_back(c->literal);
+          if (c->literal.type() == DataType::kString) {
+            v.strings.push_back(c->literal.AsString());
+          }
+        }
+        return v;
+      }
+      case Expr::Kind::kAttribute:
+        return EvalAttribute(*e);
+      case Expr::Kind::kSubscript:
+        return EvalSubscript(*e);
+      case Expr::Kind::kCall:
+        return EvalCall(*e);
+      case Expr::Kind::kBinOp:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kBoolOp:
+        return EvalBinary(*e);
+      case Expr::Kind::kUnary: {
+        PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(e->children[0]));
+        if (e->op == "~") {
+          for (size_t i = 0; i < v.column.size(); ++i) {
+            v.column.bools()[i] = !v.column.bools()[i];
+          }
+          return v;
+        }
+        if (v.kind == RValue::Kind::kScalar) {
+          v.scalar = v.scalar.type() == DataType::kFloat64
+                         ? Value::Float64(-v.scalar.AsFloat64())
+                         : Value::Int64(-v.scalar.AsInt64());
+          return v;
+        }
+        PYTOND_ASSIGN_OR_RETURN(
+            v.column,
+            eager::BinaryOp("-",
+                            eager::Broadcast(Value::Int64(0), v.column.size(),
+                                             DataType::kInt64),
+                            v.column));
+        return v;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Result<RValue> EvalAttribute(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(RValue base, Eval(e.children[0]));
+    const std::string& attr = e.name;
+    if (base.kind == RValue::Kind::kFrame) {
+      if (attr == "values") return base;
+      const Column* c = base.table.FindColumn(attr);
+      if (c == nullptr) return Status::NotFound("column '" + attr + "'");
+      RValue v;
+      v.kind = RValue::Kind::kSeries;
+      v.column = *c;
+      return v;
+    }
+    if (base.kind == RValue::Kind::kSeries) {
+      if (attr == "str") {
+        base.str_ctx = true;
+        return base;
+      }
+      if (attr == "dt") {
+        base.dt_ctx = true;
+        return base;
+      }
+      if (base.dt_ctx) {
+        base.dt_ctx = false;
+        const auto& d = base.column.dates();
+        std::vector<int64_t> out(d.size());
+        for (size_t i = 0; i < d.size(); ++i) {
+          int y, m, dd;
+          date_util::ToYMD(d[i], &y, &m, &dd);
+          out[i] = attr == "year" ? y : (attr == "month" ? m : dd);
+        }
+        base.column = Column::Int64(std::move(out));
+        return base;
+      }
+    }
+    return Status::Unsupported("attribute '" + attr + "'");
+  }
+
+  Result<RValue> EvalSubscript(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(RValue base, Eval(e.children[0]));
+    PYTOND_ASSIGN_OR_RETURN(RValue idx, Eval(e.children[1]));
+    if (base.kind == RValue::Kind::kGroupBy &&
+        idx.kind == RValue::Kind::kStrList) {
+      base.strings = idx.strings;
+      return base;
+    }
+    if (base.kind != RValue::Kind::kFrame) {
+      return Status::Unsupported("subscript base");
+    }
+    if (idx.kind == RValue::Kind::kScalar &&
+        idx.scalar.type() == DataType::kString) {
+      const Column* c = base.table.FindColumn(idx.scalar.AsString());
+      if (c == nullptr) {
+        return Status::NotFound("column '" + idx.scalar.AsString() + "'");
+      }
+      RValue v;
+      v.kind = RValue::Kind::kSeries;
+      v.column = *c;
+      return v;
+    }
+    if (idx.kind == RValue::Kind::kStrList) {
+      RValue v;
+      v.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(v.table,
+                              eager::Project(base.table, idx.strings));
+      return v;
+    }
+    if (idx.kind == RValue::Kind::kSeries) {
+      RValue v;
+      v.kind = RValue::Kind::kFrame;
+      v.table = eager::Filter(base.table, idx.column);
+      return v;
+    }
+    return Status::Unsupported("subscript index");
+  }
+
+  Result<RValue> EvalBinary(const Expr& e) {
+    PYTOND_ASSIGN_OR_RETURN(RValue l, Eval(e.children[0]));
+    PYTOND_ASSIGN_OR_RETURN(RValue r, Eval(e.children[1]));
+    if (l.kind == RValue::Kind::kScalar && r.kind == RValue::Kind::kScalar) {
+      // Fold numerically.
+      Column lc = eager::Broadcast(l.scalar, 1, DataType::kFloat64);
+      Column rc = eager::Broadcast(r.scalar, 1, DataType::kFloat64);
+      PYTOND_ASSIGN_OR_RETURN(Column out, eager::BinaryOp(e.op, lc, rc));
+      RValue v;
+      v.kind = RValue::Kind::kScalar;
+      v.scalar = out.Get(0);
+      return v;
+    }
+    // Frame-level (array) elementwise arithmetic.
+    if (l.kind == RValue::Kind::kFrame || r.kind == RValue::Kind::kFrame) {
+      return ArrayBinary(e.op, l, r);
+    }
+    size_t n = l.kind == RValue::Kind::kSeries ? l.column.size()
+                                               : r.column.size();
+    Column lc = l.kind == RValue::Kind::kSeries
+                    ? l.column
+                    : eager::Broadcast(l.scalar, n, r.column.type());
+    Column rc = r.kind == RValue::Kind::kSeries
+                    ? r.column
+                    : eager::Broadcast(r.scalar, n, l.column.type());
+    RValue v;
+    v.kind = RValue::Kind::kSeries;
+    PYTOND_ASSIGN_OR_RETURN(v.column, eager::BinaryOp(e.op, lc, rc));
+    return v;
+  }
+
+  Result<RValue> ArrayBinary(const std::string& op, RValue& l, RValue& r) {
+    if (l.kind == RValue::Kind::kFrame && r.kind == RValue::Kind::kScalar) {
+      RValue v = l;
+      for (size_t c = 0; c < v.table.num_columns(); ++c) {
+        if (v.table.schema().names[c] == "id") continue;
+        PYTOND_ASSIGN_OR_RETURN(
+            v.table.column(c),
+            eager::BinaryOp(op, v.table.column(c),
+                            eager::Broadcast(r.scalar,
+                                             v.table.num_rows(),
+                                             DataType::kFloat64)));
+      }
+      return v;
+    }
+    if (l.kind == RValue::Kind::kFrame && r.kind == RValue::Kind::kFrame &&
+        op == "*") {
+      RValue v;
+      v.kind = RValue::Kind::kFrame;
+      std::string spec = l.table.num_columns() <= 2 ? "i,i->i" : "ij,ij->ij";
+      PYTOND_ASSIGN_OR_RETURN(
+          v.table, eager::EinsumDense(spec == "i,i->i" ? "ij,ij->ij" : spec,
+                                      {&l.table, &r.table}));
+      return v;
+    }
+    return Status::Unsupported("array op '" + op + "'");
+  }
+
+  Result<RValue> EvalCall(const Expr& e) {
+    const ExprPtr& callee = e.children[0];
+    if (callee->kind != Expr::Kind::kAttribute) {
+      if (callee->kind == Expr::Kind::kName && callee->name == "DataFrame") {
+        return DataFrameCtor(e);
+      }
+      return Status::Unsupported("call " + callee->ToString());
+    }
+    const std::string& method = callee->name;
+    const ExprPtr& base_expr = callee->children[0];
+    if (base_expr->kind == Expr::Kind::kName &&
+        (base_expr->name == "np" || base_expr->name == "numpy")) {
+      return NumpyCall(method, e);
+    }
+    if (base_expr->kind == Expr::Kind::kName &&
+        (base_expr->name == "pd" || base_expr->name == "pandas")) {
+      if (method == "DataFrame") return DataFrameCtor(e);
+      return Status::Unsupported("pd." + method);
+    }
+    PYTOND_ASSIGN_OR_RETURN(RValue base, Eval(base_expr));
+    return Method(base, method, e);
+  }
+
+  Result<RValue> DataFrameCtor(const Expr& e) {
+    RValue v;
+    if (e.children.size() == 1) {
+      v.kind = RValue::Kind::kEmptyFrame;
+      return v;
+    }
+    PYTOND_ASSIGN_OR_RETURN(v, Eval(e.children[1]));
+    return v;
+  }
+
+  Result<RValue> NumpyCall(const std::string& fn, const Expr& e) {
+    if (fn == "einsum") {
+      std::string spec = e.children[1]->literal.AsString();
+      std::vector<Table> ops;
+      for (size_t i = 2; i < e.children.size(); ++i) {
+        PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(e.children[i]));
+        if (v.kind != RValue::Kind::kFrame) {
+          return Status::Unsupported("einsum operand");
+        }
+        ops.push_back(std::move(v.table));
+      }
+      std::vector<const Table*> ptrs;
+      for (const Table& t : ops) ptrs.push_back(&t);
+      bool sparse = options_.sparse ||
+                    (!ops.empty() && ops[0].schema().Find("row_id") == 0);
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      if (ops.size() > 2) {
+        // N-ary: contract pairwise along the same path PyTond plans.
+        PYTOND_ASSIGN_OR_RETURN(auto parsed,
+                                frontend::ParseEinsumSpec(spec));
+        PYTOND_ASSIGN_OR_RETURN(auto path,
+                                frontend::PlanContractionPath(parsed));
+        std::vector<Table> store = std::move(ops);
+        for (const auto& step : path) {
+          std::vector<const Table*> args = {&store[step.lhs]};
+          if (step.binary.inputs.size() > 1) {
+            args.push_back(&store[step.rhs]);
+          }
+          // Normalize index letters so the eager kernel table matches.
+          std::string bspec =
+              frontend::NormalizeSpec(step.binary).ToString();
+          Table result;
+          PYTOND_ASSIGN_OR_RETURN(
+              result, sparse ? eager::EinsumSparse(bspec, args)
+                             : eager::EinsumDense(bspec, args));
+          store.push_back(std::move(result));
+        }
+        out.table = std::move(store.back());
+        return out;
+      }
+      if (sparse) {
+        PYTOND_ASSIGN_OR_RETURN(out.table, eager::EinsumSparse(spec, ptrs));
+      } else {
+        PYTOND_ASSIGN_OR_RETURN(out.table, eager::EinsumDense(spec, ptrs));
+      }
+      return out;
+    }
+    if (fn == "where") {
+      PYTOND_ASSIGN_OR_RETURN(RValue c, Eval(e.children[1]));
+      PYTOND_ASSIGN_OR_RETURN(RValue a, Eval(e.children[2]));
+      PYTOND_ASSIGN_OR_RETURN(RValue b, Eval(e.children[3]));
+      size_t n = c.column.size();
+      Column av = a.kind == RValue::Kind::kSeries
+                      ? a.column
+                      : eager::Broadcast(a.scalar, n, DataType::kFloat64);
+      Column bv = b.kind == RValue::Kind::kSeries
+                      ? b.column
+                      : eager::Broadcast(b.scalar, n, av.type());
+      Column out(av.type());
+      for (size_t i = 0; i < n; ++i) {
+        bool cond = c.column.IsValid(i) && c.column.bools()[i];
+        out.Append(cond ? av.Get(i) : bv.Get(i));
+      }
+      RValue v;
+      v.kind = RValue::Kind::kSeries;
+      v.column = std::move(out);
+      return v;
+    }
+    return Status::Unsupported("np." + fn);
+  }
+
+  Result<RValue> Method(RValue& base, const std::string& method,
+                        const Expr& e) {
+    if (base.kind == RValue::Kind::kSeries) return SeriesMethod(base, method, e);
+    if (base.kind == RValue::Kind::kGroupBy) {
+      return GroupByMethod(base, method, e);
+    }
+    if (base.kind != RValue::Kind::kFrame) {
+      return Status::Unsupported("method " + method);
+    }
+    Table& t = base.table;
+    if (method == "merge") {
+      PYTOND_ASSIGN_OR_RETURN(RValue other, Eval(e.children[1]));
+      Table rt = other.kind == RValue::Kind::kFrame ? other.table : Table();
+      if (other.kind == RValue::Kind::kSeries) {
+        PYTOND_RETURN_IF_ERROR(rt.AddColumn("value", other.column));
+      }
+      std::string how = "inner";
+      std::vector<std::string> lkeys, rkeys;
+      for (const auto& [k, v] : e.kwargs) {
+        if (k == "how") how = v->literal.AsString();
+        if (k == "on") {
+          auto r = Eval(v);
+          lkeys = r->strings.empty()
+                      ? std::vector<std::string>{v->literal.AsString()}
+                      : r->strings;
+          rkeys = lkeys;
+        }
+        if (k == "left_on") {
+          auto r = Eval(v);
+          lkeys = r->strings.empty()
+                      ? std::vector<std::string>{v->literal.AsString()}
+                      : r->strings;
+        }
+        if (k == "right_on") {
+          auto r = Eval(v);
+          rkeys = r->strings.empty()
+                      ? std::vector<std::string>{v->literal.AsString()}
+                      : r->strings;
+        }
+      }
+      if (how != "cross" && (lkeys.empty() || lkeys.size() != rkeys.size())) {
+        return Status::InvalidArgument("merge needs matching join keys");
+      }
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(out.table,
+                              eager::Merge(t, rt, lkeys, rkeys, how));
+      return out;
+    }
+    if (method == "groupby") {
+      PYTOND_ASSIGN_OR_RETURN(RValue keys, Eval(e.children[1]));
+      RValue v;
+      v.kind = RValue::Kind::kGroupBy;
+      v.table = t;
+      v.group_keys = keys.kind == RValue::Kind::kStrList
+                         ? keys.strings
+                         : std::vector<std::string>{keys.scalar.AsString()};
+      return v;
+    }
+    if (method == "agg" || method == "aggregate") {
+      return DoAgg(t, {}, e);
+    }
+    if (method == "sort_values") {
+      std::vector<std::string> keys;
+      std::vector<bool> asc;
+      for (const auto& [k, v] : e.kwargs) {
+        if (k == "by") {
+          PYTOND_ASSIGN_OR_RETURN(RValue r, Eval(v));
+          keys = r.kind == RValue::Kind::kStrList
+                     ? r.strings
+                     : std::vector<std::string>{r.scalar.AsString()};
+        }
+        if (k == "ascending") {
+          if (v->kind == Expr::Kind::kList) {
+            for (const auto& item : v->children) {
+              asc.push_back(item->literal.AsBool());
+            }
+          } else {
+            asc.assign(1, v->literal.AsBool());
+          }
+        }
+      }
+      if (keys.empty() && e.children.size() > 1) {
+        PYTOND_ASSIGN_OR_RETURN(RValue r, Eval(e.children[1]));
+        keys = r.kind == RValue::Kind::kStrList
+                   ? r.strings
+                   : std::vector<std::string>{r.scalar.AsString()};
+      }
+      if (asc.empty()) asc.assign(keys.size(), true);
+      while (asc.size() < keys.size()) asc.push_back(asc.back());
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(out.table, eager::SortValues(t, keys, asc));
+      return out;
+    }
+    if (method == "head") {
+      int64_t n = 5;
+      if (e.children.size() > 1) n = e.children[1]->literal.AsInt64();
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      out.table = eager::Head(t, static_cast<size_t>(n));
+      return out;
+    }
+    if (method == "drop") {
+      std::vector<std::string> cols;
+      if (e.children.size() > 1) {
+        PYTOND_ASSIGN_OR_RETURN(RValue r, Eval(e.children[1]));
+        cols = r.kind == RValue::Kind::kStrList
+                   ? r.strings
+                   : std::vector<std::string>{r.scalar.AsString()};
+      }
+      std::vector<std::string> keep;
+      for (const std::string& c : t.schema().names) {
+        if (!std::count(cols.begin(), cols.end(), c)) keep.push_back(c);
+      }
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(out.table, eager::Project(t, keep));
+      return out;
+    }
+    if (method == "reset_index" || method == "copy" || method == "astype" ||
+        method == "to_numpy") {
+      return base;
+    }
+    if (method == "pivot_table") {
+      std::string index, columns, values;
+      for (const auto& [k, v] : e.kwargs) {
+        if (k == "index") index = v->literal.AsString();
+        if (k == "columns") columns = v->literal.AsString();
+        if (k == "values") values = v->literal.AsString();
+      }
+      if (options_.pivot_values.empty()) {
+        return Status::InvalidArgument(
+            "pivot_table needs distinct values via the decorator "
+            "(pivot_values=[...])");
+      }
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(
+          out.table, eager::PivotTable(t, index, columns, values,
+                                       options_.pivot_values));
+      return out;
+    }
+    if (method == "sum" || method == "nonzero" || method == "round" ||
+        method == "all" || method == "compress") {
+      return ArrayMethod(base, method, e);
+    }
+    return Status::Unsupported("frame method " + method);
+  }
+
+  Result<RValue> ArrayMethod(RValue& base, const std::string& method,
+                             const Expr& e) {
+    Table& t = base.table;
+    if (method == "sum") {
+      std::string spec = "ij->";
+      if (const auto* kw = FindKw(e, "axis")) {
+        spec = (*kw)->literal.AsInt64() == 0 ? "ij->j" : "ij->i";
+      } else if (t.num_columns() <= 2) {
+        spec = "i->";
+      }
+      if (spec == "i->") spec = "ij->";  // total over data columns
+      RValue out;
+      out.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(out.table, eager::EinsumDense(spec, {&t}));
+      return out;
+    }
+    if (method == "round") {
+      RValue out = base;
+      for (size_t c = 0; c < out.table.num_columns(); ++c) {
+        if (out.table.schema().names[c] == "id") continue;
+        Column& col = out.table.column(c);
+        if (col.type() == DataType::kFloat64) {
+          for (double& v : col.doubles()) v = std::round(v);
+        }
+      }
+      return out;
+    }
+    return Status::Unsupported("array method " + method);
+  }
+
+  static const ExprPtr* FindKw(const Expr& e, const std::string& name) {
+    for (const auto& [k, v] : e.kwargs) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  Result<RValue> SeriesMethod(RValue& base, const std::string& method,
+                              const Expr& e) {
+    if (base.str_ctx) {
+      base.str_ctx = false;
+      const auto& s = base.column.strings();
+      std::vector<uint8_t> mask(s.size());
+      if (method == "startswith" || method == "endswith" ||
+          method == "contains") {
+        std::string pat = e.children[1]->literal.AsString();
+        // Patterns may embed '%' wildcards (like Pandas regex-ish
+        // contains); evaluate through the LIKE matcher for parity with
+        // the generated SQL.
+        std::string like = method == "startswith" ? pat + "%"
+                           : method == "endswith" ? "%" + pat
+                                                  : "%" + pat + "%";
+        for (size_t i = 0; i < s.size(); ++i) {
+          mask[i] = string_util::Like(s[i], like);
+        }
+        RValue v;
+        v.kind = RValue::Kind::kSeries;
+        v.column = Column::Bool(std::move(mask));
+        return v;
+      }
+      if (method == "slice") {
+        int64_t a = e.children[1]->literal.AsInt64();
+        int64_t b = e.children[2]->literal.AsInt64();
+        std::vector<std::string> out(s.size());
+        for (size_t i = 0; i < s.size(); ++i) {
+          if (a < static_cast<int64_t>(s[i].size())) {
+            out[i] = s[i].substr(static_cast<size_t>(a),
+                                 static_cast<size_t>(b - a));
+          }
+        }
+        RValue v;
+        v.kind = RValue::Kind::kSeries;
+        v.column = Column::String(std::move(out));
+        return v;
+      }
+      return Status::Unsupported(".str." + method);
+    }
+    if (method == "isin") {
+      PYTOND_ASSIGN_OR_RETURN(RValue other, Eval(e.children[1]));
+      Column values;
+      if (other.kind == RValue::Kind::kSeries) {
+        values = other.column;
+      } else if (other.kind == RValue::Kind::kFrame &&
+                 other.table.num_columns() == 1) {
+        values = other.table.column(0);
+      } else if (other.kind == RValue::Kind::kStrList) {
+        bool all_strings = other.strings.size() == other.literals.size();
+        values = Column(all_strings ? DataType::kString
+                                    : other.literals.empty()
+                                          ? DataType::kString
+                                          : other.literals[0].type());
+        for (const Value& lit : other.literals) values.Append(lit);
+        // isin over a numeric literal list must match the probe's type
+        // encoding: normalize int lists probing float columns.
+        if (!all_strings && base.column.type() == DataType::kFloat64 &&
+            values.type() == DataType::kInt64) {
+          Column fv(DataType::kFloat64);
+          for (size_t i = 0; i < values.size(); ++i) {
+            fv.Append(Value::Float64(values.Get(i).ToDouble()));
+          }
+          values = std::move(fv);
+        }
+      } else {
+        return Status::Unsupported("isin operand");
+      }
+      if (other.kind == RValue::Kind::kStrList && other.literals.empty()) {
+        return Status::InvalidArgument("isin([]) is empty");
+      }
+      RValue v;
+      v.kind = RValue::Kind::kSeries;
+      PYTOND_ASSIGN_OR_RETURN(v.column,
+                              eager::IsinMask(base.column, values));
+      return v;
+    }
+    if (method == "unique") {
+      Table t;
+      PYTOND_RETURN_IF_ERROR(t.AddColumn("value", base.column));
+      RValue v;
+      v.kind = RValue::Kind::kFrame;
+      PYTOND_ASSIGN_OR_RETURN(v.table, eager::Unique(t, "value"));
+      return v;
+    }
+    if (method == "round") {
+      RValue v = base;
+      if (v.column.type() == DataType::kFloat64) {
+        double scale = 1;
+        if (e.children.size() > 1) {
+          scale = std::pow(10.0, static_cast<double>(
+                                     e.children[1]->literal.AsInt64()));
+        }
+        for (double& d : v.column.doubles()) {
+          d = std::round(d * scale) / scale;
+        }
+      }
+      return v;
+    }
+    static const char* kAggs[] = {"sum", "min", "max", "mean", "count",
+                                  "nunique"};
+    for (const char* fn : kAggs) {
+      if (method == fn) {
+        Table t;
+        PYTOND_RETURN_IF_ERROR(t.AddColumn("value", base.column));
+        RValue v;
+        v.kind = RValue::Kind::kFrame;
+        PYTOND_ASSIGN_OR_RETURN(
+            v.table, eager::GroupByAgg(t, {}, {{method, "value", method}}));
+        return v;
+      }
+    }
+    if (method == "astype") return base;
+    return Status::Unsupported("series method " + method);
+  }
+
+  Result<RValue> GroupByMethod(RValue& base, const std::string& method,
+                               const Expr& e) {
+    if (method == "agg" || method == "aggregate") {
+      return DoAgg(base.table, base.group_keys, e);
+    }
+    static const char* kAggs[] = {"sum", "min", "max", "mean", "count",
+                                  "nunique"};
+    for (const char* fn : kAggs) {
+      if (method == fn) {
+        std::vector<eager::AggSpec> specs;
+        std::vector<std::string> cols = base.strings;
+        if (cols.empty()) {
+          for (const std::string& c : base.table.schema().names) {
+            if (!std::count(base.group_keys.begin(), base.group_keys.end(),
+                            c)) {
+              cols.push_back(c);
+            }
+          }
+        }
+        for (const std::string& c : cols) specs.push_back({c, c, method});
+        RValue v;
+        v.kind = RValue::Kind::kFrame;
+        PYTOND_ASSIGN_OR_RETURN(
+            v.table, eager::GroupByAgg(base.table, base.group_keys, specs));
+        return v;
+      }
+    }
+    return Status::Unsupported("groupby method " + method);
+  }
+
+  Result<RValue> DoAgg(const Table& t, const std::vector<std::string>& keys,
+                       const Expr& e) {
+    if (e.kwargs.empty()) {
+      return Status::Unsupported("agg() requires named aggregations");
+    }
+    std::vector<eager::AggSpec> specs;
+    for (const auto& [out, spec] : e.kwargs) {
+      specs.push_back({out, spec->children[0]->literal.AsString(),
+                       spec->children[1]->literal.AsString()});
+    }
+    RValue v;
+    v.kind = RValue::Kind::kFrame;
+    PYTOND_ASSIGN_OR_RETURN(v.table, eager::GroupByAgg(t, keys, specs));
+    return v;
+  }
+
+  const Catalog& catalog_;
+  InterpretOptions options_;
+  std::map<std::string, RValue> env_;
+};
+
+}  // namespace
+
+Result<Table> Interpret(const py::Function& function, const Catalog& catalog,
+                        const InterpretOptions& options) {
+  return Interpreter(catalog, options).Run(function);
+}
+
+Result<Table> InterpretSource(const std::string& source,
+                              const Catalog& catalog,
+                              const InterpretOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(py::Module module, py::ParseModule(source));
+  if (module.functions.size() != 1) {
+    return Status::InvalidArgument("expected one @pytond function");
+  }
+  InterpretOptions opts = options;
+  for (const auto& [k, v] : module.functions[0].decorator_kwargs) {
+    if (k == "pivot_values") {
+      for (const auto& item : v->children) {
+        opts.pivot_values.push_back(item->literal.AsString());
+      }
+    }
+    if (k == "layout" && v->kind == py::Expr::Kind::kLiteral) {
+      opts.sparse = v->literal.AsString() == "sparse";
+    }
+  }
+  return Interpret(module.functions[0], catalog, opts);
+}
+
+}  // namespace pytond::runtime

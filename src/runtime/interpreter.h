@@ -1,0 +1,34 @@
+#ifndef PYTOND_RUNTIME_INTERPRETER_H_
+#define PYTOND_RUNTIME_INTERPRETER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "frontend/pylang/ast.h"
+#include "storage/catalog.h"
+
+namespace pytond::runtime {
+
+namespace py = ::pytond::frontend::py;
+
+/// Options mirroring the @pytond decorator for the eager path.
+struct InterpretOptions {
+  std::vector<std::string> pivot_values;
+  bool sparse = false;
+};
+
+/// Executes a parsed mini-Python function eagerly against catalog tables —
+/// the stand-in for running the original program under CPython with
+/// Pandas/NumPy: one fully-materialized operation per API call, single
+/// threaded, no cross-operation optimization.
+Result<Table> Interpret(const py::Function& function, const Catalog& catalog,
+                        const InterpretOptions& options = {});
+
+/// Parses `source` (module with one @pytond function) and interprets it.
+Result<Table> InterpretSource(const std::string& source,
+                              const Catalog& catalog,
+                              const InterpretOptions& options = {});
+
+}  // namespace pytond::runtime
+
+#endif  // PYTOND_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,533 @@
+#include "sqlgen/sqlgen.h"
+
+#include <cctype>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace pytond::sqlgen {
+
+using tondir::Atom;
+using tondir::Body;
+using tondir::CmpOp;
+using tondir::Program;
+using tondir::Rule;
+using tondir::Term;
+
+namespace {
+
+std::string RenderValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kString: {
+      // Escape single quotes.
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      return out + "'";
+    }
+    case DataType::kDate:
+      return "DATE '" + v.ToString() + "'";
+    case DataType::kBool:
+      return v.AsBool() ? "TRUE" : "FALSE";
+    case DataType::kNull:
+      return "NULL";
+    default:
+      return v.ToString();
+  }
+}
+
+const char* RenderCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kGt: return ">";
+  }
+  return "?";
+}
+
+/// Column names visible for a relation: CTE heads override base tables.
+class ColumnResolver {
+ public:
+  explicit ColumnResolver(const Program& program) {
+    for (const auto& [rel, cols] : program.base_columns) {
+      columns_[rel] = cols;
+    }
+    for (const Rule& r : program.rules) {
+      columns_[r.head.relation] =
+          r.head.col_names.empty() ? r.head.vars : r.head.col_names;
+    }
+  }
+
+  Result<const std::vector<std::string>*> Lookup(
+      const std::string& rel) const {
+    auto it = columns_.find(rel);
+    if (it == columns_.end()) {
+      return Status::NotFound("no column names for relation '" + rel + "'");
+    }
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> columns_;
+};
+
+/// Generates the SELECT for one rule.
+class RuleGenerator {
+ public:
+  RuleGenerator(const Rule& rule, const ColumnResolver& resolver,
+                const SqlGenOptions& options, bool is_sink, int* alias_seq)
+      : rule_(rule),
+        resolver_(resolver),
+        options_(options),
+        is_sink_(is_sink),
+        alias_seq_(alias_seq) {}
+
+  Result<std::string> Generate() {
+    // Pure constant relation: VALUES body.
+    if (rule_.body.size() == 1 &&
+        rule_.body[0].kind == Atom::Kind::kConstRel) {
+      std::string sql = "VALUES ";
+      const auto& vals = rule_.body[0].const_values;
+      for (size_t i = 0; i < vals.size(); ++i) {
+        if (i) sql += ", ";
+        sql += "(" + RenderValue(vals[i]) + ")";
+      }
+      return sql;
+    }
+
+    PYTOND_RETURN_IF_ERROR(ProcessBody(rule_.body, /*outer=*/nullptr));
+
+    std::ostringstream sql;
+    std::string sep = options_.pretty ? "\n" : " ";
+    sql << "SELECT ";
+    if (rule_.head.distinct) sql << "DISTINCT ";
+    for (size_t i = 0; i < rule_.head.vars.size(); ++i) {
+      if (i) sql << ", ";
+      PYTOND_ASSIGN_OR_RETURN(std::string e, VarSql(rule_.head.vars[i]));
+      std::string name = rule_.head.col_names.empty()
+                             ? rule_.head.vars[i]
+                             : rule_.head.col_names[i];
+      sql << e << " AS " << name;
+    }
+    sql << sep << "FROM " << from_;
+    if (!where_.empty()) {
+      sql << sep << "WHERE " << string_util::Join(where_, " AND ");
+    }
+    if (rule_.head.has_group()) {
+      sql << sep << "GROUP BY ";
+      for (size_t i = 0; i < rule_.head.group_vars.size(); ++i) {
+        if (i) sql << ", ";
+        PYTOND_ASSIGN_OR_RETURN(std::string e,
+                                VarSql(rule_.head.group_vars[i]));
+        sql << e;
+      }
+    }
+    if (rule_.head.has_sort()) {
+      if (!is_sink_ && !rule_.head.limit.has_value()) {
+        return Status::InvalidArgument(
+            "sort without limit is only allowed in the sink rule");
+      }
+      sql << sep << "ORDER BY ";
+      for (size_t i = 0; i < rule_.head.sort_keys.size(); ++i) {
+        if (i) sql << ", ";
+        // Order by output column name (CTE-safe).
+        const std::string& var = rule_.head.sort_keys[i].var;
+        std::string name;
+        for (size_t p = 0; p < rule_.head.vars.size(); ++p) {
+          if (rule_.head.vars[p] == var) {
+            name = rule_.head.col_names.empty() ? var
+                                                : rule_.head.col_names[p];
+            break;
+          }
+        }
+        if (name.empty()) {
+          return Status::InvalidArgument("sort key '" + var +
+                                         "' not among head vars");
+        }
+        sql << name << (rule_.head.sort_keys[i].ascending ? "" : " DESC");
+      }
+    }
+    if (rule_.head.limit.has_value()) {
+      sql << sep << "LIMIT " << *rule_.head.limit;
+    }
+    return sql.str();
+  }
+
+ private:
+  struct Scope {
+    std::map<std::string, std::string> bindings;  // var -> SQL expression
+    Scope* outer = nullptr;
+  };
+
+  Result<std::string> VarSql(const std::string& var) {
+    auto it = scope_.bindings.find(var);
+    if (it == scope_.bindings.end()) {
+      return Status::Internal("unbound TondIR variable '" + var + "'");
+    }
+    return it->second;
+  }
+
+  std::string NextAlias() { return "r" + std::to_string(++*alias_seq_); }
+
+  /// Processes a body (outer == nullptr for the rule body, else the outer
+  /// scope for exists subqueries). Populates from_/where_/bindings.
+  Status ProcessBody(const Body& body, Scope* outer) {
+    // First pass: relation accesses, constant relations, outer markers.
+    const Atom* outer_marker = nullptr;
+    std::vector<const Atom*> accesses;
+    for (const Atom& a : body) {
+      if (a.kind == Atom::Kind::kExternal &&
+          string_util::StartsWith(a.ext_name, "outer_")) {
+        outer_marker = &a;
+      } else if (a.kind == Atom::Kind::kRelAccess) {
+        accesses.push_back(&a);
+      }
+    }
+
+    if (outer_marker != nullptr) {
+      PYTOND_RETURN_IF_ERROR(ProcessOuterJoin(*outer_marker, accesses));
+    } else {
+      for (const Atom* a : accesses) {
+        PYTOND_RETURN_IF_ERROR(ProcessAccess(*a));
+      }
+    }
+
+    for (const Atom& a : body) {
+      switch (a.kind) {
+        case Atom::Kind::kRelAccess:
+        case Atom::Kind::kExternal:
+          break;  // handled above / markers consumed
+        case Atom::Kind::kConstRel: {
+          std::string alias = NextAlias();
+          std::string v = "(VALUES ";
+          for (size_t i = 0; i < a.const_values.size(); ++i) {
+            if (i) v += ", ";
+            v += "(" + RenderValue(a.const_values[i]) + ")";
+          }
+          v += ") AS " + alias + "(c0)";
+          AddFromItem(v);
+          scope_.bindings[a.var0] = alias + ".c0";
+          break;
+        }
+        case Atom::Kind::kCompare: {
+          bool fresh = a.cmp_op == CmpOp::kEq &&
+                       !scope_.bindings.count(a.var0) &&
+                       (outer == nullptr ||
+                        !LookupOuter(outer, a.var0).has_value());
+          if (fresh) {
+            PYTOND_ASSIGN_OR_RETURN(std::string e, RenderTerm(*a.term));
+            scope_.bindings[a.var0] = e;
+          } else {
+            PYTOND_ASSIGN_OR_RETURN(std::string lhs, BindOrOuter(a.var0, outer));
+            PYTOND_ASSIGN_OR_RETURN(std::string rhs, RenderTerm(*a.term));
+            where_.push_back("(" + lhs + " " + RenderCmp(a.cmp_op) + " " +
+                             rhs + ")");
+          }
+          break;
+        }
+        case Atom::Kind::kExists: {
+          PYTOND_ASSIGN_OR_RETURN(std::string sub,
+                                  GenerateExists(a, &scope_));
+          where_.push_back(sub);
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  static std::optional<std::string> LookupOuter(Scope* outer,
+                                                const std::string& var) {
+    for (Scope* s = outer; s != nullptr; s = s->outer) {
+      auto it = s->bindings.find(var);
+      if (it != s->bindings.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  Result<std::string> BindOrOuter(const std::string& var, Scope* outer) {
+    auto it = scope_.bindings.find(var);
+    if (it != scope_.bindings.end()) return it->second;
+    auto o = LookupOuter(outer, var);
+    if (o.has_value()) return *o;
+    return Status::Internal("unbound variable '" + var + "'");
+  }
+
+  Status ProcessAccess(const Atom& a) {
+    PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* cols,
+                            resolver_.Lookup(a.relation));
+    if (cols->size() != a.vars.size()) {
+      return Status::InvalidArgument(
+          "relation '" + a.relation + "' accessed with " +
+          std::to_string(a.vars.size()) + " vars but has " +
+          std::to_string(cols->size()) + " columns");
+    }
+    std::string alias = NextAlias();
+    AddFromItem(a.relation + " AS " + alias);
+    if (uid_order_ref_.empty() && !cols->empty()) {
+      uid_order_ref_ = alias + "." + (*cols)[0];
+    }
+    for (size_t i = 0; i < a.vars.size(); ++i) {
+      std::string ref = alias + "." + (*cols)[i];
+      auto [it, inserted] = scope_.bindings.try_emplace(a.vars[i], ref);
+      if (!inserted) {
+        // Shared var: implicit equi-join condition.
+        where_.push_back("(" + it->second + " = " + ref + ")");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Outer joins: marker atom @outer_left/right/full(l1, r1, l2, r2, ...)
+  /// carries the key pairs; the rule must have exactly two accesses.
+  Status ProcessOuterJoin(const Atom& marker,
+                          const std::vector<const Atom*>& accesses) {
+    if (accesses.size() != 2) {
+      return Status::Unsupported(
+          "outer join rules must have exactly two relation accesses");
+    }
+    if (marker.vars.size() % 2 != 0 || marker.vars.empty()) {
+      return Status::InvalidArgument("outer marker needs var pairs");
+    }
+    const Atom& l = *accesses[0];
+    const Atom& r = *accesses[1];
+    PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* lcols,
+                            resolver_.Lookup(l.relation));
+    PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* rcols,
+                            resolver_.Lookup(r.relation));
+    std::string la = NextAlias(), ra = NextAlias();
+    for (size_t i = 0; i < l.vars.size(); ++i) {
+      scope_.bindings.try_emplace(l.vars[i], la + "." + (*lcols)[i]);
+    }
+    for (size_t i = 0; i < r.vars.size(); ++i) {
+      scope_.bindings.try_emplace(r.vars[i], ra + "." + (*rcols)[i]);
+    }
+    std::string join_kw;
+    if (marker.ext_name == "outer_left") join_kw = "LEFT JOIN";
+    else if (marker.ext_name == "outer_right") join_kw = "RIGHT JOIN";
+    else if (marker.ext_name == "outer_full") join_kw = "FULL JOIN";
+    else return Status::Unsupported("marker '" + marker.ext_name + "'");
+    std::string on;
+    for (size_t i = 0; i < marker.vars.size(); i += 2) {
+      PYTOND_ASSIGN_OR_RETURN(std::string le, VarSql(marker.vars[i]));
+      PYTOND_ASSIGN_OR_RETURN(std::string re, VarSql(marker.vars[i + 1]));
+      if (i) on += " AND ";
+      on += le + " = " + re;
+      // After a full outer join the key value is the coalesced pair.
+      if (marker.ext_name == "outer_full") {
+        std::string coalesced = "COALESCE(" + le + ", " + re + ")";
+        scope_.bindings[marker.vars[i]] = coalesced;
+        scope_.bindings[marker.vars[i + 1]] = coalesced;
+      }
+    }
+    AddFromItem(l.relation + " AS " + la + " " + join_kw + " " + r.relation +
+                " AS " + ra + " ON " + on);
+    return Status::OK();
+  }
+
+  Result<std::string> GenerateExists(const Atom& exists, Scope* outer) {
+    RuleGenerator inner(rule_, resolver_, options_, /*is_sink=*/false,
+                        alias_seq_);
+    inner.scope_.outer = outer;
+    PYTOND_RETURN_IF_ERROR(inner.ProcessBody(*exists.exists_body, outer));
+    // Correlations: vars bound both inside and outside.
+    for (const auto& [var, expr] : inner.scope_.bindings) {
+      auto o = LookupOuter(outer, var);
+      if (o.has_value() && *o != expr) {
+        inner.where_.push_back("(" + expr + " = " + *o + ")");
+      }
+    }
+    std::string sql = std::string(exists.negated ? "NOT " : "") +
+                      "EXISTS (SELECT 1 FROM " + inner.from_;
+    if (!inner.where_.empty()) {
+      sql += " WHERE " + string_util::Join(inner.where_, " AND ");
+    }
+    sql += ")";
+    return sql;
+  }
+
+  void AddFromItem(const std::string& item) {
+    if (!from_.empty()) from_ += ", ";
+    from_ += item;
+  }
+
+  Result<std::string> RenderTerm(const Term& t) {
+    switch (t.kind) {
+      case Term::Kind::kVar:
+        return BindOrOuter(t.var, scope_.outer);
+      case Term::Kind::kConst:
+        return RenderValue(t.constant);
+      case Term::Kind::kAgg: {
+        PYTOND_ASSIGN_OR_RETURN(std::string arg, RenderTerm(*t.children[0]));
+        switch (t.agg_fn) {
+          case tondir::AggFn::kSum: return "SUM(" + arg + ")";
+          case tondir::AggFn::kMin: return "MIN(" + arg + ")";
+          case tondir::AggFn::kMax: return "MAX(" + arg + ")";
+          case tondir::AggFn::kAvg: return "AVG(" + arg + ")";
+          case tondir::AggFn::kCount:
+            if (t.children[0]->kind == Term::Kind::kConst) {
+              return std::string("COUNT(*)");
+            }
+            return "COUNT(" + arg + ")";
+          case tondir::AggFn::kCountDistinct:
+            return "COUNT(DISTINCT " + arg + ")";
+        }
+        return Status::Internal("bad agg");
+      }
+      case Term::Kind::kExt:
+        return RenderExt(t);
+      case Term::Kind::kIf: {
+        PYTOND_ASSIGN_OR_RETURN(std::string c, RenderTerm(*t.children[0]));
+        PYTOND_ASSIGN_OR_RETURN(std::string a, RenderTerm(*t.children[1]));
+        PYTOND_ASSIGN_OR_RETURN(std::string b, RenderTerm(*t.children[2]));
+        return "(CASE WHEN " + c + " THEN " + a + " ELSE " + b + " END)";
+      }
+      case Term::Kind::kBinary: {
+        PYTOND_ASSIGN_OR_RETURN(std::string a, RenderTerm(*t.children[0]));
+        PYTOND_ASSIGN_OR_RETURN(std::string b, RenderTerm(*t.children[1]));
+        switch (t.bin_op) {
+          case tondir::BinOp::kAdd: return "(" + a + " + " + b + ")";
+          case tondir::BinOp::kSub: return "(" + a + " - " + b + ")";
+          case tondir::BinOp::kMul: return "(" + a + " * " + b + ")";
+          case tondir::BinOp::kDiv: return "(" + a + " / " + b + ")";
+          case tondir::BinOp::kMod: return "(" + a + " % " + b + ")";
+          case tondir::BinOp::kAnd: return "(" + a + " AND " + b + ")";
+          case tondir::BinOp::kOr: return "(" + a + " OR " + b + ")";
+          case tondir::BinOp::kLike: return "(" + a + " LIKE " + b + ")";
+          case tondir::BinOp::kNotLike:
+            return "(" + a + " NOT LIKE " + b + ")";
+          case tondir::BinOp::kConcat: return "(" + a + " || " + b + ")";
+          case tondir::BinOp::kEq: return "(" + a + " = " + b + ")";
+          case tondir::BinOp::kNe: return "(" + a + " <> " + b + ")";
+          case tondir::BinOp::kLt: return "(" + a + " < " + b + ")";
+          case tondir::BinOp::kLe: return "(" + a + " <= " + b + ")";
+          case tondir::BinOp::kGt: return "(" + a + " > " + b + ")";
+          case tondir::BinOp::kGe: return "(" + a + " >= " + b + ")";
+        }
+        return Status::Internal("bad binop");
+      }
+    }
+    return Status::Internal("bad term");
+  }
+
+  Result<std::string> RenderExt(const Term& t) {
+    const std::string& f = t.ext_name;
+    if (f == "uid") {
+      // Deterministic id: order by the first bound column of the first
+      // relation access (paper §III-E, Unique ID Generation).
+      if (uid_order_ref_.empty()) {
+        return Status::InvalidArgument("uid() requires a relation access");
+      }
+      // 0-based ids, matching NumPy/Pandas indexing (paper §II-B).
+      return "(row_number() OVER (ORDER BY " + uid_order_ref_ + ") - 1)";
+    }
+    std::vector<std::string> args;
+    for (const auto& c : t.children) {
+      PYTOND_ASSIGN_OR_RETURN(std::string a, RenderTerm(*c));
+      args.push_back(std::move(a));
+    }
+    if (f == "year" || f == "month" || f == "day") {
+      if (options_.dialect == SqlDialect::kDuck) {
+        std::string field = string_util::ToLower(f);
+        field[0] = static_cast<char>(std::toupper(field[0]));
+        std::string upper = f;
+        for (char& ch : upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        return "EXTRACT(" + upper + " FROM " + args[0] + ")";
+      }
+      return f + "(" + args[0] + ")";
+    }
+    if (f == "is_in") {
+      return Status::Unsupported("is_in must be lowered before codegen");
+    }
+    // Generic function spelling (round, abs, substr, lower, upper,
+    // starts_with, ends_with, contains, sqrt, ln, exp, power, coalesce...).
+    return f + "(" + string_util::Join(args, ", ") + ")";
+  }
+
+  const Rule& rule_;
+  const ColumnResolver& resolver_;
+  const SqlGenOptions& options_;
+  bool is_sink_;
+  int* alias_seq_;
+
+  Scope scope_;
+  std::string from_;
+  std::vector<std::string> where_;
+
+ public:
+  /// First column reference seen (UID ordering anchor); set by
+  /// ProcessAccess via AddFromItem time.
+  std::string uid_order_ref_;
+};
+
+}  // namespace
+
+Result<std::string> GenerateSelect(const Rule& rule,
+                                   const SqlGenOptions& options) {
+  Program p;
+  p.rules.push_back(rule.CloneRule());
+  // Treat all accessed relations as base with positional names c0..cn — for
+  // tests only.
+  std::function<void(const Body&)> scan = [&](const Body& body) {
+    for (const Atom& a : body) {
+      if (a.kind == Atom::Kind::kRelAccess &&
+          !p.base_columns.count(a.relation)) {
+        std::vector<std::string> cols;
+        for (size_t i = 0; i < a.vars.size(); ++i) {
+          cols.push_back("c" + std::to_string(i));
+        }
+        p.base_columns[a.relation] = cols;
+      } else if (a.kind == Atom::Kind::kExists) {
+        scan(*a.exists_body);
+      }
+    }
+  };
+  scan(rule.body);
+  ColumnResolver resolver(p);
+  int alias_seq = 0;
+  RuleGenerator gen(rule, resolver, options, /*is_sink=*/true, &alias_seq);
+  return gen.Generate();
+}
+
+Result<std::string> GenerateSql(const Program& program,
+                                const SqlGenOptions& options) {
+  if (program.rules.empty()) {
+    return Status::InvalidArgument("empty program");
+  }
+  ColumnResolver resolver(program);
+  std::ostringstream sql;
+  std::string sep = options.pretty ? "\n" : " ";
+  int alias_seq = 0;
+  for (size_t i = 0; i + 1 < program.rules.size(); ++i) {
+    const Rule& r = program.rules[i];
+    RuleGenerator gen(r, resolver, options, /*is_sink=*/false, &alias_seq);
+    PYTOND_ASSIGN_OR_RETURN(std::string body, gen.Generate());
+    sql << (i == 0 ? "WITH " : "," + sep);
+    sql << r.head.relation << "(";
+    const auto& cols = r.head.col_names.empty() ? r.head.vars
+                                                : r.head.col_names;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      if (c) sql << ", ";
+      sql << cols[c];
+    }
+    sql << ") AS (" << sep << body << sep << ")";
+  }
+  if (program.rules.size() > 1) sql << sep;
+  const Rule& sink = program.rules.back();
+  RuleGenerator gen(sink, resolver, options, /*is_sink=*/true, &alias_seq);
+  PYTOND_ASSIGN_OR_RETURN(std::string body, gen.Generate());
+  sql << body;
+  return sql.str();
+}
+
+}  // namespace pytond::sqlgen

@@ -1,0 +1,37 @@
+#ifndef PYTOND_SQLGEN_SQLGEN_H_
+#define PYTOND_SQLGEN_SQLGEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tondir/ir.h"
+
+namespace pytond::sqlgen {
+
+/// SQL dialect spelling differences between backends (paper §III-E,
+/// "Backend Adaptation"). Both dialects are accepted by the bundled engine;
+/// real DuckDB prefers EXTRACT(YEAR FROM x) where Hyper exposes year(x).
+enum class SqlDialect { kDuck, kHyper };
+
+struct SqlGenOptions {
+  SqlDialect dialect = SqlDialect::kDuck;
+  /// Pretty-print with newlines between clauses.
+  bool pretty = true;
+};
+
+/// Lowers a TondIR program to one SQL statement: every non-sink rule
+/// becomes a CTE (`WITH name(cols) AS (...)`), the sink rule becomes the
+/// final SELECT carrying ORDER BY / LIMIT. Sort/limit pairs on non-sink
+/// rules are rejected (the translator folds them into one rule per paper
+/// §III-E).
+Result<std::string> GenerateSql(const tondir::Program& program,
+                                const SqlGenOptions& options = {});
+
+/// Lowers a single rule to a SELECT statement body (no WITH prefix);
+/// exposed for tests.
+Result<std::string> GenerateSelect(const tondir::Rule& rule,
+                                   const SqlGenOptions& options = {});
+
+}  // namespace pytond::sqlgen
+
+#endif  // PYTOND_SQLGEN_SQLGEN_H_

@@ -1,0 +1,56 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace pytond {
+
+bool TableConstraints::IsUniqueColumn(const std::string& name) const {
+  if (primary_key.size() == 1 && primary_key[0] == name) return true;
+  return std::find(unique_columns.begin(), unique_columns.end(), name) !=
+         unique_columns.end();
+}
+
+Status Catalog::CreateTable(const std::string& name, Table table,
+                            TableConstraints constraints) {
+  if (tables_.count(name)) {
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  tables_[name] = Entry{std::move(table), std::move(constraints)};
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (!tables_.erase(name)) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.table;
+}
+
+Table* Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.table;
+}
+
+const TableConstraints* Catalog::GetConstraints(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second.constraints;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  return out;
+}
+
+}  // namespace pytond

@@ -1,0 +1,51 @@
+#ifndef PYTOND_STORAGE_CATALOG_H_
+#define PYTOND_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pytond {
+
+/// Integrity metadata the TondIR optimizer consumes (paper §III-A:
+/// "contextual information" from the database catalog).
+struct TableConstraints {
+  /// Columns forming the primary key (unique, non-null).
+  std::vector<std::string> primary_key;
+  /// Additional individually-unique columns.
+  std::vector<std::string> unique_columns;
+
+  bool IsUniqueColumn(const std::string& name) const;
+};
+
+/// Named tables plus their constraints. The engine executes against a
+/// catalog; the PyTond frontend reads schemas and uniqueness from it.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name, Table table,
+                     TableConstraints constraints = {});
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  /// nullptr when absent.
+  const Table* GetTable(const std::string& name) const;
+  Table* GetMutableTable(const std::string& name);
+  const TableConstraints* GetConstraints(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    Table table;
+    TableConstraints constraints;
+  };
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_STORAGE_CATALOG_H_

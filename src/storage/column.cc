@@ -1,0 +1,170 @@
+#include "storage/column.h"
+
+namespace pytond {
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt64: data_ = std::vector<int64_t>{}; break;
+    case DataType::kFloat64: data_ = std::vector<double>{}; break;
+    case DataType::kString: data_ = std::vector<std::string>{}; break;
+    case DataType::kBool: data_ = std::vector<uint8_t>{}; break;
+    case DataType::kDate: data_ = std::vector<int32_t>{}; break;
+    case DataType::kNull: data_ = std::vector<int64_t>{}; break;
+  }
+}
+
+Column Column::Int64(std::vector<int64_t> v) {
+  Column c(DataType::kInt64);
+  c.data_ = std::move(v);
+  return c;
+}
+Column Column::Float64(std::vector<double> v) {
+  Column c(DataType::kFloat64);
+  c.data_ = std::move(v);
+  return c;
+}
+Column Column::String(std::vector<std::string> v) {
+  Column c(DataType::kString);
+  c.data_ = std::move(v);
+  return c;
+}
+Column Column::Bool(std::vector<uint8_t> v) {
+  Column c(DataType::kBool);
+  c.data_ = std::move(v);
+  return c;
+}
+Column Column::Date(std::vector<int32_t> v) {
+  Column c(DataType::kDate);
+  c.data_ = std::move(v);
+  return c;
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      return ints().size();
+    case DataType::kFloat64: return doubles().size();
+    case DataType::kString: return strings().size();
+    case DataType::kBool: return bools().size();
+    case DataType::kDate: return dates().size();
+  }
+  return 0;
+}
+
+bool Column::has_nulls() const {
+  for (uint8_t v : validity_) {
+    if (!v) return true;
+  }
+  return false;
+}
+
+Value Column::Get(size_t row) const {
+  if (!IsValid(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      return Value::Int64(ints()[row]);
+    case DataType::kFloat64: return Value::Float64(doubles()[row]);
+    case DataType::kString: return Value::String(strings()[row]);
+    case DataType::kBool: return Value::Bool(bools()[row] != 0);
+    case DataType::kDate: return Value::Date(dates()[row]);
+  }
+  return Value::Null();
+}
+
+void Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (!validity_.empty()) validity_.push_back(1);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      ints().push_back(v.type() == DataType::kFloat64
+                           ? static_cast<int64_t>(v.AsFloat64())
+                           : v.AsInt64());
+      break;
+    case DataType::kFloat64: doubles().push_back(v.ToDouble()); break;
+    case DataType::kString: strings().push_back(v.AsString()); break;
+    case DataType::kBool: bools().push_back(v.AsBool() ? 1 : 0); break;
+    case DataType::kDate: dates().push_back(v.AsDate()); break;
+  }
+}
+
+void Column::AppendNull() {
+  size_t n = size();
+  if (validity_.empty()) validity_.assign(n, 1);
+  validity_.push_back(0);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      ints().push_back(0);
+      break;
+    case DataType::kFloat64: doubles().push_back(0.0); break;
+    case DataType::kString: strings().emplace_back(); break;
+    case DataType::kBool: bools().push_back(0); break;
+    case DataType::kDate: dates().push_back(0); break;
+  }
+}
+
+void Column::AppendFrom(const Column& src, size_t row) {
+  if (!src.IsValid(row)) {
+    AppendNull();
+    return;
+  }
+  if (!validity_.empty()) validity_.push_back(1);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      ints().push_back(src.ints()[row]);
+      break;
+    case DataType::kFloat64: doubles().push_back(src.doubles()[row]); break;
+    case DataType::kString: strings().push_back(src.strings()[row]); break;
+    case DataType::kBool: bools().push_back(src.bools()[row]); break;
+    case DataType::kDate: dates().push_back(src.dates()[row]); break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      ints().reserve(n);
+      break;
+    case DataType::kFloat64: doubles().reserve(n); break;
+    case DataType::kString: strings().reserve(n); break;
+    case DataType::kBool: bools().reserve(n); break;
+    case DataType::kDate: dates().reserve(n); break;
+  }
+}
+
+namespace {
+template <typename T>
+std::vector<T> GatherVec(const std::vector<T>& src,
+                         const std::vector<uint32_t>& rows) {
+  std::vector<T> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(src[r]);
+  return out;
+}
+}  // namespace
+
+Column Column::Gather(const std::vector<uint32_t>& rows) const {
+  Column out(type_);
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      out.data_ = GatherVec(ints(), rows);
+      break;
+    case DataType::kFloat64: out.data_ = GatherVec(doubles(), rows); break;
+    case DataType::kString: out.data_ = GatherVec(strings(), rows); break;
+    case DataType::kBool: out.data_ = GatherVec(bools(), rows); break;
+    case DataType::kDate: out.data_ = GatherVec(dates(), rows); break;
+  }
+  if (!validity_.empty()) out.validity_ = GatherVec(validity_, rows);
+  return out;
+}
+
+}  // namespace pytond

@@ -1,0 +1,95 @@
+#ifndef PYTOND_STORAGE_COLUMN_H_
+#define PYTOND_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pytond {
+
+/// A typed column: contiguous values plus an optional validity mask.
+/// When `validity()` is empty every row is valid. Bool and date columns
+/// share the int-family storage discipline (uint8_t / int32_t vectors).
+class Column {
+ public:
+  Column() : type_(DataType::kInt64) {}
+  explicit Column(DataType type);
+
+  static Column Int64(std::vector<int64_t> v);
+  static Column Float64(std::vector<double> v);
+  static Column String(std::vector<std::string> v);
+  static Column Bool(std::vector<uint8_t> v);
+  static Column Date(std::vector<int32_t> v);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  /// Typed storage accessors; calling the wrong one is a programming error
+  /// (checked by std::get).
+  std::vector<int64_t>& ints() { return std::get<std::vector<int64_t>>(data_); }
+  const std::vector<int64_t>& ints() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::vector<double>& doubles() {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<std::string>& strings() {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  const std::vector<std::string>& strings() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  std::vector<uint8_t>& bools() {
+    return std::get<std::vector<uint8_t>>(data_);
+  }
+  const std::vector<uint8_t>& bools() const {
+    return std::get<std::vector<uint8_t>>(data_);
+  }
+  std::vector<int32_t>& dates() {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+  const std::vector<int32_t>& dates() const {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+
+  /// Validity mask; empty means all-valid. 1 = valid, 0 = NULL.
+  std::vector<uint8_t>& validity() { return validity_; }
+  const std::vector<uint8_t>& validity() const { return validity_; }
+  bool IsValid(size_t row) const {
+    return validity_.empty() || validity_[row] != 0;
+  }
+  bool has_nulls() const;
+
+  /// Dynamic row access (test / printing paths).
+  Value Get(size_t row) const;
+  void Append(const Value& v);
+  void AppendNull();
+
+  /// Appends row `row` of `src` (same type) to this column.
+  void AppendFrom(const Column& src, size_t row);
+
+  /// Reserves capacity in the underlying vector.
+  void Reserve(size_t n);
+
+  /// Gathers `rows` from this column into a new column (selection vector).
+  Column Gather(const std::vector<uint32_t>& rows) const;
+
+ private:
+  DataType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>, std::vector<uint8_t>,
+               std::vector<int32_t>>
+      data_;
+  std::vector<uint8_t> validity_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_STORAGE_COLUMN_H_

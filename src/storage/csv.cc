@@ -1,0 +1,169 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/date_util.h"
+
+namespace pytond::csv {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char sep) {
+  for (char c : s) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& s, char sep, std::string* out) {
+  if (!NeedsQuoting(s, sep)) {
+    *out += s;
+    return;
+  }
+  *out += '"';
+  for (char c : s) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+/// Splits one CSV record honoring quoting; `pos` advances past the
+/// terminating newline.
+std::vector<std::string> SplitRecord(const std::string& text, size_t* pos,
+                                     char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      quoted = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Table& table, char sep) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out += sep;
+    AppendField(table.schema().names[c], sep, &out);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += sep;
+      const Column& col = table.column(c);
+      if (!col.IsValid(r)) continue;  // NULL -> empty field
+      AppendField(col.Get(r).ToString(), sep, &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> ReadCsv(const std::string& text, const Schema& schema,
+                      char sep) {
+  size_t pos = 0;
+  std::vector<std::string> header = SplitRecord(text, &pos, sep);
+  if (header.size() != schema.names.size()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " fields, schema expects " + std::to_string(schema.names.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.names[i]) {
+      return Status::InvalidArgument("CSV header field '" + header[i] +
+                                     "' != schema column '" +
+                                     schema.names[i] + "'");
+    }
+  }
+  Table out(schema);
+  while (pos < text.size()) {
+    std::vector<std::string> fields = SplitRecord(text, &pos, sep);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.names.size()) {
+      return Status::ParseError("CSV record with " +
+                                std::to_string(fields.size()) + " fields");
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      if (f.empty() && schema.types[c] != DataType::kString) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.types[c]) {
+        case DataType::kInt64:
+          row.push_back(Value::Int64(std::strtoll(f.c_str(), nullptr, 10)));
+          break;
+        case DataType::kFloat64:
+          row.push_back(Value::Float64(std::strtod(f.c_str(), nullptr)));
+          break;
+        case DataType::kBool:
+          row.push_back(Value::Bool(f == "true" || f == "1"));
+          break;
+        case DataType::kDate: {
+          PYTOND_ASSIGN_OR_RETURN(int32_t d, date_util::Parse(f));
+          row.push_back(Value::Date(d));
+          break;
+        }
+        case DataType::kString:
+        case DataType::kNull:
+          row.push_back(Value::String(f));
+          break;
+      }
+    }
+    PYTOND_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path, char sep) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open '" + path + "'");
+  f << WriteCsv(table, sep);
+  return f.good() ? Status::OK()
+                  : Status::Internal("write failed for '" + path + "'");
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          char sep) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ReadCsv(buf.str(), schema, sep);
+}
+
+}  // namespace pytond::csv

@@ -1,0 +1,31 @@
+#ifndef PYTOND_STORAGE_CSV_H_
+#define PYTOND_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace pytond::csv {
+
+/// Serializes a table to CSV: a header row of column names, then one row
+/// per record. Strings are quoted (embedded quotes doubled) when they
+/// contain separators/quotes/newlines; NULLs render as empty fields;
+/// dates as YYYY-MM-DD.
+std::string WriteCsv(const Table& table, char sep = ',');
+
+/// Parses CSV into a table following `schema` (types drive the parsing:
+/// empty fields become NULL, date columns accept YYYY-MM-DD). The header
+/// row must match the schema's column names.
+Result<Table> ReadCsv(const std::string& text, const Schema& schema,
+                      char sep = ',');
+
+/// Convenience file wrappers.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char sep = ',');
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          char sep = ',');
+
+}  // namespace pytond::csv
+
+#endif  // PYTOND_STORAGE_CSV_H_

@@ -1,0 +1,155 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace pytond {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.types.size());
+  for (DataType t : schema_.types) columns_.emplace_back(t);
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  int i = schema_.Find(name);
+  return i < 0 ? nullptr : &columns_[i];
+}
+
+Status Table::AddColumn(std::string name, Column col) {
+  if (!columns_.empty() && col.size() != num_rows()) {
+    return Status::InvalidArgument("column '" + name + "' has " +
+                                   std::to_string(col.size()) +
+                                   " rows, table has " +
+                                   std::to_string(num_rows()));
+  }
+  schema_.Add(std::move(name), col.type());
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row width mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.Get(row));
+  return out;
+}
+
+Table Table::Gather(const std::vector<uint32_t>& rows) const {
+  Table out(schema_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i] = columns_[i].Gather(rows);
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema_.names.size(); ++i) {
+    if (i) os << " | ";
+    os << schema_.names[i];
+  }
+  os << "\n";
+  size_t n = std::min(num_rows(), max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      os << columns_[c].Get(r).ToString();
+    }
+    os << "\n";
+  }
+  if (num_rows() > n) {
+    os << "... (" << num_rows() << " rows total)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Total order over dynamic values (NULL first) for canonical sorting.
+int CompareValues(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return static_cast<int>(b.is_null()) - static_cast<int>(a.is_null()) == 0
+               ? 0
+               : (a.is_null() ? -1 : 1);
+  }
+  if (a.type() == DataType::kString) {
+    return a.AsString().compare(b.AsString());
+  }
+  double da = a.ToDouble(), db = b.ToDouble();
+  if (da < db) return -1;
+  if (da > db) return 1;
+  return 0;
+}
+
+std::vector<uint32_t> CanonicalOrder(const Table& t) {
+  std::vector<uint32_t> idx(t.num_rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      int cmp = CompareValues(t.column(c).Get(a), t.column(c).Get(b));
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+  return idx;
+}
+
+bool ValuesClose(const Value& a, const Value& b, double eps) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  if (a.type() == DataType::kString || b.type() == DataType::kString) {
+    return a.type() == b.type() && a.AsString() == b.AsString();
+  }
+  double da = a.ToDouble(), db = b.ToDouble();
+  double scale = std::max({1.0, std::fabs(da), std::fabs(db)});
+  return std::fabs(da - db) <= eps * scale;
+}
+
+}  // namespace
+
+bool Table::UnorderedEquals(const Table& a, const Table& b, double eps,
+                            std::string* diff) {
+  auto fail = [&](const std::string& why) {
+    if (diff) *diff = why;
+    return false;
+  };
+  if (a.num_columns() != b.num_columns()) {
+    return fail("column count " + std::to_string(a.num_columns()) + " vs " +
+                std::to_string(b.num_columns()));
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return fail("row count " + std::to_string(a.num_rows()) + " vs " +
+                std::to_string(b.num_rows()));
+  }
+  std::vector<uint32_t> ia = CanonicalOrder(a), ib = CanonicalOrder(b);
+  for (size_t r = 0; r < ia.size(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      Value va = a.column(c).Get(ia[r]);
+      Value vb = b.column(c).Get(ib[r]);
+      if (!ValuesClose(va, vb, eps)) {
+        return fail("row " + std::to_string(r) + " col " + std::to_string(c) +
+                    ": " + va.ToString() + " vs " + vb.ToString());
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pytond

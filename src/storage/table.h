@@ -1,0 +1,70 @@
+#ifndef PYTOND_STORAGE_TABLE_H_
+#define PYTOND_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace pytond {
+
+/// Ordered (name, type) column descriptors of a table.
+struct Schema {
+  std::vector<std::string> names;
+  std::vector<DataType> types;
+
+  size_t num_columns() const { return names.size(); }
+  /// Index of `name`, or -1.
+  int Find(const std::string& name) const;
+  void Add(std::string name, DataType type) {
+    names.push_back(std::move(name));
+    types.push_back(type);
+  }
+  bool operator==(const Schema& other) const = default;
+};
+
+/// An in-memory columnar table. All columns have equal length.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+  /// Column by name; nullptr if absent.
+  const Column* FindColumn(const std::string& name) const;
+
+  /// Adds a fully built column (must match current row count unless the
+  /// table is empty).
+  Status AddColumn(std::string name, Column col);
+
+  /// Appends a row of dynamic values (test / loader path).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Row as dynamic values.
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// Gathers a subset of rows into a new table.
+  Table Gather(const std::vector<uint32_t>& rows) const;
+
+  /// ASCII rendering (header + up to `max_rows` rows) for examples/tests.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Exact content comparison after sorting both tables on all columns;
+  /// floats compare with `eps` tolerance. Used by correctness tests.
+  static bool UnorderedEquals(const Table& a, const Table& b,
+                              double eps = 1e-6, std::string* diff = nullptr);
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_STORAGE_TABLE_H_

@@ -1,0 +1,413 @@
+#include "tondir/ir.h"
+
+#include <sstream>
+
+namespace pytond::tondir {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+    case BinOp::kLike: return "like";
+    case BinOp::kNotLike: return "not_like";
+    case BinOp::kConcat: return "||";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kGt: return ">";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kCount: return "count";
+    case AggFn::kCountDistinct: return "count_distinct";
+  }
+  return "?";
+}
+
+TermPtr Term::Var(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kVar;
+  t->var = std::move(name);
+  return t;
+}
+
+TermPtr Term::Const(Value v) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kConst;
+  t->constant = std::move(v);
+  return t;
+}
+
+TermPtr Term::Agg(AggFn fn, TermPtr arg) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kAgg;
+  t->agg_fn = fn;
+  t->children.push_back(std::move(arg));
+  return t;
+}
+
+TermPtr Term::Ext(std::string name, std::vector<TermPtr> args) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kExt;
+  t->ext_name = std::move(name);
+  t->children = std::move(args);
+  return t;
+}
+
+TermPtr Term::If(TermPtr cond, TermPtr then_t, TermPtr else_t) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kIf;
+  t->children = {std::move(cond), std::move(then_t), std::move(else_t)};
+  return t;
+}
+
+TermPtr Term::Binary(BinOp op, TermPtr lhs, TermPtr rhs) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kBinary;
+  t->bin_op = op;
+  t->children = {std::move(lhs), std::move(rhs)};
+  return t;
+}
+
+TermPtr Term::Clone() const {
+  auto t = std::make_shared<Term>(*this);
+  for (auto& c : t->children) c = c->Clone();
+  return t;
+}
+
+void Term::CollectVars(std::set<std::string>* out) const {
+  if (kind == Kind::kVar) out->insert(var);
+  for (const auto& c : children) c->CollectVars(out);
+}
+
+bool Term::ContainsAgg() const {
+  if (kind == Kind::kAgg) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAgg()) return true;
+  }
+  return false;
+}
+
+TermPtr Term::Substitute(const TermPtr& t,
+                         const std::map<std::string, TermPtr>& subst) {
+  if (t->kind == Kind::kVar) {
+    auto it = subst.find(t->var);
+    return it == subst.end() ? t : it->second->Clone();
+  }
+  if (t->children.empty()) return t;
+  auto copy = std::make_shared<Term>(*t);
+  for (auto& c : copy->children) c = Substitute(c, subst);
+  return copy;
+}
+
+Atom Atom::RelAccess(std::string relation, std::vector<std::string> vars) {
+  Atom a;
+  a.kind = Kind::kRelAccess;
+  a.relation = std::move(relation);
+  a.vars = std::move(vars);
+  return a;
+}
+
+Atom Atom::ConstRel(std::string var, std::vector<Value> values) {
+  Atom a;
+  a.kind = Kind::kConstRel;
+  a.var0 = std::move(var);
+  a.const_values = std::move(values);
+  return a;
+}
+
+Atom Atom::Exists(Body body, bool negated) {
+  Atom a;
+  a.kind = Kind::kExists;
+  a.exists_body = std::make_shared<Body>(std::move(body));
+  a.negated = negated;
+  return a;
+}
+
+Atom Atom::Compare(std::string var, CmpOp op, TermPtr term) {
+  Atom a;
+  a.kind = Kind::kCompare;
+  a.var0 = std::move(var);
+  a.cmp_op = op;
+  a.term = std::move(term);
+  return a;
+}
+
+Atom Atom::External(std::string name, std::vector<std::string> vars) {
+  Atom a;
+  a.kind = Kind::kExternal;
+  a.ext_name = std::move(name);
+  a.vars = std::move(vars);
+  return a;
+}
+
+Atom Atom::CloneAtom() const {
+  Atom a = *this;
+  if (term) a.term = term->Clone();
+  if (exists_body) {
+    auto body = std::make_shared<Body>();
+    for (const Atom& inner : *exists_body) body->push_back(inner.CloneAtom());
+    a.exists_body = body;
+  }
+  return a;
+}
+
+void Atom::CollectVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case Kind::kRelAccess:
+    case Kind::kExternal:
+      out->insert(vars.begin(), vars.end());
+      break;
+    case Kind::kConstRel:
+      out->insert(var0);
+      break;
+    case Kind::kExists:
+      for (const Atom& a : *exists_body) a.CollectVars(out);
+      break;
+    case Kind::kCompare:
+      out->insert(var0);
+      if (term) term->CollectVars(out);
+      break;
+  }
+}
+
+void Atom::CollectDefinedVars(const std::set<std::string>& defined_before,
+                              std::set<std::string>* out) const {
+  switch (kind) {
+    case Kind::kRelAccess:
+      out->insert(vars.begin(), vars.end());
+      break;
+    case Kind::kConstRel:
+      out->insert(var0);
+      break;
+    case Kind::kCompare:
+      if (cmp_op == CmpOp::kEq && !defined_before.count(var0)) {
+        out->insert(var0);
+      }
+      break;
+    case Kind::kExists:
+    case Kind::kExternal:
+      break;
+  }
+}
+
+Rule Rule::CloneRule() const {
+  Rule r;
+  r.head = head;
+  for (const Atom& a : body) r.body.push_back(a.CloneAtom());
+  return r;
+}
+
+bool Rule::HasAggregate() const {
+  for (const Atom& a : body) {
+    if (a.kind == Atom::Kind::kCompare && a.term && a.term->ContainsAgg()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Rule::HasJoin() const {
+  int rels = 0;
+  for (const Atom& a : body) {
+    if (a.kind == Atom::Kind::kRelAccess) ++rels;
+  }
+  return rels > 1;
+}
+
+bool Rule::HasOuterMarker() const {
+  for (const Atom& a : body) {
+    if (a.kind == Atom::Kind::kExternal &&
+        a.ext_name.rfind("outer_", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TermToString(const Term& term) {
+  switch (term.kind) {
+    case Term::Kind::kVar: return term.var;
+    case Term::Kind::kConst:
+      if (term.constant.type() == DataType::kString) {
+        return "\"" + term.constant.AsString() + "\"";
+      }
+      return term.constant.ToString();
+    case Term::Kind::kAgg:
+      return std::string(AggFnName(term.agg_fn)) + "(" +
+             TermToString(*term.children[0]) + ")";
+    case Term::Kind::kExt: {
+      std::string s = term.ext_name + "(";
+      for (size_t i = 0; i < term.children.size(); ++i) {
+        if (i) s += ", ";
+        s += TermToString(*term.children[i]);
+      }
+      return s + ")";
+    }
+    case Term::Kind::kIf:
+      return "if(" + TermToString(*term.children[0]) + ", " +
+             TermToString(*term.children[1]) + ", " +
+             TermToString(*term.children[2]) + ")";
+    case Term::Kind::kBinary:
+      return "(" + TermToString(*term.children[0]) + " " +
+             BinOpName(term.bin_op) + " " + TermToString(*term.children[1]) +
+             ")";
+  }
+  return "?";
+}
+
+namespace {
+std::string VarsToString(const std::vector<std::string>& vars) {
+  std::string s;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) s += ", ";
+    s += vars[i];
+  }
+  return s;
+}
+
+std::string BodyToString(const Body& body) {
+  std::string s;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) s += ", ";
+    s += AtomToString(body[i]);
+  }
+  return s;
+}
+}  // namespace
+
+std::string AtomToString(const Atom& atom) {
+  switch (atom.kind) {
+    case Atom::Kind::kRelAccess:
+      return atom.relation + "(" + VarsToString(atom.vars) + ")";
+    case Atom::Kind::kConstRel: {
+      std::string s = "(" + atom.var0 + " = [";
+      for (size_t i = 0; i < atom.const_values.size(); ++i) {
+        if (i) s += ", ";
+        s += atom.const_values[i].ToString();
+      }
+      return s + "])";
+    }
+    case Atom::Kind::kExists:
+      return std::string(atom.negated ? "!" : "") + "exists(" +
+             BodyToString(*atom.exists_body) + ")";
+    case Atom::Kind::kCompare:
+      return "(" + atom.var0 + " " + CmpOpName(atom.cmp_op) + " " +
+             TermToString(*atom.term) + ")";
+    case Atom::Kind::kExternal:
+      return "@" + atom.ext_name + "(" + VarsToString(atom.vars) + ")";
+  }
+  return "?";
+}
+
+std::string RuleToString(const Rule& rule) {
+  std::ostringstream os;
+  os << rule.head.relation << "(" << VarsToString(rule.head.vars) << ")";
+  if (rule.head.has_group()) {
+    os << " group(" << VarsToString(rule.head.group_vars) << ")";
+  }
+  if (rule.head.has_sort()) {
+    os << " sort(";
+    for (size_t i = 0; i < rule.head.sort_keys.size(); ++i) {
+      if (i) os << ", ";
+      os << rule.head.sort_keys[i].var
+         << (rule.head.sort_keys[i].ascending ? " asc" : " desc");
+    }
+    os << ")";
+  }
+  if (rule.head.limit) os << " limit(" << *rule.head.limit << ")";
+  if (rule.head.distinct) os << " distinct";
+  os << " :- " << BodyToString(rule.body) << ".";
+  return os.str();
+}
+
+std::string Program::ToString() const {
+  std::string s;
+  for (const Rule& r : rules) {
+    s += RuleToString(r);
+    s += "\n";
+  }
+  return s;
+}
+
+Status Program::Validate(const std::set<std::string>& base_relations) const {
+  std::set<std::string> known = base_relations;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    std::set<std::string> defined;
+    for (const Atom& a : r.body) {
+      if (a.kind == Atom::Kind::kRelAccess && !known.count(a.relation)) {
+        return Status::InvalidArgument(
+            "rule " + std::to_string(i) + " reads undefined relation '" +
+            a.relation + "'");
+      }
+      a.CollectDefinedVars(defined, &defined);
+    }
+    for (const std::string& v : r.head.vars) {
+      if (!defined.count(v)) {
+        return Status::InvalidArgument("rule " + std::to_string(i) +
+                                       " head var '" + v +
+                                       "' not defined in body");
+      }
+    }
+    for (const std::string& v : r.head.group_vars) {
+      if (!defined.count(v)) {
+        return Status::InvalidArgument("rule " + std::to_string(i) +
+                                       " group var '" + v + "' undefined");
+      }
+    }
+    if (!r.head.col_names.empty() &&
+        r.head.col_names.size() != r.head.vars.size()) {
+      return Status::InvalidArgument("rule " + std::to_string(i) +
+                                     " col_names/vars arity mismatch");
+    }
+    known.insert(r.head.relation);
+  }
+  return Status::OK();
+}
+
+std::map<std::string, std::vector<size_t>> Program::BuildReaderIndex() const {
+  std::map<std::string, std::vector<size_t>> readers;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (const Atom& a : rules[i].body) {
+      if (a.kind == Atom::Kind::kRelAccess) {
+        readers[a.relation].push_back(i);
+      } else if (a.kind == Atom::Kind::kExists) {
+        for (const Atom& inner : *a.exists_body) {
+          if (inner.kind == Atom::Kind::kRelAccess) {
+            readers[inner.relation].push_back(i);
+          }
+        }
+      }
+    }
+  }
+  return readers;
+}
+
+}  // namespace pytond::tondir

@@ -1,0 +1,217 @@
+#ifndef PYTOND_TONDIR_IR_H_
+#define PYTOND_TONDIR_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pytond::tondir {
+
+/// Binary operators over terms (paper: "arithmetic, and/or, like, etc.").
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr,
+  kLike, kNotLike,
+  kConcat,
+  // Comparisons usable inside terms (e.g. if(ID = 1, ..) kernels).
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+/// Comparison / assignment operators (theta in the grammar).
+enum class CmpOp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+/// Aggregation functions usable in `agg(t)` terms.
+enum class AggFn { kSum, kMin, kMax, kAvg, kCount, kCountDistinct };
+
+const char* BinOpName(BinOp op);
+const char* CmpOpName(CmpOp op);
+const char* AggFnName(AggFn fn);
+
+struct Term;
+using TermPtr = std::shared_ptr<Term>;
+
+/// Term (grammar row `t`): variable, aggregation, external function call,
+/// conditional, binary operation, or constant.
+struct Term {
+  enum class Kind { kVar, kConst, kAgg, kExt, kIf, kBinary };
+
+  Kind kind;
+  // kVar
+  std::string var;
+  // kConst
+  Value constant;
+  // kAgg
+  AggFn agg_fn = AggFn::kSum;
+  // kExt: external function name, e.g. "uid", "round", "year", "substr",
+  // "starts_with", "contains". Arguments live in `children`.
+  std::string ext_name;
+  // kBinary
+  BinOp bin_op = BinOp::kAdd;
+  // kAgg: 1 child; kIf: 3 children (cond, then, else); kBinary: 2 children;
+  // kExt: n children.
+  std::vector<TermPtr> children;
+
+  static TermPtr Var(std::string name);
+  static TermPtr Const(Value v);
+  static TermPtr Agg(AggFn fn, TermPtr arg);
+  static TermPtr Ext(std::string name, std::vector<TermPtr> args);
+  static TermPtr If(TermPtr cond, TermPtr then_t, TermPtr else_t);
+  static TermPtr Binary(BinOp op, TermPtr lhs, TermPtr rhs);
+
+  /// Deep copy.
+  TermPtr Clone() const;
+  /// Collects all variable names referenced by this term into `out`.
+  void CollectVars(std::set<std::string>* out) const;
+  /// True if any sub-term is an aggregation.
+  bool ContainsAgg() const;
+  /// Replaces every kVar whose name is a key of `subst` by a clone of the
+  /// mapped term. Returns the rewritten term (may share structure).
+  static TermPtr Substitute(const TermPtr& t,
+                            const std::map<std::string, TermPtr>& subst);
+};
+
+struct Atom;
+
+/// Body of a rule: a chain of atoms.
+using Body = std::vector<Atom>;
+
+/// Atom (grammar row `a`): relation access, constant relation, existential
+/// filter, or comparison/assignment.
+struct Atom {
+  enum class Kind {
+    kRelAccess,   // X(x1, ..., xn)
+    kConstRel,    // (x = [v1, v2, ...])  -- constant column relation
+    kExists,      // exists(B) / not exists(B)
+    kCompare,     // x theta t ; '=' with a fresh x is an assignment
+    kExternal,    // marker atoms, e.g. outer_left(x, y)
+  };
+
+  Kind kind;
+
+  // kRelAccess
+  std::string relation;
+  std::vector<std::string> vars;
+
+  // kConstRel: `var` receives each value of `const_values` in turn.
+  std::vector<Value> const_values;
+
+  // kExists
+  std::shared_ptr<Body> exists_body;
+  bool negated = false;
+
+  // kCompare: var `var0` op `term`.
+  std::string var0;
+  CmpOp cmp_op = CmpOp::kEq;
+  TermPtr term;
+
+  // kExternal: marker name ("outer_left", "outer_right", "outer_full") and
+  // its argument variables in `vars`.
+  std::string ext_name;
+
+  static Atom RelAccess(std::string relation, std::vector<std::string> vars);
+  static Atom ConstRel(std::string var, std::vector<Value> values);
+  static Atom Exists(Body body, bool negated);
+  static Atom Compare(std::string var, CmpOp op, TermPtr term);
+  static Atom External(std::string name, std::vector<std::string> vars);
+
+  Atom CloneAtom() const;
+  void CollectVars(std::set<std::string>* out) const;
+  /// Variables *defined* by this atom (relation access vars, const-rel var,
+  /// assignment target).  `defined_before` distinguishes assignment from
+  /// equality comparison for kCompare atoms.
+  void CollectDefinedVars(const std::set<std::string>& defined_before,
+                          std::set<std::string>* out) const;
+};
+
+/// One sort key: variable name + ascending flag.
+struct SortKey {
+  std::string var;
+  bool ascending = true;
+  bool operator==(const SortKey&) const = default;
+};
+
+/// Head (grammar row `H`): relation access with optional group / sort /
+/// limit / distinct decorations. `col_names` are the output column names
+/// (parallel to `vars`); they keep SQL codegen sound across renamings.
+struct Head {
+  std::string relation;
+  std::vector<std::string> vars;
+  std::vector<std::string> col_names;
+  std::vector<std::string> group_vars;
+  std::vector<SortKey> sort_keys;
+  std::optional<int64_t> limit;
+  bool distinct = false;
+
+  bool has_group() const { return !group_vars.empty(); }
+  bool has_sort() const { return !sort_keys.empty(); }
+};
+
+/// Rule: Head := Body.
+struct Rule {
+  Head head;
+  Body body;
+
+  Rule CloneRule() const;
+  /// True if any body atom assigns an aggregate term.
+  bool HasAggregate() const;
+  /// True if the body contains >1 relation access (a join).
+  bool HasJoin() const;
+  /// True if the body contains outer-join marker atoms.
+  bool HasOuterMarker() const;
+};
+
+/// Per-relation knowledge used by the optimizer: which column *positions*
+/// hold unique values (PK or UID-generated), fed from the catalog and from
+/// UID() insertion during translation.
+struct RelationInfo {
+  std::set<size_t> unique_positions;
+};
+
+/// A TondIR program: an ordered list of rules; the last rule is the sink.
+/// `base_relations` are the extensional relations (database tables).
+struct Program {
+  std::vector<Rule> rules;
+  std::map<std::string, RelationInfo> relation_info;
+  /// Column names of the extensional (database) relations, needed by the
+  /// SQL code generator to resolve positional accesses.
+  std::map<std::string, std::vector<std::string>> base_columns;
+
+  /// Pretty Datalog-style rendering, matching the paper's notation.
+  std::string ToString() const;
+
+  /// Structural sanity checks: every body relation is a base relation or
+  /// defined by an earlier rule; head vars are defined in the body; group
+  /// vars appear in the head.
+  Status Validate(const std::set<std::string>& base_relations) const;
+
+  /// relation name -> indices of rules whose body reads it.
+  std::map<std::string, std::vector<size_t>> BuildReaderIndex() const;
+};
+
+/// Renders a single rule in the paper's textual syntax.
+std::string RuleToString(const Rule& rule);
+std::string TermToString(const Term& term);
+std::string AtomToString(const Atom& atom);
+
+/// Parses the textual TondIR syntax produced by ToString (used heavily by
+/// optimizer unit tests). Grammar:
+///   rule   := head ':-' body '.'
+///   head   := NAME '(' vars ')' ['group' '(' vars ')']
+///             ['sort' '(' keys ')'] ['limit' '(' INT ')'] ['distinct']
+///   body   := atom (',' atom)*
+///   atom   := NAME '(' vars ')' | '(' NAME cmp term ')' |
+///             '(' NAME '=' '[' consts ']' ')' | 'exists' '(' body ')' |
+///             '!exists' '(' body ')' | '@' NAME '(' vars ')'
+Result<Program> ParseProgram(const std::string& text);
+Result<Rule> ParseRule(const std::string& text);
+
+}  // namespace pytond::tondir
+
+#endif  // PYTOND_TONDIR_IR_H_

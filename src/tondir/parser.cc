@@ -1,0 +1,396 @@
+#include <cctype>
+#include <cstdlib>
+
+#include "tondir/ir.h"
+
+namespace pytond::tondir {
+namespace {
+
+/// Hand-rolled tokenizer/parser for the textual TondIR syntax. This exists
+/// for tests and debugging: optimizer tests author programs as text instead
+/// of building ASTs node by node.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Program> ParseProgramText() {
+    Program p;
+    SkipWs();
+    while (pos_ < text_.size()) {
+      auto r = ParseRuleText();
+      if (!r.ok()) return r.status();
+      p.rules.push_back(std::move(*r));
+      SkipWs();
+    }
+    return p;
+  }
+
+  Result<Rule> ParseRuleText() {
+    Rule rule;
+    PYTOND_ASSIGN_OR_RETURN(std::string rel, Name());
+    rule.head.relation = rel;
+    PYTOND_ASSIGN_OR_RETURN(rule.head.vars, VarList());
+    rule.head.col_names = rule.head.vars;
+    SkipWs();
+    // Optional head decorations in any order.
+    while (true) {
+      if (TryKeyword("group")) {
+        PYTOND_ASSIGN_OR_RETURN(rule.head.group_vars, VarList());
+      } else if (TryKeyword("sort")) {
+        PYTOND_RETURN_IF_ERROR(ParseSortKeys(&rule.head.sort_keys));
+      } else if (TryKeyword("limit")) {
+        PYTOND_RETURN_IF_ERROR(Expect('('));
+        PYTOND_ASSIGN_OR_RETURN(Value v, Number());
+        rule.head.limit = v.AsInt64();
+        PYTOND_RETURN_IF_ERROR(Expect(')'));
+      } else if (TryKeyword("distinct")) {
+        rule.head.distinct = true;
+      } else {
+        break;
+      }
+      SkipWs();
+    }
+    PYTOND_RETURN_IF_ERROR(ExpectStr(":-"));
+    PYTOND_ASSIGN_OR_RETURN(rule.body, ParseBody());
+    PYTOND_RETURN_IF_ERROR(Expect('.'));
+    return rule;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool TryChar(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!TryChar(c)) {
+      return Status::ParseError(std::string("expected '") + c + "' at pos " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectStr(const std::string& s) {
+    SkipWs();
+    if (text_.compare(pos_, s.size(), s) == 0) {
+      pos_ += s.size();
+      return Status::OK();
+    }
+    return Status::ParseError("expected '" + s + "' at pos " +
+                              std::to_string(pos_));
+  }
+
+  bool TryKeyword(const std::string& kw) {
+    SkipWs();
+    if (text_.compare(pos_, kw.size(), kw) != 0) return false;
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  Result<std::string> Name() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected identifier at pos " +
+                                std::to_string(start));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<Value> Number() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_float = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') is_float = true;
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected number at pos " +
+                                std::to_string(start));
+    }
+    std::string tok = text_.substr(start, pos_ - start);
+    if (is_float) return Value::Float64(std::strtod(tok.c_str(), nullptr));
+    return Value::Int64(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+
+  Result<std::vector<std::string>> VarList() {
+    PYTOND_RETURN_IF_ERROR(Expect('('));
+    std::vector<std::string> vars;
+    if (TryChar(')')) return vars;
+    while (true) {
+      PYTOND_ASSIGN_OR_RETURN(std::string v, Name());
+      vars.push_back(v);
+      if (TryChar(')')) break;
+      PYTOND_RETURN_IF_ERROR(Expect(','));
+    }
+    return vars;
+  }
+
+  Status ParseSortKeys(std::vector<SortKey>* keys) {
+    PYTOND_RETURN_IF_ERROR(Expect('('));
+    while (true) {
+      PYTOND_ASSIGN_OR_RETURN(std::string v, Name());
+      SortKey k{v, true};
+      if (TryKeyword("desc")) k.ascending = false;
+      else TryKeyword("asc");
+      keys->push_back(k);
+      if (TryChar(')')) break;
+      PYTOND_RETURN_IF_ERROR(Expect(','));
+    }
+    return Status::OK();
+  }
+
+  Result<Body> ParseBody() {
+    Body body;
+    while (true) {
+      PYTOND_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+      body.push_back(std::move(a));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return body;
+  }
+
+  Result<Atom> ParseAtom() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    char c = text_[pos_];
+    if (c == '@') {
+      ++pos_;
+      PYTOND_ASSIGN_OR_RETURN(std::string name, Name());
+      PYTOND_ASSIGN_OR_RETURN(std::vector<std::string> vars, VarList());
+      return Atom::External(name, vars);
+    }
+    if (c == '!') {
+      ++pos_;
+      PYTOND_RETURN_IF_ERROR(ExpectStr("exists"));
+      PYTOND_RETURN_IF_ERROR(Expect('('));
+      PYTOND_ASSIGN_OR_RETURN(Body b, ParseBody());
+      PYTOND_RETURN_IF_ERROR(Expect(')'));
+      return Atom::Exists(std::move(b), /*negated=*/true);
+    }
+    if (c == '(') {
+      // Comparison / assignment / constant relation.
+      ++pos_;
+      PYTOND_ASSIGN_OR_RETURN(std::string var, Name());
+      PYTOND_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      SkipWs();
+      if (op == CmpOp::kEq && pos_ < text_.size() && text_[pos_] == '[') {
+        ++pos_;
+        std::vector<Value> values;
+        if (!TryChar(']')) {
+          while (true) {
+            PYTOND_ASSIGN_OR_RETURN(Value v, ParseConstValue());
+            values.push_back(std::move(v));
+            if (TryChar(']')) break;
+            PYTOND_RETURN_IF_ERROR(Expect(','));
+          }
+        }
+        PYTOND_RETURN_IF_ERROR(Expect(')'));
+        return Atom::ConstRel(var, std::move(values));
+      }
+      PYTOND_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+      PYTOND_RETURN_IF_ERROR(Expect(')'));
+      return Atom::Compare(var, op, std::move(t));
+    }
+    // exists(...) or relation access.
+    size_t save = pos_;
+    PYTOND_ASSIGN_OR_RETURN(std::string name, Name());
+    if (name == "exists") {
+      PYTOND_RETURN_IF_ERROR(Expect('('));
+      PYTOND_ASSIGN_OR_RETURN(Body b, ParseBody());
+      PYTOND_RETURN_IF_ERROR(Expect(')'));
+      return Atom::Exists(std::move(b), /*negated=*/false);
+    }
+    pos_ = save;
+    PYTOND_ASSIGN_OR_RETURN(std::string rel, Name());
+    PYTOND_ASSIGN_OR_RETURN(std::vector<std::string> vars, VarList());
+    return Atom::RelAccess(rel, vars);
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    SkipWs();
+    auto two = [&](const char* s) {
+      return text_.compare(pos_, 2, s) == 0;
+    };
+    if (two("<=")) { pos_ += 2; return CmpOp::kLe; }
+    if (two(">=")) { pos_ += 2; return CmpOp::kGe; }
+    if (two("!=") || two("<>")) { pos_ += 2; return CmpOp::kNe; }
+    char c = pos_ < text_.size() ? text_[pos_] : 0;
+    if (c == '<') { ++pos_; return CmpOp::kLt; }
+    if (c == '>') { ++pos_; return CmpOp::kGt; }
+    if (c == '=') { ++pos_; return CmpOp::kEq; }
+    return Status::ParseError("expected comparison operator at pos " +
+                              std::to_string(pos_));
+  }
+
+  Result<Value> ParseConstValue() {
+    SkipWs();
+    char c = pos_ < text_.size() ? text_[pos_] : 0;
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) return Status::ParseError("unclosed string");
+      std::string s = text_.substr(start, pos_ - start);
+      ++pos_;
+      return Value::String(std::move(s));
+    }
+    if (TryKeyword("true")) return Value::Bool(true);
+    if (TryKeyword("false")) return Value::Bool(false);
+    if (TryKeyword("null")) return Value::Null();
+    return Number();
+  }
+
+  Result<TermPtr> ParseTerm() {
+    PYTOND_ASSIGN_OR_RETURN(TermPtr lhs, ParsePrimary());
+    // Left-associative chain; parenthesize in test inputs for grouping.
+    while (true) {
+      SkipWs();
+      BinOp op;
+      if (TryChar('+')) op = BinOp::kAdd;
+      else if (PeekMinusBinary()) { ++pos_; op = BinOp::kSub; }
+      else if (TryChar('*')) op = BinOp::kMul;
+      else if (TryChar('/')) op = BinOp::kDiv;
+      else if (TryChar('%')) op = BinOp::kMod;
+      else if (TryKeyword("and")) op = BinOp::kAnd;
+      else if (TryKeyword("or")) op = BinOp::kOr;
+      else if (TryKeyword("like")) op = BinOp::kLike;
+      else if (TryTwoCharOp("<=")) op = BinOp::kLe;
+      else if (TryTwoCharOp(">=")) op = BinOp::kGe;
+      else if (TryTwoCharOp("!=")) op = BinOp::kNe;
+      else if (TryChar('=')) op = BinOp::kEq;
+      else if (TryChar('<')) op = BinOp::kLt;
+      else if (TryChar('>')) op = BinOp::kGt;
+      else break;
+      PYTOND_ASSIGN_OR_RETURN(TermPtr rhs, ParsePrimary());
+      lhs = Term::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  bool PeekMinusBinary() {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == '-';
+  }
+
+  bool TryTwoCharOp(const char* op) {
+    SkipWs();
+    if (text_.compare(pos_, 2, op) == 0) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  Result<TermPtr> ParsePrimary() {
+    SkipWs();
+    char c = pos_ < text_.size() ? text_[pos_] : 0;
+    if (c == '(') {
+      ++pos_;
+      PYTOND_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+      PYTOND_RETURN_IF_ERROR(Expect(')'));
+      return t;
+    }
+    if (c == '"' || c == '\'' ||
+        std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      PYTOND_ASSIGN_OR_RETURN(Value v, ParseConstValue());
+      return Term::Const(std::move(v));
+    }
+    PYTOND_ASSIGN_OR_RETURN(std::string name, Name());
+    if (name == "true") return Term::Const(Value::Bool(true));
+    if (name == "false") return Term::Const(Value::Bool(false));
+    if (name == "null") return Term::Const(Value::Null());
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      // if(...), agg(...), or external function call.
+      ++pos_;
+      std::vector<TermPtr> args;
+      if (!TryChar(')')) {
+        while (true) {
+          PYTOND_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+          args.push_back(std::move(t));
+          if (TryChar(')')) break;
+          PYTOND_RETURN_IF_ERROR(Expect(','));
+        }
+      }
+      if (name == "if") {
+        if (args.size() != 3) {
+          return Status::ParseError("if() takes 3 arguments");
+        }
+        return Term::If(args[0], args[1], args[2]);
+      }
+      static const std::map<std::string, AggFn> kAggs = {
+          {"sum", AggFn::kSum},     {"min", AggFn::kMin},
+          {"max", AggFn::kMax},     {"avg", AggFn::kAvg},
+          {"count", AggFn::kCount}, {"count_distinct", AggFn::kCountDistinct},
+      };
+      auto it = kAggs.find(name);
+      if (it != kAggs.end()) {
+        if (name == "count" && args.empty()) {
+          args.push_back(Term::Const(Value::Int64(1)));
+        }
+        if (args.size() != 1) {
+          return Status::ParseError(name + "() takes 1 argument");
+        }
+        return Term::Agg(it->second, args[0]);
+      }
+      return Term::Ext(name, std::move(args));
+    }
+    return Term::Var(name);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  return Parser(text).ParseProgramText();
+}
+
+Result<Rule> ParseRule(const std::string& text) {
+  return Parser(text).ParseRuleText();
+}
+
+}  // namespace pytond::tondir

@@ -1,0 +1,358 @@
+#include "workloads/datasci.h"
+
+#include <random>
+
+namespace pytond::workloads::datasci {
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+int64_t Uniform(Rng& rng, int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+}
+double UniformF(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+}  // namespace
+
+Status PopulateCrimeIndex(engine::Database* db, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> total(rows), adult(rows), robberies(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    total[i] = UniformF(rng, 1000, 550000);
+    adult[i] = total[i] * UniformF(rng, 0.5, 0.9);
+    robberies[i] = total[i] * UniformF(rng, 0.0, 0.02);
+  }
+  Table t;
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("total_population", Column::Float64(std::move(total))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("adult_population", Column::Float64(std::move(adult))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("num_robberies", Column::Float64(std::move(robberies))));
+  PYTOND_RETURN_IF_ERROR(db->CreateTable("crime_data", std::move(t)));
+
+  Table w;
+  PYTOND_RETURN_IF_ERROR(w.AddColumn("id", Column::Int64({0, 1, 2})));
+  PYTOND_RETURN_IF_ERROR(
+      w.AddColumn("c0", Column::Float64({60.0, 2.5, -2000.0})));
+  TableConstraints tc;
+  tc.primary_key = {"id"};
+  PYTOND_RETURN_IF_ERROR(db->CreateTable("crime_weights", std::move(w), tc));
+  return Status::OK();
+}
+
+const char* CrimeIndexSource() {
+  return R"PY(
+@pytond()
+def crime_index(crime_data, crime_weights):
+    big = crime_data[crime_data.total_population > 10000]
+    a = big.to_numpy()
+    idx = np.einsum('ij,j->i', a, crime_weights.to_numpy())
+    d = pd.DataFrame(idx)
+    safe = d[d.c0 < 300000.0]
+    out = safe.agg(total_index=('c0', 'sum'), cities=('c0', 'count'))
+    return out
+)PY";
+}
+
+Status PopulateBirthAnalysis(engine::Database* db, int64_t rows,
+                             uint64_t seed) {
+  Rng rng(seed);
+  static const char* kNames[] = {"Emma", "Olivia", "Noah", "Liam", "Ava",
+                                 "Mia", "Lucas", "Ethan", "Amelia", "Leo",
+                                 "Zara", "Kai", "Nova", "Remy", "Sage"};
+  std::vector<std::string> name(rows), sex(rows);
+  std::vector<int64_t> year(rows), births(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    name[i] = kNames[Uniform(rng, 0, 14)];
+    year[i] = Uniform(rng, 1880, 2020);
+    sex[i] = Uniform(rng, 0, 1) ? "M" : "F";
+    births[i] = Uniform(rng, 1, 5000);
+  }
+  Table t;
+  PYTOND_RETURN_IF_ERROR(t.AddColumn("name", Column::String(std::move(name))));
+  PYTOND_RETURN_IF_ERROR(t.AddColumn("year", Column::Int64(std::move(year))));
+  PYTOND_RETURN_IF_ERROR(t.AddColumn("sex", Column::String(std::move(sex))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("births", Column::Int64(std::move(births))));
+  return db->CreateTable("births", std::move(t));
+}
+
+const char* BirthAnalysisSource() {
+  return R"PY(
+@pytond(pivot_values=['M', 'F'])
+def birth_analysis(births):
+    g = births.groupby(['name']).agg(total=('births', 'sum'))
+    top = g[g.total > 100000]
+    f = births[births.name.isin(top['name'])]
+    p = f.pivot_table(index='year', columns='sex', values='births',
+                      aggfunc='sum')
+    out = p.sort_values(by=['year'])
+    return out
+)PY";
+}
+
+Status PopulateN3(engine::Database* db, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kCarriers[] = {"AA", "DL", "UA", "WN", "B6", "AS",
+                                    "NK", "F9"};
+  static const char* kAirports[] = {"ATL", "LAX", "ORD", "DFW", "DEN",
+                                    "JFK", "SFO", "SEA", "MIA", "BOS"};
+  std::vector<std::string> carrier(rows), origin(rows);
+  std::vector<int64_t> month(rows), cancelled(rows);
+  std::vector<double> dep(rows), arr(rows), dist(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    carrier[i] = kCarriers[Uniform(rng, 0, 7)];
+    origin[i] = kAirports[Uniform(rng, 0, 9)];
+    month[i] = Uniform(rng, 1, 12);
+    dep[i] = UniformF(rng, -15, 180);
+    arr[i] = dep[i] + UniformF(rng, -30, 60);
+    dist[i] = UniformF(rng, 100, 2800);
+    cancelled[i] = Uniform(rng, 0, 99) < 2 ? 1 : 0;
+  }
+  Table t;
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("carrier", Column::String(std::move(carrier))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("origin", Column::String(std::move(origin))));
+  PYTOND_RETURN_IF_ERROR(t.AddColumn("month", Column::Int64(std::move(month))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("dep_delay", Column::Float64(std::move(dep))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("arr_delay", Column::Float64(std::move(arr))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("distance", Column::Float64(std::move(dist))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("cancelled", Column::Int64(std::move(cancelled))));
+  return db->CreateTable("flights", std::move(t));
+}
+
+const char* N3Source() {
+  return R"PY(
+@pytond()
+def n3(flights):
+    ok = flights[(flights.cancelled == 0) & (flights.distance > 200)]
+    ok['speed_penalty'] = ok.arr_delay / (ok.distance / 100.0)
+    summer = ok[(ok.month >= 6) & (ok.month <= 8)]
+    g = summer.groupby(['carrier', 'origin']).agg(
+        flights=('month', 'count'),
+        avg_dep=('dep_delay', 'mean'),
+        avg_arr=('arr_delay', 'mean'),
+        worst=('arr_delay', 'max'),
+        penalty=('speed_penalty', 'mean'))
+    late = g[g.avg_arr > 10.0]
+    out = late.sort_values(by=['avg_arr'], ascending=[False]).head(25)
+    return out
+)PY";
+}
+
+Status PopulateN9(engine::Database* db, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kHoods[] = {"Harlem", "Midtown", "SoHo", "Astoria",
+                                 "Williamsburg", "Bushwick", "Chelsea",
+                                 "Tribeca", "Flatbush", "Inwood"};
+  static const char* kRooms[] = {"Entire home/apt", "Private room",
+                                 "Shared room"};
+  std::vector<std::string> hood(rows), room(rows);
+  std::vector<double> price(rows);
+  std::vector<int64_t> nights(rows), reviews(rows), avail(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    hood[i] = kHoods[Uniform(rng, 0, 9)];
+    room[i] = kRooms[Uniform(rng, 0, 2)];
+    price[i] = UniformF(rng, 20, 900);
+    nights[i] = Uniform(rng, 1, 30);
+    reviews[i] = Uniform(rng, 0, 400);
+    avail[i] = Uniform(rng, 0, 365);
+  }
+  Table t;
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("neighbourhood", Column::String(std::move(hood))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("room_type", Column::String(std::move(room))));
+  PYTOND_RETURN_IF_ERROR(t.AddColumn("price", Column::Float64(std::move(price))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("minimum_nights", Column::Int64(std::move(nights))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("number_of_reviews", Column::Int64(std::move(reviews))));
+  PYTOND_RETURN_IF_ERROR(
+      t.AddColumn("availability", Column::Int64(std::move(avail))));
+  return db->CreateTable("listings", std::move(t));
+}
+
+const char* N9Source() {
+  return R"PY(
+@pytond()
+def n9(listings):
+    active = listings[(listings.availability > 30) &
+                      (listings.number_of_reviews > 0) &
+                      (listings.price > 0)]
+    rooms = active[active.room_type.isin(['Entire home/apt',
+                                          'Private room'])]
+    rooms['value'] = rooms.price / rooms.minimum_nights
+    g = rooms.groupby(['neighbourhood', 'room_type']).agg(
+        n=('price', 'count'),
+        avg_price=('price', 'mean'),
+        max_price=('price', 'max'),
+        avg_value=('value', 'mean'))
+    popular = g[g.n > 5]
+    out = popular.sort_values(by=['avg_price'], ascending=[False]).head(20)
+    return out
+)PY";
+}
+
+Status PopulateHybrid(engine::Database* db, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> pk1(rows), pk2(rows);
+  std::vector<double> f(4 * rows), g(4 * rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    pk1[i] = i;
+    pk2[i] = i;
+    for (int c = 0; c < 4; ++c) {
+      f[c * rows + i] = UniformF(rng, -1, 1);
+      g[c * rows + i] = UniformF(rng, 0, 1);
+    }
+  }
+  {
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("pk", Column::Int64(pk1)));
+    for (int c = 0; c < 4; ++c) {
+      PYTOND_RETURN_IF_ERROR(t.AddColumn(
+          "f" + std::to_string(c),
+          Column::Float64(std::vector<double>(f.begin() + c * rows,
+                                              f.begin() + (c + 1) * rows))));
+    }
+    TableConstraints tc;
+    tc.primary_key = {"pk"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("points", std::move(t), tc));
+  }
+  {
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("pk", Column::Int64(pk2)));
+    for (int c = 0; c < 4; ++c) {
+      PYTOND_RETURN_IF_ERROR(t.AddColumn(
+          "g" + std::to_string(c),
+          Column::Float64(std::vector<double>(g.begin() + c * rows,
+                                              g.begin() + (c + 1) * rows))));
+    }
+    TableConstraints tc;
+    tc.primary_key = {"pk"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("lookup", std::move(t), tc));
+  }
+  {
+    Table w;
+    PYTOND_RETURN_IF_ERROR(w.AddColumn("id", Column::Int64({0, 1, 2, 3})));
+    PYTOND_RETURN_IF_ERROR(
+        w.AddColumn("c0", Column::Float64({0.5, -1.5, 2.0, 1.0})));
+    TableConstraints tc;
+    tc.primary_key = {"id"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("weights", std::move(w), tc));
+  }
+  return Status::OK();
+}
+
+const char* HybridMatMulSource(bool filtered) {
+  if (filtered) {
+    return R"PY(
+@pytond()
+def hybrid_matmul_filtered(points, lookup, weights):
+    j = points.merge(lookup, on='pk')
+    f = j[j.g0 > 0.5]
+    m = f[['f0', 'f1', 'f2', 'f3']]
+    a = m.to_numpy()
+    out = np.einsum('ij,j->i', a, weights.to_numpy())
+    return out
+)PY";
+  }
+  return R"PY(
+@pytond()
+def hybrid_matmul(points, lookup, weights):
+    j = points.merge(lookup, on='pk')
+    m = j[['f0', 'f1', 'f2', 'f3']]
+    a = m.to_numpy()
+    out = np.einsum('ij,j->i', a, weights.to_numpy())
+    return out
+)PY";
+}
+
+const char* HybridCovarSource(bool filtered) {
+  if (filtered) {
+    return R"PY(
+@pytond()
+def hybrid_covar_filtered(points, lookup):
+    j = points.merge(lookup, on='pk')
+    f = j[j.g0 > 0.5]
+    m = f[['f0', 'f1', 'f2', 'f3']]
+    a = m.to_numpy()
+    out = np.einsum('ij,ik->jk', a, a)
+    return out
+)PY";
+  }
+  return R"PY(
+@pytond()
+def hybrid_covar(points, lookup):
+    j = points.merge(lookup, on='pk')
+    m = j[['f0', 'f1', 'f2', 'f3']]
+    a = m.to_numpy()
+    out = np.einsum('ij,ik->jk', a, a)
+    return out
+)PY";
+}
+
+Status PopulateCovariance(engine::Database* db, int64_t rows, int cols,
+                          double density, uint64_t seed) {
+  Rng rng(seed);
+  Table dense;
+  std::vector<int64_t> ids(rows);
+  for (int64_t i = 0; i < rows; ++i) ids[i] = i;
+  PYTOND_RETURN_IF_ERROR(dense.AddColumn("id", Column::Int64(std::move(ids))));
+  std::vector<int64_t> coo_r, coo_c;
+  std::vector<double> coo_v;
+  for (int c = 0; c < cols; ++c) {
+    std::vector<double> col(rows, 0.0);
+    for (int64_t r = 0; r < rows; ++r) {
+      if (UniformF(rng, 0, 1) < density) {
+        col[r] = UniformF(rng, -1, 1);
+        coo_r.push_back(r);
+        coo_c.push_back(c);
+        coo_v.push_back(col[r]);
+      }
+    }
+    PYTOND_RETURN_IF_ERROR(dense.AddColumn("c" + std::to_string(c),
+                                           Column::Float64(std::move(col))));
+  }
+  TableConstraints tc;
+  tc.primary_key = {"id"};
+  PYTOND_RETURN_IF_ERROR(db->CreateTable("mat", std::move(dense), tc));
+
+  Table coo;
+  PYTOND_RETURN_IF_ERROR(
+      coo.AddColumn("row_id", Column::Int64(std::move(coo_r))));
+  PYTOND_RETURN_IF_ERROR(
+      coo.AddColumn("col_id", Column::Int64(std::move(coo_c))));
+  PYTOND_RETURN_IF_ERROR(coo.AddColumn("val", Column::Float64(std::move(coo_v))));
+  return db->CreateTable("mat_coo", std::move(coo));
+}
+
+const char* CovarDenseSource() {
+  return R"PY(
+@pytond()
+def covar_dense(mat):
+    a = mat.to_numpy()
+    out = np.einsum('ij,ik->jk', a, a)
+    return out
+)PY";
+}
+
+const char* CovarSparseSource() {
+  return R"PY(
+@pytond(layout='sparse')
+def covar_sparse(mat_coo):
+    out = np.einsum('ij,ik->jk', mat_coo, mat_coo)
+    return out
+)PY";
+}
+
+}  // namespace pytond::workloads::datasci

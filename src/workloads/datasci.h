@@ -1,0 +1,70 @@
+#ifndef PYTOND_WORKLOADS_DATASCI_H_
+#define PYTOND_WORKLOADS_DATASCI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace pytond::workloads::datasci {
+
+/// Deterministic synthetic datasets reproducing the operator mix of the
+/// paper's hybrid workloads (the paper's datasets are Weld's Crime Index /
+/// Birth Analysis notebooks and two Kaggle notebooks; we generate
+/// schema-compatible data at a configurable scale — see DESIGN.md
+/// substitutions).
+
+/// Crime Index (Weld notebook, SF100 in the paper): city statistics table
+/// `crime_data(total_population, adult_population, num_robberies)` plus a
+/// 3x1 `crime_weights` matrix table.
+Status PopulateCrimeIndex(engine::Database* db, int64_t rows,
+                          uint64_t seed = 7);
+
+/// Birth Analysis: `births(name, year, sex, births)`.
+Status PopulateBirthAnalysis(engine::Database* db, int64_t rows,
+                             uint64_t seed = 11);
+
+/// Kaggle N3 stand-in: airline on-time records
+/// `flights(carrier, origin, month, dep_delay, arr_delay, distance,
+/// cancelled)` (the paper's N3 processes 700MB of airline data).
+Status PopulateN3(engine::Database* db, int64_t rows, uint64_t seed = 13);
+
+/// Kaggle N9 stand-in: housing listings
+/// `listings(neighbourhood, room_type, price, minimum_nights,
+/// number_of_reviews, availability)`.
+Status PopulateN9(engine::Database* db, int64_t rows, uint64_t seed = 17);
+
+/// Hybrid matrix workloads: `points(pk, f0..f3)`, `lookup(pk, g0..g3)`
+/// and a 4x1 `weights` matrix (paper §V-A: join two large tables, convert
+/// to NumPy, run an einsum).
+Status PopulateHybrid(engine::Database* db, int64_t rows, uint64_t seed = 19);
+
+/// Covariance input (Figure 9): dense matrix table `mat(id, c0..c{cols-1})`
+/// plus its sparse COO twin `mat_coo(row_id, col_id, val)`. `density` in
+/// (0, 1] is the fraction of nonzero entries.
+Status PopulateCovariance(engine::Database* db, int64_t rows, int cols,
+                          double density, uint64_t seed = 23);
+
+// ---- @pytond sources (shared by PyTond and the eager baseline) ----
+
+/// Hybrid Pandas->NumPy->Pandas pipeline over the crime data.
+const char* CrimeIndexSource();
+/// Pivot-table pipeline over the births data.
+const char* BirthAnalysisSource();
+/// Relational pipeline over the flights data.
+const char* N3Source();
+/// Relational pipeline over the listings data.
+const char* N9Source();
+/// Join -> einsum matrix-vector multiplication (plain / filtered).
+const char* HybridMatMulSource(bool filtered);
+/// Join -> einsum covariance computation (plain / filtered).
+const char* HybridCovarSource(bool filtered);
+/// Covariance over the dense layout.
+const char* CovarDenseSource();
+/// Covariance over the sparse (COO) layout.
+const char* CovarSparseSource();
+
+}  // namespace pytond::workloads::datasci
+
+#endif  // PYTOND_WORKLOADS_DATASCI_H_

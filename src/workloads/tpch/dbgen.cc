@@ -1,0 +1,386 @@
+#include "workloads/tpch/dbgen.h"
+
+#include <random>
+
+#include "common/date_util.h"
+
+namespace pytond::workloads::tpch {
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+int64_t Uniform(Rng& rng, int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+}
+
+double UniformF(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                           "MIDDLE EAST"};
+// (nation, region index) per the TPC-H spec.
+struct NationSpec {
+  const char* name;
+  int region;
+};
+const NationSpec kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0},{"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                            "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                              "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                             "MAIL", "FOB"};
+const char* kInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                             "TAKE BACK RETURN"};
+const char* kTypes1[6] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                          "PROMO"};
+const char* kTypes2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                          "BRUSHED"};
+const char* kTypes3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[5] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[8] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                               "CAN", "DRUM"};
+const char* kColors[12] = {"almond", "antique", "aquamarine", "azure",
+                           "beige", "bisque", "black", "blanched", "blue",
+                           "forest", "green", "ghost"};
+const char* kWords[16] = {"carefully", "quickly", "furiously", "slyly",
+                          "blithely", "ideas", "requests", "deposits",
+                          "packages", "accounts", "theodolites", "pinto",
+                          "beans", "foxes", "dependencies", "platelets"};
+
+std::string Comment(Rng& rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i) out += ' ';
+    out += kWords[Uniform(rng, 0, 15)];
+  }
+  // Rare markers used by Q13 / Q16 predicates.
+  int64_t roll = Uniform(rng, 0, 99);
+  if (roll < 2) out += " special packages requests";
+  else if (roll < 4) out += " Customer slyly Complaints";
+  return out;
+}
+
+std::string PadNum(int64_t v, int width) {
+  std::string s = std::to_string(v);
+  while (static_cast<int>(s.size()) < width) s.insert(s.begin(), '0');
+  return s;
+}
+
+int32_t RandomDate(Rng& rng, int32_t lo, int32_t hi) {
+  return static_cast<int32_t>(Uniform(rng, lo, hi));
+}
+
+}  // namespace
+
+Status Populate(engine::Database* db, double scale_factor, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t n_supplier = std::max<int64_t>(10, 10000 * scale_factor);
+  const int64_t n_part = std::max<int64_t>(20, 200000 * scale_factor);
+  const int64_t n_customer = std::max<int64_t>(15, 150000 * scale_factor);
+  const int64_t n_orders = std::max<int64_t>(150, 1500000 * scale_factor);
+
+  const int32_t d_lo = *date_util::FromYMD(1992, 1, 1);
+  const int32_t d_hi = *date_util::FromYMD(1998, 8, 2);
+
+  // ---- region / nation ----
+  {
+    Table region;
+    std::vector<int64_t> rk;
+    std::vector<std::string> rn, rc;
+    for (int i = 0; i < 5; ++i) {
+      rk.push_back(i);
+      rn.push_back(kRegions[i]);
+      rc.push_back(Comment(rng, 4));
+    }
+    PYTOND_RETURN_IF_ERROR(region.AddColumn("r_regionkey", Column::Int64(rk)));
+    PYTOND_RETURN_IF_ERROR(region.AddColumn("r_name", Column::String(rn)));
+    PYTOND_RETURN_IF_ERROR(region.AddColumn("r_comment", Column::String(rc)));
+    TableConstraints tc;
+    tc.primary_key = {"r_regionkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("region", std::move(region), tc));
+  }
+  {
+    Table nation;
+    std::vector<int64_t> nk, nr;
+    std::vector<std::string> nn, nc;
+    for (int i = 0; i < 25; ++i) {
+      nk.push_back(i);
+      nn.push_back(kNations[i].name);
+      nr.push_back(kNations[i].region);
+      nc.push_back(Comment(rng, 4));
+    }
+    PYTOND_RETURN_IF_ERROR(nation.AddColumn("n_nationkey", Column::Int64(nk)));
+    PYTOND_RETURN_IF_ERROR(nation.AddColumn("n_name", Column::String(nn)));
+    PYTOND_RETURN_IF_ERROR(
+        nation.AddColumn("n_regionkey", Column::Int64(nr)));
+    PYTOND_RETURN_IF_ERROR(nation.AddColumn("n_comment", Column::String(nc)));
+    TableConstraints tc;
+    tc.primary_key = {"n_nationkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("nation", std::move(nation), tc));
+  }
+
+  // ---- supplier ----
+  {
+    std::vector<int64_t> sk, snat;
+    std::vector<std::string> sname, saddr, sphone, scomment;
+    std::vector<double> sbal;
+    for (int64_t i = 1; i <= n_supplier; ++i) {
+      sk.push_back(i);
+      sname.push_back("Supplier#" + PadNum(i, 9));
+      saddr.push_back("addr" + std::to_string(Uniform(rng, 0, 99999)));
+      int64_t nat = Uniform(rng, 0, 24);
+      snat.push_back(nat);
+      sphone.push_back(std::to_string(nat + 10) + "-" +
+                       PadNum(Uniform(rng, 100, 999), 3) + "-" +
+                       PadNum(Uniform(rng, 100, 999), 3));
+      sbal.push_back(UniformF(rng, -999.99, 9999.99));
+      scomment.push_back(Comment(rng, 6));
+    }
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_suppkey", Column::Int64(sk)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_name", Column::String(sname)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_address", Column::String(saddr)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_nationkey", Column::Int64(snat)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_phone", Column::String(sphone)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_acctbal", Column::Float64(sbal)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("s_comment", Column::String(scomment)));
+    TableConstraints tc;
+    tc.primary_key = {"s_suppkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("supplier", std::move(t), tc));
+  }
+
+  // ---- part ----
+  {
+    std::vector<int64_t> pk, psize;
+    std::vector<std::string> pname, pmfgr, pbrand, ptype, pcontainer,
+        pcomment;
+    std::vector<double> pprice;
+    for (int64_t i = 1; i <= n_part; ++i) {
+      pk.push_back(i);
+      pname.push_back(std::string(kColors[Uniform(rng, 0, 11)]) + " " +
+                      kColors[Uniform(rng, 0, 11)] + " " +
+                      kColors[Uniform(rng, 0, 11)]);
+      int64_t m = Uniform(rng, 1, 5);
+      pmfgr.push_back("Manufacturer#" + std::to_string(m));
+      pbrand.push_back("Brand#" + std::to_string(m) +
+                       std::to_string(Uniform(rng, 1, 5)));
+      ptype.push_back(std::string(kTypes1[Uniform(rng, 0, 5)]) + " " +
+                      kTypes2[Uniform(rng, 0, 4)] + " " +
+                      kTypes3[Uniform(rng, 0, 4)]);
+      psize.push_back(Uniform(rng, 1, 50));
+      pcontainer.push_back(std::string(kContainers1[Uniform(rng, 0, 4)]) +
+                           " " + kContainers2[Uniform(rng, 0, 7)]);
+      pprice.push_back(900 + static_cast<double>(i % 1000) +
+                       UniformF(rng, 0, 100));
+      pcomment.push_back(Comment(rng, 3));
+    }
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_partkey", Column::Int64(pk)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_name", Column::String(pname)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_mfgr", Column::String(pmfgr)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_brand", Column::String(pbrand)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_type", Column::String(ptype)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_size", Column::Int64(psize)));
+    PYTOND_RETURN_IF_ERROR(
+        t.AddColumn("p_container", Column::String(pcontainer)));
+    PYTOND_RETURN_IF_ERROR(
+        t.AddColumn("p_retailprice", Column::Float64(pprice)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("p_comment", Column::String(pcomment)));
+    TableConstraints tc;
+    tc.primary_key = {"p_partkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("part", std::move(t), tc));
+  }
+
+  // ---- partsupp (4 suppliers per part) ----
+  {
+    std::vector<int64_t> pspk, pssk, psq;
+    std::vector<double> pscost;
+    std::vector<std::string> pscomment;
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        pspk.push_back(p);
+        pssk.push_back((p + j * (n_supplier / 4 + 1)) % n_supplier + 1);
+        psq.push_back(Uniform(rng, 1, 9999));
+        pscost.push_back(UniformF(rng, 1.0, 1000.0));
+        pscomment.push_back(Comment(rng, 3));
+      }
+    }
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("ps_partkey", Column::Int64(pspk)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("ps_suppkey", Column::Int64(pssk)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("ps_availqty", Column::Int64(psq)));
+    PYTOND_RETURN_IF_ERROR(
+        t.AddColumn("ps_supplycost", Column::Float64(pscost)));
+    PYTOND_RETURN_IF_ERROR(
+        t.AddColumn("ps_comment", Column::String(pscomment)));
+    TableConstraints tc;
+    tc.primary_key = {"ps_partkey", "ps_suppkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("partsupp", std::move(t), tc));
+  }
+
+  // ---- customer ----
+  {
+    std::vector<int64_t> ck, cnat;
+    std::vector<std::string> cname, caddr, cphone, cseg, ccomment;
+    std::vector<double> cbal;
+    for (int64_t i = 1; i <= n_customer; ++i) {
+      ck.push_back(i);
+      cname.push_back("Customer#" + PadNum(i, 9));
+      caddr.push_back("caddr" + std::to_string(Uniform(rng, 0, 99999)));
+      int64_t nat = Uniform(rng, 0, 24);
+      cnat.push_back(nat);
+      cphone.push_back(std::to_string(nat + 10) + "-" +
+                       PadNum(Uniform(rng, 100, 999), 3) + "-" +
+                       PadNum(Uniform(rng, 1000, 9999), 4));
+      cbal.push_back(UniformF(rng, -999.99, 9999.99));
+      cseg.push_back(kSegments[Uniform(rng, 0, 4)]);
+      ccomment.push_back(Comment(rng, 6));
+    }
+    Table t;
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_custkey", Column::Int64(ck)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_name", Column::String(cname)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_address", Column::String(caddr)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_nationkey", Column::Int64(cnat)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_phone", Column::String(cphone)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_acctbal", Column::Float64(cbal)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_mktsegment", Column::String(cseg)));
+    PYTOND_RETURN_IF_ERROR(t.AddColumn("c_comment", Column::String(ccomment)));
+    TableConstraints tc;
+    tc.primary_key = {"c_custkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("customer", std::move(t), tc));
+  }
+
+  // ---- orders + lineitem ----
+  {
+    std::vector<int64_t> ok, ocust, oship;
+    std::vector<std::string> ostatus, opri, oclerk, ocomment;
+    std::vector<double> ototal;
+    std::vector<int32_t> odate;
+
+    std::vector<int64_t> lok, lpk, lsk, lnum, lqty;
+    std::vector<double> lprice, ldisc, ltax;
+    std::vector<std::string> lret, lstat, linstr, lmode, lcomment;
+    std::vector<int32_t> lship, lcommit, lreceipt;
+
+    const int32_t cutoff = *date_util::FromYMD(1995, 6, 17);
+    for (int64_t i = 1; i <= n_orders; ++i) {
+      int64_t okey = i * 4 - 3;  // sparse keys like dbgen
+      ok.push_back(okey);
+      // Like dbgen: customers whose key is divisible by 3 place no orders
+      // (gives Q22 its "customers without orders" population).
+      int64_t cust = Uniform(rng, 1, n_customer);
+      while (cust % 3 == 0) cust = Uniform(rng, 1, n_customer);
+      ocust.push_back(cust);
+      int32_t od = RandomDate(rng, d_lo, d_hi - 151);
+      odate.push_back(od);
+      opri.push_back(kPriorities[Uniform(rng, 0, 4)]);
+      oclerk.push_back("Clerk#" + PadNum(Uniform(rng, 1, 1000), 9));
+      oship.push_back(0);
+      ocomment.push_back(Comment(rng, 5));
+
+      int nlines = static_cast<int>(Uniform(rng, 1, 7));
+      double order_total = 0;
+      bool all_f = true, all_o = true;
+      for (int ln = 1; ln <= nlines; ++ln) {
+        lok.push_back(okey);
+        int64_t partkey = Uniform(rng, 1, n_part);
+        lpk.push_back(partkey);
+        lsk.push_back((partkey + Uniform(rng, 0, 3) * (n_supplier / 4 + 1)) %
+                          n_supplier +
+                      1);
+        lnum.push_back(ln);
+        int64_t qty = Uniform(rng, 1, 50);
+        lqty.push_back(qty);
+        double price =
+            static_cast<double>(qty) * (900 + static_cast<double>(partkey % 1000));
+        lprice.push_back(price);
+        double disc = static_cast<double>(Uniform(rng, 0, 10)) / 100.0;
+        ldisc.push_back(disc);
+        ltax.push_back(static_cast<double>(Uniform(rng, 0, 8)) / 100.0);
+        int32_t ship = od + static_cast<int32_t>(Uniform(rng, 1, 121));
+        int32_t commit = od + static_cast<int32_t>(Uniform(rng, 30, 90));
+        int32_t receipt = ship + static_cast<int32_t>(Uniform(rng, 1, 30));
+        lship.push_back(ship);
+        lcommit.push_back(commit);
+        lreceipt.push_back(receipt);
+        if (receipt <= cutoff) {
+          lret.push_back(Uniform(rng, 0, 1) ? "R" : "A");
+        } else {
+          lret.push_back("N");
+        }
+        if (ship > cutoff) {
+          lstat.push_back("O");
+          all_f = false;
+        } else {
+          lstat.push_back("F");
+          all_o = false;
+        }
+        linstr.push_back(kInstructs[Uniform(rng, 0, 3)]);
+        lmode.push_back(kShipModes[Uniform(rng, 0, 6)]);
+        lcomment.push_back(Comment(rng, 3));
+        order_total += price * (1 - disc);
+      }
+      ototal.push_back(order_total);
+      ostatus.push_back(all_f ? "F" : (all_o ? "O" : "P"));
+    }
+    Table orders;
+    PYTOND_RETURN_IF_ERROR(orders.AddColumn("o_orderkey", Column::Int64(ok)));
+    PYTOND_RETURN_IF_ERROR(orders.AddColumn("o_custkey", Column::Int64(ocust)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_orderstatus", Column::String(ostatus)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_totalprice", Column::Float64(ototal)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_orderdate", Column::Date(odate)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_orderpriority", Column::String(opri)));
+    PYTOND_RETURN_IF_ERROR(orders.AddColumn("o_clerk", Column::String(oclerk)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_shippriority", Column::Int64(oship)));
+    PYTOND_RETURN_IF_ERROR(
+        orders.AddColumn("o_comment", Column::String(ocomment)));
+    TableConstraints otc;
+    otc.primary_key = {"o_orderkey"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("orders", std::move(orders), otc));
+
+    Table li;
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_orderkey", Column::Int64(lok)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_partkey", Column::Int64(lpk)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_suppkey", Column::Int64(lsk)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_linenumber", Column::Int64(lnum)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_quantity", Column::Int64(lqty)));
+    PYTOND_RETURN_IF_ERROR(
+        li.AddColumn("l_extendedprice", Column::Float64(lprice)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_discount", Column::Float64(ldisc)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_tax", Column::Float64(ltax)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_returnflag", Column::String(lret)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_linestatus", Column::String(lstat)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_shipdate", Column::Date(lship)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_commitdate", Column::Date(lcommit)));
+    PYTOND_RETURN_IF_ERROR(
+        li.AddColumn("l_receiptdate", Column::Date(lreceipt)));
+    PYTOND_RETURN_IF_ERROR(
+        li.AddColumn("l_shipinstruct", Column::String(linstr)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_shipmode", Column::String(lmode)));
+    PYTOND_RETURN_IF_ERROR(li.AddColumn("l_comment", Column::String(lcomment)));
+    TableConstraints ltc;
+    ltc.primary_key = {"l_orderkey", "l_linenumber"};
+    PYTOND_RETURN_IF_ERROR(db->CreateTable("lineitem", std::move(li), ltc));
+  }
+  return Status::OK();
+}
+
+}  // namespace pytond::workloads::tpch

@@ -1,0 +1,18 @@
+#ifndef PYTOND_WORKLOADS_TPCH_DBGEN_H_
+#define PYTOND_WORKLOADS_TPCH_DBGEN_H_
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace pytond::workloads::tpch {
+
+/// Deterministic TPC-H-like data generator. Produces all eight tables with
+/// the standard schemas, key structure, value domains and selectivity-
+/// relevant distributions at the requested scale factor (SF 1.0 ≈ the
+/// official 6M-lineitem dataset; tests use much smaller factors). Loads
+/// tables with their primary-key constraints into `db`.
+Status Populate(engine::Database* db, double scale_factor, uint64_t seed = 42);
+
+}  // namespace pytond::workloads::tpch
+
+#endif  // PYTOND_WORKLOADS_TPCH_DBGEN_H_

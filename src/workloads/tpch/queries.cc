@@ -1,0 +1,403 @@
+#include "workloads/tpch/queries.h"
+
+namespace pytond::workloads::tpch {
+
+namespace {
+
+const char* kQ1 = R"PY(
+@pytond()
+def q1(lineitem):
+    f = lineitem[lineitem.l_shipdate <= '1998-09-02']
+    f['disc_price'] = f.l_extendedprice * (1 - f.l_discount)
+    f['charge'] = f.l_extendedprice * (1 - f.l_discount) * (1 + f.l_tax)
+    g = f.groupby(['l_returnflag', 'l_linestatus']).agg(
+        sum_qty=('l_quantity', 'sum'),
+        sum_base_price=('l_extendedprice', 'sum'),
+        sum_disc_price=('disc_price', 'sum'),
+        sum_charge=('charge', 'sum'),
+        avg_qty=('l_quantity', 'mean'),
+        avg_price=('l_extendedprice', 'mean'),
+        avg_disc=('l_discount', 'mean'),
+        count_order=('l_quantity', 'count'))
+    out = g.sort_values(by=['l_returnflag', 'l_linestatus'])
+    return out
+)PY";
+
+const char* kQ2 = R"PY(
+@pytond()
+def q2(part, supplier, partsupp, nation, region):
+    r = region[region.r_name == 'EUROPE']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    p = part[(part.p_size == 15) & (part.p_type.str.endswith('BRASS'))]
+    j = p.merge(ps, left_on='p_partkey', right_on='ps_partkey')
+    mn = j.groupby(['p_partkey']).agg(min_cost=('ps_supplycost', 'min'))
+    j2 = j.merge(mn, left_on='p_partkey', right_on='p_partkey')
+    j3 = j2[j2.ps_supplycost == j2.min_cost]
+    out = j3[['s_acctbal', 's_name', 'n_name', 'p_partkey', 'p_mfgr',
+              's_address', 's_phone', 's_comment']]
+    out2 = out.sort_values(by=['s_acctbal', 'n_name', 's_name', 'p_partkey'],
+                           ascending=[False, True, True, True]).head(100)
+    return out2
+)PY";
+
+const char* kQ3 = R"PY(
+@pytond()
+def q3(customer, orders, lineitem):
+    c = customer[customer.c_mktsegment == 'BUILDING']
+    o = orders[orders.o_orderdate < '1995-03-15']
+    l = lineitem[lineitem.l_shipdate > '1995-03-15']
+    co = c.merge(o, left_on='c_custkey', right_on='o_custkey')
+    col = co.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    col['volume'] = col.l_extendedprice * (1 - col.l_discount)
+    g = col.groupby(['l_orderkey', 'o_orderdate', 'o_shippriority']).agg(
+        revenue=('volume', 'sum'))
+    out = g.sort_values(by=['revenue', 'o_orderdate'],
+                        ascending=[False, True]).head(10)
+    return out
+)PY";
+
+const char* kQ4 = R"PY(
+@pytond()
+def q4(orders, lineitem):
+    l = lineitem[lineitem.l_commitdate < lineitem.l_receiptdate]
+    o = orders[(orders.o_orderdate >= '1993-07-01') &
+               (orders.o_orderdate < '1993-10-01')]
+    f = o[o.o_orderkey.isin(l['l_orderkey'])]
+    g = f.groupby(['o_orderpriority']).agg(order_count=('o_orderkey', 'count'))
+    out = g.sort_values(by=['o_orderpriority'])
+    return out
+)PY";
+
+const char* kQ5 = R"PY(
+@pytond()
+def q5(customer, orders, lineitem, supplier, nation, region):
+    r = region[region.r_name == 'ASIA']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    o = orders[(orders.o_orderdate >= '1994-01-01') &
+               (orders.o_orderdate < '1995-01-01')]
+    co = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    l = lineitem.merge(co, left_on='l_orderkey', right_on='o_orderkey')
+    j = l.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    j2 = j[j.c_nationkey == j.s_nationkey]
+    j2['volume'] = j2.l_extendedprice * (1 - j2.l_discount)
+    g = j2.groupby(['n_name']).agg(revenue=('volume', 'sum'))
+    out = g.sort_values(by=['revenue'], ascending=[False])
+    return out
+)PY";
+
+const char* kQ6 = R"PY(
+@pytond()
+def q6(lineitem):
+    f = lineitem[(lineitem.l_shipdate >= '1994-01-01') &
+                 (lineitem.l_shipdate < '1995-01-01') &
+                 (lineitem.l_discount >= 0.05) &
+                 (lineitem.l_discount <= 0.07) &
+                 (lineitem.l_quantity < 24)]
+    f['rev'] = f.l_extendedprice * f.l_discount
+    out = f.agg(revenue=('rev', 'sum'))
+    return out
+)PY";
+
+const char* kQ7 = R"PY(
+@pytond()
+def q7(supplier, lineitem, orders, customer, nation):
+    n1 = nation[(nation.n_name == 'FRANCE') | (nation.n_name == 'GERMANY')]
+    s = supplier.merge(n1, left_on='s_nationkey', right_on='n_nationkey')
+    l = lineitem[(lineitem.l_shipdate >= '1995-01-01') &
+                 (lineitem.l_shipdate <= '1996-12-31')]
+    sl = s.merge(l, left_on='s_suppkey', right_on='l_suppkey')
+    o = orders.merge(sl, left_on='o_orderkey', right_on='l_orderkey')
+    c = customer.merge(n1, left_on='c_nationkey', right_on='n_nationkey')
+    j = o.merge(c, left_on='o_custkey', right_on='c_custkey')
+    j2 = j[((j.n_name_x == 'FRANCE') & (j.n_name_y == 'GERMANY')) |
+           ((j.n_name_x == 'GERMANY') & (j.n_name_y == 'FRANCE'))]
+    j2['l_year'] = j2.l_shipdate.dt.year
+    j2['volume'] = j2.l_extendedprice * (1 - j2.l_discount)
+    g = j2.groupby(['n_name_x', 'n_name_y', 'l_year']).agg(
+        revenue=('volume', 'sum'))
+    out = g.sort_values(by=['n_name_x', 'n_name_y', 'l_year'])
+    return out
+)PY";
+
+const char* kQ8 = R"PY(
+@pytond()
+def q8(part, supplier, lineitem, orders, customer, nation, region):
+    r = region[region.r_name == 'AMERICA']
+    n1 = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    c = customer.merge(n1, left_on='c_nationkey', right_on='n_nationkey')
+    o = orders[(orders.o_orderdate >= '1995-01-01') &
+               (orders.o_orderdate <= '1996-12-31')]
+    co = c.merge(o, left_on='c_custkey', right_on='o_custkey')
+    p = part[part.p_type == 'ECONOMY ANODIZED STEEL']
+    l = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    lo = l.merge(co, left_on='l_orderkey', right_on='o_orderkey')
+    s = supplier.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    j = lo.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    j['o_year'] = j.o_orderdate.dt.year
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    j['brazil_volume'] = np.where(j.n_name_y == 'BRAZIL', j.volume, 0.0)
+    g = j.groupby(['o_year']).agg(total=('volume', 'sum'),
+                                  brazil=('brazil_volume', 'sum'))
+    g['mkt_share'] = g.brazil / g.total
+    out = g[['o_year', 'mkt_share']]
+    out2 = out.sort_values(by=['o_year'])
+    return out2
+)PY";
+
+const char* kQ9 = R"PY(
+@pytond()
+def q9(part, supplier, lineitem, partsupp, orders, nation):
+    p = part[part.p_name.str.contains('green')]
+    l = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    ps = partsupp.merge(l, left_on=['ps_partkey', 'ps_suppkey'],
+                        right_on=['l_partkey', 'l_suppkey'])
+    s = supplier.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    j = ps.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    o = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    o['o_year'] = o.o_orderdate.dt.year
+    o['amount'] = o.l_extendedprice * (1 - o.l_discount) - o.ps_supplycost * o.l_quantity
+    g = o.groupby(['n_name', 'o_year']).agg(sum_profit=('amount', 'sum'))
+    out = g.sort_values(by=['n_name', 'o_year'], ascending=[True, False])
+    return out
+)PY";
+
+const char* kQ10 = R"PY(
+@pytond()
+def q10(customer, orders, lineitem, nation):
+    o = orders[(orders.o_orderdate >= '1993-10-01') &
+               (orders.o_orderdate < '1994-01-01')]
+    l = lineitem[lineitem.l_returnflag == 'R']
+    co = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    col = co.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j = col.merge(nation, left_on='c_nationkey', right_on='n_nationkey')
+    j['volume'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['c_custkey', 'c_name', 'c_acctbal', 'c_phone', 'n_name',
+                   'c_address', 'c_comment']).agg(revenue=('volume', 'sum'))
+    out = g.sort_values(by=['revenue'], ascending=[False]).head(20)
+    return out
+)PY";
+
+const char* kQ11 = R"PY(
+@pytond()
+def q11(partsupp, supplier, nation):
+    n = nation[nation.n_name == 'GERMANY']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    ps['value'] = ps.ps_supplycost * ps.ps_availqty
+    g = ps.groupby(['ps_partkey']).agg(value=('value', 'sum'))
+    t = ps.agg(total=('value', 'sum'))
+    j = g.merge(t, how='cross')
+    f = j[j.value > j.total * 0.0001]
+    out = f[['ps_partkey', 'value']]
+    out2 = out.sort_values(by=['value'], ascending=[False])
+    return out2
+)PY";
+
+const char* kQ12 = R"PY(
+@pytond()
+def q12(orders, lineitem):
+    l = lineitem[(lineitem.l_shipmode.isin(['MAIL', 'SHIP'])) &
+                 (lineitem.l_commitdate < lineitem.l_receiptdate) &
+                 (lineitem.l_shipdate < lineitem.l_commitdate) &
+                 (lineitem.l_receiptdate >= '1994-01-01') &
+                 (lineitem.l_receiptdate < '1995-01-01')]
+    j = orders.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j['high'] = np.where((j.o_orderpriority == '1-URGENT') |
+                         (j.o_orderpriority == '2-HIGH'), 1, 0)
+    j['low'] = np.where((j.o_orderpriority != '1-URGENT') &
+                        (j.o_orderpriority != '2-HIGH'), 1, 0)
+    g = j.groupby(['l_shipmode']).agg(high_line_count=('high', 'sum'),
+                                      low_line_count=('low', 'sum'))
+    out = g.sort_values(by=['l_shipmode'])
+    return out
+)PY";
+
+const char* kQ13 = R"PY(
+@pytond()
+def q13(customer, orders):
+    o = orders[~(orders.o_comment.str.contains('special%requests'))]
+    j = customer.merge(o, left_on='c_custkey', right_on='o_custkey',
+                       how='left')
+    g = j.groupby(['c_custkey']).agg(c_count=('o_orderkey', 'count'))
+    d = g.groupby(['c_count']).agg(custdist=('c_custkey', 'count'))
+    out = d.sort_values(by=['custdist', 'c_count'], ascending=[False, False])
+    return out
+)PY";
+
+const char* kQ14 = R"PY(
+@pytond()
+def q14(lineitem, part):
+    l = lineitem[(lineitem.l_shipdate >= '1995-09-01') &
+                 (lineitem.l_shipdate < '1995-10-01')]
+    j = l.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j['rev'] = j.l_extendedprice * (1 - j.l_discount)
+    j['promo_rev'] = np.where(j.p_type.str.startswith('PROMO'), j.rev, 0.0)
+    t = j.agg(promo=('promo_rev', 'sum'), total=('rev', 'sum'))
+    t['promo_revenue'] = 100.0 * t.promo / t.total
+    out = t[['promo_revenue']]
+    return out
+)PY";
+
+const char* kQ15 = R"PY(
+@pytond()
+def q15(lineitem, supplier):
+    l = lineitem[(lineitem.l_shipdate >= '1996-01-01') &
+                 (lineitem.l_shipdate < '1996-04-01')]
+    l['rev'] = l.l_extendedprice * (1 - l.l_discount)
+    g = l.groupby(['l_suppkey']).agg(total_revenue=('rev', 'sum'))
+    m = g.agg(max_rev=('total_revenue', 'max'))
+    j = g.merge(m, how='cross')
+    f = j[j.total_revenue == j.max_rev]
+    out = f.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    out2 = out[['s_suppkey', 's_name', 's_address', 's_phone',
+                'total_revenue']]
+    out3 = out2.sort_values(by=['s_suppkey'])
+    return out3
+)PY";
+
+const char* kQ16 = R"PY(
+@pytond()
+def q16(partsupp, part, supplier):
+    bad = supplier[supplier.s_comment.str.contains('Customer%Complaints')]
+    p = part[(part.p_brand != 'Brand#45') &
+             (~(part.p_type.str.startswith('MEDIUM POLISHED'))) &
+             (part.p_size.isin([49, 14, 23, 45, 19, 3, 36, 9]))]
+    j = partsupp.merge(p, left_on='ps_partkey', right_on='p_partkey')
+    f = j[~j.ps_suppkey.isin(bad['s_suppkey'])]
+    g = f.groupby(['p_brand', 'p_type', 'p_size']).agg(
+        supplier_cnt=('ps_suppkey', 'nunique'))
+    out = g.sort_values(by=['supplier_cnt', 'p_brand', 'p_type', 'p_size'],
+                        ascending=[False, True, True, True])
+    return out
+)PY";
+
+const char* kQ17 = R"PY(
+@pytond()
+def q17(lineitem, part):
+    p = part[(part.p_brand == 'Brand#23') & (part.p_container == 'MED BOX')]
+    j = lineitem.merge(p, left_on='l_partkey', right_on='p_partkey')
+    g = j.groupby(['l_partkey']).agg(avg_qty=('l_quantity', 'mean'))
+    j2 = j.merge(g, left_on='l_partkey', right_on='l_partkey')
+    f = j2[j2.l_quantity < 0.2 * j2.avg_qty]
+    t = f.agg(total=('l_extendedprice', 'sum'))
+    t['avg_yearly'] = t.total / 7.0
+    out = t[['avg_yearly']]
+    return out
+)PY";
+
+const char* kQ18 = R"PY(
+@pytond()
+def q18(customer, orders, lineitem):
+    g = lineitem.groupby(['l_orderkey']).agg(sum_qty=('l_quantity', 'sum'))
+    big = g[g.sum_qty > 300]
+    o = orders[orders.o_orderkey.isin(big['l_orderkey'])]
+    co = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    j = co.merge(lineitem, left_on='o_orderkey', right_on='l_orderkey')
+    g2 = j.groupby(['c_name', 'c_custkey', 'o_orderkey', 'o_orderdate',
+                    'o_totalprice']).agg(total_qty=('l_quantity', 'sum'))
+    out = g2.sort_values(by=['o_totalprice', 'o_orderdate'],
+                         ascending=[False, True]).head(100)
+    return out
+)PY";
+
+const char* kQ19 = R"PY(
+@pytond()
+def q19(lineitem, part):
+    j = lineitem.merge(part, left_on='l_partkey', right_on='p_partkey')
+    f = j[(j.l_shipmode.isin(['AIR', 'AIR REG'])) &
+          (j.l_shipinstruct == 'DELIVER IN PERSON')]
+    m = f[((f.p_brand == 'Brand#12') &
+           (f.p_container.isin(['SM CASE', 'SM BOX', 'SM PACK', 'SM PKG'])) &
+           (f.l_quantity >= 1) & (f.l_quantity <= 11) &
+           (f.p_size >= 1) & (f.p_size <= 5)) |
+          ((f.p_brand == 'Brand#23') &
+           (f.p_container.isin(['MED BAG', 'MED BOX', 'MED PKG', 'MED PACK'])) &
+           (f.l_quantity >= 10) & (f.l_quantity <= 20) &
+           (f.p_size >= 1) & (f.p_size <= 10)) |
+          ((f.p_brand == 'Brand#34') &
+           (f.p_container.isin(['LG CASE', 'LG BOX', 'LG PACK', 'LG PKG'])) &
+           (f.l_quantity >= 20) & (f.l_quantity <= 30) &
+           (f.p_size >= 1) & (f.p_size <= 15))]
+    m['rev'] = m.l_extendedprice * (1 - m.l_discount)
+    out = m.agg(revenue=('rev', 'sum'))
+    return out
+)PY";
+
+const char* kQ20 = R"PY(
+@pytond()
+def q20(supplier, nation, partsupp, part, lineitem):
+    n = nation[nation.n_name == 'CANADA']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    p = part[part.p_name.str.startswith('forest')]
+    ps = partsupp[partsupp.ps_partkey.isin(p['p_partkey'])]
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') &
+                 (lineitem.l_shipdate < '1995-01-01')]
+    lg = l.groupby(['l_partkey', 'l_suppkey']).agg(sum_qty=('l_quantity', 'sum'))
+    j = ps.merge(lg, left_on=['ps_partkey', 'ps_suppkey'],
+                 right_on=['l_partkey', 'l_suppkey'])
+    f = j[j.ps_availqty > 0.5 * j.sum_qty]
+    out = s[s.s_suppkey.isin(f['ps_suppkey'])]
+    out2 = out[['s_name', 's_address']]
+    out3 = out2.sort_values(by=['s_name'])
+    return out3
+)PY";
+
+const char* kQ21 = R"PY(
+@pytond()
+def q21(supplier, lineitem, orders, nation):
+    n = nation[nation.n_name == 'SAUDI ARABIA']
+    l1 = lineitem[lineitem.l_receiptdate > lineitem.l_commitdate]
+    g = lineitem.groupby(['l_orderkey']).agg(nsupp=('l_suppkey', 'nunique'))
+    multi = g[g.nsupp > 1]
+    gl = l1.groupby(['l_orderkey']).agg(nlate=('l_suppkey', 'nunique'))
+    single_late = gl[gl.nlate == 1]
+    o = orders[orders.o_orderstatus == 'F']
+    j = l1.merge(o, left_on='l_orderkey', right_on='o_orderkey')
+    j2 = j[j.l_orderkey.isin(multi['l_orderkey'])]
+    j3 = j2[j2.l_orderkey.isin(single_late['l_orderkey'])]
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    j4 = j3.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    g2 = j4.groupby(['s_name']).agg(numwait=('l_orderkey', 'count'))
+    out = g2.sort_values(by=['numwait', 's_name'],
+                         ascending=[False, True]).head(100)
+    return out
+)PY";
+
+const char* kQ22 = R"PY(
+@pytond()
+def q22(customer, orders):
+    c = customer.copy()
+    c['cntrycode'] = c.c_phone.str.slice(0, 2)
+    f = c[c.cntrycode.isin(['13', '31', '23', '29', '30', '18', '17'])]
+    pos = f[f.c_acctbal > 0.0]
+    a = pos.agg(avg_bal=('c_acctbal', 'mean'))
+    j = f.merge(a, how='cross')
+    rich = j[j.c_acctbal > j.avg_bal]
+    noord = rich[~rich.c_custkey.isin(orders['o_custkey'])]
+    g = noord.groupby(['cntrycode']).agg(numcust=('c_custkey', 'count'),
+                                         totacctbal=('c_acctbal', 'sum'))
+    out = g.sort_values(by=['cntrycode'])
+    return out
+)PY";
+
+}  // namespace
+
+const std::vector<Query>& AllQueries() {
+  static const std::vector<Query>* kQueries = new std::vector<Query>{
+      {1, "Q1", kQ1},    {2, "Q2", kQ2},    {3, "Q3", kQ3},
+      {4, "Q4", kQ4},    {5, "Q5", kQ5},    {6, "Q6", kQ6},
+      {7, "Q7", kQ7},    {8, "Q8", kQ8},    {9, "Q9", kQ9},
+      {10, "Q10", kQ10}, {11, "Q11", kQ11}, {12, "Q12", kQ12},
+      {13, "Q13", kQ13}, {14, "Q14", kQ14}, {15, "Q15", kQ15},
+      {16, "Q16", kQ16}, {17, "Q17", kQ17}, {18, "Q18", kQ18},
+      {19, "Q19", kQ19}, {20, "Q20", kQ20}, {21, "Q21", kQ21},
+      {22, "Q22", kQ22}};
+  return *kQueries;
+}
+
+const Query& GetQuery(int id) { return AllQueries().at(id - 1); }
+
+}  // namespace pytond::workloads::tpch

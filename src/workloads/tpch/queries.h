@@ -1,0 +1,27 @@
+#ifndef PYTOND_WORKLOADS_TPCH_QUERIES_H_
+#define PYTOND_WORKLOADS_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace pytond::workloads::tpch {
+
+/// One TPC-H query as a Pandas-dialect @pytond program. The same source
+/// drives both PyTond compilation and the eager baseline interpreter,
+/// exactly like the paper runs the same Python through both systems.
+struct Query {
+  int id;                   // 1..22
+  const char* name;         // "Q1" ...
+  const char* source;       // @pytond function text
+};
+
+/// All 22 queries ("PyTond is the first approach offering complete
+/// coverage for the TPC-H benchmark", paper §V-B).
+const std::vector<Query>& AllQueries();
+
+/// Lookup by id; terminates on bad id (programmer error).
+const Query& GetQuery(int id);
+
+}  // namespace pytond::workloads::tpch
+
+#endif  // PYTOND_WORKLOADS_TPCH_QUERIES_H_

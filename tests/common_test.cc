@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/date_util.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace pytond {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table 'x'");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PYTOND_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("x")).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int64(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value::Float64(1.5).AsFloat64(), 1.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Float64(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Float64(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int64(3), Value::Float64(3.0));
+  EXPECT_NE(Value::Int64(3), Value::Float64(3.5));
+  EXPECT_NE(Value::String("3"), Value::Int64(3));
+}
+
+TEST(DataTypeTest, CommonNumericType) {
+  EXPECT_EQ(CommonNumericType(DataType::kInt64, DataType::kFloat64),
+            DataType::kFloat64);
+  EXPECT_EQ(CommonNumericType(DataType::kInt64, DataType::kInt64),
+            DataType::kInt64);
+  EXPECT_EQ(CommonNumericType(DataType::kBool, DataType::kInt64),
+            DataType::kInt64);
+  EXPECT_EQ(CommonNumericType(DataType::kString, DataType::kInt64),
+            DataType::kNull);
+}
+
+TEST(DateUtilTest, RoundTrip) {
+  auto d = date_util::FromYMD(1994, 1, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(date_util::Format(*d), "1994-01-01");
+  int y, m, dd;
+  date_util::ToYMD(*d, &y, &m, &dd);
+  EXPECT_EQ(y, 1994);
+  EXPECT_EQ(m, 1);
+  EXPECT_EQ(dd, 1);
+}
+
+TEST(DateUtilTest, EpochIsZero) {
+  EXPECT_EQ(*date_util::FromYMD(1970, 1, 1), 0);
+  EXPECT_EQ(*date_util::FromYMD(1970, 1, 2), 1);
+}
+
+TEST(DateUtilTest, RejectsInvalid) {
+  EXPECT_FALSE(date_util::FromYMD(1994, 13, 1).ok());
+  EXPECT_FALSE(date_util::FromYMD(1994, 2, 30).ok());
+  EXPECT_TRUE(date_util::FromYMD(1996, 2, 29).ok());  // leap year
+  EXPECT_FALSE(date_util::FromYMD(1900, 2, 29).ok());  // century non-leap
+}
+
+TEST(DateUtilTest, Parse) {
+  auto d = date_util::Parse("1998-09-02");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(date_util::Year(*d), 1998);
+  EXPECT_EQ(date_util::Month(*d), 9);
+  EXPECT_FALSE(date_util::Parse("not-a-date").ok());
+}
+
+TEST(DateUtilTest, IntervalArithmetic) {
+  int32_t d = *date_util::FromYMD(1994, 1, 31);
+  EXPECT_EQ(date_util::Format(date_util::AddMonths(d, 1)), "1994-02-28");
+  EXPECT_EQ(date_util::Format(date_util::AddMonths(d, -2)), "1993-11-30");
+  EXPECT_EQ(date_util::Format(date_util::AddYears(d, 1)), "1995-01-31");
+  EXPECT_EQ(date_util::Format(date_util::AddDays(d, 1)), "1994-02-01");
+}
+
+TEST(StringUtilTest, LikeWildcards) {
+  using string_util::Like;
+  EXPECT_TRUE(Like("PROMO BRUSHED STEEL", "PROMO%"));
+  EXPECT_FALSE(Like("STANDARD STEEL", "PROMO%"));
+  EXPECT_TRUE(Like("LARGE BRASS", "%BRASS"));
+  EXPECT_TRUE(Like("forest green metallic", "%green%"));
+  EXPECT_TRUE(Like("abc", "a_c"));
+  EXPECT_FALSE(Like("abbc", "a_c"));
+  EXPECT_TRUE(Like("special packages requests", "special%requests%"));
+  EXPECT_TRUE(Like("", "%"));
+  EXPECT_FALSE(Like("", "_"));
+  EXPECT_TRUE(Like("x", "%%x%%"));
+}
+
+TEST(StringUtilTest, SplitJoinStrip) {
+  auto parts = string_util::Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(string_util::Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(string_util::Strip("  hi \n"), "hi");
+  EXPECT_TRUE(string_util::StartsWith("foobar", "foo"));
+  EXPECT_TRUE(string_util::EndsWith("foobar", "bar"));
+  EXPECT_TRUE(string_util::Contains("foobar", "oba"));
+}
+
+}  // namespace
+}  // namespace pytond

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/session.h"
+#include "frontend/translate/einsum.h"
+
+namespace pytond::frontend {
+namespace {
+
+/// Builds a dense matrix table `name(id, c0..c{cols-1})` with random
+/// values, and its COO twin `name_coo`.
+void MakeMatrix(Session* session, const std::string& name, size_t rows,
+                size_t cols, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Table t;
+  std::vector<int64_t> ids(rows);
+  std::iota(ids.begin(), ids.end(), 0);
+  ASSERT_TRUE(t.AddColumn("id", Column::Int64(std::move(ids))).ok());
+  std::vector<int64_t> cr, cc;
+  std::vector<double> cv;
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> col(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      col[r] = static_cast<double>(rng() % 19) - 9.0;
+      if (col[r] != 0.0) {
+        cr.push_back(static_cast<int64_t>(r));
+        cc.push_back(static_cast<int64_t>(c));
+        cv.push_back(col[r]);
+      }
+    }
+    ASSERT_TRUE(t.AddColumn("c" + std::to_string(c),
+                            Column::Float64(std::move(col)))
+                    .ok());
+  }
+  TableConstraints pk;
+  pk.primary_key = {"id"};
+  ASSERT_TRUE(session->db().CreateTable(name, std::move(t), pk).ok());
+  Table coo;
+  ASSERT_TRUE(coo.AddColumn("row_id", Column::Int64(std::move(cr))).ok());
+  ASSERT_TRUE(coo.AddColumn("col_id", Column::Int64(std::move(cc))).ok());
+  ASSERT_TRUE(coo.AddColumn("val", Column::Float64(std::move(cv))).ok());
+  ASSERT_TRUE(session->db().CreateTable(name + "_coo", std::move(coo)).ok());
+}
+
+struct EinsumCase {
+  const char* spec;
+  int operands;  // 1 or 2
+  size_t rows;
+  size_t cols;
+};
+
+/// Property: for each supported dense kernel, PyTond's compiled SQL agrees
+/// with the eager reference over random matrices.
+class DenseEinsumTest : public ::testing::TestWithParam<EinsumCase> {};
+
+TEST_P(DenseEinsumTest, CompiledMatchesEager) {
+  const EinsumCase& c = GetParam();
+  Session session;
+  MakeMatrix(&session, "m1", c.rows, c.cols, 101 + c.rows * 7 + c.cols);
+  MakeMatrix(&session, "m2", c.rows, c.cols, 577 + c.cols * 3);
+  std::string source =
+      std::string("@pytond()\n") + "def f(m1, m2):\n" +
+      "    a = m1.to_numpy()\n" + "    b = m2.to_numpy()\n" +
+      "    out = np.einsum('" + c.spec + "', " +
+      (c.operands == 1 ? "a" : "a, b") + ")\n" + "    return out\n";
+  auto eager = session.RunBaseline(source);
+  ASSERT_TRUE(eager.ok()) << c.spec << ": " << eager.status().ToString();
+  auto compiled = session.Run(source);
+  ASSERT_TRUE(compiled.ok()) << c.spec << ": "
+                             << compiled.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**compiled, *eager, 1e-6, &diff))
+      << c.spec << ": " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, DenseEinsumTest,
+    ::testing::Values(EinsumCase{"ij->", 1, 40, 3},
+                      EinsumCase{"ij->i", 1, 40, 3},
+                      EinsumCase{"ij,ij->ij", 2, 30, 4},
+                      EinsumCase{"ij,ik->jk", 2, 50, 3},
+                      EinsumCase{"ij,ik->jk", 2, 17, 5},
+                      EinsumCase{"ij,jk->ik", 2, 4, 4}),
+    [](const ::testing::TestParamInfo<EinsumCase>& info) {
+      std::string s = info.param.spec;
+      for (char& ch : s) {
+        if (ch == ',' ) ch = '_';
+        if (ch == '-' || ch == '>') ch = 'T';
+      }
+      return s + "_" + std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+/// Property: sparse (COO) lowering computes the same contraction as the
+/// dense one, for varying shapes and sparsity patterns.
+class SparseDenseAgreementTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SparseDenseAgreementTest, GramMatrixAgrees) {
+  auto [rows, cols] = GetParam();
+  Session session;
+  MakeMatrix(&session, "m", rows, cols, rows * 31 + cols);
+  std::string dense_src =
+      "@pytond()\ndef f(m):\n    a = m.to_numpy()\n"
+      "    out = np.einsum('ij,ik->jk', a, a)\n    return out\n";
+  std::string sparse_src =
+      "@pytond(layout='sparse')\ndef f(m_coo):\n"
+      "    out = np.einsum('ij,ik->jk', m_coo, m_coo)\n    return out\n";
+  auto dense = session.Run(dense_src);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  auto sparse = session.Run(sparse_src);
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+  // Compare cellwise: sparse emits (row, col, val) triples without zeros.
+  const Table& d = **dense;
+  const Table& s = **sparse;
+  double checked = 0;
+  for (size_t i = 0; i < s.num_rows(); ++i) {
+    auto r = static_cast<size_t>(s.column(0).Get(i).AsInt64());
+    auto c = static_cast<size_t>(s.column(1).Get(i).AsInt64());
+    double v = s.column(2).Get(i).ToDouble();
+    EXPECT_NEAR(v, d.column(c + 1).Get(r).ToDouble(), 1e-6)
+        << "(" << r << "," << c << ")";
+    checked += 1;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SparseDenseAgreementTest,
+                         ::testing::Values(std::make_pair(10, 2),
+                                           std::make_pair(64, 3),
+                                           std::make_pair(33, 6),
+                                           std::make_pair(128, 4)));
+
+/// Property: the einsum planner is deterministic and its final step is
+/// always a recognized kernel.
+class PlannerSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlannerSweepTest, ConvergesToKernel) {
+  auto spec = ParseEinsumSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  auto plan = PlanEinsum(*spec);
+  ASSERT_TRUE(plan.ok()) << GetParam() << ": " << plan.status().ToString();
+  ASSERT_FALSE(plan->empty());
+  const std::string& last = plan->back().kernel;
+  EXPECT_TRUE(last.rfind("ES", 0) == 0 || last == "COLSUM" ||
+              last == "MATSUM" || last == "INNER" || last == "MATVEC" ||
+              last == "MATMUL" || last == "VSCALE" || last == "MSCALE")
+      << GetParam() << " ended with step '" << last << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, PlannerSweepTest,
+    ::testing::Values("i->", "ij->i", "ij->j", "ii->i", "ij->",
+                      "i,i->", "ij,ij->ij", "ij,ik->jk", "ij,ik->ij",
+                      "ij,jk->ik", "ij,j->i", "ab,cc->ba", "ij,kk->ij",
+                      "aa,bc->bc", "ab,b->a"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string s = info.param;
+      std::string out;
+      for (char ch : s) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) out += ch;
+        else out += '_';
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace pytond::frontend
+
+namespace pytond::frontend {
+namespace {
+
+TEST(NaryEinsumTest, ContractionPathCoversAllOperands) {
+  auto spec = ParseEinsumSpec("ij,jk,k->i");
+  ASSERT_TRUE(spec.ok());
+  auto path = PlanContractionPath(*spec);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  ASSERT_EQ(path->size(), 2u);
+  // Greedy order: matmul first, then matvec.
+  EXPECT_EQ(path->at(0).binary.ToString(), "ij,jk->ik");
+  EXPECT_EQ(path->at(1).binary.ToString(), "ik,k->i");
+}
+
+TEST(NaryEinsumTest, IntermediatesStayWithinOrderTwo) {
+  // A 4-operand ring contraction: every intermediate must keep at most
+  // two live letters (matrix-representable).
+  auto spec = ParseEinsumSpec("ab,bc,cd,da->");
+  ASSERT_TRUE(spec.ok());
+  auto path = PlanContractionPath(*spec);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  for (const auto& step : *path) {
+    EXPECT_LE(step.binary.output.size(), 2u) << step.binary.ToString();
+  }
+}
+
+TEST(NaryEinsumTest, ThreeOperandChainMatchesEager) {
+  Session session;
+  MakeMatrix(&session, "a", 12, 3, 5);
+  MakeMatrix(&session, "b", 3, 2, 6);
+  MakeMatrix(&session, "v", 2, 1, 8);
+  const char* src = R"(
+@pytond()
+def f(a, b, v):
+    x = a.to_numpy()
+    y = b.to_numpy()
+    z = v.to_numpy()
+    out = np.einsum('ij,jk,k->i', x, y, z)
+    return out
+)";
+  auto eager = session.RunBaseline(src);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+  auto compiled = session.Run(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**compiled, *eager, 1e-6, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace pytond::frontend

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+
+namespace pytond::engine {
+namespace {
+
+/// Deterministic random table: k (int, small domain), g (string, 4
+/// values), v (float), d (date range), with a few NULLs in v.
+Table RandomTable(uint64_t seed, size_t rows) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> k(rows);
+  std::vector<std::string> g(rows);
+  std::vector<double> v(rows);
+  std::vector<int32_t> d(rows);
+  static const char* kGroups[] = {"alpha", "beta", "gamma", "delta"};
+  for (size_t i = 0; i < rows; ++i) {
+    k[i] = static_cast<int64_t>(rng() % 20);
+    g[i] = kGroups[rng() % 4];
+    v[i] = static_cast<double>(rng() % 1000) / 10.0;
+    d[i] = static_cast<int32_t>(8000 + rng() % 2000);
+  }
+  Table t;
+  EXPECT_TRUE(t.AddColumn("k", Column::Int64(std::move(k))).ok());
+  EXPECT_TRUE(t.AddColumn("g", Column::String(std::move(g))).ok());
+  Column vc = Column::Float64(std::move(v));
+  for (size_t i = 7; i < rows; i += 13) {
+    vc.validity().assign(rows, 1);
+    break;
+  }
+  if (!vc.validity().empty()) {
+    for (size_t i = 7; i < rows; i += 13) vc.validity()[i] = 0;
+  }
+  EXPECT_TRUE(t.AddColumn("v", std::move(vc)).ok());
+  EXPECT_TRUE(t.AddColumn("d", Column::Date(std::move(d))).ok());
+  return t;
+}
+
+class RandomTableTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("t", RandomTable(GetParam(), 500)).ok());
+    ASSERT_TRUE(
+        db_.CreateTable("u", RandomTable(GetParam() + 1000, 300)).ok());
+  }
+
+  Table Run(const std::string& sql, QueryOptions opts = {}) {
+    auto r = db_.Query(sql, opts);
+    EXPECT_TRUE(r.ok()) << sql << "\n"
+                        << (r.ok() ? "" : r.status().ToString());
+    return r.ok() ? **r : Table();
+  }
+
+  Database db_;
+};
+
+// Property: a filter partitions the table — matching + non-matching
+// row counts add up (NULL predicate rows fall on the non-matching side).
+TEST_P(RandomTableTest, FilterPartitions) {
+  Table all = Run("SELECT COUNT(*) AS c FROM t");
+  Table yes = Run("SELECT COUNT(*) AS c FROM t WHERE v > 50");
+  Table no = Run("SELECT COUNT(*) AS c FROM t WHERE NOT (v > 50)");
+  Table null_v = Run("SELECT COUNT(*) AS c FROM t WHERE v IS NULL");
+  EXPECT_EQ(all.column(0).Get(0).AsInt64(),
+            yes.column(0).Get(0).AsInt64() + no.column(0).Get(0).AsInt64() +
+                null_v.column(0).Get(0).AsInt64());
+}
+
+// Property: grouped sums total the global sum.
+TEST_P(RandomTableTest, GroupSumsTotal) {
+  Table grouped = Run("SELECT g, SUM(v) AS s FROM t GROUP BY g");
+  Table total = Run("SELECT SUM(v) AS s FROM t");
+  double sum = 0;
+  for (size_t i = 0; i < grouped.num_rows(); ++i) {
+    if (grouped.column(1).IsValid(i)) {
+      sum += grouped.column(1).Get(i).ToDouble();
+    }
+  }
+  EXPECT_NEAR(sum, total.column(0).Get(0).ToDouble(), 1e-6);
+}
+
+// Property: COUNT(DISTINCT g) equals the row count of SELECT DISTINCT g.
+TEST_P(RandomTableTest, CountDistinctConsistent) {
+  Table cd = Run("SELECT COUNT(DISTINCT g) AS c FROM t");
+  Table d = Run("SELECT DISTINCT g FROM t");
+  EXPECT_EQ(static_cast<size_t>(cd.column(0).Get(0).AsInt64()),
+            d.num_rows());
+}
+
+// Property: inner-join cardinality equals the sum over keys of
+// |t_k| * |u_k| (computed via grouped counts).
+TEST_P(RandomTableTest, JoinCardinality) {
+  Table joined =
+      Run("SELECT COUNT(*) AS c FROM t, u WHERE t.k = u.k");
+  Table tc = Run("SELECT k, COUNT(*) AS c FROM t GROUP BY k");
+  Table uc = Run("SELECT k, COUNT(*) AS c FROM u GROUP BY k");
+  std::map<int64_t, int64_t> um;
+  for (size_t i = 0; i < uc.num_rows(); ++i) {
+    um[uc.column(0).Get(i).AsInt64()] = uc.column(1).Get(i).AsInt64();
+  }
+  int64_t expected = 0;
+  for (size_t i = 0; i < tc.num_rows(); ++i) {
+    auto it = um.find(tc.column(0).Get(i).AsInt64());
+    if (it != um.end()) {
+      expected += tc.column(1).Get(i).AsInt64() * it->second;
+    }
+  }
+  EXPECT_EQ(joined.column(0).Get(0).AsInt64(), expected);
+}
+
+// Property: LEFT JOIN row count = INNER JOIN + unmatched left rows, and
+// FULL = LEFT + unmatched right rows.
+TEST_P(RandomTableTest, OuterJoinArithmetic) {
+  auto count = [&](const std::string& sql) {
+    return Run(sql).column(0).Get(0).AsInt64();
+  };
+  int64_t inner =
+      count("SELECT COUNT(*) AS c FROM t JOIN u ON t.k = u.k");
+  int64_t left =
+      count("SELECT COUNT(*) AS c FROM t LEFT JOIN u ON t.k = u.k");
+  int64_t full =
+      count("SELECT COUNT(*) AS c FROM t FULL JOIN u ON t.k = u.k");
+  int64_t t_unmatched = count(
+      "SELECT COUNT(*) AS c FROM t WHERE NOT EXISTS "
+      "(SELECT 1 FROM u WHERE u.k = t.k)");
+  int64_t u_unmatched = count(
+      "SELECT COUNT(*) AS c FROM u WHERE NOT EXISTS "
+      "(SELECT 1 FROM t WHERE t.k = u.k)");
+  EXPECT_EQ(left, inner + t_unmatched);
+  EXPECT_EQ(full, left + u_unmatched);
+}
+
+// Property: semi + anti partitions the left table.
+TEST_P(RandomTableTest, SemiAntiPartition) {
+  auto count = [&](const std::string& sql) {
+    return Run(sql).column(0).Get(0).AsInt64();
+  };
+  int64_t all = count("SELECT COUNT(*) AS c FROM t");
+  int64_t semi = count(
+      "SELECT COUNT(*) AS c FROM t WHERE EXISTS "
+      "(SELECT 1 FROM u WHERE u.k = t.k)");
+  int64_t anti = count(
+      "SELECT COUNT(*) AS c FROM t WHERE NOT EXISTS "
+      "(SELECT 1 FROM u WHERE u.k = t.k)");
+  EXPECT_EQ(all, semi + anti);
+}
+
+// Property: every profile and thread count produces identical results for
+// a representative join+aggregate query.
+TEST_P(RandomTableTest, ProfilesAndThreadsAgree) {
+  const char* sql =
+      "SELECT t.g AS g, SUM(t.v * 2) AS s, COUNT(*) AS c "
+      "FROM t, u WHERE t.k = u.k AND t.v > 10 GROUP BY t.g";
+  Table reference = Run(sql);
+  for (auto profile : {BackendProfile::kVectorized,
+                       BackendProfile::kCompiled,
+                       BackendProfile::kResearch}) {
+    for (int threads : {1, 3}) {
+      QueryOptions o;
+      o.profile = profile;
+      o.num_threads = threads;
+      Table r = Run(sql, o);
+      std::string diff;
+      EXPECT_TRUE(Table::UnorderedEquals(reference, r, 1e-9, &diff))
+          << BackendProfileName(profile) << "/" << threads << ": " << diff;
+    }
+  }
+}
+
+// Property: ORDER BY output is a permutation of the unordered result and
+// is correctly ordered.
+TEST_P(RandomTableTest, SortIsOrderedPermutation) {
+  Table unsorted = Run("SELECT k, v FROM t");
+  Table sorted = Run("SELECT k, v FROM t ORDER BY k DESC, v ASC");
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(unsorted, sorted, 1e-9, &diff)) << diff;
+  for (size_t i = 1; i < sorted.num_rows(); ++i) {
+    int64_t ka = sorted.column(0).Get(i - 1).AsInt64();
+    int64_t kb = sorted.column(0).Get(i).AsInt64();
+    EXPECT_GE(ka, kb);
+    if (ka == kb && sorted.column(1).IsValid(i - 1) &&
+        sorted.column(1).IsValid(i)) {
+      EXPECT_LE(sorted.column(1).Get(i - 1).ToDouble(),
+                sorted.column(1).Get(i).ToDouble());
+    }
+  }
+}
+
+// Property: DISTINCT is idempotent.
+TEST_P(RandomTableTest, DistinctIdempotent) {
+  Table once = Run("SELECT DISTINCT g, k FROM t");
+  ASSERT_TRUE(db_.CreateTable("once_t", once).ok());
+  Table twice = Run("SELECT DISTINCT g, k FROM once_t");
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(once, twice, 1e-9, &diff)) << diff;
+  ASSERT_TRUE(db_.catalog().DropTable("once_t").ok());
+}
+
+// Property: LIMIT N returns min(N, rows) and a prefix of the sort order.
+TEST_P(RandomTableTest, LimitPrefix) {
+  Table all = Run("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v");
+  Table top = Run("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v LIMIT 7");
+  ASSERT_EQ(top.num_rows(), std::min<size_t>(7, all.num_rows()));
+  for (size_t i = 0; i < top.num_rows(); ++i) {
+    EXPECT_EQ(top.column(0).Get(i).ToDouble(),
+              all.column(0).Get(i).ToDouble());
+  }
+}
+
+// Property: row_number over a unique ordering assigns 1..N exactly once.
+TEST_P(RandomTableTest, RowNumberIsPermutation) {
+  Table r = Run(
+      "SELECT row_number() OVER (ORDER BY v, k, g) AS rn FROM t");
+  std::set<int64_t> seen;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    seen.insert(r.column(0).Get(i).AsInt64());
+  }
+  EXPECT_EQ(seen.size(), r.num_rows());
+  if (!seen.empty()) {
+    EXPECT_EQ(*seen.begin(), 1);
+    EXPECT_EQ(*seen.rbegin(), static_cast<int64_t>(r.num_rows()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableTest,
+                         ::testing::Values(1, 2, 3, 7, 1234, 987654));
+
+// ----------------------------------------------------------- LIKE fuzz
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expect;
+};
+
+class LikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeTest, MatchesReference) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(string_util::Like(c.text, c.pattern), c.expect)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeTest,
+    ::testing::Values(
+        LikeCase{"", "", true}, LikeCase{"", "%", true},
+        LikeCase{"a", "", false}, LikeCase{"abc", "abc", true},
+        LikeCase{"abc", "a%", true}, LikeCase{"abc", "%c", true},
+        LikeCase{"abc", "%b%", true}, LikeCase{"abc", "a_c", true},
+        LikeCase{"abc", "____", false}, LikeCase{"abc", "___", true},
+        LikeCase{"aXbXc", "a%b%c", true}, LikeCase{"ac", "a%b%c", false},
+        LikeCase{"mississippi", "%iss%ipp%", true},
+        LikeCase{"mississippi", "%iss%issi", false},
+        LikeCase{"%", "\\%", false},  // no escape support: literal backslash
+        LikeCase{"special packages requests", "special%requests%", true},
+        LikeCase{"requests special", "special%requests%", false},
+        LikeCase{"aaa", "%a%a%a%", true}, LikeCase{"aa", "%a%a%a%", false}));
+
+}  // namespace
+}  // namespace pytond::engine

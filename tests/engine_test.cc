@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "common/date_util.h"
+#include "engine/database.h"
+
+namespace pytond::engine {
+namespace {
+
+/// Builds a small database with two related tables + one with nulls/dates.
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      Table t;
+      ASSERT_TRUE(t.AddColumn("id", Column::Int64({1, 2, 3, 4, 5})).ok());
+      ASSERT_TRUE(
+          t.AddColumn("grp", Column::String({"a", "b", "a", "b", "c"})).ok());
+      ASSERT_TRUE(
+          t.AddColumn("val", Column::Float64({10, 20, 30, 40, 50})).ok());
+      TableConstraints tc;
+      tc.primary_key = {"id"};
+      ASSERT_TRUE(db_.CreateTable("t", std::move(t), tc).ok());
+    }
+    {
+      Table u;
+      ASSERT_TRUE(u.AddColumn("tid", Column::Int64({1, 1, 2, 3, 9})).ok());
+      ASSERT_TRUE(
+          u.AddColumn("tag", Column::String({"x", "y", "x", "z", "w"})).ok());
+      ASSERT_TRUE(db_.CreateTable("u", std::move(u)).ok());
+    }
+    {
+      Table d;
+      std::vector<int32_t> dates = {
+          *date_util::FromYMD(1994, 1, 1), *date_util::FromYMD(1994, 6, 15),
+          *date_util::FromYMD(1995, 3, 1)};
+      ASSERT_TRUE(d.AddColumn("when_", Column::Date(dates)).ok());
+      Column v = Column::Int64({7, 8, 0});
+      v.validity() = {1, 1, 0};
+      ASSERT_TRUE(d.AddColumn("amount", std::move(v)).ok());
+      ASSERT_TRUE(db_.CreateTable("d", std::move(d)).ok());
+    }
+  }
+
+  Table Run(const std::string& sql, QueryOptions opts = {}) {
+    auto r = db_.Query(sql, opts);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << (r.ok() ? "" : r.status().ToString());
+    return r.ok() ? **r : Table();
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineTest, SelectStar) {
+  Table r = Run("SELECT * FROM t");
+  EXPECT_EQ(r.num_rows(), 5u);
+  EXPECT_EQ(r.num_columns(), 3u);
+}
+
+TEST_F(EngineTest, ProjectionAndArithmetic) {
+  Table r = Run("SELECT id + 1 AS idp, val * 2 AS v2 FROM t WHERE id = 3");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(4));
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(60.0));
+}
+
+TEST_F(EngineTest, FilterComparisons) {
+  EXPECT_EQ(Run("SELECT id FROM t WHERE val > 20").num_rows(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE val >= 20 AND val <= 40").num_rows(),
+            3u);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE grp <> 'a'").num_rows(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE val BETWEEN 15 AND 35").num_rows(),
+            2u);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE id IN (1, 4, 99)").num_rows(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM t WHERE id NOT IN (1, 4)").num_rows(), 3u);
+}
+
+TEST_F(EngineTest, LikePatterns) {
+  Table names;
+  ASSERT_TRUE(names
+                  .AddColumn("s", Column::String({"PROMO STEEL", "ECO BRASS",
+                                                  "PROMO BRASS"}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable("names", std::move(names)).ok());
+  EXPECT_EQ(Run("SELECT s FROM names WHERE s LIKE 'PROMO%'").num_rows(), 2u);
+  EXPECT_EQ(Run("SELECT s FROM names WHERE s LIKE '%BRASS'").num_rows(), 2u);
+  EXPECT_EQ(Run("SELECT s FROM names WHERE s NOT LIKE '%BRASS'").num_rows(),
+            1u);
+}
+
+TEST_F(EngineTest, InnerJoin) {
+  Table r = Run(
+      "SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid ORDER BY id, tag");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.column(1).Get(0), Value::String("x"));
+  EXPECT_EQ(r.column(1).Get(1), Value::String("y"));
+}
+
+TEST_F(EngineTest, ExplicitJoinSyntax) {
+  Table r = Run("SELECT t.id FROM t JOIN u ON t.id = u.tid");
+  EXPECT_EQ(r.num_rows(), 4u);
+}
+
+TEST_F(EngineTest, LeftOuterJoinPadsNulls) {
+  Table r = Run(
+      "SELECT t.id, u.tag FROM t LEFT JOIN u ON t.id = u.tid ORDER BY id");
+  // ids 4,5 unmatched -> null tag; id 1 matches twice.
+  EXPECT_EQ(r.num_rows(), 6u);
+  int nulls = 0;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (!r.column(1).IsValid(i)) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2);
+}
+
+TEST_F(EngineTest, FullOuterJoin) {
+  Table r = Run("SELECT t.id, u.tid FROM t FULL JOIN u ON t.id = u.tid");
+  // 4 matches + 2 left-unmatched (4,5) + 1 right-unmatched (9).
+  EXPECT_EQ(r.num_rows(), 7u);
+}
+
+TEST_F(EngineTest, RightOuterJoin) {
+  Table r = Run("SELECT t.id, u.tid FROM t RIGHT JOIN u ON t.id = u.tid");
+  EXPECT_EQ(r.num_rows(), 5u);  // 4 matches + tid=9 unmatched
+  int nulls = 0;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    if (!r.column(0).IsValid(i)) ++nulls;
+  }
+  EXPECT_EQ(nulls, 1);
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  Table r = Run(
+      "SELECT grp, SUM(val) AS s, COUNT(*) AS c, AVG(val) AS a, "
+      "MIN(val) AS mn, MAX(val) AS mx FROM t GROUP BY grp ORDER BY grp");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.column(0).Get(0), Value::String("a"));
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(40.0));
+  EXPECT_EQ(r.column(2).Get(0), Value::Int64(2));
+  EXPECT_EQ(r.column(3).Get(0), Value::Float64(20.0));
+  EXPECT_EQ(r.column(4).Get(0), Value::Float64(10.0));
+  EXPECT_EQ(r.column(5).Get(0), Value::Float64(30.0));
+}
+
+TEST_F(EngineTest, GlobalAggregateOnEmptyInput) {
+  Table r = Run("SELECT COUNT(*) AS c, SUM(val) AS s FROM t WHERE id > 100");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(0));
+  EXPECT_TRUE(r.column(1).Get(0).is_null());
+}
+
+TEST_F(EngineTest, CountDistinct) {
+  Table r = Run("SELECT COUNT(DISTINCT grp) AS g FROM t");
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(3));
+}
+
+TEST_F(EngineTest, AggregatesSkipNulls) {
+  Table r = Run("SELECT COUNT(amount) AS c, SUM(amount) AS s FROM d");
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(2));
+  EXPECT_EQ(r.column(1).Get(0), Value::Int64(15));
+}
+
+TEST_F(EngineTest, Having) {
+  Table r = Run(
+      "SELECT grp, SUM(val) AS s FROM t GROUP BY grp HAVING SUM(val) > 45");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, OrderByDescAndLimit) {
+  Table r = Run("SELECT id, val FROM t ORDER BY val DESC LIMIT 2");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(5));
+  EXPECT_EQ(r.column(0).Get(1), Value::Int64(4));
+}
+
+TEST_F(EngineTest, Distinct) {
+  Table r = Run("SELECT DISTINCT grp FROM t");
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(EngineTest, CaseExpression) {
+  Table r = Run(
+      "SELECT id, CASE WHEN val > 25 THEN 'hi' ELSE 'lo' END AS lvl "
+      "FROM t ORDER BY id");
+  EXPECT_EQ(r.column(1).Get(0), Value::String("lo"));
+  EXPECT_EQ(r.column(1).Get(4), Value::String("hi"));
+}
+
+TEST_F(EngineTest, CaseWithoutElseYieldsNull) {
+  Table r = Run(
+      "SELECT CASE WHEN val > 45 THEN val END AS v FROM t ORDER BY id");
+  EXPECT_FALSE(r.column(0).IsValid(0));
+  EXPECT_TRUE(r.column(0).IsValid(4));
+}
+
+TEST_F(EngineTest, DateLiteralsAndExtract) {
+  Table r = Run(
+      "SELECT EXTRACT(YEAR FROM when_) AS y FROM d "
+      "WHERE when_ >= DATE '1994-01-01' AND when_ < DATE '1995-01-01'");
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(1994));
+  // Hyper-style spelling.
+  Table r2 = Run("SELECT year(when_) AS y FROM d WHERE year(when_) = 1995");
+  EXPECT_EQ(r2.num_rows(), 1u);
+}
+
+TEST_F(EngineTest, IsNullPredicates) {
+  EXPECT_EQ(Run("SELECT amount FROM d WHERE amount IS NULL").num_rows(), 1u);
+  EXPECT_EQ(Run("SELECT amount FROM d WHERE amount IS NOT NULL").num_rows(),
+            2u);
+}
+
+TEST_F(EngineTest, CteChain) {
+  Table r = Run(
+      "WITH big(id, val) AS (SELECT id, val FROM t WHERE val > 15), "
+      "sums(s) AS (SELECT SUM(val) FROM big) "
+      "SELECT s FROM sums");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Float64(140.0));
+}
+
+TEST_F(EngineTest, CteSelfJoin) {
+  Table r = Run(
+      "WITH v(id, val) AS (SELECT id, val FROM t) "
+      "SELECT r1.id FROM v AS r1, v AS r2 WHERE r1.id = r2.id");
+  EXPECT_EQ(r.num_rows(), 5u);
+}
+
+TEST_F(EngineTest, ValuesCte) {
+  Table r = Run(
+      "WITH nums(c0) AS (VALUES (0), (1), (2)) SELECT c0 FROM nums");
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(EngineTest, InlineValuesFromClause) {
+  Table r = Run(
+      "SELECT t.id, v.c0 FROM t, (VALUES (1), (2)) AS v(c0) "
+      "WHERE t.id = v.c0");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, ExistsSemiJoin) {
+  Table r = Run(
+      "SELECT id FROM t WHERE EXISTS "
+      "(SELECT 1 FROM u WHERE u.tid = t.id)");
+  EXPECT_EQ(r.num_rows(), 3u);  // ids 1,2,3
+}
+
+TEST_F(EngineTest, NotExistsAntiJoin) {
+  Table r = Run(
+      "SELECT id FROM t WHERE NOT EXISTS "
+      "(SELECT 1 FROM u WHERE u.tid = t.id)");
+  EXPECT_EQ(r.num_rows(), 2u);  // ids 4,5
+}
+
+TEST_F(EngineTest, ExistsWithResidualPredicate) {
+  // Match only when tag <> 'x': id 1 (tag y) and id 3 (tag z) pass.
+  Table r = Run(
+      "SELECT id FROM t WHERE EXISTS "
+      "(SELECT 1 FROM u WHERE u.tid = t.id AND u.tag <> 'x')");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, InSubquery) {
+  Table r = Run("SELECT id FROM t WHERE id IN (SELECT tid FROM u)");
+  EXPECT_EQ(r.num_rows(), 3u);
+  Table r2 = Run("SELECT id FROM t WHERE id NOT IN (SELECT tid FROM u)");
+  EXPECT_EQ(r2.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, WindowRowNumber) {
+  Table r = Run(
+      "SELECT id, row_number() OVER (ORDER BY val DESC) AS rn FROM t");
+  ASSERT_EQ(r.num_rows(), 5u);
+  // Output keeps input order; id=5 (val 50) gets rn 1.
+  EXPECT_EQ(r.column(0).Get(4), Value::Int64(5));
+  EXPECT_EQ(r.column(1).Get(4), Value::Int64(1));
+  EXPECT_EQ(r.column(1).Get(0), Value::Int64(5));
+}
+
+TEST_F(EngineTest, ResearchProfileRejectsWindows) {
+  QueryOptions opts;
+  opts.profile = BackendProfile::kResearch;
+  auto r = db_.Query(
+      "SELECT row_number() OVER (ORDER BY id) AS rn FROM t", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(EngineTest, CompiledProfileSameResults) {
+  QueryOptions opts;
+  opts.profile = BackendProfile::kCompiled;
+  Table a = Run("SELECT grp, SUM(val) AS s FROM t, u WHERE t.id = u.tid "
+                "GROUP BY grp ORDER BY grp");
+  Table b = Run(
+      "SELECT grp, SUM(val) AS s FROM t, u WHERE t.id = u.tid "
+      "GROUP BY grp ORDER BY grp",
+      opts);
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(a, b, 1e-9, &diff)) << diff;
+}
+
+TEST_F(EngineTest, MultiThreadedSameResults) {
+  QueryOptions opts;
+  opts.num_threads = 4;
+  Table a = Run("SELECT grp, SUM(val) AS s FROM t GROUP BY grp");
+  Table b = Run("SELECT grp, SUM(val) AS s FROM t GROUP BY grp", opts);
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(a, b, 1e-9, &diff)) << diff;
+}
+
+TEST_F(EngineTest, CrossJoin) {
+  Table r = Run("SELECT t.id, u.tid FROM t CROSS JOIN u");
+  EXPECT_EQ(r.num_rows(), 25u);
+}
+
+TEST_F(EngineTest, DivisionByZeroYieldsNull) {
+  Table r = Run("SELECT val / (id - 1) AS q FROM t ORDER BY id");
+  EXPECT_FALSE(r.column(0).IsValid(0));
+  EXPECT_TRUE(r.column(0).IsValid(1));
+}
+
+TEST_F(EngineTest, ScalarFunctions) {
+  Table r = Run(
+      "SELECT round(val / 3, 1) AS r1, abs(0 - id) AS a, "
+      "substr(grp, 1, 1) AS s FROM t WHERE id = 1");
+  EXPECT_EQ(r.column(0).Get(0), Value::Float64(3.3));
+  EXPECT_EQ(r.column(1).Get(0), Value::Int64(1));
+  EXPECT_EQ(r.column(2).Get(0), Value::String("a"));
+}
+
+TEST_F(EngineTest, ParseErrorsSurface) {
+  EXPECT_FALSE(db_.Query("SELEC * FROM t").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(db_.Query("SELECT nosuchcol FROM t").ok());
+}
+
+TEST_F(EngineTest, ExplainShowsPlan) {
+  auto r = db_.ExplainQuery("SELECT id FROM t WHERE val > 20");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->find("Scan(t)"), std::string::npos);
+  EXPECT_NE(r->find("Filter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pytond::engine

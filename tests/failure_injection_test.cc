@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+
+namespace pytond {
+namespace {
+
+/// Failure injection: every malformed input must surface a clean Status
+/// from the right pipeline stage — never a crash, never silent garbage.
+struct BadInput {
+  const char* label;
+  const char* source;
+  StatusCode expected;
+};
+
+class FailureInjectionTest : public ::testing::TestWithParam<BadInput> {
+ protected:
+  void SetUp() override {
+    Table t;
+    ASSERT_TRUE(t.AddColumn("k", Column::Int64({1, 2, 3})).ok());
+    ASSERT_TRUE(t.AddColumn("v", Column::Float64({1, 2, 3})).ok());
+    ASSERT_TRUE(session_.db().CreateTable("t", std::move(t)).ok());
+  }
+  Session session_;
+};
+
+TEST_P(FailureInjectionTest, CompileFailsCleanly) {
+  const BadInput& c = GetParam();
+  auto r = session_.Compile(c.source);
+  ASSERT_FALSE(r.ok()) << c.label;
+  EXPECT_EQ(r.status().code(), c.expected)
+      << c.label << ": " << r.status().ToString();
+  EXPECT_FALSE(r.status().message().empty()) << c.label;
+}
+
+TEST_P(FailureInjectionTest, BaselineAlsoFailsCleanly) {
+  // The eager interpreter must reject the same inputs without crashing
+  // (its error category may differ, e.g. parse errors surface first).
+  const BadInput& c = GetParam();
+  auto r = session_.RunBaseline(c.source);
+  EXPECT_FALSE(r.ok()) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSources, FailureInjectionTest,
+    ::testing::Values(
+        BadInput{"NoDecoratedFunction", "def f(t):\n    return t\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"SyntaxError",
+                 "@pytond()\ndef f(t):\n    v = t[[\n    return v\n",
+                 StatusCode::kParseError},
+        BadInput{"NoReturn", "@pytond()\ndef f(t):\n    v = t\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"UnknownTableParam",
+                 "@pytond()\ndef f(nope):\n    return nope\n",
+                 StatusCode::kNotFound},
+        BadInput{"UnknownColumn",
+                 "@pytond()\ndef f(t):\n    v = t[t.zzz > 1]\n    return v\n",
+                 StatusCode::kNotFound},
+        BadInput{"UnknownVariable",
+                 "@pytond()\ndef f(t):\n    return ghost\n",
+                 StatusCode::kNotFound},
+        BadInput{"UnsupportedMethod",
+                 "@pytond()\ndef f(t):\n    v = t.explode('k')\n"
+                 "    return v\n",
+                 StatusCode::kUnsupported},
+        BadInput{"MergeWithoutKeys",
+                 "@pytond()\ndef f(t):\n    v = t.merge(t)\n    return v\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"BadMergeKey",
+                 "@pytond()\ndef f(t):\n"
+                 "    v = t.merge(t, on='missing')\n    return v\n",
+                 StatusCode::kNotFound},
+        BadInput{"PivotWithoutDistinctValues",
+                 "@pytond()\ndef f(t):\n"
+                 "    v = t.pivot_table(index='k', columns='v', values='v',"
+                 " aggfunc='sum')\n    return v\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"BadEinsumSpec",
+                 "@pytond()\ndef f(t):\n    a = t.to_numpy()\n"
+                 "    v = np.einsum('nonsense', a)\n    return v\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"EinsumOrderThree",
+                 "@pytond()\ndef f(t):\n    a = t.to_numpy()\n"
+                 "    v = np.einsum('ijk->i', a)\n    return v\n",
+                 StatusCode::kUnsupported},
+        BadInput{"EmptyIsinList",
+                 "@pytond()\ndef f(t):\n    v = t[t.k.isin([])]\n"
+                 "    return v\n",
+                 StatusCode::kInvalidArgument},
+        BadInput{"AggWithoutNamedSpecs",
+                 "@pytond()\ndef f(t):\n    v = t.agg('sum')\n"
+                 "    return v\n",
+                 StatusCode::kUnsupported}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.label;
+    });
+
+/// Engine-level failure injection via hand-written SQL.
+class SqlFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table t;
+    ASSERT_TRUE(t.AddColumn("k", Column::Int64({1})).ok());
+    ASSERT_TRUE(db_.CreateTable("t", std::move(t)).ok());
+  }
+  engine::Database db_;
+};
+
+TEST_F(SqlFailureTest, RejectsGarbageGracefully) {
+  const char* bad[] = {
+      "",                                    // empty
+      "SELECT",                              // truncated
+      "SELECT * FROM",                       // missing table
+      "SELECT * FROM t WHERE",               // truncated predicate
+      "SELECT * FROM t ORDER BY",            // truncated order
+      "WITH x AS SELECT 1",                  // missing parens
+      "SELECT * FROM t; SELECT * FROM t",    // trailing statement
+      "SELECT unknown_fn(k) FROM t",         // unknown function
+      "SELECT k FROM t GROUP BY",            // truncated group by
+      "SELECT CAST(k AS blob) FROM t",       // unsupported cast
+  };
+  for (const char* sql : bad) {
+    auto r = db_.Query(sql);
+    EXPECT_FALSE(r.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST_F(SqlFailureTest, DeepExpressionNestingParses) {
+  // Robustness: deeply parenthesized expressions should not crash the
+  // recursive-descent parser at reasonable depth.
+  std::string expr = "k";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto r = db_.Query("SELECT " + expr + " AS e FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->column(0).Get(0), Value::Int64(201));
+}
+
+}  // namespace
+}  // namespace pytond

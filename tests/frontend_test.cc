@@ -1,0 +1,579 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "frontend/anf/anf.h"
+#include "frontend/compiler.h"
+#include "frontend/pylang/parser.h"
+#include "frontend/translate/einsum.h"
+
+namespace pytond::frontend {
+namespace {
+
+// ----------------------------------------------------------- pylang
+
+TEST(PyParserTest, ParsesDecoratedFunction) {
+  auto m = py::ParseModule(R"(
+import pandas as pd
+
+@pytond()
+def q(df):
+    v = df[df.a > 5]
+    return v
+)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->functions.size(), 1u);
+  EXPECT_EQ(m->functions[0].name, "q");
+  EXPECT_EQ(m->functions[0].params, std::vector<std::string>{"df"});
+  EXPECT_EQ(m->functions[0].body.size(), 2u);
+}
+
+TEST(PyParserTest, SkipsUndecoratedFunctions) {
+  auto m = py::ParseModule(R"(
+def helper(x):
+    y = x
+    return y
+
+@pytond()
+def q(df):
+    return df
+)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->functions.size(), 1u);
+}
+
+TEST(PyParserTest, DecoratorKwargs) {
+  auto m = py::ParseModule(R"(
+@pytond(layout='sparse', pivot_values=['a', 'b'])
+def q(df):
+    return df
+)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->functions[0].decorator_kwargs.size(), 2u);
+  EXPECT_EQ(m->functions[0].decorator_kwargs[0].first, "layout");
+}
+
+TEST(PyParserTest, ExpressionPrecedence) {
+  auto e = py::ParseExpression("(df.a > 5) & (df.b < 3)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(), "((df.a > 5) & (df.b < 3))");
+  auto e2 = py::ParseExpression("a + b * c");
+  EXPECT_EQ((*e2)->ToString(), "(a + (b * c))");
+}
+
+TEST(PyParserTest, CallsKwargsAndChains) {
+  auto e = py::ParseExpression(
+      "df.merge(d2, left_on='a', right_on='x').head(5)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(),
+            "df.merge(d2, left_on='a', right_on='x').head(5)");
+}
+
+TEST(PyParserTest, MultilineCallInsideParens) {
+  auto m = py::ParseModule(
+      "@pytond()\n"
+      "def q(df):\n"
+      "    v = df.merge(df,\n"
+      "                 on='a')\n"
+      "    return v\n");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->functions[0].body.size(), 2u);
+}
+
+TEST(PyParserTest, ListsAndStrings) {
+  auto e = py::ParseExpression("df[['a', 'b']]");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "df[['a', 'b']]");
+}
+
+// ----------------------------------------------------------- ANF
+
+TEST(AnfTest, PaperExampleHoistsNestedOps) {
+  // Paper §III-B example.
+  auto m = py::ParseModule(R"(
+@pytond()
+def q(df1, df2):
+    res = (df1[df1.b > 10]['a']).merge((df2[df2.y == 'r']['x']), left_on='a', right_on='x')
+    return res
+)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto anf = ToAnf(m->functions[0].body);
+  ASSERT_TRUE(anf.ok());
+  // 6 hoisted temps + assignment + return.
+  ASSERT_EQ(anf->size(), 8u);
+  EXPECT_EQ(anf->at(0).target->name, "_v1");
+  EXPECT_EQ(anf->at(0).value->ToString(), "(df1.b > 10)");
+  EXPECT_EQ(anf->at(1).value->ToString(), "df1[_v1]");
+  EXPECT_EQ(anf->at(2).value->ToString(), "_v2['a']");
+  // Final statement is the merge over temps.
+  EXPECT_EQ(anf->at(6).value->children[0]->children[0]->name, "_v3");
+}
+
+TEST(AnfTest, LeavesFlatStatementsAlone) {
+  auto m = py::ParseModule(R"(
+@pytond()
+def q(df):
+    v = df[df.a > 1]
+    return v
+)");
+  auto anf = ToAnf(m->functions[0].body);
+  ASSERT_TRUE(anf.ok());
+  EXPECT_EQ(anf->size(), 3u);  // mask temp + filter + return
+}
+
+// ----------------------------------------------------------- einsum
+
+TEST(EinsumSpecTest, ParseAndNormalize) {
+  auto s = ParseEinsumSpec("ab,cc->ba");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(NormalizeSpec(*s).ToString(), "ij,kk->ji");
+  EXPECT_FALSE(ParseEinsumSpec("abc").ok());   // no arrow
+  EXPECT_FALSE(ParseEinsumSpec("ij->k").ok()); // unknown output index
+  EXPECT_FALSE(ParseEinsumSpec("ijk->i").ok()); // order 3
+}
+
+TEST(EinsumPlanTest, PaperWorkedExample) {
+  // §III-D: 'ab,cc->ba' reduces via diag -> vector sum -> swap ->
+  // transpose to the scalar-times-matrix kernel ES6.
+  auto plan = PlanEinsum(*ParseEinsumSpec("ab,cc->ba"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<std::string> kernels;
+  for (const auto& step : *plan) kernels.push_back(step.kernel);
+  ASSERT_GE(kernels.size(), 4u);
+  EXPECT_EQ(kernels[0], "diag");
+  EXPECT_EQ(kernels[1], "vecsum");
+  EXPECT_EQ(kernels[2], "swap");
+  EXPECT_EQ(kernels[3], "transpose");
+  EXPECT_EQ(kernels.back(), "ES6");
+}
+
+TEST(EinsumPlanTest, DirectKernelsNeedNoReduction) {
+  for (const char* spec : {"ij,ik->jk", "ij,ij->ij", "i->", "ii->i"}) {
+    auto plan = PlanEinsum(*ParseEinsumSpec(spec));
+    ASSERT_TRUE(plan.ok()) << spec;
+    EXPECT_EQ(plan->size(), 1u) << spec;
+  }
+}
+
+TEST(EinsumPlanTest, ReducesPrivateIndices) {
+  // 'ij,k->i': j summed out of operand 0, k summed out of operand 1.
+  auto plan = PlanEinsum(*ParseEinsumSpec("ij,k->i"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  bool saw_rowsum = false, saw_vecsum = false;
+  for (const auto& s : *plan) {
+    if (s.kernel == "rowsum") saw_rowsum = true;
+    if (s.kernel == "vecsum") saw_vecsum = true;
+  }
+  EXPECT_TRUE(saw_rowsum);
+  EXPECT_TRUE(saw_vecsum);
+}
+
+// --------------------------------------------- end-to-end pipeline
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      Table t;
+      ASSERT_TRUE(t.AddColumn("k", Column::Int64({1, 2, 3, 4, 5})).ok());
+      ASSERT_TRUE(t.AddColumn("cat",
+                              Column::String({"a", "b", "a", "b", "c"}))
+                      .ok());
+      ASSERT_TRUE(
+          t.AddColumn("v", Column::Float64({10, 20, 30, 40, 50})).ok());
+      TableConstraints tc;
+      tc.primary_key = {"k"};
+      ASSERT_TRUE(db_.CreateTable("t", std::move(t), tc).ok());
+    }
+    {
+      Table u;
+      ASSERT_TRUE(u.AddColumn("k", Column::Int64({1, 2, 2, 9})).ok());
+      ASSERT_TRUE(u.AddColumn("w", Column::Float64({5, 6, 7, 8})).ok());
+      ASSERT_TRUE(db_.CreateTable("u", std::move(u)).ok());
+    }
+    {
+      // Dense matrix: id + 2 data columns.
+      Table m;
+      ASSERT_TRUE(m.AddColumn("id", Column::Int64({0, 1, 2})).ok());
+      ASSERT_TRUE(m.AddColumn("c0", Column::Float64({1, 2, 3})).ok());
+      ASSERT_TRUE(m.AddColumn("c1", Column::Float64({4, 5, 6})).ok());
+      TableConstraints tc;
+      tc.primary_key = {"id"};
+      ASSERT_TRUE(db_.CreateTable("m", std::move(m), tc).ok());
+    }
+  }
+
+  Table Run(const std::string& source, int level = 4) {
+    CompileOptions opts;
+    opts.optimization_level = level;
+    auto c = CompileFunction(source, db_.catalog(), opts);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    if (!c.ok()) return Table();
+    auto r = db_.Query(c->sql);
+    EXPECT_TRUE(r.ok()) << c->sql << "\n"
+                        << (r.ok() ? "" : r.status().ToString());
+    return r.ok() ? **r : Table();
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(PipelineTest, FilterAndProject) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t[t.v > 20]
+    out = v[['k', 'v']]
+    return out
+)");
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.num_columns(), 2u);
+}
+
+TEST_F(PipelineTest, MaskConjunctionAndStringPredicates) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t[(t.v >= 20) & (t.cat == 'b')]
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(PipelineTest, ComputedColumn) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    t['double_v'] = t.v * 2
+    return t
+)");
+  ASSERT_EQ(r.num_columns(), 4u);
+  EXPECT_EQ(r.column(3).Get(0), Value::Float64(20.0));
+}
+
+TEST_F(PipelineTest, MergeInner) {
+  Table r = Run(R"(
+@pytond()
+def q(t, u):
+    v = t.merge(u, on='k')
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 3u);       // k=1 once, k=2 twice
+  EXPECT_EQ(r.num_columns(), 4u);    // k, cat, v, w (shared key once)
+}
+
+TEST_F(PipelineTest, MergeImplicitRenaming) {
+  // Overlapping non-key column 'v' gets suffixed _x/_y (paper §III-C).
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t.merge(t, on='k')
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 5u);
+  int x = 0, y = 0;
+  for (const auto& name : r.schema().names) {
+    if (name == "v_x" || name == "cat_x") ++x;
+    if (name == "v_y" || name == "cat_y") ++y;
+  }
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(y, 2);
+}
+
+TEST_F(PipelineTest, MergeLeftOuter) {
+  Table r = Run(R"(
+@pytond()
+def q(t, u):
+    v = t.merge(u, on='k', how='left')
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 6u);  // 3 matches + 3 unmatched left rows
+}
+
+TEST_F(PipelineTest, GroupByNamedAgg) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    g = t.groupby(['cat']).agg(total=('v', 'sum'), n=('k', 'count'))
+    out = g.sort_values(by=['cat'])
+    return out
+)");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.column(0).Get(0), Value::String("a"));
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(40.0));
+  EXPECT_EQ(r.column(2).Get(0), Value::Int64(2));
+}
+
+TEST_F(PipelineTest, SortHeadTopN) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t.sort_values(by=['v'], ascending=[False]).head(2)
+    return v
+)");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.column(0).Get(0), Value::Int64(5));
+}
+
+TEST_F(PipelineTest, UniqueValues) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t.cat.unique()
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(PipelineTest, IsinSemiJoin) {
+  Table r = Run(R"(
+@pytond()
+def q(t, u):
+    v = t[t.k.isin(u['k'])]
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 2u);  // k = 1, 2
+}
+
+TEST_F(PipelineTest, NegatedIsinAntiJoin) {
+  Table r = Run(R"(
+@pytond()
+def q(t, u):
+    v = t[~t.k.isin(u['k'])]
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 3u);  // k = 3, 4, 5
+}
+
+TEST_F(PipelineTest, IsinLiteralList) {
+  Table r = Run(R"(
+@pytond()
+def q(t):
+    v = t[t.cat.isin(['a', 'c'])]
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(PipelineTest, StrPredicates) {
+  Table names = Table();
+  ASSERT_TRUE(names
+                  .AddColumn("s", Column::String({"PROMO X", "ECO Y",
+                                                  "PROMO BRASS"}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable("names", std::move(names)).ok());
+  Table r = Run(R"(
+@pytond()
+def q(names):
+    v = names[names.s.str.startswith('PROMO')]
+    return v
+)");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(PipelineTest, PivotTable) {
+  Table r = Run(R"(
+@pytond(pivot_values=['a', 'b', 'c'])
+def q(t):
+    v = t.pivot_table(index='k', columns='cat', values='v', aggfunc='sum')
+    return v
+)");
+  ASSERT_EQ(r.num_rows(), 5u);
+  ASSERT_EQ(r.num_columns(), 4u);  // k + three pivot value columns
+}
+
+TEST_F(PipelineTest, ImplicitJoinViaColumnAppend) {
+  // Paper §III-C implicit joins example.
+  Table r = Run(R"(
+@pytond()
+def q(t, u):
+    d = pd.DataFrame()
+    d['a'] = t['v']
+    d['b'] = u['w']
+    return d
+)");
+  // Row-aligned zip of the two columns: min(5, 4) with inner join on uid
+  // = 4 rows.
+  EXPECT_EQ(r.num_rows(), 4u);
+}
+
+TEST_F(PipelineTest, EinsumCovarianceDense) {
+  // Figure 2: covariance matrix via 'ij,ik->jk'.
+  Table r = Run(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    b = np.einsum('ij,ik->jk', a, a)
+    return b
+)");
+  // m columns: [1,2,3] and [4,5,6]; gram = [[14,32],[32,77]].
+  ASSERT_EQ(r.num_rows(), 2u);
+  ASSERT_EQ(r.num_columns(), 3u);  // id, c0, c1
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(14.0));
+  EXPECT_EQ(r.column(2).Get(0), Value::Float64(32.0));
+  EXPECT_EQ(r.column(1).Get(1), Value::Float64(32.0));
+  EXPECT_EQ(r.column(2).Get(1), Value::Float64(77.0));
+}
+
+TEST_F(PipelineTest, EinsumCovarianceUnoptimizedAgrees) {
+  const char* src = R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    b = np.einsum('ij,ik->jk', a, a)
+    return b
+)";
+  Table opt = Run(src, 4);
+  Table unopt = Run(src, 0);
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(opt, unopt, 1e-9, &diff)) << diff;
+}
+
+TEST_F(PipelineTest, EinsumMatVec) {
+  // 'ij,j->i' with vector [2, 3]^T stored as a one-column matrix table.
+  Table vec;
+  ASSERT_TRUE(vec.AddColumn("id", Column::Int64({0, 1})).ok());
+  ASSERT_TRUE(vec.AddColumn("c0", Column::Float64({2, 3})).ok());
+  TableConstraints tc;
+  tc.primary_key = {"id"};
+  ASSERT_TRUE(db_.CreateTable("vec", std::move(vec), tc).ok());
+  Table r = Run(R"(
+@pytond()
+def q(m, vec):
+    a = m.to_numpy()
+    v = vec.to_numpy()
+    out = np.einsum('ij,j->i', a, v)
+    return out
+)");
+  // [1,4]*[2,3] = 14; [2,5] -> 19; [3,6] -> 24.
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(14.0));
+  EXPECT_EQ(r.column(1).Get(2), Value::Float64(24.0));
+}
+
+TEST_F(PipelineTest, EinsumRowAndTotalSums) {
+  Table r = Run(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    s = np.einsum('ij->i', a)
+    return s
+)");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(5.0));
+
+  Table r2 = Run(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    s = np.einsum('ij->', a)
+    return s
+)");
+  ASSERT_EQ(r2.num_rows(), 1u);
+  EXPECT_EQ(r2.column(0).Get(0), Value::Float64(21.0));
+}
+
+TEST_F(PipelineTest, SparseEinsumMatmul) {
+  // COO 2x2 identity-ish times itself.
+  Table a;
+  ASSERT_TRUE(a.AddColumn("row_id", Column::Int64({0, 0, 1})).ok());
+  ASSERT_TRUE(a.AddColumn("col_id", Column::Int64({0, 1, 1})).ok());
+  ASSERT_TRUE(a.AddColumn("val", Column::Float64({1, 2, 3})).ok());
+  ASSERT_TRUE(db_.CreateTable("coo", std::move(a)).ok());
+  Table r = Run(R"(
+@pytond(layout='sparse')
+def q(coo):
+    out = np.einsum('ij,jk->ik', coo, coo)
+    return out
+)");
+  // [[1,2],[0,3]]^2 = [[1,8],[0,9]]; sparse result drops the zero.
+  ASSERT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(PipelineTest, HybridPandasNumpyPandas) {
+  // Filter -> einsum -> back to DataFrame -> filter (Crime-Index shape).
+  Table r = Run(R"(
+@pytond()
+def q(m):
+    f = m[m.c0 > 1]
+    a = f.to_numpy()
+    s = np.einsum('ij->i', a)
+    d = pd.DataFrame(s)
+    out = d[d.c0 > 8]
+    return out
+)");
+  // Rows with c0>1: [2,5]=7 and [3,6]=9; filter >8 keeps one.
+  EXPECT_EQ(r.num_rows(), 1u);
+}
+
+TEST_F(PipelineTest, OptimizationShrinksProgram) {
+  const char* src = R"(
+@pytond()
+def q(t, u):
+    a = t[t.v > 10]
+    b = a.merge(u, on='k')
+    b['p'] = b.v * b.w
+    g = b.groupby(['cat']).agg(s=('p', 'sum'))
+    return g
+)";
+  CompileOptions o0;
+  o0.optimization_level = 0;
+  CompileOptions o4;
+  o4.optimization_level = 4;
+  auto c0 = CompileFunction(src, db_.catalog(), o0);
+  auto c4 = CompileFunction(src, db_.catalog(), o4);
+  ASSERT_TRUE(c0.ok()) << c0.status().ToString();
+  ASSERT_TRUE(c4.ok()) << c4.status().ToString();
+  EXPECT_GT(c0->sql.size(), c4->sql.size());
+  auto r0 = db_.Query(c0->sql);
+  auto r4 = db_.Query(c4->sql);
+  ASSERT_TRUE(r0.ok()) << c0->sql << r0.status().ToString();
+  ASSERT_TRUE(r4.ok()) << c4->sql << r4.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**r0, **r4, 1e-9, &diff)) << diff;
+}
+
+TEST_F(PipelineTest, DialectsProduceSameResults) {
+  const char* src = R"(
+@pytond()
+def q(t):
+    v = t[t.v > 15]
+    return v
+)";
+  CompileOptions duck;
+  duck.dialect = sqlgen::SqlDialect::kDuck;
+  CompileOptions hyper;
+  hyper.dialect = sqlgen::SqlDialect::kHyper;
+  auto cd = CompileFunction(src, db_.catalog(), duck);
+  auto ch = CompileFunction(src, db_.catalog(), hyper);
+  ASSERT_TRUE(cd.ok() && ch.ok());
+  auto rd = db_.Query(cd->sql);
+  auto rh = db_.Query(ch->sql);
+  ASSERT_TRUE(rd.ok() && rh.ok());
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**rd, **rh, 1e-9, &diff)) << diff;
+}
+
+TEST_F(PipelineTest, UnknownColumnFailsCleanly) {
+  auto c = CompileFunction(R"(
+@pytond()
+def q(t):
+    v = t[t.nosuch > 1]
+    return v
+)",
+                           db_.catalog());
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PipelineTest, MissingTableFailsCleanly) {
+  auto c = CompileFunction(R"(
+@pytond()
+def q(missing_table):
+    return missing_table
+)",
+                           db_.catalog());
+  ASSERT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace pytond::frontend

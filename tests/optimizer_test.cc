@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/passes.h"
+#include "tondir/ir.h"
+
+namespace pytond::opt {
+namespace {
+
+using tondir::ParseProgram;
+using tondir::ParseRule;
+using tondir::Program;
+
+Program Parse(const std::string& text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.ok() ? *p : Program();
+}
+
+// ---------------------------------------------------------- local DCE
+
+TEST(LocalDceTest, RemovesUnusedAssignment) {
+  // Paper §IV example: assignment var not listed in the head.
+  Program p = Parse("R1(a, c) :- R(a, b, c), (x = (b * c)), (a < 10).");
+  EXPECT_TRUE(LocalDeadCodeElimination(&p));
+  EXPECT_EQ(tondir::RuleToString(p.rules[0]),
+            "R1(a, c) :- R(a, b, c), (a < 10).");
+}
+
+TEST(LocalDceTest, KeepsAssignmentFeedingHead) {
+  Program p = Parse("R1(a, x) :- R(a, b), (x = (b * 2)).");
+  EXPECT_FALSE(LocalDeadCodeElimination(&p));
+  EXPECT_EQ(p.rules[0].body.size(), 2u);
+}
+
+TEST(LocalDceTest, KeepsTransitiveChains) {
+  // y feeds x which feeds the head; z is dead.
+  Program p = Parse(
+      "R1(a, x) :- R(a, b), (y = (b + 1)), (x = (y * 2)), (z = (b - 1)).");
+  EXPECT_TRUE(LocalDeadCodeElimination(&p));
+  EXPECT_EQ(p.rules[0].body.size(), 3u);  // access + y + x
+}
+
+TEST(LocalDceTest, KeepsFilterOperands) {
+  Program p = Parse("R1(a) :- R(a, b), (x = (b + 1)), (x > 5).");
+  EXPECT_FALSE(LocalDeadCodeElimination(&p));
+}
+
+TEST(LocalDceTest, KeepsSortAndGroupVars) {
+  Program p = Parse(
+      "R1(a) sort(s desc) limit(3) :- R(a, b), (s = (b * 2)).");
+  EXPECT_FALSE(LocalDeadCodeElimination(&p));
+}
+
+// ---------------------------------------------------------- global DCE
+
+TEST(GlobalDceTest, PrunesUnusedColumns) {
+  // Paper §IV example: c, d produced by R1 but unused in R2.
+  Program p = Parse(
+      "R1(a, b, c, d) :- R(a, b, c, d), (a < 10), (c = d).\n"
+      "R2(a, s) group(a) :- R1(a, b, c, d), (s = sum(b)).");
+  EXPECT_TRUE(GlobalDeadCodeElimination(&p, {"R"}));
+  EXPECT_EQ(p.rules[0].head.vars, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(p.rules[1].body[0].vars, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(GlobalDceTest, RemovesDeadRules) {
+  Program p = Parse(
+      "Dead(a) :- R(a, b).\n"
+      "R2(a) :- R(a, b).");
+  EXPECT_TRUE(GlobalDeadCodeElimination(&p, {"R"}));
+  EXPECT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].head.relation, "R2");
+}
+
+TEST(GlobalDceTest, KeepsColumnsUsedByAnyReader) {
+  Program p = Parse(
+      "R1(a, b) :- R(a, b, c).\n"
+      "R2(a) :- R1(a, b).\n"
+      "R3(b) :- R1(a, b).\n"
+      "R4(x, y) :- R2(x), R3(y).");
+  EXPECT_FALSE(GlobalDeadCodeElimination(&p, {"R"}));
+}
+
+TEST(GlobalDceTest, SinkRuleColumnsAlwaysKept) {
+  Program p = Parse("R1(a, b, c) :- R(a, b, c).");
+  EXPECT_FALSE(GlobalDeadCodeElimination(&p, {"R"}));
+}
+
+// ------------------------------------------------ group-aggregate elim
+
+TEST(GroupAggElimTest, EliminatesGroupOnUniqueKey) {
+  // Paper §IV example: group-by-sum on a primary key.
+  Program p = Parse(
+      "R1(ID, s) group(ID) :- R(ID, a, b, c), (s = sum(b)).");
+  p.relation_info["R"].unique_positions = {0};
+  EXPECT_TRUE(GroupAggregateElimination(&p));
+  EXPECT_EQ(tondir::RuleToString(p.rules[0]),
+            "R1(ID, s) :- R(ID, a, b, c), (s = b).");
+}
+
+TEST(GroupAggElimTest, CountBecomesOne) {
+  Program p = Parse("R1(ID, c) group(ID) :- R(ID, a), (c = count(a)).");
+  p.relation_info["R"].unique_positions = {0};
+  EXPECT_TRUE(GroupAggregateElimination(&p));
+  EXPECT_EQ(tondir::TermToString(*p.rules[0].body[1].term), "1");
+}
+
+TEST(GroupAggElimTest, SkipsNonUniqueKey) {
+  Program p = Parse("R1(a, s) group(a) :- R(ID, a, b), (s = sum(b)).");
+  p.relation_info["R"].unique_positions = {0};
+  EXPECT_FALSE(GroupAggregateElimination(&p));
+}
+
+TEST(GroupAggElimTest, JoinOfTwoUniqueAccesses) {
+  // Both sides keyed on ID (unique in each) -> at most one row per group.
+  Program p = Parse(
+      "R1(ID, s) group(ID) :- X(ID, a), Y(ID, b), (s = sum(a * b)).");
+  p.relation_info["X"].unique_positions = {0};
+  p.relation_info["Y"].unique_positions = {0};
+  EXPECT_TRUE(GroupAggregateElimination(&p));
+  EXPECT_FALSE(p.rules[0].head.has_group());
+}
+
+TEST(GroupAggElimTest, SkipsWhenOneAccessUncovered) {
+  Program p = Parse(
+      "R1(ID, s) group(ID) :- X(ID, a), Y(k, b), (s = sum(a * b)).");
+  p.relation_info["X"].unique_positions = {0};
+  EXPECT_FALSE(GroupAggregateElimination(&p));
+}
+
+TEST(GroupAggElimTest, SkipsConstRelBodies) {
+  Program p = Parse(
+      "R1(ID, s) group(ID) :- X(ID, a), (c = [0, 1]), (s = sum(a)).");
+  p.relation_info["X"].unique_positions = {0};
+  EXPECT_FALSE(GroupAggregateElimination(&p));
+}
+
+// ---------------------------------------------------- self-join elim
+
+TEST(SelfJoinElimTest, MergesRedundantSelfJoin) {
+  // Paper §IV example.
+  Program p = Parse("R1(ID, a, b) :- R(ID, a), R(ID, b).");
+  p.relation_info["R"].unique_positions = {0};
+  EXPECT_TRUE(SelfJoinElimination(&p));
+  EXPECT_EQ(tondir::RuleToString(p.rules[0]),
+            "R1(ID, a, a) :- R(ID, a).");
+}
+
+TEST(SelfJoinElimTest, SkipsNonUniqueJoin) {
+  Program p = Parse("R1(k, a, b) :- R(k, a), R(k, b).");
+  p.relation_info["R"].unique_positions = {1};
+  EXPECT_FALSE(SelfJoinElimination(&p));
+}
+
+TEST(SelfJoinElimTest, SkipsDifferentRelations) {
+  Program p = Parse("R1(ID, a, b) :- R(ID, a), S(ID, b).");
+  p.relation_info["R"].unique_positions = {0};
+  p.relation_info["S"].unique_positions = {0};
+  EXPECT_FALSE(SelfJoinElimination(&p));
+}
+
+TEST(SelfJoinElimTest, TripleSelfJoinCollapsesFully) {
+  Program p = Parse("R1(ID, a, b, c) :- R(ID, a), R(ID, b), R(ID, c).");
+  p.relation_info["R"].unique_positions = {0};
+  EXPECT_TRUE(SelfJoinElimination(&p));
+  int accesses = 0;
+  for (const auto& atom : p.rules[0].body) {
+    if (atom.kind == tondir::Atom::Kind::kRelAccess) ++accesses;
+  }
+  EXPECT_EQ(accesses, 1);
+}
+
+// ------------------------------------------------------- rule inlining
+
+TEST(FlowBreakerTest, ClassifiesPerTableVII) {
+  EXPECT_TRUE(IsFlowBreaker(*ParseRule(
+      "R(a, s) :- T(a, b), (s = sum(b)).")));                   // aggregate
+  EXPECT_TRUE(IsFlowBreaker(*ParseRule(
+      "R(a) group(a) :- T(a, b).")));                           // group by
+  EXPECT_TRUE(IsFlowBreaker(*ParseRule("R(a) distinct :- T(a).")));
+  EXPECT_TRUE(IsFlowBreaker(*ParseRule(
+      "R(a) sort(a) limit(5) :- T(a).")));                      // sort/limit
+  EXPECT_TRUE(IsFlowBreaker(*ParseRule(
+      "R(a, b) :- T(a), U(b), @outer_left(a, b).")));           // outer join
+  EXPECT_FALSE(IsFlowBreaker(*ParseRule("R(a) :- T(a, b), (a > 1).")));
+}
+
+TEST(RuleInliningTest, PaperExampleFusesChain) {
+  // Paper §IV rule-inlining example.
+  Program p = Parse(
+      "R2(b, c, d) :- R1(a, b, c, d), (a > 1000).\n"
+      "R3(b, d) :- R2(b, c, d), (c != \"A\").\n"
+      "R5(e, g) :- R4(e, f, g), (f > 100).\n"
+      "R6(b, g) :- R3(b, x), R5(x, g).\n"
+      "R7(b, m) group(b) :- R6(b, g), (m = max(g)).");
+  EXPECT_TRUE(RuleInlining(&p, {"R1", "R4"}));
+  ASSERT_EQ(p.rules.size(), 1u);
+  const tondir::Rule& r = p.rules[0];
+  EXPECT_EQ(r.head.relation, "R7");
+  EXPECT_TRUE(r.head.has_group());
+  // The fused body reads both base tables and keeps all three filters.
+  int accesses = 0, filters = 0;
+  for (const auto& atom : r.body) {
+    if (atom.kind == tondir::Atom::Kind::kRelAccess) ++accesses;
+    if (atom.kind == tondir::Atom::Kind::kCompare &&
+        atom.cmp_op != tondir::CmpOp::kEq) {
+      ++filters;
+    }
+  }
+  EXPECT_EQ(accesses, 2);
+  EXPECT_EQ(filters, 3);
+}
+
+TEST(RuleInliningTest, StopsAtFlowBreakers) {
+  Program p = Parse(
+      "Agg(a, s) group(a) :- T(a, b), (s = sum(b)).\n"
+      "Out(a, s) :- Agg(a, s), (s > 10).");
+  EXPECT_FALSE(RuleInlining(&p, {"T"}));
+  EXPECT_EQ(p.rules.size(), 2u);
+}
+
+TEST(RuleInliningTest, InlinesIntoMultipleReaders) {
+  Program p = Parse(
+      "V(a, b) :- T(a, b), (a > 0).\n"
+      "Out(x, y) :- V(x, u), V(v, y).");
+  EXPECT_TRUE(RuleInlining(&p, {"T"}));
+  ASSERT_EQ(p.rules.size(), 1u);
+  int accesses = 0;
+  for (const auto& atom : p.rules[0].body) {
+    if (atom.kind == tondir::Atom::Kind::kRelAccess) ++accesses;
+  }
+  EXPECT_EQ(accesses, 2);  // two independent copies of T
+}
+
+TEST(RuleInliningTest, RenamesAvoidCollisions) {
+  Program p = Parse(
+      "V(a) :- T(a, tmp), (tmp > 1).\n"
+      "Out(a, tmp) :- V(a), U(a, tmp).");
+  EXPECT_TRUE(RuleInlining(&p, {"T", "U"}));
+  ASSERT_EQ(p.rules.size(), 1u);
+  // The inlined `tmp` must have been freshened, not captured by reader's.
+  std::set<std::string> vars;
+  for (const auto& atom : p.rules[0].body) atom.CollectVars(&vars);
+  EXPECT_TRUE(vars.count("tmp"));
+  bool has_fresh = false;
+  for (const auto& v : vars) {
+    if (v.rfind("tmp_in", 0) == 0) has_fresh = true;
+  }
+  EXPECT_TRUE(has_fresh);
+}
+
+// --------------------------------------------- presets + full pipeline
+
+TEST(PresetTest, LevelsAreCumulative) {
+  OptimizerOptions o0 = OptimizerOptions::Preset(0);
+  EXPECT_FALSE(o0.local_dce);
+  EXPECT_FALSE(o0.rule_inlining);
+  OptimizerOptions o2 = OptimizerOptions::Preset(2);
+  EXPECT_TRUE(o2.local_dce);
+  EXPECT_TRUE(o2.group_agg_elim);
+  EXPECT_FALSE(o2.self_join_elim);
+  OptimizerOptions o4 = OptimizerOptions::Preset(4);
+  EXPECT_TRUE(o4.rule_inlining);
+}
+
+TEST(PipelineTest, CovarianceExampleCollapses) {
+  // Figure 2 / §IV end-to-end: join on unique ids, self-joined for the
+  // einsum, grouped on the unique id. After O4 everything collapses.
+  Program p = Parse(
+      "v1(ID, c0, c1) :- x(ID, xc0), y(ID2, yc1), (ID = ID2), "
+      "(c0 = xc0), (c1 = yc1).\n"
+      "v4(ID, d0, d1, d2, d3) group(ID) :- v1(ID, a0, a1), v1(ID, b0, b1), "
+      "(d0 = sum(a0 * b0)), (d1 = sum(a0 * b1)), "
+      "(d2 = sum(a1 * b0)), (d3 = sum(a1 * b1)).");
+  p.relation_info["x"].unique_positions = {0};
+  p.relation_info["y"].unique_positions = {0};
+  p.relation_info["v1"].unique_positions = {0};
+  ASSERT_TRUE(Optimize(&p, {"x", "y"}, OptimizerOptions::Preset(4)).ok());
+  ASSERT_EQ(p.rules.size(), 1u);
+  const tondir::Rule& r = p.rules[0];
+  EXPECT_FALSE(r.head.has_group()) << tondir::RuleToString(r);
+  // Self-join eliminated: one access to x and one to y remain.
+  int accesses = 0;
+  for (const auto& atom : r.body) {
+    if (atom.kind == tondir::Atom::Kind::kRelAccess) ++accesses;
+  }
+  EXPECT_EQ(accesses, 2) << tondir::RuleToString(r);
+}
+
+TEST(PipelineTest, O0LeavesProgramUntouched) {
+  Program p = Parse(
+      "Dead(a) :- T(a, b).\n"
+      "Out(a) :- T(a, b), (x = (b + 1)).");
+  std::string before = p.ToString();
+  ASSERT_TRUE(Optimize(&p, {"T"}, OptimizerOptions::Preset(0)).ok());
+  EXPECT_EQ(p.ToString(), before);
+}
+
+TEST(PipelineTest, FixpointTerminates) {
+  Program p = Parse(
+      "A(x) :- T(x, y).\n"
+      "B(x) :- A(x).\n"
+      "C(x) :- B(x).\n"
+      "D(x) :- C(x).\n"
+      "E(x) :- D(x).");
+  ASSERT_TRUE(Optimize(&p, {"T"}, OptimizerOptions::Preset(4)).ok());
+  EXPECT_EQ(p.rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pytond::opt

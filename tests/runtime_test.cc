@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "runtime/eager.h"
+#include "runtime/interpreter.h"
+#include "storage/catalog.h"
+
+namespace pytond::runtime {
+namespace {
+
+Table SampleFrame() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("k", Column::Int64({1, 2, 2, 3})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("g", Column::String({"a", "b", "a", "b"})).ok());
+  EXPECT_TRUE(t.AddColumn("v", Column::Float64({10, 20, 30, 40})).ok());
+  return t;
+}
+
+TEST(EagerOpsTest, BinaryOpArithmeticAndComparison) {
+  Column a = Column::Int64({1, 2, 3});
+  Column b = Column::Int64({10, 20, 30});
+  auto sum = eager::BinaryOp("+", a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->ints()[2], 33);
+  auto div = eager::BinaryOp("/", a, b);
+  ASSERT_TRUE(div.ok());
+  EXPECT_EQ(div->type(), DataType::kFloat64);
+  auto lt = eager::BinaryOp("<", a, b);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE(lt->bools()[0]);
+}
+
+TEST(EagerOpsTest, BinaryOpNullsDisqualifyComparisons) {
+  Column a = Column::Float64({1, 2});
+  a.AppendNull();
+  Column b = eager::Broadcast(Value::Float64(1.5), 3, DataType::kFloat64);
+  auto lt = eager::BinaryOp("<", a, b);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE(lt->bools()[0]);
+  EXPECT_FALSE(lt->bools()[1]);
+  EXPECT_FALSE(lt->bools()[2]);  // NULL compares false
+}
+
+TEST(EagerOpsTest, FilterAndProject) {
+  Table t = SampleFrame();
+  Column mask = Column::Bool({1, 0, 1, 0});
+  Table f = eager::Filter(t, mask);
+  EXPECT_EQ(f.num_rows(), 2u);
+  auto p = eager::Project(f, {"v", "k"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->schema().names[0], "v");
+  EXPECT_FALSE(eager::Project(t, {"nope"}).ok());
+}
+
+TEST(EagerOpsTest, MergeInnerWithSuffixes) {
+  Table t = SampleFrame();
+  auto m = eager::Merge(t, t, {"k"}, {"k"}, "inner");
+  ASSERT_TRUE(m.ok());
+  // k=2 matches 2x2 = 4 pairs, k=1 and k=3 one each -> 6 rows.
+  EXPECT_EQ(m->num_rows(), 6u);
+  EXPECT_GE(m->schema().Find("g_x"), 0);
+  EXPECT_GE(m->schema().Find("v_y"), 0);
+  EXPECT_EQ(m->schema().Find("k_x"), -1);  // shared key kept once
+}
+
+TEST(EagerOpsTest, MergeOuterPadsNulls) {
+  Table t = SampleFrame();
+  Table u;
+  ASSERT_TRUE(u.AddColumn("k", Column::Int64({2, 9})).ok());
+  ASSERT_TRUE(u.AddColumn("w", Column::Float64({1, 2})).ok());
+  auto left = eager::Merge(t, u, {"k"}, {"k"}, "left");
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->num_rows(), 4u);  // rows 2,2 match; 1,3 padded
+  auto outer = eager::Merge(t, u, {"k"}, {"k"}, "outer");
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(outer->num_rows(), 5u);  // + unmatched right (k=9)
+  // The shared key column takes the right value on right-padding rows.
+  bool found9 = false;
+  for (size_t i = 0; i < outer->num_rows(); ++i) {
+    if (outer->column(0).Get(i) == Value::Int64(9)) found9 = true;
+  }
+  EXPECT_TRUE(found9);
+}
+
+TEST(EagerOpsTest, GroupByAggAllFunctions) {
+  Table t = SampleFrame();
+  auto g = eager::GroupByAgg(t, {"g"},
+                             {{"s", "v", "sum"},
+                              {"mn", "v", "min"},
+                              {"mx", "v", "max"},
+                              {"avg", "v", "mean"},
+                              {"n", "v", "count"},
+                              {"uk", "k", "nunique"}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_rows(), 2u);
+  // Group "a": rows v=10,30, k=1,2.
+  size_t a_row = g->column(0).Get(0).AsString() == "a" ? 0 : 1;
+  EXPECT_EQ(g->column(1).Get(a_row), Value::Float64(40.0));
+  EXPECT_EQ(g->column(2).Get(a_row), Value::Float64(10.0));
+  EXPECT_EQ(g->column(3).Get(a_row), Value::Float64(30.0));
+  EXPECT_EQ(g->column(4).Get(a_row), Value::Float64(20.0));
+  EXPECT_EQ(g->column(5).Get(a_row), Value::Int64(2));
+  EXPECT_EQ(g->column(6).Get(a_row), Value::Int64(2));
+}
+
+TEST(EagerOpsTest, GlobalAggOnEmptyInput) {
+  Table t(SampleFrame().schema());
+  auto g = eager::GroupByAgg(t, {}, {{"n", "v", "count"}, {"s", "v", "sum"}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_rows(), 1u);
+  EXPECT_EQ(g->column(0).Get(0), Value::Int64(0));
+  EXPECT_TRUE(g->column(1).Get(0).is_null());
+}
+
+TEST(EagerOpsTest, SortHeadUniqueIsin) {
+  Table t = SampleFrame();
+  auto s = eager::SortValues(t, {"v"}, {false});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->column(2).Get(0), Value::Float64(40.0));
+  Table h = eager::Head(*s, 2);
+  EXPECT_EQ(h.num_rows(), 2u);
+  auto u = eager::Unique(t, "g");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_rows(), 2u);
+  Column probe = Column::Int64({2, 5});
+  auto mask = eager::IsinMask(t.column(0), probe);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE(mask->bools()[0]);
+  EXPECT_TRUE(mask->bools()[1]);
+}
+
+TEST(EagerOpsTest, PivotTable) {
+  Table t = SampleFrame();
+  auto p = eager::PivotTable(t, "k", "g", "v", {"a", "b"});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->num_columns(), 3u);  // k, p_a, p_b
+  // k=2 appears with g=b(20) and g=a(30).
+  for (size_t i = 0; i < p->num_rows(); ++i) {
+    if (p->column(0).Get(i) == Value::Int64(2)) {
+      EXPECT_EQ(p->column(1).Get(i), Value::Float64(30.0));
+      EXPECT_EQ(p->column(2).Get(i), Value::Float64(20.0));
+    }
+  }
+}
+
+TEST(EagerOpsTest, DenseEinsumKernels) {
+  Table m;
+  ASSERT_TRUE(m.AddColumn("id", Column::Int64({0, 1})).ok());
+  ASSERT_TRUE(m.AddColumn("c0", Column::Float64({1, 3})).ok());
+  ASSERT_TRUE(m.AddColumn("c1", Column::Float64({2, 4})).ok());
+  auto total = eager::EinsumDense("ij->", {&m});
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->column(0).Get(0), Value::Float64(10.0));
+  auto rows = eager::EinsumDense("ij->i", {&m});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->column(1).Get(1), Value::Float64(7.0));
+  auto gram = eager::EinsumDense("ij,ik->jk", {&m, &m});
+  ASSERT_TRUE(gram.ok());
+  EXPECT_EQ(gram->column(1).Get(0), Value::Float64(10.0));   // 1+9
+  EXPECT_EQ(gram->column(2).Get(1), Value::Float64(20.0));   // 4+16
+  EXPECT_FALSE(eager::EinsumDense("xyz->", {&m}).ok());
+}
+
+TEST(EagerOpsTest, SparseEinsumDiagonalRepeatedIndex) {
+  Table coo;
+  ASSERT_TRUE(coo.AddColumn("row_id", Column::Int64({0, 0, 1})).ok());
+  ASSERT_TRUE(coo.AddColumn("col_id", Column::Int64({0, 1, 1})).ok());
+  ASSERT_TRUE(coo.AddColumn("val", Column::Float64({5, 7, 9})).ok());
+  // Trace: sum of the diagonal = 5 + 9.
+  auto trace = eager::EinsumSparse("ii->", {&coo});
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->num_rows(), 1u);
+  EXPECT_EQ(trace->column(0).Get(0), Value::Float64(14.0));
+}
+
+TEST(InterpreterTest, RunsSimplePipeline) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", SampleFrame()).ok());
+  auto r = InterpretSource(R"(
+@pytond()
+def f(t):
+    big = t[t.v >= 20]
+    g = big.groupby(['g']).agg(s=('v', 'sum'))
+    out = g.sort_values(by=['g'])
+    return out
+)",
+                           catalog);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->column(1).Get(0), Value::Float64(30.0));
+  EXPECT_EQ(r->column(1).Get(1), Value::Float64(60.0));
+}
+
+TEST(InterpreterTest, ReportsMissingTable) {
+  Catalog catalog;
+  auto r = InterpretSource("@pytond()\ndef f(zzz):\n    return zzz\n",
+                           catalog);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InterpreterTest, ReportsUnsupportedMethod) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", SampleFrame()).ok());
+  auto r = InterpretSource(
+      "@pytond()\ndef f(t):\n    v = t.rolling(3)\n    return v\n", catalog);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace pytond::runtime

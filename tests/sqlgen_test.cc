@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "optimizer/passes.h"
+#include "sqlgen/sqlgen.h"
+#include "tondir/ir.h"
+
+namespace pytond::sqlgen {
+namespace {
+
+using tondir::ParseProgram;
+using tondir::Program;
+
+Program Parse(const std::string& text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return p.ok() ? *p : Program();
+}
+
+std::string Gen(Program p, SqlDialect dialect = SqlDialect::kDuck) {
+  SqlGenOptions opts;
+  opts.dialect = dialect;
+  opts.pretty = false;
+  auto r = GenerateSql(p, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : "";
+}
+
+TEST(SqlGenTest, PaperSectionIIIEExample) {
+  // R1(a, s) :- R(a, b, c), (s=sum(b)).  -- sink, so no WITH needed
+  Program p = Parse("R1(a, s) group(a) :- R(a, b, c), (s = sum(b)).");
+  p.base_columns["R"] = {"a", "b", "c"};
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql,
+            "SELECT r1.a AS a, SUM(r1.b) AS s FROM R AS r1 GROUP BY r1.a");
+}
+
+TEST(SqlGenTest, ChainBecomesCtes) {
+  Program p = Parse(
+      "V(a) :- T(a, b), (a > 5).\n"
+      "Out(a) :- V(a).");
+  p.base_columns["T"] = {"a", "b"};
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql,
+            "WITH V(a) AS ( SELECT r1.a AS a FROM T AS r1 WHERE (r1.a > 5) ) "
+            "SELECT r2.a AS a FROM V AS r2");
+}
+
+TEST(SqlGenTest, JoinViaSharedVariables) {
+  Program p = Parse("Out(a, c) :- T(id, a), U(id, c).");
+  p.base_columns["T"] = {"tid", "ta"};
+  p.base_columns["U"] = {"uid_", "uc"};
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql,
+            "SELECT r1.ta AS a, r2.uc AS c FROM T AS r1, U AS r2 "
+            "WHERE (r1.tid = r2.uid_)");
+}
+
+TEST(SqlGenTest, RepeatedVarWithinAccessIsEquality) {
+  // einsum('ii->i') diagonal pattern.
+  Program p = Parse("Out(x) :- M(x, x).");
+  p.base_columns["M"] = {"c0", "c1"};
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql, "SELECT r1.c0 AS x FROM M AS r1 WHERE (r1.c0 = r1.c1)");
+}
+
+TEST(SqlGenTest, SortLimitDistinct) {
+  Program p = Parse(
+      "Out(a, b) sort(b desc, a) limit(10) distinct :- T(a, b).");
+  p.base_columns["T"] = {"a", "b"};
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql,
+            "SELECT DISTINCT r1.a AS a, r1.b AS b FROM T AS r1 "
+            "ORDER BY b DESC, a LIMIT 10");
+}
+
+TEST(SqlGenTest, SortWithoutLimitOnlyInSink) {
+  Program p = Parse(
+      "V(a) sort(a) :- T(a, b).\n"
+      "Out(a) :- V(a).");
+  p.base_columns["T"] = {"a", "b"};
+  SqlGenOptions opts;
+  auto r = GenerateSql(p, opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SqlGenTest, TopNInCteIsAllowed) {
+  Program p = Parse(
+      "V(a) sort(a desc) limit(3) :- T(a, b).\n"
+      "Out(a) :- V(a).");
+  p.base_columns["T"] = {"a", "b"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("ORDER BY a DESC LIMIT 3"), std::string::npos);
+}
+
+TEST(SqlGenTest, ConstantRelationBecomesValues) {
+  Program p = Parse(
+      "V(c0) :- (c0 = [0, 1]).\n"
+      "Out(c0) :- V(c0).");
+  std::string sql = Gen(p);
+  EXPECT_EQ(sql,
+            "WITH V(c0) AS ( VALUES (0), (1) ) SELECT r1.c0 AS c0 "
+            "FROM V AS r1");
+}
+
+TEST(SqlGenTest, IfBecomesCase) {
+  Program p = Parse("Out(x) :- T(a, b), (x = if(a > 1, b, 0)).");
+  p.base_columns["T"] = {"a", "b"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("CASE WHEN (r1.a > 1) THEN r1.b ELSE 0 END"),
+            std::string::npos);
+}
+
+TEST(SqlGenTest, UidBecomesRowNumberWindow) {
+  Program p = Parse("Out(id, a) :- T(a, b), (id = uid()).");
+  p.base_columns["T"] = {"a", "b"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("row_number() OVER (ORDER BY r1.a)"),
+            std::string::npos);
+}
+
+TEST(SqlGenTest, ExistsBecomesCorrelatedSubquery) {
+  Program p = Parse("Out(a) :- T(a, b), exists(U(a, c)).");
+  p.base_columns["T"] = {"a", "b"};
+  p.base_columns["U"] = {"ua", "uc"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("EXISTS (SELECT 1 FROM U AS r2 WHERE (r2.ua = r1.a))"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(SqlGenTest, NegatedExists) {
+  Program p = Parse("Out(a) :- T(a, b), !exists(U(a, c)).");
+  p.base_columns["T"] = {"a", "b"};
+  p.base_columns["U"] = {"ua", "uc"};
+  EXPECT_NE(Gen(p).find("NOT EXISTS"), std::string::npos);
+}
+
+TEST(SqlGenTest, OuterJoinMarkers) {
+  Program p = Parse(
+      "Out(a, x, b, y) :- T(a, x), U(b, y), @outer_left(a, b).");
+  p.base_columns["T"] = {"ta", "tx"};
+  p.base_columns["U"] = {"ub", "uy"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("T AS r1 LEFT JOIN U AS r2 ON r1.ta = r2.ub"),
+            std::string::npos)
+      << sql;
+}
+
+TEST(SqlGenTest, FullOuterCoalescesKeys) {
+  Program p = Parse(
+      "Out(a, b) :- T(a, x), U(b, y), @outer_full(a, b).");
+  p.base_columns["T"] = {"ta", "tx"};
+  p.base_columns["U"] = {"ub", "uy"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("FULL JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("COALESCE(r1.ta, r2.ub)"), std::string::npos) << sql;
+}
+
+TEST(SqlGenTest, DialectAdaptationForDateFunctions) {
+  Program p = Parse("Out(y) :- T(d), (y = year(d)).");
+  p.base_columns["T"] = {"d"};
+  EXPECT_NE(Gen(p, SqlDialect::kDuck).find("EXTRACT(YEAR FROM r1.d)"),
+            std::string::npos);
+  EXPECT_NE(Gen(p, SqlDialect::kHyper).find("year(r1.d)"),
+            std::string::npos);
+}
+
+TEST(SqlGenTest, AggregateSpellings) {
+  Program p = Parse(
+      "Out(g, s, c, cd, m) group(g) :- T(g, v), (s = sum(v)), "
+      "(c = count(1)), (cd = count_distinct(v)), (m = avg(v)).");
+  p.base_columns["T"] = {"g", "v"};
+  std::string sql = Gen(p);
+  EXPECT_NE(sql.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(sql.find("COUNT(DISTINCT r1.v)"), std::string::npos);
+  EXPECT_NE(sql.find("AVG(r1.v)"), std::string::npos);
+}
+
+TEST(SqlGenTest, StringsEscaped) {
+  Program p = Parse("Out(a) :- T(a, s), (s = \"o'brien\").");
+  p.base_columns["T"] = {"a", "s"};
+  EXPECT_NE(Gen(p).find("'o''brien'"), std::string::npos);
+}
+
+// ------------------------- end-to-end: TondIR -> SQL -> engine ----------
+
+class SqlGenEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table t;
+    ASSERT_TRUE(t.AddColumn("id", Column::Int64({1, 2, 3, 4})).ok());
+    ASSERT_TRUE(t.AddColumn("g", Column::String({"a", "a", "b", "b"})).ok());
+    ASSERT_TRUE(t.AddColumn("v", Column::Float64({1, 2, 3, 4})).ok());
+    ASSERT_TRUE(db_.CreateTable("t", std::move(t)).ok());
+    Table u;
+    ASSERT_TRUE(u.AddColumn("id", Column::Int64({2, 3, 9})).ok());
+    ASSERT_TRUE(u.AddColumn("w", Column::Float64({20, 30, 90})).ok());
+    ASSERT_TRUE(db_.CreateTable("u", std::move(u)).ok());
+  }
+
+  Table RunProgram(const std::string& ir) {
+    Program p = Parse(ir);
+    p.base_columns["t"] = {"id", "g", "v"};
+    p.base_columns["u"] = {"id", "w"};
+    auto sql = GenerateSql(p, {});
+    EXPECT_TRUE(sql.ok()) << sql.status().ToString();
+    auto res = db_.Query(*sql);
+    EXPECT_TRUE(res.ok()) << *sql << "\n"
+                          << (res.ok() ? "" : res.status().ToString());
+    return res.ok() ? **res : Table();
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(SqlGenEndToEndTest, FilterProject) {
+  Table r = RunProgram("Out(id, v) :- t(id, g, v), (v > 2).");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(SqlGenEndToEndTest, GroupAggregate) {
+  Table r = RunProgram(
+      "Out(g, s) group(g) sort(g) :- t(id, g, v), (s = sum(v)).");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.column(1).Get(0), Value::Float64(3.0));
+  EXPECT_EQ(r.column(1).Get(1), Value::Float64(7.0));
+}
+
+TEST_F(SqlGenEndToEndTest, JoinThroughSharedVar) {
+  Table r = RunProgram("Out(id, v, w) :- t(id, g, v), u(id, w).");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(SqlGenEndToEndTest, ExistsSemiJoin) {
+  Table r = RunProgram("Out(id) :- t(id, g, v), exists(u(id, w)).");
+  EXPECT_EQ(r.num_rows(), 2u);
+  Table r2 = RunProgram("Out(id) :- t(id, g, v), !exists(u(id, w)).");
+  EXPECT_EQ(r2.num_rows(), 2u);
+}
+
+TEST_F(SqlGenEndToEndTest, UidColumn) {
+  Table r = RunProgram(
+      "Out(rid, id) :- t(id, g, v), (rid = uid()).");
+  ASSERT_EQ(r.num_rows(), 4u);
+  // Table ids are 1..4; uid follows that order but starts at 0
+  // (paper §II-B: "an ID column starting from 0").
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.column(0).Get(i).AsInt64() + 1,
+              r.column(1).Get(i).AsInt64());
+  }
+}
+
+TEST_F(SqlGenEndToEndTest, OptimizedAndUnoptimizedAgree) {
+  const char* ir =
+      "V1(id, v, w) :- t(id, g, v), u(id, w).\n"
+      "V2(id, p) :- V1(id, v, w), (p = (v * w)).\n"
+      "Out(s) :- V2(id, p), (s = sum(p)).";
+  Program p0 = Parse(ir);
+  p0.base_columns["t"] = {"id", "g", "v"};
+  p0.base_columns["u"] = {"id", "w"};
+  Program p4 = Parse(ir);
+  p4.base_columns = p0.base_columns;
+  ASSERT_TRUE(
+      opt::Optimize(&p4, {"t", "u"}, opt::OptimizerOptions::Preset(4)).ok());
+  EXPECT_LT(p4.rules.size(), p0.rules.size());
+  auto sql0 = GenerateSql(p0, {});
+  auto sql4 = GenerateSql(p4, {});
+  ASSERT_TRUE(sql0.ok() && sql4.ok());
+  auto r0 = db_.Query(*sql0);
+  auto r4 = db_.Query(*sql4);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  ASSERT_TRUE(r4.ok()) << *sql4 << "\n" << r4.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**r0, **r4, 1e-9, &diff)) << diff;
+}
+
+}  // namespace
+}  // namespace pytond::sqlgen

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace pytond {
+namespace {
+
+TEST(ColumnTest, TypedConstruction) {
+  Column c = Column::Int64({1, 2, 3});
+  EXPECT_EQ(c.type(), DataType::kInt64);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Get(1), Value::Int64(2));
+}
+
+TEST(ColumnTest, NullHandling) {
+  Column c = Column::Float64({1.0, 2.0});
+  EXPECT_FALSE(c.has_nulls());
+  c.AppendNull();
+  EXPECT_TRUE(c.has_nulls());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.IsValid(0));
+  EXPECT_FALSE(c.IsValid(2));
+  EXPECT_TRUE(c.Get(2).is_null());
+  c.Append(Value::Float64(4.0));
+  EXPECT_TRUE(c.IsValid(3));
+}
+
+TEST(ColumnTest, Gather) {
+  Column c = Column::String({"a", "b", "c", "d"});
+  Column g = c.Gather({3, 1});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.strings()[0], "d");
+  EXPECT_EQ(g.strings()[1], "b");
+}
+
+TEST(ColumnTest, GatherPreservesValidity) {
+  Column c = Column::Int64({1, 2, 3});
+  c.AppendNull();
+  Column g = c.Gather({3, 0});
+  EXPECT_FALSE(g.IsValid(0));
+  EXPECT_TRUE(g.IsValid(1));
+}
+
+TEST(ColumnTest, AppendFromCopiesTypedValue) {
+  Column src = Column::Date({100, 200});
+  Column dst(DataType::kDate);
+  dst.AppendFrom(src, 1);
+  EXPECT_EQ(dst.dates()[0], 200);
+}
+
+TEST(SchemaTest, Find) {
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  s.Add("b", DataType::kString);
+  EXPECT_EQ(s.Find("b"), 1);
+  EXPECT_EQ(s.Find("zz"), -1);
+}
+
+TEST(TableTest, AppendAndGetRows) {
+  Schema s;
+  s.Add("id", DataType::kInt64);
+  s.Add("name", DataType::kString);
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1), Value::String("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int64(2), Value::String("y")}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  auto row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value::Int64(2));
+  EXPECT_EQ(row[1], Value::String("y"));
+}
+
+TEST(TableTest, AddColumnLengthMismatchFails) {
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value::Int64(1)}).ok());
+  EXPECT_FALSE(t.AddColumn("b", Column::Int64({1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn("b", Column::Int64({5})).ok());
+  EXPECT_EQ(t.schema().Find("b"), 1);
+}
+
+TEST(TableTest, UnorderedEqualsIgnoresRowOrder) {
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  s.Add("b", DataType::kFloat64);
+  Table t1(s), t2(s);
+  ASSERT_TRUE(t1.AppendRow({Value::Int64(1), Value::Float64(0.5)}).ok());
+  ASSERT_TRUE(t1.AppendRow({Value::Int64(2), Value::Float64(1.5)}).ok());
+  ASSERT_TRUE(t2.AppendRow({Value::Int64(2), Value::Float64(1.5)}).ok());
+  ASSERT_TRUE(t2.AppendRow({Value::Int64(1), Value::Float64(0.5)}).ok());
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(t1, t2, 1e-9, &diff)) << diff;
+}
+
+TEST(TableTest, UnorderedEqualsDetectsDifference) {
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  Table t1(s), t2(s);
+  ASSERT_TRUE(t1.AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(t2.AppendRow({Value::Int64(9)}).ok());
+  std::string diff;
+  EXPECT_FALSE(Table::UnorderedEquals(t1, t2, 1e-9, &diff));
+  EXPECT_FALSE(diff.empty());
+}
+
+TEST(TableTest, UnorderedEqualsFloatTolerance) {
+  Schema s;
+  s.Add("a", DataType::kFloat64);
+  Table t1(s), t2(s);
+  ASSERT_TRUE(t1.AppendRow({Value::Float64(100.0)}).ok());
+  ASSERT_TRUE(t2.AppendRow({Value::Float64(100.0 + 1e-9)}).ok());
+  EXPECT_TRUE(Table::UnorderedEquals(t1, t2, 1e-6));
+  Table t3(s);
+  ASSERT_TRUE(t3.AppendRow({Value::Float64(101.0)}).ok());
+  EXPECT_FALSE(Table::UnorderedEquals(t1, t3, 1e-6));
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog cat;
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  ASSERT_TRUE(cat.CreateTable("t", Table(s)).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_NE(cat.GetTable("t"), nullptr);
+  EXPECT_FALSE(cat.CreateTable("t", Table(s)).ok());  // duplicate
+  EXPECT_TRUE(cat.DropTable("t").ok());
+  EXPECT_FALSE(cat.DropTable("t").ok());
+  EXPECT_EQ(cat.GetTable("t"), nullptr);
+}
+
+TEST(CatalogTest, ConstraintsUniqueness) {
+  Catalog cat;
+  Schema s;
+  s.Add("id", DataType::kInt64);
+  s.Add("u", DataType::kString);
+  s.Add("v", DataType::kString);
+  TableConstraints tc;
+  tc.primary_key = {"id"};
+  tc.unique_columns = {"u"};
+  ASSERT_TRUE(cat.CreateTable("t", Table(s), tc).ok());
+  const TableConstraints* got = cat.GetConstraints("t");
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->IsUniqueColumn("id"));
+  EXPECT_TRUE(got->IsUniqueColumn("u"));
+  EXPECT_FALSE(got->IsUniqueColumn("v"));
+}
+
+TEST(CatalogTest, CompositePkColumnNotIndividuallyUnique) {
+  TableConstraints tc;
+  tc.primary_key = {"a", "b"};
+  EXPECT_FALSE(tc.IsUniqueColumn("a"));
+}
+
+}  // namespace
+}  // namespace pytond
+
+namespace pytond {
+namespace {
+
+Schema CsvSchema() {
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  s.Add("name", DataType::kString);
+  s.Add("v", DataType::kFloat64);
+  s.Add("d", DataType::kDate);
+  return s;
+}
+
+Table CsvSample() {
+  Table t(CsvSchema());
+  EXPECT_TRUE(t.AppendRow({Value::Int64(1), Value::String("plain"),
+                           Value::Float64(1.5), Value::Date(9000)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int64(2), Value::String("has,comma"),
+                           Value::Float64(-2.0), Value::Date(9001)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::Int64(3), Value::String("says \"hi\""),
+                           Value::Null(), Value::Date(9002)})
+                  .ok());
+  return t;
+}
+
+TEST(CsvTest, RoundTripsValuesQuotesAndNulls) {
+  Table t = CsvSample();
+  std::string text = csv::WriteCsv(t);
+  auto back = csv::ReadCsv(text, CsvSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(t, *back, 1e-9, &diff)) << diff << text;
+  // The quoted fields survive verbatim.
+  EXPECT_EQ(back->column(1).Get(1), Value::String("has,comma"));
+  EXPECT_EQ(back->column(1).Get(2), Value::String("says \"hi\""));
+  EXPECT_FALSE(back->column(2).IsValid(2));
+}
+
+TEST(CsvTest, RejectsHeaderMismatch) {
+  Schema wrong;
+  wrong.Add("x", DataType::kInt64);
+  wrong.Add("name", DataType::kString);
+  wrong.Add("v", DataType::kFloat64);
+  wrong.Add("d", DataType::kDate);
+  EXPECT_FALSE(csv::ReadCsv(csv::WriteCsv(CsvSample()), wrong).ok());
+}
+
+TEST(CsvTest, RejectsRaggedRecords) {
+  EXPECT_FALSE(
+      csv::ReadCsv("k,name,v,d\n1,two\n", CsvSchema()).ok());
+}
+
+TEST(CsvTest, CustomSeparator) {
+  Table t = CsvSample();
+  std::string text = csv::WriteCsv(t, '|');
+  auto back = csv::ReadCsv(text, CsvSchema(), '|');
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = CsvSample();
+  std::string path = ::testing::TempDir() + "/pytond_csv_test.csv";
+  ASSERT_TRUE(csv::WriteCsvFile(t, path).ok());
+  auto back = csv::ReadCsvFile(path, CsvSchema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(csv::ReadCsvFile(path, CsvSchema()).ok());
+}
+
+}  // namespace
+}  // namespace pytond

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "tondir/ir.h"
+
+namespace pytond::tondir {
+namespace {
+
+TEST(TermTest, BuildAndPrint) {
+  TermPtr t = Term::Binary(BinOp::kMul, Term::Var("a"),
+                           Term::Const(Value::Int64(2)));
+  EXPECT_EQ(TermToString(*t), "(a * 2)");
+  TermPtr agg = Term::Agg(AggFn::kSum, Term::Var("b"));
+  EXPECT_EQ(TermToString(*agg), "sum(b)");
+  TermPtr iff = Term::If(Term::Var("c"), Term::Const(Value::Int64(1)),
+                         Term::Const(Value::Int64(0)));
+  EXPECT_EQ(TermToString(*iff), "if(c, 1, 0)");
+}
+
+TEST(TermTest, CollectVarsAndContainsAgg) {
+  TermPtr t = Term::If(Term::Var("c"), Term::Agg(AggFn::kMax, Term::Var("x")),
+                       Term::Var("y"));
+  std::set<std::string> vars;
+  t->CollectVars(&vars);
+  EXPECT_EQ(vars, (std::set<std::string>{"c", "x", "y"}));
+  EXPECT_TRUE(t->ContainsAgg());
+  EXPECT_FALSE(Term::Var("z")->ContainsAgg());
+}
+
+TEST(TermTest, SubstituteReplacesVariables) {
+  TermPtr t = Term::Binary(BinOp::kAdd, Term::Var("a"), Term::Var("b"));
+  std::map<std::string, TermPtr> subst = {
+      {"a", Term::Binary(BinOp::kMul, Term::Var("x"), Term::Var("y"))}};
+  TermPtr out = Term::Substitute(t, subst);
+  EXPECT_EQ(TermToString(*out), "((x * y) + b)");
+  // Original unchanged.
+  EXPECT_EQ(TermToString(*t), "(a + b)");
+}
+
+TEST(AtomTest, PrintForms) {
+  EXPECT_EQ(AtomToString(Atom::RelAccess("R", {"a", "b"})), "R(a, b)");
+  EXPECT_EQ(AtomToString(Atom::Compare("x", CmpOp::kGt,
+                                       Term::Const(Value::Int64(10)))),
+            "(x > 10)");
+  EXPECT_EQ(AtomToString(Atom::ConstRel(
+                "c0", {Value::Int64(0), Value::Int64(1)})),
+            "(c0 = [0, 1])");
+  EXPECT_EQ(AtomToString(Atom::External("outer_left", {"a", "b"})),
+            "@outer_left(a, b)");
+}
+
+TEST(AtomTest, DefinedVarsDistinguishAssignmentFromComparison) {
+  Atom assign = Atom::Compare("s", CmpOp::kEq, Term::Var("b"));
+  std::set<std::string> defined = {"b"};
+  std::set<std::string> out = defined;
+  assign.CollectDefinedVars(defined, &out);
+  EXPECT_TRUE(out.count("s"));  // fresh var: assignment
+
+  std::set<std::string> defined2 = {"s", "b"};
+  Atom cmp = Atom::Compare("s", CmpOp::kEq, Term::Var("b"));
+  std::set<std::string> out2;
+  cmp.CollectDefinedVars(defined2, &out2);
+  EXPECT_FALSE(out2.count("s"));  // already defined: equality filter
+}
+
+TEST(RuleTest, Predicates) {
+  Rule r = *ParseRule("R(a, s) group(a) :- T(a, b), (s = sum(b)).");
+  EXPECT_TRUE(r.HasAggregate());
+  EXPECT_FALSE(r.HasJoin());
+  Rule j = *ParseRule("R(a) :- T(a, x), U(x, c).");
+  EXPECT_TRUE(j.HasJoin());
+  EXPECT_FALSE(j.HasAggregate());
+  Rule o = *ParseRule("R(a, b) :- T(a), U(b), @outer_left(a, b).");
+  EXPECT_TRUE(o.HasOuterMarker());
+}
+
+TEST(ParserTest, RoundTripSimpleRule) {
+  const char* text = "R(a, s) group(a) :- T(a, b, c), (a < 10), (s = sum(b)).";
+  auto r = ParseRule(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(RuleToString(*r),
+            "R(a, s) group(a) :- T(a, b, c), (a < 10), (s = sum(b)).");
+}
+
+TEST(ParserTest, SortLimitDistinct) {
+  auto r = ParseRule(
+      "R(a, b) sort(a desc, b) limit(10) distinct :- T(a, b).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->head.sort_keys.size(), 2u);
+  EXPECT_FALSE(r->head.sort_keys[0].ascending);
+  EXPECT_TRUE(r->head.sort_keys[1].ascending);
+  EXPECT_EQ(*r->head.limit, 10);
+  EXPECT_TRUE(r->head.distinct);
+}
+
+TEST(ParserTest, ExistsAndNegation) {
+  auto r = ParseRule("R(a) :- T(a), !exists(U(a, x), (x > 5)).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->body.size(), 2u);
+  EXPECT_EQ(r->body[1].kind, Atom::Kind::kExists);
+  EXPECT_TRUE(r->body[1].negated);
+  EXPECT_EQ(r->body[1].exists_body->size(), 2u);
+}
+
+TEST(ParserTest, ConstRelAndStrings) {
+  auto r = ParseRule("R(c) :- (c = [0, 1, 2]), (d = \"hi\").");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->body[0].kind, Atom::Kind::kConstRel);
+  EXPECT_EQ(r->body[0].const_values.size(), 3u);
+  EXPECT_EQ(r->body[1].term->constant.AsString(), "hi");
+}
+
+TEST(ParserTest, ProgramWithMultipleRules) {
+  auto p = ParseProgram(R"(
+    # comment line
+    R1(a, b) :- T(a, b, c), (a > 1000).
+    R2(b, m) group(b) :- R1(a, b), (m = max(a)).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules.size(), 2u);
+  EXPECT_EQ(p->rules[1].head.group_vars, std::vector<std::string>{"b"});
+}
+
+TEST(ParserTest, IfAndExternalTerms) {
+  auto r = ParseRule("R(x, u) :- T(a, b), (x = if(a, b, 0)), (u = uid()).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->body[1].term->kind, Term::Kind::kIf);
+  EXPECT_EQ(r->body[2].term->kind, Term::Kind::kExt);
+  EXPECT_EQ(r->body[2].term->ext_name, "uid");
+}
+
+TEST(ValidateTest, AcceptsWellFormed) {
+  auto p = ParseProgram(
+      "R1(a) :- T(a, b).\n"
+      "R2(a) :- R1(a).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate({"T"}).ok());
+}
+
+TEST(ValidateTest, RejectsUndefinedRelation) {
+  auto p = ParseProgram("R1(a) :- Missing(a).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate({"T"}).ok());
+}
+
+TEST(ValidateTest, RejectsUndefinedHeadVar) {
+  auto p = ParseProgram("R1(zz) :- T(a, b).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate({"T"}).ok());
+}
+
+TEST(ProgramTest, ReaderIndex) {
+  auto p = ParseProgram(
+      "R1(a) :- T(a, b).\n"
+      "R2(a) :- R1(a), T(a, c).\n"
+      "R3(a) :- R1(a), exists(U(a)).\n");
+  ASSERT_TRUE(p.ok());
+  auto readers = p->BuildReaderIndex();
+  EXPECT_EQ(readers["R1"], (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(readers["T"], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(readers["U"], (std::vector<size_t>{2}));
+}
+
+TEST(CloneTest, DeepCopyIsIndependent) {
+  Rule r = *ParseRule("R(a) :- T(a, b), (a > 1).");
+  Rule c = r.CloneRule();
+  c.body[1].term = Term::Const(Value::Int64(99));
+  EXPECT_EQ(TermToString(*r.body[1].term), "1");
+}
+
+}  // namespace
+}  // namespace pytond::tondir

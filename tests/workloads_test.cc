@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+// ------------------------------------------------------------- TPC-H
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static Session* session_;
+
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    ASSERT_TRUE(workloads::tpch::Populate(&session_->db(), 0.01).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+};
+
+Session* TpchTest::session_ = nullptr;
+
+/// PyTond (optimized, vectorized profile) must agree with the eager
+/// baseline on every TPC-H query.
+class TpchQueryTest : public TpchTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchQueryTest, PyTondMatchesEagerBaseline) {
+  const auto& q = workloads::tpch::GetQuery(GetParam());
+  auto baseline = session_->RunBaseline(q.source);
+  ASSERT_TRUE(baseline.ok()) << q.name << ": " << baseline.status().ToString();
+  auto compiled = session_->Compile(q.source);
+  ASSERT_TRUE(compiled.ok()) << q.name << ": "
+                             << compiled.status().ToString();
+  auto result = session_->Execute(*compiled);
+  ASSERT_TRUE(result.ok()) << q.name << "\n"
+                           << compiled->sql << "\n"
+                           << result.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**result, *baseline, 1e-6, &diff))
+      << q.name << ": " << diff << "\nSQL:\n"
+      << compiled->sql;
+}
+
+TEST_P(TpchQueryTest, OptimizationLevelsAgree) {
+  const auto& q = workloads::tpch::GetQuery(GetParam());
+  RunOptions o0;
+  o0.optimization_level = 0;  // Grizzly-simulated
+  auto r0 = session_->Run(q.source, o0);
+  ASSERT_TRUE(r0.ok()) << q.name << ": " << r0.status().ToString();
+  auto r4 = session_->Run(q.source);
+  ASSERT_TRUE(r4.ok()) << q.name;
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**r0, **r4, 1e-6, &diff))
+      << q.name << ": " << diff;
+}
+
+TEST_P(TpchQueryTest, CompiledProfileAgrees) {
+  const auto& q = workloads::tpch::GetQuery(GetParam());
+  RunOptions hyper;
+  hyper.profile = engine::BackendProfile::kCompiled;
+  hyper.num_threads = 2;
+  auto rh = session_->Run(q.source, hyper);
+  ASSERT_TRUE(rh.ok()) << q.name << ": " << rh.status().ToString();
+  auto rv = session_->Run(q.source);
+  ASSERT_TRUE(rv.ok()) << q.name;
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**rh, **rv, 1e-6, &diff))
+      << q.name << ": " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_F(TpchTest, AllQueriesReturnRows) {
+  // Every query should produce at least one row at SF 0.01 (sanity check
+  // that the generated data exercises each query's predicates).
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    auto r = session_->Run(q.source);
+    ASSERT_TRUE(r.ok()) << q.name;
+    EXPECT_GT((*r)->num_rows(), 0u) << q.name << " returned no rows";
+  }
+}
+
+// -------------------------------------------------------- data science
+
+class DatasciTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        workloads::datasci::PopulateCrimeIndex(&session_.db(), 2000).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateBirthAnalysis(&session_.db(), 3000).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateN3(&session_.db(), 3000).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateN9(&session_.db(), 3000).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateHybrid(&session_.db(), 2000).ok());
+  }
+
+  void CheckAgainstBaseline(const char* source, const char* name) {
+    auto baseline = session_.RunBaseline(source);
+    ASSERT_TRUE(baseline.ok()) << name << ": "
+                               << baseline.status().ToString();
+    auto compiled = session_.Compile(source);
+    ASSERT_TRUE(compiled.ok()) << name << ": "
+                               << compiled.status().ToString();
+    auto result = session_.Execute(*compiled);
+    ASSERT_TRUE(result.ok()) << name << "\n"
+                             << compiled->sql << "\n"
+                             << result.status().ToString();
+    std::string diff;
+    EXPECT_TRUE(Table::UnorderedEquals(**result, *baseline, 1e-6, &diff))
+        << name << ": " << diff << "\nSQL:\n"
+        << compiled->sql;
+  }
+
+  Session session_;
+};
+
+TEST_F(DatasciTest, CrimeIndex) {
+  CheckAgainstBaseline(workloads::datasci::CrimeIndexSource(), "CrimeIndex");
+}
+
+TEST_F(DatasciTest, BirthAnalysis) {
+  CheckAgainstBaseline(workloads::datasci::BirthAnalysisSource(),
+                       "BirthAnalysis");
+}
+
+TEST_F(DatasciTest, N3) {
+  CheckAgainstBaseline(workloads::datasci::N3Source(), "N3");
+}
+
+TEST_F(DatasciTest, N9) {
+  CheckAgainstBaseline(workloads::datasci::N9Source(), "N9");
+}
+
+TEST_F(DatasciTest, HybridMatMul) {
+  CheckAgainstBaseline(workloads::datasci::HybridMatMulSource(false),
+                       "HybridMatMul");
+}
+
+TEST_F(DatasciTest, HybridMatMulFiltered) {
+  CheckAgainstBaseline(workloads::datasci::HybridMatMulSource(true),
+                       "HybridMatMulFiltered");
+}
+
+TEST_F(DatasciTest, HybridCovar) {
+  CheckAgainstBaseline(workloads::datasci::HybridCovarSource(false),
+                       "HybridCovar");
+}
+
+TEST_F(DatasciTest, HybridCovarFiltered) {
+  CheckAgainstBaseline(workloads::datasci::HybridCovarSource(true),
+                       "HybridCovarFiltered");
+}
+
+TEST(CovarianceTest, DenseAndSparseLayoutsAgree) {
+  Session session;
+  ASSERT_TRUE(workloads::datasci::PopulateCovariance(&session.db(), 500, 8,
+                                                     0.3)
+                  .ok());
+  auto dense = session.Run(workloads::datasci::CovarDenseSource());
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  auto sparse = session.Run(workloads::datasci::CovarSparseSource());
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+  // Dense result: 8x8 matrix (id + 8 cols). Sparse result: COO triples.
+  ASSERT_EQ((*dense)->num_rows(), 8u);
+  // Spot-check: every sparse entry matches the dense cell.
+  const Table& d = **dense;
+  const Table& s = **sparse;
+  for (size_t i = 0; i < s.num_rows(); ++i) {
+    int64_t r = s.column(0).Get(i).AsInt64();
+    int64_t c = s.column(1).Get(i).AsInt64();
+    double v = s.column(2).Get(i).ToDouble();
+    double dv = d.column(static_cast<size_t>(c) + 1)
+                    .Get(static_cast<size_t>(r))
+                    .ToDouble();
+    EXPECT_NEAR(v, dv, 1e-6) << "cell (" << r << "," << c << ")";
+  }
+}
+
+TEST(CovarianceTest, EagerSparseMatchesEagerDense) {
+  Session session;
+  ASSERT_TRUE(workloads::datasci::PopulateCovariance(&session.db(), 300, 4,
+                                                     0.5)
+                  .ok());
+  auto dense = session.RunBaseline(workloads::datasci::CovarDenseSource());
+  ASSERT_TRUE(dense.ok());
+  auto sparse = session.RunBaseline(workloads::datasci::CovarSparseSource());
+  ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+  for (size_t i = 0; i < sparse->num_rows(); ++i) {
+    int64_t r = sparse->column(0).Get(i).AsInt64();
+    int64_t c = sparse->column(1).Get(i).AsInt64();
+    double v = sparse->column(2).Get(i).ToDouble();
+    double dv = dense->column(static_cast<size_t>(c) + 1)
+                    .Get(static_cast<size_t>(r))
+                    .ToDouble();
+    EXPECT_NEAR(v, dv, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace pytond

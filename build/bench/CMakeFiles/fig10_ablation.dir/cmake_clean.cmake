@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ablation.dir/fig10_ablation.cc.o"
+  "CMakeFiles/fig10_ablation.dir/fig10_ablation.cc.o.d"
+  "fig10_ablation"
+  "fig10_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

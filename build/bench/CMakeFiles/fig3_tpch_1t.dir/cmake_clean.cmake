@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tpch_1t.dir/fig3_tpch_1t.cc.o"
+  "CMakeFiles/fig3_tpch_1t.dir/fig3_tpch_1t.cc.o.d"
+  "fig3_tpch_1t"
+  "fig3_tpch_1t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tpch_1t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tpch_4t.dir/fig4_tpch_4t.cc.o"
+  "CMakeFiles/fig4_tpch_4t.dir/fig4_tpch_4t.cc.o.d"
+  "fig4_tpch_4t"
+  "fig4_tpch_4t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tpch_4t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ds_1t.dir/fig5_ds_1t.cc.o"
+  "CMakeFiles/fig5_ds_1t.dir/fig5_ds_1t.cc.o.d"
+  "fig5_ds_1t"
+  "fig5_ds_1t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ds_1t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

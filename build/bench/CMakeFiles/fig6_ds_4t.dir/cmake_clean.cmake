@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ds_4t.dir/fig6_ds_4t.cc.o"
+  "CMakeFiles/fig6_ds_4t.dir/fig6_ds_4t.cc.o.d"
+  "fig6_ds_4t"
+  "fig6_ds_4t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ds_4t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scalability_tpch.dir/fig7_scalability_tpch.cc.o"
+  "CMakeFiles/fig7_scalability_tpch.dir/fig7_scalability_tpch.cc.o.d"
+  "fig7_scalability_tpch"
+  "fig7_scalability_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scalability_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

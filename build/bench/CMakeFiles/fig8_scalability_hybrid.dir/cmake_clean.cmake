@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scalability_hybrid.dir/fig8_scalability_hybrid.cc.o"
+  "CMakeFiles/fig8_scalability_hybrid.dir/fig8_scalability_hybrid.cc.o.d"
+  "fig8_scalability_hybrid"
+  "fig8_scalability_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scalability_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_covariance.dir/fig9_covariance.cc.o"
+  "CMakeFiles/fig9_covariance.dir/fig9_covariance.cc.o.d"
+  "fig9_covariance"
+  "fig9_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

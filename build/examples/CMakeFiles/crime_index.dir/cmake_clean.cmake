@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_index.dir/crime_index.cpp.o"
+  "CMakeFiles/crime_index.dir/crime_index.cpp.o.d"
+  "crime_index"
+  "crime_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

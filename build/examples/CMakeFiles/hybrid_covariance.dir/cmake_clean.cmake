@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_covariance.dir/hybrid_covariance.cpp.o"
+  "CMakeFiles/hybrid_covariance.dir/hybrid_covariance.cpp.o.d"
+  "hybrid_covariance"
+  "hybrid_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_demo.dir/tpch_demo.cpp.o"
+  "CMakeFiles/tpch_demo.dir/tpch_demo.cpp.o.d"
+  "tpch_demo"
+  "tpch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

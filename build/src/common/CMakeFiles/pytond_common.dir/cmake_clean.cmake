@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_common.dir/common.cc.o"
+  "CMakeFiles/pytond_common.dir/common.cc.o.d"
+  "libpytond_common.a"
+  "libpytond_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

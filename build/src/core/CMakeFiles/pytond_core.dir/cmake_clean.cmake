@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_core.dir/session.cc.o"
+  "CMakeFiles/pytond_core.dir/session.cc.o.d"
+  "libpytond_core.a"
+  "libpytond_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/pytond_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/exec/executor.cc" "src/engine/CMakeFiles/pytond_engine.dir/exec/executor.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/exec/executor.cc.o.d"
+  "/root/repo/src/engine/expr/expr.cc" "src/engine/CMakeFiles/pytond_engine.dir/expr/expr.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/expr/expr.cc.o.d"
+  "/root/repo/src/engine/plan/binder.cc" "src/engine/CMakeFiles/pytond_engine.dir/plan/binder.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/plan/binder.cc.o.d"
+  "/root/repo/src/engine/plan/logical.cc" "src/engine/CMakeFiles/pytond_engine.dir/plan/logical.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/plan/logical.cc.o.d"
+  "/root/repo/src/engine/plan/optimizer.cc" "src/engine/CMakeFiles/pytond_engine.dir/plan/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/plan/optimizer.cc.o.d"
+  "/root/repo/src/engine/sql/parser.cc" "src/engine/CMakeFiles/pytond_engine.dir/sql/parser.cc.o" "gcc" "src/engine/CMakeFiles/pytond_engine.dir/sql/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/pytond_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pytond_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

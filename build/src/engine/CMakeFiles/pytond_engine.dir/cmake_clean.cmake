@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_engine.dir/database.cc.o"
+  "CMakeFiles/pytond_engine.dir/database.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/exec/executor.cc.o"
+  "CMakeFiles/pytond_engine.dir/exec/executor.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/expr/expr.cc.o"
+  "CMakeFiles/pytond_engine.dir/expr/expr.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/plan/binder.cc.o"
+  "CMakeFiles/pytond_engine.dir/plan/binder.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/plan/logical.cc.o"
+  "CMakeFiles/pytond_engine.dir/plan/logical.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/plan/optimizer.cc.o"
+  "CMakeFiles/pytond_engine.dir/plan/optimizer.cc.o.d"
+  "CMakeFiles/pytond_engine.dir/sql/parser.cc.o"
+  "CMakeFiles/pytond_engine.dir/sql/parser.cc.o.d"
+  "libpytond_engine.a"
+  "libpytond_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

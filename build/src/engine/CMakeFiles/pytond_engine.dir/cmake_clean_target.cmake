@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpytond_engine.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/anf/anf.cc" "src/frontend/CMakeFiles/pytond_frontend.dir/anf/anf.cc.o" "gcc" "src/frontend/CMakeFiles/pytond_frontend.dir/anf/anf.cc.o.d"
+  "/root/repo/src/frontend/compiler.cc" "src/frontend/CMakeFiles/pytond_frontend.dir/compiler.cc.o" "gcc" "src/frontend/CMakeFiles/pytond_frontend.dir/compiler.cc.o.d"
+  "/root/repo/src/frontend/pylang/parser.cc" "src/frontend/CMakeFiles/pytond_frontend.dir/pylang/parser.cc.o" "gcc" "src/frontend/CMakeFiles/pytond_frontend.dir/pylang/parser.cc.o.d"
+  "/root/repo/src/frontend/translate/einsum.cc" "src/frontend/CMakeFiles/pytond_frontend.dir/translate/einsum.cc.o" "gcc" "src/frontend/CMakeFiles/pytond_frontend.dir/translate/einsum.cc.o.d"
+  "/root/repo/src/frontend/translate/translator.cc" "src/frontend/CMakeFiles/pytond_frontend.dir/translate/translator.cc.o" "gcc" "src/frontend/CMakeFiles/pytond_frontend.dir/translate/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tondir/CMakeFiles/pytond_tondir.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pytond_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pytond_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlgen/CMakeFiles/pytond_sqlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pytond_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

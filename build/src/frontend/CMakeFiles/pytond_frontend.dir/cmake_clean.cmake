@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_frontend.dir/anf/anf.cc.o"
+  "CMakeFiles/pytond_frontend.dir/anf/anf.cc.o.d"
+  "CMakeFiles/pytond_frontend.dir/compiler.cc.o"
+  "CMakeFiles/pytond_frontend.dir/compiler.cc.o.d"
+  "CMakeFiles/pytond_frontend.dir/pylang/parser.cc.o"
+  "CMakeFiles/pytond_frontend.dir/pylang/parser.cc.o.d"
+  "CMakeFiles/pytond_frontend.dir/translate/einsum.cc.o"
+  "CMakeFiles/pytond_frontend.dir/translate/einsum.cc.o.d"
+  "CMakeFiles/pytond_frontend.dir/translate/translator.cc.o"
+  "CMakeFiles/pytond_frontend.dir/translate/translator.cc.o.d"
+  "libpytond_frontend.a"
+  "libpytond_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

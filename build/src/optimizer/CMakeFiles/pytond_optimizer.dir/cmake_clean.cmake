@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_optimizer.dir/passes.cc.o"
+  "CMakeFiles/pytond_optimizer.dir/passes.cc.o.d"
+  "libpytond_optimizer.a"
+  "libpytond_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_runtime.dir/eager.cc.o"
+  "CMakeFiles/pytond_runtime.dir/eager.cc.o.d"
+  "CMakeFiles/pytond_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/pytond_runtime.dir/interpreter.cc.o.d"
+  "libpytond_runtime.a"
+  "libpytond_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

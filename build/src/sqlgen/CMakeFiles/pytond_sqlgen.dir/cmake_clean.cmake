@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_sqlgen.dir/sqlgen.cc.o"
+  "CMakeFiles/pytond_sqlgen.dir/sqlgen.cc.o.d"
+  "libpytond_sqlgen.a"
+  "libpytond_sqlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_sqlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pytond_sqlgen.
+# This may be replaced when dependencies are built.

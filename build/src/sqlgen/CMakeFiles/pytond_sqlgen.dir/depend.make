@@ -1,0 +1,2 @@
+# Empty dependencies file for pytond_sqlgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_storage.dir/catalog.cc.o"
+  "CMakeFiles/pytond_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/pytond_storage.dir/column.cc.o"
+  "CMakeFiles/pytond_storage.dir/column.cc.o.d"
+  "CMakeFiles/pytond_storage.dir/csv.cc.o"
+  "CMakeFiles/pytond_storage.dir/csv.cc.o.d"
+  "CMakeFiles/pytond_storage.dir/table.cc.o"
+  "CMakeFiles/pytond_storage.dir/table.cc.o.d"
+  "libpytond_storage.a"
+  "libpytond_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

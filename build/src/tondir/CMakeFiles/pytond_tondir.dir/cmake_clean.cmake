@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_tondir.dir/ir.cc.o"
+  "CMakeFiles/pytond_tondir.dir/ir.cc.o.d"
+  "CMakeFiles/pytond_tondir.dir/parser.cc.o"
+  "CMakeFiles/pytond_tondir.dir/parser.cc.o.d"
+  "libpytond_tondir.a"
+  "libpytond_tondir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_tondir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

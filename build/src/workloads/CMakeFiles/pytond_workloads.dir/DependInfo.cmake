@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datasci.cc" "src/workloads/CMakeFiles/pytond_workloads.dir/datasci.cc.o" "gcc" "src/workloads/CMakeFiles/pytond_workloads.dir/datasci.cc.o.d"
+  "/root/repo/src/workloads/tpch/dbgen.cc" "src/workloads/CMakeFiles/pytond_workloads.dir/tpch/dbgen.cc.o" "gcc" "src/workloads/CMakeFiles/pytond_workloads.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/workloads/tpch/queries.cc" "src/workloads/CMakeFiles/pytond_workloads.dir/tpch/queries.cc.o" "gcc" "src/workloads/CMakeFiles/pytond_workloads.dir/tpch/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pytond_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pytond_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pytond_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pytond_workloads.dir/datasci.cc.o"
+  "CMakeFiles/pytond_workloads.dir/datasci.cc.o.d"
+  "CMakeFiles/pytond_workloads.dir/tpch/dbgen.cc.o"
+  "CMakeFiles/pytond_workloads.dir/tpch/dbgen.cc.o.d"
+  "CMakeFiles/pytond_workloads.dir/tpch/queries.cc.o"
+  "CMakeFiles/pytond_workloads.dir/tpch/queries.cc.o.d"
+  "libpytond_workloads.a"
+  "libpytond_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pytond_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

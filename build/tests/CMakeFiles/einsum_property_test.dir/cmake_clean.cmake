@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einsum_property_test.dir/einsum_property_test.cc.o"
+  "CMakeFiles/einsum_property_test.dir/einsum_property_test.cc.o.d"
+  "einsum_property_test"
+  "einsum_property_test.pdb"
+  "einsum_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einsum_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pytond_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pytond_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tondir/CMakeFiles/pytond_tondir.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pytond_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pytond_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pytond_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pytond_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/pytond_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlgen/CMakeFiles/pytond_sqlgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgen_test.dir/sqlgen_test.cc.o"
+  "CMakeFiles/sqlgen_test.dir/sqlgen_test.cc.o.d"
+  "sqlgen_test"
+  "sqlgen_test.pdb"
+  "sqlgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

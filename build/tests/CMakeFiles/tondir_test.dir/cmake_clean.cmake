@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tondir_test.dir/tondir_test.cc.o"
+  "CMakeFiles/tondir_test.dir/tondir_test.cc.o.d"
+  "tondir_test"
+  "tondir_test.pdb"
+  "tondir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tondir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

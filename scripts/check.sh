@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: Release and ASan/UBSan builds, the test suite under
+# both, and tondlint over the example TondIR programs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+for preset in default asan; do
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+./build/tools/tondlint examples/tondir/*.tir
+echo "check.sh: all green"

@@ -1,0 +1,48 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+namespace pytond::analysis {
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  if (rule_index >= 0) {
+    os << "rule " << rule_index;
+    if (atom_index >= 0) os << ", atom " << atom_index;
+    os << ": ";
+  }
+  os << SeverityName(severity) << "[" << code << "]: " << message;
+  if (!fix_hint.empty()) os << " (hint: " << fix_hint << ")";
+  return os.str();
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status FirstError(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      return Status::InvalidArgument(d.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pytond::analysis

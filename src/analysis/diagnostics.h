@@ -1,0 +1,68 @@
+#ifndef PYTOND_ANALYSIS_DIAGNOSTICS_H_
+#define PYTOND_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pytond::analysis {
+
+/// Diagnostic severity. Errors make a program unusable for codegen;
+/// warnings flag suspicious-but-lowerable constructs (dead rules, unknown
+/// marker atoms).
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+/// One finding of the TondIR semantic verifier ("tondlint"). `code` is a
+/// stable identifier (see codes:: below and the table in DESIGN.md) so that
+/// tests and CI can match on it independently of message wording.
+struct Diagnostic {
+  std::string code;                  // "T001" ... "T019"
+  Severity severity = Severity::kError;
+  int rule_index = -1;               // -1 = program-level finding
+  int atom_index = -1;               // index in the immediate body; -1 = head
+  std::string message;
+  std::string fix_hint;              // optional remediation suggestion
+
+  /// "rule 2, atom 3: error[T006]: message (hint: ...)".
+  std::string ToString() const;
+};
+
+/// Stable diagnostic codes, one per verifier invariant.
+namespace codes {
+inline constexpr const char* kUndefinedRelation = "T001";
+inline constexpr const char* kArityMismatch = "T002";
+inline constexpr const char* kUndefinedHeadVar = "T003";
+inline constexpr const char* kUndefinedGroupVar = "T004";
+inline constexpr const char* kColNamesArity = "T005";
+inline constexpr const char* kUndefinedVar = "T006";
+inline constexpr const char* kExistsLeak = "T007";
+inline constexpr const char* kUngroupedHeadVar = "T008";
+inline constexpr const char* kNestedAggregate = "T009";
+inline constexpr const char* kAggregateOutsideAssignment = "T010";
+inline constexpr const char* kSortWithoutLimitNotSink = "T011";
+inline constexpr const char* kSortKeyNotInHead = "T012";
+inline constexpr const char* kBadOuterMarker = "T013";
+inline constexpr const char* kUnknownMarker = "T014";
+inline constexpr const char* kDeadRule = "T015";
+inline constexpr const char* kRelationRedefined = "T016";
+inline constexpr const char* kConstRelHeterogeneous = "T017";
+inline constexpr const char* kConstRelEmpty = "T018";
+inline constexpr const char* kUidWithoutAccess = "T019";
+}  // namespace codes
+
+/// True if any diagnostic is an error.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// One diagnostic per line, errors and warnings alike.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
+
+/// OK when no diagnostic is an error; otherwise InvalidArgument carrying the
+/// first error's rendering (thin-wrapper helper for Program::Validate).
+Status FirstError(const std::vector<Diagnostic>& diags);
+
+}  // namespace pytond::analysis
+
+#endif  // PYTOND_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,502 @@
+#include "analysis/verifier.h"
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace pytond::analysis {
+
+using tondir::Atom;
+using tondir::Body;
+using tondir::CmpOp;
+using tondir::Program;
+using tondir::Rule;
+using tondir::Term;
+
+namespace {
+
+constexpr size_t kUnknownArity = static_cast<size_t>(-1);
+
+bool IsOuterMarker(const Atom& a) {
+  return a.kind == Atom::Kind::kExternal && a.ext_name.rfind("outer_", 0) == 0;
+}
+
+bool TermHasUid(const Term& t) {
+  if (t.kind == Term::Kind::kExt && t.ext_name == "uid") return true;
+  for (const auto& c : t.children) {
+    if (TermHasUid(*c)) return true;
+  }
+  return false;
+}
+
+/// True if the term may appear in the select list of a grouped/aggregated
+/// rule: aggregates cover their arguments, everything else must bottom out
+/// in `safe` vars (group vars or previously safe assignments) or constants.
+bool GroupSafeTerm(const Term& t, const std::set<std::string>& safe) {
+  switch (t.kind) {
+    case Term::Kind::kAgg:
+    case Term::Kind::kConst:
+      return true;
+    case Term::Kind::kVar:
+      return safe.count(t.var) > 0;
+    default:
+      for (const auto& c : t.children) {
+        if (!GroupSafeTerm(*c, safe)) return false;
+      }
+      return true;
+  }
+}
+
+class Verifier {
+ public:
+  Verifier(const Program& program, const VerifyOptions& options)
+      : program_(program), options_(options) {}
+
+  std::vector<Diagnostic> Run() {
+    for (const auto& [rel, cols] : program_.base_columns) {
+      relations_[rel] = cols.size();
+    }
+    for (const std::string& rel : options_.base_relations) {
+      relations_.try_emplace(rel, kUnknownArity);
+    }
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      const Rule& rule = program_.rules[i];
+      VerifyRule(i, rule);
+      // Define the head relation for subsequent rules (strict rule order:
+      // readers must come after definers, like Program::Validate enforced).
+      auto [it, inserted] =
+          relations_.try_emplace(rule.head.relation, rule.head.vars.size());
+      (void)it;
+      if (!inserted) {
+        Emit(codes::kRelationRedefined, Severity::kError, i, -1,
+             "relation '" + rule.head.relation +
+                 "' is already defined (by an earlier rule or as a base "
+                 "relation)",
+             "give the rule a fresh relation name");
+      }
+    }
+    CheckReachability();
+    return std::move(diags_);
+  }
+
+ private:
+  void Emit(const char* code, Severity severity, int rule_index,
+            int atom_index, std::string message, std::string hint = "") {
+    Diagnostic d;
+    d.code = code;
+    d.severity = severity;
+    d.rule_index = rule_index;
+    d.atom_index = atom_index;
+    d.message = std::move(message);
+    d.fix_hint = std::move(hint);
+    diags_.push_back(std::move(d));
+  }
+
+  // ------------------------------------------------------------- rules
+
+  void VerifyRule(size_t idx, const Rule& rule) {
+    bool is_sink = idx + 1 == program_.rules.size();
+    int i = static_cast<int>(idx);
+
+    // Variables bound only inside exists(..) bodies, for T007 refinement.
+    exists_pool_.clear();
+    CollectExistsDefined(rule.body, /*inside_exists=*/false, &exists_pool_);
+
+    std::set<std::string> defined =
+        VerifyBody(idx, rule.body, /*outer_defined=*/{}, /*depth=*/0);
+
+    for (const std::string& v : rule.head.vars) {
+      if (defined.count(v)) continue;
+      if (exists_pool_.count(v)) {
+        Emit(codes::kExistsLeak, Severity::kError, i, -1,
+             "head var '" + v + "' is only bound inside an exists(..) body",
+             "exists(..) filters rows but binds no variables in the outer "
+             "rule; bind '" + v + "' with a relation access or assignment");
+      } else {
+        Emit(codes::kUndefinedHeadVar, Severity::kError, i, -1,
+             "head var '" + v + "' not defined in body",
+             "bind '" + v + "' in a relation access or an assignment");
+      }
+    }
+    for (const std::string& v : rule.head.group_vars) {
+      if (!defined.count(v)) {
+        Emit(codes::kUndefinedGroupVar, Severity::kError, i, -1,
+             "group var '" + v + "' not defined in body");
+      }
+    }
+    if (!rule.head.col_names.empty() &&
+        rule.head.col_names.size() != rule.head.vars.size()) {
+      Emit(codes::kColNamesArity, Severity::kError, i, -1,
+           "head has " + std::to_string(rule.head.vars.size()) +
+               " vars but " + std::to_string(rule.head.col_names.size()) +
+               " col_names");
+    }
+    if (rule.head.has_sort()) {
+      if (!is_sink && !rule.head.limit.has_value()) {
+        Emit(codes::kSortWithoutLimitNotSink, Severity::kError, i, -1,
+             "sort without limit on a non-sink rule",
+             "add limit(n) to make it a top-N CTE, or move the sort to the "
+             "sink rule");
+      }
+      for (const auto& key : rule.head.sort_keys) {
+        bool in_head = false;
+        for (const std::string& v : rule.head.vars) {
+          if (v == key.var) {
+            in_head = true;
+            break;
+          }
+        }
+        if (!in_head) {
+          Emit(codes::kSortKeyNotInHead, Severity::kError, i, -1,
+               "sort key '" + key.var + "' not among head vars",
+               "project the sort key in the head");
+        }
+      }
+    }
+    CheckGroupConsistency(idx, rule);
+  }
+
+  /// T008: in a grouped or aggregating rule, every head var must be a group
+  /// var, an aggregate result, or an expression over such vars — mirroring
+  /// SQL's GROUP BY projection rule.
+  void CheckGroupConsistency(size_t idx, const Rule& rule) {
+    if (!rule.head.has_group() && !rule.HasAggregate()) return;
+    std::set<std::string> safe(rule.head.group_vars.begin(),
+                               rule.head.group_vars.end());
+    // Classify assignments the way sqlgen does: relation-access vars are
+    // bound up-front, compare targets become assignments when still fresh.
+    std::set<std::string> defined;
+    for (const Atom& a : rule.body) {
+      if (a.kind == Atom::Kind::kRelAccess) {
+        defined.insert(a.vars.begin(), a.vars.end());
+      }
+    }
+    for (const Atom& a : rule.body) {
+      if (a.kind == Atom::Kind::kConstRel) {
+        defined.insert(a.var0);
+      } else if (a.kind == Atom::Kind::kCompare && a.term &&
+                 a.cmp_op == CmpOp::kEq && !defined.count(a.var0)) {
+        if (GroupSafeTerm(*a.term, safe)) safe.insert(a.var0);
+        defined.insert(a.var0);
+      }
+    }
+    for (const std::string& v : rule.head.vars) {
+      if (!safe.count(v)) {
+        Emit(codes::kUngroupedHeadVar, Severity::kError, static_cast<int>(idx),
+             -1,
+             "head var '" + v +
+                 "' of a grouped/aggregate rule is neither a group var nor "
+                 "derived from aggregates",
+             "add '" + v + "' to group(..) or aggregate it");
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- bodies
+
+  /// Walks one body level (the rule body, or an exists(..) sub-body at
+  /// depth > 0) and returns the variables bound at this level (plus the
+  /// inherited outer ones). Mirrors sqlgen's scoping: relation accesses
+  /// bind up-front, constant relations and assignments bind in order,
+  /// exists(..) binds nothing in its enclosing body.
+  std::set<std::string> VerifyBody(size_t rule_idx, const Body& body,
+                                   const std::set<std::string>& outer_defined,
+                                   int depth) {
+    int i = static_cast<int>(rule_idx);
+    std::set<std::string> defined = outer_defined;
+    bool has_access = false;
+    for (size_t j = 0; j < body.size(); ++j) {
+      const Atom& a = body[j];
+      if (a.kind == Atom::Kind::kRelAccess) {
+        has_access = true;
+        CheckAccess(rule_idx, j, a);
+        defined.insert(a.vars.begin(), a.vars.end());
+      }
+    }
+    CheckMarkers(rule_idx, body);
+
+    std::set<std::string> agg_derived;
+    bool uses_uid = false;
+    for (size_t j = 0; j < body.size(); ++j) {
+      const Atom& a = body[j];
+      int aj = static_cast<int>(j);
+      switch (a.kind) {
+        case Atom::Kind::kRelAccess:
+        case Atom::Kind::kExternal:
+          break;
+        case Atom::Kind::kConstRel:
+          CheckConstRel(rule_idx, j, a);
+          defined.insert(a.var0);
+          break;
+        case Atom::Kind::kCompare: {
+          if (!a.term) break;
+          if (TermHasUid(*a.term)) uses_uid = true;
+          CheckTermAggs(rule_idx, j, *a.term, depth, /*inside_agg=*/false);
+          std::set<std::string> term_vars;
+          a.term->CollectVars(&term_vars);
+          for (const std::string& v : term_vars) {
+            CheckVarDefined(rule_idx, j, v, defined);
+          }
+          bool term_has_agg = a.term->ContainsAgg();
+          bool touches_agg = term_has_agg;
+          for (const std::string& v : term_vars) {
+            if (agg_derived.count(v)) touches_agg = true;
+          }
+          bool is_assign = a.cmp_op == CmpOp::kEq && !defined.count(a.var0);
+          if (is_assign) {
+            defined.insert(a.var0);
+            if (touches_agg) agg_derived.insert(a.var0);
+          } else {
+            CheckVarDefined(rule_idx, j, a.var0, defined);
+            if (depth == 0 && (touches_agg || agg_derived.count(a.var0))) {
+              Emit(codes::kAggregateOutsideAssignment, Severity::kError, i, aj,
+                   "filter references an aggregate",
+                   "aggregate filters (HAVING) must live in a separate rule "
+                   "reading the aggregated relation");
+            }
+          }
+          break;
+        }
+        case Atom::Kind::kExists:
+          VerifyBody(rule_idx, *a.exists_body, defined, depth + 1);
+          break;
+      }
+    }
+    if (uses_uid && !has_access) {
+      Emit(codes::kUidWithoutAccess, Severity::kError, i, -1,
+           "uid() requires a relation access in the same body to anchor its "
+           "ordering");
+    }
+    return defined;
+  }
+
+  void CheckVarDefined(size_t rule_idx, size_t atom_idx, const std::string& v,
+                       const std::set<std::string>& defined) {
+    if (defined.count(v)) return;
+    int i = static_cast<int>(rule_idx), j = static_cast<int>(atom_idx);
+    if (exists_pool_.count(v)) {
+      Emit(codes::kExistsLeak, Severity::kError, i, j,
+           "variable '" + v + "' is only bound inside an exists(..) body",
+           "exists(..) binds no variables outside its own body");
+    } else {
+      Emit(codes::kUndefinedVar, Severity::kError, i, j,
+           "use of undefined variable '" + v + "'",
+           "bind '" + v + "' with a relation access or an earlier "
+           "assignment");
+    }
+  }
+
+  void CheckAccess(size_t rule_idx, size_t atom_idx, const Atom& a) {
+    int i = static_cast<int>(rule_idx), j = static_cast<int>(atom_idx);
+    auto it = relations_.find(a.relation);
+    if (it == relations_.end()) {
+      if (!options_.implicit_bases) {
+        Emit(codes::kUndefinedRelation, Severity::kError, i, j,
+             "reads undefined relation '" + a.relation + "'",
+             "define it with an earlier rule or declare it with "
+             "'@base " + a.relation + "(..).'");
+      }
+      // Record the first-seen arity either way so later accesses are
+      // checked for consistency instead of re-reporting T001.
+      relations_[a.relation] = a.vars.size();
+      return;
+    }
+    if (it->second == kUnknownArity) {
+      it->second = a.vars.size();
+      return;
+    }
+    if (it->second != a.vars.size()) {
+      Emit(codes::kArityMismatch, Severity::kError, i, j,
+           "relation '" + a.relation + "' accessed with " +
+               std::to_string(a.vars.size()) + " vars but has " +
+               std::to_string(it->second) + " columns");
+    }
+  }
+
+  void CheckConstRel(size_t rule_idx, size_t atom_idx, const Atom& a) {
+    int i = static_cast<int>(rule_idx), j = static_cast<int>(atom_idx);
+    if (a.const_values.empty()) {
+      Emit(codes::kConstRelEmpty, Severity::kError, i, j,
+           "constant relation '" + a.var0 + "' has no values",
+           "a VALUES clause needs at least one row");
+      return;
+    }
+    DataType type = DataType::kNull;
+    for (const Value& v : a.const_values) {
+      if (v.is_null()) continue;
+      if (type == DataType::kNull) {
+        type = v.type();
+      } else if (v.type() != type) {
+        Emit(codes::kConstRelHeterogeneous, Severity::kError, i, j,
+             "constant relation '" + a.var0 + "' mixes " +
+                 DataTypeName(type) + " and " + DataTypeName(v.type()),
+             "constant columns must be type-homogeneous");
+        break;
+      }
+    }
+  }
+
+  void CheckTermAggs(size_t rule_idx, size_t atom_idx, const Term& t,
+                     int depth, bool inside_agg) {
+    int i = static_cast<int>(rule_idx), j = static_cast<int>(atom_idx);
+    if (t.kind == Term::Kind::kAgg) {
+      if (inside_agg) {
+        Emit(codes::kNestedAggregate, Severity::kError, i, j,
+             "nested aggregate '" + std::string(AggFnName(t.agg_fn)) + "(..)'",
+             "split the inner aggregate into its own rule");
+      }
+      if (depth > 0) {
+        Emit(codes::kAggregateOutsideAssignment, Severity::kError, i, j,
+             "aggregate inside an exists(..) body",
+             "aggregate in a separate rule and test the result instead");
+      }
+      inside_agg = true;
+    }
+    for (const auto& c : t.children) {
+      CheckTermAggs(rule_idx, atom_idx, *c, depth, inside_agg);
+    }
+  }
+
+  /// Outer-join marker invariants at one body level (mirrors sqlgen's
+  /// ProcessOuterJoin preconditions).
+  void CheckMarkers(size_t rule_idx, const Body& body) {
+    int i = static_cast<int>(rule_idx);
+    std::vector<size_t> markers;
+    std::set<std::string> access_vars;
+    size_t accesses = 0;
+    for (size_t j = 0; j < body.size(); ++j) {
+      const Atom& a = body[j];
+      if (a.kind == Atom::Kind::kRelAccess) {
+        ++accesses;
+        access_vars.insert(a.vars.begin(), a.vars.end());
+      } else if (IsOuterMarker(a)) {
+        markers.push_back(j);
+      } else if (a.kind == Atom::Kind::kExternal) {
+        Emit(codes::kUnknownMarker, Severity::kWarning, i,
+             static_cast<int>(j),
+             "unknown marker atom '@" + a.ext_name + "(..)' is ignored by "
+             "codegen");
+      }
+    }
+    if (markers.empty()) return;
+    if (markers.size() > 1) {
+      Emit(codes::kBadOuterMarker, Severity::kError, i,
+           static_cast<int>(markers[1]),
+           "multiple outer-join markers in one body; codegen honors only "
+           "one");
+    }
+    const Atom& m = body[markers[0]];
+    int mj = static_cast<int>(markers[0]);
+    if (m.ext_name != "outer_left" && m.ext_name != "outer_right" &&
+        m.ext_name != "outer_full") {
+      Emit(codes::kBadOuterMarker, Severity::kError, i, mj,
+           "unsupported outer-join marker '@" + m.ext_name + "'",
+           "use @outer_left, @outer_right or @outer_full");
+    }
+    if (accesses != 2) {
+      Emit(codes::kBadOuterMarker, Severity::kError, i, mj,
+           "outer-join body has " + std::to_string(accesses) +
+               " relation accesses; exactly two are required");
+    }
+    if (m.vars.empty() || m.vars.size() % 2 != 0) {
+      Emit(codes::kBadOuterMarker, Severity::kError, i, mj,
+           "outer-join marker needs a non-empty, even list of key vars "
+           "(left/right pairs)");
+    }
+    for (const std::string& v : m.vars) {
+      if (!access_vars.count(v)) {
+        Emit(codes::kBadOuterMarker, Severity::kError, i, mj,
+             "outer-join key '" + v + "' is not bound by either relation "
+             "access");
+      }
+    }
+  }
+
+  // ----------------------------------------------------------- program
+
+  void CollectExistsDefined(const Body& body, bool inside_exists,
+                            std::set<std::string>* out) {
+    for (const Atom& a : body) {
+      if (a.kind == Atom::Kind::kExists) {
+        CollectExistsDefined(*a.exists_body, true, out);
+      } else if (inside_exists) {
+        if (a.kind == Atom::Kind::kRelAccess) {
+          out->insert(a.vars.begin(), a.vars.end());
+        } else if (a.kind == Atom::Kind::kConstRel) {
+          out->insert(a.var0);
+        } else if (a.kind == Atom::Kind::kCompare &&
+                   a.cmp_op == CmpOp::kEq) {
+          out->insert(a.var0);
+        }
+      }
+    }
+  }
+
+  /// T015: warn about rules whose result can never reach the sink.
+  void CheckReachability() {
+    if (program_.rules.size() < 2) return;
+    std::map<std::string, std::vector<size_t>> defs;
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      defs[program_.rules[i].head.relation].push_back(i);
+    }
+    std::set<size_t> reachable;
+    std::vector<size_t> work = {program_.rules.size() - 1};
+    reachable.insert(program_.rules.size() - 1);
+    auto visit_body = [&](const Body& body, auto&& self) -> void {
+      for (const Atom& a : body) {
+        if (a.kind == Atom::Kind::kRelAccess) {
+          auto it = defs.find(a.relation);
+          if (it == defs.end()) continue;
+          for (size_t d : it->second) {
+            if (reachable.insert(d).second) work.push_back(d);
+          }
+        } else if (a.kind == Atom::Kind::kExists) {
+          self(*a.exists_body, self);
+        }
+      }
+    };
+    while (!work.empty()) {
+      size_t r = work.back();
+      work.pop_back();
+      visit_body(program_.rules[r].body, visit_body);
+    }
+    for (size_t i = 0; i + 1 < program_.rules.size(); ++i) {
+      if (!reachable.count(i)) {
+        Emit(codes::kDeadRule, Severity::kWarning, static_cast<int>(i), -1,
+             "rule for '" + program_.rules[i].head.relation +
+                 "' is not reachable from the sink",
+             "global dead-code elimination will remove it");
+      }
+    }
+  }
+
+  const Program& program_;
+  const VerifyOptions& options_;
+  std::vector<Diagnostic> diags_;
+  /// Known relations -> arity (kUnknownArity until first access fixes it).
+  std::map<std::string, size_t> relations_;
+  /// Vars bound inside exists(..) bodies of the rule under verification.
+  std::set<std::string> exists_pool_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyProgram(const Program& program,
+                                      const VerifyOptions& options) {
+  return Verifier(program, options).Run();
+}
+
+}  // namespace pytond::analysis
+
+namespace pytond::tondir {
+
+// Thin wrapper over the semantic verifier (defined here so the tondir
+// library itself stays dependency-free; callers of Validate link
+// pytond_analysis).
+Status Program::Validate(const std::set<std::string>& base_relations) const {
+  analysis::VerifyOptions options;
+  options.base_relations = base_relations;
+  return analysis::FirstError(analysis::VerifyProgram(*this, options));
+}
+
+}  // namespace pytond::tondir

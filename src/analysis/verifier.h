@@ -1,0 +1,56 @@
+#ifndef PYTOND_ANALYSIS_VERIFIER_H_
+#define PYTOND_ANALYSIS_VERIFIER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "tondir/ir.h"
+
+namespace pytond::analysis {
+
+struct VerifyOptions {
+  /// Relations assumed extensional (database tables) in addition to the
+  /// keys of program.base_columns. Arity of relations listed here but not
+  /// in base_columns is inferred from their first access and then held
+  /// consistent.
+  std::set<std::string> base_relations;
+  /// tondlint mode: a relation that is read but neither defined by a rule
+  /// nor declared extensional becomes an implicitly-declared base relation
+  /// (arity from first access) instead of a T001 error.
+  bool implicit_bases = false;
+};
+
+/// Semantic verifier for TondIR programs — the library behind `tondlint`
+/// and the optimizer's per-pass invariant checking. Mirrors the
+/// preconditions the SQL code generator (sqlgen) relies on:
+///
+///   T001  body reads an unknown relation (including inside exists(..))
+///   T002  relation accessed with the wrong arity
+///   T003  head variable not defined in the body
+///   T004  group variable not defined in the body
+///   T005  head col_names/vars arity mismatch
+///   T006  comparison/assignment references an undefined variable
+///   T007  variable defined only inside exists(..) used outside it
+///   T008  non-aggregate head var of a grouped/aggregate rule not grouped
+///   T009  nested aggregate (agg inside an agg argument)
+///   T010  aggregate outside an assignment (in a filter or exists body)
+///   T011  sort without limit on a non-sink rule
+///   T012  sort key not among head vars
+///   T013  malformed outer-join marker atom
+///   T014  unknown external marker atom            [warning]
+///   T015  rule not reachable from the sink        [warning]
+///   T016  relation redefined / shadows a base relation
+///   T017  constant relation mixes value types
+///   T018  empty constant relation
+///   T019  uid() in a body without a relation access
+///
+/// Diagnostics are ordered by rule, then atom. Warnings never make a
+/// program invalid; HasErrors()/FirstError() ignore them.
+std::vector<Diagnostic> VerifyProgram(const tondir::Program& program,
+                                      const VerifyOptions& options = {});
+
+}  // namespace pytond::analysis
+
+#endif  // PYTOND_ANALYSIS_VERIFIER_H_

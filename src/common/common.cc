@@ -170,7 +170,7 @@ void ToYMD(int32_t days, int* y, int* m, int* d) {
 std::string Format(int32_t days) {
   int y, m, d;
   ToYMD(days, &y, &m, &d);
-  char buf[16];
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
   return buf;
 }

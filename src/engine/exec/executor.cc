@@ -293,13 +293,15 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
       const std::vector<uint32_t>& li = swapped ? cand_b : cand_p;
       const std::vector<uint32_t>& ri = swapped ? cand_p : cand_b;
       for (size_t c = 0; c < lt.num_columns(); ++c) {
-        Status st = pair.AddColumn("l" + std::to_string(c),
-                                   lt.column(c).Gather(li));
+        std::string name = "l";
+        name += std::to_string(c);
+        Status st = pair.AddColumn(name, lt.column(c).Gather(li));
         (void)st;
       }
       for (size_t c = 0; c < rt.num_columns(); ++c) {
-        Status st = pair.AddColumn("r" + std::to_string(c),
-                                   rt.column(c).Gather(ri));
+        std::string name = "r";
+        name += std::to_string(c);
+        Status st = pair.AddColumn(name, rt.column(c).Gather(ri));
         (void)st;
       }
       std::vector<uint32_t> keep;

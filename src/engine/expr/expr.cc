@@ -58,13 +58,28 @@ BoundExprPtr BoundExpr::Func(std::string name, std::vector<BoundExprPtr> args,
 
 std::string BoundExpr::ToString() const {
   switch (kind) {
-    case Kind::kColRef: return "#" + std::to_string(col_index);
+    case Kind::kColRef: {
+      std::string s = "#";
+      s += std::to_string(col_index);
+      return s;
+    }
     case Kind::kConst: return constant.ToString();
-    case Kind::kBinary:
-      return "(" + children[0]->ToString() + " op" +
-             std::to_string(static_cast<int>(op)) + " " +
-             children[1]->ToString() + ")";
-    case Kind::kUnary: return "(u " + children[0]->ToString() + ")";
+    case Kind::kBinary: {
+      std::string s = "(";
+      s += children[0]->ToString();
+      s += " op";
+      s += std::to_string(static_cast<int>(op));
+      s += " ";
+      s += children[1]->ToString();
+      s += ")";
+      return s;
+    }
+    case Kind::kUnary: {
+      std::string s = "(u ";
+      s += children[0]->ToString();
+      s += ")";
+      return s;
+    }
     case Kind::kFunc: {
       std::string s = func + "(";
       for (size_t i = 0; i < children.size(); ++i) {
@@ -74,9 +89,24 @@ std::string BoundExpr::ToString() const {
       return s + ")";
     }
     case Kind::kCase: return "case(...)";
-    case Kind::kCast: return "cast(" + children[0]->ToString() + ")";
-    case Kind::kIsNull: return "isnull(" + children[0]->ToString() + ")";
-    case Kind::kInList: return "in(" + children[0]->ToString() + ")";
+    case Kind::kCast: {
+      std::string s = "cast(";
+      s += children[0]->ToString();
+      s += ")";
+      return s;
+    }
+    case Kind::kIsNull: {
+      std::string s = "isnull(";
+      s += children[0]->ToString();
+      s += ")";
+      return s;
+    }
+    case Kind::kInList: {
+      std::string s = "in(";
+      s += children[0]->ToString();
+      s += ")";
+      return s;
+    }
   }
   return "?";
 }

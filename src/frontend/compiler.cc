@@ -1,5 +1,6 @@
 #include "frontend/compiler.h"
 
+#include "analysis/verifier.h"
 #include "frontend/anf/anf.h"
 #include "frontend/pylang/parser.h"
 
@@ -43,9 +44,29 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
 
   std::set<std::string> base;
   for (const auto& [rel, cols] : tr.program.base_columns) base.insert(rel);
-  PYTOND_RETURN_IF_ERROR(opt::Optimize(
-      &tr.program, base,
-      opt::OptimizerOptions::Preset(options.optimization_level)));
+
+  if (options.verify) {
+    // The translator must hand the optimizer a semantically sound program;
+    // anything the verifier flags here is a translator bug, not user error.
+    analysis::VerifyOptions vopts;
+    vopts.base_relations = base;
+    auto diags = analysis::VerifyProgram(tr.program, vopts);
+    if (analysis::HasErrors(diags)) {
+      return Status::Internal("translator produced invalid TondIR for '" +
+                              fn.name + "':\n" +
+                              analysis::FormatDiagnostics(diags) +
+                              "--- program ---\n" + tr.program.ToString());
+    }
+  }
+
+  opt::OptimizerOptions oopts =
+      opt::OptimizerOptions::Preset(options.optimization_level);
+  if (options.verify_each_pass.has_value()) {
+    oopts.verify_each_pass = *options.verify_each_pass;
+  } else if (!options.verify) {
+    oopts.verify_each_pass = false;
+  }
+  PYTOND_RETURN_IF_ERROR(opt::Optimize(&tr.program, base, oopts));
   out.tondir_after = tr.program.ToString();
 
   sqlgen::SqlGenOptions sopts;

@@ -1,6 +1,7 @@
 #ifndef PYTOND_FRONTEND_COMPILER_H_
 #define PYTOND_FRONTEND_COMPILER_H_
 
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -19,6 +20,12 @@ struct CompileOptions {
   sqlgen::SqlDialect dialect = sqlgen::SqlDialect::kDuck;
   /// Overridden per-function by the decorator's layout= kwarg.
   TensorLayout layout = TensorLayout::kDense;
+  /// Run the TondIR semantic verifier on the translator output before
+  /// optimizing; a violation there is a translator bug (Internal error).
+  bool verify = true;
+  /// Forwarded to OptimizerOptions::verify_each_pass. Unset = keep the
+  /// optimizer's build-type default (on in debug, off in release).
+  std::optional<bool> verify_each_pass;
 };
 
 /// A compiled @pytond function.

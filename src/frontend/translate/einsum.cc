@@ -265,7 +265,11 @@ FrameInfo EmitFlatAgg(const std::vector<const FrameInfo*>& ins,
     if (join_on_id && ins[k]->has_id) vars[0] = kId;
     // Distinguish column vars per operand.
     for (size_t i = (ins[k]->has_id ? 1 : 0); i < vars.size(); ++i) {
-      vars[i] = "x" + std::to_string(k) + "_" + vars[i];
+      std::string v = "x";
+      v += std::to_string(k);
+      v += "_";
+      v += vars[i];
+      vars[i] = std::move(v);
     }
     rule.body.push_back(Atom::RelAccess(ins[k]->relation, vars));
   }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "analysis/verifier.h"
+
 namespace pytond::opt {
 
 using tondir::Atom;
@@ -609,19 +611,73 @@ OptimizerOptions OptimizerOptions::Preset(int level) {
 Status Optimize(tondir::Program* program,
                 const std::set<std::string>& base_relations,
                 const OptimizerOptions& options) {
+  struct Pass {
+    const char* name;
+    bool enabled;
+    bool (*run)(tondir::Program*, const std::set<std::string>&);
+  };
+  const Pass passes[] = {
+      {"RuleInlining", options.rule_inlining,
+       [](tondir::Program* p, const std::set<std::string>& b) {
+         return RuleInlining(p, b);
+       }},
+      {"SelfJoinElimination", options.self_join_elim,
+       [](tondir::Program* p, const std::set<std::string>&) {
+         return SelfJoinElimination(p);
+       }},
+      {"GroupAggregateElimination", options.group_agg_elim,
+       [](tondir::Program* p, const std::set<std::string>&) {
+         return GroupAggregateElimination(p);
+       }},
+      {"GlobalDeadCodeElimination", options.global_dce,
+       [](tondir::Program* p, const std::set<std::string>& b) {
+         return GlobalDeadCodeElimination(p, b);
+       }},
+      {"CopyPropagation", options.local_dce,
+       [](tondir::Program* p, const std::set<std::string>&) {
+         return CopyPropagation(p);
+       }},
+      {"LocalDeadCodeElimination", options.local_dce,
+       [](tondir::Program* p, const std::set<std::string>&) {
+         return LocalDeadCodeElimination(p);
+       }},
+  };
+
+  analysis::VerifyOptions vopts;
+  vopts.base_relations = base_relations;
+  if (options.verify_each_pass) {
+    auto diags = analysis::VerifyProgram(*program, vopts);
+    if (analysis::HasErrors(diags)) {
+      return Status::InvalidArgument(
+          "program is invalid before optimization:\n" +
+          analysis::FormatDiagnostics(diags));
+    }
+  }
+
   for (int round = 0; round < 8; ++round) {
     bool changed = false;
-    if (options.rule_inlining) {
-      changed |= RuleInlining(program, base_relations);
-    }
-    if (options.self_join_elim) changed |= SelfJoinElimination(program);
-    if (options.group_agg_elim) changed |= GroupAggregateElimination(program);
-    if (options.global_dce) {
-      changed |= GlobalDeadCodeElimination(program, base_relations);
-    }
-    if (options.local_dce) {
-      changed |= CopyPropagation(program);
-      changed |= LocalDeadCodeElimination(program);
+    for (const Pass& pass : passes) {
+      if (!pass.enabled) continue;
+      std::string before;
+      if (options.verify_each_pass) before = program->ToString();
+      bool pass_changed = pass.run(program, base_relations);
+      bool hooked = false;
+      if (options.post_pass_hook) {
+        options.post_pass_hook(pass.name, program);
+        hooked = true;
+      }
+      if ((pass_changed || hooked) && options.verify_each_pass) {
+        auto diags = analysis::VerifyProgram(*program, vopts);
+        if (analysis::HasErrors(diags)) {
+          return Status::Internal(
+              std::string("optimizer pass ") + pass.name + " (round " +
+              std::to_string(round) + ") broke TondIR invariants:\n" +
+              analysis::FormatDiagnostics(diags) +
+              "--- program before " + pass.name + " ---\n" + before +
+              "--- program after ---\n" + program->ToString());
+        }
+      }
+      changed |= pass_changed;
     }
     if (!changed) break;
   }

@@ -1,6 +1,7 @@
 #ifndef PYTOND_OPTIMIZER_PASSES_H_
 #define PYTOND_OPTIMIZER_PASSES_H_
 
+#include <functional>
 #include <set>
 #include <string>
 
@@ -20,7 +21,24 @@ struct OptimizerOptions {
   bool self_join_elim = true;
   bool rule_inlining = true;
 
-  /// Preset for ablation level 0..4.
+  /// Re-run the semantic verifier (analysis::VerifyProgram) after every
+  /// pass that changed the program. On a violation, Optimize returns an
+  /// Internal error naming the offending pass and round, with the
+  /// diagnostics and the before/after rule text. Defaults on in debug
+  /// builds, off in release (NDEBUG) builds.
+#ifdef NDEBUG
+  bool verify_each_pass = false;
+#else
+  bool verify_each_pass = true;
+#endif
+
+  /// Test/debug hook invoked after each pass that changed the program,
+  /// *before* per-pass verification — lets tests corrupt a pass output to
+  /// prove the harness pinpoints it, or dump intermediate programs.
+  std::function<void(const char* pass_name, tondir::Program* program)>
+      post_pass_hook;
+
+  /// Preset for ablation level 0..4 (verification settings untouched).
   static OptimizerOptions Preset(int level);
 };
 

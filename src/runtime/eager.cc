@@ -476,8 +476,10 @@ Result<Table> FromMatrix(const std::vector<std::vector<double>>& m) {
   for (size_t c = 0; c < cols; ++c) {
     std::vector<double> col(m.size());
     for (size_t r = 0; r < m.size(); ++r) col[r] = m[r][c];
+    std::string col_name = "c";
+    col_name += std::to_string(c);
     PYTOND_RETURN_IF_ERROR(
-        out.AddColumn("c" + std::to_string(c), Column::Float64(std::move(col))));
+        out.AddColumn(col_name, Column::Float64(std::move(col))));
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "analysis/verifier.h"
 #include "common/string_util.h"
 
 namespace pytond::sqlgen {
@@ -210,7 +211,9 @@ class RuleGenerator {
           std::string v = "(VALUES ";
           for (size_t i = 0; i < a.const_values.size(); ++i) {
             if (i) v += ", ";
-            v += "(" + RenderValue(a.const_values[i]) + ")";
+            v += "(";
+            v += RenderValue(a.const_values[i]);
+            v += ")";
           }
           v += ") AS " + alias + "(c0)";
           AddFromItem(v);
@@ -484,7 +487,7 @@ Result<std::string> GenerateSelect(const Rule& rule,
           !p.base_columns.count(a.relation)) {
         std::vector<std::string> cols;
         for (size_t i = 0; i < a.vars.size(); ++i) {
-          cols.push_back("c" + std::to_string(i));
+          cols.push_back(std::string("c") + std::to_string(i));
         }
         p.base_columns[a.relation] = cols;
       } else if (a.kind == Atom::Kind::kExists) {
@@ -503,6 +506,17 @@ Result<std::string> GenerateSql(const Program& program,
                                 const SqlGenOptions& options) {
   if (program.rules.empty()) {
     return Status::InvalidArgument("empty program");
+  }
+  if (options.verify_input) {
+    analysis::VerifyOptions vopts;
+    for (const auto& [rel, cols] : program.base_columns) {
+      vopts.base_relations.insert(rel);
+    }
+    auto diags = analysis::VerifyProgram(program, vopts);
+    if (analysis::HasErrors(diags)) {
+      return Status::InvalidArgument("program failed verification:\n" +
+                                     analysis::FormatDiagnostics(diags));
+    }
   }
   ColumnResolver resolver(program);
   std::ostringstream sql;

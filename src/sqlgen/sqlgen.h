@@ -17,6 +17,10 @@ struct SqlGenOptions {
   SqlDialect dialect = SqlDialect::kDuck;
   /// Pretty-print with newlines between clauses.
   bool pretty = true;
+  /// Run the TondIR semantic verifier before generating; rejects programs
+  /// that would render to broken SQL with an InvalidArgument carrying the
+  /// diagnostics. (GenerateSelect, a test helper, never verifies.)
+  bool verify_input = true;
 };
 
 /// Lowers a TondIR program to one SQL statement: every non-sink rule

@@ -274,10 +274,16 @@ std::string TermToString(const Term& term) {
       return "if(" + TermToString(*term.children[0]) + ", " +
              TermToString(*term.children[1]) + ", " +
              TermToString(*term.children[2]) + ")";
-    case Term::Kind::kBinary:
-      return "(" + TermToString(*term.children[0]) + " " +
-             BinOpName(term.bin_op) + " " + TermToString(*term.children[1]) +
-             ")";
+    case Term::Kind::kBinary: {
+      std::string s = "(";
+      s += TermToString(*term.children[0]);
+      s += " ";
+      s += BinOpName(term.bin_op);
+      s += " ";
+      s += TermToString(*term.children[1]);
+      s += ")";
+      return s;
+    }
   }
   return "?";
 }
@@ -356,41 +362,8 @@ std::string Program::ToString() const {
   return s;
 }
 
-Status Program::Validate(const std::set<std::string>& base_relations) const {
-  std::set<std::string> known = base_relations;
-  for (size_t i = 0; i < rules.size(); ++i) {
-    const Rule& r = rules[i];
-    std::set<std::string> defined;
-    for (const Atom& a : r.body) {
-      if (a.kind == Atom::Kind::kRelAccess && !known.count(a.relation)) {
-        return Status::InvalidArgument(
-            "rule " + std::to_string(i) + " reads undefined relation '" +
-            a.relation + "'");
-      }
-      a.CollectDefinedVars(defined, &defined);
-    }
-    for (const std::string& v : r.head.vars) {
-      if (!defined.count(v)) {
-        return Status::InvalidArgument("rule " + std::to_string(i) +
-                                       " head var '" + v +
-                                       "' not defined in body");
-      }
-    }
-    for (const std::string& v : r.head.group_vars) {
-      if (!defined.count(v)) {
-        return Status::InvalidArgument("rule " + std::to_string(i) +
-                                       " group var '" + v + "' undefined");
-      }
-    }
-    if (!r.head.col_names.empty() &&
-        r.head.col_names.size() != r.head.vars.size()) {
-      return Status::InvalidArgument("rule " + std::to_string(i) +
-                                     " col_names/vars arity mismatch");
-    }
-    known.insert(r.head.relation);
-  }
-  return Status::OK();
-}
+// Program::Validate is defined in analysis/verifier.cc as a thin wrapper
+// over the semantic verifier; callers link pytond_analysis.
 
 std::map<std::string, std::vector<size_t>> Program::BuildReaderIndex() const {
   std::map<std::string, std::vector<size_t>> readers;

@@ -186,9 +186,11 @@ struct Program {
   /// Pretty Datalog-style rendering, matching the paper's notation.
   std::string ToString() const;
 
-  /// Structural sanity checks: every body relation is a base relation or
-  /// defined by an earlier rule; head vars are defined in the body; group
-  /// vars appear in the head.
+  /// Semantic sanity checks: thin wrapper over analysis::VerifyProgram
+  /// (defined in analysis/verifier.cc; callers link pytond_analysis).
+  /// Returns the first error diagnostic, e.g. undefined relations
+  /// (including inside exists bodies), arity mismatches, undefined
+  /// head/group vars, aggregate/group inconsistencies.
   Status Validate(const std::set<std::string>& base_relations) const;
 
   /// relation name -> indices of rules whose body reads it.
@@ -201,7 +203,9 @@ std::string TermToString(const Term& term);
 std::string AtomToString(const Atom& atom);
 
 /// Parses the textual TondIR syntax produced by ToString (used heavily by
-/// optimizer unit tests). Grammar:
+/// optimizer unit tests and by the `tondlint` CLI). Grammar:
+///   prog   := (base | rule)*
+///   base   := '@base' NAME '(' vars ')' ['unique' '(' ints ')'] '.'
 ///   rule   := head ':-' body '.'
 ///   head   := NAME '(' vars ')' ['group' '(' vars ')']
 ///             ['sort' '(' keys ')'] ['limit' '(' INT ')'] ['distinct']
@@ -209,6 +213,9 @@ std::string AtomToString(const Atom& atom);
 ///   atom   := NAME '(' vars ')' | '(' NAME cmp term ')' |
 ///             '(' NAME '=' '[' consts ']' ')' | 'exists' '(' body ')' |
 ///             '!exists' '(' body ')' | '@' NAME '(' vars ')'
+/// '@base' declares an extensional relation: it fills base_columns (the
+/// listed vars become the column names) and, with the optional unique(..)
+/// clause, relation_info[..].unique_positions.
 Result<Program> ParseProgram(const std::string& text);
 Result<Rule> ParseRule(const std::string& text);
 

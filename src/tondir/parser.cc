@@ -17,6 +17,18 @@ class Parser {
     Program p;
     SkipWs();
     while (pos_ < text_.size()) {
+      // Top-level '@' introduces a directive; inside bodies it is a marker
+      // atom, so there is no ambiguity.
+      if (text_[pos_] == '@') {
+        ++pos_;
+        if (!TryKeyword("base")) {
+          return Status::ParseError("expected 'base' after '@' at pos " +
+                                    std::to_string(pos_));
+        }
+        PYTOND_RETURN_IF_ERROR(ParseBaseDirective(&p));
+        SkipWs();
+        continue;
+      }
       auto r = ParseRuleText();
       if (!r.ok()) return r.status();
       p.rules.push_back(std::move(*r));
@@ -57,6 +69,25 @@ class Parser {
   }
 
  private:
+  /// '@base' NAME '(' cols ')' ['unique' '(' ints ')'] '.' — declares an
+  /// extensional relation for standalone .tir files (tondlint, examples).
+  Status ParseBaseDirective(Program* p) {
+    PYTOND_ASSIGN_OR_RETURN(std::string rel, Name());
+    PYTOND_ASSIGN_OR_RETURN(std::vector<std::string> cols, VarList());
+    p->base_columns[rel] = std::move(cols);
+    if (TryKeyword("unique")) {
+      PYTOND_RETURN_IF_ERROR(Expect('('));
+      while (true) {
+        PYTOND_ASSIGN_OR_RETURN(Value v, Number());
+        p->relation_info[rel].unique_positions.insert(
+            static_cast<size_t>(v.AsInt64()));
+        if (TryChar(')')) break;
+        PYTOND_RETURN_IF_ERROR(Expect(','));
+      }
+    }
+    return Expect('.');
+  }
+
   void SkipWs() {
     while (pos_ < text_.size()) {
       char c = text_[pos_];

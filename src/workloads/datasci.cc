@@ -69,7 +69,7 @@ Status PopulateBirthAnalysis(engine::Database* db, int64_t rows,
   for (int64_t i = 0; i < rows; ++i) {
     name[i] = kNames[Uniform(rng, 0, 14)];
     year[i] = Uniform(rng, 1880, 2020);
-    sex[i] = Uniform(rng, 0, 1) ? "M" : "F";
+    sex[i] = Uniform(rng, 0, 1) ? std::string("M") : std::string("F");
     births[i] = Uniform(rng, 1, 5000);
   }
   Table t;
@@ -219,8 +219,10 @@ Status PopulateHybrid(engine::Database* db, int64_t rows, uint64_t seed) {
     Table t;
     PYTOND_RETURN_IF_ERROR(t.AddColumn("pk", Column::Int64(pk1)));
     for (int c = 0; c < 4; ++c) {
+      std::string col_name = "f";
+      col_name += std::to_string(c);
       PYTOND_RETURN_IF_ERROR(t.AddColumn(
-          "f" + std::to_string(c),
+          col_name,
           Column::Float64(std::vector<double>(f.begin() + c * rows,
                                               f.begin() + (c + 1) * rows))));
     }
@@ -232,8 +234,10 @@ Status PopulateHybrid(engine::Database* db, int64_t rows, uint64_t seed) {
     Table t;
     PYTOND_RETURN_IF_ERROR(t.AddColumn("pk", Column::Int64(pk2)));
     for (int c = 0; c < 4; ++c) {
+      std::string col_name = "g";
+      col_name += std::to_string(c);
       PYTOND_RETURN_IF_ERROR(t.AddColumn(
-          "g" + std::to_string(c),
+          col_name,
           Column::Float64(std::vector<double>(g.begin() + c * rows,
                                               g.begin() + (c + 1) * rows))));
     }
@@ -320,8 +324,10 @@ Status PopulateCovariance(engine::Database* db, int64_t rows, int cols,
         coo_v.push_back(col[r]);
       }
     }
-    PYTOND_RETURN_IF_ERROR(dense.AddColumn("c" + std::to_string(c),
-                                           Column::Float64(std::move(col))));
+    std::string col_name = "c";
+    col_name += std::to_string(c);
+    PYTOND_RETURN_IF_ERROR(
+        dense.AddColumn(col_name, Column::Float64(std::move(col))));
   }
   TableConstraints tc;
   tc.primary_key = {"id"};

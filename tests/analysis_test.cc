@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.h"
+#include "core/session.h"
+#include "frontend/compiler.h"
+#include "tondir/ir.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond::analysis {
+namespace {
+
+/// Parses `text` (which may use '@base' directives) and verifies it.
+std::vector<Diagnostic> Lint(const std::string& text,
+                             std::set<std::string> extra_bases = {},
+                             bool implicit_bases = false) {
+  auto p = tondir::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  if (!p.ok()) return {};
+  VerifyOptions options;
+  options.implicit_bases = implicit_bases;
+  options.base_relations = std::move(extra_bases);
+  for (const auto& [rel, cols] : p->base_columns) {
+    options.base_relations.insert(rel);
+  }
+  return VerifyProgram(*p, options);
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const char* code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------- clean inputs
+
+TEST(VerifierTest, CleanProgramHasNoDiagnostics) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), (a > 1).\n"
+      "s(x, y) :- r(x), (y = (x * 2)).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, BaseDirectiveDeclaresSchemaAndUniqueness) {
+  auto p = tondir::ParseProgram(
+      "@base t(id, v) unique(0).\n"
+      "r(id, v) :- t(id, v).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->base_columns.count("t"), 1u);
+  EXPECT_EQ(p->base_columns["t"],
+            (std::vector<std::string>{"id", "v"}));
+  EXPECT_EQ(p->relation_info["t"].unique_positions, (std::set<size_t>{0}));
+}
+
+// ------------------------------------------------- one test per T-code
+
+TEST(VerifierTest, T001UndefinedRelation) {
+  auto diags = Lint("r(a) :- missing(a, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedRelation))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T001UndefinedRelationInsideExists) {
+  // The old Program::Validate blind spot: accesses inside exists(..) were
+  // never checked.
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), exists(missing(c)).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedRelation))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T002ArityMismatch) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b, c).");
+  EXPECT_TRUE(HasCode(diags, codes::kArityMismatch))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T002ArityInferredAcrossRules) {
+  // No schema: arity fixed by the first access, second access disagrees.
+  auto diags = Lint(
+      "r(a) :- t(a, b).\n"
+      "s(x) :- t(x, y, z).",
+      {"t"});
+  EXPECT_TRUE(HasCode(diags, codes::kArityMismatch))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T003UndefinedHeadVar) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(zz) :- t(a, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedHeadVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T004UndefinedGroupVar) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) group(a, zz) :- t(a, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedGroupVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T005ColNamesArityMismatch) {
+  auto p = tondir::ParseProgram(
+      "@base t(a, b).\n"
+      "r(a, b) :- t(a, b).");
+  ASSERT_TRUE(p.ok());
+  p->rules[0].head.col_names.pop_back();
+  VerifyOptions options;
+  options.base_relations = {"t"};
+  auto diags = VerifyProgram(*p, options);
+  EXPECT_TRUE(HasCode(diags, codes::kColNamesArity))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T006UndefinedVarInFilter) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), (c > 1).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T006UndefinedVarInAssignmentTerm) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(x) :- t(a, b), (x = (a + nope)).");
+  EXPECT_TRUE(HasCode(diags, codes::kUndefinedVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T007ExistsVarLeaksIntoFilter) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "@base u(c).\n"
+      "r(a) :- t(a, b), exists(u(c)), (c > 1).");
+  EXPECT_TRUE(HasCode(diags, codes::kExistsLeak))
+      << FormatDiagnostics(diags);
+  EXPECT_FALSE(HasCode(diags, codes::kUndefinedVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T007ExistsVarLeaksIntoHead) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "@base u(c).\n"
+      "r(c) :- t(a, b), exists(u(c)).");
+  EXPECT_TRUE(HasCode(diags, codes::kExistsLeak))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, ExistsMayUseOuterVars) {
+  // Correlation the other way round is fine: exists bodies see outer vars.
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "@base u(c).\n"
+      "r(a) :- t(a, b), !exists(u(c), (c = a)).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T008UngroupedHeadVar) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a, b) group(a) :- t(a, b), (s = sum(b)).");
+  EXPECT_TRUE(HasCode(diags, codes::kUngroupedHeadVar))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T008AllowsExpressionsOverGroupVarsAndAggregates) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a, frac) group(a) :- t(a, b), (s = sum(b)), (c = count(b)), "
+      "(frac = s / c).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T009NestedAggregate) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a, x) group(a) :- t(a, b), (x = sum(sum(b))).");
+  EXPECT_TRUE(HasCode(diags, codes::kNestedAggregate))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T010AggregateInFilter) {
+  // HAVING-style filters on aggregate results must live in a later rule.
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) group(a) :- t(a, b), (s = sum(b)), (s > 10).");
+  EXPECT_TRUE(HasCode(diags, codes::kAggregateOutsideAssignment))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T010AggregateInsideExists) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), exists((x = sum(b))).");
+  EXPECT_TRUE(HasCode(diags, codes::kAggregateOutsideAssignment))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T011SortWithoutLimitOnNonSink) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) sort(a asc) :- t(a, b).\n"
+      "s(x) :- r(x).");
+  EXPECT_TRUE(HasCode(diags, codes::kSortWithoutLimitNotSink))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, TopNOnNonSinkIsAllowed) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) sort(a asc) limit(5) :- t(a, b).\n"
+      "s(x) :- r(x).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T012SortKeyNotInHead) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) sort(b desc) :- t(a, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kSortKeyNotInHead))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T013OuterMarkerOddKeyCount) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "@base u(c, d).\n"
+      "r(a, c) :- t(a, b), u(c, d), @outer_left(a, c, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kBadOuterMarker))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T013OuterMarkerNeedsTwoAccesses) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), @outer_left(a, b).");
+  EXPECT_TRUE(HasCode(diags, codes::kBadOuterMarker))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, WellFormedOuterJoinIsClean) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "@base u(c, d).\n"
+      "r(a, c) :- t(a, b), u(c, d), @outer_left(a, c).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T014UnknownMarkerIsWarningOnly) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), @frobnicate(a).");
+  EXPECT_TRUE(HasCode(diags, codes::kUnknownMarker))
+      << FormatDiagnostics(diags);
+  EXPECT_FALSE(HasErrors(diags)) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T015DeadRuleIsWarningOnly) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "dead(a) :- t(a, b).\n"
+      "r(x) :- t(x, y).");
+  EXPECT_TRUE(HasCode(diags, codes::kDeadRule)) << FormatDiagnostics(diags);
+  EXPECT_FALSE(HasErrors(diags)) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T016RelationRedefined) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b).\n"
+      "r(b) :- t(b, c).");
+  EXPECT_TRUE(HasCode(diags, codes::kRelationRedefined))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T016RuleShadowsBaseRelation) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "t(a) :- t(a, b).\n"
+      "r(x) :- t(x, y).");
+  EXPECT_TRUE(HasCode(diags, codes::kRelationRedefined))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T017ConstRelMixedTypes) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), (x = [1, \"two\"]), (x = a).");
+  EXPECT_TRUE(HasCode(diags, codes::kConstRelHeterogeneous))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T018EmptyConstRel) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), (x = []), (x = a).");
+  EXPECT_TRUE(HasCode(diags, codes::kConstRelEmpty))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T019UidWithoutRelationAccess) {
+  auto diags = Lint("r(x) :- (x = uid()).");
+  EXPECT_TRUE(HasCode(diags, codes::kUidWithoutAccess))
+      << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, UidWithRelationAccessIsClean) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a, x) :- t(a, b), (x = uid()).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+// ------------------------------------------------------------- options
+
+TEST(VerifierTest, ImplicitBasesSuppressT001AndInferArity) {
+  auto diags = Lint("r(a) :- mystery(a, b).", {}, /*implicit_bases=*/true);
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+  auto diags2 = Lint("r(a) :- mystery(a, b), mystery(a, b, c).", {},
+                     /*implicit_bases=*/true);
+  EXPECT_TRUE(HasCode(diags2, codes::kArityMismatch))
+      << FormatDiagnostics(diags2);
+}
+
+TEST(VerifierTest, DiagnosticRenderingIsStable) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), (c > 1).");
+  ASSERT_TRUE(HasCode(diags, codes::kUndefinedVar));
+  for (const auto& d : diags) {
+    if (d.code == codes::kUndefinedVar) {
+      EXPECT_EQ(d.rule_index, 0);
+      EXPECT_EQ(d.atom_index, 1);
+      EXPECT_NE(d.ToString().find("error[T006]"), std::string::npos)
+          << d.ToString();
+    }
+  }
+}
+
+// ----------------------------------------------- Validate thin wrapper
+
+TEST(ValidateWrapperTest, FirstErrorBecomesStatus) {
+  auto p = tondir::ParseProgram("r(zz) :- t(a, b).");
+  ASSERT_TRUE(p.ok());
+  Status s = p->Validate({"t"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("T003"), std::string::npos) << s.ToString();
+}
+
+TEST(ValidateWrapperTest, WarningsDoNotFailValidation) {
+  auto p = tondir::ParseProgram(
+      "dead(a) :- t(a, b).\n"
+      "r(x) :- t(x, y).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate({"t"}).ok());
+}
+
+// --------------------------------------- whole-pipeline integration
+
+class TpchVerifyTest : public ::testing::Test {
+ protected:
+  static Session* session_;
+
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    ASSERT_TRUE(workloads::tpch::Populate(&session_->db(), 0.01).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+};
+
+Session* TpchVerifyTest::session_ = nullptr;
+
+/// Every TPC-H query must compile cleanly with post-translation
+/// verification AND per-pass verification forced on at full optimization.
+TEST_F(TpchVerifyTest, AllQueriesVerifyThroughEveryPass) {
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    frontend::CompileOptions options;
+    options.verify = true;
+    options.verify_each_pass = true;
+    auto c = frontend::CompileFunction(q.source, session_->db().catalog(),
+                                       options);
+    EXPECT_TRUE(c.ok()) << q.name << ": " << c.status().ToString();
+  }
+}
+
+TEST_F(TpchVerifyTest, AllOptimizationLevelsVerify) {
+  for (int level = 0; level <= 4; ++level) {
+    for (const auto& q : workloads::tpch::AllQueries()) {
+      frontend::CompileOptions options;
+      options.optimization_level = level;
+      options.verify = true;
+      options.verify_each_pass = true;
+      auto c = frontend::CompileFunction(q.source, session_->db().catalog(),
+                                         options);
+      EXPECT_TRUE(c.ok()) << q.name << " at O" << level << ": "
+                          << c.status().ToString();
+    }
+  }
+}
+
+TEST(DatasciVerifyTest, WorkloadsVerifyThroughEveryPass) {
+  Session session;
+  ASSERT_TRUE(
+      workloads::datasci::PopulateCrimeIndex(&session.db(), 200).ok());
+  ASSERT_TRUE(
+      workloads::datasci::PopulateBirthAnalysis(&session.db(), 300).ok());
+  const struct { const char* name; const char* source; } sources[] = {
+      {"CrimeIndex", workloads::datasci::CrimeIndexSource()},
+      {"BirthAnalysis", workloads::datasci::BirthAnalysisSource()},
+  };
+  for (const auto& w : sources) {
+    frontend::CompileOptions options;
+    options.verify = true;
+    options.verify_each_pass = true;
+    auto c =
+        frontend::CompileFunction(w.source, session.db().catalog(), options);
+    EXPECT_TRUE(c.ok()) << w.name << ": " << c.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pytond::analysis

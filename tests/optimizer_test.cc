@@ -307,5 +307,127 @@ TEST(PipelineTest, FixpointTerminates) {
   EXPECT_EQ(p.rules.size(), 1u);
 }
 
+// ------------------------------------- per-pass verification harness
+
+/// Every textual fixture from the pass tests above, optimized at O4 with
+/// the per-pass verifier on: no pass may leave the program in a state the
+/// semantic verifier rejects.
+TEST(VerifyEachPassTest, CleanOnAllFixtures) {
+  struct Fixture {
+    const char* text;
+    std::set<std::string> bases;
+    std::set<std::string> unique0;  // relations with unique position 0
+  };
+  const Fixture fixtures[] = {
+      {"R1(a, c) :- R(a, b, c), (x = (b * c)), (a < 10).", {"R"}, {}},
+      {"R1(a, x) :- R(a, b), (x = (b * 2)).", {"R"}, {}},
+      {"R1(a, x) :- R(a, b), (y = (b + 1)), (x = (y * 2)), (z = (b - 1)).",
+       {"R"},
+       {}},
+      {"R1(a) :- R(a, b), (x = (b + 1)), (x > 5).", {"R"}, {}},
+      {"R1(a, s) sort(s desc) limit(3) :- R(a, b), (s = (b * 2)).",
+       {"R"},
+       {}},
+      {"R1(a, b, c, d) :- R(a, b, c, d), (a < 10), (c = d).\n"
+       "R2(a, s) group(a) :- R1(a, b, c, d), (s = sum(b)).",
+       {"R"},
+       {}},
+      {"Dead(a) :- R(a, b).\nR2(a) :- R(a, b).", {"R"}, {}},
+      {"R1(a, b) :- R(a, b, c).\nR2(a) :- R1(a, b).\nR3(b) :- R1(a, b).\n"
+       "R4(x, y) :- R2(x), R3(y).",
+       {"R"},
+       {}},
+      {"R1(a, b, c) :- R(a, b, c).", {"R"}, {}},
+      {"R1(ID, s) group(ID) :- R(ID, a, b, c), (s = sum(b)).",
+       {"R"},
+       {"R"}},
+      {"R1(ID, c) group(ID) :- R(ID, a), (c = count(a)).", {"R"}, {"R"}},
+      {"R1(a, s) group(a) :- R(ID, a, b), (s = sum(b)).", {"R"}, {"R"}},
+      {"R1(ID, s) group(ID) :- X(ID, a), Y(ID, b), (s = sum(a * b)).",
+       {"X", "Y"},
+       {"X", "Y"}},
+      {"R1(ID, s) group(ID) :- X(ID, a), Y(k, b), (s = sum(a * b)).",
+       {"X", "Y"},
+       {"X"}},
+      {"R1(ID, s) group(ID) :- X(ID, a), (c = [0, 1]), (s = sum(a)).",
+       {"X"},
+       {"X"}},
+      {"R1(ID, a, b) :- R(ID, a), R(ID, b).", {"R"}, {"R"}},
+      {"R1(ID, a, b) :- R(ID, a), S(ID, b).", {"R", "S"}, {"R", "S"}},
+      {"R1(ID, a, b, c) :- R(ID, a), R(ID, b), R(ID, c).", {"R"}, {"R"}},
+      {"R2(b, c, d) :- R1(a, b, c, d), (a > 1000).\n"
+       "R3(b, d) :- R2(b, c, d), (c != \"A\").\n"
+       "R5(e, g) :- R4(e, f, g), (f > 100).\n"
+       "R6(b, g) :- R3(b, x), R5(x, g).\n"
+       "R7(b, m) group(b) :- R6(b, g), (m = max(g)).",
+       {"R1", "R4"},
+       {}},
+      {"Agg(a, s) group(a) :- T(a, b), (s = sum(b)).\n"
+       "Out(a, s) :- Agg(a, s), (s > 10).",
+       {"T"},
+       {}},
+      {"V(a, b) :- T(a, b), (a > 0).\nOut(x, y) :- V(x, u), V(v, y).",
+       {"T"},
+       {}},
+      {"V(a) :- T(a, tmp), (tmp > 1).\nOut(a, tmp) :- V(a), U(a, tmp).",
+       {"T", "U"},
+       {}},
+      {"v1(ID, c0, c1) :- x(ID, xc0), y(ID2, yc1), (ID = ID2), "
+       "(c0 = xc0), (c1 = yc1).\n"
+       "v4(ID, d0, d1, d2, d3) group(ID) :- v1(ID, a0, a1), v1(ID, b0, b1), "
+       "(d0 = sum(a0 * b0)), (d1 = sum(a0 * b1)), "
+       "(d2 = sum(a1 * b0)), (d3 = sum(a1 * b1)).",
+       {"x", "y"},
+       {"x", "y", "v1"}},
+      {"Dead(a) :- T(a, b).\nOut(a) :- T(a, b), (x = (b + 1)).", {"T"}, {}},
+      {"A(x) :- T(x, y).\nB(x) :- A(x).\nC(x) :- B(x).\nD(x) :- C(x).\n"
+       "E(x) :- D(x).",
+       {"T"},
+       {}},
+  };
+  for (const Fixture& f : fixtures) {
+    Program p = Parse(f.text);
+    for (const auto& rel : f.unique0) {
+      p.relation_info[rel].unique_positions = {0};
+    }
+    OptimizerOptions o = OptimizerOptions::Preset(4);
+    o.verify_each_pass = true;
+    Status s = Optimize(&p, f.bases, o);
+    EXPECT_TRUE(s.ok()) << f.text << "\n" << s.ToString();
+  }
+}
+
+/// Corrupting the program right after a specific pass must produce an
+/// Internal error that names that pass and the violated invariant.
+TEST(VerifyEachPassTest, NamesOffendingPass) {
+  Program p = Parse(
+      "A(x) :- T(x, y).\n"
+      "B(x) :- A(x).");
+  OptimizerOptions o = OptimizerOptions::Preset(4);
+  o.verify_each_pass = true;
+  o.post_pass_hook = [](const char* pass, Program* prog) {
+    if (std::string(pass) == "RuleInlining" && !prog->rules.empty()) {
+      prog->rules.back().head.vars.push_back("oops");
+      prog->rules.back().head.col_names.push_back("oops");
+    }
+  };
+  Status s = Optimize(&p, {"T"}, o);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("RuleInlining"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("T003"), std::string::npos) << s.ToString();
+}
+
+TEST(VerifyEachPassTest, RejectsInvalidInputProgram) {
+  Program p = Parse("Out(zz) :- T(a, b).");
+  OptimizerOptions o = OptimizerOptions::Preset(4);
+  o.verify_each_pass = true;
+  Status s = Optimize(&p, {"T"}, o);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("T003"), std::string::npos) << s.ToString();
+}
+
 }  // namespace
 }  // namespace pytond::opt

@@ -1,0 +1,148 @@
+// tondlint: semantic lint for textual TondIR programs.
+//
+//   tondlint [options] file.tir [file2.tir ...]
+//   tondlint -                       # read one program from stdin
+//
+// Parses each input with tondir::ParseProgram (which understands the
+// '@base R(col, ...).' directive for declaring extensional relations) and
+// runs analysis::VerifyProgram over it, printing one diagnostic per line:
+//
+//   q1.tir: rule 2, atom 1: error[T002]: relation 'lineitem' accessed ...
+//
+// Exit status: 0 clean, 1 any error (or any warning with --werror),
+// 2 usage/parse failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+#include "tondir/ir.h"
+
+namespace {
+
+struct LintConfig {
+  bool werror = false;
+  bool quiet = false;          // suppress per-file "OK" lines
+  bool implicit_bases = false; // undeclared read relations become bases
+};
+
+int Usage() {
+  std::cerr
+      << "usage: tondlint [options] <file.tir ...|->\n"
+         "  -                  read a program from stdin\n"
+         "  --werror           treat warnings as errors (exit 1)\n"
+         "  --implicit-bases   reads of undeclared relations implicitly\n"
+         "                     declare base relations instead of T001\n"
+         "  --quiet            only print diagnostics, no per-file summary\n"
+         "  --list-codes       print the diagnostic code table and exit\n";
+  return 2;
+}
+
+void ListCodes() {
+  using namespace pytond::analysis::codes;
+  const struct { const char* code; const char* what; } table[] = {
+      {kUndefinedRelation, "body reads an unknown relation"},
+      {kArityMismatch, "relation accessed with the wrong arity"},
+      {kUndefinedHeadVar, "head variable not defined in the body"},
+      {kUndefinedGroupVar, "group variable not defined in the body"},
+      {kColNamesArity, "head col_names/vars arity mismatch"},
+      {kUndefinedVar, "comparison references an undefined variable"},
+      {kExistsLeak, "variable bound only inside exists(..) used outside"},
+      {kUngroupedHeadVar, "non-aggregate head var of grouped rule"},
+      {kNestedAggregate, "nested aggregate"},
+      {kAggregateOutsideAssignment, "aggregate in a filter or exists body"},
+      {kSortWithoutLimitNotSink, "sort without limit on a non-sink rule"},
+      {kSortKeyNotInHead, "sort key not among head vars"},
+      {kBadOuterMarker, "malformed outer-join marker"},
+      {kUnknownMarker, "unknown external marker atom (warning)"},
+      {kDeadRule, "rule not reachable from the sink (warning)"},
+      {kRelationRedefined, "relation redefined / shadows a base"},
+      {kConstRelHeterogeneous, "constant relation mixes value types"},
+      {kConstRelEmpty, "empty constant relation"},
+      {kUidWithoutAccess, "uid() in a body without a relation access"},
+  };
+  for (const auto& row : table) {
+    std::cout << row.code << "  " << row.what << "\n";
+  }
+}
+
+/// Lints one program; returns 0 clean, 1 findings, 2 parse error.
+int LintSource(const std::string& label, const std::string& text,
+               const LintConfig& config) {
+  auto parsed = pytond::tondir::ParseProgram(text);
+  if (!parsed.ok()) {
+    std::cerr << label << ": parse error: " << parsed.status().message()
+              << "\n";
+    return 2;
+  }
+  pytond::analysis::VerifyOptions options;
+  options.implicit_bases = config.implicit_bases;
+  for (const auto& [rel, cols] : parsed->base_columns) {
+    options.base_relations.insert(rel);
+  }
+  auto diags = pytond::analysis::VerifyProgram(*parsed, options);
+  for (const auto& d : diags) {
+    std::cout << label << ": " << d.ToString() << "\n";
+  }
+  bool failed = pytond::analysis::HasErrors(diags) ||
+                (config.werror && !diags.empty());
+  if (!failed && !config.quiet) {
+    std::cout << label << ": OK (" << parsed->rules.size() << " rules)\n";
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintConfig config;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      config.werror = true;
+    } else if (arg == "--implicit-bases") {
+      config.implicit_bases = true;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--list-codes") {
+      ListCodes();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (arg == "-" || arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "tondlint: unknown option '" << arg << "'\n";
+      return Usage();
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  int exit_code = 0;
+  for (const std::string& input : inputs) {
+    std::string text;
+    std::string label = input;
+    if (input == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      text = ss.str();
+      label = "<stdin>";
+    } else {
+      std::ifstream f(input);
+      if (!f) {
+        std::cerr << "tondlint: cannot open '" << input << "'\n";
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      text = ss.str();
+    }
+    exit_code = std::max(exit_code, LintSource(label, text, config));
+  }
+  return exit_code;
+}

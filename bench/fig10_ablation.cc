@@ -53,6 +53,7 @@ void AblationBench(benchmark::State& state, const std::string& source,
     }
     benchmark::DoNotOptimize((*r)->num_rows());
   }
+  ReportCompileExecSplit(state, AblationSession(), source, opts);
 }
 
 void Register() {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: Release and ASan/UBSan builds, the test suite under
-# both, and tondlint over the example TondIR programs.
+# both (obs_test runs under ASan here too), tondlint over the example
+# TondIR programs, and tondtrace smoke runs whose JSON output is gated by
+# the built-in minimal validator (--check exits 3 on malformed JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +15,16 @@ for preset in default asan; do
 done
 
 ./build/tools/tondlint examples/tondir/*.tir
+./build/tools/tondlint --json examples/tondir/*.tir > /dev/null
+
+# tondtrace smoke: every emitted JSON document must pass --check.
+for bindir in build build-asan; do
+  trace="$bindir/tools/tondtrace"
+  "$trace" --tir --format=chrome --check examples/tondir/*.tir > /dev/null
+  "$trace" --tir --format=json --check examples/tondir/*.tir > /dev/null
+  "$trace" --tpch=0.002 --query=6 --format=chrome --check > /dev/null 2>&1
+  "$trace" --tpch=0.002 --query=6 --format=json --check --analyze \
+      > /dev/null 2>&1
+done
+
 echo "check.sh: all green"

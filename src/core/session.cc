@@ -10,6 +10,7 @@ frontend::CompileOptions ToCompileOptions(const RunOptions& options) {
   out.dialect = options.profile == engine::BackendProfile::kCompiled
                     ? sqlgen::SqlDialect::kHyper
                     : sqlgen::SqlDialect::kDuck;
+  out.trace = options.trace;
   return out;
 }
 
@@ -27,16 +28,33 @@ Result<std::shared_ptr<const Table>> Session::Run(const std::string& source,
   return Execute(c, options);
 }
 
+Result<ProfiledRun> Session::RunProfiled(const std::string& source,
+                                         const RunOptions& options) {
+  obs::TraceCollector local;
+  RunOptions traced = options;
+  if (traced.trace == nullptr) traced.trace = &local;
+  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, traced));
+  PYTOND_ASSIGN_OR_RETURN(auto table, Execute(c, traced));
+  ProfiledRun out;
+  out.table = std::move(table);
+  out.profile = obs::SummarizeTrace(*traced.trace);
+  return out;
+}
+
 Result<std::shared_ptr<const Table>> Session::Execute(
     const frontend::Compiled& c, const RunOptions& options) {
   engine::QueryOptions qopts;
   qopts.profile = options.profile;
   qopts.num_threads = options.num_threads;
+  qopts.trace = options.trace;
   return db_.Query(c.sql, qopts);
 }
 
-Result<Table> Session::RunBaseline(const std::string& source) const {
-  return runtime::InterpretSource(source, db_.catalog());
+Result<Table> Session::RunBaseline(const std::string& source,
+                                   obs::TraceCollector* trace) const {
+  runtime::InterpretOptions opts;
+  opts.trace = trace;
+  return runtime::InterpretSource(source, db_.catalog(), opts);
 }
 
 }  // namespace pytond

@@ -7,6 +7,8 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "frontend/compiler.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
 #include "runtime/interpreter.h"
 
 namespace pytond {
@@ -20,6 +22,17 @@ struct RunOptions {
   /// TondIR optimization preset 0..4 (0 reproduces the paper's
   /// "Grizzly-simulated" competitor).
   int optimization_level = 4;
+  /// Optional end-to-end trace: compile phases, optimizer passes, sqlgen,
+  /// CTE materialization, and executor operators all record spans here.
+  /// Null (the default) keeps every instrumentation point a null check.
+  obs::TraceCollector* trace = nullptr;
+};
+
+/// Run result with the flattened trace summary: compile-ms broken down by
+/// phase and optimizer pass, exec-ms by operator (see obs::QueryProfile).
+struct ProfiledRun {
+  std::shared_ptr<const Table> table;
+  obs::QueryProfile profile;
 };
 
 /// The PyTond entry point: owns the database (catalog + engine), compiles
@@ -53,13 +66,22 @@ class Session {
   Result<std::shared_ptr<const Table>> Run(const std::string& source,
                                            const RunOptions& options = {});
 
+  /// Compiles and executes with tracing forced on, returning the table
+  /// plus a QueryProfile (the paper's compile-time vs. execution-time
+  /// split). Uses options.trace when the caller attached a collector,
+  /// otherwise a run-local one.
+  Result<ProfiledRun> RunProfiled(const std::string& source,
+                                  const RunOptions& options = {});
+
   /// Executes a previously compiled function's SQL.
   Result<std::shared_ptr<const Table>> Execute(const frontend::Compiled& c,
                                                const RunOptions& options = {});
 
   /// Runs the same source through the eager interpreter — the paper's
-  /// Python/Pandas/NumPy baseline.
-  Result<Table> RunBaseline(const std::string& source) const;
+  /// Python/Pandas/NumPy baseline. Pass a collector to time it (its
+  /// "eager" span feeds QueryProfile::eager_ms / SpeedupVsBaseline).
+  Result<Table> RunBaseline(const std::string& source,
+                            obs::TraceCollector* trace = nullptr) const;
 
  private:
   engine::Database db_;

@@ -1,8 +1,12 @@
 #include "engine/database.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "engine/plan/binder.h"
 #include "engine/plan/optimizer.h"
 #include "engine/sql/parser.h"
+#include "obs/trace.h"
 
 namespace pytond::engine {
 
@@ -44,7 +48,9 @@ struct QueryScope {
 Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
                                                const Catalog& catalog,
                                                QueryScope* scope,
-                                               const QueryOptions& opts) {
+                                               const QueryOptions& opts,
+                                               PlanStatsMap* op_stats = nullptr,
+                                               PlanPtr* out_plan = nullptr) {
   // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
   if (stmt.is_values()) {
     auto t = std::make_shared<Table>();
@@ -70,13 +76,20 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   BinderCatalog bc = scope->MakeBinderCatalog(catalog);
   sql::SelectStmt core = stmt;
   core.ctes.clear();
+  obs::Span bind_span(opts.trace, "bind", "engine");
   PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(core, bc, opts.profile));
+  bind_span.End();
+  obs::Span tune_span(opts.trace, "plan_tuning", "engine");
   OptimizePlan(plan, opts.profile, bc.row_count);
+  tune_span.End();
+  if (out_plan != nullptr) *out_plan = plan;
 
   ExecContext ctx;
   ctx.catalog = &catalog;
   ctx.temps = &scope->temps;
   ctx.num_threads = opts.num_threads;
+  ctx.trace = opts.trace;
+  ctx.op_stats = op_stats;
   return ExecutePlan(*plan, ctx);
 }
 
@@ -105,40 +118,98 @@ Status Database::CreateTable(const std::string& name, Table table,
 
 Result<std::shared_ptr<const Table>> Database::Query(
     const std::string& sql, const QueryOptions& opts) {
+  obs::Span query_span(opts.trace, "query", "engine");
+  obs::Span parse_span(opts.trace, "parse_sql", "engine");
   PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
+  parse_span.End();
   QueryScope scope;
   for (const auto& cte : stmt->ctes) {
+    obs::Span cte_span(opts.trace, "cte:" + cte.name, "cte");
     PYTOND_ASSIGN_OR_RETURN(
         auto t, RunSelect(*cte.select, catalog_, &scope, opts));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
+    cte_span.AddCounter("rows", static_cast<int64_t>(t->num_rows()));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
   }
+  obs::Span final_span(opts.trace, "final_select", "engine");
   return RunSelect(*stmt, catalog_, &scope, opts);
 }
 
 Result<std::string> Database::ExplainQuery(const std::string& sql,
                                            const QueryOptions& opts) {
+  const bool analyze = opts.explain == ExplainMode::kAnalyze;
   PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
   QueryScope scope;
   std::string out;
+
+  // Shared across all sub-plans of this statement; the annotator renders
+  // `rows=`/`time=` actuals next to each operator that executed.
+  PlanStatsMap stats;
+  LogicalPlan::Annotator annotate = [&stats](const LogicalPlan& p) {
+    auto it = stats.find(&p);
+    if (it == stats.end()) return std::string();
+    const OperatorStats& s = it->second;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "(rows=%" PRIu64 ", time=%.3f ms",
+                  s.rows_out, static_cast<double>(s.time_ns) / 1e6);
+    std::string a = buf;
+    if (p.kind == LogicalPlan::Kind::kJoin) {
+      std::snprintf(buf, sizeof(buf), ", build=%" PRIu64, s.build_rows);
+      a += buf;
+    }
+    if (p.kind == LogicalPlan::Kind::kFilter && s.rows_in > 0) {
+      std::snprintf(buf, sizeof(buf), ", sel=%.1f%%",
+                    100.0 * static_cast<double>(s.rows_out) /
+                        static_cast<double>(s.rows_in));
+      a += buf;
+    }
+    a += ")";
+    return a;
+  };
+
   for (const auto& cte : stmt->ctes) {
     // Materialize CTEs so later plans can be bound/estimated.
+    uint64_t t0 = analyze ? obs::NowNs() : 0;
+    PlanPtr plan;
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts));
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts,
+                          analyze ? &stats : nullptr, &plan));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
     out += "-- CTE " + cte.name + " (" + std::to_string(t->num_rows()) +
-           " rows)\n";
+           " rows";
+    if (analyze) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ", %.3f ms",
+                    static_cast<double>(obs::NowNs() - t0) / 1e6);
+      out += buf;
+    }
+    out += ")\n";
+    if (analyze && plan != nullptr) out += plan->ToString(1, annotate);
   }
   if (!stmt->is_values()) {
-    BinderCatalog bc = scope.MakeBinderCatalog(catalog_);
-    sql::SelectStmt core = *stmt;
-    core.ctes.clear();
-    PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(core, bc, opts.profile));
-    OptimizePlan(plan, opts.profile, bc.row_count);
-    out += plan->ToString();
+    if (analyze) {
+      uint64_t t0 = obs::NowNs();
+      PlanPtr plan;
+      PYTOND_ASSIGN_OR_RETURN(
+          auto t, RunSelect(*stmt, catalog_, &scope, opts, &stats, &plan));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "-- Result (%zu rows, %.3f ms)\n",
+                    t->num_rows(),
+                    static_cast<double>(obs::NowNs() - t0) / 1e6);
+      out += buf;
+      if (plan != nullptr) out += plan->ToString(0, annotate);
+    } else {
+      BinderCatalog bc = scope.MakeBinderCatalog(catalog_);
+      sql::SelectStmt core = *stmt;
+      core.ctes.clear();
+      PYTOND_ASSIGN_OR_RETURN(PlanPtr plan,
+                              BindSelect(core, bc, opts.profile));
+      OptimizePlan(plan, opts.profile, bc.row_count);
+      out += plan->ToString();
+    }
   }
   return out;
 }

@@ -7,15 +7,26 @@
 #include "common/status.h"
 #include "engine/exec/executor.h"
 #include "engine/profile.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace pytond::engine {
+
+/// What ExplainQuery reports.
+///  - kNone / kPlan:  parse + bind + plan-tune only; returns the plan tree
+///    (and CTE cardinalities) without running the final query.
+///  - kAnalyze:       runs the query and annotates every operator with
+///    actuals — `rows=`, `time=`, and join build sizes (EXPLAIN ANALYZE).
+enum class ExplainMode { kNone, kPlan, kAnalyze };
 
 /// Per-query execution options.
 struct QueryOptions {
   BackendProfile profile = BackendProfile::kVectorized;
   int num_threads = 1;
-  bool explain = false;  // reserved (plans can be printed via BindSelect)
+  ExplainMode explain = ExplainMode::kNone;
+  /// Optional per-query trace: CTE materialization, binding, and
+  /// per-operator spans land here. Null = no instrumentation.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// The in-memory RDBMS substrate: a catalog plus a SQL front door.

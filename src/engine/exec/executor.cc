@@ -94,10 +94,12 @@ Result<std::vector<Column>> EvalKeyColumns(
 
 // ---------------------------------------------------------------- filter
 Result<TablePtr> ExecFilter(const LogicalPlan& plan, TablePtr input,
-                            const ExecContext& ctx) {
+                            const ExecContext& ctx,
+                            OperatorStats* stats = nullptr) {
   size_t n = input->num_rows();
   int t = ctx.num_threads;
   size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
+  if (stats != nullptr) stats->batches = nt;
   std::vector<std::vector<uint32_t>> sels(nt);
   std::vector<Status> errs(nt);
   ParallelFor(n, t, [&](int tid, size_t begin, size_t end) {
@@ -133,7 +135,8 @@ struct HashTable {
 };
 
 Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
-                          TablePtr right, const ExecContext& ctx) {
+                          TablePtr right, const ExecContext& ctx,
+                          OperatorStats* stats = nullptr) {
   JoinType jt = plan.join_type;
 
   // Output schema: left cols then right cols (semi/anti: left only).
@@ -244,6 +247,11 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
   size_t pn = probe_t->num_rows();
   int t = ctx.num_threads;
   size_t nt = (t <= 1 || pn < 4096) ? 1 : static_cast<size_t>(t);
+  if (stats != nullptr) {
+    stats->build_rows = bn;
+    stats->build_buckets = ht.buckets.size();
+    stats->batches = nt;
+  }
   struct ProbeOut {
     std::vector<uint32_t> pidx, bidx;      // surviving pairs
     std::vector<uint32_t> p_unmatched;     // probe rows with no match
@@ -538,7 +546,8 @@ Value FinalizeCell(const AggSpec& spec, const AggCell& cell,
 }
 
 Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
-                               const ExecContext& ctx) {
+                               const ExecContext& ctx,
+                               OperatorStats* stats = nullptr) {
   PYTOND_ASSIGN_OR_RETURN(
       std::vector<Column> keys,
       EvalKeyColumns(plan.group_exprs, *input, ctx.num_threads));
@@ -555,6 +564,7 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
   size_t n = input->num_rows();
   int t = ctx.num_threads;
   size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
+  if (stats != nullptr) stats->batches = nt;
 
   using LocalMap = std::unordered_map<std::string, GroupState>;
   std::vector<LocalMap> locals(nt);
@@ -705,9 +715,11 @@ Result<TablePtr> ExecWindow(const LogicalPlan& plan, TablePtr input) {
   return WrapTable(std::move(out));
 }
 
-}  // namespace
-
-Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
+/// Runs one operator over already-materialized inputs. `stats` (nullable)
+/// receives operator-internal actuals (batches, hash-build sizes).
+Result<TablePtr> ExecNode(const LogicalPlan& plan,
+                          const std::vector<TablePtr>& inputs,
+                          const ExecContext& ctx, OperatorStats* stats) {
   switch (plan.kind) {
     case LogicalPlan::Kind::kScan: {
       if (ctx.temps != nullptr) {
@@ -722,45 +734,96 @@ Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
     }
     case LogicalPlan::Kind::kValues:
       return TablePtr(plan.values);
-    case LogicalPlan::Kind::kFilter: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecFilter(plan, in, ctx);
-    }
-    case LogicalPlan::Kind::kProject: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecProject(plan, in, ctx);
-    }
-    case LogicalPlan::Kind::kJoin: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr l, ExecutePlan(*plan.children[0], ctx));
-      PYTOND_ASSIGN_OR_RETURN(TablePtr r, ExecutePlan(*plan.children[1], ctx));
-      return ExecJoin(plan, l, r, ctx);
-    }
-    case LogicalPlan::Kind::kAggregate: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecAggregate(plan, in, ctx);
-    }
-    case LogicalPlan::Kind::kSort: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecSort(plan, in);
-    }
+    case LogicalPlan::Kind::kFilter:
+      return ExecFilter(plan, inputs[0], ctx, stats);
+    case LogicalPlan::Kind::kProject:
+      return ExecProject(plan, inputs[0], ctx);
+    case LogicalPlan::Kind::kJoin:
+      return ExecJoin(plan, inputs[0], inputs[1], ctx, stats);
+    case LogicalPlan::Kind::kAggregate:
+      return ExecAggregate(plan, inputs[0], ctx, stats);
+    case LogicalPlan::Kind::kSort:
+      return ExecSort(plan, inputs[0]);
     case LogicalPlan::Kind::kLimit: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
+      const TablePtr& in = inputs[0];
       size_t n = std::min<size_t>(in->num_rows(),
                                   static_cast<size_t>(plan.limit));
       std::vector<uint32_t> idx(n);
       std::iota(idx.begin(), idx.end(), 0);
       return WrapTable(in->Gather(idx));
     }
-    case LogicalPlan::Kind::kDistinct: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecDistinct(in);
-    }
-    case LogicalPlan::Kind::kWindow: {
-      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*plan.children[0], ctx));
-      return ExecWindow(plan, in);
-    }
+    case LogicalPlan::Kind::kDistinct:
+      return ExecDistinct(inputs[0]);
+    case LogicalPlan::Kind::kWindow:
+      return ExecWindow(plan, inputs[0]);
   }
   return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+const char* PlanOpName(LogicalPlan::Kind kind) {
+  switch (kind) {
+    case LogicalPlan::Kind::kScan: return "Scan";
+    case LogicalPlan::Kind::kValues: return "Values";
+    case LogicalPlan::Kind::kFilter: return "Filter";
+    case LogicalPlan::Kind::kProject: return "Project";
+    case LogicalPlan::Kind::kJoin: return "HashJoin";
+    case LogicalPlan::Kind::kAggregate: return "Aggregate";
+    case LogicalPlan::Kind::kSort: return "Sort";
+    case LogicalPlan::Kind::kLimit: return "Limit";
+    case LogicalPlan::Kind::kDistinct: return "Distinct";
+    case LogicalPlan::Kind::kWindow: return "Window";
+  }
+  return "?";
+}
+
+Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
+  std::vector<TablePtr> inputs;
+  inputs.reserve(plan.children.size());
+  // Uninstrumented fast path: the only overhead vs. the pre-obs executor
+  // is this null check.
+  if (ctx.trace == nullptr && ctx.op_stats == nullptr) {
+    for (const PlanPtr& c : plan.children) {
+      PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*c, ctx));
+      inputs.push_back(std::move(in));
+    }
+    return ExecNode(plan, inputs, ctx, nullptr);
+  }
+
+  // Span opens before the children so the trace nests like the plan tree
+  // (durations inclusive); OperatorStats::time_ns measures self time only.
+  std::string label = PlanOpName(plan.kind);
+  if (plan.kind == LogicalPlan::Kind::kScan) label += ":" + plan.table_name;
+  obs::Span span(ctx.trace, label, "operator");
+  for (const PlanPtr& c : plan.children) {
+    PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*c, ctx));
+    inputs.push_back(std::move(in));
+  }
+  OperatorStats stats;
+  for (const TablePtr& in : inputs) stats.rows_in += in->num_rows();
+  uint64_t t0 = obs::NowNs();
+  Result<TablePtr> result = ExecNode(plan, inputs, ctx, &stats);
+  stats.time_ns = obs::NowNs() - t0;
+  if (result.ok()) stats.rows_out = (*result)->num_rows();
+  span.AddCounter("rows_in", static_cast<int64_t>(stats.rows_in));
+  span.AddCounter("rows_out", static_cast<int64_t>(stats.rows_out));
+  if (stats.batches > 0) {
+    span.AddCounter("batches", static_cast<int64_t>(stats.batches));
+  }
+  if (plan.kind == LogicalPlan::Kind::kJoin) {
+    span.AddCounter("build_rows", static_cast<int64_t>(stats.build_rows));
+    span.AddCounter("build_buckets",
+                    static_cast<int64_t>(stats.build_buckets));
+  }
+  if (plan.kind == LogicalPlan::Kind::kFilter && stats.rows_in > 0) {
+    // Selectivity in basis points (rows_out / rows_in * 10000).
+    span.AddCounter("selectivity_bp",
+                    static_cast<int64_t>(stats.rows_out * 10000 /
+                                         stats.rows_in));
+  }
+  if (ctx.op_stats != nullptr) (*ctx.op_stats)[&plan] = stats;
+  return result;
 }
 
 }  // namespace pytond::engine

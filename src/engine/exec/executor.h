@@ -6,17 +6,39 @@
 #include <memory>
 
 #include "engine/plan/logical.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace pytond::engine {
 
-/// Execution context: base catalog, materialized CTE temporaries, and the
-/// intra-operator parallelism degree.
+/// Per-operator execution actuals, recorded when ExecContext::op_stats is
+/// attached (EXPLAIN ANALYZE) — time is *self* time, children excluded.
+struct OperatorStats {
+  uint64_t time_ns = 0;
+  uint64_t rows_in = 0;        // sum over all inputs
+  uint64_t rows_out = 0;
+  uint64_t batches = 0;        // parallel chunks the operator split into
+  uint64_t build_rows = 0;     // join: hash-build input rows
+  uint64_t build_buckets = 0;  // join: distinct hash-build keys
+};
+
+/// Keyed by plan-node identity; each node executes once per query.
+using PlanStatsMap = std::map<const LogicalPlan*, OperatorStats>;
+
+/// Execution context: base catalog, materialized CTE temporaries, the
+/// intra-operator parallelism degree, and optional instrumentation (both
+/// null by default — the uninstrumented path costs one null check per
+/// operator).
 struct ExecContext {
   const Catalog* catalog = nullptr;
   const std::map<std::string, std::shared_ptr<const Table>>* temps = nullptr;
   int num_threads = 1;
+  obs::TraceCollector* trace = nullptr;
+  PlanStatsMap* op_stats = nullptr;
 };
+
+/// Stable display name for a plan operator ("Scan", "HashJoin", ...).
+const char* PlanOpName(LogicalPlan::Kind kind);
 
 using TablePtr = std::shared_ptr<const Table>;
 

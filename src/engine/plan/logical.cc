@@ -24,10 +24,8 @@ PlanPtr MakePlan(LogicalPlan::Kind kind) {
   return p;
 }
 
-std::string LogicalPlan::ToString(int indent) const {
+std::string LogicalPlan::Label() const {
   std::ostringstream os;
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  os << pad;
   switch (kind) {
     case Kind::kScan: os << "Scan(" << table_name << ")"; break;
     case Kind::kValues: os << "Values(" << values->num_rows() << ")"; break;
@@ -61,8 +59,23 @@ std::string LogicalPlan::ToString(int indent) const {
     case Kind::kDistinct: os << "Distinct"; break;
     case Kind::kWindow: os << "Window(row_number)"; break;
   }
+  return os.str();
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  return ToString(indent, nullptr);
+}
+
+std::string LogicalPlan::ToString(int indent,
+                                  const Annotator& annotate) const {
+  std::ostringstream os;
+  os << std::string(static_cast<size_t>(indent) * 2, ' ') << Label();
+  if (annotate) {
+    std::string extra = annotate(*this);
+    if (!extra.empty()) os << " " << extra;
+  }
   os << "\n";
-  for (const PlanPtr& c : children) os << c->ToString(indent + 1);
+  for (const PlanPtr& c : children) os << c->ToString(indent + 1, annotate);
   return os.str();
 }
 

@@ -79,8 +79,17 @@ struct LogicalPlan {
   std::vector<std::pair<int, bool>> window_order;
   std::string window_name;
 
+  /// Single-line description of this node (no indent, no children).
+  std::string Label() const;
+
   /// Indented tree rendering for debugging / plan tests.
   std::string ToString(int indent = 0) const;
+
+  /// Tree rendering with a per-node annotation appended to each line —
+  /// how EXPLAIN ANALYZE attaches `rows=`/`time=` actuals. An empty
+  /// annotation leaves the line bare.
+  using Annotator = std::function<std::string(const LogicalPlan&)>;
+  std::string ToString(int indent, const Annotator& annotate) const;
 
   /// Rough output-cardinality estimate used by the kCompiled profile's
   /// greedy join ordering.

@@ -32,10 +32,16 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   }
 
   py::Function normalized = fn;
+  obs::Span anf_span(options.trace, "anf", "phase");
   PYTOND_ASSIGN_OR_RETURN(normalized.body, ToAnf(fn.body));
+  anf_span.End();
 
+  obs::Span translate_span(options.trace, "translate", "phase");
   PYTOND_ASSIGN_OR_RETURN(TranslationResult tr,
                           TranslateFunction(normalized, catalog, topts));
+  translate_span.AddCounter("rules",
+                            static_cast<int64_t>(tr.program.rules.size()));
+  translate_span.End();
 
   Compiled out;
   out.function_name = fn.name;
@@ -48,6 +54,7 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   if (options.verify) {
     // The translator must hand the optimizer a semantically sound program;
     // anything the verifier flags here is a translator bug, not user error.
+    obs::Span verify_span(options.trace, "verify", "phase");
     analysis::VerifyOptions vopts;
     vopts.base_relations = base;
     auto diags = analysis::VerifyProgram(tr.program, vopts);
@@ -66,11 +73,13 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   } else if (!options.verify) {
     oopts.verify_each_pass = false;
   }
+  oopts.trace = options.trace;
   PYTOND_RETURN_IF_ERROR(opt::Optimize(&tr.program, base, oopts));
   out.tondir_after = tr.program.ToString();
 
   sqlgen::SqlGenOptions sopts;
   sopts.dialect = options.dialect;
+  sopts.trace = options.trace;
   PYTOND_ASSIGN_OR_RETURN(out.sql, sqlgen::GenerateSql(tr.program, sopts));
   return out;
 }
@@ -80,7 +89,12 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
 Result<std::vector<Compiled>> CompileModule(const std::string& source,
                                             const Catalog& catalog,
                                             const CompileOptions& options) {
+  obs::Span compile_span(options.trace, "compile", "compile");
+  obs::Span parse_span(options.trace, "parse", "phase");
   PYTOND_ASSIGN_OR_RETURN(py::Module module, py::ParseModule(source));
+  parse_span.AddCounter("functions",
+                        static_cast<int64_t>(module.functions.size()));
+  parse_span.End();
   if (module.functions.empty()) {
     return Status::InvalidArgument("no @pytond-decorated function found");
   }

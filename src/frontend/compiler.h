@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "frontend/translate/translator.h"
+#include "obs/trace.h"
 #include "optimizer/passes.h"
 #include "sqlgen/sqlgen.h"
 #include "storage/catalog.h"
@@ -26,6 +27,10 @@ struct CompileOptions {
   /// Forwarded to OptimizerOptions::verify_each_pass. Unset = keep the
   /// optimizer's build-type default (on in debug, off in release).
   std::optional<bool> verify_each_pass;
+  /// Optional tracing: the whole pipeline opens a "compile" span with one
+  /// "phase" child per stage (parse, anf, translate, verify, optimize —
+  /// with per-pass children — and sqlgen). Null = no instrumentation.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// A compiled @pytond function.

@@ -1,0 +1,303 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pytond::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows its key directly
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+// NOLINTBEGIN(readability-identifier-naming) — fluent interface
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Comma();
+  out_ += '"';
+  out_ += EscapeJson(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  Comma();
+  out_ += '"';
+  out_ += EscapeJson(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  Comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  Comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  Comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  // "%.6g" of e.g. 1e300 yields "1e+300" which is valid JSON; integers
+  // like "42" are too. Nothing further to fix up.
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  Comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  return *this;
+}
+// NOLINTEND(readability-identifier-naming)
+
+namespace {
+
+/// Recursive-descent JSON syntax checker.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Validate() {
+    PYTOND_RETURN_IF_ERROR(ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return Status::OK();
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("malformed JSON at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(int depth) {
+    if (depth > 256) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return ParseString();
+      case 't': return ParseLiteral("true");
+      case 'f': return ParseLiteral("false");
+      case 'n': return ParseLiteral("null");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      PYTOND_RETURN_IF_ERROR(ParseString());
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      PYTOND_RETURN_IF_ERROR(ParseValue(depth + 1));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      PYTOND_RETURN_IF_ERROR(ParseValue(depth + 1));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber() {
+    Consume('-');
+    if (pos_ >= text_.size()) return Fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      return Fail("bad number");
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) {
+  return JsonParser(text).Validate();
+}
+
+}  // namespace pytond::obs

@@ -1,0 +1,56 @@
+#ifndef PYTOND_OBS_JSON_H_
+#define PYTOND_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pytond::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes
+/// added): backslash, quote, and control characters per RFC 8259.
+std::string EscapeJson(std::string_view s);
+
+/// Minimal streaming JSON writer shared by the trace sinks and the
+/// machine-readable tool outputs (`tondtrace --format=json|chrome`,
+/// `tondlint --json`). Call sequence is checked only by construction
+/// order — callers are expected to emit well-formed documents; tests
+/// close the loop with ValidateJson.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view k);
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  /// Non-finite doubles render as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Comma();
+  std::string out_;
+  std::vector<bool> first_;    // per open container: no element emitted yet
+  bool after_key_ = false;
+};
+
+/// Minimal syntax-only JSON validator (the "pipe through a minimal
+/// validator" gate used by scripts/check.sh via `tondtrace --check`).
+/// OK iff `text` is exactly one well-formed JSON value plus optional
+/// trailing whitespace; otherwise InvalidArgument naming the byte offset.
+Status ValidateJson(std::string_view text);
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_JSON_H_

@@ -1,0 +1,129 @@
+#include "obs/query_profile.h"
+
+#include <cstdio>
+
+namespace pytond::obs {
+
+namespace {
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void Walk(const SpanNode& node, QueryProfile* p) {
+  if (node.category == "compile") {
+    p->compile_ms += NsToMs(node.duration_ns);
+  } else if (node.category == "engine" && node.name == "query") {
+    p->exec_ms += NsToMs(node.duration_ns);
+  } else if (node.category == "eager" && node.name == "eager") {
+    p->eager_ms += NsToMs(node.duration_ns);
+  } else if (node.category == "phase") {
+    bool merged = false;
+    for (auto& [name, ms] : p->compile_phases) {
+      if (name == node.name) {
+        ms += NsToMs(node.duration_ns);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      p->compile_phases.emplace_back(node.name, NsToMs(node.duration_ns));
+    }
+  } else if (node.category == "pass") {
+    QueryProfile::PassSummary* s = nullptr;
+    for (auto& existing : p->passes) {
+      if (existing.name == node.name) {
+        s = &existing;
+        break;
+      }
+    }
+    if (s == nullptr) {
+      p->passes.emplace_back();
+      s = &p->passes.back();
+      s->name = node.name;
+    }
+    s->ms += NsToMs(node.duration_ns);
+    s->runs += 1;
+    s->times_changed += node.Counter("changed");
+    s->rules_removed +=
+        node.Counter("rules_before") - node.Counter("rules_after");
+    s->atoms_removed +=
+        node.Counter("atoms_before") - node.Counter("atoms_after");
+  } else if (node.category == "operator") {
+    QueryProfile::OperatorSummary* s = nullptr;
+    for (auto& existing : p->operators) {
+      if (existing.name == node.name) {
+        s = &existing;
+        break;
+      }
+    }
+    if (s == nullptr) {
+      p->operators.emplace_back();
+      s = &p->operators.back();
+      s->name = node.name;
+    }
+    s->self_ms += NsToMs(node.duration_ns - node.ChildDurationNs("operator"));
+    s->invocations += 1;
+    s->rows_out += node.Counter("rows_out");
+  }
+  for (const auto& c : node.children) Walk(*c, p);
+}
+
+}  // namespace
+
+double QueryProfile::SpeedupVsBaseline() const {
+  if (eager_ms <= 0 || exec_ms <= 0) return 0;
+  return eager_ms / exec_ms;
+}
+
+std::string QueryProfile::ToString() const {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "compile %.3f ms | exec %.3f ms", compile_ms, exec_ms);
+  out += buf;
+  if (eager_ms > 0) {
+    std::snprintf(buf, sizeof(buf), " | eager %.3f ms (%.2fx)", eager_ms,
+                  SpeedupVsBaseline());
+    out += buf;
+  }
+  out += "\n";
+  if (!compile_phases.empty()) {
+    out += "compile phases:\n";
+    for (const auto& [name, ms] : compile_phases) {
+      std::snprintf(buf, sizeof(buf), "  %-28s %9.3f ms\n", name.c_str(), ms);
+      out += buf;
+    }
+  }
+  if (!passes.empty()) {
+    out += "optimizer passes:\n";
+    for (const PassSummary& s : passes) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-28s %9.3f ms  runs=%lld changed=%lld rules-=%lld "
+                    "atoms-=%lld\n",
+                    s.name.c_str(), s.ms, static_cast<long long>(s.runs),
+                    static_cast<long long>(s.times_changed),
+                    static_cast<long long>(s.rules_removed),
+                    static_cast<long long>(s.atoms_removed));
+      out += buf;
+    }
+  }
+  if (!operators.empty()) {
+    out += "operators (self time):\n";
+    for (const OperatorSummary& s : operators) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-28s %9.3f ms  calls=%lld rows_out=%lld\n",
+                    s.name.c_str(), s.self_ms,
+                    static_cast<long long>(s.invocations),
+                    static_cast<long long>(s.rows_out));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+QueryProfile SummarizeTrace(const TraceCollector& collector) {
+  QueryProfile p;
+  Walk(collector.root(), &p);
+  return p;
+}
+
+}  // namespace pytond::obs

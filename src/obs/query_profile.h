@@ -1,0 +1,60 @@
+#ifndef PYTOND_OBS_QUERY_PROFILE_H_
+#define PYTOND_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pytond::obs {
+
+/// Flattened summary of one compile+run trace — the paper's compile-time
+/// vs. execution-time split (Figures 3-10), computable without walking the
+/// span tree by hand. Produced by SummarizeTrace / Session::RunProfiled.
+struct QueryProfile {
+  double compile_ms = 0;  // whole frontend pipeline (parse..sqlgen)
+  double exec_ms = 0;     // engine "query" span
+  double eager_ms = 0;    // eager-baseline run, 0 unless one was traced
+
+  /// Compile phases in pipeline order (parse, anf, translate, verify,
+  /// optimize, sqlgen) with inclusive milliseconds.
+  std::vector<std::pair<std::string, double>> compile_phases;
+
+  /// Optimizer passes aggregated by name across rounds: time plus the
+  /// net rules/atoms removed (inlining can make atoms negative).
+  struct PassSummary {
+    std::string name;
+    double ms = 0;
+    int64_t runs = 0;
+    int64_t times_changed = 0;
+    int64_t rules_removed = 0;
+    int64_t atoms_removed = 0;
+  };
+  std::vector<PassSummary> passes;
+
+  /// Executor operators aggregated by name with *self* milliseconds
+  /// (children excluded) and total output rows.
+  struct OperatorSummary {
+    std::string name;
+    double self_ms = 0;
+    int64_t invocations = 0;
+    int64_t rows_out = 0;
+  };
+  std::vector<OperatorSummary> operators;
+
+  /// eager_ms / exec_ms — the paper's headline speedup ratio; 0 when
+  /// either side is missing.
+  double SpeedupVsBaseline() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Walks the collector's span tree by category ("phase", "pass",
+/// "operator", "engine", "eager") and aggregates it into a QueryProfile.
+QueryProfile SummarizeTrace(const TraceCollector& collector);
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_QUERY_PROFILE_H_

@@ -1,0 +1,112 @@
+#include "obs/sinks.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace pytond::obs {
+
+namespace {
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+double NsToUs(uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void FormatNode(const SpanNode& node, int depth, std::string* out) {
+  char buf[64];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.name);
+  std::snprintf(buf, sizeof(buf), "  %.3f ms", NsToMs(node.duration_ns));
+  out->append(buf);
+  if (!node.children.empty()) {
+    std::snprintf(buf, sizeof(buf), " (self %.3f ms)",
+                  NsToMs(node.SelfDurationNs()));
+    out->append(buf);
+  }
+  if (!node.counters.empty()) {
+    out->append("  [");
+    bool first = true;
+    for (const auto& [name, value] : node.counters) {
+      if (!first) out->append(" ");
+      first = false;
+      out->append(name);
+      out->append("=");
+      out->append(std::to_string(value));
+    }
+    out->append("]");
+  }
+  out->append("\n");
+  for (const auto& c : node.children) FormatNode(*c, depth + 1, out);
+}
+
+void JsonNode(const SpanNode& node, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(node.name);
+  w->Key("cat").String(node.category);
+  w->Key("start_us").Double(NsToUs(node.start_ns));
+  w->Key("dur_us").Double(NsToUs(node.duration_ns));
+  if (!node.counters.empty()) {
+    w->Key("counters").BeginObject();
+    for (const auto& [name, value] : node.counters) {
+      w->Key(name).Int(value);
+    }
+    w->EndObject();
+  }
+  if (!node.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const auto& c : node.children) JsonNode(*c, w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void ChromeEvents(const SpanNode& node, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(node.name);
+  w->Key("cat").String(node.category.empty() ? "span" : node.category);
+  w->Key("ph").String("X");
+  w->Key("ts").Double(NsToUs(node.start_ns));
+  w->Key("dur").Double(NsToUs(node.duration_ns));
+  w->Key("pid").Int(1);
+  w->Key("tid").Int(1);
+  if (!node.counters.empty()) {
+    w->Key("args").BeginObject();
+    for (const auto& [name, value] : node.counters) {
+      w->Key(name).Int(value);
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+  for (const auto& c : node.children) ChromeEvents(*c, w);
+}
+
+}  // namespace
+
+std::string FormatTree(const TraceCollector& collector) {
+  std::string out;
+  FormatNode(collector.root(), 0, &out);
+  return out;
+}
+
+std::string ToJson(const TraceCollector& collector) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("trace");
+  JsonNode(collector.root(), &w);
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ToChromeTrace(const TraceCollector& collector) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  // Emit the root's children — the synthetic "trace" root would only add
+  // one all-enclosing bar to the timeline.
+  for (const auto& c : collector.root().children) ChromeEvents(*c, &w);
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace pytond::obs

@@ -1,0 +1,27 @@
+#ifndef PYTOND_OBS_SINKS_H_
+#define PYTOND_OBS_SINKS_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace pytond::obs {
+
+/// Human-readable indented span tree: one line per span with duration,
+/// self-time share, and counters. For terminals and test logs.
+std::string FormatTree(const TraceCollector& collector);
+
+/// Structured JSON: the span tree verbatim —
+/// {"trace":{"name":..,"cat":..,"start_us":..,"dur_us":..,
+///  "counters":{..},"children":[..]}}.
+std::string ToJson(const TraceCollector& collector);
+
+/// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
+/// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid","args"}..],
+///  "displayTimeUnit":"ms"}. Timestamps are microseconds relative to the
+/// collector epoch; counters ride along as event args.
+std::string ToChromeTrace(const TraceCollector& collector);
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_SINKS_H_

@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace pytond::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SpanNode::AddCounter(std::string_view counter, int64_t delta) {
+  for (auto& [name_, value] : counters) {
+    if (name_ == counter) {
+      value += delta;
+      return;
+    }
+  }
+  counters.emplace_back(std::string(counter), delta);
+}
+
+int64_t SpanNode::Counter(std::string_view counter) const {
+  for (const auto& [name_, value] : counters) {
+    if (name_ == counter) return value;
+  }
+  return 0;
+}
+
+bool SpanNode::HasCounter(std::string_view counter) const {
+  for (const auto& [name_, value] : counters) {
+    if (name_ == counter) return true;
+  }
+  return false;
+}
+
+const SpanNode* SpanNode::FindChild(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+const SpanNode* SpanNode::FindDescendant(std::string_view target) const {
+  for (const auto& c : children) {
+    if (c->name == target) return c.get();
+    if (const SpanNode* found = c->FindDescendant(target)) return found;
+  }
+  return nullptr;
+}
+
+uint64_t SpanNode::ChildDurationNs(std::string_view child_category) const {
+  uint64_t total = 0;
+  for (const auto& c : children) {
+    if (child_category.empty() || c->category == child_category) {
+      total += c->duration_ns;
+    }
+  }
+  return total;
+}
+
+TraceCollector::TraceCollector() : epoch_ns_(NowNs()) {
+  root_.name = "trace";
+  root_.category = "root";
+  stack_.push_back(&root_);
+}
+
+SpanNode* TraceCollector::OpenSpan(std::string_view name,
+                                   std::string_view category) {
+  auto node = std::make_unique<SpanNode>();
+  node->name = std::string(name);
+  node->category = std::string(category);
+  node->start_ns = NowNs() - epoch_ns_;
+  SpanNode* raw = node.get();
+  stack_.back()->children.push_back(std::move(node));
+  stack_.push_back(raw);
+  return raw;
+}
+
+void TraceCollector::CloseSpan(SpanNode* node) {
+  node->duration_ns = NowNs() - epoch_ns_ - node->start_ns;
+  // Tolerate out-of-order closes (destruction order bugs) by popping down
+  // to the node rather than corrupting the stack.
+  while (stack_.size() > 1) {
+    SpanNode* top = stack_.back();
+    stack_.pop_back();
+    if (top == node) break;
+  }
+  // The root's duration tracks the furthest close seen.
+  uint64_t end = node->start_ns + node->duration_ns;
+  if (end > root_.duration_ns) root_.duration_ns = end;
+}
+
+Span::Span(TraceCollector* collector, std::string_view name,
+           std::string_view category) {
+  if (collector == nullptr) return;  // inert: the advertised null check
+  collector_ = collector;
+  node_ = collector->OpenSpan(name, category);
+}
+
+Span::~Span() { End(); }
+
+void Span::AddCounter(std::string_view counter, int64_t delta) {
+  if (node_ != nullptr) node_->AddCounter(counter, delta);
+}
+
+void Span::End() {
+  if (node_ == nullptr) return;
+  collector_->CloseSpan(node_);
+  node_ = nullptr;
+  collector_ = nullptr;
+}
+
+}  // namespace pytond::obs

@@ -1,0 +1,100 @@
+#ifndef PYTOND_OBS_TRACE_H_
+#define PYTOND_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pytond::obs {
+
+/// Monotonic wall clock in nanoseconds (std::chrono::steady_clock).
+uint64_t NowNs();
+
+/// One node of the trace tree: a named timed scope with typed int64
+/// counters and nested children. Durations are inclusive of children
+/// (flame-graph semantics); sinks and summarizers derive self time by
+/// subtracting child durations.
+struct SpanNode {
+  std::string name;
+  std::string category;        // span taxonomy, see DESIGN.md §8
+  uint64_t start_ns = 0;       // relative to the collector's epoch
+  uint64_t duration_ns = 0;    // 0 while the span is still open
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  /// Adds `delta` to the named counter (created at 0 if absent).
+  void AddCounter(std::string_view counter, int64_t delta);
+  /// Counter value, 0 if absent.
+  int64_t Counter(std::string_view counter) const;
+  bool HasCounter(std::string_view counter) const;
+
+  /// First direct child with the given name, or nullptr.
+  const SpanNode* FindChild(std::string_view child_name) const;
+  /// Depth-first search over the whole subtree (excluding this node).
+  const SpanNode* FindDescendant(std::string_view target) const;
+
+  /// Sum of direct children's durations with the given category ("" = all);
+  /// used to compute self time.
+  uint64_t ChildDurationNs(std::string_view child_category = {}) const;
+  uint64_t SelfDurationNs() const {
+    uint64_t c = ChildDurationNs();
+    return c >= duration_ns ? 0 : duration_ns - c;
+  }
+};
+
+/// Per-query trace collector: owns the span tree and the open-span stack.
+/// NOT thread-safe — spans must be opened and closed from one coordinating
+/// thread (worker threads inside ParallelFor never touch the collector).
+/// Attach one via RunOptions/QueryOptions/CompileOptions; a null collector
+/// everywhere reduces instrumentation to a pointer null check.
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /// Opens a child span under the innermost open span (LIFO discipline).
+  SpanNode* OpenSpan(std::string_view name, std::string_view category);
+  /// Closes `node`, stamping its duration. Must be the innermost open span.
+  void CloseSpan(SpanNode* node);
+
+  /// The synthetic root ("trace"). Its duration tracks the last close.
+  const SpanNode& root() const { return root_; }
+  SpanNode& mutable_root() { return root_; }
+  /// Innermost open span (the root if none is open).
+  SpanNode* current() { return stack_.back(); }
+
+  /// steady-clock ns at collector construction; span starts are relative
+  /// to this.
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+ private:
+  SpanNode root_;
+  std::vector<SpanNode*> stack_;
+  uint64_t epoch_ns_;
+};
+
+/// RAII scope: opens a span on construction, closes it on destruction.
+/// A null collector makes every member function a no-op — this is the
+/// null-check-only fast path the whole pipeline relies on.
+class Span {
+ public:
+  Span(TraceCollector* collector, std::string_view name,
+       std::string_view category = {});
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+  void AddCounter(std::string_view counter, int64_t delta);
+  /// Closes early (idempotent); later AddCounter calls are dropped.
+  void End();
+
+ private:
+  TraceCollector* collector_ = nullptr;
+  SpanNode* node_ = nullptr;
+};
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_TRACE_H_

@@ -654,13 +654,38 @@ Status Optimize(tondir::Program* program,
     }
   }
 
+  // Total atoms across all rule bodies — the optimizer's unit of "work
+  // eliminated" alongside whole rules. Only computed when tracing.
+  auto count_atoms = [](const tondir::Program& p) {
+    int64_t atoms = 0;
+    for (const Rule& r : p.rules) atoms += static_cast<int64_t>(r.body.size());
+    return atoms;
+  };
+
+  obs::Span opt_span(options.trace, "optimize", "phase");
   for (int round = 0; round < 8; ++round) {
     bool changed = false;
     for (const Pass& pass : passes) {
       if (!pass.enabled) continue;
+      obs::Span pass_span(options.trace, pass.name, "pass");
+      int64_t rules_before = 0, atoms_before = 0;
+      if (options.trace != nullptr) {
+        rules_before = static_cast<int64_t>(program->rules.size());
+        atoms_before = count_atoms(*program);
+      }
       std::string before;
       if (options.verify_each_pass) before = program->ToString();
       bool pass_changed = pass.run(program, base_relations);
+      if (options.trace != nullptr) {
+        pass_span.AddCounter("round", round);
+        pass_span.AddCounter("changed", pass_changed ? 1 : 0);
+        pass_span.AddCounter("rules_before", rules_before);
+        pass_span.AddCounter("rules_after",
+                             static_cast<int64_t>(program->rules.size()));
+        pass_span.AddCounter("atoms_before", atoms_before);
+        pass_span.AddCounter("atoms_after", count_atoms(*program));
+      }
+      pass_span.End();
       bool hooked = false;
       if (options.post_pass_hook) {
         options.post_pass_hook(pass.name, program);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "tondir/ir.h"
 
 namespace pytond::opt {
@@ -37,6 +38,13 @@ struct OptimizerOptions {
   /// prove the harness pinpoints it, or dump intermediate programs.
   std::function<void(const char* pass_name, tondir::Program* program)>
       post_pass_hook;
+
+  /// Optional tracing: Optimize opens an "optimize" phase span plus one
+  /// "pass"-category span per enabled pass per round, with counters
+  /// round/changed/rules_before/rules_after/atoms_before/atoms_after
+  /// (the rules-eliminated and inlining deltas of paper Figure 10).
+  /// Null = zero instrumentation beyond a pointer check.
+  obs::TraceCollector* trace = nullptr;
 
   /// Preset for ablation level 0..4 (verification settings untouched).
   static OptimizerOptions Preset(int level);

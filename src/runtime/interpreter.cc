@@ -41,6 +41,8 @@ class Interpreter {
       : catalog_(catalog), options_(options) {}
 
   Result<Table> Run(const py::Function& fn) {
+    obs::TraceCollector* trace = options_.trace;
+    obs::Span load_span(trace, "load", "eager");
     for (const std::string& p : fn.params) {
       const Table* t = catalog_.GetTable(p);
       if (t == nullptr) return Status::NotFound("table '" + p + "'");
@@ -49,7 +51,10 @@ class Interpreter {
       v.table = *t;  // eager copy: the "data loading" the baseline pays
       env_[p] = std::move(v);
     }
+    load_span.End();
     for (const Stmt& s : fn.body) {
+      obs::Span stmt_span(trace, "stmt:line" + std::to_string(s.line),
+                          "eager");
       if (s.kind == Stmt::Kind::kReturn) {
         PYTOND_ASSIGN_OR_RETURN(RValue v, Eval(s.value));
         if (v.kind == RValue::Kind::kSeries) {
@@ -780,6 +785,7 @@ class Interpreter {
 
 Result<Table> Interpret(const py::Function& function, const Catalog& catalog,
                         const InterpretOptions& options) {
+  obs::Span span(options.trace, "eager", "eager");
   return Interpreter(catalog, options).Run(function);
 }
 

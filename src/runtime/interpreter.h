@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "frontend/pylang/ast.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace pytond::runtime {
@@ -15,6 +16,10 @@ namespace py = ::pytond::frontend::py;
 struct InterpretOptions {
   std::vector<std::string> pivot_values;
   bool sparse = false;
+  /// Optional tracing: the run opens an "eager" span (category "eager")
+  /// with parse/load/per-statement children, so speedup ratios vs. the
+  /// compiled path are computable from one trace (QueryProfile::eager_ms).
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Executes a parsed mini-Python function eagerly against catalog tables —

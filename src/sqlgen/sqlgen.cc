@@ -507,6 +507,9 @@ Result<std::string> GenerateSql(const Program& program,
   if (program.rules.empty()) {
     return Status::InvalidArgument("empty program");
   }
+  obs::Span span(options.trace, "sqlgen", "phase");
+  span.AddCounter("rules", static_cast<int64_t>(program.rules.size()));
+  span.AddCounter("ctes", static_cast<int64_t>(program.rules.size()) - 1);
   if (options.verify_input) {
     analysis::VerifyOptions vopts;
     for (const auto& [rel, cols] : program.base_columns) {
@@ -541,7 +544,9 @@ Result<std::string> GenerateSql(const Program& program,
   RuleGenerator gen(sink, resolver, options, /*is_sink=*/true, &alias_seq);
   PYTOND_ASSIGN_OR_RETURN(std::string body, gen.Generate());
   sql << body;
-  return sql.str();
+  std::string out = sql.str();
+  span.AddCounter("sql_bytes", static_cast<int64_t>(out.size()));
+  return out;
 }
 
 }  // namespace pytond::sqlgen

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "tondir/ir.h"
 
 namespace pytond::sqlgen {
@@ -21,6 +22,9 @@ struct SqlGenOptions {
   /// that would render to broken SQL with an InvalidArgument carrying the
   /// diagnostics. (GenerateSelect, a test helper, never verifies.)
   bool verify_input = true;
+  /// Optional tracing: GenerateSql opens a "sqlgen" phase span with
+  /// rules/ctes/sql_bytes counters.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Lowers a TondIR program to one SQL statement: every non-sink rule

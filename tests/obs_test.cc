@@ -1,0 +1,323 @@
+// Tests for the observability layer (src/obs): span trees, counters, JSON
+// writer/validator, trace sinks, QueryProfile summarization, and the
+// EXPLAIN ANALYZE golden shape over a real TPC-H query.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/query_profile.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+namespace obs = pytond::obs;
+
+// ---------------------------------------------------------------------------
+// Span tree mechanics.
+
+TEST(TraceTest, SpanNestingBuildsTree) {
+  obs::TraceCollector c;
+  {
+    obs::Span outer(&c, "outer", "phase");
+    {
+      obs::Span inner(&c, "inner", "pass");
+      inner.AddCounter("widgets", 3);
+    }
+    { obs::Span sibling(&c, "sibling", "pass"); }
+  }
+  const obs::SpanNode& root = c.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::SpanNode* outer = root.FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->category, "phase");
+  ASSERT_EQ(outer->children.size(), 2u);
+  EXPECT_NE(outer->FindChild("inner"), nullptr);
+  EXPECT_NE(outer->FindChild("sibling"), nullptr);
+  // FindDescendant searches the whole subtree from the root.
+  const obs::SpanNode* inner = root.FindDescendant("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->Counter("widgets"), 3);
+}
+
+TEST(TraceTest, DurationsAreInclusiveOfChildren) {
+  obs::TraceCollector c;
+  {
+    obs::Span outer(&c, "outer", "phase");
+    { obs::Span inner(&c, "inner", "pass"); }
+  }
+  const obs::SpanNode* outer = c.root().FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  const obs::SpanNode* inner = outer->FindChild("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(outer->duration_ns, inner->duration_ns);
+  EXPECT_EQ(outer->SelfDurationNs(),
+            outer->duration_ns - outer->ChildDurationNs());
+  // Category-filtered child time: "pass" children only.
+  EXPECT_EQ(outer->ChildDurationNs("pass"), inner->duration_ns);
+  EXPECT_EQ(outer->ChildDurationNs("nope"), 0u);
+}
+
+TEST(TraceTest, CountersAggregateByDelta) {
+  obs::TraceCollector c;
+  {
+    obs::Span s(&c, "s");
+    s.AddCounter("rows", 10);
+    s.AddCounter("rows", 5);
+    s.AddCounter("other", -2);
+  }
+  const obs::SpanNode* s = c.root().FindChild("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Counter("rows"), 15);
+  EXPECT_EQ(s->Counter("other"), -2);
+  EXPECT_EQ(s->Counter("absent"), 0);
+  EXPECT_TRUE(s->HasCounter("rows"));
+  EXPECT_FALSE(s->HasCounter("absent"));
+}
+
+TEST(TraceTest, NullCollectorIsInert) {
+  obs::Span s(nullptr, "never", "none");
+  EXPECT_FALSE(s.active());
+  s.AddCounter("rows", 1);  // must not crash
+  s.End();
+}
+
+TEST(TraceTest, EndIsIdempotentAndStopsCounters) {
+  obs::TraceCollector c;
+  obs::Span s(&c, "s");
+  s.AddCounter("kept", 1);
+  s.End();
+  s.End();
+  s.AddCounter("dropped", 1);  // after End: dropped
+  const obs::SpanNode* node = c.root().FindChild("s");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->HasCounter("kept"));
+  EXPECT_FALSE(node->HasCounter("dropped"));
+  EXPECT_GT(node->duration_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer + validator.
+
+TEST(JsonTest, WriterEmitsWellFormedDocument) {
+  obs::JsonWriter w;
+  w.BeginObject()
+      .Key("name").String("q\"uote\\back\nnewline")
+      .Key("n").Int(-42)
+      .Key("u").UInt(7)
+      .Key("pi").Double(3.25)
+      .Key("bad").Double(std::numeric_limits<double>::quiet_NaN())
+      .Key("flag").Bool(true)
+      .Key("nothing").Null()
+      .Key("list").BeginArray().Int(1).Int(2).BeginObject().EndObject()
+      .EndArray()
+      .EndObject();
+  EXPECT_TRUE(obs::ValidateJson(w.str()).ok()) << w.str();
+  // Non-finite doubles degrade to null rather than emitting invalid JSON.
+  EXPECT_NE(w.str().find("\"bad\":null"), std::string::npos) << w.str();
+  // Control characters are escaped.
+  EXPECT_NE(w.str().find("\\n"), std::string::npos);
+}
+
+TEST(JsonTest, EscapeJson) {
+  EXPECT_EQ(obs::EscapeJson("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeJson("tab\there"), "tab\\there");
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(obs::ValidateJson("{}").ok());
+  EXPECT_TRUE(obs::ValidateJson("[1, 2.5, -3e2, \"x\", true, null]").ok());
+  EXPECT_TRUE(obs::ValidateJson("  {\"a\": [ {} ] }\n").ok());
+  EXPECT_FALSE(obs::ValidateJson("").ok());
+  EXPECT_FALSE(obs::ValidateJson("{").ok());
+  EXPECT_FALSE(obs::ValidateJson("{}{}").ok());        // trailing content
+  EXPECT_FALSE(obs::ValidateJson("{\"a\":}").ok());
+  EXPECT_FALSE(obs::ValidateJson("[1,]").ok());
+  EXPECT_FALSE(obs::ValidateJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(obs::ValidateJson("\"unterminated").ok());
+  EXPECT_FALSE(obs::ValidateJson("\"bad\\escape\\q\"").ok());
+  EXPECT_FALSE(obs::ValidateJson("-").ok());
+  EXPECT_FALSE(obs::ValidateJson("nul").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sinks over a synthetic trace.
+
+TEST(SinksTest, SyntheticTraceRendersInAllFormats) {
+  obs::TraceCollector c;
+  {
+    obs::Span compile(&c, "compile", "compile");
+    obs::Span parse(&c, "parse", "phase");
+    parse.AddCounter("functions", 1);
+  }
+  std::string tree = obs::FormatTree(c);
+  EXPECT_NE(tree.find("compile"), std::string::npos);
+  EXPECT_NE(tree.find("functions=1"), std::string::npos);
+
+  std::string json = obs::ToJson(c);
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+
+  std::string chrome = obs::ToChromeTrace(c);
+  EXPECT_TRUE(obs::ValidateJson(chrome).ok()) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trace a real TPC-H compile + run.
+
+class ObsPipelineTest : public ::testing::Test {
+ protected:
+  static Session& SharedSession() {
+    static Session* session = [] {
+      auto* s = new Session();
+      Status st = workloads::tpch::Populate(&s->db(), 0.002);
+      if (!st.ok()) std::abort();
+      return s;
+    }();
+    return *session;
+  }
+};
+
+TEST_F(ObsPipelineTest, ChromeTraceCoversWholePipeline) {
+  obs::TraceCollector collector;
+  RunOptions opts;
+  opts.trace = &collector;
+  auto result =
+      SharedSession().Run(workloads::tpch::GetQuery(6).source, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::string chrome = obs::ToChromeTrace(collector);
+  ASSERT_TRUE(obs::ValidateJson(chrome).ok()) << chrome;
+  // Every frontend phase, at least one optimizer pass, sqlgen, CTE
+  // materialization, and executor operators all appear as events.
+  for (const char* expected :
+       {"\"name\":\"parse\"", "\"name\":\"anf\"", "\"name\":\"translate\"",
+        "\"name\":\"optimize\"", "\"name\":\"sqlgen\"",
+        "\"name\":\"RuleInlining\"", "\"cat\":\"cte\"",
+        "\"cat\":\"operator\"", "\"name\":\"Filter\"",
+        "\"name\":\"Aggregate\""}) {
+    EXPECT_NE(chrome.find(expected), std::string::npos)
+        << "missing " << expected;
+  }
+}
+
+TEST_F(ObsPipelineTest, OperatorSpansRecordRowCounts) {
+  obs::TraceCollector collector;
+  RunOptions opts;
+  opts.trace = &collector;
+  auto result =
+      SharedSession().Run(workloads::tpch::GetQuery(6).source, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The engine "query" span holds CTE + final-select children whose
+  // operator spans carry rows_in/rows_out counters.
+  const obs::SpanNode* query = collector.root().FindDescendant("query");
+  ASSERT_NE(query, nullptr);
+  const obs::SpanNode* filter = query->FindDescendant("Filter");
+  ASSERT_NE(filter, nullptr);
+  EXPECT_TRUE(filter->HasCounter("rows_in"));
+  EXPECT_TRUE(filter->HasCounter("rows_out"));
+  EXPECT_TRUE(filter->HasCounter("selectivity_bp"));
+  EXPECT_LE(filter->Counter("rows_out"), filter->Counter("rows_in"));
+
+  // The final-select root operator's rows_out equals the result size.
+  const obs::SpanNode* final_select = query->FindChild("final_select");
+  ASSERT_NE(final_select, nullptr);
+  const obs::SpanNode* top_op = nullptr;
+  for (const auto& child : final_select->children) {
+    if (child->category == "operator") top_op = child.get();
+  }
+  ASSERT_NE(top_op, nullptr);
+  EXPECT_EQ(top_op->Counter("rows_out"),
+            static_cast<int64_t>((*result)->num_rows()));
+}
+
+TEST_F(ObsPipelineTest, QueryProfileSummarizesCompileAndExec) {
+  auto profiled =
+      SharedSession().RunProfiled(workloads::tpch::GetQuery(6).source);
+  ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+  const obs::QueryProfile& p = profiled->profile;
+  EXPECT_GT(p.compile_ms, 0.0);
+  EXPECT_GT(p.exec_ms, 0.0);
+  // Pipeline phases in order.
+  ASSERT_GE(p.compile_phases.size(), 6u);
+  EXPECT_EQ(p.compile_phases.front().first, "parse");
+  EXPECT_EQ(p.compile_phases.back().first, "sqlgen");
+  // O4 runs all six TondIR passes (each at least one round).
+  EXPECT_EQ(p.passes.size(), 6u);
+  for (const auto& pass : p.passes) EXPECT_GE(pass.runs, 1);
+  // Q6 is scan->filter->aggregate->project.
+  bool saw_filter = false;
+  for (const auto& op : p.operators) {
+    if (op.name == "Filter") saw_filter = true;
+  }
+  EXPECT_TRUE(saw_filter);
+  EXPECT_FALSE(p.ToString().empty());
+}
+
+TEST_F(ObsPipelineTest, BaselineTraceYieldsSpeedupRatio) {
+  obs::TraceCollector collector;
+  RunOptions opts;
+  opts.trace = &collector;
+  const std::string source = workloads::tpch::GetQuery(6).source;
+  ASSERT_TRUE(SharedSession().Run(source, opts).ok());
+  ASSERT_TRUE(SharedSession().RunBaseline(source, &collector).ok());
+  obs::QueryProfile p = obs::SummarizeTrace(collector);
+  EXPECT_GT(p.eager_ms, 0.0);
+  EXPECT_GT(p.SpeedupVsBaseline(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE golden shape.
+
+TEST_F(ObsPipelineTest, ExplainAnalyzeReportsActualRowCounts) {
+  RunOptions ropts;
+  auto compiled =
+      SharedSession().Compile(workloads::tpch::GetQuery(6).source, ropts);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  auto result = SharedSession().db().Query(compiled->sql, {});
+  ASSERT_TRUE(result.ok());
+  size_t actual_rows = (*result)->num_rows();
+
+  engine::QueryOptions qopts;
+  qopts.explain = engine::ExplainMode::kAnalyze;
+  auto text = SharedSession().db().ExplainQuery(compiled->sql, qopts);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  // Per-operator actuals: every plan line carries rows= and time=.
+  EXPECT_NE(text->find("rows="), std::string::npos) << *text;
+  EXPECT_NE(text->find("time="), std::string::npos) << *text;
+  EXPECT_NE(text->find("Filter("), std::string::npos) << *text;
+  EXPECT_NE(text->find("sel="), std::string::npos) << *text;
+
+  // The result header reports the true final cardinality.
+  std::string expected_header =
+      "-- Result (" + std::to_string(actual_rows) + " rows";
+  EXPECT_NE(text->find(expected_header), std::string::npos) << *text;
+}
+
+TEST_F(ObsPipelineTest, ExplainPlanModeHasNoActuals) {
+  RunOptions ropts;
+  auto compiled =
+      SharedSession().Compile(workloads::tpch::GetQuery(6).source, ropts);
+  ASSERT_TRUE(compiled.ok());
+  engine::QueryOptions qopts;
+  qopts.explain = engine::ExplainMode::kPlan;
+  auto text = SharedSession().db().ExplainQuery(compiled->sql, qopts);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("rows="), std::string::npos) << *text;
+  EXPECT_EQ(text->find("time="), std::string::npos) << *text;
+}
+
+}  // namespace
+}  // namespace pytond

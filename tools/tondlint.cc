@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/verifier.h"
+#include "obs/json.h"
 #include "tondir/ir.h"
 
 namespace {
@@ -27,6 +28,7 @@ struct LintConfig {
   bool werror = false;
   bool quiet = false;          // suppress per-file "OK" lines
   bool implicit_bases = false; // undeclared read relations become bases
+  bool json = false;           // machine-readable output on stdout
 };
 
 int Usage() {
@@ -37,6 +39,8 @@ int Usage() {
          "  --implicit-bases   reads of undeclared relations implicitly\n"
          "                     declare base relations instead of T001\n"
          "  --quiet            only print diagnostics, no per-file summary\n"
+         "  --json             emit one JSON document on stdout instead of\n"
+         "                     plain-text lines (same exit codes)\n"
          "  --list-codes       print the diagnostic code table and exit\n";
   return 2;
 }
@@ -69,13 +73,23 @@ void ListCodes() {
   }
 }
 
-/// Lints one program; returns 0 clean, 1 findings, 2 parse error.
+/// Lints one program; returns 0 clean, 1 findings, 2 parse error. With
+/// --json, appends one per-file object to `json` (an open array) instead
+/// of writing plain-text lines.
 int LintSource(const std::string& label, const std::string& text,
-               const LintConfig& config) {
+               const LintConfig& config, pytond::obs::JsonWriter* json) {
   auto parsed = pytond::tondir::ParseProgram(text);
   if (!parsed.ok()) {
-    std::cerr << label << ": parse error: " << parsed.status().message()
-              << "\n";
+    if (json != nullptr) {
+      json->BeginObject()
+          .Key("file").String(label)
+          .Key("parse_error").String(parsed.status().message())
+          .Key("ok").Bool(false)
+          .EndObject();
+    } else {
+      std::cerr << label << ": parse error: " << parsed.status().message()
+                << "\n";
+    }
     return 2;
   }
   pytond::analysis::VerifyOptions options;
@@ -84,13 +98,33 @@ int LintSource(const std::string& label, const std::string& text,
     options.base_relations.insert(rel);
   }
   auto diags = pytond::analysis::VerifyProgram(*parsed, options);
-  for (const auto& d : diags) {
-    std::cout << label << ": " << d.ToString() << "\n";
-  }
   bool failed = pytond::analysis::HasErrors(diags) ||
                 (config.werror && !diags.empty());
-  if (!failed && !config.quiet) {
-    std::cout << label << ": OK (" << parsed->rules.size() << " rules)\n";
+  if (json != nullptr) {
+    json->BeginObject()
+        .Key("file").String(label)
+        .Key("ok").Bool(!failed)
+        .Key("rules").Int(static_cast<int64_t>(parsed->rules.size()))
+        .Key("diagnostics").BeginArray();
+    for (const auto& d : diags) {
+      json->BeginObject()
+          .Key("code").String(d.code)
+          .Key("severity")
+          .String(pytond::analysis::SeverityName(d.severity))
+          .Key("rule").Int(d.rule_index)
+          .Key("atom").Int(d.atom_index)
+          .Key("message").String(d.message);
+      if (!d.fix_hint.empty()) json->Key("fix_hint").String(d.fix_hint);
+      json->EndObject();
+    }
+    json->EndArray().EndObject();
+  } else {
+    for (const auto& d : diags) {
+      std::cout << label << ": " << d.ToString() << "\n";
+    }
+    if (!failed && !config.quiet) {
+      std::cout << label << ": OK (" << parsed->rules.size() << " rules)\n";
+    }
   }
   return failed ? 1 : 0;
 }
@@ -108,6 +142,8 @@ int main(int argc, char** argv) {
       config.implicit_bases = true;
     } else if (arg == "--quiet") {
       config.quiet = true;
+    } else if (arg == "--json") {
+      config.json = true;
     } else if (arg == "--list-codes") {
       ListCodes();
       return 0;
@@ -122,6 +158,9 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return Usage();
 
+  pytond::obs::JsonWriter json;
+  if (config.json) json.BeginObject().Key("files").BeginArray();
+
   int exit_code = 0;
   for (const std::string& input : inputs) {
     std::string text;
@@ -134,7 +173,15 @@ int main(int argc, char** argv) {
     } else {
       std::ifstream f(input);
       if (!f) {
-        std::cerr << "tondlint: cannot open '" << input << "'\n";
+        if (config.json) {
+          json.BeginObject()
+              .Key("file").String(input)
+              .Key("parse_error").String("cannot open file")
+              .Key("ok").Bool(false)
+              .EndObject();
+        } else {
+          std::cerr << "tondlint: cannot open '" << input << "'\n";
+        }
         exit_code = std::max(exit_code, 2);
         continue;
       }
@@ -142,7 +189,14 @@ int main(int argc, char** argv) {
       ss << f.rdbuf();
       text = ss.str();
     }
-    exit_code = std::max(exit_code, LintSource(label, text, config));
+    exit_code = std::max(
+        exit_code,
+        LintSource(label, text, config, config.json ? &json : nullptr));
+  }
+
+  if (config.json) {
+    json.EndArray().Key("exit_code").Int(exit_code).EndObject();
+    std::cout << json.str() << "\n";
   }
   return exit_code;
 }

@@ -1,0 +1,333 @@
+// tondtrace: compile + run a @pytond source (or textual TondIR, or a
+// built-in TPC-H query) with end-to-end tracing, and emit the trace as a
+// human-readable tree, structured JSON, Chrome trace-event JSON, or a
+// compile/exec QueryProfile summary.
+//
+//   tondtrace --tpch --query=6 --format=chrome > q6.trace.json
+//   tondtrace --tpch=0.05 --query=1 --analyze --baseline
+//   tondtrace --tir --format=tree examples/tondir/tpch_q1.tir
+//
+// Exit status: 0 ok, 1 compile/run failure, 2 usage error, 3 emitted JSON
+// failed --check validation.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/query_profile.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+#include "optimizer/passes.h"
+#include "sqlgen/sqlgen.h"
+#include "tondir/ir.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace {
+
+using pytond::Result;
+using pytond::Status;
+
+enum class Format { kTree, kJson, kChrome, kProfile };
+
+struct TraceConfig {
+  Format format = Format::kTree;
+  std::string profile = "duck";
+  int olevel = 4;
+  int threads = 1;
+  int tpch_query = 0;          // 0 = none
+  double tpch_sf = 0;          // 0 = don't populate
+  int64_t datasci_rows = 0;    // 0 = don't populate
+  bool tir = false;
+  bool compile_only = false;
+  bool analyze = false;
+  bool baseline = false;
+  bool check = false;
+  std::string out_path;
+  std::vector<std::string> inputs;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: tondtrace [options] [file.py | file.tir ... | -]\n"
+      "  --query=N         run built-in TPC-H query N (1..22); implies\n"
+      "                    --tpch at a small default scale if not given\n"
+      "  --tpch[=SF]       populate TPC-H tables (default SF 0.01)\n"
+      "  --datasci[=ROWS]  populate crime-index + hybrid datasets\n"
+      "  --tir             inputs are textual TondIR: trace the compile\n"
+      "                    pipeline (verify -> optimize -> sqlgen) only\n"
+      "  --compile-only    compile but do not execute\n"
+      "  --analyze         also print EXPLAIN ANALYZE (to stderr)\n"
+      "  --baseline        also run the eager interpreter baseline\n"
+      "  --profile=P       duck | hyper | lingo (default duck)\n"
+      "  --olevel=N        TondIR optimization preset 0..4 (default 4)\n"
+      "  --threads=N       execution threads (default 1)\n"
+      "  --format=F        tree | json | chrome | profile (default tree)\n"
+      "  --check           validate emitted JSON; exit 3 on malformed\n"
+      "  --out=FILE        write the trace to FILE instead of stdout\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, TraceConfig* cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--query=", 0) == 0) {
+      cfg->tpch_query = std::atoi(value_of("--query=").c_str());
+    } else if (arg == "--tpch") {
+      cfg->tpch_sf = 0.01;
+    } else if (arg.rfind("--tpch=", 0) == 0) {
+      cfg->tpch_sf = std::atof(value_of("--tpch=").c_str());
+    } else if (arg == "--datasci") {
+      cfg->datasci_rows = 10000;
+    } else if (arg.rfind("--datasci=", 0) == 0) {
+      cfg->datasci_rows = std::atoll(value_of("--datasci=").c_str());
+    } else if (arg == "--tir") {
+      cfg->tir = true;
+    } else if (arg == "--compile-only") {
+      cfg->compile_only = true;
+    } else if (arg == "--analyze") {
+      cfg->analyze = true;
+    } else if (arg == "--baseline") {
+      cfg->baseline = true;
+    } else if (arg == "--check") {
+      cfg->check = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      cfg->profile = value_of("--profile=");
+    } else if (arg.rfind("--olevel=", 0) == 0) {
+      cfg->olevel = std::atoi(value_of("--olevel=").c_str());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg->threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string f = value_of("--format=");
+      if (f == "tree") cfg->format = Format::kTree;
+      else if (f == "json") cfg->format = Format::kJson;
+      else if (f == "chrome") cfg->format = Format::kChrome;
+      else if (f == "profile") cfg->format = Format::kProfile;
+      else return false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      cfg->out_path = value_of("--out=");
+    } else if (arg == "-" || arg[0] != '-') {
+      cfg->inputs.push_back(arg);
+    } else {
+      std::cerr << "tondtrace: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::string> ReadInput(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+pytond::RunOptions MakeRunOptions(const TraceConfig& cfg,
+                                  pytond::obs::TraceCollector* trace) {
+  pytond::RunOptions opts;
+  opts.optimization_level = cfg.olevel;
+  opts.num_threads = cfg.threads;
+  opts.trace = trace;
+  if (cfg.profile == "hyper") {
+    opts.profile = pytond::engine::BackendProfile::kCompiled;
+  } else if (cfg.profile == "lingo") {
+    opts.profile = pytond::engine::BackendProfile::kResearch;
+  } else {
+    opts.profile = pytond::engine::BackendProfile::kVectorized;
+  }
+  return opts;
+}
+
+/// Compile-only pipeline for a textual TondIR file: parse -> optimize
+/// (preset, traced per pass) -> sqlgen. Returns the generated SQL.
+Result<std::string> TraceTirFile(const std::string& label,
+                                 const std::string& text,
+                                 const TraceConfig& cfg,
+                                 pytond::obs::TraceCollector* trace) {
+  namespace obs = pytond::obs;
+  obs::Span file_span(trace, "compile:" + label, "compile");
+  obs::Span parse_span(trace, "parse", "phase");
+  PYTOND_ASSIGN_OR_RETURN(pytond::tondir::Program program,
+                          pytond::tondir::ParseProgram(text));
+  parse_span.End();
+  std::set<std::string> base;
+  for (const auto& [rel, cols] : program.base_columns) base.insert(rel);
+  pytond::opt::OptimizerOptions oopts =
+      pytond::opt::OptimizerOptions::Preset(cfg.olevel);
+  oopts.trace = trace;
+  PYTOND_RETURN_IF_ERROR(pytond::opt::Optimize(&program, base, oopts));
+  pytond::sqlgen::SqlGenOptions sopts;
+  sopts.dialect = cfg.profile == "hyper" ? pytond::sqlgen::SqlDialect::kHyper
+                                         : pytond::sqlgen::SqlDialect::kDuck;
+  sopts.trace = trace;
+  return pytond::sqlgen::GenerateSql(program, sopts);
+}
+
+int EmitTrace(const TraceConfig& cfg,
+              const pytond::obs::TraceCollector& collector) {
+  namespace obs = pytond::obs;
+  std::string rendered;
+  bool is_json = false;
+  switch (cfg.format) {
+    case Format::kTree:
+      rendered = obs::FormatTree(collector);
+      break;
+    case Format::kJson:
+      rendered = obs::ToJson(collector);
+      is_json = true;
+      break;
+    case Format::kChrome:
+      rendered = obs::ToChromeTrace(collector);
+      is_json = true;
+      break;
+    case Format::kProfile:
+      rendered = obs::SummarizeTrace(collector).ToString();
+      break;
+  }
+  if (cfg.check && is_json) {
+    Status ok = obs::ValidateJson(rendered);
+    if (!ok.ok()) {
+      std::cerr << "tondtrace: emitted JSON failed validation: "
+                << ok.message() << "\n";
+      return 3;
+    }
+  }
+  if (!cfg.out_path.empty()) {
+    std::ofstream f(cfg.out_path);
+    if (!f) {
+      std::cerr << "tondtrace: cannot write '" << cfg.out_path << "'\n";
+      return 1;
+    }
+    f << rendered;
+  } else {
+    std::cout << rendered;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace obs = pytond::obs;
+  TraceConfig cfg;
+  if (!ParseArgs(argc, argv, &cfg)) return Usage();
+  if (cfg.inputs.empty() && cfg.tpch_query == 0) return Usage();
+  if (cfg.tpch_query != 0 && (cfg.tpch_query < 1 || cfg.tpch_query > 22)) {
+    std::cerr << "tondtrace: --query must be 1..22\n";
+    return 2;
+  }
+
+  obs::TraceCollector collector;
+
+  // Textual TondIR: compile-pipeline tracing only, one span tree per file.
+  if (cfg.tir) {
+    for (const std::string& input : cfg.inputs) {
+      auto text = ReadInput(input);
+      if (!text.ok()) {
+        std::cerr << "tondtrace: " << text.status().ToString() << "\n";
+        return 1;
+      }
+      auto sql = TraceTirFile(input == "-" ? "<stdin>" : input, *text, cfg,
+                              &collector);
+      if (!sql.ok()) {
+        std::cerr << "tondtrace: " << input << ": "
+                  << sql.status().ToString() << "\n";
+        return 1;
+      }
+    }
+    return EmitTrace(cfg, collector);
+  }
+
+  pytond::Session session;
+  if (cfg.tpch_query != 0 && cfg.tpch_sf == 0) cfg.tpch_sf = 0.01;
+  if (cfg.tpch_sf > 0) {
+    Status st = pytond::workloads::tpch::Populate(&session.db(), cfg.tpch_sf);
+    if (!st.ok()) {
+      std::cerr << "tondtrace: TPC-H populate failed: " << st.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+  if (cfg.datasci_rows > 0) {
+    Status st = pytond::workloads::datasci::PopulateCrimeIndex(
+        &session.db(), cfg.datasci_rows);
+    if (st.ok()) {
+      st = pytond::workloads::datasci::PopulateHybrid(&session.db(),
+                                                      cfg.datasci_rows);
+    }
+    if (!st.ok()) {
+      std::cerr << "tondtrace: datasci populate failed: " << st.ToString()
+                << "\n";
+      return 1;
+    }
+  }
+
+  std::string source;
+  if (cfg.tpch_query != 0) {
+    source = pytond::workloads::tpch::GetQuery(cfg.tpch_query).source;
+  } else {
+    auto text = ReadInput(cfg.inputs[0]);
+    if (!text.ok()) {
+      std::cerr << "tondtrace: " << text.status().ToString() << "\n";
+      return 1;
+    }
+    source = std::move(*text);
+  }
+
+  pytond::RunOptions opts = MakeRunOptions(cfg, &collector);
+  auto compiled = session.Compile(source, opts);
+  if (!compiled.ok()) {
+    std::cerr << "tondtrace: compile failed: "
+              << compiled.status().ToString() << "\n";
+    return 1;
+  }
+  if (!cfg.compile_only) {
+    auto result = session.Execute(*compiled, opts);
+    if (!result.ok()) {
+      std::cerr << "tondtrace: execution failed: "
+                << result.status().ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "tondtrace: " << (*result)->num_rows() << " result rows\n";
+  }
+  if (cfg.baseline) {
+    auto base = session.RunBaseline(source, &collector);
+    if (!base.ok()) {
+      std::cerr << "tondtrace: baseline failed: "
+                << base.status().ToString() << "\n";
+      return 1;
+    }
+  }
+  if (cfg.analyze) {
+    pytond::engine::QueryOptions qopts;
+    qopts.profile = opts.profile;
+    qopts.num_threads = opts.num_threads;
+    qopts.explain = pytond::engine::ExplainMode::kAnalyze;
+    auto text = session.db().ExplainQuery(compiled->sql, qopts);
+    if (!text.ok()) {
+      std::cerr << "tondtrace: explain analyze failed: "
+                << text.status().ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "-- EXPLAIN ANALYZE --\n" << *text;
+  }
+  return EmitTrace(cfg, collector);
+}

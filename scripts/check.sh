@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: Release and ASan/UBSan builds, the test suite under
-# both (obs_test runs under ASan here too), tondlint over the example
-# TondIR programs, and tondtrace smoke runs whose JSON output is gated by
-# the built-in minimal validator (--check exits 3 on malformed JSON).
+# both (obs_test runs under ASan here too), a ThreadSanitizer pass over
+# the threaded suites (worker pool, differential, concurrency), tondlint
+# over the example TondIR programs, and tondtrace smoke runs whose JSON
+# output is gated by the built-in minimal validator (--check exits 3 on
+# malformed JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,18 @@ for preset in default asan; do
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
+done
+
+# TSan pass: build just the suites that exercise the shared worker pool,
+# the plan cache, and concurrent sessions, and run them directly (a full
+# suite under TSan is prohibitively slow; these three cover every
+# threaded code path).
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" \
+    --target engine_test differential_test concurrency_test
+for t in engine_test differential_test concurrency_test; do
+  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t" \
+      --gtest_brief=1
 done
 
 ./build/tools/tondlint examples/tondir/*.tir
@@ -26,5 +40,10 @@ for bindir in build build-asan; do
   "$trace" --tpch=0.002 --query=6 --format=json --check --analyze \
       > /dev/null 2>&1
 done
+
+# tondtrace concurrent-jobs smoke: 4 racing sessions over the shared pool
+# must all succeed and emit valid JSON.
+./build/tools/tondtrace --tpch=0.002 --query=6 --jobs=4 --threads=2 \
+    --format=json --check > /dev/null 2>&1
 
 echo "check.sh: all green"

@@ -1,5 +1,8 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <sstream>
+
 namespace pytond {
 
 namespace {
@@ -14,6 +17,47 @@ frontend::CompileOptions ToCompileOptions(const RunOptions& options) {
   return out;
 }
 
+/// Normalizes a @pytond source for cache keying: strips trailing
+/// whitespace, drops blank leading/trailing lines, and removes the common
+/// leading indentation — so the same function pasted at different
+/// indentation depths (raw strings, notebooks) shares one cache entry.
+std::string NormalizeSource(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    lines.push_back(std::move(line));
+  }
+  while (!lines.empty() && lines.front().empty()) lines.erase(lines.begin());
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  size_t indent = std::string::npos;
+  for (const std::string& l : lines) {
+    if (l.empty()) continue;
+    indent = std::min(indent, l.find_first_not_of(' '));
+  }
+  if (indent == std::string::npos) indent = 0;
+  std::string out;
+  for (const std::string& l : lines) {
+    out.append(l.empty() ? l : l.substr(std::min(indent, l.size())));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// Everything that changes the compiled artifact must be in the key.
+std::string CacheKey(const std::string& source, const RunOptions& options) {
+  std::string key = NormalizeSource(source);
+  key += '\x1f';
+  key += engine::BackendProfileName(options.profile);
+  key += "|O";
+  key += std::to_string(options.optimization_level);
+  return key;
+}
+
 }  // namespace
 
 Result<frontend::Compiled> Session::Compile(const std::string& source,
@@ -22,10 +66,41 @@ Result<frontend::Compiled> Session::Compile(const std::string& source,
                                    ToCompileOptions(options));
 }
 
+Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
+    const std::string& source, const RunOptions& options) {
+  if (!options.use_plan_cache) {
+    PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
+    return std::make_shared<const frontend::Compiled>(std::move(c));
+  }
+  std::string key = CacheKey(source, options);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++cache_hits_;
+      obs::Span span(options.trace, "plan_cache", "engine");
+      span.AddCounter("hit", 1);
+      return it->second;
+    }
+    ++cache_misses_;
+  }
+  // Compile outside the lock so concurrent misses don't serialize; the
+  // occasional duplicate compile publishes last-writer-wins.
+  if (options.trace != nullptr) {
+    obs::Span span(options.trace, "plan_cache", "engine");
+    span.AddCounter("hit", 0);
+  }
+  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
+  auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_[std::move(key)] = shared;
+  return shared;
+}
+
 Result<std::shared_ptr<const Table>> Session::Run(const std::string& source,
                                                   const RunOptions& options) {
-  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
-  return Execute(c, options);
+  PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, options));
+  return Execute(*c, options);
 }
 
 Result<ProfiledRun> Session::RunProfiled(const std::string& source,
@@ -33,8 +108,8 @@ Result<ProfiledRun> Session::RunProfiled(const std::string& source,
   obs::TraceCollector local;
   RunOptions traced = options;
   if (traced.trace == nullptr) traced.trace = &local;
-  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, traced));
-  PYTOND_ASSIGN_OR_RETURN(auto table, Execute(c, traced));
+  PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, traced));
+  PYTOND_ASSIGN_OR_RETURN(auto table, Execute(*c, traced));
   ProfiledRun out;
   out.table = std::move(table);
   out.profile = obs::SummarizeTrace(*traced.trace);
@@ -55,6 +130,20 @@ Result<Table> Session::RunBaseline(const std::string& source,
   runtime::InterpretOptions opts;
   opts.trace = trace;
   return runtime::InterpretSource(source, db_.catalog(), opts);
+}
+
+PlanCacheStats Session::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  PlanCacheStats s;
+  s.hits = cache_hits_;
+  s.misses = cache_misses_;
+  s.entries = plan_cache_.size();
+  return s;
+}
+
+void Session::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_.clear();
 }
 
 }  // namespace pytond

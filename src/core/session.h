@@ -1,7 +1,9 @@
 #ifndef PYTOND_CORE_SESSION_H_
 #define PYTOND_CORE_SESSION_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -22,10 +24,21 @@ struct RunOptions {
   /// TondIR optimization preset 0..4 (0 reproduces the paper's
   /// "Grizzly-simulated" competitor).
   int optimization_level = 4;
+  /// Serve Run/RunProfiled from the session's compiled-plan cache (keyed
+  /// on normalized source + profile + optimization level); repeated
+  /// queries skip parse/translate/optimize/sqlgen entirely.
+  bool use_plan_cache = true;
   /// Optional end-to-end trace: compile phases, optimizer passes, sqlgen,
   /// CTE materialization, and executor operators all record spans here.
   /// Null (the default) keeps every instrumentation point a null check.
   obs::TraceCollector* trace = nullptr;
+};
+
+/// Compiled-plan cache counters (cumulative per session).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
 };
 
 /// Run result with the flattened trace summary: compile-ms broken down by
@@ -48,6 +61,12 @@ struct ProfiledRun {
 ///         v = t[t.x > 3]
 ///         return v
 ///   )");
+///
+/// Concurrency: once the catalog is populated, Compile/CompileCached/Run/
+/// RunProfiled/Execute/RunBaseline are safe to call from many threads at
+/// once. Queries share the database's worker pool and this session's
+/// compiled-plan cache; each call carries its own trace collector (or
+/// none), so traces never mix across concurrent queries.
 class Session {
  public:
   Session() = default;
@@ -61,6 +80,14 @@ class Session {
   /// executing it.
   Result<frontend::Compiled> Compile(const std::string& source,
                                      const RunOptions& options = {}) const;
+
+  /// Compile through the session's plan cache: a hit (same normalized
+  /// source + profile + optimization level) returns the cached artifact
+  /// and skips the whole frontend. Misses compile, then publish. With
+  /// options.trace attached, records a "plan_cache" span whose `hit`
+  /// counter is 0/1.
+  Result<std::shared_ptr<const frontend::Compiled>> CompileCached(
+      const std::string& source, const RunOptions& options = {});
 
   /// Compiles and executes through the SQL engine.
   Result<std::shared_ptr<const Table>> Run(const std::string& source,
@@ -83,8 +110,17 @@ class Session {
   Result<Table> RunBaseline(const std::string& source,
                             obs::TraceCollector* trace = nullptr) const;
 
+  /// Plan-cache counters (thread-safe snapshot).
+  PlanCacheStats plan_cache_stats() const;
+  void ClearPlanCache();
+
  private:
   engine::Database db_;
+  mutable std::mutex cache_mu_;
+  std::map<std::string, std::shared_ptr<const frontend::Compiled>>
+      plan_cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
 };
 
 }  // namespace pytond

@@ -49,6 +49,7 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
                                                const Catalog& catalog,
                                                QueryScope* scope,
                                                const QueryOptions& opts,
+                                               sched::WorkerPool* pool,
                                                PlanStatsMap* op_stats = nullptr,
                                                PlanPtr* out_plan = nullptr) {
   // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
@@ -88,6 +89,7 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   ctx.catalog = &catalog;
   ctx.temps = &scope->temps;
   ctx.num_threads = opts.num_threads;
+  ctx.pool = pool;
   ctx.trace = opts.trace;
   ctx.op_stats = op_stats;
   return ExecutePlan(*plan, ctx);
@@ -116,9 +118,33 @@ Status Database::CreateTable(const std::string& name, Table table,
   return catalog_.CreateTable(name, std::move(table), std::move(constraints));
 }
 
+sched::WorkerPool& Database::pool(int workers) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<sched::WorkerPool>(workers);
+  } else {
+    pool_->EnsureWorkers(workers);
+  }
+  return *pool_;
+}
+
+const sched::WorkerPool* Database::pool_if_created() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.get();
+}
+
+sched::WorkerPool* Database::PoolFor(const QueryOptions& opts) {
+  if (opts.num_threads <= 1) return nullptr;
+  return &pool(opts.num_threads - 1);
+}
+
 Result<std::shared_ptr<const Table>> Database::Query(
     const std::string& sql, const QueryOptions& opts) {
+  sched::WorkerPool* pool = PoolFor(opts);
   obs::Span query_span(opts.trace, "query", "engine");
+  if (pool != nullptr) {
+    query_span.AddCounter("pool_workers", pool->num_workers());
+  }
   obs::Span parse_span(opts.trace, "parse_sql", "engine");
   PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
   parse_span.End();
@@ -126,19 +152,20 @@ Result<std::shared_ptr<const Table>> Database::Query(
   for (const auto& cte : stmt->ctes) {
     obs::Span cte_span(opts.trace, "cte:" + cte.name, "cte");
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts));
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     cte_span.AddCounter("rows", static_cast<int64_t>(t->num_rows()));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
   }
   obs::Span final_span(opts.trace, "final_select", "engine");
-  return RunSelect(*stmt, catalog_, &scope, opts);
+  return RunSelect(*stmt, catalog_, &scope, opts, pool);
 }
 
 Result<std::string> Database::ExplainQuery(const std::string& sql,
                                            const QueryOptions& opts) {
   const bool analyze = opts.explain == ExplainMode::kAnalyze;
+  sched::WorkerPool* pool = analyze ? PoolFor(opts) : nullptr;
   PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
   QueryScope scope;
   std::string out;
@@ -158,6 +185,14 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       std::snprintf(buf, sizeof(buf), ", build=%" PRIu64, s.build_rows);
       a += buf;
     }
+    if (s.batches > 1) {
+      std::snprintf(buf, sizeof(buf), ", morsels=%" PRIu64, s.batches);
+      a += buf;
+      if (s.steals > 0) {
+        std::snprintf(buf, sizeof(buf), ", steals=%" PRIu64, s.steals);
+        a += buf;
+      }
+    }
     if (p.kind == LogicalPlan::Kind::kFilter && s.rows_in > 0) {
       std::snprintf(buf, sizeof(buf), ", sel=%.1f%%",
                     100.0 * static_cast<double>(s.rows_out) /
@@ -173,7 +208,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
     uint64_t t0 = analyze ? obs::NowNs() : 0;
     PlanPtr plan;
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts,
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool,
                           analyze ? &stats : nullptr, &plan));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     scope.temps[cte.name] = t;
@@ -194,7 +229,8 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       uint64_t t0 = obs::NowNs();
       PlanPtr plan;
       PYTOND_ASSIGN_OR_RETURN(
-          auto t, RunSelect(*stmt, catalog_, &scope, opts, &stats, &plan));
+          auto t,
+          RunSelect(*stmt, catalog_, &scope, opts, pool, &stats, &plan));
       char buf[64];
       std::snprintf(buf, sizeof(buf), "-- Result (%zu rows, %.3f ms)\n",
                     t->num_rows(),

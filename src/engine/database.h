@@ -2,11 +2,13 @@
 #define PYTOND_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
 #include "engine/exec/executor.h"
 #include "engine/profile.h"
+#include "engine/sched/worker_pool.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 
@@ -32,6 +34,12 @@ struct QueryOptions {
 /// The in-memory RDBMS substrate: a catalog plus a SQL front door.
 /// Queries execute as: parse -> materialize CTEs in order -> bind final
 /// SELECT -> profile-specific plan tuning -> interpret.
+///
+/// Concurrency: Query/ExplainQuery are safe to call from many threads at
+/// once over the immutable catalog — each call builds its own QueryScope,
+/// ExecContext, and (optional) TraceCollector, while all calls share one
+/// lazily created worker pool. CreateTable must not race with running
+/// queries (populate first, then serve).
 class Database {
  public:
   Database() = default;
@@ -52,8 +60,20 @@ class Database {
   Result<std::string> ExplainQuery(const std::string& sql,
                                    const QueryOptions& opts = {});
 
+  /// The shared execution scheduler, created on first use and grown to
+  /// `workers` threads (never shrinks). Thread-safe.
+  sched::WorkerPool& pool(int workers);
+  /// The pool if any parallel query ever ran (observability), else null.
+  const sched::WorkerPool* pool_if_created() const;
+
  private:
+  /// Resolves the pool for one query: num_threads - 1 workers (the
+  /// query's coordinating thread executes morsels too), null when serial.
+  sched::WorkerPool* PoolFor(const QueryOptions& opts);
+
   Catalog catalog_;
+  mutable std::mutex pool_mu_;
+  std::unique_ptr<sched::WorkerPool> pool_;
 };
 
 }  // namespace pytond::engine

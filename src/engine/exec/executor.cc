@@ -1,6 +1,7 @@
 #include "engine/exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <thread>
 #include <unordered_map>
@@ -8,22 +9,54 @@
 
 namespace pytond::engine {
 
-void ParallelFor(size_t n, int threads,
-                 const std::function<void(int, size_t, size_t)>& fn) {
-  if (threads <= 1 || n < 4096) {
+size_t MorselRows(size_t n, const ExecContext& ctx) {
+  size_t cap = ctx.morsel_rows > 0 ? ctx.morsel_rows : kDefaultMorselRows;
+  // Small parallel-eligible inputs shrink morsels (floor 1024 rows) so the
+  // split still yields several chunks; n/8 keeps boundaries a function of
+  // n alone, preserving thread-count determinism.
+  return std::clamp(n / 8, size_t{1024}, cap);
+}
+
+size_t NumMorsels(size_t n, const ExecContext& ctx) {
+  if (ctx.num_threads <= 1 || n < ctx.min_parallel_rows) return 1;
+  size_t m = MorselRows(n, ctx);
+  return (n + m - 1) / m;
+}
+
+sched::PoolRunStats ParallelFor(
+    size_t n, const ExecContext& ctx,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  sched::PoolRunStats stats;
+  size_t chunks = NumMorsels(n, ctx);
+  if (chunks <= 1) {
     fn(0, 0, n);
-    return;
+    stats.morsels = n > 0 ? 1 : 0;
+    return stats;
   }
-  size_t t = static_cast<size_t>(threads);
-  size_t chunk = (n + t - 1) / t;
+  size_t morsel = MorselRows(n, ctx);
+  if (ctx.pool != nullptr) {
+    return ctx.pool->ParallelFor(n, morsel, ctx.num_threads, fn);
+  }
+  // No shared pool attached (standalone ExecutePlan use): same morsel
+  // decomposition on transient threads, each draining a shared cursor.
+  stats.morsels = chunks;
+  std::atomic<size_t> next{0};
+  auto loop = [&] {
+    for (;;) {
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      size_t begin = c * morsel;
+      fn(c, begin, std::min(n, begin + morsel));
+    }
+  };
+  size_t extra = std::min(static_cast<size_t>(ctx.num_threads - 1),
+                          chunks - 1);
   std::vector<std::thread> workers;
-  for (size_t i = 0; i < t; ++i) {
-    size_t begin = i * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back(fn, static_cast<int>(i), begin, end);
-  }
-  for (auto& w : workers) w.join();
+  workers.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) workers.emplace_back(loop);
+  loop();
+  for (std::thread& w : workers) w.join();
+  return stats;
 }
 
 namespace {
@@ -51,21 +84,21 @@ Column ConcatColumns(std::vector<Column> parts, DataType type) {
   return out;
 }
 
-/// Evaluates `expr` in parallel chunks over all of `input`.
+/// Evaluates `expr` in parallel morsels over all of `input`; per-chunk
+/// columns concatenate in chunk order, so the result equals the
+/// sequential evaluation regardless of thread count.
 Result<Column> EvalParallel(const BoundExpr& expr, const Table& input,
-                            int threads) {
+                            const ExecContext& ctx) {
   size_t n = input.num_rows();
-  if (threads <= 1 || n < 4096) return EvaluateExpr(expr, input, 0, n);
-  size_t t = static_cast<size_t>(threads);
-  size_t chunk = (n + t - 1) / t;
-  std::vector<Column> parts(t, Column(expr.type));
-  std::vector<Status> errs(t);
-  ParallelFor(n, threads, [&](int tid, size_t begin, size_t end) {
+  size_t nt = NumMorsels(n, ctx);
+  if (nt <= 1) return EvaluateExpr(expr, input, 0, n);
+  std::vector<Column> parts(nt, Column(expr.type));
+  std::vector<Status> errs(nt);
+  ParallelFor(n, ctx, [&](size_t chunk, size_t begin, size_t end) {
     auto r = EvaluateExpr(expr, input, begin, end);
-    if (r.ok()) parts[tid] = std::move(*r);
-    else errs[tid] = r.status();
+    if (r.ok()) parts[chunk] = std::move(*r);
+    else errs[chunk] = r.status();
   });
-  (void)chunk;
   for (const Status& s : errs) {
     if (!s.ok()) return s;
   }
@@ -82,11 +115,11 @@ std::string EncodeKey(const std::vector<Column>& cols, size_t row) {
 
 Result<std::vector<Column>> EvalKeyColumns(
     const std::vector<BoundExprPtr>& exprs, const Table& input,
-    int threads) {
+    const ExecContext& ctx) {
   std::vector<Column> out;
   out.reserve(exprs.size());
   for (const auto& e : exprs) {
-    PYTOND_ASSIGN_OR_RETURN(Column c, EvalParallel(*e, input, threads));
+    PYTOND_ASSIGN_OR_RETURN(Column c, EvalParallel(*e, input, ctx));
     out.push_back(std::move(c));
   }
   return out;
@@ -97,15 +130,18 @@ Result<TablePtr> ExecFilter(const LogicalPlan& plan, TablePtr input,
                             const ExecContext& ctx,
                             OperatorStats* stats = nullptr) {
   size_t n = input->num_rows();
-  int t = ctx.num_threads;
-  size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
-  if (stats != nullptr) stats->batches = nt;
+  size_t nt = NumMorsels(n, ctx);
   std::vector<std::vector<uint32_t>> sels(nt);
   std::vector<Status> errs(nt);
-  ParallelFor(n, t, [&](int tid, size_t begin, size_t end) {
-    errs[tid] = EvaluatePredicate(*plan.predicate, *input, begin, end,
-                                  &sels[tid]);
-  });
+  sched::PoolRunStats ps =
+      ParallelFor(n, ctx, [&](size_t chunk, size_t begin, size_t end) {
+        errs[chunk] = EvaluatePredicate(*plan.predicate, *input, begin, end,
+                                        &sels[chunk]);
+      });
+  if (stats != nullptr) {
+    stats->batches = ps.morsels;
+    stats->steals = ps.steals;
+  }
   for (const Status& s : errs) {
     if (!s.ok()) return s;
   }
@@ -121,8 +157,8 @@ Result<TablePtr> ExecProject(const LogicalPlan& plan, TablePtr input,
                              const ExecContext& ctx) {
   Table out;
   for (size_t i = 0; i < plan.exprs.size(); ++i) {
-    PYTOND_ASSIGN_OR_RETURN(Column c, EvalParallel(*plan.exprs[i], *input,
-                                                   ctx.num_threads));
+    PYTOND_ASSIGN_OR_RETURN(Column c,
+                            EvalParallel(*plan.exprs[i], *input, ctx));
     PYTOND_RETURN_IF_ERROR(out.AddColumn(plan.names[i], std::move(c)));
   }
   if (plan.exprs.empty()) return WrapTable(Table(plan.schema));
@@ -219,12 +255,10 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
     probe_exprs.push_back(swapped ? r : l);
     build_exprs.push_back(swapped ? l : r);
   }
-  PYTOND_ASSIGN_OR_RETURN(
-      std::vector<Column> probe_keys,
-      EvalKeyColumns(probe_exprs, *probe_t, ctx.num_threads));
-  PYTOND_ASSIGN_OR_RETURN(
-      std::vector<Column> build_keys,
-      EvalKeyColumns(build_exprs, *build_t, ctx.num_threads));
+  PYTOND_ASSIGN_OR_RETURN(std::vector<Column> probe_keys,
+                          EvalKeyColumns(probe_exprs, *probe_t, ctx));
+  PYTOND_ASSIGN_OR_RETURN(std::vector<Column> build_keys,
+                          EvalKeyColumns(build_exprs, *build_t, ctx));
 
   // Build.
   HashTable ht;
@@ -243,14 +277,12 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
     ht.buckets[EncodeKey(build_keys, i)].push_back(static_cast<uint32_t>(i));
   }
 
-  // Probe (parallel chunks).
+  // Probe (parallel morsels over the shared read-only hash table).
   size_t pn = probe_t->num_rows();
-  int t = ctx.num_threads;
-  size_t nt = (t <= 1 || pn < 4096) ? 1 : static_cast<size_t>(t);
+  size_t nt = NumMorsels(pn, ctx);
   if (stats != nullptr) {
     stats->build_rows = bn;
     stats->build_buckets = ht.buckets.size();
-    stats->batches = nt;
   }
   struct ProbeOut {
     std::vector<uint32_t> pidx, bidx;      // surviving pairs
@@ -264,8 +296,9 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
                         jt == JoinType::kFull || jt == JoinType::kAnti;
   bool is_semi_anti = jt == JoinType::kSemi || jt == JoinType::kAnti;
 
-  ParallelFor(pn, t, [&](int tid, size_t begin, size_t end) {
-    ProbeOut& o = outs[tid];
+  sched::PoolRunStats ps =
+      ParallelFor(pn, ctx, [&](size_t chunk, size_t begin, size_t end) {
+    ProbeOut& o = outs[chunk];
     if (need_build_matched) o.build_matched.assign(bn, 0);
     std::vector<uint32_t> cand_p, cand_b;
     for (size_t i = begin; i < end; ++i) {
@@ -363,6 +396,10 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
     o.pidx = std::move(cand_p);
     o.bidx = std::move(cand_b);
   });
+  if (stats != nullptr) {
+    stats->batches = ps.morsels;
+    stats->steals = ps.steals;
+  }
 
   for (const ProbeOut& o : outs) {
     if (!o.status.ok()) return o.status;
@@ -548,28 +585,28 @@ Value FinalizeCell(const AggSpec& spec, const AggCell& cell,
 Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
                                const ExecContext& ctx,
                                OperatorStats* stats = nullptr) {
-  PYTOND_ASSIGN_OR_RETURN(
-      std::vector<Column> keys,
-      EvalKeyColumns(plan.group_exprs, *input, ctx.num_threads));
+  PYTOND_ASSIGN_OR_RETURN(std::vector<Column> keys,
+                          EvalKeyColumns(plan.group_exprs, *input, ctx));
   std::vector<Column> args(plan.aggs.size());
   std::vector<DataType> arg_types(plan.aggs.size(), DataType::kInt64);
   for (size_t a = 0; a < plan.aggs.size(); ++a) {
     if (plan.aggs[a].arg) {
-      PYTOND_ASSIGN_OR_RETURN(args[a], EvalParallel(*plan.aggs[a].arg, *input,
-                                                    ctx.num_threads));
+      PYTOND_ASSIGN_OR_RETURN(args[a],
+                              EvalParallel(*plan.aggs[a].arg, *input, ctx));
       arg_types[a] = args[a].type();
     }
   }
 
   size_t n = input->num_rows();
-  int t = ctx.num_threads;
-  size_t nt = (t <= 1 || n < 4096) ? 1 : static_cast<size_t>(t);
-  if (stats != nullptr) stats->batches = nt;
+  size_t nt = NumMorsels(n, ctx);
 
+  // Per-morsel partial states, merged below in chunk order — the merge
+  // order (and thus float rounding) is identical for every thread count.
   using LocalMap = std::unordered_map<std::string, GroupState>;
   std::vector<LocalMap> locals(nt);
-  ParallelFor(n, t, [&](int tid, size_t begin, size_t end) {
-    LocalMap& m = locals[tid];
+  sched::PoolRunStats ps =
+      ParallelFor(n, ctx, [&](size_t chunk, size_t begin, size_t end) {
+    LocalMap& m = locals[chunk];
     for (size_t i = begin; i < end; ++i) {
       std::string key = EncodeKey(keys, i);
       auto [it, inserted] = m.try_emplace(std::move(key));
@@ -580,8 +617,12 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
       AccumulateRow(plan, &it->second, args, i);
     }
   });
+  if (stats != nullptr) {
+    stats->batches = ps.morsels;
+    stats->steals = ps.steals;
+  }
 
-  // Merge thread-local maps.
+  // Merge per-morsel maps in chunk order.
   LocalMap& global = locals[0];
   for (size_t m = 1; m < locals.size(); ++m) {
     for (auto& [key, state] : locals[m]) {
@@ -810,6 +851,9 @@ Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
   span.AddCounter("rows_out", static_cast<int64_t>(stats.rows_out));
   if (stats.batches > 0) {
     span.AddCounter("batches", static_cast<int64_t>(stats.batches));
+  }
+  if (stats.steals > 0) {
+    span.AddCounter("steals", static_cast<int64_t>(stats.steals));
   }
   if (plan.kind == LogicalPlan::Kind::kJoin) {
     span.AddCounter("build_rows", static_cast<int64_t>(stats.build_rows));

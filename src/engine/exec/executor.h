@@ -6,10 +6,20 @@
 #include <memory>
 
 #include "engine/plan/logical.h"
+#include "engine/sched/worker_pool.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace pytond::engine {
+
+/// Inputs below this row count always execute inline — the per-task
+/// scheduling cost outweighs any parallel win (ExecContext::
+/// min_parallel_rows overrides per query).
+inline constexpr size_t kMinParallelRows = 4096;
+
+/// Upper bound on rows per morsel. Small parallel-eligible inputs shrink
+/// morsels further so every executor still gets work (see MorselRows).
+inline constexpr size_t kDefaultMorselRows = 16384;
 
 /// Per-operator execution actuals, recorded when ExecContext::op_stats is
 /// attached (EXPLAIN ANALYZE) — time is *self* time, children excluded.
@@ -17,7 +27,8 @@ struct OperatorStats {
   uint64_t time_ns = 0;
   uint64_t rows_in = 0;        // sum over all inputs
   uint64_t rows_out = 0;
-  uint64_t batches = 0;        // parallel chunks the operator split into
+  uint64_t batches = 0;        // morsels the operator actually split into
+  uint64_t steals = 0;         // pool loop tasks stolen across deques
   uint64_t build_rows = 0;     // join: hash-build input rows
   uint64_t build_buckets = 0;  // join: distinct hash-build keys
 };
@@ -26,16 +37,35 @@ struct OperatorStats {
 using PlanStatsMap = std::map<const LogicalPlan*, OperatorStats>;
 
 /// Execution context: base catalog, materialized CTE temporaries, the
-/// intra-operator parallelism degree, and optional instrumentation (both
-/// null by default — the uninstrumented path costs one null check per
-/// operator).
+/// intra-operator parallelism degree plus morsel sizing, the shared worker
+/// pool, and optional instrumentation (trace/op_stats null by default —
+/// the uninstrumented path costs one null check per operator).
 struct ExecContext {
   const Catalog* catalog = nullptr;
   const std::map<std::string, std::shared_ptr<const Table>>* temps = nullptr;
   int num_threads = 1;
+  /// Inputs shorter than this run inline (no parallel split).
+  size_t min_parallel_rows = kMinParallelRows;
+  /// Morsel-size cap; the effective size also adapts down for small inputs
+  /// (MorselRows) so chunk boundaries stay a function of n alone.
+  size_t morsel_rows = kDefaultMorselRows;
+  /// Shared scheduler (one per Database). Null + num_threads > 1 falls
+  /// back to transient threads (standalone executor use).
+  sched::WorkerPool* pool = nullptr;
   obs::TraceCollector* trace = nullptr;
   PlanStatsMap* op_stats = nullptr;
 };
+
+/// Effective rows per morsel for an input of n rows: ctx.morsel_rows
+/// capped so parallel-eligible inputs split into several chunks. Depends
+/// only on n and ctx sizing knobs — never on num_threads — which is what
+/// makes per-chunk results recombined in chunk order identical across
+/// thread counts.
+size_t MorselRows(size_t n, const ExecContext& ctx);
+
+/// Number of chunks ParallelFor will split n rows into (1 = inline).
+/// Callers size per-chunk accumulation state with this.
+size_t NumMorsels(size_t n, const ExecContext& ctx);
 
 /// Stable display name for a plan operator ("Scan", "HashJoin", ...).
 const char* PlanOpName(LogicalPlan::Kind kind);
@@ -44,13 +74,18 @@ using TablePtr = std::shared_ptr<const Table>;
 
 /// Interprets the plan tree bottom-up, materializing each operator's
 /// output. Filters, joins (probe side) and aggregations (partial states)
-/// parallelize over row ranges when ctx.num_threads > 1.
+/// parallelize over morsels when ctx.num_threads > 1, scheduled on
+/// ctx.pool when one is attached.
 Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx);
 
-/// Runs fn(thread_id, begin, end) over `threads` contiguous ranges of
-/// [0, n). With one thread (or tiny n) runs inline.
-void ParallelFor(size_t n, int threads,
-                 const std::function<void(int, size_t, size_t)>& fn);
+/// Morsel-driven parallel loop: runs fn(chunk, begin, end) over the
+/// NumMorsels(n, ctx) fixed contiguous chunks of [0, n), inline when that
+/// is 1. Chunk boundaries depend only on n and ctx sizing (not on thread
+/// count or scheduling), so combining per-chunk results by chunk index is
+/// deterministic. Returns scheduler stats (morsels == NumMorsels).
+sched::PoolRunStats ParallelFor(
+    size_t n, const ExecContext& ctx,
+    const std::function<void(size_t, size_t, size_t)>& fn);
 
 }  // namespace pytond::engine
 

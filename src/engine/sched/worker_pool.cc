@@ -1,0 +1,146 @@
+#include "engine/sched/worker_pool.h"
+
+#include <algorithm>
+
+namespace pytond::engine::sched {
+
+/// One ParallelFor invocation. Lives in a shared_ptr held by the caller and
+/// by every queued loop task, so a task that drains after the caller
+/// returned (all morsels already claimed) still touches valid memory — it
+/// reads the exhausted cursor and exits without dereferencing `fn`.
+struct WorkerPool::Job {
+  const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+  size_t n = 0;
+  size_t morsel_rows = 0;
+  size_t num_chunks = 0;
+  std::atomic<size_t> next{0};  // morsel claim cursor
+  std::atomic<size_t> done{0};  // morsels fully executed
+  std::atomic<uint64_t> steals{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+WorkerPool::WorkerPool(int workers) { EnsureWorkers(workers); }
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkerPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::EnsureWorkers(int workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < workers) {
+    deques_.emplace_back();
+    size_t self = threads_.size();
+    threads_.emplace_back([this, self] { WorkerMain(self); });
+  }
+}
+
+void WorkerPool::RunLoop(Job& job) {
+  for (;;) {
+    size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) return;
+    size_t begin = c * job.morsel_rows;
+    size_t end = std::min(job.n, begin + job.morsel_rows);
+    (*job.fn)(c, begin, end);
+    // acq_rel: publishes fn's writes to the caller's acquire load in
+    // ParallelFor, with or without the condition-variable handoff.
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::WorkerMain(size_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    if (stop_) return;  // queued tasks are dropped; callers self-complete
+    Task task;
+    bool found = false, stolen = false;
+    if (!deques_[self].empty()) {
+      task = std::move(deques_[self].front());
+      deques_[self].pop_front();
+      found = true;
+    } else {
+      for (size_t i = 1; i < deques_.size(); ++i) {
+        std::deque<Task>& d = deques_[(self + i) % deques_.size()];
+        if (!d.empty()) {
+          task = std::move(d.back());
+          d.pop_back();
+          found = stolen = true;
+          break;
+        }
+      }
+    }
+    if (!found) continue;  // lost the race for the task that woke us
+    --pending_;
+    lock.unlock();
+    if (stolen) task.job->steals.fetch_add(1, std::memory_order_relaxed);
+    RunLoop(*task.job);
+    task.job.reset();
+    lock.lock();
+  }
+}
+
+PoolRunStats WorkerPool::ParallelFor(
+    size_t n, size_t morsel_rows, int parallelism,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  PoolRunStats stats;
+  if (n == 0) return stats;
+  if (morsel_rows == 0) morsel_rows = n;
+  size_t chunks = (n + morsel_rows - 1) / morsel_rows;
+  stats.morsels = chunks;
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->morsel_rows = morsel_rows;
+  job->num_chunks = chunks;
+
+  size_t helpers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t cap = std::min(deques_.size(), chunks);
+    helpers = std::min(
+        cap, static_cast<size_t>(std::max(parallelism - 1, 0)));
+    stats.queued = pending_;
+    for (size_t i = 0; i < helpers; ++i) {
+      deques_[next_deque_++ % deques_.size()].push_back(Task{job});
+    }
+    pending_ += helpers;
+    uint64_t depth = pending_;
+    uint64_t peak = peak_queue_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_queue_.compare_exchange_weak(peak, depth)) {
+    }
+  }
+  if (helpers > 0) work_cv_.notify_all();
+
+  RunLoop(*job);  // the submitting thread always participates
+
+  if (job->done.load(std::memory_order_acquire) < chunks) {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) >= chunks;
+    });
+  }
+  stats.steals = job->steals.load(std::memory_order_relaxed);
+  total_morsels_.fetch_add(stats.morsels, std::memory_order_relaxed);
+  total_steals_.fetch_add(stats.steals, std::memory_order_relaxed);
+  total_runs_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pytond::engine::sched

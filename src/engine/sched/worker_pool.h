@@ -1,0 +1,96 @@
+#ifndef PYTOND_ENGINE_SCHED_WORKER_POOL_H_
+#define PYTOND_ENGINE_SCHED_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pytond::engine::sched {
+
+/// Scheduler counters for one ParallelFor run (also accumulated pool-wide).
+struct PoolRunStats {
+  uint64_t morsels = 0;  // chunks executed (operator "batches")
+  uint64_t steals = 0;   // loop tasks taken from another worker's deque
+  uint64_t queued = 0;   // tasks already pending pool-wide at submit time
+};
+
+/// Persistent shared worker pool with per-worker work-stealing deques and
+/// morsel-driven loop execution.
+///
+/// One pool lives per Database (created on first parallel query, grown to
+/// the largest degree requested, joined on Database destruction), and every
+/// parallel operator of every concurrent query submits to it instead of
+/// spawning threads. A ParallelFor run enqueues one *loop task* per helper
+/// worker; each executor (helpers + the calling thread, which always
+/// participates) then claims fixed-size morsels of the iteration space from
+/// a shared atomic cursor until it is drained. Loop tasks are dealt
+/// round-robin across the per-worker deques; a worker whose own deque is
+/// empty steals from the back of another's, which is what keeps several
+/// concurrent queries' tasks flowing when their submitters landed on busy
+/// workers.
+///
+/// Shutdown is graceful and deadlock-free by construction: the calling
+/// thread can always finish a run alone, so tasks still queued when the
+/// pool stops are simply dropped (their job's morsels have been or will be
+/// claimed by the caller), and in-flight tasks are joined.
+class WorkerPool {
+ public:
+  /// Spawns `workers` threads (>= 0). Typically num_threads - 1, since the
+  /// submitting thread executes morsels too.
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const;
+  /// Grows the pool to at least `workers` threads; never shrinks.
+  void EnsureWorkers(int workers);
+
+  /// Runs fn(chunk, begin, end) over the ceil(n / morsel_rows) contiguous
+  /// morsels of [0, n), using at most `parallelism` executors (this thread
+  /// plus up to parallelism-1 pool workers). Blocks until every morsel has
+  /// executed. Chunk indices are dense in [0, ceil(n / morsel_rows)) and
+  /// chunk boundaries depend only on n and morsel_rows — never on worker
+  /// count or scheduling — so callers can combine per-chunk results in
+  /// chunk order deterministically. Safe to call from many threads at once.
+  PoolRunStats ParallelFor(size_t n, size_t morsel_rows, int parallelism,
+                           const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Cumulative counters across all runs (observability).
+  uint64_t total_morsels() const { return total_morsels_.load(); }
+  uint64_t total_steals() const { return total_steals_.load(); }
+  uint64_t total_runs() const { return total_runs_.load(); }
+  uint64_t peak_queue_depth() const { return peak_queue_.load(); }
+
+ private:
+  struct Job;
+  struct Task {
+    std::shared_ptr<Job> job;
+  };
+
+  void WorkerMain(size_t self);
+  static void RunLoop(Job& job);
+
+  mutable std::mutex mu_;  // guards deques_, pending_, stop_, growth
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  size_t pending_ = 0;     // tasks sitting in deques, not yet claimed
+  size_t next_deque_ = 0;  // round-robin dealing cursor
+  std::vector<std::deque<Task>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<uint64_t> total_morsels_{0};
+  std::atomic<uint64_t> total_steals_{0};
+  std::atomic<uint64_t> total_runs_{0};
+  std::atomic<uint64_t> peak_queue_{0};
+};
+
+}  // namespace pytond::engine::sched
+
+#endif  // PYTOND_ENGINE_SCHED_WORKER_POOL_H_

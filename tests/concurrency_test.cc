@@ -1,0 +1,270 @@
+// Concurrency stress: many session threads racing mixed queries on one
+// Database over the shared worker pool and plan cache. Asserts per-query
+// results stay correct, plan-cache accounting adds up, the pool is shared
+// (not per query), and per-query trace collectors never cross-contaminate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  static Session* session_;
+
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    ASSERT_TRUE(workloads::tpch::Populate(&session_->db(), 0.01).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateCrimeIndex(&session_->db(), 6000).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateHybrid(&session_->db(), 6000).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+};
+
+Session* ConcurrencyTest::session_ = nullptr;
+
+/// 8 session threads × 6 queries each, every query itself parallel
+/// (threads=2) on the shared pool, mixed plan-cache hits and misses.
+/// Every result must equal its serially computed reference.
+TEST_F(ConcurrencyTest, RacingQueriesMatchReferences) {
+  const std::vector<std::string> sources = {
+      workloads::tpch::GetQuery(1).source,
+      workloads::tpch::GetQuery(6).source,
+      workloads::tpch::GetQuery(14).source,
+      workloads::tpch::GetQuery(19).source,
+      workloads::datasci::CrimeIndexSource(),
+      workloads::datasci::HybridMatMulSource(false),
+  };
+  RunOptions opts;
+  opts.num_threads = 2;
+
+  std::vector<std::shared_ptr<const Table>> refs(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto r = session_->Run(sources[i], opts);
+    ASSERT_TRUE(r.ok()) << "reference " << i << ": "
+                        << r.status().ToString();
+    refs[i] = *r;
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t q = 0; q < sources.size(); ++q) {
+        // Rotate the starting query per thread so different queries race.
+        const size_t i = (q + static_cast<size_t>(t)) % sources.size();
+        auto r = session_->Run(sources[i], opts);
+        if (!r.ok()) {
+          errors[t] = "query " + std::to_string(i) + ": " +
+                      r.status().ToString();
+          return;
+        }
+        std::string diff;
+        // Same thread count, same morsel chunking: exact agreement.
+        if (!Table::UnorderedEquals(**r, *refs[i], 0.0, &diff)) {
+          errors[t] = "query " + std::to_string(i) + " diverged: " + diff;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+  }
+}
+
+/// Concurrent same-source runs: hits + misses must equal total runs, the
+/// cache must converge to one entry per distinct (source, options), and
+/// duplicate compiles (two threads missing at once) are bounded by the
+/// thread count.
+TEST_F(ConcurrencyTest, PlanCacheAccountingUnderRaces) {
+  Session session;  // fresh cache so the arithmetic below is exact
+  ASSERT_TRUE(workloads::datasci::PopulateCrimeIndex(&session.db(), 6000)
+                  .ok());
+  const std::string shared_source = workloads::datasci::CrimeIndexSource();
+
+  constexpr int kThreads = 16;
+  constexpr int kRunsPerThread = 4;
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        RunOptions o;
+        o.num_threads = 1 + (t % 2);
+        auto res = session.Run(shared_source, o);
+        if (!res.ok()) {
+          errors[t] = res.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+  }
+
+  PlanCacheStats stats = session.plan_cache_stats();
+  const uint64_t total = kThreads * kRunsPerThread;
+  EXPECT_EQ(stats.hits + stats.misses, total);
+  // num_threads is execution-only: one cache entry serves both degrees.
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_GE(stats.hits, total - kThreads);
+}
+
+/// One pool per Database: concurrent parallel queries share it, it is
+/// sized by the largest degree requested, and it keeps its workers across
+/// queries (no per-call spawning).
+TEST_F(ConcurrencyTest, PoolIsSharedAcrossConcurrentQueries) {
+  RunOptions opts;
+  opts.num_threads = 4;
+  auto warm = session_->Run(workloads::tpch::GetQuery(6).source, opts);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  const auto* pool = session_->db().pool_if_created();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->num_workers(), 3);
+  uint64_t runs_before = pool->total_runs();
+  uint64_t morsels_before = pool->total_morsels();
+  int workers_before = pool->num_workers();
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      auto r = session_->Run(workloads::tpch::GetQuery(6).source, opts);
+      if (!r.ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(pool->num_workers(), workers_before)
+      << "concurrent queries must reuse the pool, not grow it";
+  EXPECT_GT(pool->total_runs(), runs_before);
+  EXPECT_GT(pool->total_morsels(), morsels_before);
+}
+
+/// Per-query TraceCollectors on racing queries: each trace must contain
+/// exactly its own query's spans — the scan labels of its tables, one
+/// "query" span — and nothing from the query racing next to it.
+TEST_F(ConcurrencyTest, TracesDoNotCrossContaminate) {
+  struct Case {
+    std::string source;
+    const char* must_scan;     // table this query scans
+    const char* must_not_scan; // table only the *other* query scans
+  };
+  const std::vector<Case> cases = {
+      {workloads::tpch::GetQuery(6).source, "Scan:lineitem",
+       "Scan:crime_data"},
+      {workloads::datasci::CrimeIndexSource(), "Scan:crime_data",
+       "Scan:lineitem"},
+  };
+
+  constexpr int kIterations = 4;
+  constexpr int kThreadsPerCase = 3;
+  struct Outcome {
+    std::string error;
+  };
+  std::vector<Outcome> outcomes(cases.size() * kThreadsPerCase);
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (int t = 0; t < kThreadsPerCase; ++t) {
+      workers.emplace_back([&, c, t] {
+        Outcome& out = outcomes[c * kThreadsPerCase + t];
+        for (int i = 0; i < kIterations; ++i) {
+          obs::TraceCollector trace;
+          RunOptions o;
+          o.num_threads = 2;
+          o.trace = &trace;
+          auto r = session_->Run(cases[c].source, o);
+          if (!r.ok()) {
+            out.error = r.status().ToString();
+            return;
+          }
+          const obs::SpanNode& root = trace.root();
+          size_t query_spans = 0;
+          for (const auto& child : root.children) {
+            if (child->name == "query") ++query_spans;
+          }
+          if (query_spans != 1) {
+            out.error = "expected exactly 1 query span, saw " +
+                        std::to_string(query_spans);
+            return;
+          }
+          if (root.FindDescendant(cases[c].must_scan) == nullptr) {
+            out.error = std::string("missing own span ") +
+                        cases[c].must_scan;
+            return;
+          }
+          if (root.FindDescendant(cases[c].must_not_scan) != nullptr) {
+            out.error = std::string("foreign span leaked in: ") +
+                        cases[c].must_not_scan;
+            return;
+          }
+        }
+      });
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].error.empty())
+        << "worker " << i << ": " << outcomes[i].error;
+  }
+}
+
+/// EXPLAIN ANALYZE op_stats are per query too: racing analyzes must each
+/// see their own operator actuals (every executed operator annotated,
+/// plausible row counts).
+TEST_F(ConcurrencyTest, ExplainAnalyzeIsolatedUnderRaces) {
+  RunOptions copts;
+  auto q6 = session_->Compile(workloads::tpch::GetQuery(6).source, copts);
+  ASSERT_TRUE(q6.ok());
+  auto q1 = session_->Compile(workloads::tpch::GetQuery(1).source, copts);
+  ASSERT_TRUE(q1.ok());
+  const std::vector<std::string> sqls = {q6->sql, q1->sql};
+
+  std::vector<std::string> errors(4);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      engine::QueryOptions qopts;
+      qopts.num_threads = 2;
+      qopts.explain = engine::ExplainMode::kAnalyze;
+      auto text = session_->db().ExplainQuery(sqls[t % sqls.size()], qopts);
+      if (!text.ok()) {
+        errors[t] = text.status().ToString();
+        return;
+      }
+      if (text->find("rows=") == std::string::npos ||
+          text->find("time=") == std::string::npos) {
+        errors[t] = "missing actuals in:\n" + *text;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (size_t t = 0; t < errors.size(); ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "analyze " << t << ": " << errors[t];
+  }
+}
+
+}  // namespace
+}  // namespace pytond

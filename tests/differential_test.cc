@@ -1,0 +1,146 @@
+// Differential oracle for the morsel-driven scheduler: every TPC-H query
+// and data-science workload must produce the same result through the
+// compiled SQL path at threads ∈ {1, 2, 4} as through the eager runtime —
+// and the parallel runs must agree with each other exactly, because morsel
+// boundaries depend only on the input size, never on the thread count.
+// Thread-count determinism is a checked invariant, not an accident.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/session.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static Session* session_;
+
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    // Sizes chosen to clear ExecContext::min_parallel_rows so the
+    // parallel operators actually split (see PoolEngaged below).
+    ASSERT_TRUE(workloads::tpch::Populate(&session_->db(), 0.01).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateCrimeIndex(&session_->db(), 6000).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateBirthAnalysis(&session_->db(), 6000)
+            .ok());
+    ASSERT_TRUE(workloads::datasci::PopulateN3(&session_->db(), 6000).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateN9(&session_->db(), 6000).ok());
+    ASSERT_TRUE(
+        workloads::datasci::PopulateHybrid(&session_->db(), 6000).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+
+  /// Eager runtime is the oracle; the compiled path must match it at every
+  /// thread count, and the parallel thread counts must match each other
+  /// bit-for-bit (same morsel decomposition, same merge order).
+  static void CheckDifferential(const std::string& source,
+                                const std::string& name) {
+    auto baseline = session_->RunBaseline(source);
+    ASSERT_TRUE(baseline.ok()) << name << ": "
+                               << baseline.status().ToString();
+    std::map<int, std::shared_ptr<const Table>> results;
+    for (int threads : kThreadCounts) {
+      RunOptions o;
+      o.num_threads = threads;
+      auto r = session_->Run(source, o);
+      ASSERT_TRUE(r.ok()) << name << " threads=" << threads << ": "
+                          << r.status().ToString();
+      std::string diff;
+      EXPECT_TRUE(Table::UnorderedEquals(**r, *baseline, 1e-6, &diff))
+          << name << " threads=" << threads << " vs eager: " << diff;
+      results[threads] = *r;
+    }
+    std::string diff;
+    // Parallel runs share one chunking: exact equality, zero tolerance.
+    EXPECT_TRUE(Table::UnorderedEquals(*results[2], *results[4], 0.0, &diff))
+        << name << " threads=2 vs threads=4 not identical: " << diff;
+    // Inline (1 chunk) vs morsel-merged float reassociation only.
+    EXPECT_TRUE(Table::UnorderedEquals(*results[1], *results[2], 1e-9,
+                                       &diff))
+        << name << " threads=1 vs threads=2: " << diff;
+  }
+};
+
+Session* DifferentialTest::session_ = nullptr;
+
+class TpchDifferentialTest : public DifferentialTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchDifferentialTest, CompiledAgreesWithEagerAtAllThreadCounts) {
+  const auto& q = workloads::tpch::GetQuery(GetParam());
+  CheckDifferential(q.source, q.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchDifferentialTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST_F(DifferentialTest, CrimeIndex) {
+  CheckDifferential(workloads::datasci::CrimeIndexSource(), "CrimeIndex");
+}
+
+TEST_F(DifferentialTest, BirthAnalysis) {
+  CheckDifferential(workloads::datasci::BirthAnalysisSource(),
+                    "BirthAnalysis");
+}
+
+TEST_F(DifferentialTest, N3) {
+  CheckDifferential(workloads::datasci::N3Source(), "N3");
+}
+
+TEST_F(DifferentialTest, N9) {
+  CheckDifferential(workloads::datasci::N9Source(), "N9");
+}
+
+TEST_F(DifferentialTest, HybridMatMul) {
+  CheckDifferential(workloads::datasci::HybridMatMulSource(false),
+                    "HybridMatMul");
+}
+
+TEST_F(DifferentialTest, HybridMatMulFiltered) {
+  CheckDifferential(workloads::datasci::HybridMatMulSource(true),
+                    "HybridMatMulFiltered");
+}
+
+TEST_F(DifferentialTest, HybridCovar) {
+  CheckDifferential(workloads::datasci::HybridCovarSource(false),
+                    "HybridCovar");
+}
+
+TEST_F(DifferentialTest, HybridCovarFiltered) {
+  CheckDifferential(workloads::datasci::HybridCovarSource(true),
+                    "HybridCovarFiltered");
+}
+
+/// Guards the whole suite against vacuity: the parallel runs above must
+/// actually have executed morsels on the shared pool — otherwise every
+/// "agreement" assertion silently degenerated to inline execution.
+TEST_F(DifferentialTest, PoolEngaged) {
+  RunOptions o;
+  o.num_threads = 4;
+  auto r = session_->Run(workloads::tpch::GetQuery(1).source, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto* pool = session_->db().pool_if_created();
+  ASSERT_NE(pool, nullptr) << "no parallel query ever reached the pool";
+  EXPECT_EQ(pool->num_workers(), 3);  // num_threads - 1, caller helps
+  EXPECT_GT(pool->total_morsels(), 0u);
+  EXPECT_GT(pool->total_runs(), 0u);
+}
+
+}  // namespace
+}  // namespace pytond

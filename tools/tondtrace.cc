@@ -16,6 +16,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,7 @@ struct TraceConfig {
   std::string profile = "duck";
   int olevel = 4;
   int threads = 1;
+  int jobs = 1;                // concurrent query streams
   int tpch_query = 0;          // 0 = none
   double tpch_sf = 0;          // 0 = don't populate
   int64_t datasci_rows = 0;    // 0 = don't populate
@@ -70,6 +72,9 @@ int Usage() {
       "  --profile=P       duck | hyper | lingo (default duck)\n"
       "  --olevel=N        TondIR optimization preset 0..4 (default 4)\n"
       "  --threads=N       execution threads (default 1)\n"
+      "  --jobs=N          run the query on N concurrent sessions threads\n"
+      "                    racing on one database (shared worker pool +\n"
+      "                    plan cache); per-job timings go to stderr\n"
       "  --format=F        tree | json | chrome | profile (default tree)\n"
       "  --check           validate emitted JSON; exit 3 on malformed\n"
       "  --out=FILE        write the trace to FILE instead of stdout\n";
@@ -108,6 +113,8 @@ bool ParseArgs(int argc, char** argv, TraceConfig* cfg) {
       cfg->olevel = std::atoi(value_of("--olevel=").c_str());
     } else if (arg.rfind("--threads=", 0) == 0) {
       cfg->threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      cfg->jobs = std::atoi(value_of("--jobs=").c_str());
     } else if (arg.rfind("--format=", 0) == 0) {
       std::string f = value_of("--format=");
       if (f == "tree") cfg->format = Format::kTree;
@@ -299,7 +306,52 @@ int main(int argc, char** argv) {
               << compiled.status().ToString() << "\n";
     return 1;
   }
-  if (!cfg.compile_only) {
+  if (!cfg.compile_only && cfg.jobs > 1) {
+    // Concurrent-query mode: N threads race the same query through the
+    // shared worker pool and plan cache; each job is an independent query
+    // (own options, no shared collector).
+    namespace obs = pytond::obs;
+    obs::Span jobs_span(&collector, "concurrent_jobs", "engine");
+    std::vector<std::thread> workers;
+    std::vector<double> job_ms(cfg.jobs, 0);
+    std::vector<size_t> job_rows(cfg.jobs, 0);
+    std::vector<std::string> job_errors(cfg.jobs);
+    for (int j = 0; j < cfg.jobs; ++j) {
+      workers.emplace_back([&, j] {
+        uint64_t t0 = obs::NowNs();
+        pytond::RunOptions jopts = MakeRunOptions(cfg, nullptr);
+        auto r = session.Run(source, jopts);
+        job_ms[j] = static_cast<double>(obs::NowNs() - t0) / 1e6;
+        if (r.ok()) {
+          job_rows[j] = (*r)->num_rows();
+        } else {
+          job_errors[j] = r.status().ToString();
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    jobs_span.AddCounter("jobs", cfg.jobs);
+    auto cache = session.plan_cache_stats();
+    jobs_span.AddCounter("plan_cache_hits",
+                         static_cast<int64_t>(cache.hits));
+    jobs_span.AddCounter("plan_cache_misses",
+                         static_cast<int64_t>(cache.misses));
+    if (const auto* pool = session.db().pool_if_created()) {
+      jobs_span.AddCounter("pool_morsels",
+                           static_cast<int64_t>(pool->total_morsels()));
+      jobs_span.AddCounter("pool_steals",
+                           static_cast<int64_t>(pool->total_steals()));
+    }
+    for (int j = 0; j < cfg.jobs; ++j) {
+      if (!job_errors[j].empty()) {
+        std::cerr << "tondtrace: job " << j << " failed: " << job_errors[j]
+                  << "\n";
+        return 1;
+      }
+      std::cerr << "tondtrace: job " << j << ": " << job_rows[j]
+                << " rows in " << job_ms[j] << " ms\n";
+    }
+  } else if (!cfg.compile_only) {
     auto result = session.Execute(*compiled, opts);
     if (!result.ok()) {
       std::cerr << "tondtrace: execution failed: "

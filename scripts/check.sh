@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full local gate: Release and ASan/UBSan builds, the test suite under
 # both (obs_test runs under ASan here too), a ThreadSanitizer pass over
-# the threaded suites (worker pool, differential, concurrency), tondlint
-# over the example TondIR programs, and tondtrace smoke runs whose JSON
-# output is gated by the built-in minimal validator (--check exits 3 on
-# malformed JSON).
+# the threaded suites (worker pool, differential, concurrency), a
+# standalone-UBSan pass over the analysis/optimizer suites (the dataflow
+# lattice code does interval arithmetic near integer limits), clang-tidy
+# (skipped with a notice when the tool is absent), tondlint over the
+# example TondIR programs with per-file .expect sidecars pinning the
+# diagnostic codes, and tondtrace smoke runs whose JSON output is gated
+# by the built-in minimal validator (--check exits 3 on malformed JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,65 @@ for t in engine_test differential_test concurrency_test; do
       --gtest_brief=1
 done
 
-./build/tools/tondlint examples/tondir/*.tir
-./build/tools/tondlint --json examples/tondir/*.tir > /dev/null
+# Standalone-UBSan pass: the dataflow engine's interval lattice does
+# saturating arithmetic near int64 limits and the optimizer folds
+# constants; run both suites with every UB report promoted to a failure.
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$jobs" --target analysis_test optimizer_test
+for t in analysis_test optimizer_test; do
+  "./build-ubsan/tests/$t" --gtest_brief=1
+done
+
+./scripts/tidy.sh
+
+# tondlint over every example program, checked against its .expect
+# sidecar: "OK" means no diagnostics, otherwise one T-code per line
+# (sorted). Error-severity codes must also fail the lint exit code.
+for tir in examples/tondir/*.tir; do
+  expect="$tir.expect"
+  if [ ! -f "$expect" ]; then
+    echo "check.sh: missing sidecar $expect" >&2
+    exit 1
+  fi
+  status=0
+  out=$(./build/tools/tondlint --json "$tir") || status=$?
+  got=$(printf '%s' "$out" |
+      jq -r '.files[].diagnostics[].code' | sort -u)
+  [ -n "$got" ] || got="OK"
+  if ! diff -u <(sort -u "$expect") <(printf '%s\n' "$got"); then
+    echo "check.sh: tondlint codes for $tir do not match $expect" >&2
+    exit 1
+  fi
+  has_error=$(printf '%s' "$out" |
+      jq '[.files[].diagnostics[] | select(.severity == "error")] | length')
+  if [ "$has_error" -gt 0 ] && [ "$status" -eq 0 ]; then
+    echo "check.sh: $tir has errors but tondlint exited 0" >&2
+    exit 1
+  fi
+  if [ "$has_error" -eq 0 ] && [ "$status" -ne 0 ]; then
+    echo "check.sh: tondlint failed on $tir (exit $status)" >&2
+    exit 1
+  fi
+done
+
+# Golden JSON checks: one error program and one warning program must keep
+# their exact machine-readable shape (code, severity, non-empty inference
+# chain in `notes`) so downstream tooling can rely on it.
+(./build/tools/tondlint --json examples/tondir/bad_type_mismatch.tir ||
+  true) |
+  jq -e '.files[0].diagnostics[0] |
+         .code == "T020" and .severity == "error" and
+         (.notes | length > 0)' > /dev/null ||
+  { echo "check.sh: golden JSON check failed for bad_type_mismatch" >&2
+    exit 1; }
+./build/tools/tondlint --json examples/tondir/warn_redundant.tir |
+  jq -e '.exit_code == 0 and
+         ([.files[0].diagnostics[] | select(.notes | length == 0)]
+          | length == 0) and
+         ([.files[0].diagnostics[].code] | sort
+          == ["T021", "T024", "T025", "T032"])' > /dev/null ||
+  { echo "check.sh: golden JSON check failed for warn_redundant" >&2
+    exit 1; }
 
 # tondtrace smoke: every emitted JSON document must pass --check.
 for bindir in build build-asan; do

@@ -1,0 +1,1319 @@
+#include "analysis/dataflow/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/date_util.h"
+#include "obs/trace.h"
+
+namespace pytond::analysis::dataflow {
+
+using tondir::AggFn;
+using tondir::Atom;
+using tondir::BinOp;
+using tondir::Body;
+using tondir::CmpOp;
+using tondir::Program;
+using tondir::Rule;
+using tondir::Term;
+
+// ---------------------------------------------------------------------------
+// Interval
+
+bool Interval::Empty() const {
+  if (!lo.has_value() || !hi.has_value()) return false;
+  if (*lo > *hi) return true;
+  return *lo == *hi && (lo_open || hi_open);
+}
+
+void Interval::TightenLo(double v, bool open) {
+  if (!lo.has_value() || v > *lo || (v == *lo && open)) {
+    lo = v;
+    lo_open = open;
+  }
+}
+
+void Interval::TightenHi(double v, bool open) {
+  if (!hi.has_value() || v < *hi || (v == *hi && open)) {
+    hi = v;
+    hi_open = open;
+  }
+}
+
+bool Interval::Implies(CmpOp op, double v) const {
+  switch (op) {
+    case CmpOp::kLt:
+      return hi.has_value() && (*hi < v || (*hi == v && hi_open));
+    case CmpOp::kLe:
+      return hi.has_value() && *hi <= v;
+    case CmpOp::kGt:
+      return lo.has_value() && (*lo > v || (*lo == v && lo_open));
+    case CmpOp::kGe:
+      return lo.has_value() && *lo >= v;
+    case CmpOp::kEq:
+      return lo.has_value() && hi.has_value() && *lo == v && *hi == v &&
+             !lo_open && !hi_open;
+    case CmpOp::kNe:
+      return Contradicts(CmpOp::kEq, v) &&
+             (lo.has_value() || hi.has_value()) &&
+             ((lo.has_value() && (*lo > v || (*lo == v && lo_open))) ||
+              (hi.has_value() && (*hi < v || (*hi == v && hi_open))));
+  }
+  return false;
+}
+
+bool Interval::Contradicts(CmpOp op, double v) const {
+  switch (op) {
+    case CmpOp::kLt:  // no value < v  <=>  every value >= v
+      return Implies(CmpOp::kGe, v);
+    case CmpOp::kLe:
+      return Implies(CmpOp::kGt, v);
+    case CmpOp::kGt:
+      return Implies(CmpOp::kLe, v);
+    case CmpOp::kGe:
+      return Implies(CmpOp::kLt, v);
+    case CmpOp::kEq:  // v outside the interval
+      return (lo.has_value() && (*lo > v || (*lo == v && lo_open))) ||
+             (hi.has_value() && (*hi < v || (*hi == v && hi_open)));
+    case CmpOp::kNe:
+      return Implies(CmpOp::kEq, v);
+  }
+  return false;
+}
+
+std::string Interval::ToString() const {
+  auto num = [](double d) {
+    std::ostringstream os;
+    os << d;
+    return os.str();
+  };
+  std::string s = lo.has_value() ? (lo_open ? "(" : "[") + num(*lo) : "(-inf";
+  s += ", ";
+  s += hi.has_value() ? num(*hi) + (hi_open ? ")" : "]") : "+inf)";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ColumnFacts / RelationFacts / ProgramFacts
+
+namespace {
+
+/// Widens a value to the double comparison domain; strings only when
+/// `as_date` and the text parses as a date.
+std::optional<double> WidenValue(const Value& v, bool as_date) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return static_cast<double>(v.AsInt64());
+    case DataType::kFloat64:
+      return v.AsFloat64();
+    case DataType::kBool:
+      return v.AsBool() ? 1.0 : 0.0;
+    case DataType::kDate:
+      return static_cast<double>(v.AsDate());
+    case DataType::kString:
+      if (as_date) {
+        auto d = date_util::Parse(v.AsString());
+        if (d.ok()) return static_cast<double>(*d);
+      }
+      return std::nullopt;
+    case DataType::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> ColumnFacts::ConstantAsDouble() const {
+  if (!constant.has_value()) return std::nullopt;
+  return WidenValue(*constant, type == DataType::kDate);
+}
+
+bool RelationFacts::IsUniqueColumn(size_t pos) const {
+  std::set<size_t> s{pos};
+  return KeyWithin(s) != nullptr;
+}
+
+const KeyFact* RelationFacts::KeyWithin(const std::set<size_t>& cols) const {
+  for (const KeyFact& k : keys) {
+    if (std::includes(cols.begin(), cols.end(), k.cols.begin(),
+                      k.cols.end())) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+const RelationFacts* ProgramFacts::Find(const std::string& rel) const {
+  auto it = relations.find(rel);
+  return it == relations.end() ? nullptr : &it->second;
+}
+
+std::string ProgramFacts::Dump() const {
+  std::ostringstream os;
+  for (const auto& [rel, rf] : relations) {
+    os << rel << " (" << (rf.derived ? "derived" : "base") << ")";
+    if (rf.provably_empty) os << " [provably empty: " << rf.empty_why << "]";
+    os << "\n";
+    for (size_t i = 0; i < rf.columns.size(); ++i) {
+      const ColumnFacts& c = rf.columns[i];
+      os << "  col " << i << ": "
+         << (c.type.has_value() ? DataTypeName(*c.type) : "?");
+      if (c.nullable) os << " nullable";
+      if (c.constant.has_value()) os << " const=" << c.constant->ToString();
+      if (!c.range.Unbounded()) os << " range=" << c.range.ToString();
+      os << "\n";
+    }
+    for (const KeyFact& k : rf.keys) {
+      os << "  key {";
+      bool first = true;
+      for (size_t p : k.cols) {
+        if (!first) os << ", ";
+        os << p;
+        first = false;
+      }
+      os << "}  -- " << k.why << "\n";
+    }
+  }
+  return os.str();
+}
+
+size_t ProgramFacts::CountFacts() const {
+  size_t n = 0;
+  for (const auto& [rel, rf] : relations) {
+    for (const ColumnFacts& c : rf.columns) {
+      if (c.type.has_value()) ++n;
+      if (c.nullable) ++n;
+      if (c.constant.has_value()) ++n;
+      if (!c.range.Unbounded()) ++n;
+    }
+    n += rf.keys.size();
+    if (rf.provably_empty) ++n;
+  }
+  return n;
+}
+
+std::optional<bool> EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return std::nullopt;
+  if (lhs.type() == DataType::kString && rhs.type() == DataType::kString) {
+    int c = lhs.AsString().compare(rhs.AsString());
+    switch (op) {
+      case CmpOp::kLt: return c < 0;
+      case CmpOp::kLe: return c <= 0;
+      case CmpOp::kEq: return c == 0;
+      case CmpOp::kNe: return c != 0;
+      case CmpOp::kGe: return c >= 0;
+      case CmpOp::kGt: return c > 0;
+    }
+    return std::nullopt;
+  }
+  bool as_date =
+      lhs.type() == DataType::kDate || rhs.type() == DataType::kDate;
+  std::optional<double> a = WidenValue(lhs, as_date);
+  std::optional<double> b = WidenValue(rhs, as_date);
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  switch (op) {
+    case CmpOp::kLt: return *a < *b;
+    case CmpOp::kLe: return *a <= *b;
+    case CmpOp::kEq: return *a == *b;
+    case CmpOp::kNe: return *a != *b;
+    case CmpOp::kGe: return *a >= *b;
+    case CmpOp::kGt: return *a > *b;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+
+namespace {
+
+/// True when comparing / joining values of these two (known) types is
+/// meaningful for the engine: numeric-family types interoperate, strings
+/// compare against strings and date columns (date literals arrive as
+/// strings from the frontend).
+bool TypesComparable(DataType a, DataType b) {
+  if (a == b) return true;
+  if (a == DataType::kNull || b == DataType::kNull) return true;
+  auto numericish = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kFloat64 ||
+           t == DataType::kBool;
+  };
+  if (numericish(a) && numericish(b)) return true;
+  // date <-> string: allowed (string literals are parsed as dates).
+  if ((a == DataType::kDate && b == DataType::kString) ||
+      (a == DataType::kString && b == DataType::kDate)) {
+    return true;
+  }
+  return false;
+}
+
+/// Counts occurrences of variable `v` in a term.
+size_t CountTermUses(const Term& t, const std::string& v) {
+  size_t n = 0;
+  if (t.kind == Term::Kind::kVar) {
+    if (t.var == v) ++n;
+  }
+  for (const auto& c : t.children) n += CountTermUses(*c, v);
+  return n;
+}
+
+size_t CountBodyUses(const Body& body, const std::string& v) {
+  size_t n = 0;
+  for (const Atom& a : body) {
+    for (const std::string& x : a.vars) {
+      if (x == v) ++n;
+    }
+    if (!a.var0.empty() && a.var0 == v) ++n;
+    if (a.term) n += CountTermUses(*a.term, v);
+    if (a.exists_body) n += CountBodyUses(*a.exists_body, v);
+  }
+  return n;
+}
+
+/// Occurrences of `v` anywhere in the rule (head + body, all nesting).
+size_t CountRuleUses(const Rule& r, const std::string& v) {
+  size_t n = CountBodyUses(r.body, v);
+  for (const std::string& x : r.head.vars) {
+    if (x == v) ++n;
+  }
+  for (const std::string& x : r.head.group_vars) {
+    if (x == v) ++n;
+  }
+  for (const auto& k : r.head.sort_keys) {
+    if (k.var == v) ++n;
+  }
+  return n;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const AnalyzeOptions& options)
+      : program_(program), options_(options) {}
+
+  ProgramFacts Run() {
+    SeedBaseRelations();
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      AnalyzeRule(i);
+    }
+    if (options_.diags != nullptr) CheckUnreachableColumns();
+    return std::move(facts_);
+  }
+
+ private:
+  using Scope = std::map<std::string, ColumnFacts>;
+
+  // -- program level --------------------------------------------------------
+
+  void SeedBaseRelations() {
+    std::set<std::string> defined;
+    for (const Rule& r : program_.rules) defined.insert(r.head.relation);
+    // Every relation accessed anywhere but not defined by a rule is
+    // extensional, whether or not it was declared via @base/base_columns —
+    // optimizer unit tests routinely seed relation_info only.
+    std::map<std::string, size_t> accessed;
+    std::function<void(const Body&)> scan = [&](const Body& body) {
+      for (const Atom& a : body) {
+        if (a.kind == Atom::Kind::kRelAccess) {
+          accessed.emplace(a.relation, a.vars.size());
+        } else if (a.kind == Atom::Kind::kExists) {
+          scan(*a.exists_body);
+        }
+      }
+    };
+    for (const Rule& r : program_.rules) scan(r.body);
+    auto seed = [&](const std::string& rel, size_t arity) {
+      if (defined.count(rel) != 0 || facts_.relations.count(rel) != 0) return;
+      RelationFacts rf;
+      rf.derived = false;
+      auto cols = program_.base_columns.find(rel);
+      auto types = program_.base_column_types.find(rel);
+      if (cols != program_.base_columns.end()) arity = cols->second.size();
+      rf.columns.resize(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        ColumnFacts& c = rf.columns[i];
+        if (types != program_.base_column_types.end() &&
+            i < types->second.size() &&
+            types->second[i] != DataType::kNull) {
+          c.type = types->second[i];
+          c.Note("type " + std::string(DataTypeName(*c.type)) +
+                 ": declared for base column " + rel + "." +
+                 ColumnName(rel, i));
+        }
+        // Base tables are loaded from non-null columnar storage.
+        c.Note("non-null: base relation column");
+      }
+      auto info = program_.relation_info.find(rel);
+      if (info != program_.relation_info.end()) {
+        for (size_t p : info->second.unique_positions) {
+          if (p >= arity) continue;
+          rf.keys.push_back(
+              {{p},
+               "column " + ColumnName(rel, p) + " of base relation '" + rel +
+                   "' is declared unique (catalog / @base unique)"});
+        }
+      }
+      facts_.relations.emplace(rel, std::move(rf));
+    };
+    for (const auto& [rel, cols] : program_.base_columns) {
+      seed(rel, cols.size());
+    }
+    for (const auto& [rel, arity] : accessed) {
+      seed(rel, arity);
+    }
+  }
+
+  std::string ColumnName(const std::string& rel, size_t pos) const {
+    auto it = program_.base_columns.find(rel);
+    if (it != program_.base_columns.end() && pos < it->second.size()) {
+      return it->second[pos];
+    }
+    return "#" + std::to_string(pos);
+  }
+
+  RelationFacts* FactsForAccess(const Atom& a) {
+    auto it = facts_.relations.find(a.relation);
+    if (it != facts_.relations.end()) return &it->second;
+    // Undeclared base (tondlint --implicit-bases): unknown facts.
+    RelationFacts rf;
+    rf.derived = false;
+    rf.columns.resize(a.vars.size());
+    return &facts_.relations.emplace(a.relation, std::move(rf)).first->second;
+  }
+
+  // -- diagnostics ----------------------------------------------------------
+
+  void Emit(const char* code, Severity sev, int atom_index, std::string msg,
+            std::string hint, std::vector<std::string> notes) {
+    if (options_.diags == nullptr) return;
+    Diagnostic d;
+    d.code = code;
+    d.severity = sev;
+    d.rule_index = static_cast<int>(rule_index_);
+    d.atom_index = atom_index;
+    d.message = std::move(msg);
+    d.fix_hint = std::move(hint);
+    d.notes = std::move(notes);
+    if (d.notes.empty()) d.notes.push_back("derived by dataflow analysis");
+    options_.diags->push_back(std::move(d));
+  }
+
+  /// Inference chain of a fact: its provenance notes, capped.
+  static std::vector<std::string> Chain(const ColumnFacts& f) {
+    std::vector<std::string> n = f.why;
+    if (n.size() > 8) n.resize(8);
+    return n;
+  }
+
+  static std::vector<std::string> Chain2(const ColumnFacts& a,
+                                         const ColumnFacts& b) {
+    std::vector<std::string> n = Chain(a);
+    for (auto& s : Chain(b)) n.push_back(std::move(s));
+    if (n.size() > 10) n.resize(10);
+    return n;
+  }
+
+  // -- rule level -----------------------------------------------------------
+
+  void AnalyzeRule(size_t idx) {
+    rule_index_ = idx;
+    rule_empty_ = false;
+    rule_empty_why_.clear();
+    fds_.clear();
+    access_keys_.clear();
+    top_accesses_.clear();
+    uid_vars_.clear();
+    Scope scope;
+    const Rule& rule = program_.rules[idx];
+    AnalyzeBody(rule.body, &scope, /*parent_index=*/-1, /*depth=*/0,
+                /*negated=*/false);
+    ProjectHead(rule, scope);
+  }
+
+  void AnalyzeBody(const Body& body, Scope* scope, int parent_index,
+                   int depth, bool negated) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      const Atom& a = body[i];
+      int report = depth == 0 ? static_cast<int>(i) : parent_index;
+      switch (a.kind) {
+        case Atom::Kind::kRelAccess:
+          HandleAccess(a, scope, report, depth, negated);
+          break;
+        case Atom::Kind::kConstRel:
+          HandleConstRel(a, scope, report, depth);
+          break;
+        case Atom::Kind::kExists: {
+          Scope child = *scope;  // inner bindings do not escape
+          AnalyzeBody(*a.exists_body, &child, report, depth + 1,
+                      negated || a.negated);
+          break;
+        }
+        case Atom::Kind::kCompare:
+          HandleCompare(a, scope, report, depth);
+          break;
+        case Atom::Kind::kExternal:
+          if (depth == 0) HandleMarker(a, scope);
+          break;
+      }
+    }
+  }
+
+  void HandleAccess(const Atom& a, Scope* scope, int report, int depth,
+                    bool negated) {
+    RelationFacts* rf = FactsForAccess(a);
+    if (rf->provably_empty && !negated) {
+      MarkEmpty("reads relation '" + a.relation +
+                "' which is provably empty (" + rf->empty_why + ")");
+    }
+    for (size_t pos = 0; pos < a.vars.size(); ++pos) {
+      if (pos >= rf->columns.size()) break;  // arity error: structural tier
+      const std::string& v = a.vars[pos];
+      ColumnFacts col = rf->columns[pos];
+      col.Note("bound by " + a.relation + " column " +
+               ColumnName(a.relation, pos));
+      auto it = scope->find(v);
+      if (it == scope->end()) {
+        (*scope)[v] = std::move(col);
+        continue;
+      }
+      // Var already bound: equality join between the existing binding and
+      // this column. Meet the facts; conflicts are deep diagnostics.
+      ColumnFacts& cur = it->second;
+      if (cur.type.has_value() && col.type.has_value() &&
+          !TypesComparable(*cur.type, *col.type)) {
+        Emit(codes::kTypeMismatch, Severity::kError, report,
+             "join on variable '" + v + "' compares " +
+                 DataTypeName(*cur.type) + " with " + DataTypeName(*col.type),
+             "check the join keys; these columns can never be equal",
+             Chain2(cur, col));
+      }
+      if (!cur.type.has_value()) cur.type = col.type;
+      if (cur.constant.has_value() && col.constant.has_value() &&
+          *cur.constant != *col.constant) {
+        MarkEmpty("join on '" + v + "' requires " + cur.constant->ToString() +
+                  " = " + col.constant->ToString());
+      }
+      if (!cur.constant.has_value()) cur.constant = col.constant;
+      if (col.range.lo.has_value()) {
+        cur.range.TightenLo(*col.range.lo, col.range.lo_open);
+      }
+      if (col.range.hi.has_value()) {
+        cur.range.TightenHi(*col.range.hi, col.range.hi_open);
+      }
+      cur.nullable = cur.nullable && col.nullable;
+      cur.Note("join with " + a.relation + " column " +
+               ColumnName(a.relation, pos));
+    }
+    if (depth == 0) {
+      top_accesses_.push_back(&a);
+      // FDs: each key of the accessed relation determines all its vars.
+      std::set<std::string> all(a.vars.begin(), a.vars.end());
+      std::vector<std::set<std::string>> key_sets;
+      for (const KeyFact& k : rf->keys) {
+        std::set<std::string> kv;
+        bool ok = true;
+        for (size_t p : k.cols) {
+          if (p >= a.vars.size()) {
+            ok = false;
+            break;
+          }
+          kv.insert(a.vars[p]);
+        }
+        if (!ok) continue;
+        fds_.push_back({kv, all});
+        key_sets.push_back(std::move(kv));
+      }
+      access_keys_.push_back(std::move(key_sets));
+    }
+  }
+
+  void HandleConstRel(const Atom& a, Scope* scope, int report, int depth) {
+    const std::string& v = a.var0;
+    bool is_filter = scope->count(v) != 0;
+    ColumnFacts vals;
+    for (const Value& c : a.const_values) {
+      if (c.is_null()) {
+        vals.nullable = true;
+        continue;
+      }
+      if (!vals.type.has_value()) vals.type = c.type();
+      std::optional<double> d = WidenValue(c, /*as_date=*/false);
+      if (d.has_value()) {
+        if (!vals.range.lo.has_value() || *d < *vals.range.lo) {
+          vals.range.lo = *d;
+        }
+        if (!vals.range.hi.has_value() || *d > *vals.range.hi) {
+          vals.range.hi = *d;
+        }
+      }
+    }
+    if (a.const_values.size() == 1) vals.constant = a.const_values[0];
+    vals.Note("constant relation [" + std::to_string(a.const_values.size()) +
+              " values]");
+    if (!is_filter) {
+      (*scope)[v] = std::move(vals);
+      if (depth == 0) {
+        if (a.const_values.size() <= 1) {
+          fds_.push_back({{}, {v}});
+        } else {
+          // Multi-value generator: multiplies rows, values may repeat, so
+          // it contributes an unkeyed source.
+          access_keys_.push_back({});
+        }
+      }
+      return;
+    }
+    // Membership filter over an already-bound var: refine type/range.
+    ColumnFacts& cur = (*scope)[v];
+    if (cur.type.has_value() && vals.type.has_value() &&
+        !TypesComparable(*cur.type, *vals.type)) {
+      Emit(codes::kTypeMismatch, Severity::kError, report,
+           "membership test compares " + std::string(DataTypeName(*cur.type)) +
+               " with a list of " + DataTypeName(*vals.type),
+           "the filter can never match", Chain2(cur, vals));
+    }
+    if (vals.range.lo.has_value()) {
+      cur.range.TightenLo(*vals.range.lo, false);
+    }
+    if (vals.range.hi.has_value()) {
+      cur.range.TightenHi(*vals.range.hi, false);
+    }
+    cur.Note("restricted to a " + std::to_string(a.const_values.size()) +
+             "-value list");
+  }
+
+  void HandleMarker(const Atom& a, Scope* scope) {
+    // Outer-join markers make the non-preserved side's columns nullable.
+    if (a.ext_name != "outer_left" && a.ext_name != "outer_right" &&
+        a.ext_name != "outer_full") {
+      return;
+    }
+    if (top_accesses_.size() < 2) return;
+    auto mark = [&](const Atom* access, const char* side) {
+      for (const std::string& v : access->vars) {
+        auto it = scope->find(v);
+        if (it == scope->end()) continue;
+        it->second.nullable = true;
+        it->second.Note(std::string("may be NULL: ") + side +
+                        " side of @" + a.ext_name + " is not preserved");
+      }
+    };
+    if (a.ext_name == "outer_left" || a.ext_name == "outer_full") {
+      mark(top_accesses_[1], "right");
+    }
+    if (a.ext_name == "outer_right" || a.ext_name == "outer_full") {
+      mark(top_accesses_[0], "left");
+    }
+  }
+
+  void HandleCompare(const Atom& a, Scope* scope, int report, int depth) {
+    bool is_assignment = a.cmp_op == CmpOp::kEq && scope->count(a.var0) == 0;
+    ColumnFacts rhs = EvalTerm(*a.term, *scope, report);
+    if (is_assignment) {
+      rhs.Note("assigned to '" + a.var0 + "'");
+      (*scope)[a.var0] = std::move(rhs);
+      if (depth == 0) {
+        std::set<std::string> src;
+        a.term->CollectVars(&src);
+        fds_.push_back({src, {a.var0}});
+        if (a.term->kind == Term::Kind::kExt && a.term->ext_name == "uid") {
+          uid_vars_.insert(a.var0);
+        }
+      }
+      return;
+    }
+    // Filter: var0 cmp term.
+    ColumnFacts& lhs = (*scope)[a.var0];
+    if (lhs.why.empty()) lhs.Note("variable '" + a.var0 + "'");
+    bool lhs_date = lhs.type == DataType::kDate;
+    if (lhs.type.has_value() && rhs.type.has_value() &&
+        !TypesComparable(*lhs.type, *rhs.type)) {
+      bool date_str_ok = false;
+      if (lhs_date && rhs.constant.has_value() &&
+          rhs.constant->type() == DataType::kString) {
+        date_str_ok = date_util::Parse(rhs.constant->AsString()).ok();
+      }
+      if (!date_str_ok) {
+        Emit(codes::kTypeMismatch, Severity::kError, report,
+             "comparison of '" + a.var0 + "' (" + DataTypeName(*lhs.type) +
+                 ") with a " + DataTypeName(*rhs.type) + " operand",
+             "operands of incompatible types never compare equal",
+             Chain2(lhs, rhs));
+      }
+    }
+    if ((lhs.constant.has_value() && lhs.constant->is_null()) ||
+        (rhs.constant.has_value() && rhs.constant->is_null())) {
+      Emit(codes::kNullComparison, Severity::kWarning, report,
+           "comparison with a provably-NULL operand never matches",
+           "SQL three-valued logic makes this predicate always unknown",
+           Chain2(lhs, rhs));
+    }
+    // Always-true / always-false detection against facts accumulated from
+    // the *other* atoms seen so far.
+    std::optional<bool> outcome;
+    std::vector<std::string> chain = Chain2(lhs, rhs);
+    if (lhs.constant.has_value() && rhs.constant.has_value()) {
+      outcome = EvalCmp(*lhs.constant, a.cmp_op, *rhs.constant);
+    }
+    std::optional<double> rhs_num;
+    if (rhs.constant.has_value()) {
+      rhs_num = WidenValue(*rhs.constant, lhs_date);
+    }
+    if (!outcome.has_value() && rhs_num.has_value()) {
+      if (lhs.range.Implies(a.cmp_op, *rhs_num)) outcome = true;
+      if (lhs.range.Contradicts(a.cmp_op, *rhs_num)) outcome = false;
+    }
+    if (outcome.has_value()) {
+      if (*outcome) {
+        // A NULL operand makes the predicate unknown (row dropped), so a
+        // nullable side disproves "always true" — but never "always false".
+        if (lhs.nullable || rhs.nullable) return;
+        Emit(codes::kAlwaysTruePredicate, Severity::kWarning, report,
+             "predicate (" + a.var0 + " " + tondir::CmpOpName(a.cmp_op) +
+                 " ...) is provably always true",
+             "remove the redundant filter", chain);
+      } else {
+        Emit(codes::kAlwaysFalsePredicate, Severity::kWarning, report,
+             "predicate (" + a.var0 + " " + tondir::CmpOpName(a.cmp_op) +
+                 " ...) is provably always false",
+             "the rule can never produce rows", chain);
+        if (depth == 0) {
+          MarkEmpty("always-false predicate on '" + a.var0 + "'");
+        }
+      }
+    }
+    // Refinement.
+    if (rhs_num.has_value()) {
+      switch (a.cmp_op) {
+        case CmpOp::kLt: lhs.range.TightenHi(*rhs_num, true); break;
+        case CmpOp::kLe: lhs.range.TightenHi(*rhs_num, false); break;
+        case CmpOp::kGt: lhs.range.TightenLo(*rhs_num, true); break;
+        case CmpOp::kGe: lhs.range.TightenLo(*rhs_num, false); break;
+        case CmpOp::kEq:
+          lhs.range.TightenLo(*rhs_num, false);
+          lhs.range.TightenHi(*rhs_num, false);
+          break;
+        case CmpOp::kNe: break;
+      }
+      lhs.Note("filtered: " + a.var0 + " " + tondir::CmpOpName(a.cmp_op) +
+               " " + rhs.constant->ToString() + " -> range " +
+               lhs.range.ToString());
+    }
+    if (a.cmp_op == CmpOp::kEq) {
+      if (rhs.constant.has_value() && !lhs.constant.has_value()) {
+        lhs.constant = rhs.constant;
+        lhs.Note("constant " + rhs.constant->ToString() +
+                 " via equality filter");
+      }
+      if (!lhs.type.has_value()) lhs.type = rhs.type;
+      // Var-var equality: unify the two bindings (CopyPropagation performs
+      // the same unification syntactically later in the pipeline).
+      if (a.term->kind == Term::Kind::kVar) {
+        auto it = scope->find(a.term->var);
+        if (it != scope->end()) {
+          ColumnFacts& other = it->second;
+          if (!other.type.has_value()) other.type = lhs.type;
+          if (!other.constant.has_value()) other.constant = lhs.constant;
+          if (lhs.range.lo.has_value()) {
+            other.range.TightenLo(*lhs.range.lo, lhs.range.lo_open);
+          }
+          if (lhs.range.hi.has_value()) {
+            other.range.TightenHi(*lhs.range.hi, lhs.range.hi_open);
+          }
+          if (depth == 0) {
+            fds_.push_back({{a.var0}, {a.term->var}});
+            fds_.push_back({{a.term->var}, {a.var0}});
+          }
+        }
+      }
+    }
+  }
+
+  // -- term evaluation ------------------------------------------------------
+
+  ColumnFacts EvalTerm(const Term& t, const Scope& scope, int report) {
+    switch (t.kind) {
+      case Term::Kind::kVar: {
+        auto it = scope.find(t.var);
+        if (it != scope.end()) return it->second;
+        ColumnFacts f;
+        f.Note("unbound variable '" + t.var + "'");
+        return f;
+      }
+      case Term::Kind::kConst: {
+        ColumnFacts f;
+        f.constant = t.constant;
+        if (t.constant.is_null()) {
+          f.nullable = true;
+          f.Note("NULL literal");
+        } else {
+          f.type = t.constant.type();
+          std::optional<double> d = WidenValue(t.constant, false);
+          if (d.has_value()) {
+            f.range.lo = f.range.hi = *d;
+          }
+          f.Note("literal " + t.constant.ToString());
+        }
+        return f;
+      }
+      case Term::Kind::kAgg:
+        return EvalAgg(t, scope, report);
+      case Term::Kind::kExt:
+        return EvalExt(t, scope, report);
+      case Term::Kind::kIf: {
+        ColumnFacts a = EvalTerm(*t.children[1], scope, report);
+        ColumnFacts b = EvalTerm(*t.children[2], scope, report);
+        EvalTerm(*t.children[0], scope, report);  // diagnostics in the cond
+        ColumnFacts f;
+        if (a.type.has_value() && b.type.has_value()) {
+          if (*a.type == *b.type) {
+            f.type = a.type;
+          } else if (IsNumeric(*a.type) && IsNumeric(*b.type)) {
+            f.type = CommonNumericType(*a.type, *b.type);
+          }
+        }
+        f.nullable = a.nullable || b.nullable;
+        if (a.constant.has_value() && b.constant.has_value() &&
+            *a.constant == *b.constant) {
+          f.constant = a.constant;
+        }
+        if (a.range.lo.has_value() && b.range.lo.has_value()) {
+          f.range.lo = std::min(*a.range.lo, *b.range.lo);
+        }
+        if (a.range.hi.has_value() && b.range.hi.has_value()) {
+          f.range.hi = std::max(*a.range.hi, *b.range.hi);
+        }
+        f.Note("if(..) merges both branches");
+        return f;
+      }
+      case Term::Kind::kBinary:
+        return EvalBinary(t, scope, report);
+    }
+    return {};
+  }
+
+  ColumnFacts EvalAgg(const Term& t, const Scope& scope, int report) {
+    ColumnFacts arg = EvalTerm(*t.children[0], scope, report);
+    ColumnFacts f;
+    switch (t.agg_fn) {
+      case AggFn::kCount:
+      case AggFn::kCountDistinct:
+        f.type = DataType::kInt64;
+        f.range.TightenLo(0, false);
+        f.Note("count() yields a non-negative int");
+        return f;
+      case AggFn::kAvg:
+        f.type = DataType::kFloat64;
+        f.range = arg.range;
+        break;
+      case AggFn::kSum:
+        f.type = arg.type;
+        if (arg.range.lo.has_value() && *arg.range.lo >= 0) {
+          f.range.TightenLo(0, false);
+        }
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        f.type = arg.type;
+        f.range = arg.range;
+        break;
+    }
+    f.nullable = arg.nullable;
+    f.Note(std::string(tondir::AggFnName(t.agg_fn)) + "() over " +
+           (arg.type.has_value() ? DataTypeName(*arg.type) : "?"));
+    return f;
+  }
+
+  ColumnFacts EvalExt(const Term& t, const Scope& scope, int report) {
+    std::vector<ColumnFacts> args;
+    args.reserve(t.children.size());
+    for (const auto& c : t.children) {
+      args.push_back(EvalTerm(*c, scope, report));
+    }
+    const std::string& f = t.ext_name;
+    ColumnFacts r;
+    auto string_fn = [&](size_t arity_checked) {
+      for (size_t i = 0; i < arity_checked && i < args.size(); ++i) {
+        if (args[i].type.has_value() && *args[i].type != DataType::kString) {
+          Emit(codes::kStringOpOnNonString, Severity::kWarning, report,
+               "string function '" + f + "' applied to a " +
+                   DataTypeName(*args[i].type) + " operand",
+               "wrap the operand in an explicit conversion", Chain(args[i]));
+        }
+      }
+    };
+    if (f == "uid") {
+      r.type = DataType::kInt64;
+      r.range.TightenLo(0, false);
+      r.Note("uid() generates unique non-negative ids");
+    } else if (f == "year") {
+      r.type = DataType::kInt64;
+      r.Note("year() of a date");
+    } else if (f == "month") {
+      r.type = DataType::kInt64;
+      r.range.TightenLo(1, false);
+      r.range.TightenHi(12, false);
+      r.Note("month() of a date");
+    } else if (f == "day") {
+      r.type = DataType::kInt64;
+      r.range.TightenLo(1, false);
+      r.range.TightenHi(31, false);
+      r.Note("day() of a date");
+    } else if (f == "substr" || f == "lower" || f == "upper" ||
+               f == "trim") {
+      string_fn(1);
+      r.type = DataType::kString;
+      r.Note(f + "() yields a string");
+    } else if (f == "starts_with" || f == "ends_with" || f == "contains") {
+      string_fn(2);
+      r.type = DataType::kBool;
+      r.Note(f + "() yields a bool");
+    } else if (f == "round" || f == "sqrt" || f == "ln" || f == "exp" ||
+               f == "power") {
+      r.type = DataType::kFloat64;
+      r.Note(f + "() yields a float");
+    } else if (f == "abs") {
+      if (!args.empty()) r.type = args[0].type;
+      r.range.TightenLo(0, false);
+      r.Note("abs() is non-negative");
+    } else if (f == "coalesce") {
+      bool all_nullable = true;
+      for (const ColumnFacts& a : args) {
+        if (!r.type.has_value()) r.type = a.type;
+        all_nullable = all_nullable && a.nullable;
+      }
+      r.nullable = all_nullable;
+      r.Note("coalesce() of " + std::to_string(args.size()) + " operands");
+    } else {
+      r.Note("external function " + f + "() has unknown signature");
+    }
+    return r;
+  }
+
+  ColumnFacts EvalBinary(const Term& t, const Scope& scope, int report) {
+    ColumnFacts a = EvalTerm(*t.children[0], scope, report);
+    ColumnFacts b = EvalTerm(*t.children[1], scope, report);
+    ColumnFacts f;
+    f.nullable = a.nullable || b.nullable;
+    switch (t.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kMod: {
+        for (const ColumnFacts* side : {&a, &b}) {
+          if (side->nullable) {
+            Emit(codes::kNullableArithmetic, Severity::kWarning, report,
+                 "arithmetic on a possibly-NULL operand propagates NULL",
+                 "guard with coalesce() or filter NULLs first",
+                 Chain(*side));
+          }
+        }
+        if (t.bin_op == BinOp::kDiv || t.bin_op == BinOp::kMod) {
+          bool zero = (b.constant.has_value() &&
+                       WidenValue(*b.constant, false) == 0.0) ||
+                      (b.range.lo.has_value() && b.range.hi.has_value() &&
+                       *b.range.lo == 0 && *b.range.hi == 0 &&
+                       !b.range.lo_open && !b.range.hi_open);
+          if (zero) {
+            Emit(codes::kDivisionByZero, Severity::kWarning, report,
+                 "divisor is provably zero", "this expression cannot be "
+                 "evaluated", Chain(b));
+          }
+        }
+        if (a.type.has_value() && b.type.has_value()) {
+          DataType common = CommonNumericType(*a.type, *b.type);
+          if (common != DataType::kNull) f.type = common;
+        }
+        // Interval arithmetic for +/-; products and quotients fold only
+        // through constants below.
+        if (t.bin_op == BinOp::kAdd) {
+          if (a.range.lo.has_value() && b.range.lo.has_value()) {
+            f.range.lo = *a.range.lo + *b.range.lo;
+            f.range.lo_open = a.range.lo_open || b.range.lo_open;
+          }
+          if (a.range.hi.has_value() && b.range.hi.has_value()) {
+            f.range.hi = *a.range.hi + *b.range.hi;
+            f.range.hi_open = a.range.hi_open || b.range.hi_open;
+          }
+        } else if (t.bin_op == BinOp::kSub) {
+          if (a.range.lo.has_value() && b.range.hi.has_value()) {
+            f.range.lo = *a.range.lo - *b.range.hi;
+            f.range.lo_open = a.range.lo_open || b.range.hi_open;
+          }
+          if (a.range.hi.has_value() && b.range.lo.has_value()) {
+            f.range.hi = *a.range.hi - *b.range.lo;
+            f.range.hi_open = a.range.hi_open || b.range.lo_open;
+          }
+        }
+        // Constant folding (int-preserving; int/int division left alone
+        // because SQL and Python disagree on its result type).
+        if (a.constant.has_value() && b.constant.has_value() &&
+            !a.constant->is_null() && !b.constant->is_null()) {
+          FoldArith(t.bin_op, *a.constant, *b.constant, &f);
+        }
+        f.Note(std::string(tondir::BinOpName(t.bin_op)) + " over " +
+               (f.type.has_value() ? DataTypeName(*f.type) : "?"));
+        return f;
+      }
+      case BinOp::kAnd:
+      case BinOp::kOr: {
+        f.type = DataType::kBool;
+        auto lit = [](const ColumnFacts& x) -> std::optional<bool> {
+          if (x.constant.has_value() &&
+              x.constant->type() == DataType::kBool) {
+            return x.constant->AsBool();
+          }
+          return std::nullopt;
+        };
+        std::optional<bool> la = lit(a), lb = lit(b);
+        if (t.bin_op == BinOp::kAnd) {
+          if ((la.has_value() && !*la) || (lb.has_value() && !*lb)) {
+            f.constant = Value::Bool(false);
+          } else if (la.has_value() && lb.has_value()) {
+            f.constant = Value::Bool(*la && *lb);
+          }
+        } else {
+          if ((la.has_value() && *la) || (lb.has_value() && *lb)) {
+            f.constant = Value::Bool(true);
+          } else if (la.has_value() && lb.has_value()) {
+            f.constant = Value::Bool(*la || *lb);
+          }
+        }
+        f.Note("boolean connective");
+        return f;
+      }
+      case BinOp::kLike:
+      case BinOp::kNotLike: {
+        for (const ColumnFacts* side : {&a, &b}) {
+          if (side->type.has_value() && *side->type != DataType::kString) {
+            Emit(codes::kStringOpOnNonString, Severity::kWarning, report,
+                 std::string("'") + tondir::BinOpName(t.bin_op) +
+                     "' applied to a " + DataTypeName(*side->type) +
+                     " operand",
+                 "LIKE requires string operands", Chain(*side));
+          }
+        }
+        f.type = DataType::kBool;
+        f.Note("pattern match yields a bool");
+        return f;
+      }
+      case BinOp::kConcat:
+        f.type = DataType::kString;
+        f.Note("string concatenation");
+        return f;
+      case BinOp::kEq:
+      case BinOp::kNe:
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe: {
+        f.type = DataType::kBool;
+        static constexpr std::pair<BinOp, CmpOp> kMap[] = {
+            {BinOp::kEq, CmpOp::kEq}, {BinOp::kNe, CmpOp::kNe},
+            {BinOp::kLt, CmpOp::kLt}, {BinOp::kLe, CmpOp::kLe},
+            {BinOp::kGt, CmpOp::kGt}, {BinOp::kGe, CmpOp::kGe}};
+        if (a.constant.has_value() && b.constant.has_value()) {
+          for (const auto& [bop, cop] : kMap) {
+            if (bop == t.bin_op) {
+              std::optional<bool> r = EvalCmp(*a.constant, cop, *b.constant);
+              if (r.has_value()) f.constant = Value::Bool(*r);
+            }
+          }
+        }
+        f.Note("comparison yields a bool");
+        return f;
+      }
+    }
+    return f;
+  }
+
+  static void FoldArith(BinOp op, const Value& a, const Value& b,
+                        ColumnFacts* out) {
+    bool both_int = a.type() == DataType::kInt64 &&
+                    b.type() == DataType::kInt64;
+    std::optional<double> da = WidenValue(a, false);
+    std::optional<double> db = WidenValue(b, false);
+    if (!da.has_value() || !db.has_value()) return;
+    double r;
+    switch (op) {
+      case BinOp::kAdd: r = *da + *db; break;
+      case BinOp::kSub: r = *da - *db; break;
+      case BinOp::kMul: r = *da * *db; break;
+      default: return;  // division/modulo semantics differ across dialects
+    }
+    out->constant = both_int ? Value::Int64(static_cast<int64_t>(r))
+                             : Value::Float64(r);
+    out->range.lo = out->range.hi = r;
+    out->range.lo_open = out->range.hi_open = false;
+    out->Note("constant-folded to " + out->constant->ToString());
+  }
+
+  // -- head projection & per-rule deep lints --------------------------------
+
+  void MarkEmpty(std::string why) {
+    if (rule_empty_) return;
+    rule_empty_ = true;
+    rule_empty_why_ = std::move(why);
+  }
+
+  /// FD closure of `start` under fds_.
+  std::set<std::string> Closure(const std::set<std::string>& start) const {
+    std::set<std::string> c = start;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [from, to] : fds_) {
+        if (!std::includes(c.begin(), c.end(), from.begin(), from.end())) {
+          continue;
+        }
+        for (const std::string& v : to) {
+          if (c.insert(v).second) changed = true;
+        }
+      }
+    }
+    return c;
+  }
+
+  /// True when `vars` functionally determines one row of the joined body:
+  /// its closure must cover at least one key of every multirow source.
+  bool IsRowKey(const std::set<std::string>& vars) const {
+    std::set<std::string> c = Closure(vars);
+    for (const auto& keys : access_keys_) {
+      bool covered = false;
+      for (const auto& k : keys) {
+        if (std::includes(c.begin(), c.end(), k.begin(), k.end())) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+    return true;
+  }
+
+  void ProjectHead(const Rule& rule, Scope& scope) {
+    const auto& head = rule.head;
+    RelationFacts rf;
+    rf.derived = true;
+    if (rule_empty_) {
+      rf.provably_empty = true;
+      rf.empty_why = rule_empty_why_;
+    }
+    if (head.limit.has_value() && *head.limit == 0) {
+      rf.provably_empty = true;
+      if (rf.empty_why.empty()) rf.empty_why = "limit(0)";
+    }
+
+    std::map<std::string, size_t> head_pos;
+    for (size_t i = 0; i < head.vars.size(); ++i) {
+      auto it = scope.find(head.vars[i]);
+      rf.columns.push_back(it != scope.end() ? it->second : ColumnFacts{});
+      head_pos.emplace(head.vars[i], i);
+    }
+
+    bool is_sink = rule_index_ + 1 == program_.rules.size();
+
+    // Keys.
+    if (head.limit.has_value() && *head.limit <= 1) {
+      rf.keys.push_back({{}, "limit(" + std::to_string(*head.limit) +
+                                 ") caps the relation at one row"});
+    }
+    if (rule.HasAggregate() && !head.has_group()) {
+      rf.keys.push_back({{}, "ungrouped aggregate yields a single row"});
+    }
+    if (head.has_group()) {
+      std::set<size_t> gpos;
+      bool all_in_head = true;
+      for (const std::string& g : head.group_vars) {
+        auto it = head_pos.find(g);
+        if (it == head_pos.end()) {
+          all_in_head = false;
+          break;
+        }
+        gpos.insert(it->second);
+      }
+      if (all_in_head) {
+        rf.keys.push_back(
+            {gpos, "group-by keys identify one output row per group"});
+      }
+      // T029: grouping on a row key of the body means one row per group.
+      std::set<std::string> gvars(head.group_vars.begin(),
+                                  head.group_vars.end());
+      if (options_.diags != nullptr && !access_keys_.empty() &&
+          IsRowKey(gvars)) {
+        Emit(codes::kRedundantGroupBy, Severity::kWarning, -1,
+             "group-by keys already identify a single body row; every "
+             "group has exactly one element",
+             "the aggregates degenerate to their argument",
+             {"group vars form a candidate key of the joined body",
+              "derived from the accessed relations' key facts"});
+      }
+    } else {
+      // Body-derived keys (FD reasoning); grouped rules are covered by
+      // their group key above.
+      std::vector<std::pair<std::set<size_t>, std::string>> cands;
+      for (size_t i = 0; i < head.vars.size(); ++i) {
+        cands.push_back({{i}, "column " + std::to_string(i) + " ('" +
+                                  (i < head.col_names.size()
+                                       ? head.col_names[i]
+                                       : head.vars[i]) +
+                                  "') determines the joined row"});
+      }
+      if (head.vars.size() > 1) {
+        std::set<size_t> all;
+        for (size_t i = 0; i < head.vars.size(); ++i) all.insert(i);
+        cands.push_back({all, "the full column set determines the row"});
+      }
+      for (const std::string& u : uid_vars_) {
+        auto it = head_pos.find(u);
+        if (it != head_pos.end()) {
+          rf.keys.push_back({{it->second}, "uid() generates unique ids"});
+        }
+      }
+      if (!access_keys_.empty()) {
+        for (auto& [cols, why] : cands) {
+          if (rf.KeyWithin(cols) != nullptr) continue;
+          std::set<std::string> vars;
+          for (size_t p : cols) vars.insert(head.vars[p]);
+          if (IsRowKey(vars)) {
+            rf.keys.push_back({cols, why + " (FD closure covers a key of "
+                                         "every joined source)"});
+          }
+        }
+      }
+    }
+    if (head.distinct) {
+      std::set<size_t> all;
+      for (size_t i = 0; i < head.vars.size(); ++i) all.insert(i);
+      if (const KeyFact* k = rf.KeyWithin(all)) {
+        Emit(codes::kRedundantDistinct, Severity::kWarning, -1,
+             "distinct is redundant: rows are already unique",
+             "drop the distinct marker", {k->why});
+      } else {
+        rf.keys.push_back({all, "distinct deduplicates the full row"});
+      }
+    }
+
+    // T026: constant sort keys.
+    for (const auto& sk : head.sort_keys) {
+      auto it = scope.find(sk.var);
+      if (it != scope.end() && it->second.constant.has_value()) {
+        Emit(codes::kConstantSortKey, Severity::kWarning, -1,
+             "sort key '" + sk.var + "' is provably constant (" +
+                 it->second.constant->ToString() + "); the sort is a no-op",
+             "remove the sort key", Chain(it->second));
+      }
+    }
+    // T027 / T032: aggregates and sinks over provably empty inputs.
+    if (rule_empty_) {
+      if (rule.HasAggregate()) {
+        Emit(codes::kAggregateOverEmpty, Severity::kWarning, -1,
+             "aggregate over provably empty input",
+             "the aggregate yields NULL / zero rows", {rule_empty_why_});
+      }
+      if (is_sink) {
+        Emit(codes::kEmptyResult, Severity::kWarning, -1,
+             "sink relation '" + head.relation + "' is provably empty",
+             "the query always returns zero rows", {rule_empty_why_});
+      }
+    }
+
+    facts_.relations[head.relation] = std::move(rf);
+  }
+
+  // -- whole-program post pass ---------------------------------------------
+
+  /// T024: a column of a derived, non-sink relation that no reader ever
+  /// uses (its binding variable is dead in every reading rule).
+  void CheckUnreachableColumns() {
+    std::map<std::string, size_t> definer;
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      definer.emplace(program_.rules[i].head.relation, i);
+    }
+    const std::string sink = program_.rules.empty()
+                                 ? std::string()
+                                 : program_.rules.back().head.relation;
+    // relation -> positions still unused by every reader seen so far.
+    std::map<std::string, std::set<size_t>> unused;
+    std::map<std::string, size_t> reader_count;
+    auto visit_access = [&](const Rule& rule, const Atom& a) {
+      auto def = definer.find(a.relation);
+      if (def == definer.end() || a.relation == sink) return;
+      ++reader_count[a.relation];
+      auto [it, fresh] = unused.try_emplace(a.relation);
+      if (fresh) {
+        for (size_t p = 0; p < a.vars.size(); ++p) it->second.insert(p);
+      }
+      std::set<size_t> still;
+      for (size_t p : it->second) {
+        if (p < a.vars.size() && CountRuleUses(rule, a.vars[p]) <= 1) {
+          still.insert(p);
+        }
+      }
+      it->second = std::move(still);
+    };
+    std::function<void(const Rule&, const Body&)> walk =
+        [&](const Rule& rule, const Body& body) {
+          for (const Atom& a : body) {
+            if (a.kind == Atom::Kind::kRelAccess) visit_access(rule, a);
+            if (a.kind == Atom::Kind::kExists) walk(rule, *a.exists_body);
+          }
+        };
+    for (const Rule& r : program_.rules) walk(r, r.body);
+    for (const auto& [rel, positions] : unused) {
+      if (positions.empty() || reader_count[rel] == 0) continue;
+      const Rule& def = program_.rules[definer[rel]];
+      std::string cols;
+      for (size_t p : positions) {
+        if (!cols.empty()) cols += ", ";
+        cols += "'" + (p < def.head.col_names.size() ? def.head.col_names[p]
+                                                     : std::to_string(p)) +
+                "'";
+      }
+      rule_index_ = definer[rel];
+      Emit(codes::kUnreachableColumn, Severity::kWarning, -1,
+           "column(s) " + cols + " of '" + rel +
+               "' are computed but never used by any reader",
+           "drop the dead columns from the head",
+           {"every reader of '" + rel + "' binds these positions to "
+            "variables that appear nowhere else in the reading rule",
+            std::to_string(reader_count[rel]) + " reader(s) checked"});
+    }
+  }
+
+  const Program& program_;
+  const AnalyzeOptions& options_;
+  ProgramFacts facts_;
+
+  // Per-rule state.
+  size_t rule_index_ = 0;
+  bool rule_empty_ = false;
+  std::string rule_empty_why_;
+  std::vector<std::pair<std::set<std::string>, std::set<std::string>>> fds_;
+  std::vector<std::vector<std::set<std::string>>> access_keys_;
+  std::vector<const Atom*> top_accesses_;
+  std::set<std::string> uid_vars_;
+};
+
+}  // namespace
+
+ProgramFacts AnalyzeProgram(const Program& program,
+                            const AnalyzeOptions& options) {
+  obs::Span span(options.trace, "dataflow", "phase");
+  ProgramFacts facts = Analyzer(program, options).Run();
+  span.AddCounter("relations", static_cast<int64_t>(facts.relations.size()));
+  span.AddCounter("facts", static_cast<int64_t>(facts.CountFacts()));
+  size_t keys = 0, empty = 0;
+  for (const auto& [rel, rf] : facts.relations) {
+    keys += rf.keys.size();
+    empty += rf.provably_empty ? 1 : 0;
+  }
+  span.AddCounter("keys", static_cast<int64_t>(keys));
+  span.AddCounter("empty_relations", static_cast<int64_t>(empty));
+  return facts;
+}
+
+}  // namespace pytond::analysis::dataflow

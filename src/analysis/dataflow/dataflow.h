@@ -1,0 +1,126 @@
+#ifndef PYTOND_ANALYSIS_DATAFLOW_DATAFLOW_H_
+#define PYTOND_ANALYSIS_DATAFLOW_DATAFLOW_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/value.h"
+#include "tondir/ir.h"
+
+namespace pytond::obs {
+class TraceCollector;
+}
+
+namespace pytond::analysis::dataflow {
+
+/// Numeric interval over the double-widened value domain (int64, float64,
+/// bool as 0/1, date as days since epoch). An unset bound is unbounded;
+/// `*_open` marks a strict (exclusive) bound.
+struct Interval {
+  std::optional<double> lo;
+  std::optional<double> hi;
+  bool lo_open = false;
+  bool hi_open = false;
+
+  bool Unbounded() const { return !lo.has_value() && !hi.has_value(); }
+  /// True when no value satisfies the bounds (lo > hi, or lo == hi with an
+  /// open end).
+  bool Empty() const;
+  void TightenLo(double v, bool open);
+  void TightenHi(double v, bool open);
+  /// True when *every* value in the interval satisfies `op v`.
+  bool Implies(tondir::CmpOp op, double v) const;
+  /// True when *no* value in the interval satisfies `op v`.
+  bool Contradicts(tondir::CmpOp op, double v) const;
+  /// "[0.05, 0.07]", "(5, +inf)", "(-inf, +inf)".
+  std::string ToString() const;
+};
+
+/// Abstract facts about one column / variable: the lattice element of the
+/// forward dataflow analysis (DESIGN.md §10). Every field over-approximates
+/// the concrete value set, so refinements are always sound to apply.
+struct ColumnFacts {
+  std::optional<DataType> type;   // unset = unknown
+  bool nullable = false;          // may hold NULL (outer joins, NULL consts)
+  std::optional<Value> constant;  // provably this single value
+  Interval range;                 // numeric/date/bool value bounds
+  std::vector<std::string> why;   // inference chain (provenance), in order
+
+  void Note(std::string s) { why.push_back(std::move(s)); }
+  /// Numeric rendering of `constant` if it is comparable on the double
+  /// domain (int/float/bool/date, or a string that parses as a date when
+  /// the column type is kDate).
+  std::optional<double> ConstantAsDouble() const;
+};
+
+/// One candidate key: the column positions in `cols` jointly determine the
+/// row. An empty `cols` set means the relation holds at most one row.
+struct KeyFact {
+  std::set<size_t> cols;
+  std::string why;  // the fact that justifies the key (provenance)
+};
+
+/// Facts about one relation (extensional or derived).
+struct RelationFacts {
+  std::vector<ColumnFacts> columns;
+  std::vector<KeyFact> keys;
+  bool derived = false;  // defined by a rule (vs extensional/base)
+  bool provably_empty = false;
+  std::string empty_why;
+
+  /// True when column `pos` alone is a candidate key (a unique column).
+  bool IsUniqueColumn(size_t pos) const;
+  /// First candidate key that is a subset of `cols`, or nullptr. A key
+  /// within `cols` proves that rows agreeing on `cols` are identical.
+  const KeyFact* KeyWithin(const std::set<size_t>& cols) const;
+};
+
+/// Result of AnalyzeProgram: the per-relation fact lattice.
+struct ProgramFacts {
+  std::map<std::string, RelationFacts> relations;
+
+  const RelationFacts* Find(const std::string& rel) const;
+  /// Human-readable per-relation lattice dump (`tondlint --facts`).
+  std::string Dump() const;
+  /// Number of non-trivial facts (typed columns + nullable flags +
+  /// constants + bounded ranges + keys) — obs span counter fodder.
+  size_t CountFacts() const;
+};
+
+struct AnalyzeOptions {
+  /// Extensional relations beyond the keys of program.base_columns. Any
+  /// relation that is read but not defined by a rule is treated as a base
+  /// relation either way; listing it here merely suppresses no facts.
+  std::set<std::string> base_relations;
+  /// When set, the deep diagnostic tier T020..T032 is appended here. Each
+  /// emitted diagnostic carries a non-empty `notes` inference chain.
+  std::vector<Diagnostic>* diags = nullptr;
+  /// Optional tracing: emits one "dataflow" span (category "phase") with
+  /// counters relations/facts/keys/empty.
+  obs::TraceCollector* trace = nullptr;
+};
+
+/// Forward abstract interpretation over `program`: walks rules in order
+/// (TondIR requires definition before use), interprets each body atom over
+/// the per-variable fact lattice, and projects head facts into the
+/// per-relation map. Facts for underived (extensional) relations are seeded
+/// from base_column_types and relation_info.unique_positions — the declared
+/// catalog ground truth; facts for derived relations are *derived
+/// structurally only* and never trust relation_info, which is what makes
+/// them safe to gate optimizer rewrites on.
+ProgramFacts AnalyzeProgram(const tondir::Program& program,
+                            const AnalyzeOptions& options = {});
+
+/// Evaluates `lhs op rhs` over constants where both sides are comparable
+/// (numeric/date widened to double, or string = string). Returns nullopt
+/// when the values are not comparable (including any NULL operand).
+std::optional<bool> EvalCmp(const Value& lhs, tondir::CmpOp op,
+                            const Value& rhs);
+
+}  // namespace pytond::analysis::dataflow
+
+#endif  // PYTOND_ANALYSIS_DATAFLOW_DATAFLOW_H_

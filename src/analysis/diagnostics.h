@@ -19,12 +19,16 @@ const char* SeverityName(Severity s);
 /// stable identifier (see codes:: below and the table in DESIGN.md) so that
 /// tests and CI can match on it independently of message wording.
 struct Diagnostic {
-  std::string code;                  // "T001" ... "T019"
+  std::string code;                  // "T001" ... "T032"
   Severity severity = Severity::kError;
   int rule_index = -1;               // -1 = program-level finding
   int atom_index = -1;               // index in the immediate body; -1 = head
   std::string message;
   std::string fix_hint;              // optional remediation suggestion
+  /// Inference chain for fact-based diagnostics (T020+): one line per
+  /// derivation step, e.g. how the dataflow analysis concluded a column is
+  /// constant. Rendered by `tondlint --explain-diag`.
+  std::vector<std::string> notes;
 
   /// "rule 2, atom 3: error[T006]: message (hint: ...)".
   std::string ToString() const;
@@ -51,6 +55,21 @@ inline constexpr const char* kRelationRedefined = "T016";
 inline constexpr const char* kConstRelHeterogeneous = "T017";
 inline constexpr const char* kConstRelEmpty = "T018";
 inline constexpr const char* kUidWithoutAccess = "T019";
+// Deep (fact-based) tier, produced by the dataflow analysis
+// (analysis/dataflow/) when VerifyOptions::deep_lints is on.
+inline constexpr const char* kTypeMismatch = "T020";
+inline constexpr const char* kAlwaysFalsePredicate = "T021";
+inline constexpr const char* kAlwaysTruePredicate = "T022";
+inline constexpr const char* kNullableArithmetic = "T023";
+inline constexpr const char* kUnreachableColumn = "T024";
+inline constexpr const char* kRedundantDistinct = "T025";
+inline constexpr const char* kConstantSortKey = "T026";
+inline constexpr const char* kAggregateOverEmpty = "T027";
+inline constexpr const char* kDivisionByZero = "T028";
+inline constexpr const char* kRedundantGroupBy = "T029";
+inline constexpr const char* kStringOpOnNonString = "T030";
+inline constexpr const char* kNullComparison = "T031";
+inline constexpr const char* kEmptyResult = "T032";
 }  // namespace codes
 
 /// True if any diagnostic is an error.

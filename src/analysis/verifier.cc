@@ -1,8 +1,12 @@
 #include "analysis/verifier.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <map>
+#include <tuple>
 #include <vector>
+
+#include "analysis/dataflow/dataflow.h"
 
 namespace pytond::analysis {
 
@@ -483,7 +487,21 @@ class Verifier {
 
 std::vector<Diagnostic> VerifyProgram(const Program& program,
                                       const VerifyOptions& options) {
-  return Verifier(program, options).Run();
+  std::vector<Diagnostic> diags = Verifier(program, options).Run();
+  // Deep (fact-based) tier: only meaningful on structurally valid programs;
+  // the dataflow walker assumes definition-before-use holds.
+  if (options.deep_lints && !HasErrors(diags)) {
+    dataflow::AnalyzeOptions ao;
+    ao.base_relations = options.base_relations;
+    ao.diags = &diags;
+    dataflow::AnalyzeProgram(program, ao);
+    std::stable_sort(diags.begin(), diags.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return std::tie(a.rule_index, a.atom_index) <
+                              std::tie(b.rule_index, b.atom_index);
+                     });
+  }
+  return diags;
 }
 
 }  // namespace pytond::analysis

@@ -20,6 +20,11 @@ struct VerifyOptions {
   /// nor declared extensional becomes an implicitly-declared base relation
   /// (arity from first access) instead of a T001 error.
   bool implicit_bases = false;
+  /// Runs the fact-based deep tier T020..T032 (analysis/dataflow/) after
+  /// the structural tier, provided the latter found no errors. Deep
+  /// diagnostics carry a `notes` inference chain explaining the facts they
+  /// rest on.
+  bool deep_lints = false;
 };
 
 /// Semantic verifier for TondIR programs — the library behind `tondlint`
@@ -45,6 +50,22 @@ struct VerifyOptions {
 ///   T017  constant relation mixes value types
 ///   T018  empty constant relation
 ///   T019  uid() in a body without a relation access
+///
+/// Deep tier (VerifyOptions::deep_lints, computed by analysis/dataflow/):
+///
+///   T020  join/comparison over incompatible value types
+///   T021  predicate provably always false              [warning]
+///   T022  predicate provably always true               [warning]
+///   T023  arithmetic on a possibly-NULL column         [warning]
+///   T024  column computed but unreachable from sink    [warning]
+///   T025  redundant distinct (rows already unique)     [warning]
+///   T026  sort key provably constant                   [warning]
+///   T027  aggregate over provably empty input          [warning]
+///   T028  division by provably-zero divisor            [warning]
+///   T029  group-by keys already unique per row         [warning]
+///   T030  string operation on a non-string operand     [warning]
+///   T031  comparison with a provably-NULL operand      [warning]
+///   T032  sink relation provably empty                 [warning]
 ///
 /// Diagnostics are ordered by rule, then atom. Warnings never make a
 /// program invalid; HasErrors()/FirstError() ignore them.

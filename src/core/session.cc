@@ -14,6 +14,7 @@ frontend::CompileOptions ToCompileOptions(const RunOptions& options) {
                     ? sqlgen::SqlDialect::kHyper
                     : sqlgen::SqlDialect::kDuck;
   out.trace = options.trace;
+  out.deep_lints = options.deep_lints;
   return out;
 }
 
@@ -55,6 +56,7 @@ std::string CacheKey(const std::string& source, const RunOptions& options) {
   key += engine::BackendProfileName(options.profile);
   key += "|O";
   key += std::to_string(options.optimization_level);
+  key += options.deep_lints ? "|deep" : "";
   return key;
 }
 
@@ -78,19 +80,24 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++cache_hits_;
+      // Re-emit the stored verifier warnings: a hit must surface the same
+      // diagnostics the original compile did, not silently drop them.
       obs::Span span(options.trace, "plan_cache", "engine");
       span.AddCounter("hit", 1);
+      span.AddCounter("warnings",
+                      static_cast<int64_t>(it->second->diagnostics.size()));
       return it->second;
     }
     ++cache_misses_;
   }
   // Compile outside the lock so concurrent misses don't serialize; the
   // occasional duplicate compile publishes last-writer-wins.
+  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
   if (options.trace != nullptr) {
     obs::Span span(options.trace, "plan_cache", "engine");
     span.AddCounter("hit", 0);
+    span.AddCounter("warnings", static_cast<int64_t>(c.diagnostics.size()));
   }
-  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
   auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
   std::lock_guard<std::mutex> lock(cache_mu_);
   plan_cache_[std::move(key)] = shared;

@@ -25,9 +25,13 @@ struct RunOptions {
   /// "Grizzly-simulated" competitor).
   int optimization_level = 4;
   /// Serve Run/RunProfiled from the session's compiled-plan cache (keyed
-  /// on normalized source + profile + optimization level); repeated
-  /// queries skip parse/translate/optimize/sqlgen entirely.
+  /// on normalized source + profile + optimization level + deep_lints);
+  /// repeated queries skip parse/translate/optimize/sqlgen entirely.
   bool use_plan_cache = true;
+  /// Run the dataflow deep-lint tier (T020-T032) during compilation.
+  /// Warnings are stored on the compiled artifact (Compiled::diagnostics)
+  /// so plan-cache hits re-surface them instead of dropping them.
+  bool deep_lints = false;
   /// Optional end-to-end trace: compile phases, optimizer passes, sqlgen,
   /// CTE materialization, and executor operators all record spans here.
   /// Null (the default) keeps every instrumentation point a null check.
@@ -85,7 +89,9 @@ class Session {
   /// source + profile + optimization level) returns the cached artifact
   /// and skips the whole frontend. Misses compile, then publish. With
   /// options.trace attached, records a "plan_cache" span whose `hit`
-  /// counter is 0/1.
+  /// counter is 0/1 and whose `warnings` counter re-emits the number of
+  /// stored verifier diagnostics (hits included, so cached warnings are
+  /// never silently swallowed).
   Result<std::shared_ptr<const frontend::Compiled>> CompileCached(
       const std::string& source, const RunOptions& options = {});
 

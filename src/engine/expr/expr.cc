@@ -679,7 +679,14 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input,
             out.Append(Value::String(c.Get(i).ToString()));
             break;
           case DataType::kDate:
-            out.Append(Value::Date(static_cast<int32_t>(c.Get(i).ToDouble())));
+            if (c.type() == DataType::kString) {
+              PYTOND_ASSIGN_OR_RETURN(int32_t d,
+                                      date_util::Parse(c.strings()[i]));
+              out.Append(Value::Date(d));
+            } else {
+              out.Append(
+                  Value::Date(static_cast<int32_t>(c.Get(i).ToDouble())));
+            }
             break;
           default:
             return Status::Unsupported("cast target");

@@ -651,7 +651,14 @@ class Parser {
       PYTOND_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
       e->children = {inner};
       PYTOND_RETURN_IF_ERROR(ExpectKeyword("AS"));
-      PYTOND_ASSIGN_OR_RETURN(std::string ty, Identifier());
+      // DATE is a reserved keyword (date literals), so Identifier() would
+      // reject it; accept it explicitly as a cast target.
+      std::string ty;
+      if (TryKeyword("DATE")) {
+        ty = "date";
+      } else {
+        PYTOND_ASSIGN_OR_RETURN(ty, Identifier());
+      }
       std::string tyl = string_util::ToLower(ty);
       if (tyl == "double" || tyl == "float" || tyl == "real" ||
           tyl == "float64") {

@@ -1,5 +1,6 @@
 #include "frontend/compiler.h"
 
+#include "analysis/dataflow/dataflow.h"
 #include "analysis/verifier.h"
 #include "frontend/anf/anf.h"
 #include "frontend/pylang/parser.h"
@@ -57,6 +58,7 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
     obs::Span verify_span(options.trace, "verify", "phase");
     analysis::VerifyOptions vopts;
     vopts.base_relations = base;
+    vopts.deep_lints = options.deep_lints;
     auto diags = analysis::VerifyProgram(tr.program, vopts);
     if (analysis::HasErrors(diags)) {
       return Status::Internal("translator produced invalid TondIR for '" +
@@ -64,6 +66,9 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
                               analysis::FormatDiagnostics(diags) +
                               "--- program ---\n" + tr.program.ToString());
     }
+    // Keep warnings with the compiled artifact so cached compiles re-emit
+    // them instead of dropping them on cache hits.
+    out.diagnostics = std::move(diags);
   }
 
   opt::OptimizerOptions oopts =
@@ -74,12 +79,21 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
     oopts.verify_each_pass = false;
   }
   oopts.trace = options.trace;
+  oopts.rewrite_log = &out.rewrite_log;
   PYTOND_RETURN_IF_ERROR(opt::Optimize(&tr.program, base, oopts));
   out.tondir_after = tr.program.ToString();
+
+  // Re-derive column facts on the optimized program so codegen can emit
+  // type-aware literals (dialect adaptation, e.g. DATE casts).
+  analysis::dataflow::AnalyzeOptions aopts;
+  aopts.base_relations = base;
+  analysis::dataflow::ProgramFacts facts =
+      analysis::dataflow::AnalyzeProgram(tr.program, aopts);
 
   sqlgen::SqlGenOptions sopts;
   sopts.dialect = options.dialect;
   sopts.trace = options.trace;
+  sopts.facts = &facts;
   PYTOND_ASSIGN_OR_RETURN(out.sql, sqlgen::GenerateSql(tr.program, sopts));
   return out;
 }

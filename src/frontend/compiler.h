@@ -3,7 +3,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "common/status.h"
 #include "frontend/translate/translator.h"
 #include "obs/trace.h"
@@ -24,6 +26,10 @@ struct CompileOptions {
   /// Run the TondIR semantic verifier on the translator output before
   /// optimizing; a violation there is a translator bug (Internal error).
   bool verify = true;
+  /// Also run the dataflow deep-lint tier (T020-T032) during verification;
+  /// warnings land in Compiled::diagnostics rather than failing the
+  /// compile. Requires verify.
+  bool deep_lints = false;
   /// Forwarded to OptimizerOptions::verify_each_pass. Unset = keep the
   /// optimizer's build-type default (on in debug, off in release).
   std::optional<bool> verify_each_pass;
@@ -40,6 +46,13 @@ struct Compiled {
   std::string tondir_before;  // IR before optimization (debugging/tests)
   std::string tondir_after;   // IR after optimization
   std::vector<std::string> output_columns;
+  /// Verifier warnings (never errors — those abort the compile). Cached
+  /// compiles must re-emit these on every hit, so they are stored here
+  /// rather than printed.
+  std::vector<analysis::Diagnostic> diagnostics;
+  /// One line per fact-gated optimizer rewrite, naming the pass, rule, and
+  /// justifying dataflow fact (DESIGN.md §10).
+  std::vector<std::string> rewrite_log;
 };
 
 /// Compiles every @pytond-decorated function in `source` against the

@@ -128,6 +128,7 @@ class Translator {
         f.is_array = true;
       }
       program_.base_columns[param] = f.columns;
+      program_.base_column_types[param] = t->schema().types;
       program_.relation_info[param] = {f.unique_positions};
       base_relations_.insert(param);
       TValue v;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "analysis/dataflow/dataflow.h"
 #include "analysis/verifier.h"
 
 namespace pytond::opt {
@@ -393,27 +394,52 @@ bool GlobalDeadCodeElimination(Program* program,
 
 namespace {
 
-bool IsUniqueVarInAccess(const Program& p, const Atom& access,
-                         const std::string& var) {
-  auto it = p.relation_info.find(access.relation);
-  if (it == p.relation_info.end()) return false;
-  for (size_t pos : it->second.unique_positions) {
-    if (pos < access.vars.size() && access.vars[pos] == var) return true;
+/// Fact-gated uniqueness: `var` sits at a position of `access` that the
+/// dataflow analysis proved to be a candidate key of the relation. Returns
+/// the justifying key fact (nullptr when unproven). Unlike the
+/// relation_info lookup this replaced, derived relations' keys are
+/// re-derived structurally, so a stale unique_positions entry cannot
+/// justify a rewrite.
+const analysis::dataflow::KeyFact* UniqueKeyForVar(
+    const analysis::dataflow::ProgramFacts& facts, const Atom& access,
+    const std::string& var) {
+  const analysis::dataflow::RelationFacts* rf = facts.Find(access.relation);
+  if (rf == nullptr) return nullptr;
+  for (size_t pos = 0; pos < access.vars.size(); ++pos) {
+    if (access.vars[pos] != var) continue;
+    if (const analysis::dataflow::KeyFact* k = rf->KeyWithin({pos})) {
+      return k;
+    }
   }
-  return false;
+  return nullptr;
+}
+
+void LogRewrite(std::vector<std::string>* log, const char* pass,
+                size_t rule_index, const std::string& what,
+                const std::string& fact) {
+  if (log == nullptr) return;
+  log->push_back(std::string(pass) + ": rule " +
+                 std::to_string(rule_index) + ": " + what +
+                 " [fact: " + fact + "]");
 }
 
 }  // namespace
 
-bool GroupAggregateElimination(Program* program) {
+bool GroupAggregateElimination(Program* program,
+                               std::vector<std::string>* rewrite_log) {
+  analysis::dataflow::ProgramFacts facts =
+      analysis::dataflow::AnalyzeProgram(*program);
   bool changed = false;
-  for (Rule& rule : program->rules) {
+  for (size_t rule_index = 0; rule_index < program->rules.size();
+       ++rule_index) {
+    Rule& rule = program->rules[rule_index];
     if (!rule.head.has_group()) continue;
     // Condition: every relation access holds some group var at a unique
     // position (so each group has at most one row), and nothing else
     // multiplies cardinality (no constant relations).
     bool ok = true;
     bool has_access = false;
+    std::string justification;
     for (const Atom& a : rule.body) {
       if (a.kind == Atom::Kind::kConstRel) {
         ok = false;
@@ -421,17 +447,17 @@ bool GroupAggregateElimination(Program* program) {
       }
       if (a.kind != Atom::Kind::kRelAccess) continue;
       has_access = true;
-      bool covered = false;
+      const analysis::dataflow::KeyFact* covered = nullptr;
       for (const std::string& g : rule.head.group_vars) {
-        if (IsUniqueVarInAccess(*program, a, g)) {
-          covered = true;
-          break;
-        }
+        covered = UniqueKeyForVar(facts, a, g);
+        if (covered != nullptr) break;
       }
-      if (!covered) {
+      if (covered == nullptr) {
         ok = false;
         break;
       }
+      if (!justification.empty()) justification += "; ";
+      justification += "'" + a.relation + "': " + covered->why;
     }
     if (!ok || !has_access) continue;
 
@@ -465,19 +491,28 @@ bool GroupAggregateElimination(Program* program) {
       }
     }
     rule.head.group_vars.clear();
+    LogRewrite(rewrite_log, "GroupAggregateElimination", rule_index,
+               "ungrouped '" + rule.head.relation +
+                   "': every group holds one row",
+               justification);
     changed = true;
   }
   return changed;
 }
 
-bool SelfJoinElimination(Program* program) {
+bool SelfJoinElimination(Program* program,
+                         std::vector<std::string>* rewrite_log) {
+  analysis::dataflow::ProgramFacts facts =
+      analysis::dataflow::AnalyzeProgram(*program);
   bool changed = false;
-  for (Rule& rule : program->rules) {
+  for (size_t rule_index = 0; rule_index < program->rules.size();
+       ++rule_index) {
+    Rule& rule = program->rules[rule_index];
     bool retry = true;
     while (retry) {
       retry = false;
       // Find two accesses of the same relation sharing a var at the same
-      // unique position.
+      // unique (fact-proven key) position.
       for (size_t i = 0; i < rule.body.size() && !retry; ++i) {
         if (rule.body[i].kind != Atom::Kind::kRelAccess) continue;
         for (size_t j = i + 1; j < rule.body.size() && !retry; ++j) {
@@ -488,16 +523,19 @@ bool SelfJoinElimination(Program* program) {
               a1.vars.size() != a2.vars.size()) {
             continue;
           }
-          auto info = program->relation_info.find(a1.relation);
-          if (info == program->relation_info.end()) continue;
-          bool joined_on_unique = false;
-          for (size_t pos : info->second.unique_positions) {
-            if (pos < a1.vars.size() && a1.vars[pos] == a2.vars[pos]) {
-              joined_on_unique = true;
-              break;
-            }
+          const analysis::dataflow::RelationFacts* rf =
+              facts.Find(a1.relation);
+          if (rf == nullptr) continue;
+          const analysis::dataflow::KeyFact* joined_on_unique = nullptr;
+          for (size_t pos = 0; pos < a1.vars.size(); ++pos) {
+            if (a1.vars[pos] != a2.vars[pos]) continue;
+            joined_on_unique = rf->KeyWithin({pos});
+            if (joined_on_unique != nullptr) break;
           }
-          if (!joined_on_unique) continue;
+          if (joined_on_unique == nullptr) continue;
+          LogRewrite(rewrite_log, "SelfJoinElimination", rule_index,
+                     "merged duplicate access of '" + a1.relation + "'",
+                     joined_on_unique->why);
           // Merge: a2's bindings become a1's.
           std::map<std::string, std::string> subst;
           for (size_t p = 0; p < a1.vars.size(); ++p) {
@@ -513,6 +551,166 @@ bool SelfJoinElimination(Program* program) {
         }
       }
     }
+  }
+  return changed;
+}
+
+namespace {
+
+bool TermContainsUid(const Term& t) {
+  if (t.kind == Term::Kind::kExt && t.ext_name == "uid") return true;
+  for (const auto& c : t.children) {
+    if (TermContainsUid(*c)) return true;
+  }
+  return false;
+}
+
+size_t CountTermUses(const Term& t, const std::string& v) {
+  size_t n = t.kind == Term::Kind::kVar && t.var == v ? 1 : 0;
+  for (const auto& c : t.children) n += CountTermUses(*c, v);
+  return n;
+}
+
+size_t CountBodyUses(const Body& body, const std::string& v) {
+  size_t n = 0;
+  for (const Atom& a : body) {
+    n += static_cast<size_t>(std::count(a.vars.begin(), a.vars.end(), v));
+    if (!a.var0.empty() && a.var0 == v) ++n;
+    if (a.term) n += CountTermUses(*a.term, v);
+    if (a.exists_body) n += CountBodyUses(*a.exists_body, v);
+  }
+  return n;
+}
+
+size_t CountRuleUses(const Rule& r, const std::string& v) {
+  size_t n = CountBodyUses(r.body, v);
+  n += static_cast<size_t>(
+      std::count(r.head.vars.begin(), r.head.vars.end(), v));
+  n += static_cast<size_t>(
+      std::count(r.head.group_vars.begin(), r.head.group_vars.end(), v));
+  for (const auto& k : r.head.sort_keys) {
+    if (k.var == v) ++n;
+  }
+  return n;
+}
+
+/// Removes assignments inside exists bodies whose target variable is used
+/// nowhere else in the rule. Such an atom is an always-true constraint
+/// (∃x. x = t holds vacuously), left behind by inlining; local DCE cannot
+/// reach it because every variable inside an exists body is conservatively
+/// treated as live.
+bool DropDeadExistsBindings(Rule* rule, size_t rule_index,
+                            std::vector<std::string>* rewrite_log) {
+  bool changed = false;
+  std::function<void(Body*)> visit = [&](Body* body) {
+    for (Atom& a : *body) {
+      if (a.kind != Atom::Kind::kExists) continue;
+      Body* inner = a.exists_body.get();
+      bool removed = true;
+      while (removed) {
+        removed = false;
+        for (size_t i = 0; i < inner->size(); ++i) {
+          const Atom& b = (*inner)[i];
+          if (b.kind != Atom::Kind::kCompare || b.cmp_op != CmpOp::kEq ||
+              b.term == nullptr || TermContainsUid(*b.term) ||
+              b.term->ContainsAgg()) {
+            continue;
+          }
+          if (CountRuleUses(*rule, b.var0) != 1) continue;
+          LogRewrite(rewrite_log, "PredicateSimplify", rule_index,
+                     "dropped dead binding '" + b.var0 +
+                         "' inside exists(..)",
+                     "target variable is used nowhere else in the rule");
+          inner->erase(inner->begin() + static_cast<std::ptrdiff_t>(i));
+          changed = removed = true;
+          break;
+        }
+      }
+      visit(inner);
+    }
+  };
+  visit(&rule->body);
+  return changed;
+}
+
+}  // namespace
+
+bool PredicateSimplify(Program* program,
+                       std::vector<std::string>* rewrite_log) {
+  std::vector<analysis::Diagnostic> diags;
+  analysis::dataflow::AnalyzeOptions ao;
+  ao.diags = &diags;
+  analysis::dataflow::ProgramFacts facts =
+      analysis::dataflow::AnalyzeProgram(*program, ao);
+  bool changed = false;
+
+  // 1. Fold always-true filter atoms. T022 is only emitted for top-level
+  //    filters whose non-nullable operands are implied by the facts of the
+  //    *other* atoms, so removing the atom is semantics-preserving. Nested
+  //    findings report their enclosing exists atom's index and are skipped
+  //    by the kCompare check.
+  std::map<size_t, std::set<size_t>> drop;
+  for (const analysis::Diagnostic& d : diags) {
+    if (d.code != analysis::codes::kAlwaysTruePredicate) continue;
+    if (d.rule_index < 0 || d.atom_index < 0) continue;
+    auto ri = static_cast<size_t>(d.rule_index);
+    auto ai = static_cast<size_t>(d.atom_index);
+    if (ri >= program->rules.size()) continue;
+    const Body& body = program->rules[ri].body;
+    if (ai >= body.size() || body[ai].kind != Atom::Kind::kCompare) continue;
+    drop[ri].insert(ai);
+  }
+  for (auto& [ri, atoms] : drop) {
+    Rule& rule = program->rules[ri];
+    for (auto it = atoms.rbegin(); it != atoms.rend(); ++it) {
+      LogRewrite(rewrite_log, "PredicateSimplify", ri,
+                 "folded always-true filter " +
+                     tondir::AtomToString(rule.body[*it]),
+                 "implied by value facts of the surrounding body");
+      rule.body.erase(rule.body.begin() + static_cast<std::ptrdiff_t>(*it));
+      changed = true;
+    }
+  }
+
+  // 2. Syntactic duplicate filters (the always-true check above only sees
+  //    value facts; identical LIKE/boolean filters are caught here).
+  for (size_t ri = 0; ri < program->rules.size(); ++ri) {
+    Rule& rule = program->rules[ri];
+    std::vector<bool> is_assign = ClassifyAssignments(rule.body);
+    std::set<std::string> seen;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Atom& a = rule.body[i];
+      if (a.kind != Atom::Kind::kCompare || is_assign[i]) continue;
+      if (!seen.insert(tondir::AtomToString(a)).second) {
+        LogRewrite(rewrite_log, "PredicateSimplify", ri,
+                   "removed duplicate filter " + tondir::AtomToString(a),
+                   "identical filter already constrains the body");
+        rule.body.erase(rule.body.begin() + static_cast<std::ptrdiff_t>(i));
+        is_assign.erase(is_assign.begin() + static_cast<std::ptrdiff_t>(i));
+        --i;
+        changed = true;
+      }
+    }
+  }
+
+  // 3. Cap provably-empty rules with limit(0): always-false predicates and
+  //    reads of provably-empty relations mean the rule can never produce a
+  //    row, so the generated query short-circuits.
+  for (size_t ri = 0; ri < program->rules.size(); ++ri) {
+    Rule& rule = program->rules[ri];
+    if (rule.head.limit.has_value() && *rule.head.limit == 0) continue;
+    const analysis::dataflow::RelationFacts* rf =
+        facts.Find(rule.head.relation);
+    if (rf == nullptr || !rf->provably_empty) continue;
+    rule.head.limit = 0;
+    LogRewrite(rewrite_log, "PredicateSimplify", ri,
+               "capped provably-empty rule with limit(0)", rf->empty_why);
+    changed = true;
+  }
+
+  // 4. Dead bindings inside exists bodies.
+  for (size_t ri = 0; ri < program->rules.size(); ++ri) {
+    changed |= DropDeadExistsBindings(&program->rules[ri], ri, rewrite_log);
   }
   return changed;
 }
@@ -602,6 +800,7 @@ OptimizerOptions OptimizerOptions::Preset(int level) {
   OptimizerOptions o;
   o.local_dce = level >= 1;
   o.global_dce = level >= 1;
+  o.predicate_simplify = level >= 1;
   o.group_agg_elim = level >= 2;
   o.self_join_elim = level >= 3;
   o.rule_inlining = level >= 4;
@@ -611,10 +810,11 @@ OptimizerOptions OptimizerOptions::Preset(int level) {
 Status Optimize(tondir::Program* program,
                 const std::set<std::string>& base_relations,
                 const OptimizerOptions& options) {
+  std::vector<std::string>* log = options.rewrite_log;
   struct Pass {
     const char* name;
     bool enabled;
-    bool (*run)(tondir::Program*, const std::set<std::string>&);
+    std::function<bool(tondir::Program*, const std::set<std::string>&)> run;
   };
   const Pass passes[] = {
       {"RuleInlining", options.rule_inlining,
@@ -622,12 +822,12 @@ Status Optimize(tondir::Program* program,
          return RuleInlining(p, b);
        }},
       {"SelfJoinElimination", options.self_join_elim,
-       [](tondir::Program* p, const std::set<std::string>&) {
-         return SelfJoinElimination(p);
+       [log](tondir::Program* p, const std::set<std::string>&) {
+         return SelfJoinElimination(p, log);
        }},
       {"GroupAggregateElimination", options.group_agg_elim,
-       [](tondir::Program* p, const std::set<std::string>&) {
-         return GroupAggregateElimination(p);
+       [log](tondir::Program* p, const std::set<std::string>&) {
+         return GroupAggregateElimination(p, log);
        }},
       {"GlobalDeadCodeElimination", options.global_dce,
        [](tondir::Program* p, const std::set<std::string>& b) {
@@ -636,6 +836,10 @@ Status Optimize(tondir::Program* program,
       {"CopyPropagation", options.local_dce,
        [](tondir::Program* p, const std::set<std::string>&) {
          return CopyPropagation(p);
+       }},
+      {"PredicateSimplify", options.predicate_simplify,
+       [log](tondir::Program* p, const std::set<std::string>&) {
+         return PredicateSimplify(p, log);
        }},
       {"LocalDeadCodeElimination", options.local_dce,
        [](tondir::Program* p, const std::set<std::string>&) {

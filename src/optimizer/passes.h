@@ -4,6 +4,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/trace.h"
@@ -21,6 +22,12 @@ struct OptimizerOptions {
   bool group_agg_elim = true;
   bool self_join_elim = true;
   bool rule_inlining = true;
+  bool predicate_simplify = true;
+
+  /// When set, every fact-gated rewrite appends one line naming the pass,
+  /// the rewritten rule, and the dataflow fact that justifies it (the
+  /// fact-gated rewrite contract, DESIGN.md §10).
+  std::vector<std::string>* rewrite_log = nullptr;
 
   /// Re-run the semantic verifier (analysis::VerifyProgram) after every
   /// pass that changed the program. On a violation, Optimize returns an
@@ -68,8 +75,24 @@ bool LocalDeadCodeElimination(tondir::Program* program);
 bool CopyPropagation(tondir::Program* program);
 bool GlobalDeadCodeElimination(tondir::Program* program,
                                const std::set<std::string>& base_relations);
-bool GroupAggregateElimination(tondir::Program* program);
-bool SelfJoinElimination(tondir::Program* program);
+/// Fact-gated rewrites: both passes run the dataflow analysis
+/// (analysis/dataflow/) over the current program and eliminate only when a
+/// derived key fact proves safety. Keys of extensional relations come from
+/// the declared catalog ground truth; keys of derived relations are
+/// re-derived structurally on every invocation, so stale or wrong
+/// relation_info entries can no longer cause unsound merges. Each applied
+/// rewrite appends its justification to `rewrite_log` when non-null.
+bool GroupAggregateElimination(tondir::Program* program,
+                               std::vector<std::string>* rewrite_log =
+                                   nullptr);
+bool SelfJoinElimination(tondir::Program* program,
+                         std::vector<std::string>* rewrite_log = nullptr);
+/// Folds provably always-true filter atoms (including dead bindings inside
+/// exists(..) bodies, which local DCE cannot reach) and caps provably
+/// always-false or provably-empty rules with limit(0). Consumes the same
+/// dataflow facts as the fact-gated eliminations above.
+bool PredicateSimplify(tondir::Program* program,
+                       std::vector<std::string>* rewrite_log = nullptr);
 bool RuleInlining(tondir::Program* program,
                   const std::set<std::string>& base_relations);
 

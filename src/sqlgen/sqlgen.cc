@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "analysis/verifier.h"
+#include "common/date_util.h"
 #include "common/string_util.h"
 
 namespace pytond::sqlgen {
@@ -230,7 +231,7 @@ class RuleGenerator {
             scope_.bindings[a.var0] = e;
           } else {
             PYTOND_ASSIGN_OR_RETURN(std::string lhs, BindOrOuter(a.var0, outer));
-            PYTOND_ASSIGN_OR_RETURN(std::string rhs, RenderTerm(*a.term));
+            PYTOND_ASSIGN_OR_RETURN(std::string rhs, RenderFilterRhs(a));
             where_.push_back("(" + lhs + " " + RenderCmp(a.cmp_op) + " " +
                              rhs + ")");
           }
@@ -264,7 +265,40 @@ class RuleGenerator {
     return Status::Internal("unbound variable '" + var + "'");
   }
 
+  /// Records the inferred column type for each variable bound by a relation
+  /// access, so comparisons can render dialect-appropriate typed literals.
+  void NoteVarTypes(const Atom& a) {
+    if (options_.facts == nullptr) return;
+    const auto* rf = options_.facts->Find(a.relation);
+    if (rf == nullptr) return;
+    for (size_t i = 0; i < a.vars.size() && i < rf->columns.size(); ++i) {
+      if (rf->columns[i].type.has_value()) {
+        var_types_.try_emplace(a.vars[i], *rf->columns[i].type);
+      }
+    }
+  }
+
+  /// RHS of a filter comparison. A string constant compared against a
+  /// date-typed column becomes a typed date literal: DuckDB prefers the
+  /// `DATE '...'` literal form, Hyper an explicit `CAST('...' AS date)`.
+  Result<std::string> RenderFilterRhs(const Atom& a) {
+    const Term& t = *a.term;
+    if (t.kind == Term::Kind::kConst &&
+        t.constant.type() == DataType::kString) {
+      auto it = var_types_.find(a.var0);
+      if (it != var_types_.end() && it->second == DataType::kDate &&
+          date_util::Parse(t.constant.AsString()).ok()) {
+        if (options_.dialect == SqlDialect::kHyper) {
+          return "CAST('" + t.constant.AsString() + "' AS date)";
+        }
+        return "DATE '" + t.constant.AsString() + "'";
+      }
+    }
+    return RenderTerm(t);
+  }
+
   Status ProcessAccess(const Atom& a) {
+    NoteVarTypes(a);
     PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* cols,
                             resolver_.Lookup(a.relation));
     if (cols->size() != a.vars.size()) {
@@ -302,6 +336,8 @@ class RuleGenerator {
     }
     const Atom& l = *accesses[0];
     const Atom& r = *accesses[1];
+    NoteVarTypes(l);
+    NoteVarTypes(r);
     PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* lcols,
                             resolver_.Lookup(l.relation));
     PYTOND_ASSIGN_OR_RETURN(const std::vector<std::string>* rcols,
@@ -340,6 +376,7 @@ class RuleGenerator {
     RuleGenerator inner(rule_, resolver_, options_, /*is_sink=*/false,
                         alias_seq_);
     inner.scope_.outer = outer;
+    inner.var_types_ = var_types_;  // correlated vars keep their types
     PYTOND_RETURN_IF_ERROR(inner.ProcessBody(*exists.exists_body, outer));
     // Correlations: vars bound both inside and outside.
     for (const auto& [var, expr] : inner.scope_.bindings) {
@@ -466,6 +503,7 @@ class RuleGenerator {
   Scope scope_;
   std::string from_;
   std::vector<std::string> where_;
+  std::map<std::string, DataType> var_types_;  // var -> inferred column type
 
  public:
   /// First column reference seen (UID ordering anchor); set by

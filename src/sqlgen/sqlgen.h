@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "analysis/dataflow/dataflow.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "tondir/ir.h"
@@ -25,6 +26,12 @@ struct SqlGenOptions {
   /// Optional tracing: GenerateSql opens a "sqlgen" phase span with
   /// rules/ctes/sql_bytes counters.
   obs::TraceCollector* trace = nullptr;
+  /// Column-type facts from the dataflow analysis (analysis/dataflow/).
+  /// When present, comparisons of a date-typed column against a string
+  /// constant emit a typed literal in the dialect's preferred spelling:
+  /// `DATE '...'` for kDuck, `CAST('...' AS date)` for kHyper (paper
+  /// §III-E, Backend Adaptation). Null = render constants verbatim.
+  const analysis::dataflow::ProgramFacts* facts = nullptr;
 };
 
 /// Lowers a TondIR program to one SQL statement: every non-sink rule

@@ -182,6 +182,11 @@ struct Program {
   /// Column names of the extensional (database) relations, needed by the
   /// SQL code generator to resolve positional accesses.
   std::map<std::string, std::vector<std::string>> base_columns;
+  /// Column value types of extensional relations (parallel to
+  /// base_columns), seeded by the translator from the catalog schema or by
+  /// `col:type` annotations in a textual '@base' directive. Optional: the
+  /// dataflow analysis treats missing entries as unknown-typed.
+  std::map<std::string, std::vector<DataType>> base_column_types;
 
   /// Pretty Datalog-style rendering, matching the paper's notation.
   std::string ToString() const;
@@ -205,7 +210,9 @@ std::string AtomToString(const Atom& atom);
 /// Parses the textual TondIR syntax produced by ToString (used heavily by
 /// optimizer unit tests and by the `tondlint` CLI). Grammar:
 ///   prog   := (base | rule)*
-///   base   := '@base' NAME '(' vars ')' ['unique' '(' ints ')'] '.'
+///   base   := '@base' NAME '(' col [':' type] , ... ')'
+///             ['unique' '(' ints ')'] '.'
+///             where type is one of int, float, str, bool, date
 ///   rule   := head ':-' body '.'
 ///   head   := NAME '(' vars ')' ['group' '(' vars ')']
 ///             ['sort' '(' keys ')'] ['limit' '(' INT ')'] ['distinct']

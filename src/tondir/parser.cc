@@ -69,12 +69,36 @@ class Parser {
   }
 
  private:
-  /// '@base' NAME '(' cols ')' ['unique' '(' ints ')'] '.' — declares an
-  /// extensional relation for standalone .tir files (tondlint, examples).
+  /// '@base' NAME '(' col[:type], ... ')' ['unique' '(' ints ')'] '.' —
+  /// declares an extensional relation for standalone .tir files (tondlint,
+  /// examples). The optional ':type' annotation (int, float, str, bool,
+  /// date) seeds base_column_types for the dataflow analysis.
   Status ParseBaseDirective(Program* p) {
     PYTOND_ASSIGN_OR_RETURN(std::string rel, Name());
-    PYTOND_ASSIGN_OR_RETURN(std::vector<std::string> cols, VarList());
+    PYTOND_RETURN_IF_ERROR(Expect('('));
+    std::vector<std::string> cols;
+    std::vector<DataType> types;
+    bool any_type = false;
+    while (true) {
+      PYTOND_ASSIGN_OR_RETURN(std::string col, Name());
+      cols.push_back(std::move(col));
+      DataType ty = DataType::kNull;
+      if (TryChar(':')) {
+        PYTOND_ASSIGN_OR_RETURN(std::string tname, Name());
+        if (tname == "int") ty = DataType::kInt64;
+        else if (tname == "float") ty = DataType::kFloat64;
+        else if (tname == "str") ty = DataType::kString;
+        else if (tname == "bool") ty = DataType::kBool;
+        else if (tname == "date") ty = DataType::kDate;
+        else return Status::ParseError("unknown column type '" + tname + "'");
+        any_type = true;
+      }
+      types.push_back(ty);
+      if (TryChar(')')) break;
+      PYTOND_RETURN_IF_ERROR(Expect(','));
+    }
     p->base_columns[rel] = std::move(cols);
+    if (any_type) p->base_column_types[rel] = std::move(types);
     if (TryKeyword("unique")) {
       PYTOND_RETURN_IF_ERROR(Expect('('));
       while (true) {

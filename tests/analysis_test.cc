@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/verifier.h"
 #include "core/session.h"
 #include "frontend/compiler.h"
@@ -53,6 +55,22 @@ TEST(VerifierTest, BaseDirectiveDeclaresSchemaAndUniqueness) {
   EXPECT_EQ(p->base_columns["t"],
             (std::vector<std::string>{"id", "v"}));
   EXPECT_EQ(p->relation_info["t"].unique_positions, (std::set<size_t>{0}));
+}
+
+TEST(VerifierTest, BaseDirectiveAcceptsColumnTypes) {
+  auto p = tondir::ParseProgram(
+      "@base t(id:int, name:str, score:float, ok:bool, d:date, untyped)"
+      " unique(0).\n"
+      "r(id) :- t(id, n, s, o, d, u).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->base_column_types.count("t"), 1u);
+  EXPECT_EQ(p->base_column_types["t"],
+            (std::vector<DataType>{DataType::kInt64, DataType::kString,
+                                   DataType::kFloat64, DataType::kBool,
+                                   DataType::kDate, DataType::kNull}));
+  // Unknown type names are parse errors, not silent defaults.
+  EXPECT_FALSE(tondir::ParseProgram("@base t(a:decimal).\nr(a) :- t(a).")
+                   .ok());
 }
 
 // ------------------------------------------------- one test per T-code
@@ -274,6 +292,45 @@ TEST(VerifierTest, T015DeadRuleIsWarningOnly) {
   EXPECT_FALSE(HasErrors(diags)) << FormatDiagnostics(diags);
 }
 
+TEST(VerifierTest, T014ReportsMarkerLocation) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "r(a) :- t(a, b), @frobnicate(a).");
+  const Diagnostic* d = nullptr;
+  for (const auto& dg : diags) {
+    if (dg.code == codes::kUnknownMarker) d = &dg;
+  }
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(diags);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->rule_index, 0);
+  EXPECT_EQ(d->atom_index, 1);
+  EXPECT_NE(d->message.find("@frobnicate"), std::string::npos) << d->message;
+}
+
+TEST(VerifierTest, T015DeadChainFlagsEveryRule) {
+  // dead2 reads dead1, but neither feeds the sink: reachability is
+  // computed transitively from the sink, so both rules are flagged.
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "dead1(a) :- t(a, b).\n"
+      "dead2(x) :- dead1(x).\n"
+      "r(x) :- t(x, y).");
+  std::set<int> dead_rules;
+  for (const auto& d : diags) {
+    if (d.code == codes::kDeadRule) dead_rules.insert(d.rule_index);
+  }
+  EXPECT_EQ(dead_rules, (std::set<int>{0, 1})) << FormatDiagnostics(diags);
+  EXPECT_FALSE(HasErrors(diags)) << FormatDiagnostics(diags);
+}
+
+TEST(VerifierTest, T015RuleReachableOnlyViaExistsIsLive) {
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "helper(a) :- t(a, b).\n"
+      "r(x) :- t(x, y), exists(helper(x)).");
+  EXPECT_FALSE(HasCode(diags, codes::kDeadRule)) << FormatDiagnostics(diags);
+}
+
 TEST(VerifierTest, T016RelationRedefined) {
   auto diags = Lint(
       "@base t(a, b).\n"
@@ -428,6 +485,326 @@ TEST(DatasciVerifyTest, WorkloadsVerifyThroughEveryPass) {
     auto c =
         frontend::CompileFunction(w.source, session.db().catalog(), options);
     EXPECT_TRUE(c.ok()) << w.name << ": " << c.status().ToString();
+  }
+}
+
+// --------------------------------------- deep lints (dataflow tier)
+//
+// One positive and one negative case per T020..T032 code. Every emitted
+// diagnostic must carry a non-empty inference chain (`notes`) — the
+// --explain-diag contract.
+
+std::vector<Diagnostic> DeepLint(const std::string& text) {
+  auto p = tondir::ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  if (!p.ok()) return {};
+  VerifyOptions options;
+  options.deep_lints = true;
+  for (const auto& [rel, cols] : p->base_columns) {
+    options.base_relations.insert(rel);
+  }
+  return VerifyProgram(*p, options);
+}
+
+const Diagnostic* FindCode(const std::vector<Diagnostic>& diags,
+                           const char* code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+/// Asserts the code is present AND explains itself.
+void ExpectCodeWithChain(const std::vector<Diagnostic>& diags,
+                         const char* code) {
+  const Diagnostic* d = FindCode(diags, code);
+  ASSERT_NE(d, nullptr) << "missing " << code << "\n"
+                        << FormatDiagnostics(diags);
+  EXPECT_FALSE(d->notes.empty())
+      << code << " has no inference chain: " << d->message;
+}
+
+TEST(DeepLintTest, T020TypeMismatchIntVsString) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:str).\n"
+      "out(a) :- t(a, b), (a = \"expensive\").");
+  ExpectCodeWithChain(diags, codes::kTypeMismatch);
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST(DeepLintTest, T020NegativeComparableTypes) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:float).\n"
+      "out(a) :- t(a, b), (a = 5), (b > 1.5).");
+  EXPECT_EQ(FindCode(diags, codes::kTypeMismatch), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T020NegativeDateVsParsableString) {
+  // Date columns may be compared against date-shaped string literals:
+  // the frontend emits those and sqlgen adapts them per dialect.
+  auto diags = DeepLint(
+      "@base t(d:date, v:int).\n"
+      "out(v) :- t(d, v), (d < \"1995-01-01\").");
+  EXPECT_EQ(FindCode(diags, codes::kTypeMismatch), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T021AlwaysFalseFromIntervalContradiction) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a > 10), (a < 5).");
+  ExpectCodeWithChain(diags, codes::kAlwaysFalsePredicate);
+  EXPECT_FALSE(HasErrors(diags));
+}
+
+TEST(DeepLintTest, T021NegativeSatisfiableRange) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a > 10), (a < 20).");
+  EXPECT_EQ(FindCode(diags, codes::kAlwaysFalsePredicate), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T022AlwaysTrueFromImpliedRange) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a > 10), (a > 5).");
+  ExpectCodeWithChain(diags, codes::kAlwaysTruePredicate);
+}
+
+TEST(DeepLintTest, T022NegativeTighterFilter) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a > 10), (a > 20).");
+  EXPECT_EQ(FindCode(diags, codes::kAlwaysTruePredicate), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T022NegativeNullableOperandSuppresses) {
+  // The right side of a left outer join is nullable; a NULL makes the
+  // predicate unknown (row dropped), so "always true" would be unsound.
+  auto diags = DeepLint(
+      "@base t(k:int, v:int).\n"
+      "@base u(k:int, w:int).\n"
+      "out(k, w) :- t(k, v), u(k2, w), @outer_left(k, k2), (w > 5), "
+      "(w > 1).");
+  EXPECT_EQ(FindCode(diags, codes::kAlwaysTruePredicate), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T023NullableArithmeticAfterOuterJoin) {
+  auto diags = DeepLint(
+      "@base t(k:int, v:int).\n"
+      "@base u(k:int, w:int).\n"
+      "out(k, w2) :- t(k, v), u(k2, w), @outer_left(k, k2), "
+      "(w2 = (w + 1)).");
+  ExpectCodeWithChain(diags, codes::kNullableArithmetic);
+}
+
+TEST(DeepLintTest, T023NegativeInnerJoin) {
+  auto diags = DeepLint(
+      "@base t(k:int, v:int).\n"
+      "@base u(k:int, w:int).\n"
+      "out(k, w2) :- t(k, v), u(k, w), (w2 = (w + 1)).");
+  EXPECT_EQ(FindCode(diags, codes::kNullableArithmetic), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T024UnreachableColumn) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:int).\n"
+      "mid(a, b) :- t(a, b).\n"
+      "out(a) :- mid(a, b).");
+  ExpectCodeWithChain(diags, codes::kUnreachableColumn);
+}
+
+TEST(DeepLintTest, T024NegativeAllColumnsRead) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:int).\n"
+      "mid(a, b) :- t(a, b).\n"
+      "out(a, b) :- mid(a, b).");
+  EXPECT_EQ(FindCode(diags, codes::kUnreachableColumn), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T025RedundantDistinctOverDeclaredKey) {
+  auto diags = DeepLint(
+      "@base t(id:int, v:int) unique(0).\n"
+      "out(id, v) distinct :- t(id, v).");
+  ExpectCodeWithChain(diags, codes::kRedundantDistinct);
+}
+
+TEST(DeepLintTest, T025NegativeNoKey) {
+  auto diags = DeepLint(
+      "@base t(id:int, v:int).\n"
+      "out(id, v) distinct :- t(id, v).");
+  EXPECT_EQ(FindCode(diags, codes::kRedundantDistinct), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T026ConstantSortKey) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a, c) sort(c asc) :- t(a), (c = 5).");
+  ExpectCodeWithChain(diags, codes::kConstantSortKey);
+}
+
+TEST(DeepLintTest, T026NegativeVaryingSortKey) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) sort(a asc) :- t(a).");
+  EXPECT_EQ(FindCode(diags, codes::kConstantSortKey), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T027AggregateOverEmptyBody) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:int).\n"
+      "out(s) :- t(a, b), (a > 10), (a < 5), (s = sum(b)).");
+  ExpectCodeWithChain(diags, codes::kAggregateOverEmpty);
+}
+
+TEST(DeepLintTest, T027NegativeSatisfiableBody) {
+  auto diags = DeepLint(
+      "@base t(a:int, b:int).\n"
+      "out(s) :- t(a, b), (a > 10), (s = sum(b)).");
+  EXPECT_EQ(FindCode(diags, codes::kAggregateOverEmpty), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T028DivisionByConstantZero) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(x) :- t(a), (x = (a / 0)).");
+  ExpectCodeWithChain(diags, codes::kDivisionByZero);
+}
+
+TEST(DeepLintTest, T028NegativeNonZeroDivisor) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(x) :- t(a), (x = (a / 2)).");
+  EXPECT_EQ(FindCode(diags, codes::kDivisionByZero), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T029RedundantGroupByOverKey) {
+  auto diags = DeepLint(
+      "@base t(id:int, v:int) unique(0).\n"
+      "out(id, s) group(id) :- t(id, v), (s = sum(v)).");
+  ExpectCodeWithChain(diags, codes::kRedundantGroupBy);
+}
+
+TEST(DeepLintTest, T029NegativeGroupOverNonKey) {
+  auto diags = DeepLint(
+      "@base t(id:int, v:int) unique(0).\n"
+      "out(v, s) group(v) :- t(id, v), (s = sum(id)).");
+  EXPECT_EQ(FindCode(diags, codes::kRedundantGroupBy), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T030StringOpOnIntColumn) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(x) :- t(a), (x = lower(a)).");
+  ExpectCodeWithChain(diags, codes::kStringOpOnNonString);
+}
+
+TEST(DeepLintTest, T030NegativeStringColumn) {
+  auto diags = DeepLint(
+      "@base t(a:str).\n"
+      "out(x) :- t(a), (x = lower(a)).");
+  EXPECT_EQ(FindCode(diags, codes::kStringOpOnNonString), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T031ComparisonAgainstNull) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a = null).");
+  ExpectCodeWithChain(diags, codes::kNullComparison);
+}
+
+TEST(DeepLintTest, T031NegativeNonNullConstant) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a) :- t(a), (a = 5).");
+  EXPECT_EQ(FindCode(diags, codes::kNullComparison), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, T032EmptySinkResult) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "mid(a) :- t(a), (a > 10), (a < 5).\n"
+      "out(a) :- mid(a).");
+  ExpectCodeWithChain(diags, codes::kEmptyResult);
+}
+
+TEST(DeepLintTest, T032NegativeNonEmptySink) {
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "mid(a) :- t(a), (a > 10).\n"
+      "out(a) :- mid(a).");
+  EXPECT_EQ(FindCode(diags, codes::kEmptyResult), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, DeepTierOffByDefault) {
+  // Without deep_lints, the dataflow tier never runs: the same program
+  // that trips T021/T032 above verifies silently.
+  auto diags = Lint(
+      "@base t(a, b).\n"
+      "out(a) :- t(a, b), (a > 10), (a < 5).");
+  EXPECT_TRUE(diags.empty()) << FormatDiagnostics(diags);
+}
+
+TEST(DeepLintTest, DeepTierSkippedWhenStructuralErrors) {
+  // Structural errors poison dataflow input; the deep tier must not run
+  // (and must not crash) on a program that fails the structural tier.
+  auto diags = DeepLint(
+      "@base t(a:int).\n"
+      "out(a, zzz) :- t(a), (a > 10), (a < 5).");
+  EXPECT_TRUE(HasErrors(diags));
+  EXPECT_EQ(FindCode(diags, codes::kAlwaysFalsePredicate), nullptr)
+      << FormatDiagnostics(diags);
+}
+
+// Frontend integration: catalog schema types seed the dataflow lattice.
+
+TEST(DeepLintFrontendTest, CatalogTypesFlowIntoDiagnostics) {
+  Session session;
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.01).ok());
+  RunOptions opts;
+  opts.deep_lints = true;
+  auto c = session.Compile(R"(
+@pytond()
+def q(lineitem):
+    v = lineitem[lineitem.l_quantity > 100]
+    w = v[v.l_quantity < 50]
+    return w
+)",
+                           opts);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  const Diagnostic* d =
+      FindCode(c->diagnostics, codes::kAlwaysFalsePredicate);
+  ASSERT_NE(d, nullptr) << FormatDiagnostics(c->diagnostics);
+  EXPECT_FALSE(d->notes.empty());
+  EXPECT_NE(FindCode(c->diagnostics, codes::kEmptyResult), nullptr);
+}
+
+TEST(DeepLintFrontendTest, TpchQueriesAreDeepLintClean) {
+  // The production queries must stay free of deep-lint errors (warnings
+  // on redundant patterns are allowed, type errors are not).
+  Session session;
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.01).ok());
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    RunOptions opts;
+    opts.deep_lints = true;
+    auto c = session.Compile(q.source, opts);
+    ASSERT_TRUE(c.ok()) << q.name << ": " << c.status().ToString();
+    EXPECT_FALSE(HasErrors(c->diagnostics))
+        << q.name << ":\n" << FormatDiagnostics(c->diagnostics);
   }
 }
 

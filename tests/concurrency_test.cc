@@ -132,6 +132,72 @@ TEST_F(ConcurrencyTest, PlanCacheAccountingUnderRaces) {
   EXPECT_GE(stats.hits, total - kThreads);
 }
 
+/// Regression: plan-cache hits used to drop verifier warnings (the
+/// compile was skipped and nothing re-surfaced the stored diagnostics).
+/// Now the diagnostics live on the cached Compiled and every hit re-emits
+/// a `warnings` counter on its plan_cache span.
+TEST_F(ConcurrencyTest, PlanCacheHitsKeepVerifierWarnings) {
+  Session session;  // fresh cache so hit/miss order is deterministic
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.01).ok());
+  // Contradictory filters: the deep-lint tier proves the result empty
+  // (T021 always-false predicate + T032 empty sink).
+  const std::string source = R"(
+@pytond()
+def q(lineitem):
+    v = lineitem[lineitem.l_quantity > 100]
+    w = v[v.l_quantity < 50]
+    return w
+)";
+  RunOptions opts;
+  opts.deep_lints = true;
+
+  obs::TraceCollector miss_trace;
+  RunOptions miss_opts = opts;
+  miss_opts.trace = &miss_trace;
+  auto first = session.CompileCached(source, miss_opts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE((*first)->diagnostics.empty());
+
+  obs::TraceCollector hit_trace;
+  RunOptions hit_opts = opts;
+  hit_opts.trace = &hit_trace;
+  auto second = session.CompileCached(source, hit_opts);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  // The hit returns the same artifact, warnings still attached.
+  EXPECT_EQ(first->get(), second->get());
+  ASSERT_FALSE((*second)->diagnostics.empty());
+  bool saw_always_false = false;
+  for (const auto& d : (*second)->diagnostics) {
+    if (d.code == analysis::codes::kAlwaysFalsePredicate) {
+      saw_always_false = true;
+      EXPECT_FALSE(d.notes.empty()) << "inference chain missing";
+    }
+  }
+  EXPECT_TRUE(saw_always_false);
+
+  // And the hit's trace re-emits the warning count.
+  const obs::SpanNode* span = hit_trace.root().FindDescendant("plan_cache");
+  ASSERT_NE(span, nullptr);
+  int64_t hit = -1, warnings = -1;
+  for (const auto& [k, v] : span->counters) {
+    if (k == "hit") hit = v;
+    if (k == "warnings") warnings = v;
+  }
+  EXPECT_EQ(hit, 1);
+  EXPECT_EQ(warnings,
+            static_cast<int64_t>((*second)->diagnostics.size()));
+
+  // deep_lints participates in the cache key: a non-deep compile of the
+  // same source is a distinct entry without stored warnings.
+  RunOptions shallow;
+  auto third = session.CompileCached(source, shallow);
+  ASSERT_TRUE(third.ok());
+  EXPECT_NE(first->get(), third->get());
+  EXPECT_TRUE((*third)->diagnostics.empty());
+  EXPECT_EQ(session.plan_cache_stats().entries, 2u);
+}
+
 /// One pool per Database: concurrent parallel queries share it, it is
 /// sized by the largest degree requested, and it keeps its workers across
 /// queries (no per-call spawning).

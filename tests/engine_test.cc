@@ -286,6 +286,21 @@ TEST_F(EngineTest, ResearchProfileRejectsWindows) {
   EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
 }
 
+TEST_F(EngineTest, CastStringToDateMatchesDateLiteral) {
+  // The Hyper-dialect codegen spells date constants CAST('...' AS date);
+  // it must parse (DATE is a reserved keyword) and compare equal to the
+  // DATE literal form.
+  Table a = Run("SELECT amount FROM d WHERE when_ < DATE '1994-06-15'");
+  Table b =
+      Run("SELECT amount FROM d WHERE when_ < CAST('1994-06-15' AS date)");
+  ASSERT_EQ(a.num_rows(), 1u);
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(a, b, 0.0, &diff)) << diff;
+  // Malformed date strings fail the cast rather than silently truncating.
+  EXPECT_FALSE(
+      db_.Query("SELECT CAST('not-a-date' AS date) AS x FROM d").ok());
+}
+
 TEST_F(EngineTest, CompiledProfileSameResults) {
   QueryOptions opts;
   opts.profile = BackendProfile::kCompiled;

@@ -252,8 +252,8 @@ TEST_F(ObsPipelineTest, QueryProfileSummarizesCompileAndExec) {
   ASSERT_GE(p.compile_phases.size(), 6u);
   EXPECT_EQ(p.compile_phases.front().first, "parse");
   EXPECT_EQ(p.compile_phases.back().first, "sqlgen");
-  // O4 runs all six TondIR passes (each at least one round).
-  EXPECT_EQ(p.passes.size(), 6u);
+  // O4 runs all seven TondIR passes (each at least one round).
+  EXPECT_EQ(p.passes.size(), 7u);
   for (const auto& pass : p.passes) EXPECT_GE(pass.runs, 1);
   // Q6 is scan->filter->aggregate->project.
   bool saw_filter = false;

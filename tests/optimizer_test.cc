@@ -429,5 +429,153 @@ TEST(VerifyEachPassTest, RejectsInvalidInputProgram) {
   EXPECT_NE(s.message().find("T003"), std::string::npos) << s.ToString();
 }
 
+// ------------------------------------------ fact-gated rewrite contract
+//
+// Keys of *derived* relations are re-derived structurally by the dataflow
+// analysis on every pass invocation; a stale relation_info entry alone can
+// no longer justify a rewrite.
+
+TEST(FactGatingTest, StaleKeyOnDerivedRelationBlocksSelfJoinElim) {
+  // `d` copies every row of base `t` (no uniqueness anywhere), but a
+  // stale/wrong catalog entry claims d.k is unique. Merging the two `d`
+  // accesses would drop rows whenever t has duplicate keys — the facts
+  // engine refuses because no structural key derivation covers d.
+  Program p = Parse(
+      "d(k, v) :- t(k, v).\n"
+      "out(k, a, b) :- d(k, a), d(k, b).");
+  p.relation_info["d"].unique_positions = {0};  // stale: not actually true
+  EXPECT_FALSE(SelfJoinElimination(&p));
+  EXPECT_EQ(p.rules[1].body.size(), 2u);
+}
+
+TEST(FactGatingTest, DerivedGroupByKeyJustifiesSelfJoinElim) {
+  // Same shape, but `d` really is keyed on k: it is a group-by head, so
+  // the dataflow derives key {k} structurally and the merge is sound.
+  Program p = Parse(
+      "d(k, s) group(k) :- t(k, v), (s = sum(v)).\n"
+      "out(k, a, b) :- d(k, a), d(k, b).");
+  std::vector<std::string> log;
+  EXPECT_TRUE(SelfJoinElimination(&p, &log));
+  EXPECT_EQ(p.rules[1].body.size(), 1u);
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log[0].find("SelfJoinElimination"), std::string::npos) << log[0];
+  EXPECT_NE(log[0].find("group-by"), std::string::npos)
+      << "justification must cite the derived key fact: " << log[0];
+}
+
+TEST(FactGatingTest, StaleKeyOnDerivedRelationBlocksGroupAggElim) {
+  Program p = Parse(
+      "d(k, v) :- t(k, v).\n"
+      "out(k, s) group(k) :- d(k, v), (s = sum(v)).");
+  p.relation_info["d"].unique_positions = {0};  // stale: not actually true
+  EXPECT_FALSE(GroupAggregateElimination(&p));
+  EXPECT_TRUE(p.rules[1].head.has_group());
+}
+
+TEST(FactGatingTest, BaseDirectiveKeyStillJustifiesGroupAggElim) {
+  // Extensional relations keep their catalog ground truth: @base unique
+  // positions seed the key lattice directly.
+  Program p = Parse(
+      "@base t(k, v) unique(0).\n"
+      "out(k, s) group(k) :- t(k, v), (s = sum(v)).");
+  std::vector<std::string> log;
+  EXPECT_TRUE(GroupAggregateElimination(&p, &log));
+  EXPECT_FALSE(p.rules[0].head.has_group());
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log[0].find("GroupAggregateElimination"), std::string::npos);
+  EXPECT_NE(log[0].find("declared unique"), std::string::npos)
+      << "justification must cite the catalog fact: " << log[0];
+}
+
+// --------------------------------------------------- predicate simplify
+
+TEST(PredicateSimplifyTest, FoldsImpliedFilter) {
+  Program p = Parse(
+      "@base t(a, b).\n"
+      "out(a) :- t(a, b), (a > 10), (a > 5).");
+  std::vector<std::string> log;
+  EXPECT_TRUE(PredicateSimplify(&p, &log));
+  // The weaker filter is gone, the stronger one stays.
+  EXPECT_EQ(tondir::RuleToString(p.rules[0]),
+            "out(a) :- t(a, b), (a > 10).");
+  ASSERT_FALSE(log.empty());
+  EXPECT_NE(log[0].find("always-true"), std::string::npos) << log[0];
+}
+
+TEST(PredicateSimplifyTest, KeepsNonRedundantFilters) {
+  Program p = Parse(
+      "@base t(a, b).\n"
+      "out(a) :- t(a, b), (a > 10), (b > 5).");
+  EXPECT_FALSE(PredicateSimplify(&p));
+  EXPECT_EQ(p.rules[0].body.size(), 3u);
+}
+
+TEST(PredicateSimplifyTest, RemovesDuplicateFilter) {
+  Program p = Parse(
+      "@base t(a, b).\n"
+      "out(a) :- t(a, b), (b < 3), (b < 3).");
+  EXPECT_TRUE(PredicateSimplify(&p));
+  EXPECT_EQ(tondir::RuleToString(p.rules[0]),
+            "out(a) :- t(a, b), (b < 3).");
+}
+
+TEST(PredicateSimplifyTest, CapsProvablyEmptyRuleWithLimitZero) {
+  Program p = Parse(
+      "@base t(a, b).\n"
+      "out(a) :- t(a, b), (a > 10), (a < 5).");
+  std::vector<std::string> log;
+  EXPECT_TRUE(PredicateSimplify(&p, &log));
+  ASSERT_TRUE(p.rules[0].head.limit.has_value());
+  EXPECT_EQ(*p.rules[0].head.limit, 0);
+  // Idempotent: a second run does not re-cap or re-log.
+  log.clear();
+  EXPECT_FALSE(PredicateSimplify(&p, &log));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(PredicateSimplifyTest, DropsDeadBindingInsideExists) {
+  // Local DCE treats every exists-body variable as live; the facts-driven
+  // pass proves `d` and `e` are bound-but-never-used and removes them.
+  Program p = Parse(
+      "@base ps(a, b, c).\n"
+      "@base s(x).\n"
+      "out(x) :- s(x), exists(ps(a, b, c), (d = a), (e = b), (b = x)).");
+  std::vector<std::string> log;
+  EXPECT_TRUE(PredicateSimplify(&p, &log));
+  EXPECT_EQ(p.rules[0].body[1].exists_body->size(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(PredicateSimplifyTest, KeepsLiveExistsBindings) {
+  // `d` feeds the correlation filter: not dead, must survive.
+  Program p = Parse(
+      "@base ps(a, b, c).\n"
+      "@base s(x).\n"
+      "out(x) :- s(x), exists(ps(a, b, c), (d = a), (d = x)).");
+  EXPECT_FALSE(PredicateSimplify(&p));
+  EXPECT_EQ(p.rules[0].body[1].exists_body->size(), 3u);
+}
+
+TEST(PredicateSimplifyTest, OptimizeRewriteLogCollectsJustifications) {
+  Program p = Parse(
+      "@base t(k, v) unique(0).\n"
+      "out(k, s) group(k) :- t(k, v), (s = sum(v)), (k > 0), (k > -5).");
+  OptimizerOptions o = OptimizerOptions::Preset(4);
+  std::vector<std::string> log;
+  o.rewrite_log = &log;
+  ASSERT_TRUE(Optimize(&p, {"t"}, o).ok());
+  bool saw_group_agg = false, saw_pred_simplify = false;
+  for (const auto& line : log) {
+    if (line.find("GroupAggregateElimination") != std::string::npos) {
+      saw_group_agg = true;
+    }
+    if (line.find("PredicateSimplify") != std::string::npos) {
+      saw_pred_simplify = true;
+    }
+  }
+  EXPECT_TRUE(saw_group_agg) << "log has " << log.size() << " lines";
+  EXPECT_TRUE(saw_pred_simplify) << "log has " << log.size() << " lines";
+}
+
 }  // namespace
 }  // namespace pytond::opt

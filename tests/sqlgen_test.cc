@@ -166,6 +166,38 @@ TEST(SqlGenTest, DialectAdaptationForDateFunctions) {
             std::string::npos);
 }
 
+TEST(SqlGenTest, TypeAwareDateLiteralPerDialect) {
+  // With dataflow facts attached, a string constant compared against a
+  // date-typed column is emitted as a typed literal in the dialect's
+  // preferred spelling (paper §III-E, Backend Adaptation).
+  Program p = Parse(
+      "@base T(d:date, v:int).\n"
+      "Out(v) :- T(d, v), (d < \"1995-01-01\").");
+  analysis::dataflow::AnalyzeOptions aopts;
+  aopts.base_relations = {"T"};
+  auto facts = analysis::dataflow::AnalyzeProgram(p, aopts);
+  SqlGenOptions opts;
+  opts.pretty = false;
+  opts.facts = &facts;
+  opts.dialect = SqlDialect::kDuck;
+  auto duck = GenerateSql(p, opts);
+  ASSERT_TRUE(duck.ok()) << duck.status().ToString();
+  EXPECT_NE(duck->find("DATE '1995-01-01'"), std::string::npos) << *duck;
+  opts.dialect = SqlDialect::kHyper;
+  auto hyper = GenerateSql(p, opts);
+  ASSERT_TRUE(hyper.ok()) << hyper.status().ToString();
+  EXPECT_NE(hyper->find("CAST('1995-01-01' AS date)"), std::string::npos)
+      << *hyper;
+  // Without facts (or for non-date columns) the constant stays a plain
+  // string literal.
+  opts.facts = nullptr;
+  auto plain = GenerateSql(p, opts);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NE(plain->find("'1995-01-01'"), std::string::npos);
+  EXPECT_EQ(plain->find("CAST"), std::string::npos) << *plain;
+  EXPECT_EQ(plain->find("DATE '"), std::string::npos) << *plain;
+}
+
 TEST(SqlGenTest, AggregateSpellings) {
   Program p = Parse(
       "Out(g, s, c, cd, m) group(g) :- T(g, v), (s = sum(v)), "

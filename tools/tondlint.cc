@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow/dataflow.h"
 #include "analysis/verifier.h"
 #include "obs/json.h"
 #include "tondir/ir.h"
@@ -29,6 +30,9 @@ struct LintConfig {
   bool quiet = false;          // suppress per-file "OK" lines
   bool implicit_bases = false; // undeclared read relations become bases
   bool json = false;           // machine-readable output on stdout
+  bool deep = true;            // dataflow deep-lint tier T020..T032
+  bool facts = false;          // dump the per-relation fact lattice
+  bool explain = false;        // print each diagnostic's inference chain
 };
 
 int Usage() {
@@ -41,6 +45,10 @@ int Usage() {
          "  --quiet            only print diagnostics, no per-file summary\n"
          "  --json             emit one JSON document on stdout instead of\n"
          "                     plain-text lines (same exit codes)\n"
+         "  --no-deep          skip the dataflow deep-lint tier (T020..T032)\n"
+         "  --facts            dump the inferred per-relation fact lattice\n"
+         "                     (types, nullability, keys, ranges)\n"
+         "  --explain-diag     print each diagnostic's inference chain\n"
          "  --list-codes       print the diagnostic code table and exit\n";
   return 2;
 }
@@ -67,6 +75,19 @@ void ListCodes() {
       {kConstRelHeterogeneous, "constant relation mixes value types"},
       {kConstRelEmpty, "empty constant relation"},
       {kUidWithoutAccess, "uid() in a body without a relation access"},
+      {kTypeMismatch, "comparison/join over incompatible value types"},
+      {kAlwaysFalsePredicate, "filter contradicts derived facts (warning)"},
+      {kAlwaysTruePredicate, "filter implied by derived facts (warning)"},
+      {kNullableArithmetic, "arithmetic over a nullable column (warning)"},
+      {kUnreachableColumn, "column never read by any consumer (warning)"},
+      {kRedundantDistinct, "distinct over rows already unique (warning)"},
+      {kConstantSortKey, "sort key is provably constant (warning)"},
+      {kAggregateOverEmpty, "aggregate over a provably empty body (warning)"},
+      {kDivisionByZero, "divisor is provably zero (warning)"},
+      {kRedundantGroupBy, "group keys already unique per row (warning)"},
+      {kStringOpOnNonString, "string operation on non-string type (warning)"},
+      {kNullComparison, "comparison against NULL is never true (warning)"},
+      {kEmptyResult, "sink relation is provably empty (warning)"},
   };
   for (const auto& row : table) {
     std::cout << row.code << "  " << row.what << "\n";
@@ -94,12 +115,19 @@ int LintSource(const std::string& label, const std::string& text,
   }
   pytond::analysis::VerifyOptions options;
   options.implicit_bases = config.implicit_bases;
+  options.deep_lints = config.deep;
   for (const auto& [rel, cols] : parsed->base_columns) {
     options.base_relations.insert(rel);
   }
   auto diags = pytond::analysis::VerifyProgram(*parsed, options);
   bool failed = pytond::analysis::HasErrors(diags) ||
                 (config.werror && !diags.empty());
+  if (config.facts && json == nullptr) {
+    pytond::analysis::dataflow::AnalyzeOptions aopts;
+    aopts.base_relations = options.base_relations;
+    auto facts = pytond::analysis::dataflow::AnalyzeProgram(*parsed, aopts);
+    std::cout << label << ": facts:\n" << facts.Dump();
+  }
   if (json != nullptr) {
     json->BeginObject()
         .Key("file").String(label)
@@ -115,12 +143,22 @@ int LintSource(const std::string& label, const std::string& text,
           .Key("atom").Int(d.atom_index)
           .Key("message").String(d.message);
       if (!d.fix_hint.empty()) json->Key("fix_hint").String(d.fix_hint);
+      if (!d.notes.empty()) {
+        json->Key("notes").BeginArray();
+        for (const auto& n : d.notes) json->String(n);
+        json->EndArray();
+      }
       json->EndObject();
     }
     json->EndArray().EndObject();
   } else {
     for (const auto& d : diags) {
       std::cout << label << ": " << d.ToString() << "\n";
+      if (config.explain) {
+        for (const auto& n : d.notes) {
+          std::cout << "    note: " << n << "\n";
+        }
+      }
     }
     if (!failed && !config.quiet) {
       std::cout << label << ": OK (" << parsed->rules.size() << " rules)\n";
@@ -144,6 +182,12 @@ int main(int argc, char** argv) {
       config.quiet = true;
     } else if (arg == "--json") {
       config.json = true;
+    } else if (arg == "--no-deep") {
+      config.deep = false;
+    } else if (arg == "--facts") {
+      config.facts = true;
+    } else if (arg == "--explain-diag") {
+      config.explain = true;
     } else if (arg == "--list-codes") {
       ListCodes();
       return 0;

@@ -1,0 +1,11 @@
+# F006: the boolean mask is built over `a` but filters `b`. Relational
+# frames have no positional row alignment — the analyzer demands the mask
+# derive from the frame being filtered (merge the frames instead).
+# @base a(id, x, y:float64)
+# @base b(id, x, z:float64)
+
+@pytond()
+def cross(a, b):
+    mask = a.x > 3
+    out = b[mask]
+    return out

@@ -1,0 +1,8 @@
+# F013: isin([]) with an empty list is always-false and almost certainly
+# a bug; the analyzer rejects it with a fix hint.
+# @base events(id, kind:string, ts)
+
+@pytond()
+def filtered(events):
+    out = events[events.kind.isin([])]
+    return out

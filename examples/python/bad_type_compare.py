@@ -1,0 +1,8 @@
+# F005: comparing a string column against an integer literal — the
+# analyzer's type lattice catches the mismatch before the engine sees it.
+# @base users(id, name:string, age)
+
+@pytond()
+def bad_compare(users):
+    out = users[users.name > 7]
+    return out

@@ -1,0 +1,9 @@
+# F001: the filter reads 'shipdate' but the schema says 'ship_date' —
+# the analyzer suggests the nearest column name in its hint.
+# @base shipments(id, ship_date:date, weight:float64, dest:string)
+
+@pytond()
+def late(shipments):
+    heavy = shipments[shipments.weight > 10.0]
+    out = heavy[heavy.shipdate > '1995-01-01']
+    return out

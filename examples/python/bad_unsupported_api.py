@@ -1,0 +1,8 @@
+# F004: .rolling() is not in the translatable pandas surface — the
+# binding is classified untranslatable with an explicit reason.
+# @base prices(id, day, close:float64)
+
+@pytond()
+def rolling_mean(prices):
+    w = prices.rolling(7)
+    return w

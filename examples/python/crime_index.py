@@ -1,0 +1,15 @@
+# The Weld Crime Index hybrid pipeline (paper §V-A): Pandas -> NumPy
+# einsum -> Pandas. The einsum contraction and the final agg() are flow
+# breakers; everything else is translatable.
+# @base crime_data(id, total_population:float64, adult_population:float64, num_robberies:float64)
+# @base crime_weights(id, w:float64)
+
+@pytond()
+def crime_index(crime_data, crime_weights):
+    big = crime_data[crime_data.total_population > 10000.0]
+    a = big.to_numpy()
+    idx = np.einsum('ij,j->i', a, crime_weights.to_numpy())
+    d = pd.DataFrame(idx)
+    safe = d[d.c0 < 300000.0]
+    out = safe.agg(total_index=('c0', 'sum'), cities=('c0', 'count'))
+    return out

@@ -1,0 +1,11 @@
+# Clean relational pipeline: selection + projection + sort, no flow
+# breakers anywhere — tondcheck reports OK.
+# @base orders(id, o_custkey, o_totalprice:float64, o_status:string)
+
+@pytond()
+def big_orders(orders):
+    big = orders[orders.o_totalprice > 1000.0]
+    open_big = big[big.o_status == 'O']
+    view = open_big[['o_custkey', 'o_totalprice']]
+    out = view.sort_values(by=['o_totalprice'], ascending=[False]).head(10)
+    return out

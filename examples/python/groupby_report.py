@@ -1,0 +1,13 @@
+# Group-by aggregation pipeline: compiles fine, but the agg() is a flow
+# breaker (paper §III-B) — tondcheck flags the region boundary as F011.
+# @base sales(id, region:string, product:string, amount:float64, qty)
+
+@pytond()
+def sales_report(sales):
+    valid = sales[sales.amount > 0.0]
+    g = valid.groupby(['region']).agg(
+        revenue=('amount', 'sum'),
+        items=('qty', 'sum'),
+        orders=('amount', 'count'))
+    out = g.sort_values(by=['revenue'], ascending=[False])
+    return out

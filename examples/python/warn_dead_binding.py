@@ -1,0 +1,10 @@
+# F010: `unused` is computed and never read again — dead work the
+# translator would happily ship to the database for nothing.
+# @base t(id, a, b:float64)
+
+@pytond()
+def dead(t):
+    unused = t[t.a > 1]
+    keep = t[t.b > 0.5]
+    out = keep[['id', 'b']]
+    return out

@@ -2,12 +2,14 @@
 # Full local gate: Release and ASan/UBSan builds, the test suite under
 # both (obs_test runs under ASan here too), a ThreadSanitizer pass over
 # the threaded suites (worker pool, differential, concurrency), a
-# standalone-UBSan pass over the analysis/optimizer suites (the dataflow
-# lattice code does interval arithmetic near integer limits), clang-tidy
-# (skipped with a notice when the tool is absent), tondlint over the
-# example TondIR programs with per-file .expect sidecars pinning the
-# diagnostic codes, and tondtrace smoke runs whose JSON output is gated
-# by the built-in minimal validator (--check exits 3 on malformed JSON).
+# standalone-UBSan pass over the analysis/optimizer/frontend-analysis
+# suites (the dataflow lattice code does interval arithmetic near integer
+# limits), clang-tidy (skipped with a notice when the tool is absent),
+# tondlint over the example TondIR programs and tondcheck over the example
+# Python workloads — both with per-file .expect sidecars pinning the
+# diagnostic codes — a bench_compile smoke over all 30 workloads, and
+# tondtrace smoke runs whose JSON output is gated by the built-in minimal
+# validator (--check exits 3 on malformed JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,11 +34,14 @@ for t in engine_test differential_test concurrency_test; do
 done
 
 # Standalone-UBSan pass: the dataflow engine's interval lattice does
-# saturating arithmetic near int64 limits and the optimizer folds
-# constants; run both suites with every UB report promoted to a failure.
+# saturating arithmetic near int64 limits, the optimizer folds constants,
+# and the frontend analyzer's abstract interpreter walks attacker-shaped
+# ASTs (see the mutation tests); run all three suites with every UB
+# report promoted to a failure.
 cmake --preset ubsan
-cmake --build --preset ubsan -j "$jobs" --target analysis_test optimizer_test
-for t in analysis_test optimizer_test; do
+cmake --build --preset ubsan -j "$jobs" \
+    --target analysis_test optimizer_test frontend_analysis_test
+for t in analysis_test optimizer_test frontend_analysis_test; do
   "./build-ubsan/tests/$t" --gtest_brief=1
 done
 
@@ -89,6 +94,56 @@ done
          ([.files[0].diagnostics[].code] | sort
           == ["T021", "T024", "T025", "T032"])' > /dev/null ||
   { echo "check.sh: golden JSON check failed for warn_redundant" >&2
+    exit 1; }
+
+# tondcheck over every example Python workload, checked against its
+# .expect sidecar: "OK" means no findings, otherwise one F-code per line
+# (sorted). Error-severity codes must also fail the check exit code.
+for py in examples/python/*.py; do
+  expect="$py.expect"
+  if [ ! -f "$expect" ]; then
+    echo "check.sh: missing sidecar $expect" >&2
+    exit 1
+  fi
+  status=0
+  out=$(./build/tools/tondcheck --json "$py") || status=$?
+  got=$(printf '%s' "$out" |
+      jq -r '.files[].functions[].diagnostics[].code' | sort -u)
+  [ -n "$got" ] || got="OK"
+  if ! diff -u <(sort -u "$expect") <(printf '%s\n' "$got"); then
+    echo "check.sh: tondcheck codes for $py do not match $expect" >&2
+    exit 1
+  fi
+  has_error=$(printf '%s' "$out" |
+      jq '[.files[].functions[].diagnostics[] |
+           select(.severity == "error")] | length')
+  if [ "$has_error" -gt 0 ] && [ "$status" -eq 0 ]; then
+    echo "check.sh: $py has errors but tondcheck exited 0" >&2
+    exit 1
+  fi
+  if [ "$has_error" -eq 0 ] && [ "$status" -ne 0 ]; then
+    echo "check.sh: tondcheck failed on $py (exit $status)" >&2
+    exit 1
+  fi
+done
+
+# Golden JSON check for the frontend tier: a located F-error must keep
+# its machine-readable shape (code, severity, source line, non-empty
+# why-chain in `notes`).
+(./build/tools/tondcheck --json examples/python/bad_unknown_column.py ||
+  true) |
+  jq -e '.files[0].functions[0].diagnostics[0] |
+         .code == "F001" and .severity == "error" and
+         .line >= 1 and (.notes | length > 0)' > /dev/null ||
+  { echo "check.sh: golden JSON check failed for bad_unknown_column" >&2
+    exit 1; }
+
+# bench_compile smoke: the compile-latency bench must cover all 30
+# workloads and emit valid JSON with a measured analyze phase.
+./build/tools/bench_compile --reps 1 |
+  jq -e '.ok == true and (.workloads | length == 30) and
+         .suite_analyze_ms >= 0' > /dev/null ||
+  { echo "check.sh: bench_compile smoke failed" >&2
     exit 1; }
 
 # tondtrace smoke: every emitted JSON document must pass --check.

@@ -19,7 +19,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # with export enabled (a no-op when already configured that way).
 cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
-mapfile -t sources < <(find src tools -name '*.cc' | sort)
+mapfile -t sources < <(find src tools bench -name '*.cc' | sort)
 echo "tidy.sh: linting ${#sources[@]} files with $(clang-tidy --version |
     sed -n 's/.*version \([0-9.]*\).*/clang-tidy \1/p' | head -1)"
 

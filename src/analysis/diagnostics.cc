@@ -14,6 +14,8 @@ std::string Diagnostic::ToString() const {
     os << "rule " << rule_index;
     if (atom_index >= 0) os << ", atom " << atom_index;
     os << ": ";
+  } else if (line >= 0) {
+    os << "line " << line << ": ";
   }
   os << SeverityName(severity) << "[" << code << "]: " << message;
   if (!fix_hint.empty()) os << " (hint: " << fix_hint << ")";

@@ -15,22 +15,29 @@ enum class Severity { kWarning, kError };
 
 const char* SeverityName(Severity s);
 
-/// One finding of the TondIR semantic verifier ("tondlint"). `code` is a
-/// stable identifier (see codes:: below and the table in DESIGN.md) so that
+/// One finding of the TondIR semantic verifier ("tondlint") or of the
+/// frontend translatability analyzer ("tondcheck"). `code` is a stable
+/// identifier (see codes:: below and the tables in DESIGN.md) so that
 /// tests and CI can match on it independently of message wording.
 struct Diagnostic {
-  std::string code;                  // "T001" ... "T032"
+  std::string code;                  // "T001".."T032" / "F001".."F015"
   Severity severity = Severity::kError;
   int rule_index = -1;               // -1 = program-level finding
   int atom_index = -1;               // index in the immediate body; -1 = head
+  /// Source line in the original @pytond function (frontend F-series
+  /// diagnostics only; -1 for TondIR-level findings, which have no
+  /// surviving source location).
+  int line = -1;
   std::string message;
   std::string fix_hint;              // optional remediation suggestion
-  /// Inference chain for fact-based diagnostics (T020+): one line per
-  /// derivation step, e.g. how the dataflow analysis concluded a column is
-  /// constant. Rendered by `tondlint --explain-diag`.
+  /// Inference chain for fact-based diagnostics (T020+ and the F-series):
+  /// one line per derivation step, e.g. how the dataflow analysis
+  /// concluded a column is constant, or how the frontend analyzer inferred
+  /// a binding's schema. Rendered by `--explain-diag`.
   std::vector<std::string> notes;
 
-  /// "rule 2, atom 3: error[T006]: message (hint: ...)".
+  /// "rule 2, atom 3: error[T006]: message (hint: ...)" or, for frontend
+  /// findings, "line 4: error[F001]: message (hint: ...)".
   std::string ToString() const;
 };
 
@@ -70,6 +77,25 @@ inline constexpr const char* kRedundantGroupBy = "T029";
 inline constexpr const char* kStringOpOnNonString = "T030";
 inline constexpr const char* kNullComparison = "T031";
 inline constexpr const char* kEmptyResult = "T032";
+// Frontend tier (F-series), produced by the translatability analyzer
+// (frontend/analysis/) over the pylang/ANF program *before* translation.
+// Errors abort the compile with a located message; warnings ride along on
+// Compiled::diagnostics exactly like verifier warnings.
+inline constexpr const char* kUnknownColumn = "F001";
+inline constexpr const char* kUnknownTable = "F002";
+inline constexpr const char* kUndefinedName = "F003";
+inline constexpr const char* kUnsupportedApi = "F004";
+inline constexpr const char* kTypeIncompatible = "F005";
+inline constexpr const char* kCrossFrameOp = "F006";
+inline constexpr const char* kBadAxis = "F007";
+inline constexpr const char* kBadEinsum = "F008";
+inline constexpr const char* kBadMergeKey = "F009";
+inline constexpr const char* kDeadBinding = "F010";
+inline constexpr const char* kFlowBreaker = "F011";
+inline constexpr const char* kShadowedBinding = "F012";
+inline constexpr const char* kMissingArgument = "F013";
+inline constexpr const char* kNonLiteralArgument = "F014";
+inline constexpr const char* kBadReturn = "F015";
 }  // namespace codes
 
 /// True if any diagnostic is an error.

@@ -15,6 +15,7 @@ frontend::CompileOptions ToCompileOptions(const RunOptions& options) {
                     : sqlgen::SqlDialect::kDuck;
   out.trace = options.trace;
   out.deep_lints = options.deep_lints;
+  out.frontend_checks = options.frontend_checks;
   return out;
 }
 
@@ -57,6 +58,9 @@ std::string CacheKey(const std::string& source, const RunOptions& options) {
   key += "|O";
   key += std::to_string(options.optimization_level);
   key += options.deep_lints ? "|deep" : "";
+  // Default-on options append a marker only when off, so existing keys
+  // (and tests pinning them) are unchanged.
+  key += options.frontend_checks ? "" : "|nofc";
   return key;
 }
 

@@ -32,6 +32,12 @@ struct RunOptions {
   /// Warnings are stored on the compiled artifact (Compiled::diagnostics)
   /// so plan-cache hits re-surface them instead of dropping them.
   bool deep_lints = false;
+  /// Run the frontend translatability analyzer (F001-F015) before
+  /// translation. F-errors abort the compile with a source-located
+  /// message; F-warnings join Compiled::diagnostics (and the plan-cache
+  /// `warnings` counter) ahead of the T-series. Participates in the
+  /// plan-cache key.
+  bool frontend_checks = true;
   /// Optional end-to-end trace: compile phases, optimizer passes, sqlgen,
   /// CTE materialization, and executor operators all record spans here.
   /// Null (the default) keeps every instrumentation point a null check.

@@ -1,0 +1,2021 @@
+#include "frontend/analysis/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "frontend/anf/anf.h"
+#include "frontend/pylang/parser.h"
+#include "frontend/translate/einsum.h"
+
+namespace pytond::frontend::check {
+
+namespace codes = pytond::analysis::codes;
+using analysis::Diagnostic;
+using analysis::Severity;
+using py::Expr;
+using py::ExprPtr;
+using py::Stmt;
+
+const char* TranslatabilityName(Translatability t) {
+  switch (t) {
+    case Translatability::kTranslatable: return "translatable";
+    case Translatability::kFlowBreaker: return "flow-breaker";
+    case Translatability::kUntranslatable: return "untranslatable";
+  }
+  return "?";
+}
+
+const char* ValueKindName(ValueKind k) {
+  switch (k) {
+    case ValueKind::kFrame: return "frame";
+    case ValueKind::kColumn: return "column";
+    case ValueKind::kScalar: return "scalar";
+    case ValueKind::kGroupBy: return "groupby";
+    case ValueKind::kStrList: return "list";
+    case ValueKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+int FrameSchema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string FrameSchema::ToString() const {
+  if (!columns_known) return "(?)";
+  std::string s = "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns[i].name;
+    if (columns[i].type != DataType::kNull) {
+      s += ": ";
+      s += DataTypeName(columns[i].type);
+    }
+  }
+  s += ")";
+  return s;
+}
+
+const BindingFacts* FunctionFacts::Find(const std::string& name,
+                                        int before_stmt) const {
+  const BindingFacts* best = nullptr;
+  for (const BindingFacts& b : bindings) {
+    if (b.name != name) continue;
+    if (before_stmt >= 0 && b.stmt_index > before_stmt) continue;
+    best = &b;
+  }
+  return best;
+}
+
+bool FunctionFacts::DiesAt(const std::string& name, int stmt_index) const {
+  // The binding a *use* at `stmt_index` refers to was defined strictly
+  // before it (a redefinition at `stmt_index` shadows only afterwards).
+  const BindingFacts* best = nullptr;
+  for (const BindingFacts& b : bindings) {
+    if (b.name != name || b.stmt_index >= stmt_index) continue;
+    best = &b;
+  }
+  return best != nullptr && best->last_use_stmt == stmt_index;
+}
+
+std::string FunctionFacts::Dump() const {
+  std::ostringstream os;
+  os << "function " << function_name << ":\n";
+  for (const BindingFacts& b : bindings) {
+    os << "  " << b.name << ": " << ValueKindName(b.kind);
+    if (b.kind == ValueKind::kFrame || b.kind == ValueKind::kGroupBy) {
+      os << " " << b.schema.ToString();
+      if (b.schema.is_array) os << " array[order " << b.schema.order << "]";
+    }
+    os << " <- " << (b.op.empty() ? "?" : b.op) << " ["
+       << TranslatabilityName(b.klass);
+    if (!b.reason.empty()) os << ": " << b.reason;
+    os << "] line " << b.line << ", uses=" << b.uses
+       << ", last_use=" << b.last_use_stmt
+       << (b.returned ? ", returned" : "") << "\n";
+    for (const std::string& w : b.why) os << "      . " << w << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Levenshtein distance, for nearest-name fix hints.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+std::string Nearest(const std::string& name,
+                    const std::vector<std::string>& candidates) {
+  std::string best;
+  size_t best_d = name.size() / 2 + 2;
+  for (const std::string& c : candidates) {
+    size_t d = EditDistance(name, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Abstract value of one mini-Python expression (the analyzer's analogue
+/// of the translator's TValue).
+struct AValue {
+  ValueKind kind = ValueKind::kUnknown;
+  FrameSchema schema;               // kFrame / kGroupBy / kColumn owner
+  int frame_id = -1;                // relation identity (masks must match)
+  DataType type = DataType::kNull;  // kColumn / kScalar element type
+  std::vector<std::string> group_keys;  // kGroupBy
+  std::vector<std::string> restricted;  // groupby(..)[cols]
+  std::vector<std::string> strings;     // kStrList string items
+  std::vector<DataType> item_types;     // kStrList item types
+  bool empty_frame = false;             // pd.DataFrame()
+  bool is_mask = false;                 // boolean column
+  bool has_isin = false;                // mask carries EXISTS payloads
+  bool str_ctx = false;
+  bool dt_ctx = false;
+  bool flow_breaker = false;            // producing op ends a region
+  std::string fb_reason;
+  std::string op;                       // producing operation label
+  std::string col_name;                 // kColumn: name when directly selected
+  Value lit;                            // kScalar: literal payload
+  bool has_lit = false;
+};
+
+AValue Unknown() { return AValue{}; }
+
+bool IsModuleName(const std::string& n) {
+  return n == "np" || n == "numpy" || n == "pd" || n == "pandas";
+}
+
+DataType AggResultType(const std::string& fn, DataType in) {
+  if (fn == "count" || fn == "nunique" || fn == "count_distinct") {
+    return DataType::kInt64;
+  }
+  if (fn == "mean" || fn == "avg") return DataType::kFloat64;
+  return in;  // sum / min / max
+}
+
+const std::vector<std::string>& AggFnNames() {
+  static const std::vector<std::string> kNames = {
+      "sum", "min", "max", "mean", "avg", "count", "nunique",
+      "count_distinct"};
+  return kNames;
+}
+
+bool IsAggFnName(const std::string& fn) {
+  const auto& ns = AggFnNames();
+  return std::count(ns.begin(), ns.end(), fn) > 0;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const AnalyzerOptions& options) : options_(options) {}
+
+  FunctionFacts Run(const py::Function& fn) {
+    facts_.function_name = fn.name;
+    BindParams(fn);
+    bool returned = false;
+    for (size_t i = 0; i < fn.body.size(); ++i) {
+      const Stmt& stmt = fn.body[i];
+      cur_stmt_ = static_cast<int>(i);
+      cur_line_ = stmt.line > 0 ? stmt.line : cur_line_;
+      cur_uses_.clear();
+      why_.clear();
+      if (stmt.kind == Stmt::Kind::kReturn) {
+        ExecReturn(stmt);
+        returned = true;
+        break;
+      }
+      ExecAssign(stmt);
+    }
+    if (!returned) {
+      Emit(codes::kBadReturn, Severity::kError, StatusCode::kInvalidArgument,
+           cur_line_ > 0 ? cur_line_ : 1, "function has no return statement",
+           "end the @pytond function with `return <frame>`",
+           {"every @pytond function must produce a result relation"});
+    }
+    PropagateReturned();
+    FinalLints();
+    return std::move(facts_);
+  }
+
+ private:
+  // ------------------------------------------------------------ facts
+  void Note(std::string s) { why_.push_back(std::move(s)); }
+
+  void Emit(const char* code, Severity sev, StatusCode sc, int line,
+            std::string msg, std::string hint,
+            std::vector<std::string> notes) {
+    Diagnostic d;
+    d.code = code;
+    d.severity = sev;
+    d.line = line > 0 ? line : (cur_line_ > 0 ? cur_line_ : 1);
+    d.message = std::move(msg);
+    d.fix_hint = std::move(hint);
+    d.notes = std::move(notes);
+    for (const std::string& w : why_) d.notes.push_back(w);
+    if (d.notes.empty()) {
+      d.notes.push_back("while analyzing statement " +
+                        std::to_string(cur_stmt_) + " of function '" +
+                        facts_.function_name + "'");
+    }
+    if (sev == Severity::kError) {
+      ++error_count_;
+      if (facts_.error_status.ok()) {
+        facts_.error_status = Status(sc, d.ToString());
+      }
+    }
+    facts_.diagnostics.push_back(std::move(d));
+  }
+
+  int LineOf(const Expr& e) const { return e.line > 0 ? e.line : cur_line_; }
+
+  std::vector<std::string> ColumnNames(const FrameSchema& s) const {
+    std::vector<std::string> out;
+    for (const ColumnInfo& c : s.columns) out.push_back(c.name);
+    return out;
+  }
+
+  DataType ColType(const FrameSchema& s, const std::string& name) const {
+    int i = s.Find(name);
+    return i < 0 ? DataType::kNull : s.columns[i].type;
+  }
+
+  int FreshFrame() { return ++next_frame_id_; }
+
+  void BindParams(const py::Function& fn) {
+    for (const std::string& param : fn.params) {
+      AValue v;
+      BindingFacts b;
+      b.name = param;
+      b.line = 1;
+      b.stmt_index = -1;
+      b.op = "param";
+      const Table* t =
+          options_.catalog ? options_.catalog->GetTable(param) : nullptr;
+      if (t == nullptr) {
+        Emit(codes::kUnknownTable, Severity::kError, StatusCode::kNotFound, 1,
+             "parameter '" + param + "' has no catalog table",
+             options_.catalog
+                 ? "declare the table (or a '# @base " + param +
+                       "(col:type, ...)' directive) before analyzing"
+                 : "add a '# @base " + param +
+                       "(col:type, ...)' directive so tondcheck knows the "
+                       "schema",
+             {"@pytond parameters bind to database tables of the same name "
+              "(paper §III-A)"});
+        v.kind = ValueKind::kUnknown;
+        b.kind = ValueKind::kUnknown;
+        b.klass = Translatability::kUntranslatable;
+        b.reason = "no catalog table for parameter";
+      } else {
+        v.kind = ValueKind::kFrame;
+        v.frame_id = FreshFrame();
+        const Schema& s = t->schema();
+        for (size_t i = 0; i < s.names.size(); ++i) {
+          v.schema.columns.push_back({s.names[i], s.types[i]});
+        }
+        v.schema.has_id = !s.names.empty() && s.names[0] == "id";
+        if (options_.layout == TensorLayout::kSparse &&
+            s.names.size() == 3 && s.names[0] == "row_id") {
+          v.schema.is_array = true;
+          v.schema.order = 2;
+        }
+        b.kind = ValueKind::kFrame;
+        b.schema = v.schema;
+        b.why.push_back("schema " + v.schema.ToString() +
+                        " from catalog table '" + param + "'");
+      }
+      v.op = "param";
+      env_[param] = v;
+      binding_idx_[param] = static_cast<int>(facts_.bindings.size());
+      deps_.push_back({});
+      shadow_warned_.push_back(false);
+      facts_.bindings.push_back(std::move(b));
+    }
+  }
+
+  void UseBinding(const std::string& name) {
+    auto it = binding_idx_.find(name);
+    if (it == binding_idx_.end()) return;
+    BindingFacts& b = facts_.bindings[it->second];
+    ++b.uses;
+    b.last_use_stmt = cur_stmt_;
+    cur_uses_.insert(it->second);
+  }
+
+  void DefineBinding(const std::string& name, const AValue& v, int line) {
+    auto prev = binding_idx_.find(name);
+    if (prev != binding_idx_.end()) {
+      BindingFacts& old = facts_.bindings[prev->second];
+      if (old.uses == 0 && old.stmt_index >= 0) {
+        shadow_warned_[prev->second] = true;
+        Emit(codes::kShadowedBinding, Severity::kWarning, StatusCode::kOk,
+             line,
+             "'" + name + "' reassigned before the value bound at line " +
+                 std::to_string(old.line) + " was ever read",
+             "drop the earlier assignment",
+             {"binding '" + name + "' defined at line " +
+              std::to_string(old.line) + " has zero uses at this point"});
+      }
+    }
+    BindingFacts b;
+    b.name = name;
+    b.line = line;
+    b.stmt_index = cur_stmt_;
+    b.kind = v.kind;
+    b.schema = v.schema;
+    b.op = v.op;
+    b.group_keys = v.group_keys;
+    if (error_count_ > errors_at_stmt_start_) {
+      b.klass = Translatability::kUntranslatable;
+      b.reason = facts_.diagnostics.empty()
+                     ? "analysis error"
+                     : facts_.diagnostics.back().message;
+    } else if (v.flow_breaker) {
+      b.klass = Translatability::kFlowBreaker;
+      b.reason = v.fb_reason;
+    }
+    b.why = why_;
+    binding_idx_[name] = static_cast<int>(facts_.bindings.size());
+    deps_.push_back(std::vector<int>(cur_uses_.begin(), cur_uses_.end()));
+    shadow_warned_.push_back(false);
+    facts_.bindings.push_back(std::move(b));
+  }
+
+  void PropagateReturned() {
+    // Seed: bindings read by the return statement; then close over deps.
+    std::vector<int> work(return_uses_.begin(), return_uses_.end());
+    for (int i : work) facts_.bindings[i].returned = true;
+    while (!work.empty()) {
+      int i = work.back();
+      work.pop_back();
+      for (int d : deps_[i]) {
+        if (!facts_.bindings[d].returned) {
+          facts_.bindings[d].returned = true;
+          work.push_back(d);
+        }
+      }
+    }
+  }
+
+  void FinalLints() {
+    why_.clear();
+    for (size_t i = 0; i < facts_.bindings.size(); ++i) {
+      const BindingFacts& b = facts_.bindings[i];
+      bool anf_temp = b.name.rfind("_v", 0) == 0;
+      if (b.kind == ValueKind::kFrame && b.stmt_index >= 0 && b.uses == 0 &&
+          !b.returned && !shadow_warned_[i] && !anf_temp) {
+        Emit(codes::kDeadBinding, Severity::kWarning, StatusCode::kOk, b.line,
+             "dataframe binding '" + b.name +
+                 "' is never used and does not reach the return",
+             "delete the assignment",
+             {"liveness: uses=0, not in the return's dependency closure"});
+      }
+      if (options_.report_flow_breakers &&
+          b.klass == Translatability::kFlowBreaker) {
+        std::vector<std::string> notes = {
+            "flow breakers (aggregate / group-by / distinct) end a maximal "
+            "translatable region (paper §III-B)"};
+        for (const std::string& w : b.why) notes.push_back(w);
+        Emit(codes::kFlowBreaker, Severity::kWarning, StatusCode::kOk, b.line,
+             "'" + b.name + "' (" + b.op +
+                 ") is a flow breaker: " + b.reason,
+             "", std::move(notes));
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ stmts
+  void ExecAssign(const Stmt& stmt) {
+    errors_at_stmt_start_ = error_count_;
+    if (stmt.target->kind == Expr::Kind::kName) {
+      AValue v = Eval(stmt.value);
+      DefineBinding(stmt.target->name, v, stmt.line);
+      env_[stmt.target->name] = std::move(v);
+      return;
+    }
+    ExecSubscriptAssign(stmt);
+  }
+
+  void ExecSubscriptAssign(const Stmt& stmt) {
+    const Expr& target = *stmt.target;
+    if (target.kind != Expr::Kind::kSubscript ||
+        target.children[0]->kind != Expr::Kind::kName) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           stmt.line, "unsupported assignment target " + target.ToString(),
+           "assign to a name or df['col']", {});
+      return;
+    }
+    const std::string& df_name = target.children[0]->name;
+    const Expr& idx = *target.children[1];
+    if (idx.kind != Expr::Kind::kLiteral ||
+        idx.literal.type() != DataType::kString) {
+      Emit(codes::kNonLiteralArgument, Severity::kError,
+           StatusCode::kUnsupported, stmt.line,
+           "column assignment target must be a string literal, got " +
+               idx.ToString(),
+           "", {"translation needs the new column's name at compile time"});
+      return;
+    }
+    const std::string col = idx.literal.AsString();
+    auto it = env_.find(df_name);
+    if (it == env_.end()) {
+      Emit(codes::kUndefinedName, Severity::kError, StatusCode::kNotFound,
+           stmt.line, "undefined variable '" + df_name + "'", "", {});
+      return;
+    }
+    UseBinding(df_name);
+    AValue value = Eval(stmt.value);
+    AValue& dst = it->second;
+    AValue out;
+    out.kind = ValueKind::kFrame;
+    out.op = "assign-column";
+    if (dst.kind == ValueKind::kUnknown || value.kind == ValueKind::kUnknown) {
+      out.kind = ValueKind::kUnknown;  // poisoned upstream; stay quiet
+    } else if (value.kind != ValueKind::kColumn &&
+               value.kind != ValueKind::kScalar) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           stmt.line,
+           "column assignment value must be a column or scalar, got " +
+               std::string(ValueKindName(value.kind)),
+           "", {});
+    } else if (dst.empty_frame) {
+      if (value.kind != ValueKind::kColumn) {
+        Emit(codes::kUnsupportedApi, Severity::kError,
+             StatusCode::kUnsupported, stmt.line,
+             "first column must come from a frame", "", {});
+      } else {
+        out.schema.columns = {{col, value.type}};
+        out.frame_id = FreshFrame();
+        append_src_[df_name] = value.frame_id;
+        Note("new frame from column '" + col + "'");
+      }
+    } else if (dst.kind != ValueKind::kFrame) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           stmt.line,
+           "subscript assignment on a " +
+               std::string(ValueKindName(dst.kind)),
+           "", {});
+    } else if (value.kind == ValueKind::kScalar ||
+               value.frame_id == dst.frame_id) {
+      // Same-frame column append / replacement.
+      out.schema = dst.schema;
+      int existing = out.schema.Find(col);
+      if (existing >= 0) {
+        out.schema.columns[existing].type = value.type;
+        Note("replaced column '" + col + "' in place");
+      } else {
+        out.schema.columns.push_back({col, value.type});
+        Note("appended column '" + col + "' (same-frame, no join needed)");
+      }
+      out.frame_id = FreshFrame();
+    } else {
+      // Implicit join through UID columns (paper §III-C).
+      out.schema = EnsureId(dst.schema);
+      out.schema.columns.push_back({col, value.type});
+      out.frame_id = FreshFrame();
+      Note("appended column '" + col +
+           "' via implicit UID join (value derives from another frame)");
+    }
+    DefineBinding(df_name, out, stmt.line);
+    env_[df_name] = std::move(out);
+  }
+
+  void ExecReturn(const Stmt& stmt) {
+    errors_at_stmt_start_ = error_count_;
+    AValue v = Eval(stmt.value);
+    return_uses_ = cur_uses_;
+    if (v.kind == ValueKind::kUnknown) return;  // poisoned upstream
+    if (v.kind != ValueKind::kFrame && v.kind != ValueKind::kColumn) {
+      Emit(codes::kBadReturn, Severity::kError, StatusCode::kUnsupported,
+           stmt.line,
+           "return value must be a DataFrame/array, got " +
+               std::string(ValueKindName(v.kind)),
+           "return a frame, column, or array", {});
+    }
+  }
+
+  // ------------------------------------------------------------ helpers
+  static const ExprPtr* FindKwarg(const Expr& call, const std::string& name) {
+    for (const auto& [k, v] : call.kwargs) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Literal string argument; emits F014 otherwise.
+  bool LitString(const ExprPtr& e, const std::string& what,
+                 std::string* out) {
+    if (e->kind == Expr::Kind::kLiteral &&
+        e->literal.type() == DataType::kString) {
+      *out = e->literal.AsString();
+      return true;
+    }
+    Emit(codes::kNonLiteralArgument, Severity::kError,
+         StatusCode::kUnsupported, LineOf(*e),
+         what + " must be a string literal, got " + e->ToString(), "",
+         {"translation resolves " + what + " at compile time"});
+    return false;
+  }
+
+  bool LitStringList(const ExprPtr& e, const std::string& what,
+                     std::vector<std::string>* out) {
+    if (e->kind == Expr::Kind::kLiteral) {
+      std::string s;
+      if (!LitString(e, what, &s)) return false;
+      out->push_back(s);
+      return true;
+    }
+    if (e->kind == Expr::Kind::kList || e->kind == Expr::Kind::kTuple) {
+      for (const ExprPtr& c : e->children) {
+        std::string s;
+        if (!LitString(c, what, &s)) return false;
+        out->push_back(s);
+      }
+      return true;
+    }
+    Emit(codes::kNonLiteralArgument, Severity::kError,
+         StatusCode::kUnsupported, LineOf(*e),
+         what + " must be a string or list of strings, got " + e->ToString(),
+         "", {});
+    return false;
+  }
+
+  /// True when `col` exists or the schema is unknown; F001 otherwise.
+  bool CheckColumn(const FrameSchema& s, const std::string& col,
+                   const std::string& what, int line,
+                   Severity sev = Severity::kError) {
+    if (!s.columns_known || s.Find(col) >= 0) return true;
+    std::string near = Nearest(col, ColumnNames(s));
+    Emit(codes::kUnknownColumn, sev, StatusCode::kNotFound, line,
+         what + " '" + col + "' not found in schema " + s.ToString(),
+         near.empty() ? "" : "did you mean '" + near + "'?",
+         {"schema inferred as " + s.ToString()});
+    return false;
+  }
+
+  FrameSchema EnsureId(const FrameSchema& s) {
+    if (s.has_id) return s;
+    FrameSchema out;
+    out.columns.push_back({"id", DataType::kInt64});
+    for (const ColumnInfo& c : s.columns) out.columns.push_back(c);
+    out.columns_known = s.columns_known;
+    out.is_array = s.is_array;
+    out.order = s.order;
+    out.has_id = true;
+    return out;
+  }
+
+  // ------------------------------------------------------------ eval
+  AValue Eval(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kName:
+        return EvalName(*e);
+      case Expr::Kind::kLiteral: {
+        AValue v;
+        v.kind = ValueKind::kScalar;
+        v.type = e->literal.type();
+        v.lit = e->literal;
+        v.has_lit = true;
+        v.op = "literal";
+        return v;
+      }
+      case Expr::Kind::kList:
+      case Expr::Kind::kTuple:
+        return EvalList(*e);
+      case Expr::Kind::kAttribute:
+        return EvalAttribute(*e);
+      case Expr::Kind::kSubscript:
+        return EvalSubscript(*e);
+      case Expr::Kind::kCall:
+        return EvalCall(*e);
+      case Expr::Kind::kBinOp:
+      case Expr::Kind::kCompare:
+      case Expr::Kind::kBoolOp:
+        return EvalBinary(*e);
+      case Expr::Kind::kUnary:
+        return EvalUnary(*e);
+    }
+    return Unknown();
+  }
+
+  AValue EvalName(const Expr& e) {
+    auto it = env_.find(e.name);
+    if (it != env_.end()) {
+      UseBinding(e.name);
+      return it->second;
+    }
+    if (IsModuleName(e.name)) {
+      AValue v;
+      v.op = "module";
+      return v;
+    }
+    std::vector<std::string> known;
+    for (const auto& [n, _] : env_) known.push_back(n);
+    std::string near = Nearest(e.name, known);
+    Emit(codes::kUndefinedName, Severity::kError, StatusCode::kNotFound,
+         LineOf(e), "undefined variable '" + e.name + "'",
+         near.empty() ? "" : "did you mean '" + near + "'?",
+         {"names in scope: function parameters and prior assignments"});
+    return Unknown();
+  }
+
+  AValue EvalList(const Expr& e) {
+    AValue v;
+    v.kind = ValueKind::kStrList;
+    v.op = "list";
+    for (const ExprPtr& c : e.children) {
+      if (c->kind != Expr::Kind::kLiteral) {
+        Emit(codes::kNonLiteralArgument, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e),
+             "non-literal list item: " + c->ToString(),
+             "list arguments must hold literals only",
+             {"the translator materializes list arguments at compile time"});
+        return Unknown();
+      }
+      v.item_types.push_back(c->literal.type());
+      if (c->literal.type() == DataType::kString) {
+        v.strings.push_back(c->literal.AsString());
+      }
+    }
+    return v;
+  }
+
+  AValue EvalAttribute(const Expr& e) {
+    const std::string& attr = e.name;
+    AValue base = Eval(e.children[0]);
+    if (base.kind == ValueKind::kUnknown) return Unknown();
+    if (base.kind == ValueKind::kFrame) {
+      if (attr == "values") return MarkArray(std::move(base), LineOf(e));
+      if (!CheckColumn(base.schema, attr, "column", LineOf(e))) {
+        return Unknown();
+      }
+      AValue v;
+      v.kind = ValueKind::kColumn;
+      v.schema = base.schema;
+      v.frame_id = base.frame_id;
+      v.type = ColType(base.schema, attr);
+      v.col_name = attr;
+      v.is_mask = v.type == DataType::kBool;
+      v.op = "column";
+      return v;
+    }
+    if (base.kind == ValueKind::kColumn) {
+      if (attr == "str") {
+        base.str_ctx = true;
+        return base;
+      }
+      if (attr == "dt") {
+        base.dt_ctx = true;
+        return base;
+      }
+      if (base.dt_ctx &&
+          (attr == "year" || attr == "month" || attr == "day")) {
+        base.dt_ctx = false;
+        base.type = DataType::kInt64;
+        base.col_name.clear();
+        return base;
+      }
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "attribute '" + attr + "' on a column",
+           "supported column namespaces: .str, .dt (.year/.month/.day)", {});
+      return Unknown();
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e),
+         "attribute '" + attr + "' on a " +
+             std::string(ValueKindName(base.kind)),
+         "", {});
+    return Unknown();
+  }
+
+  AValue MarkArray(AValue v, int line) {
+    if (v.kind != ValueKind::kFrame) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           line, "to_numpy() needs a DataFrame", "", {});
+      return Unknown();
+    }
+    bool had_id = v.schema.has_id;
+    v.schema = EnsureId(v.schema);
+    v.schema.is_array = true;
+    v.schema.order =
+        v.schema.columns_known ? (v.schema.data_width() == 1 ? 1 : 2) : 2;
+    if (!had_id) v.frame_id = FreshFrame();
+    v.op = "to_numpy";
+    Note("array of order " + std::to_string(v.schema.order) + " over " +
+         v.schema.ToString());
+    return v;
+  }
+
+  AValue EvalSubscript(const Expr& e) {
+    AValue base = Eval(e.children[0]);
+    AValue index = Eval(e.children[1]);
+    if (base.kind == ValueKind::kUnknown) return Unknown();
+    if (base.kind == ValueKind::kGroupBy &&
+        index.kind == ValueKind::kStrList) {
+      for (const std::string& c : index.strings) {
+        CheckColumn(base.schema, c, "groupby selection column", LineOf(e));
+      }
+      base.restricted = index.strings;
+      return base;
+    }
+    if (base.kind != ValueKind::kFrame) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e),
+           "subscript on a " + std::string(ValueKindName(base.kind)), "", {});
+      return Unknown();
+    }
+    if (index.kind == ValueKind::kScalar &&
+        index.has_lit && index.lit.type() == DataType::kString) {
+      const std::string col = index.lit.AsString();
+      if (!CheckColumn(base.schema, col, "column", LineOf(e))) {
+        return Unknown();
+      }
+      AValue v;
+      v.kind = ValueKind::kColumn;
+      v.schema = base.schema;
+      v.frame_id = base.frame_id;
+      v.type = ColType(base.schema, col);
+      v.col_name = col;
+      v.is_mask = v.type == DataType::kBool;
+      v.op = "column";
+      return v;
+    }
+    if (index.kind == ValueKind::kStrList) {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.op = "project";
+      v.frame_id = FreshFrame();
+      v.schema.columns_known = base.schema.columns_known;
+      v.schema.is_array = base.schema.is_array;
+      bool all_ok = true;
+      for (const std::string& c : index.strings) {
+        if (!CheckColumn(base.schema, c, "projected column", LineOf(e))) {
+          all_ok = false;
+          continue;
+        }
+        v.schema.columns.push_back({c, ColType(base.schema, c)});
+      }
+      if (!all_ok) return Unknown();
+      v.schema.has_id =
+          !v.schema.columns.empty() && v.schema.columns[0].name == "id";
+      Note("projection of " + std::to_string(index.strings.size()) +
+           " columns from " + base.schema.ToString());
+      return v;
+    }
+    if (index.kind == ValueKind::kColumn) {
+      if (index.frame_id != base.frame_id) {
+        Emit(codes::kCrossFrameOp, Severity::kError, StatusCode::kUnsupported,
+             LineOf(e),
+             "boolean mask must derive from the frame being filtered",
+             "merge the frames first, then filter the merged frame",
+             {"the mask was computed over a different relation than the "
+              "subscripted frame",
+              "relational translation has no positional row alignment "
+              "between independent frames (paper §III-B)"});
+        return Unknown();
+      }
+      AValue v = base;
+      v.frame_id = FreshFrame();
+      v.op = "filter";
+      v.empty_frame = false;
+      Note("filter keeps schema " + base.schema.ToString());
+      return v;
+    }
+    if (index.kind == ValueKind::kUnknown) return Unknown();
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "unsupported subscript index " + e.children[1]->ToString(),
+         "index with a column name, a list of names, or a boolean mask", {});
+    return Unknown();
+  }
+
+  AValue EvalUnary(const Expr& e) {
+    AValue v = Eval(e.children[0]);
+    if (v.kind == ValueKind::kUnknown) return Unknown();
+    if (e.op == "~") {
+      if (v.kind == ValueKind::kColumn || v.kind == ValueKind::kScalar) {
+        v.is_mask = true;
+        v.type = DataType::kBool;
+        v.col_name.clear();
+        v.op = "negate";
+        return v;
+      }
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "~ on a " + std::string(ValueKindName(v.kind)),
+           "~ applies to boolean masks", {});
+      return Unknown();
+    }
+    if (v.kind == ValueKind::kColumn || v.kind == ValueKind::kScalar) {
+      v.col_name.clear();
+      v.op = "negate";
+      return v;
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e),
+         "unary " + e.op + " on a " + std::string(ValueKindName(v.kind)), "",
+         {});
+    return Unknown();
+  }
+
+  AValue EvalBinary(const Expr& e) {
+    AValue l = Eval(e.children[0]);
+    AValue r = Eval(e.children[1]);
+    if (l.kind == ValueKind::kUnknown || r.kind == ValueKind::kUnknown) {
+      return Unknown();
+    }
+    if (e.op == "&" &&
+        (l.has_isin || r.has_isin || (l.is_mask && r.is_mask))) {
+      if (l.kind == ValueKind::kColumn && r.kind == ValueKind::kColumn &&
+          l.frame_id != r.frame_id) {
+        Emit(codes::kCrossFrameOp, Severity::kError, StatusCode::kUnsupported,
+             LineOf(e), "mask conjunction across frames",
+             "build both mask sides over the same frame",
+             {"left and right masks range over different relations"});
+        return Unknown();
+      }
+      AValue out;
+      out.kind = ValueKind::kColumn;
+      out.schema = l.kind == ValueKind::kColumn ? l.schema : r.schema;
+      out.frame_id =
+          l.kind == ValueKind::kColumn ? l.frame_id : r.frame_id;
+      out.type = DataType::kBool;
+      out.is_mask = true;
+      out.has_isin = l.has_isin || r.has_isin;
+      out.op = "mask";
+      return out;
+    }
+    if ((l.kind == ValueKind::kFrame && l.schema.is_array) ||
+        (r.kind == ValueKind::kFrame && r.schema.is_array)) {
+      return ArrayBinary(e.op, l, r, LineOf(e));
+    }
+    if ((l.kind != ValueKind::kColumn && l.kind != ValueKind::kScalar) ||
+        (r.kind != ValueKind::kColumn && r.kind != ValueKind::kScalar)) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e),
+           "operands of '" + e.op + "' must be columns or scalars (got " +
+               ValueKindName(l.kind) + " and " + ValueKindName(r.kind) + ")",
+           "", {});
+      return Unknown();
+    }
+    if (l.kind == ValueKind::kColumn && r.kind == ValueKind::kColumn &&
+        l.frame_id != r.frame_id) {
+      Emit(codes::kCrossFrameOp, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "column arithmetic across different frames",
+           "merge the frames, then combine columns of the merged frame",
+           {"'" + e.op + "' needs both columns in one relation; independent "
+            "frames have no shared row identity"});
+      return Unknown();
+    }
+    static const std::set<std::string> kCmp = {"==", "!=", "<",
+                                               "<=", ">",  ">="};
+    static const std::set<std::string> kArith = {"+", "-",  "*", "/",
+                                                 "//", "%", "**"};
+    bool is_cmp = kCmp.count(e.op) > 0;
+    bool is_bool = e.op == "&" || e.op == "|";
+    if (!is_cmp && !is_bool && kArith.count(e.op) == 0) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "operator '" + e.op + "'", "", {});
+      return Unknown();
+    }
+    if (is_cmp) CheckComparisonTypes(l, r, e);
+    AValue out;
+    out.kind = (l.kind == ValueKind::kColumn || r.kind == ValueKind::kColumn)
+                   ? ValueKind::kColumn
+                   : ValueKind::kScalar;
+    const AValue& owner = l.kind == ValueKind::kColumn ? l : r;
+    out.schema = owner.schema;
+    out.frame_id = owner.frame_id;
+    if (is_cmp || is_bool) {
+      out.type = DataType::kBool;
+      out.is_mask = true;
+    } else if (e.op == "/" || e.op == "**") {
+      out.type = DataType::kFloat64;
+    } else {
+      out.type = CommonNumericType(l.type, r.type);
+    }
+    out.op = is_cmp || is_bool ? "mask" : "column-expr";
+    return out;
+  }
+
+  void CheckComparisonTypes(const AValue& l, const AValue& r, const Expr& e) {
+    auto numeric = [](DataType t) {
+      return t == DataType::kInt64 || t == DataType::kFloat64;
+    };
+    bool bad = (l.type == DataType::kString && numeric(r.type)) ||
+               (r.type == DataType::kString && numeric(l.type));
+    if (!bad) return;
+    Emit(codes::kTypeIncompatible, Severity::kError, StatusCode::kTypeError,
+         LineOf(e),
+         "type-incompatible comparison: " +
+             std::string(DataTypeName(l.type)) + " " + e.op + " " +
+             DataTypeName(r.type),
+         "cast one side explicitly (astype) or compare like types",
+         {"left operand inferred as " + std::string(DataTypeName(l.type)) +
+              (l.col_name.empty() ? "" : " (column '" + l.col_name + "')"),
+          "right operand inferred as " + std::string(DataTypeName(r.type)) +
+              (r.col_name.empty() ? "" : " (column '" + r.col_name + "')")});
+  }
+
+  AValue ArrayBinary(const std::string& op, const AValue& l, const AValue& r,
+                     int line) {
+    static const std::set<std::string> kOps = {"+", "-", "*", "/"};
+    if (kOps.count(op) == 0) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           line, "array operator '" + op + "'", "", {});
+      return Unknown();
+    }
+    auto array_scalar = [&](const AValue& a) {
+      AValue v = a;
+      v.frame_id = FreshFrame();
+      v.op = "array-map";
+      Note("elementwise '" + op + "' maps over each data column");
+      return v;
+    };
+    if (l.kind == ValueKind::kFrame && r.kind == ValueKind::kScalar) {
+      return array_scalar(l);
+    }
+    if (r.kind == ValueKind::kFrame && l.kind == ValueKind::kScalar) {
+      return array_scalar(r);
+    }
+    if (l.kind == ValueKind::kFrame && r.kind == ValueKind::kFrame) {
+      if (l.schema.columns_known && r.schema.columns_known) {
+        if (l.schema.data_width() != r.schema.data_width()) {
+          Emit(codes::kUnsupportedApi, Severity::kError,
+               StatusCode::kUnsupported, line,
+               "array arithmetic shape mismatch (" +
+                   std::to_string(l.schema.data_width()) + " vs " +
+                   std::to_string(r.schema.data_width()) + " data columns)",
+               "", {});
+          return Unknown();
+        }
+        if (op != "*") {
+          Emit(codes::kUnsupportedApi, Severity::kError,
+               StatusCode::kUnsupported, line,
+               "array-array operator '" + op + "' (only * is lowered)", "",
+               {});
+          return Unknown();
+        }
+      }
+      AValue v = l;
+      v.frame_id = FreshFrame();
+      v.op = "array-hadamard";
+      return v;
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         line, "array operands of '" + op + "'", "", {});
+    return Unknown();
+  }
+
+  // ------------------------------------------------------------ calls
+  AValue EvalCall(const Expr& e) {
+    const ExprPtr& callee = e.children[0];
+    if (callee->kind == Expr::Kind::kAttribute) {
+      const std::string& method = callee->name;
+      const ExprPtr& base_expr = callee->children[0];
+      if (base_expr->kind == Expr::Kind::kName &&
+          (base_expr->name == "np" || base_expr->name == "numpy")) {
+        return EvalNumpyCall(method, e);
+      }
+      if (base_expr->kind == Expr::Kind::kName &&
+          (base_expr->name == "pd" || base_expr->name == "pandas")) {
+        if (method == "DataFrame") return EvalDataFrameCtor(e);
+        Emit(codes::kUnsupportedApi, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e), "pd." + method,
+             "only pd.DataFrame(...) is supported", {});
+        return Unknown();
+      }
+      AValue base = Eval(base_expr);
+      return EvalMethod(std::move(base), method, e);
+    }
+    if (callee->kind == Expr::Kind::kName && callee->name == "DataFrame") {
+      return EvalDataFrameCtor(e);
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "call to " + callee->ToString(),
+         "only method calls and np./pd. functions are supported", {});
+    return Unknown();
+  }
+
+  AValue EvalDataFrameCtor(const Expr& e) {
+    if (e.children.size() == 1) {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.empty_frame = true;
+      v.frame_id = FreshFrame();
+      v.op = "DataFrame";
+      return v;
+    }
+    AValue arg = Eval(e.children[1]);
+    if (arg.kind == ValueKind::kUnknown) return Unknown();
+    if (arg.kind != ValueKind::kFrame) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "DataFrame(<non-array>)",
+           "pass an array produced by to_numpy() / einsum", {});
+      return Unknown();
+    }
+    arg.schema.is_array = false;
+    arg.schema.order = 0;
+    arg.op = "DataFrame";
+    return arg;
+  }
+
+  AValue EvalNumpyCall(const std::string& fn, const Expr& e) {
+    if (fn == "einsum") return EvalEinsum(e);
+    if (fn == "where") {
+      if (e.children.size() < 4) {
+        Emit(codes::kMissingArgument, Severity::kError,
+             StatusCode::kInvalidArgument, LineOf(e),
+             "np.where needs (condition, then, else)", "", {});
+        return Unknown();
+      }
+      AValue c = Eval(e.children[1]);
+      AValue a = Eval(e.children[2]);
+      AValue b = Eval(e.children[3]);
+      if (c.kind == ValueKind::kUnknown) return Unknown();
+      AValue out = c;
+      out.is_mask = false;
+      out.type = CommonNumericType(a.type, b.type);
+      out.col_name.clear();
+      out.op = "np.where";
+      return out;
+    }
+    if (fn == "sqrt" || fn == "abs" || fn == "log" || fn == "exp") {
+      if (e.children.size() < 2) {
+        Emit(codes::kMissingArgument, Severity::kError,
+             StatusCode::kInvalidArgument, LineOf(e),
+             "np." + fn + " needs an argument", "", {});
+        return Unknown();
+      }
+      AValue a = Eval(e.children[1]);
+      if (a.kind == ValueKind::kUnknown) return Unknown();
+      if (a.kind != ValueKind::kColumn && a.kind != ValueKind::kScalar) {
+        Emit(codes::kUnsupportedApi, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e),
+             "np." + fn + " on a " + std::string(ValueKindName(a.kind)), "",
+             {});
+        return Unknown();
+      }
+      a.type = DataType::kFloat64;
+      a.col_name.clear();
+      a.op = "np." + fn;
+      return a;
+    }
+    std::string near =
+        Nearest(fn, {"einsum", "where", "sqrt", "abs", "log", "exp"});
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "np." + fn,
+         near.empty() ? "" : "did you mean np." + near + "?",
+         {"supported numpy surface: einsum, where, sqrt, abs, log, exp"});
+    return Unknown();
+  }
+
+  AValue EvalEinsum(const Expr& e) {
+    if (e.children.size() < 3) {
+      Emit(codes::kMissingArgument, Severity::kError,
+           StatusCode::kInvalidArgument, LineOf(e),
+           "einsum needs a spec and operands",
+           "np.einsum('ij,j->i', a, b)", {});
+      return Unknown();
+    }
+    std::string spec_str;
+    if (!LitString(e.children[1], "einsum spec", &spec_str)) return Unknown();
+    auto spec_r = ParseEinsumSpec(spec_str);
+    if (!spec_r.ok()) {
+      // Keep the parser's StatusCode: a malformed spec is kInvalidArgument
+      // but e.g. an order-3 tensor is kUnsupported, and callers pin these.
+      Emit(codes::kBadEinsum, Severity::kError, spec_r.status().code(),
+           LineOf(e), spec_r.status().message(),
+           "write the spec as '<in1>,<in2>-><out>' over letters",
+           {"spec '" + spec_str + "' did not parse"});
+      return Unknown();
+    }
+    const EinsumSpec& spec = *spec_r;
+    for (const std::string& s : spec.inputs) {
+      if (s.size() > 2) {
+        Emit(codes::kBadEinsum, Severity::kError, StatusCode::kUnsupported,
+             LineOf(e),
+             "einsum index '" + s + "' has order " +
+                 std::to_string(s.size()) +
+                 "; only vectors and matrices are supported",
+             "decompose the contraction into order-<=2 steps",
+             {"relations model at most (id, columns...) / COO matrices "
+              "(paper §III-D)"});
+        return Unknown();
+      }
+    }
+    if (spec.output.size() > 2) {
+      Emit(codes::kBadEinsum, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "einsum output order " +
+                          std::to_string(spec.output.size()) +
+                          " exceeds 2",
+           "", {});
+      return Unknown();
+    }
+    std::vector<FrameSchema> operands;
+    bool sparse = options_.layout == TensorLayout::kSparse;
+    for (size_t i = 2; i < e.children.size(); ++i) {
+      AValue v = Eval(e.children[i]);
+      if (v.kind == ValueKind::kUnknown) return Unknown();
+      if (v.kind != ValueKind::kFrame) {
+        Emit(codes::kBadEinsum, Severity::kError, StatusCode::kUnsupported,
+             LineOf(e),
+             "einsum operand " + std::to_string(i - 1) + " must be an array",
+             "call .to_numpy() first", {});
+        return Unknown();
+      }
+      operands.push_back(v.schema);
+    }
+    if (operands.size() != spec.inputs.size()) {
+      Emit(codes::kBadEinsum, Severity::kError, StatusCode::kInvalidArgument,
+           LineOf(e),
+           "einsum spec '" + spec_str + "' names " +
+               std::to_string(spec.inputs.size()) + " operands but " +
+               std::to_string(operands.size()) + " were passed",
+           "", {});
+      return Unknown();
+    }
+    if (!sparse) {
+      for (size_t i = 0; i < operands.size(); ++i) {
+        if (spec.inputs[i].size() == 1 && operands[i].columns_known &&
+            operands[i].data_width() > 1) {
+          Emit(codes::kBadEinsum, Severity::kError,
+               StatusCode::kInvalidArgument, LineOf(e),
+               "einsum operand " + std::to_string(i + 1) + " has " +
+                   std::to_string(operands[i].data_width()) +
+                   " data columns but index '" + spec.inputs[i] +
+                   "' denotes a vector",
+               "", {"operand schema " + operands[i].ToString()});
+          return Unknown();
+        }
+      }
+    }
+    AValue out;
+    out.kind = ValueKind::kFrame;
+    out.frame_id = FreshFrame();
+    out.op = "einsum";
+    out.schema.is_array = true;
+    out.schema.order = static_cast<int>(spec.output.size());
+    // Contractions (a summed-away letter) aggregate -> flow breaker.
+    std::string all_letters;
+    for (const std::string& s : spec.inputs) all_letters += s;
+    bool contracts = false;
+    for (char c : all_letters) {
+      if (spec.output.find(c) == std::string::npos) contracts = true;
+    }
+    out.flow_breaker = contracts;
+    if (contracts) {
+      out.fb_reason = "einsum contraction sums over eliminated indices";
+    }
+    if (sparse) {
+      out.schema.columns_known = false;  // COO shape decided by lowering
+    } else if (spec.output.empty()) {
+      out.schema.columns = {{"c0", DataType::kFloat64}};
+      out.schema.order = 0;
+      out.schema.is_array = false;
+    } else if (spec.output.size() == 1) {
+      out.schema.columns = {{"id", DataType::kInt64},
+                            {"c0", DataType::kNull}};
+      out.schema.has_id = true;
+    } else {
+      // Matrix output: width = data width of the operand providing the
+      // column axis letter, when statically known.
+      size_t width = 0;
+      for (size_t i = 0; i < operands.size(); ++i) {
+        if (spec.inputs[i].size() == 2 &&
+            spec.inputs[i][1] == spec.output[1] &&
+            operands[i].columns_known) {
+          width = operands[i].data_width();
+        }
+      }
+      if (width == 0) {
+        out.schema.columns_known = false;
+        out.schema.has_id = true;
+      } else {
+        out.schema.columns.push_back({"id", DataType::kInt64});
+        for (size_t i = 0; i < width; ++i) {
+          out.schema.columns.push_back(
+              {"c" + std::to_string(i), DataType::kNull});
+        }
+        out.schema.has_id = true;
+      }
+    }
+    Note("einsum '" + spec_str + "' -> order " +
+         std::to_string(out.schema.order) +
+         (contracts ? " (contraction, aggregates)" : " (no contraction)"));
+    return out;
+  }
+
+  // ------------------------------------------------------------ methods
+  AValue EvalMethod(AValue base, const std::string& method, const Expr& e) {
+    if (base.kind == ValueKind::kUnknown) return Unknown();
+    if (base.kind == ValueKind::kColumn) {
+      return EvalColumnMethod(base, method, e);
+    }
+    if (base.kind == ValueKind::kGroupBy) {
+      return EvalGroupByMethod(base, method, e);
+    }
+    if (base.kind != ValueKind::kFrame) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e),
+           "method '" + method + "' on a " +
+               std::string(ValueKindName(base.kind)),
+           "", {});
+      return Unknown();
+    }
+    if (method == "merge") return EvalMerge(base, e);
+    if (method == "groupby") {
+      if (e.children.size() < 2) {
+        Emit(codes::kMissingArgument, Severity::kError,
+             StatusCode::kInvalidArgument, LineOf(e), "groupby needs keys",
+             "df.groupby('key') or df.groupby(['k1', 'k2'])", {});
+        return Unknown();
+      }
+      std::vector<std::string> keys;
+      if (!LitStringList(e.children[1], "groupby key", &keys)) {
+        return Unknown();
+      }
+      bool ok = true;
+      for (const std::string& k : keys) {
+        ok &= CheckColumn(base.schema, k, "group key", LineOf(e));
+      }
+      if (!ok) return Unknown();
+      AValue v;
+      v.kind = ValueKind::kGroupBy;
+      v.schema = base.schema;
+      v.frame_id = base.frame_id;
+      v.group_keys = keys;
+      v.op = "groupby";
+      return v;
+    }
+    if (method == "agg" || method == "aggregate") {
+      return EvalAgg(base, {}, e);
+    }
+    if (method == "sort_values") {
+      const ExprPtr* by = FindKwarg(e, "by");
+      std::vector<std::string> keys;
+      if (by != nullptr) {
+        if (!LitStringList(*by, "sort key", &keys)) return Unknown();
+      } else if (e.children.size() > 1) {
+        if (!LitStringList(e.children[1], "sort key", &keys)) {
+          return Unknown();
+        }
+      } else {
+        Emit(codes::kMissingArgument, Severity::kError,
+             StatusCode::kInvalidArgument, LineOf(e),
+             "sort_values needs 'by'", "df.sort_values(by='col')", {});
+        return Unknown();
+      }
+      bool ok = true;
+      for (const std::string& k : keys) {
+        ok &= CheckColumn(base.schema, k, "sort key", LineOf(e));
+      }
+      if (!ok) return Unknown();
+      AValue v = base;
+      v.op = "sort_values";
+      Note("sort deferred to the consuming head()/sink (paper §III-E)");
+      return v;
+    }
+    if (method == "head") {
+      AValue v = base;
+      v.frame_id = FreshFrame();
+      v.empty_frame = false;
+      v.op = "head";
+      return v;
+    }
+    if (method == "drop") {
+      std::vector<std::string> cols;
+      if (e.children.size() > 1) {
+        if (!LitStringList(e.children[1], "dropped column", &cols)) {
+          return Unknown();
+        }
+      } else if (const ExprPtr* kw = FindKwarg(e, "columns")) {
+        if (!LitStringList(*kw, "dropped column", &cols)) return Unknown();
+      }
+      for (const std::string& c : cols) {
+        CheckColumn(base.schema, c, "dropped column", LineOf(e),
+                    Severity::kWarning);
+      }
+      AValue v = base;
+      v.frame_id = FreshFrame();
+      v.op = "drop";
+      if (v.schema.columns_known) {
+        FrameSchema ns;
+        ns.columns_known = true;
+        ns.is_array = base.schema.is_array;
+        for (size_t i = 0; i < base.schema.columns.size(); ++i) {
+          const ColumnInfo& c = base.schema.columns[i];
+          bool dropped = std::count(cols.begin(), cols.end(), c.name) > 0;
+          if (dropped && !(base.schema.has_id && i == 0)) continue;
+          ns.columns.push_back(c);
+        }
+        ns.has_id = !ns.columns.empty() && ns.columns[0].name == "id";
+        v.schema = ns;
+      }
+      return v;
+    }
+    if (method == "reset_index" || method == "copy" || method == "astype") {
+      return base;
+    }
+    if (method == "to_numpy") return MarkArray(std::move(base), LineOf(e));
+    if (method == "pivot_table") return EvalPivot(base, e);
+    if (base.schema.is_array) return EvalArrayMethod(base, method, e);
+    std::string near = Nearest(
+        method, {"merge", "groupby", "agg", "sort_values", "head", "drop",
+                 "reset_index", "copy", "astype", "to_numpy", "pivot_table",
+                 "unique", "isin"});
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "DataFrame method '" + method + "'",
+         near.empty() ? "" : "did you mean '" + near + "'?",
+         {"the supported pandas surface is the paper's workload subset"});
+    return Unknown();
+  }
+
+  AValue EvalColumnMethod(AValue& base, const std::string& method,
+                          const Expr& e) {
+    if (base.str_ctx) {
+      base.str_ctx = false;
+      if (method == "startswith" || method == "endswith" ||
+          method == "contains") {
+        if (e.children.size() < 2) {
+          Emit(codes::kMissingArgument, Severity::kError,
+               StatusCode::kInvalidArgument, LineOf(e),
+               ".str." + method + " needs a pattern", "", {});
+          return Unknown();
+        }
+        std::string pat;
+        if (!LitString(e.children[1], "string pattern", &pat)) {
+          return Unknown();
+        }
+        AValue v = base;
+        v.type = DataType::kBool;
+        v.is_mask = true;
+        v.col_name.clear();
+        v.op = "str." + method;
+        return v;
+      }
+      if (method == "slice") {
+        if (e.children.size() < 3) {
+          Emit(codes::kMissingArgument, Severity::kError,
+               StatusCode::kInvalidArgument, LineOf(e),
+               ".str.slice needs start and stop", ".str.slice(0, 3)", {});
+          return Unknown();
+        }
+        for (size_t i = 1; i <= 2; ++i) {
+          if (e.children[i]->kind != Expr::Kind::kLiteral ||
+              e.children[i]->literal.type() != DataType::kInt64) {
+            Emit(codes::kNonLiteralArgument, Severity::kError,
+                 StatusCode::kUnsupported, LineOf(e),
+                 ".str.slice bounds must be integer literals", "", {});
+            return Unknown();
+          }
+        }
+        AValue v = base;
+        v.type = DataType::kString;
+        v.col_name.clear();
+        v.op = "str.slice";
+        return v;
+      }
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), ".str." + method,
+           "supported: startswith, endswith, contains, slice", {});
+      return Unknown();
+    }
+    if (method == "isin") {
+      if (e.children.size() < 2) {
+        Emit(codes::kMissingArgument, Severity::kError,
+             StatusCode::kInvalidArgument, LineOf(e),
+             "isin needs a list or column", "", {});
+        return Unknown();
+      }
+      AValue other = Eval(e.children[1]);
+      if (other.kind == ValueKind::kUnknown) return Unknown();
+      if (other.kind == ValueKind::kStrList) {
+        if (other.item_types.empty()) {
+          Emit(codes::kMissingArgument, Severity::kError,
+               StatusCode::kInvalidArgument, LineOf(e), "isin([]) is empty",
+               "membership in the empty set is always false; drop the "
+               "filter",
+               {"the list literal parsed to zero elements"});
+          return Unknown();
+        }
+        CheckIsinTypes(base, other, e);
+        AValue v = base;
+        v.type = DataType::kBool;
+        v.is_mask = true;
+        v.col_name.clear();
+        v.op = "isin";
+        return v;
+      }
+      if (other.kind == ValueKind::kColumn ||
+          (other.kind == ValueKind::kFrame &&
+           (!other.schema.columns_known ||
+            other.schema.columns.size() == 1))) {
+        AValue v;
+        v.kind = ValueKind::kColumn;
+        v.schema = base.schema;
+        v.frame_id = base.frame_id;
+        v.type = DataType::kBool;
+        v.is_mask = true;
+        v.has_isin = true;
+        v.op = "isin";
+        Note("isin over another relation becomes an EXISTS subquery");
+        return v;
+      }
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "isin() against this operand",
+           "pass a literal list, a column, or a single-column frame", {});
+      return Unknown();
+    }
+    if (method == "unique") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.schema.columns = {
+          {base.col_name.empty() ? "value" : base.col_name, base.type}};
+      v.flow_breaker = true;
+      v.fb_reason = "distinct materializes the deduplicated set";
+      v.op = "unique";
+      return v;
+    }
+    if (IsAggFnName(method) && method != "avg" && method != "count_distinct") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.schema.columns = {{method, AggResultType(method, base.type)}};
+      v.flow_breaker = true;
+      v.fb_reason = "scalar aggregate collapses the column to one row";
+      v.op = "aggregate";
+      return v;
+    }
+    if (method == "round") {
+      AValue v = base;
+      v.col_name.clear();
+      v.op = "round";
+      return v;
+    }
+    if (method == "astype") return base;
+    std::string near = Nearest(
+        method, {"isin", "unique", "sum", "min", "max", "mean", "count",
+                 "nunique", "round", "astype"});
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "column method '" + method + "'",
+         near.empty() ? "" : "did you mean '" + near + "'?", {});
+    return Unknown();
+  }
+
+  void CheckIsinTypes(const AValue& base, const AValue& items,
+                      const Expr& e) {
+    if (base.type == DataType::kNull) return;
+    auto numeric = [](DataType t) {
+      return t == DataType::kInt64 || t == DataType::kFloat64;
+    };
+    for (DataType t : items.item_types) {
+      bool bad = (base.type == DataType::kString && numeric(t)) ||
+                 (numeric(base.type) && t == DataType::kString);
+      if (bad) {
+        Emit(codes::kTypeIncompatible, Severity::kError,
+             StatusCode::kTypeError, LineOf(e),
+             "isin list item type " + std::string(DataTypeName(t)) +
+                 " is incompatible with column type " +
+                 DataTypeName(base.type),
+             "", {"column inferred as " +
+                  std::string(DataTypeName(base.type)) +
+                  (base.col_name.empty() ? ""
+                                         : " ('" + base.col_name + "')")});
+        return;
+      }
+    }
+  }
+
+  AValue EvalGroupByMethod(AValue& base, const std::string& method,
+                           const Expr& e) {
+    if (method == "agg" || method == "aggregate") {
+      return EvalAgg(base, base.group_keys, e);
+    }
+    if (IsAggFnName(method) && method != "avg" &&
+        method != "count_distinct") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "groupby." + method;
+      v.flow_breaker = true;
+      v.fb_reason = "group-by aggregation materializes one row per group";
+      if (!base.schema.columns_known) {
+        v.schema.columns_known = false;
+        return v;
+      }
+      for (const std::string& k : base.group_keys) {
+        v.schema.columns.push_back({k, ColType(base.schema, k)});
+      }
+      std::vector<std::string> cols = base.restricted;
+      if (cols.empty()) {
+        for (const ColumnInfo& c : base.schema.columns) {
+          if (!std::count(base.group_keys.begin(), base.group_keys.end(),
+                          c.name)) {
+            cols.push_back(c.name);
+          }
+        }
+      }
+      for (const std::string& c : cols) {
+        v.schema.columns.push_back(
+            {c, AggResultType(method, ColType(base.schema, c))});
+      }
+      return v;
+    }
+    if (method == "size") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "groupby.size";
+      v.flow_breaker = true;
+      v.fb_reason = "group-by aggregation materializes one row per group";
+      v.schema.columns_known = base.schema.columns_known;
+      if (v.schema.columns_known) {
+        for (const std::string& k : base.group_keys) {
+          v.schema.columns.push_back({k, ColType(base.schema, k)});
+        }
+        v.schema.columns.push_back({"size", DataType::kInt64});
+      }
+      return v;
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "groupby method '" + method + "'",
+         "supported: agg, sum, min, max, mean, count, nunique, size", {});
+    return Unknown();
+  }
+
+  AValue EvalAgg(const AValue& base, const std::vector<std::string>& keys,
+                 const Expr& e) {
+    if (e.kwargs.empty()) {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "agg() requires named aggregations",
+           "use out_name=('column', 'fn') keyword specs", {});
+      return Unknown();
+    }
+    AValue v;
+    v.kind = ValueKind::kFrame;
+    v.frame_id = FreshFrame();
+    v.op = keys.empty() ? "agg" : "groupby.agg";
+    v.flow_breaker = true;
+    v.fb_reason = keys.empty()
+                      ? "aggregate collapses the frame to one row"
+                      : "group-by aggregation materializes one row per group";
+    v.schema.columns_known = base.schema.columns_known;
+    bool ok = true;
+    for (const std::string& k : keys) {
+      ok &= CheckColumn(base.schema, k, "group key", LineOf(e));
+      v.schema.columns.push_back({k, ColType(base.schema, k)});
+    }
+    for (const auto& [out, spec] : e.kwargs) {
+      if (spec->kind != Expr::Kind::kTuple || spec->children.size() != 2) {
+        Emit(codes::kUnsupportedApi, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e),
+             "agg spec must be (column, fn)",
+             out + "=('col', 'sum')", {});
+        return Unknown();
+      }
+      std::string col, fn;
+      if (!LitString(spec->children[0], "aggregate column", &col) ||
+          !LitString(spec->children[1], "aggregate function", &fn)) {
+        return Unknown();
+      }
+      if (!IsAggFnName(fn)) {
+        std::string near = Nearest(fn, AggFnNames());
+        Emit(codes::kUnsupportedApi, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e), "aggregate '" + fn + "'",
+             near.empty() ? "" : "did you mean '" + near + "'?",
+             {"supported aggregate functions: sum, min, max, mean, count, "
+              "nunique"});
+        ok = false;
+        continue;
+      }
+      ok &= CheckColumn(base.schema, col, "aggregate input column",
+                        LineOf(e));
+      v.schema.columns.push_back(
+          {out, AggResultType(fn, ColType(base.schema, col))});
+    }
+    if (!ok) return Unknown();
+    Note("aggregation over " + base.schema.ToString() +
+         (keys.empty() ? " (no keys)"
+                       : " grouped by " + std::to_string(keys.size()) +
+                             " key(s)"));
+    return v;
+  }
+
+  AValue EvalMerge(AValue& left, const Expr& e) {
+    if (e.children.size() < 2) {
+      Emit(codes::kMissingArgument, Severity::kError,
+           StatusCode::kInvalidArgument, LineOf(e),
+           "merge needs a right operand", "df.merge(other, on='key')", {});
+      return Unknown();
+    }
+    AValue right_v = Eval(e.children[1]);
+    if (right_v.kind == ValueKind::kUnknown) return Unknown();
+    FrameSchema right;
+    if (right_v.kind == ValueKind::kFrame) {
+      right = right_v.schema;
+    } else if (right_v.kind == ValueKind::kColumn) {
+      right.columns = {{right_v.col_name.empty() ? "value"
+                                                 : right_v.col_name,
+                        right_v.type}};
+    } else {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e), "merge right operand must be a DataFrame", "", {});
+      return Unknown();
+    }
+    std::string how = "inner";
+    if (const ExprPtr* kw = FindKwarg(e, "how")) {
+      if (!LitString(*kw, "merge 'how'", &how)) return Unknown();
+    }
+    std::vector<std::string> lkeys, rkeys;
+    if (const ExprPtr* kw = FindKwarg(e, "on")) {
+      if (!LitStringList(*kw, "merge key", &lkeys)) return Unknown();
+      rkeys = lkeys;
+    } else {
+      if (const ExprPtr* kw2 = FindKwarg(e, "left_on")) {
+        if (!LitStringList(*kw2, "merge key", &lkeys)) return Unknown();
+      }
+      if (const ExprPtr* kw2 = FindKwarg(e, "right_on")) {
+        if (!LitStringList(*kw2, "merge key", &rkeys)) return Unknown();
+      }
+    }
+    if (how != "cross" && (lkeys.empty() || lkeys.size() != rkeys.size())) {
+      Emit(codes::kMissingArgument, Severity::kError,
+           StatusCode::kInvalidArgument, LineOf(e),
+           "merge needs matching join keys",
+           "pass on='key' or matching left_on=/right_on= lists", {});
+      return Unknown();
+    }
+    bool ok = true;
+    for (const std::string& k : lkeys) {
+      if (left.schema.columns_known && left.schema.Find(k) < 0) {
+        std::string near = Nearest(k, ColumnNames(left.schema));
+        Emit(codes::kBadMergeKey, Severity::kError, StatusCode::kNotFound,
+             LineOf(e),
+             "left merge key '" + k + "' not in schema " +
+                 left.schema.ToString(),
+             near.empty() ? "" : "did you mean '" + near + "'?",
+             {"left schema inferred as " + left.schema.ToString()});
+        ok = false;
+      }
+    }
+    for (const std::string& k : rkeys) {
+      if (right.columns_known && right.Find(k) < 0) {
+        std::string near = Nearest(k, ColumnNames(right));
+        Emit(codes::kBadMergeKey, Severity::kError, StatusCode::kNotFound,
+             LineOf(e),
+             "right merge key '" + k + "' not in schema " + right.ToString(),
+             near.empty() ? "" : "did you mean '" + near + "'?",
+             {"right schema inferred as " + right.ToString()});
+        ok = false;
+      }
+    }
+    if (!ok) return Unknown();
+    AValue v;
+    v.kind = ValueKind::kFrame;
+    v.frame_id = FreshFrame();
+    v.op = "merge";
+    v.schema.columns_known =
+        left.schema.columns_known && right.columns_known;
+    if (v.schema.columns_known) {
+      bool same_key_names = lkeys == rkeys;
+      auto overlaps = [&](const std::string& c) {
+        return left.schema.Find(c) >= 0 && right.Find(c) >= 0;
+      };
+      auto is_key = [](const std::vector<std::string>& ks,
+                       const std::string& c) {
+        return std::count(ks.begin(), ks.end(), c) > 0;
+      };
+      for (const ColumnInfo& c : left.schema.columns) {
+        bool shared_key = same_key_names && is_key(lkeys, c.name);
+        std::string name =
+            (!shared_key && overlaps(c.name)) ? c.name + "_x" : c.name;
+        v.schema.columns.push_back({name, c.type});
+      }
+      for (const ColumnInfo& c : right.columns) {
+        if (same_key_names && is_key(rkeys, c.name) && how != "cross") {
+          continue;
+        }
+        std::string name = overlaps(c.name) ? c.name + "_y" : c.name;
+        v.schema.columns.push_back({name, c.type});
+      }
+      v.schema.has_id =
+          !v.schema.columns.empty() && v.schema.columns[0].name == "id";
+    }
+    Note("merge (" + how + ") of " + left.schema.ToString() + " and " +
+         right.ToString());
+    return v;
+  }
+
+  AValue EvalPivot(const AValue& base, const Expr& e) {
+    const ExprPtr* index = FindKwarg(e, "index");
+    const ExprPtr* columns = FindKwarg(e, "columns");
+    const ExprPtr* values = FindKwarg(e, "values");
+    if (!index || !columns || !values) {
+      Emit(codes::kMissingArgument, Severity::kError,
+           StatusCode::kInvalidArgument, LineOf(e),
+           "pivot_table needs index=, columns=, values=", "", {});
+      return Unknown();
+    }
+    std::string idx_col, col_col, val_col;
+    if (!LitString(*index, "pivot index", &idx_col) ||
+        !LitString(*columns, "pivot columns", &col_col) ||
+        !LitString(*values, "pivot values", &val_col)) {
+      return Unknown();
+    }
+    bool ok = CheckColumn(base.schema, idx_col, "pivot index", LineOf(e));
+    ok &= CheckColumn(base.schema, col_col, "pivot columns", LineOf(e));
+    ok &= CheckColumn(base.schema, val_col, "pivot values", LineOf(e));
+    if (!ok) return Unknown();
+    if (options_.pivot_values.empty()) {
+      Emit(codes::kMissingArgument, Severity::kError,
+           StatusCode::kInvalidArgument, LineOf(e),
+           "pivot_table needs distinct values via the decorator "
+           "(pivot_values=[...], paper §III-C)",
+           "@pytond(pivot_values=['a', 'b', ...])",
+           {"the translator widens the frame with one column per distinct "
+            "value; those values must be known at compile time"});
+      return Unknown();
+    }
+    AValue v;
+    v.kind = ValueKind::kFrame;
+    v.frame_id = FreshFrame();
+    v.op = "pivot_table";
+    v.flow_breaker = true;
+    v.fb_reason = "pivot aggregates one row per index value";
+    DataType vt = CommonNumericType(ColType(base.schema, val_col),
+                                    DataType::kInt64);
+    v.schema.columns.push_back({idx_col, ColType(base.schema, idx_col)});
+    for (const std::string& dv : options_.pivot_values) {
+      v.schema.columns.push_back({"p_" + dv, vt});
+    }
+    Note("pivot over '" + col_col + "' widens to " +
+         std::to_string(options_.pivot_values.size()) + " value columns");
+    return v;
+  }
+
+  AValue EvalArrayMethod(AValue& base, const std::string& method,
+                         const Expr& e) {
+    const FrameSchema& f = base.schema;
+    if (method == "sum") {
+      const ExprPtr* axis = FindKwarg(e, "axis");
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "array.sum";
+      v.flow_breaker = true;
+      v.fb_reason = "array sum aggregates over an axis";
+      if (axis == nullptr) {
+        v.schema.columns = {{"c0", DataType::kFloat64}};
+        return v;
+      }
+      if ((*axis)->kind != Expr::Kind::kLiteral ||
+          (*axis)->literal.type() != DataType::kInt64) {
+        Emit(codes::kNonLiteralArgument, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e),
+             "sum axis must be an integer literal", "", {});
+        return Unknown();
+      }
+      int64_t ax = (*axis)->literal.AsInt64();
+      if (ax != 0 && ax != 1) {
+        Emit(codes::kBadAxis, Severity::kError, StatusCode::kInvalidArgument,
+             LineOf(e),
+             "axis " + std::to_string(ax) + " out of range for an order-" +
+                 std::to_string(f.order > 0 ? f.order : 2) + " array",
+             "use axis=0 (columns) or axis=1 (rows)",
+             {"array inferred as order " +
+              std::to_string(f.order > 0 ? f.order : 2) + " with schema " +
+              f.ToString()});
+        return Unknown();
+      }
+      v.schema.columns = {{"id", DataType::kInt64}, {"c0", DataType::kNull}};
+      v.schema.has_id = true;
+      v.schema.is_array = true;
+      v.schema.order = 1;
+      return v;
+    }
+    if (method == "nonzero") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "nonzero";
+      v.schema.columns = {{"id", DataType::kInt64}};
+      v.schema.has_id = true;
+      v.schema.is_array = true;
+      v.schema.order = 1;
+      return v;
+    }
+    if (method == "all") {
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "array.all";
+      v.flow_breaker = true;
+      v.fb_reason = "all() aggregates the array to one row";
+      v.schema.columns = {{"all_", DataType::kNull}};
+      return v;
+    }
+    if (method == "round") {
+      AValue v = base;
+      v.frame_id = FreshFrame();
+      v.op = "array.round";
+      return v;
+    }
+    if (method == "compress") {
+      if (e.children.size() < 2 ||
+          e.children[1]->kind != Expr::Kind::kList) {
+        Emit(codes::kNonLiteralArgument, Severity::kError,
+             StatusCode::kUnsupported, LineOf(e),
+             "compress() needs a literal mask", "a.compress([1, 0, 1])", {});
+        return Unknown();
+      }
+      AValue v;
+      v.kind = ValueKind::kFrame;
+      v.frame_id = FreshFrame();
+      v.op = "compress";
+      v.schema.is_array = true;
+      v.schema.order = f.order;
+      v.schema.columns_known = f.columns_known;
+      if (f.columns_known) {
+        v.schema.columns.push_back({"id", DataType::kInt64});
+        v.schema.has_id = true;
+        size_t data0 = f.has_id ? 1 : 0;
+        const auto& items = e.children[1]->children;
+        for (size_t i = 0; i < items.size(); ++i) {
+          const Expr& m = *items[i];
+          bool keep = m.kind == Expr::Kind::kLiteral &&
+                      ((m.literal.type() == DataType::kBool &&
+                        m.literal.AsBool()) ||
+                       (m.literal.type() == DataType::kInt64 &&
+                        m.literal.AsInt64() != 0));
+          if (keep && data0 + i < f.columns.size()) {
+            v.schema.columns.push_back(f.columns[data0 + i]);
+          }
+        }
+      }
+      return v;
+    }
+    if (method == "transpose") {
+      Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+           LineOf(e),
+           "dense transpose requires a known row count; use sparse layout",
+           "@pytond(layout='sparse')",
+           {"dense arrays map rows to tuples; transposing would need a "
+            "row-count-dependent schema (paper §III-D)"});
+      return Unknown();
+    }
+    Emit(codes::kUnsupportedApi, Severity::kError, StatusCode::kUnsupported,
+         LineOf(e), "array method '" + method + "'",
+         "supported: sum, nonzero, all, round, compress, transpose(sparse)",
+         {});
+    return Unknown();
+  }
+
+  const AnalyzerOptions& options_;
+  FunctionFacts facts_;
+  std::map<std::string, AValue> env_;
+  std::map<std::string, int> binding_idx_;
+  std::map<std::string, int> append_src_;  // df name -> source frame id
+  std::vector<std::vector<int>> deps_;     // per binding: bindings it reads
+  std::vector<bool> shadow_warned_;
+  std::set<int> cur_uses_;
+  std::set<int> return_uses_;
+  std::vector<std::string> why_;
+  int cur_stmt_ = -1;
+  int cur_line_ = 0;
+  int next_frame_id_ = 0;
+  int error_count_ = 0;
+  int errors_at_stmt_start_ = 0;
+};
+
+}  // namespace
+
+FunctionFacts AnalyzeFunction(const py::Function& fn,
+                              const AnalyzerOptions& options) {
+  Analyzer a(options);
+  return a.Run(fn);
+}
+
+Status RegisterBaseDirectives(const std::string& source, Catalog* catalog) {
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t at = line.find("@base");
+    if (at == std::string::npos) continue;
+    size_t hash = line.find('#');
+    if (hash == std::string::npos || hash > at) continue;
+    size_t open = line.find('(', at);
+    size_t close = line.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Status::ParseError("malformed @base directive: " + line);
+    }
+    std::string name = line.substr(at + 5, open - at - 5);
+    name.erase(std::remove_if(name.begin(), name.end(), ::isspace),
+               name.end());
+    if (name.empty()) {
+      return Status::ParseError("@base directive without a table name: " +
+                                line);
+    }
+    Table table;
+    std::string cols = line.substr(open + 1, close - open - 1);
+    std::istringstream cs(cols);
+    std::string item;
+    while (std::getline(cs, item, ',')) {
+      item.erase(std::remove_if(item.begin(), item.end(), ::isspace),
+                 item.end());
+      if (item.empty()) continue;
+      std::string cname = item;
+      std::string tname = "int64";
+      size_t colon = item.find(':');
+      if (colon != std::string::npos) {
+        cname = item.substr(0, colon);
+        tname = item.substr(colon + 1);
+      }
+      Column col;
+      if (tname == "int64" || tname == "int") {
+        col = Column::Int64({});
+      } else if (tname == "float64" || tname == "float") {
+        col = Column::Float64({});
+      } else if (tname == "string" || tname == "str") {
+        col = Column::String({});
+      } else if (tname == "bool") {
+        col = Column::Bool({});
+      } else if (tname == "date") {
+        col = Column::Date({});
+      } else {
+        return Status::ParseError("@base directive: unknown type '" + tname +
+                                  "' for column '" + cname + "'");
+      }
+      PYTOND_RETURN_IF_ERROR(table.AddColumn(cname, std::move(col)));
+    }
+    PYTOND_RETURN_IF_ERROR(catalog->CreateTable(name, std::move(table)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<FunctionFacts>> AnalyzeSource(
+    const std::string& source, const AnalyzerOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(py::Module module, py::ParseModule(source));
+  Catalog scratch;
+  if (options.catalog != nullptr) {
+    for (const std::string& name : options.catalog->TableNames()) {
+      Status st = scratch.CreateTable(
+          name, *options.catalog->GetTable(name),
+          options.catalog->GetConstraints(name)
+              ? *options.catalog->GetConstraints(name)
+              : TableConstraints{});
+      if (!st.ok()) return st;
+    }
+  }
+  PYTOND_RETURN_IF_ERROR(RegisterBaseDirectives(source, &scratch));
+  std::vector<FunctionFacts> out;
+  for (const py::Function& fn : module.functions) {
+    AnalyzerOptions per_fn = options;
+    per_fn.catalog = &scratch;
+    for (const auto& [key, value] : fn.decorator_kwargs) {
+      if (key == "layout" && value->kind == Expr::Kind::kLiteral &&
+          value->literal.type() == DataType::kString) {
+        per_fn.layout = value->literal.AsString() == "sparse"
+                            ? TensorLayout::kSparse
+                            : TensorLayout::kDense;
+      } else if (key == "pivot_values" &&
+                 (value->kind == Expr::Kind::kList ||
+                  value->kind == Expr::Kind::kTuple)) {
+        per_fn.pivot_values.clear();
+        for (const ExprPtr& c : value->children) {
+          if (c->kind == Expr::Kind::kLiteral &&
+              c->literal.type() == DataType::kString) {
+            per_fn.pivot_values.push_back(c->literal.AsString());
+          }
+        }
+      }
+    }
+    py::Function anf_fn = fn;
+    auto anf_body = ToAnf(fn.body);
+    if (!anf_body.ok()) return anf_body.status();
+    anf_fn.body = std::move(*anf_body);
+    out.push_back(AnalyzeFunction(anf_fn, per_fn));
+  }
+  return out;
+}
+
+}  // namespace pytond::frontend::check

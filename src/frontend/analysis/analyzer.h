@@ -1,0 +1,154 @@
+#ifndef PYTOND_FRONTEND_ANALYSIS_ANALYZER_H_
+#define PYTOND_FRONTEND_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/status.h"
+#include "frontend/pylang/ast.h"
+#include "frontend/translate/translator.h"
+#include "storage/catalog.h"
+
+/// Frontend translatability analyzer (the F-series tier, DESIGN.md §11).
+///
+/// A forward abstract interpretation over the ANF-normalized pylang
+/// program, mirroring the TondIR dataflow engine one level up: it infers
+/// per-binding *frame schemas* (column names + element types, seeded from
+/// the catalog and propagated through selection / filter / merge /
+/// groupby / pivot), *shape facts* for the NumPy/einsum path (array
+/// order, axis validity), and *def-use / liveness* across ANF bindings.
+/// On top of those facts a translatability classifier labels every
+/// binding `translatable | flow-breaker | untranslatable` and emits
+/// located F001-F015 diagnostics with why-chains, the frontend analogue
+/// of the verifier's T-series.
+///
+/// The namespace is `check` (not `analysis`) so the existing
+/// `pytond::analysis` TondIR tier stays unambiguous from inside
+/// `pytond::frontend`.
+namespace pytond::frontend::check {
+
+/// Classification of one ANF binding (paper §III-B): translatable bindings
+/// can be fused into the enclosing relational region; flow breakers
+/// (aggregate, group-by, distinct) end a maximal translatable region; and
+/// untranslatable bindings abort the compile with an F-error.
+enum class Translatability { kTranslatable, kFlowBreaker, kUntranslatable };
+
+const char* TranslatabilityName(Translatability t);
+
+/// One inferred column: name plus element type (kNull = unknown).
+struct ColumnInfo {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// Abstract frame schema. `columns_known == false` means inference lost
+/// track (e.g. an einsum whose output width is data-dependent); column
+/// checks are then suppressed rather than guessed.
+struct FrameSchema {
+  std::vector<ColumnInfo> columns;
+  bool columns_known = true;
+  bool is_array = false;
+  /// Array order: 1 = vector, 2 = matrix (0 for plain frames).
+  int order = 0;
+  bool has_id = false;  // leading "id" column (uid-joinable)
+
+  int Find(const std::string& name) const;
+  size_t data_width() const {
+    return columns.size() - (has_id ? 1 : 0);
+  }
+  /// "(k: INT64, v: FLOAT64)" — for --facts dumps and why-chains.
+  std::string ToString() const;
+};
+
+/// What kind of abstract value a binding holds (mirrors the translator's
+/// TValue kinds).
+enum class ValueKind {
+  kFrame, kColumn, kScalar, kGroupBy, kStrList, kUnknown
+};
+
+const char* ValueKindName(ValueKind k);
+
+/// Everything the analyzer learned about one ANF binding.
+struct BindingFacts {
+  std::string name;
+  int line = 0;
+  int stmt_index = -1;  // index into the ANF body that (re)defined it
+  ValueKind kind = ValueKind::kUnknown;
+  FrameSchema schema;  // kFrame / kGroupBy
+  Translatability klass = Translatability::kTranslatable;
+  /// Short operation label ("filter", "groupby.agg", "einsum", ...).
+  std::string op;
+  /// Why the binding is a flow breaker / untranslatable (empty otherwise).
+  std::string reason;
+  /// Inference chain: how the schema/classification was derived.
+  std::vector<std::string> why;
+  std::vector<std::string> group_keys;  // kGroupBy only
+
+  // Def-use facts (filled by the liveness pass).
+  int uses = 0;
+  int last_use_stmt = -1;  // statement index of the last read; -1 = dead
+  bool returned = false;   // flows (possibly indirectly) into the return
+};
+
+/// Analyzer configuration, mirroring TranslateOptions plus lint knobs.
+struct AnalyzerOptions {
+  const Catalog* catalog = nullptr;
+  TensorLayout layout = TensorLayout::kDense;
+  std::vector<std::string> pivot_values;
+  /// Emit F011 warnings for flow breakers (group-by / aggregate /
+  /// distinct forcing materialization boundaries). Off in the compiler
+  /// path — every aggregating query would warn — and on in tondcheck,
+  /// where region boundaries are exactly what the user asked to see.
+  bool report_flow_breakers = false;
+};
+
+/// The analysis result for one @pytond function. Total: analysis itself
+/// never fails; user errors surface as diagnostics (plus `error_status`,
+/// the Status the compiler should return, preserving the per-site
+/// StatusCode taxonomy the rest of the pipeline pins).
+struct FunctionFacts {
+  std::string function_name;
+  /// Bindings in definition order; a reassigned name appears once per
+  /// definition. Parameters come first (stmt_index -1).
+  std::vector<BindingFacts> bindings;
+  std::vector<analysis::Diagnostic> diagnostics;
+  /// OK when no error-severity diagnostic was emitted; otherwise the
+  /// first error rendered as a Status with the appropriate StatusCode.
+  Status error_status;
+
+  /// Latest binding of `name` defined at or before `before_stmt`
+  /// (nullptr when absent). `before_stmt < 0` means "latest overall".
+  const BindingFacts* Find(const std::string& name,
+                           int before_stmt = -1) const;
+  /// True when the latest binding of `name` visible at `stmt_index` dies
+  /// there: its last read is this statement and nothing reads it later.
+  /// The translator's fact-gated filter fusion keys off this.
+  bool DiesAt(const std::string& name, int stmt_index) const;
+  /// Human-readable fact dump (tondcheck --facts).
+  std::string Dump() const;
+};
+
+/// Analyzes one ANF-normalized @pytond function. `fn` must already be in
+/// ANF (the same body handed to TranslateFunction) so statement indices
+/// line up with the translator's walk.
+FunctionFacts AnalyzeFunction(const py::Function& fn,
+                              const AnalyzerOptions& options);
+
+/// Registers tables declared by `# @base name(col:type, ...)` comment
+/// directives into `catalog` (tondcheck's stand-in for a live database
+/// schema). Types: int64, float64, string, bool, date; omitted = int64.
+Status RegisterBaseDirectives(const std::string& source, Catalog* catalog);
+
+/// Convenience for tondcheck: parses `source`, applies `# @base`
+/// directives to a scratch copy of options.catalog (or an empty catalog),
+/// ANF-normalizes every @pytond function, and analyzes each. Fails only
+/// on pylang parse errors; analysis findings land in the per-function
+/// diagnostics.
+Result<std::vector<FunctionFacts>> AnalyzeSource(
+    const std::string& source, const AnalyzerOptions& options);
+
+}  // namespace pytond::frontend::check
+
+#endif  // PYTOND_FRONTEND_ANALYSIS_ANALYZER_H_

@@ -13,6 +13,7 @@ class AnfRewriter {
   Result<std::vector<Stmt>> Rewrite(const std::vector<Stmt>& body) {
     std::vector<Stmt> out;
     for (const Stmt& s : body) {
+      cur_line_ = s.line;
       Stmt copy = s;
       PYTOND_ASSIGN_OR_RETURN(copy.value,
                               Walk(s.value, /*top_level=*/true, &out));
@@ -81,15 +82,20 @@ class AnfRewriter {
       std::string tmp = "_v" + std::to_string(++counter_);
       Stmt hoisted;
       hoisted.kind = Stmt::Kind::kAssign;
+      hoisted.line = copy->line > 0 ? copy->line : cur_line_;
       hoisted.target = py::MakeName(tmp);
+      hoisted.target->line = hoisted.line;
       hoisted.value = copy;
       out->push_back(std::move(hoisted));
-      return py::MakeName(tmp);
+      auto ref = py::MakeName(tmp);
+      ref->line = hoisted.line;
+      return ref;
     }
     return copy;
   }
 
   int counter_ = 0;
+  int cur_line_ = 0;  // line of the statement currently being rewritten
 };
 
 }  // namespace

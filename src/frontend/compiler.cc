@@ -2,6 +2,7 @@
 
 #include "analysis/dataflow/dataflow.h"
 #include "analysis/verifier.h"
+#include "frontend/analysis/analyzer.h"
 #include "frontend/anf/anf.h"
 #include "frontend/pylang/parser.h"
 
@@ -37,6 +38,35 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   PYTOND_ASSIGN_OR_RETURN(normalized.body, ToAnf(fn.body));
   anf_span.End();
 
+  Compiled out;
+  out.function_name = fn.name;
+
+  // Frontend translatability analysis (F-series, DESIGN.md §11): schema /
+  // shape / liveness facts over the same ANF body the translator walks.
+  // Errors abort before translation with a located message; warnings ride
+  // along ahead of the verifier's T-warnings; liveness facts gate the
+  // translator's region fusion.
+  check::FunctionFacts ffacts;
+  if (options.frontend_checks) {
+    obs::Span analyze_span(options.trace, "analyze", "phase");
+    check::AnalyzerOptions copts;
+    copts.catalog = &catalog;
+    copts.layout = topts.layout;
+    copts.pivot_values = topts.pivot_values;
+    ffacts = check::AnalyzeFunction(normalized, copts);
+    analyze_span.AddCounter(
+        "bindings", static_cast<int64_t>(ffacts.bindings.size()));
+    analyze_span.AddCounter(
+        "diagnostics", static_cast<int64_t>(ffacts.diagnostics.size()));
+    analyze_span.End();
+    if (!ffacts.error_status.ok()) return ffacts.error_status;
+    for (analysis::Diagnostic& d : ffacts.diagnostics) {
+      out.diagnostics.push_back(std::move(d));
+    }
+    topts.facts = &ffacts;
+    topts.fusion_log = &out.rewrite_log;
+  }
+
   obs::Span translate_span(options.trace, "translate", "phase");
   PYTOND_ASSIGN_OR_RETURN(TranslationResult tr,
                           TranslateFunction(normalized, catalog, topts));
@@ -44,8 +74,6 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
                             static_cast<int64_t>(tr.program.rules.size()));
   translate_span.End();
 
-  Compiled out;
-  out.function_name = fn.name;
   out.output_columns = tr.output_columns;
   out.tondir_before = tr.program.ToString();
 
@@ -67,8 +95,11 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
                               "--- program ---\n" + tr.program.ToString());
     }
     // Keep warnings with the compiled artifact so cached compiles re-emit
-    // them instead of dropping them on cache hits.
-    out.diagnostics = std::move(diags);
+    // them instead of dropping them on cache hits (appended after any
+    // frontend F-warnings).
+    for (analysis::Diagnostic& d : diags) {
+      out.diagnostics.push_back(std::move(d));
+    }
   }
 
   opt::OptimizerOptions oopts =

@@ -30,6 +30,12 @@ struct CompileOptions {
   /// warnings land in Compiled::diagnostics rather than failing the
   /// compile. Requires verify.
   bool deep_lints = false;
+  /// Run the frontend translatability analyzer (F001-F015, DESIGN.md §11)
+  /// over the ANF program before translation. F-errors abort the compile
+  /// with a located message; F-warnings join Compiled::diagnostics ahead of
+  /// the verifier's T-warnings. The analyzer's liveness facts also gate
+  /// translate-time region fusion (logged in Compiled::rewrite_log).
+  bool frontend_checks = true;
   /// Forwarded to OptimizerOptions::verify_each_pass. Unset = keep the
   /// optimizer's build-type default (on in debug, off in release).
   std::optional<bool> verify_each_pass;

@@ -318,6 +318,7 @@ class Parser {
     auto e = std::make_shared<Expr>();
     e->kind = kind;
     e->op = std::move(op);
+    e->line = l->line;
     e->children = {std::move(l), std::move(r)};
     return e;
   }
@@ -346,6 +347,7 @@ class Parser {
       auto e = std::make_shared<Expr>();
       e->kind = Expr::Kind::kUnary;
       e->op = "~";
+      e->line = c->line;
       e->children = {c};
       return e;
     }
@@ -408,11 +410,13 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (PeekOp("-") || PeekOp("~")) {
+      int line = Peek().line;
       std::string op = Next().text;
       PYTOND_ASSIGN_OR_RETURN(ExprPtr c, ParseUnary());
       auto e = std::make_shared<Expr>();
       e->kind = Expr::Kind::kUnary;
       e->op = op;
+      e->line = line;
       e->children = {c};
       return e;
     }
@@ -428,6 +432,7 @@ class Parser {
         auto attr = std::make_shared<Expr>();
         attr->kind = Expr::Kind::kAttribute;
         attr->name = Next().text;
+        attr->line = e->line;
         attr->children = {e};
         e = attr;
         continue;
@@ -435,6 +440,7 @@ class Parser {
       if (TryOp("[")) {
         auto sub = std::make_shared<Expr>();
         sub->kind = Expr::Kind::kSubscript;
+        sub->line = e->line;
         PYTOND_ASSIGN_OR_RETURN(ExprPtr idx, ParseExpr());
         PYTOND_RETURN_IF_ERROR(ExpectOp("]"));
         sub->children = {e, idx};
@@ -444,6 +450,7 @@ class Parser {
       if (TryOp("(")) {
         auto call = std::make_shared<Expr>();
         call->kind = Expr::Kind::kCall;
+        call->line = e->line;
         call->children = {e};
         while (!TryOp(")")) {
           if (Peek().kind == Tok::kName && PeekOp("=", 1)) {
@@ -484,10 +491,13 @@ class Parser {
         return e;
       }
       case Tok::kKeyword: {
-        if (TryKeyword("True")) return MakeLiteral(Value::Bool(true));
-        if (TryKeyword("False")) return MakeLiteral(Value::Bool(false));
-        if (TryKeyword("None")) return MakeLiteral(Value::Null());
-        return Error("unexpected keyword");
+        ExprPtr e;
+        if (TryKeyword("True")) e = MakeLiteral(Value::Bool(true));
+        else if (TryKeyword("False")) e = MakeLiteral(Value::Bool(false));
+        else if (TryKeyword("None")) e = MakeLiteral(Value::Null());
+        else return Error("unexpected keyword");
+        e->line = t.line;
+        return e;
       }
       case Tok::kOp: {
         if (TryOp("(")) {
@@ -496,6 +506,7 @@ class Parser {
           if (TryOp(")")) return first;
           auto tup = std::make_shared<Expr>();
           tup->kind = Expr::Kind::kTuple;
+          tup->line = t.line;
           tup->children = {first};
           while (TryOp(",")) {
             if (PeekOp(")")) break;
@@ -508,6 +519,7 @@ class Parser {
         if (TryOp("[")) {
           auto list = std::make_shared<Expr>();
           list->kind = Expr::Kind::kList;
+          list->line = t.line;
           while (!TryOp("]")) {
             PYTOND_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
             list->children.push_back(e);

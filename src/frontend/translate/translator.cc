@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "frontend/analysis/analyzer.h"
 #include "frontend/translate/einsum.h"
 
 namespace pytond::frontend {
@@ -137,12 +138,19 @@ class Translator {
       env_[param] = std::move(v);
     }
 
-    for (const Stmt& stmt : fn.body) {
+    for (size_t si = 0; si < fn.body.size(); ++si) {
+      const Stmt& stmt = fn.body[si];
+      cur_stmt_ = static_cast<int>(si);
+      cur_line_ = stmt.line;
       if (stmt.kind == Stmt::Kind::kReturn) {
-        PYTOND_ASSIGN_OR_RETURN(TValue v, Eval(stmt.value));
-        return Finalize(std::move(v));
+        Result<TValue> v = Eval(stmt.value);
+        if (!v.ok()) return Located(v.status());
+        Result<TranslationResult> r = Finalize(std::move(*v));
+        if (!r.ok()) return Located(r.status());
+        return r;
       }
-      PYTOND_RETURN_IF_ERROR(ExecAssign(stmt));
+      Status st = ExecAssign(stmt);
+      if (!st.ok()) return Located(st);
     }
     return Status::InvalidArgument("function has no return statement");
   }
@@ -154,6 +162,15 @@ class Translator {
  private:
   std::string Fresh() {
     return fn_name_ + "_v" + std::to_string(++counter_);
+  }
+
+  /// Prefixes the pylang source line of the statement being translated,
+  /// matching the "line N: " rendering of F-series diagnostics. The
+  /// StatusCode and original message are preserved (tests pin both).
+  Status Located(const Status& s) const {
+    if (s.ok() || cur_line_ <= 0) return s;
+    return Status(s.code(),
+                  "line " + std::to_string(cur_line_) + ": " + s.message());
   }
 
   EinsumEmitter Emitter() {
@@ -195,10 +212,12 @@ class Translator {
     for (const std::string& g : group_cols) {
       // Group vars refer to head vars for the named columns.
       size_t idx = out.FindColumn(g);
+      if (idx >= rule.head.vars.size()) continue;  // callers validate
       rule.head.group_vars.push_back(rule.head.vars[idx]);
     }
     for (const tondir::SortKey& k : sort) {
       size_t idx = out.FindColumn(k.var);
+      if (idx >= rule.head.vars.size()) continue;  // callers validate
       rule.head.sort_keys.push_back({rule.head.vars[idx], k.ascending});
     }
     rule.head.limit = limit;
@@ -291,6 +310,141 @@ class Translator {
     inner.push_back(
         Atom::Compare(vars[target], CmpOp::kEq, p.probe));
     return Atom::Exists(std::move(inner), p.negated);
+  }
+
+  // ------------------------------------------------------ fusion
+  /// True if the atom (or an exists body inside it) reads `rel`.
+  static bool ReadsRelation(const Atom& a, const std::string& rel) {
+    if (a.kind == Atom::Kind::kRelAccess) return a.relation == rel;
+    if (a.kind == Atom::Kind::kExists && a.exists_body) {
+      for (const Atom& ia : *a.exists_body) {
+        if (ReadsRelation(ia, rel)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Rewrites a filter atom phrased over a relation's *column names* into
+  /// one phrased over the producer rule's *head vars* so it can live in the
+  /// producer's body. Exists bodies keep their locally-scoped vars; only
+  /// probe terms referencing outer columns are substituted.
+  static Atom SubstituteAtom(const Atom& a,
+                             const std::map<std::string, TermPtr>& subst,
+                             const std::map<std::string, std::string>& vmap) {
+    Atom out = a.CloneAtom();
+    if (out.kind == Atom::Kind::kCompare) {
+      auto it = vmap.find(out.var0);
+      if (it != vmap.end()) out.var0 = it->second;
+      out.term = Term::Substitute(out.term, subst);
+    } else if (out.kind == Atom::Kind::kExists && out.exists_body) {
+      auto nb = std::make_shared<tondir::Body>();
+      for (const Atom& ia : *out.exists_body) {
+        nb->push_back(SubstituteAtom(ia, subst, vmap));
+      }
+      out.exists_body = std::move(nb);
+    }
+    return out;
+  }
+
+  /// Fact-gated region fusion (paper §III-B): folds the filter atoms of
+  /// `df[mask]` into the rule producing `df`'s relation instead of emitting
+  /// a fresh selection rule. Sound only when the analyzer proved (a) the
+  /// base binding is translatable and dies at this statement and (b) every
+  /// other alias of the relation dies here too — otherwise a later reader
+  /// would observe filtered rows. Every decision is appended to
+  /// options_.fusion_log, mirroring the optimizer's rewrite_log.
+  std::optional<FrameInfo> TryFuseFilter(const std::string& base_name,
+                                         const FrameInfo& f,
+                                         const tondir::Body& extra) {
+    if (options_.facts == nullptr) return std::nullopt;
+    auto log = [&](const std::string& msg) {
+      if (options_.fusion_log != nullptr) options_.fusion_log->push_back(msg);
+    };
+    auto declined = [&](const std::string& reason) {
+      log("translate: filter over '" + base_name + "' not fused into " +
+          f.relation + ": " + reason);
+      return std::nullopt;
+    };
+    if (base_relations_.count(f.relation)) {
+      return declined("base relations are shared, never filtered in place");
+    }
+    const check::BindingFacts* b = options_.facts->Find(base_name, cur_stmt_);
+    if (b == nullptr) return declined("no analyzer facts for the binding");
+    if (b->klass != check::Translatability::kTranslatable) {
+      return declined(std::string("analyzer classified it ") +
+                      check::TranslatabilityName(b->klass) +
+                      (b->reason.empty() ? "" : " (" + b->reason + ")"));
+    }
+    if (!options_.facts->DiesAt(base_name, cur_stmt_)) {
+      return declined("liveness: binding is read again after this statement");
+    }
+    size_t producer = static_cast<size_t>(-1);
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      if (program_.rules[i].head.relation == f.relation) {
+        if (producer != static_cast<size_t>(-1)) {
+          return declined("relation has multiple producer rules");
+        }
+        producer = i;
+      }
+    }
+    if (producer == static_cast<size_t>(-1)) {
+      return declined("no producer rule in scope");
+    }
+    Rule& rule = program_.rules[producer];
+    if (rule.head.has_group() || rule.head.distinct ||
+        rule.head.limit.has_value() || rule.head.has_sort() ||
+        rule.HasAggregate()) {
+      return declined("producer is a flow breaker (aggregate/distinct/limit)");
+    }
+    if (rule.HasOuterMarker()) {
+      return declined("filtering below an outer join changes its semantics");
+    }
+    // Rules may only read relations defined by *earlier* rules: every
+    // relation the filter atoms reference (isin EXISTS bodies) must already
+    // be in scope at the producer's position.
+    for (const Atom& a : extra) {
+      for (size_t i = producer; i < program_.rules.size(); ++i) {
+        if (ReadsRelation(a, program_.rules[i].head.relation)) {
+          return declined("filter references relation '" +
+                          program_.rules[i].head.relation +
+                          "' defined after the producer");
+        }
+      }
+    }
+    for (const Rule& r : program_.rules) {
+      if (&r == &rule) continue;
+      for (const Atom& a : r.body) {
+        if (ReadsRelation(a, f.relation)) {
+          return declined("another rule reads the relation");
+        }
+      }
+    }
+    for (const auto& [name, tv] : env_) {
+      if (name == base_name || tv.frame.relation != f.relation) continue;
+      if (!options_.facts->DiesAt(name, cur_stmt_)) {
+        return declined("alias '" + name + "' outlives this statement");
+      }
+    }
+    for (const auto& [name, af] : append_sources_) {
+      if (af.relation == f.relation) {
+        return declined("relation is append lineage of '" + name + "'");
+      }
+    }
+    std::map<std::string, TermPtr> subst;
+    std::map<std::string, std::string> vmap;
+    for (size_t i = 0; i < rule.head.col_names.size() &&
+                       i < rule.head.vars.size();
+         ++i) {
+      subst[rule.head.col_names[i]] = Term::Var(rule.head.vars[i]);
+      vmap[rule.head.col_names[i]] = rule.head.vars[i];
+    }
+    for (const Atom& a : extra) {
+      rule.body.push_back(SubstituteAtom(a, subst, vmap));
+    }
+    log("translate: fused filter into producer of " + f.relation +
+        " (analyzer: '" + base_name + "' is translatable and dies at stmt " +
+        std::to_string(cur_stmt_) + ", no live alias)");
+    return f;
   }
 
   // ------------------------------------------------------------ eval
@@ -445,6 +599,16 @@ class Translator {
       if (index.term) AppendFilter(index.term, &extra);
       for (const IsinPayload& p : index.isins) {
         extra.push_back(MakeExists(p));
+      }
+      if (e.children[0]->kind == Expr::Kind::kName) {
+        std::optional<FrameInfo> fused =
+            TryFuseFilter(e.children[0]->name, base.frame, extra);
+        if (fused.has_value()) {
+          TValue v;
+          v.kind = TValue::Kind::kFrame;
+          v.frame = std::move(*fused);
+          return v;
+        }
       }
       TValue v;
       v.kind = TValue::Kind::kFrame;
@@ -678,6 +842,9 @@ class Translator {
       return WrapFrame(LowerEinsum(spec, operands, layout, Emitter()));
     }
     if (fn == "where") {
+      if (e.children.size() < 4) {
+        return Status::InvalidArgument("np.where needs (cond, a, b)");
+      }
       PYTOND_ASSIGN_OR_RETURN(TValue c, Eval(e.children[1]));
       PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[2]));
       PYTOND_ASSIGN_OR_RETURN(TValue b, Eval(e.children[3]));
@@ -686,6 +853,9 @@ class Translator {
       return out;
     }
     if (fn == "sqrt" || fn == "abs" || fn == "log" || fn == "exp") {
+      if (e.children.size() < 2) {
+        return Status::InvalidArgument("np." + fn + " needs an argument");
+      }
       PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[1]));
       std::string ext = fn == "log" ? "ln" : fn;
       if (a.kind == TValue::Kind::kColumn ||
@@ -737,15 +907,25 @@ class Translator {
       } else {
         return Status::InvalidArgument("sort_values needs 'by'");
       }
+      for (const std::string& k : keys) {
+        if (base.frame.FindColumn(k) == static_cast<size_t>(-1)) {
+          return Status::NotFound("sort key '" + k + "' in relation " +
+                                  base.frame.relation);
+        }
+      }
       std::vector<bool> asc(keys.size(), true);
       const ExprPtr* ascending = FindKwarg(e, "ascending");
       if (ascending != nullptr) {
         const Expr& a = **ascending;
-        if (a.kind == Expr::Kind::kLiteral) {
+        if (a.kind == Expr::Kind::kLiteral &&
+            a.literal.type() == DataType::kBool) {
           std::fill(asc.begin(), asc.end(), a.literal.AsBool());
         } else if (a.kind == Expr::Kind::kList) {
           for (size_t i = 0; i < a.children.size() && i < asc.size(); ++i) {
-            asc[i] = a.children[i]->literal.AsBool();
+            if (a.children[i]->kind == Expr::Kind::kLiteral &&
+                a.children[i]->literal.type() == DataType::kBool) {
+              asc[i] = a.children[i]->literal.AsBool();
+            }
           }
         }
       }
@@ -809,6 +989,10 @@ class Translator {
       base.str_ctx = false;
       if (method == "startswith" || method == "endswith" ||
           method == "contains") {
+        if (e.children.size() < 2) {
+          return Status::InvalidArgument(".str." + method +
+                                         " needs a pattern");
+        }
         PYTOND_ASSIGN_OR_RETURN(std::string pat,
                                 LiteralString(e.children[1]));
         std::string like = method == "startswith" ? pat + "%"
@@ -819,8 +1003,20 @@ class Translator {
         return base;
       }
       if (method == "slice") {
+        if (e.children.size() < 3) {
+          return Status::InvalidArgument(".str.slice needs start and stop");
+        }
         PYTOND_ASSIGN_OR_RETURN(TValue a, Eval(e.children[1]));
         PYTOND_ASSIGN_OR_RETURN(TValue b, Eval(e.children[2]));
+        if (a.kind != TValue::Kind::kScalar ||
+            b.kind != TValue::Kind::kScalar ||
+            a.term->kind != Term::Kind::kConst ||
+            b.term->kind != Term::Kind::kConst ||
+            a.term->constant.type() != DataType::kInt64 ||
+            b.term->constant.type() != DataType::kInt64) {
+          return Status::Unsupported(
+              ".str.slice bounds must be integer literals");
+        }
         // Python slice [a, b) -> SQL substr(s, a+1, b-a).
         int64_t start = a.term->constant.AsInt64();
         int64_t stop = b.term->constant.AsInt64();
@@ -832,6 +1028,9 @@ class Translator {
       return Status::Unsupported(".str." + method);
     }
     if (method == "isin") {
+      if (e.children.size() < 2) {
+        return Status::InvalidArgument("isin needs an argument");
+      }
       PYTOND_ASSIGN_OR_RETURN(TValue other, Eval(e.children[1]));
       if (other.kind == TValue::Kind::kStrList) {
         // Membership in a literal list -> OR chain of equalities.
@@ -1052,6 +1251,9 @@ class Translator {
       if (axis == nullptr) {
         spec.inputs = {is_vec ? "i" : "ij"};
         spec.output = "";
+      } else if ((*axis)->kind != Expr::Kind::kLiteral ||
+                 (*axis)->literal.type() != DataType::kInt64) {
+        return Status::InvalidArgument("sum(axis=...) must be 0 or 1");
       } else if ((*axis)->literal.AsInt64() == 0) {
         spec.inputs = {"ij"};
         spec.output = "j";
@@ -1132,6 +1334,9 @@ class Translator {
 
   // ------------------------------------------------------------ merge
   Result<TValue> EvalMerge(TValue& left, const Expr& e) {
+    if (e.children.size() < 2) {
+      return Status::InvalidArgument("merge needs a right operand");
+    }
     PYTOND_ASSIGN_OR_RETURN(TValue right_v, Eval(e.children[1]));
     PYTOND_ASSIGN_OR_RETURN(FrameInfo right, FrameOf(right_v));
     const FrameInfo& lf = left.frame;
@@ -1409,6 +1614,8 @@ class Translator {
   std::string fn_name_;
   int counter_ = 0;
   int filter_n_ = 0;
+  int cur_stmt_ = -1;  // ANF statement index being translated
+  int cur_line_ = 0;   // its pylang source line
 };
 
 }  // namespace

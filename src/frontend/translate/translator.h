@@ -13,6 +13,10 @@
 
 namespace pytond::frontend {
 
+namespace check {
+struct FunctionFacts;  // frontend/analysis/analyzer.h
+}
+
 /// Tensor layout for NumPy arrays (paper §II-B): dense keeps one relation
 /// column per tensor column plus an ID column; sparse uses COO
 /// (row_id, col_id, val).
@@ -43,6 +47,16 @@ struct TranslateOptions {
   /// Distinct values of the pivot_table `columns` column (paper §III-C:
   /// passed via decorator or probed ahead of codegen).
   std::vector<std::string> pivot_values;
+  /// Per-binding facts from the frontend translatability analyzer, when the
+  /// compiler ran it (same ANF body, so statement indices line up). Enables
+  /// fact-gated region fusion: a filter can be folded into its producer rule
+  /// only when the analyzer proved the producer binding dies at the filter
+  /// statement and no alias outlives it.
+  const check::FunctionFacts* facts = nullptr;
+  /// When set, every fusion decision (taken or declined, with the gating
+  /// fact) is appended here — the translate-time analogue of the
+  /// optimizer's rewrite_log.
+  std::vector<std::string>* fusion_log = nullptr;
 };
 
 /// Result of translating one @pytond function: the TondIR program (sink

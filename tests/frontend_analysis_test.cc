@@ -1,0 +1,625 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/session.h"
+#include "engine/database.h"
+#include "frontend/analysis/analyzer.h"
+#include "frontend/compiler.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond::frontend::check {
+namespace {
+
+using pytond::analysis::Diagnostic;
+using pytond::analysis::Severity;
+namespace codes = pytond::analysis::codes;
+
+// Shared `# @base` schemas: a plain frame, a join partner, a dense matrix
+// (two data columns), and a single-data-column vector.
+constexpr const char* kBases =
+    "# @base t(id, k, v:float64, cat:string)\n"
+    "# @base u(id, k, w:float64)\n"
+    "# @base m(id, c0:float64, c1:float64)\n"
+    "# @base vec(id, c0:float64)\n";
+
+std::vector<FunctionFacts> Analyze(const std::string& body,
+                                   bool flow_breakers = false) {
+  AnalyzerOptions options;
+  options.report_flow_breakers = flow_breakers;
+  auto r = AnalyzeSource(std::string(kBases) + body, options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<FunctionFacts>{};
+}
+
+const Diagnostic* FindDiag(const std::vector<FunctionFacts>& fs,
+                           const char* code) {
+  for (const FunctionFacts& f : fs) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (d.code == code) return &d;
+    }
+  }
+  return nullptr;
+}
+
+// Positive-case helper: the code fires, carries a source location, and has
+// a non-empty why-chain (notes).
+void ExpectDiag(const std::string& body, const char* code,
+                bool flow_breakers = false) {
+  auto fs = Analyze(body, flow_breakers);
+  const Diagnostic* d = FindDiag(fs, code);
+  ASSERT_NE(d, nullptr) << "expected " << code << " for:\n" << body;
+  EXPECT_GE(d->line, 1) << code << " has no source location";
+  EXPECT_FALSE(d->notes.empty()) << code << " has an empty why-chain";
+  EXPECT_FALSE(d->message.empty());
+}
+
+void ExpectNoDiag(const std::string& body, const char* code,
+                  bool flow_breakers = false) {
+  auto fs = Analyze(body, flow_breakers);
+  EXPECT_EQ(FindDiag(fs, code), nullptr)
+      << "unexpected " << code << " for:\n" << body;
+}
+
+// ------------------------------------------------ F001 unknown column
+
+TEST(FCodes, F001Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.vv > 1]
+    return out
+)",
+             codes::kUnknownColumn);
+}
+
+TEST(FCodes, F001Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.v > 1]
+    return out
+)",
+               codes::kUnknownColumn);
+}
+
+// ------------------------------------------------ F002 unknown table
+
+TEST(FCodes, F002Positive) {
+  AnalyzerOptions options;
+  auto r = AnalyzeSource(R"(
+@pytond()
+def q(mystery):
+    return mystery
+)",
+                         options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Diagnostic* d = FindDiag(*r, codes::kUnknownTable);
+  ASSERT_NE(d, nullptr);
+  EXPECT_GE(d->line, 1);
+  EXPECT_FALSE(d->notes.empty());
+}
+
+TEST(FCodes, F002Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    return t
+)",
+               codes::kUnknownTable);
+}
+
+// ------------------------------------------------ F003 undefined name
+
+TEST(FCodes, F003Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t[mask]
+    return out
+)",
+             codes::kUndefinedName);
+}
+
+TEST(FCodes, F003Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    mask = t.v > 1
+    out = t[mask]
+    return out
+)",
+               codes::kUndefinedName);
+}
+
+// ------------------------------------------------ F004 unsupported API
+
+TEST(FCodes, F004Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    w = t.rolling(7)
+    return w
+)",
+             codes::kUnsupportedApi);
+}
+
+TEST(FCodes, F004Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t.head(5)
+    return out
+)",
+               codes::kUnsupportedApi);
+}
+
+// ------------------------------------------- F005 type-incompatible
+
+TEST(FCodes, F005Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.cat > 7]
+    return out
+)",
+             codes::kTypeIncompatible);
+}
+
+TEST(FCodes, F005Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.k > 7]
+    return out
+)",
+               codes::kTypeIncompatible);
+}
+
+// ------------------------------------------------ F006 cross-frame op
+
+TEST(FCodes, F006Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t, u):
+    mask = t.v > 1
+    out = u[mask]
+    return out
+)",
+             codes::kCrossFrameOp);
+}
+
+TEST(FCodes, F006Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    mask = t.v > 1
+    out = t[mask]
+    return out
+)",
+               codes::kCrossFrameOp);
+}
+
+// ------------------------------------------------------ F007 bad axis
+
+TEST(FCodes, F007Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    s = a.sum(axis=2)
+    return s
+)",
+             codes::kBadAxis);
+}
+
+TEST(FCodes, F007Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    s = a.sum(axis=1)
+    return s
+)",
+               codes::kBadAxis);
+}
+
+// ---------------------------------------------------- F008 bad einsum
+
+TEST(FCodes, F008Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(m):
+    a = m.to_numpy()
+    r = np.einsum('ijk,jk->i', a, a)
+    return r
+)",
+             codes::kBadEinsum);
+}
+
+TEST(FCodes, F008Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(m, vec):
+    a = m.to_numpy()
+    b = vec.to_numpy()
+    r = np.einsum('ij,j->i', a, b)
+    return r
+)",
+               codes::kBadEinsum);
+}
+
+// ------------------------------------------------- F009 bad merge key
+
+TEST(FCodes, F009Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t, u):
+    j = t.merge(u, on='nope')
+    return j
+)",
+             codes::kBadMergeKey);
+}
+
+TEST(FCodes, F009Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t, u):
+    j = t.merge(u, on='k')
+    return j
+)",
+               codes::kBadMergeKey);
+}
+
+// ------------------------------------------------- F010 dead binding
+
+TEST(FCodes, F010Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    unused = t[t.v > 1]
+    out = t[t.k < 3]
+    return out
+)",
+             codes::kDeadBinding);
+}
+
+TEST(FCodes, F010Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    a = t[t.v > 1]
+    out = a[a.k < 3]
+    return out
+)",
+               codes::kDeadBinding);
+}
+
+// ------------------------------------------------- F011 flow breaker
+
+TEST(FCodes, F011Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    g = t.groupby(['cat']).agg(s=('v', 'sum'))
+    return g
+)",
+             codes::kFlowBreaker, /*flow_breakers=*/true);
+}
+
+TEST(FCodes, F011Negative) {
+  // Same program: off by default (the compiler path would warn on every
+  // aggregating query otherwise).
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    g = t.groupby(['cat']).agg(s=('v', 'sum'))
+    return g
+)",
+               codes::kFlowBreaker, /*flow_breakers=*/false);
+  // And a pure relational pipeline stays quiet even with reporting on.
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.v > 1]
+    return out
+)",
+               codes::kFlowBreaker, /*flow_breakers=*/true);
+}
+
+// --------------------------------------------- F012 shadowed binding
+
+TEST(FCodes, F012Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    x = t[t.v > 1]
+    x = t[t.k < 3]
+    return x
+)",
+             codes::kShadowedBinding);
+}
+
+TEST(FCodes, F012Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    x = t[t.v > 1]
+    y = x[['k', 'v']]
+    x = t[t.k < 3]
+    return x
+)",
+               codes::kShadowedBinding);
+}
+
+// -------------------------------------------- F013 missing argument
+
+TEST(FCodes, F013Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.cat.isin([])]
+    return out
+)",
+             codes::kMissingArgument);
+}
+
+TEST(FCodes, F013Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.cat.isin(['a', 'b'])]
+    return out
+)",
+               codes::kMissingArgument);
+}
+
+// ---------------------------------------- F014 non-literal argument
+
+TEST(FCodes, F014Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t.sort_values(by=3)
+    return out
+)",
+             codes::kNonLiteralArgument);
+}
+
+TEST(FCodes, F014Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t.sort_values(by=['v'], ascending=[False])
+    return out
+)",
+               codes::kNonLiteralArgument);
+}
+
+// -------------------------------------------------- F015 bad return
+
+TEST(FCodes, F015Positive) {
+  ExpectDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.v > 1]
+)",
+             codes::kBadReturn);
+}
+
+TEST(FCodes, F015Negative) {
+  ExpectNoDiag(R"(
+@pytond()
+def q(t):
+    out = t[t.v > 1]
+    return out
+)",
+               codes::kBadReturn);
+}
+
+// ------------------------------------------------ analyzer fact dumps
+
+TEST(AnalyzerFacts, SchemaAndLivenessInference) {
+  auto fs = Analyze(R"(
+@pytond()
+def q(t):
+    a = t[t.v > 1]
+    out = a[['k', 'v']]
+    return out
+)");
+  ASSERT_EQ(fs.size(), 1u);
+  const FunctionFacts& f = fs[0];
+  EXPECT_TRUE(f.error_status.ok());
+  const BindingFacts* a = f.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, ValueKind::kFrame);
+  EXPECT_EQ(a->klass, Translatability::kTranslatable);
+  EXPECT_GE(a->schema.Find("v"), 0);
+  EXPECT_FALSE(a->why.empty());
+  // `a` is last read by the projection (its defining statement + 1).
+  EXPECT_TRUE(f.DiesAt("a", a->stmt_index + 1));
+  const BindingFacts* out = f.Find("out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->returned);
+  EXPECT_GE(out->schema.Find("k"), 0);
+  EXPECT_GE(out->schema.Find("v"), 0);
+  EXPECT_FALSE(f.Dump().empty());
+}
+
+TEST(AnalyzerFacts, FlowBreakerClassification) {
+  auto fs = Analyze(R"(
+@pytond()
+def q(t):
+    g = t.groupby(['cat']).agg(s=('v', 'sum'))
+    return g
+)");
+  ASSERT_EQ(fs.size(), 1u);
+  const BindingFacts* g = fs[0].Find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->klass, Translatability::kFlowBreaker);
+  EXPECT_FALSE(g->reason.empty());
+  EXPECT_GE(g->schema.Find("s"), 0);
+}
+
+TEST(AnalyzerFacts, ErrorStatusPreservesCode) {
+  auto fs = Analyze(R"(
+@pytond()
+def q(t):
+    out = t[t.vv > 1]
+    return out
+)");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].error_status.code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------- fact-gated filter fusion
+
+class FusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table t;
+    ASSERT_TRUE(t.AddColumn("k", Column::Int64({1, 2, 3, 4, 5})).ok());
+    ASSERT_TRUE(
+        t.AddColumn("cat", Column::String({"a", "b", "a", "b", "c"})).ok());
+    ASSERT_TRUE(t.AddColumn("v", Column::Float64({10, 20, 30, 40, 50})).ok());
+    TableConstraints tc;
+    tc.primary_key = {"k"};
+    ASSERT_TRUE(db_.CreateTable("t", std::move(t), tc).ok());
+  }
+
+  Compiled Compile(const std::string& source) {
+    CompileOptions opts;
+    auto c = CompileFunction(source, db_.catalog(), opts);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? std::move(*c) : Compiled{};
+  }
+
+  static bool LogContains(const Compiled& c, const std::string& needle) {
+    for (const std::string& line : c.rewrite_log) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  static std::string FormatLog(const Compiled& c) {
+    std::string s;
+    for (const std::string& line : c.rewrite_log) {
+      s += line;
+      s += '\n';
+    }
+    return s;
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(FusionTest, ChainedFilterFuses) {
+  Compiled c = Compile(R"(
+@pytond()
+def q(t):
+    a = t[t.v > 20]
+    out = a[a.k < 5]
+    return out
+)");
+  EXPECT_TRUE(LogContains(c, "fused filter into producer"))
+      << "rewrite_log:\n" << FormatLog(c);
+  auto r = db_.Query(c.sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2u);  // v>20 -> k in {3,4,5}; k<5 -> {3,4}
+}
+
+TEST_F(FusionTest, GroupbyBlocksFusion) {
+  Compiled c = Compile(R"(
+@pytond()
+def q(t):
+    g = t.groupby(['cat']).agg(s=('v', 'sum'))
+    out = g[g.s > 30]
+    return out
+)");
+  EXPECT_FALSE(LogContains(c, "fused filter into producer"));
+  EXPECT_TRUE(LogContains(c, "not fused")) << FormatLog(c);
+  auto r = db_.Query(c.sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 3u);  // a:40, b:60, c:50
+}
+
+TEST_F(FusionTest, LiveAliasBlocksFusion) {
+  Compiled c = Compile(R"(
+@pytond()
+def q(t):
+    a = t[t.v > 20]
+    b = a
+    out = b[b.k < 5]
+    return out
+)");
+  EXPECT_FALSE(LogContains(c, "fused filter into producer"));
+  EXPECT_TRUE(LogContains(c, "not fused")) << FormatLog(c);
+  auto r = db_.Query(c.sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 2u);
+}
+
+// Fusion never changes results even when the producer chain is deep.
+TEST_F(FusionTest, DeepChainStaysCorrect) {
+  Compiled c = Compile(R"(
+@pytond()
+def q(t):
+    a = t[t.v > 10]
+    b = a[a.v > 20]
+    d = b[b.v > 30]
+    out = d[d.k < 5]
+    return out
+)");
+  auto r = db_.Query(c.sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->num_rows(), 1u);  // v>30 -> {4,5}; k<5 -> {4}
+}
+
+// ------------------------------------- whole-suite zero-F-error gate
+
+TEST(WorkloadAnalysis, AllWorkloadsCompileWithZeroFErrors) {
+  Session session;
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.001).ok());
+  namespace ds = workloads::datasci;
+  for (const auto& populate :
+       {ds::PopulateCrimeIndex, ds::PopulateBirthAnalysis, ds::PopulateN3,
+        ds::PopulateN9, ds::PopulateHybrid}) {
+    ASSERT_TRUE(populate(&session.db(), 32, 7).ok());
+  }
+  ASSERT_TRUE(ds::PopulateCovariance(&session.db(), 32, 4, 0.5).ok());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    sources.emplace_back(q.name, q.source);
+  }
+  sources.emplace_back("crime_index", ds::CrimeIndexSource());
+  sources.emplace_back("birth_analysis", ds::BirthAnalysisSource());
+  sources.emplace_back("n3", ds::N3Source());
+  sources.emplace_back("n9", ds::N9Source());
+  sources.emplace_back("hybrid_matmul", ds::HybridMatMulSource(false));
+  sources.emplace_back("hybrid_covar", ds::HybridCovarSource(false));
+  sources.emplace_back("covar_dense", ds::CovarDenseSource());
+  sources.emplace_back("covar_sparse", ds::CovarSparseSource());
+  ASSERT_EQ(sources.size(), 30u);
+
+  for (const auto& [name, source] : sources) {
+    RunOptions options;
+    options.use_plan_cache = false;
+    auto compiled = session.Compile(source, options);
+    ASSERT_TRUE(compiled.ok()) << name << ": "
+                               << compiled.status().ToString();
+    for (const Diagnostic& d : compiled->diagnostics) {
+      if (d.code.rfind("F", 0) == 0) {
+        EXPECT_NE(d.severity, Severity::kError)
+            << name << ": " << d.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pytond::frontend::check

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "engine/database.h"
 #include "frontend/anf/anf.h"
 #include "frontend/compiler.h"
@@ -573,6 +575,124 @@ def q(missing_table):
 )",
                            db_.catalog());
   ASSERT_FALSE(c.ok());
+}
+
+// ------------------------------------------- parser error paths
+
+// Every malformed program must produce a located kParseError, never a
+// crash or a silent success.
+TEST(PyParserErrorTest, MalformedProgramsAreLocatedErrors) {
+  const char* cases[] = {
+      // Missing closing paren in the condition.
+      "@pytond()\ndef q(df):\n    v = df[(df.a > 1]\n    return v\n",
+      // Unterminated string literal.
+      "@pytond()\ndef q(df):\n    v = df[df.s == 'oops]\n    return v\n",
+      // Bad decorator.
+      "@pytond(\ndef q(df):\n    return df\n",
+      // Missing colon after def.
+      "@pytond()\ndef q(df)\n    return df\n",
+      // Operator with no right operand.
+      "@pytond()\ndef q(df):\n    v = df.a >\n    return v\n",
+      // Dangling attribute access.
+      "@pytond()\ndef q(df):\n    v = df.\n    return v\n",
+      // Unbalanced brackets in a list.
+      "@pytond()\ndef q(df):\n    v = df[['a', 'b']\n    return v\n",
+      // Assignment with no right-hand side.
+      "@pytond()\ndef q(df):\n    v =\n    return v\n",
+  };
+  for (const char* src : cases) {
+    auto m = py::ParseModule(src);
+    ASSERT_FALSE(m.ok()) << "expected parse failure for:\n" << src;
+    EXPECT_EQ(m.status().code(), StatusCode::kParseError) << src;
+    EXPECT_NE(m.status().message().find("line"), std::string::npos)
+        << "parse error lacks a source location: "
+        << m.status().ToString();
+  }
+}
+
+TEST(PyParserErrorTest, ErrorLineNumbersPointAtTheOffendingLine) {
+  auto m = py::ParseModule(
+      "@pytond()\n"
+      "def q(df):\n"
+      "    a = df[df.x > 1]\n"
+      "    b = a[(a.y > 2]\n"  // line 4: unbalanced paren
+      "    return b\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("line 4"), std::string::npos)
+      << m.status().ToString();
+}
+
+// Randomized mutation loop: corrupt valid programs and feed them to the
+// parser. The invariant is total robustness — either a parse succeeds
+// (and the result survives ANF rewriting) or it fails with a located
+// kParseError; it must never crash.
+TEST(PyParserErrorTest, RandomMutationsNeverCrash) {
+  const std::vector<std::string> corpus = {
+      "@pytond()\n"
+      "def q(df):\n"
+      "    v = df[df.a > 5]\n"
+      "    out = v[['a', 'b']]\n"
+      "    return out\n",
+      "@pytond()\n"
+      "def q(t, u):\n"
+      "    j = t.merge(u, on='k')\n"
+      "    g = j.groupby(['cat']).agg(s=('v', 'sum'))\n"
+      "    out = g.sort_values(by=['s'], ascending=[False]).head(3)\n"
+      "    return out\n",
+      "@pytond(layout='sparse')\n"
+      "def q(m, w):\n"
+      "    a = m.to_numpy()\n"
+      "    r = np.einsum('ij,j->i', a, w.to_numpy())\n"
+      "    d = pd.DataFrame(r)\n"
+      "    return d\n",
+      "@pytond()\n"
+      "def q(df):\n"
+      "    df['z'] = df.x * 2 + 1\n"
+      "    keep = df[df.s.isin(['a', 'b']) & (df.z > 0)]\n"
+      "    return keep\n",
+  };
+  std::mt19937_64 rng(20260808);
+  const char kNoise[] = "()[]'\",.:=><&|@#\n\t x0";
+  int parsed_ok = 0;
+  int parse_errors = 0;
+  for (int iter = 0; iter < 800; ++iter) {
+    std::string src = corpus[rng() % corpus.size()];
+    // 1-3 random edits: delete, insert, or overwrite a byte.
+    int edits = 1 + (int)(rng() % 3);
+    for (int e = 0; e < edits && !src.empty(); ++e) {
+      size_t pos = rng() % src.size();
+      switch (rng() % 3) {
+        case 0:
+          src.erase(pos, 1);
+          break;
+        case 1:
+          src.insert(pos, 1, kNoise[rng() % (sizeof(kNoise) - 1)]);
+          break;
+        default:
+          src[pos] = kNoise[rng() % (sizeof(kNoise) - 1)];
+          break;
+      }
+    }
+    auto m = py::ParseModule(src);
+    if (!m.ok()) {
+      ++parse_errors;
+      EXPECT_EQ(m.status().code(), StatusCode::kParseError)
+          << m.status().ToString() << "\nsource:\n" << src;
+      EXPECT_NE(m.status().message().find("line"), std::string::npos)
+          << m.status().ToString();
+      continue;
+    }
+    ++parsed_ok;
+    // A mutated-but-parseable program must still ANF-normalize without
+    // crashing (failures are fine; they must be clean Statuses).
+    for (const py::Function& fn : m->functions) {
+      auto anf = ToAnf(fn.body);
+      (void)anf;
+    }
+  }
+  // The mutator should exercise both outcomes.
+  EXPECT_GT(parse_errors, 0);
+  EXPECT_GT(parsed_ok, 0);
 }
 
 }  // namespace

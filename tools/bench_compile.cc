@@ -1,0 +1,142 @@
+// bench_compile: compile-path latency across the full workload suite.
+//
+//   bench_compile [--reps N] > BENCH_compile.json
+//
+// Compiles all 22 TPC-H queries plus the 8 data-science workloads through
+// the Session frontend (plan cache off) several times each and reports the
+// median wall-clock per workload, broken down by pipeline phase (parse,
+// anf, analyze, translate, verify, optimize, sqlgen). The `analyze` phase
+// is the frontend translatability analyzer (DESIGN.md §11); its share of
+// total compile time quantifies the static-analysis overhead.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/query_profile.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace {
+
+using pytond::Session;
+
+struct Workload {
+  std::string name;
+  std::string source;
+};
+
+struct Sample {
+  double total_ms = 0;
+  std::vector<std::pair<std::string, double>> phases;
+};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_compile [--reps N]\n";
+      return 2;
+    }
+  }
+
+  Session session;
+  auto st = pytond::workloads::tpch::Populate(&session.db(), 0.001);
+  if (!st.ok()) {
+    std::cerr << "tpch populate: " << st.message() << "\n";
+    return 1;
+  }
+  namespace ds = pytond::workloads::datasci;
+  for (const auto& populate :
+       {ds::PopulateCrimeIndex, ds::PopulateBirthAnalysis, ds::PopulateN3,
+        ds::PopulateN9, ds::PopulateHybrid}) {
+    st = populate(&session.db(), 64, 7);
+    if (!st.ok()) {
+      std::cerr << "datasci populate: " << st.message() << "\n";
+      return 1;
+    }
+  }
+  st = ds::PopulateCovariance(&session.db(), 64, 4, 0.5);
+  if (!st.ok()) {
+    std::cerr << "covariance populate: " << st.message() << "\n";
+    return 1;
+  }
+
+  std::vector<Workload> workloads;
+  for (const auto& q : pytond::workloads::tpch::AllQueries()) {
+    workloads.push_back({q.name, q.source});
+  }
+  workloads.push_back({"crime_index", ds::CrimeIndexSource()});
+  workloads.push_back({"birth_analysis", ds::BirthAnalysisSource()});
+  workloads.push_back({"n3", ds::N3Source()});
+  workloads.push_back({"n9", ds::N9Source()});
+  workloads.push_back({"hybrid_matmul", ds::HybridMatMulSource(false)});
+  workloads.push_back({"hybrid_covar", ds::HybridCovarSource(false)});
+  workloads.push_back({"covar_dense", ds::CovarDenseSource()});
+  workloads.push_back({"covar_sparse", ds::CovarSparseSource()});
+
+  pytond::obs::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").String("compile")
+      .Key("reps").Int(reps)
+      .Key("workloads").BeginArray();
+
+  double suite_total = 0;
+  double suite_analyze = 0;
+  bool ok = true;
+  for (const Workload& w : workloads) {
+    pytond::RunOptions options;
+    options.use_plan_cache = false;
+    std::vector<double> totals;
+    std::vector<std::pair<std::string, double>> last_phases;
+    for (int r = 0; r < reps; ++r) {
+      pytond::obs::TraceCollector trace;
+      options.trace = &trace;
+      auto compiled = session.Compile(w.source, options);
+      if (!compiled.ok()) {
+        std::cerr << w.name << ": " << compiled.status().message() << "\n";
+        ok = false;
+        break;
+      }
+      pytond::obs::QueryProfile profile = pytond::obs::SummarizeTrace(trace);
+      totals.push_back(profile.compile_ms);
+      last_phases = profile.compile_phases;
+    }
+    if (totals.empty()) continue;
+    double median = Median(totals);
+    suite_total += median;
+    json.BeginObject()
+        .Key("name").String(w.name)
+        .Key("compile_ms").Double(median)
+        .Key("phases").BeginObject();
+    for (const auto& [phase, ms] : last_phases) {
+      json.Key(phase).Double(ms);
+      if (phase == "analyze") suite_analyze += ms;
+    }
+    json.EndObject().EndObject();
+  }
+
+  json.EndArray()
+      .Key("suite_compile_ms").Double(suite_total)
+      .Key("suite_analyze_ms").Double(suite_analyze)
+      .Key("analyze_share")
+      .Double(suite_total > 0 ? suite_analyze / suite_total : 0)
+      .Key("ok").Bool(ok)
+      .EndObject();
+  std::cout << json.str() << "\n";
+  return ok ? 0 : 1;
+}

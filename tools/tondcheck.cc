@@ -1,0 +1,238 @@
+// tondcheck: frontend translatability lint for @pytond workload sources.
+//
+//   tondcheck [options] workload.py [more.py ...]
+//   tondcheck -                       # read one module from stdin
+//
+// Parses each mini-Python module, ANF-normalizes every @pytond function,
+// and runs the frontend translatability analyzer (frontend/analysis/) over
+// it — schema inference from `# @base name(col:type, ...)` directives,
+// shape/axis facts for the NumPy path, def-use/liveness, and the
+// translatable / flow-breaker / untranslatable classification — without
+// compiling or executing anything. Findings print one per line:
+//
+//   q1.py: q1: line 4: error[F001]: unknown column 'shipdate' ...
+//
+// Exit status: 0 clean, 1 any error (or any warning with --werror),
+// 2 usage/parse failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/analysis/analyzer.h"
+#include "obs/json.h"
+
+namespace {
+
+struct CheckConfig {
+  bool werror = false;
+  bool quiet = false;          // suppress per-file "OK" lines
+  bool json = false;           // machine-readable output on stdout
+  bool facts = false;          // dump per-binding schema/liveness facts
+  bool explain = false;        // print each diagnostic's why-chain
+  bool flow_breakers = true;   // F011 region-boundary warnings
+};
+
+int Usage() {
+  std::cerr
+      << "usage: tondcheck [options] <workload.py ...|->\n"
+         "  -                  read a module from stdin\n"
+         "  --werror           treat warnings as errors (exit 1)\n"
+         "  --quiet            only print diagnostics, no per-file summary\n"
+         "  --json             emit one JSON document on stdout instead of\n"
+         "                     plain-text lines (same exit codes)\n"
+         "  --facts            dump per-binding facts (kind, schema, class,\n"
+         "                     liveness) for every @pytond function\n"
+         "  --explain-diag     print each diagnostic's inference chain\n"
+         "  --no-flow-breakers suppress F011 region-boundary warnings\n"
+         "  --list-codes       print the diagnostic code table and exit\n"
+         "\n"
+         "Declare table schemas with comment directives:\n"
+         "  # @base lineitem(l_orderkey:int64, l_shipdate:date, ...)\n";
+  return 2;
+}
+
+void ListCodes() {
+  using namespace pytond::analysis::codes;
+  const struct { const char* code; const char* what; } table[] = {
+      {kUnknownColumn, "column not in the inferred frame schema"},
+      {kUnknownTable, "parameter has no catalog table / @base directive"},
+      {kUndefinedName, "name read before any binding"},
+      {kUnsupportedApi, "pandas/numpy API outside the translatable subset"},
+      {kTypeIncompatible, "comparison over incompatible column types"},
+      {kCrossFrameOp, "mask/arithmetic mixes columns of different frames"},
+      {kBadAxis, "axis out of range for the inferred array order"},
+      {kBadEinsum, "malformed or unsupported einsum spec"},
+      {kBadMergeKey, "merge key missing from a side's schema"},
+      {kDeadBinding, "binding never read and never returned (warning)"},
+      {kFlowBreaker, "aggregate/group-by/distinct ends a region (warning)"},
+      {kShadowedBinding, "rebinding a name never read since (warning)"},
+      {kMissingArgument, "call is missing a required argument"},
+      {kNonLiteralArgument, "argument must be a literal for translation"},
+      {kBadReturn, "function must return a frame (or is missing return)"},
+  };
+  for (const auto& row : table) {
+    std::cout << row.code << "  " << row.what << "\n";
+  }
+}
+
+/// Checks one module; returns 0 clean, 1 findings, 2 parse error. With
+/// --json, appends one per-file object to `json` (an open array) instead
+/// of writing plain-text lines.
+int CheckSource(const std::string& label, const std::string& text,
+                const CheckConfig& config, pytond::obs::JsonWriter* json) {
+  namespace check = pytond::frontend::check;
+  check::AnalyzerOptions options;
+  options.report_flow_breakers = config.flow_breakers;
+  auto analyzed = check::AnalyzeSource(text, options);
+  if (!analyzed.ok()) {
+    if (json != nullptr) {
+      json->BeginObject()
+          .Key("file").String(label)
+          .Key("parse_error").String(analyzed.status().message())
+          .Key("ok").Bool(false)
+          .EndObject();
+    } else {
+      std::cerr << label << ": parse error: " << analyzed.status().message()
+                << "\n";
+    }
+    return 2;
+  }
+  bool failed = false;
+  for (const check::FunctionFacts& f : *analyzed) {
+    failed = failed || pytond::analysis::HasErrors(f.diagnostics) ||
+             (config.werror && !f.diagnostics.empty());
+  }
+  if (config.facts && json == nullptr) {
+    for (const check::FunctionFacts& f : *analyzed) {
+      std::cout << label << ": " << f.function_name << ": facts:\n"
+                << f.Dump();
+    }
+  }
+  if (json != nullptr) {
+    json->BeginObject()
+        .Key("file").String(label)
+        .Key("ok").Bool(!failed)
+        .Key("functions").BeginArray();
+    for (const check::FunctionFacts& f : *analyzed) {
+      json->BeginObject()
+          .Key("name").String(f.function_name)
+          .Key("bindings").Int(static_cast<int64_t>(f.bindings.size()))
+          .Key("diagnostics").BeginArray();
+      for (const auto& d : f.diagnostics) {
+        json->BeginObject()
+            .Key("code").String(d.code)
+            .Key("severity")
+            .String(pytond::analysis::SeverityName(d.severity))
+            .Key("line").Int(d.line)
+            .Key("message").String(d.message);
+        if (!d.fix_hint.empty()) json->Key("fix_hint").String(d.fix_hint);
+        if (!d.notes.empty()) {
+          json->Key("notes").BeginArray();
+          for (const auto& n : d.notes) json->String(n);
+          json->EndArray();
+        }
+        json->EndObject();
+      }
+      json->EndArray().EndObject();
+    }
+    json->EndArray().EndObject();
+  } else {
+    size_t bindings = 0;
+    for (const check::FunctionFacts& f : *analyzed) {
+      bindings += f.bindings.size();
+      for (const auto& d : f.diagnostics) {
+        std::cout << label << ": " << f.function_name << ": "
+                  << d.ToString() << "\n";
+        if (config.explain) {
+          for (const auto& n : d.notes) {
+            std::cout << "    note: " << n << "\n";
+          }
+        }
+      }
+    }
+    if (!failed && !config.quiet) {
+      std::cout << label << ": OK (" << analyzed->size() << " functions, "
+                << bindings << " bindings)\n";
+    }
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckConfig config;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      config.werror = true;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--json") {
+      config.json = true;
+    } else if (arg == "--facts") {
+      config.facts = true;
+    } else if (arg == "--explain-diag") {
+      config.explain = true;
+    } else if (arg == "--no-flow-breakers") {
+      config.flow_breakers = false;
+    } else if (arg == "--list-codes") {
+      ListCodes();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (arg == "-" || arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "tondcheck: unknown option '" << arg << "'\n";
+      return Usage();
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  pytond::obs::JsonWriter json;
+  if (config.json) json.BeginObject().Key("files").BeginArray();
+
+  int exit_code = 0;
+  for (const std::string& input : inputs) {
+    std::string text;
+    std::string label = input;
+    if (input == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      text = ss.str();
+      label = "<stdin>";
+    } else {
+      std::ifstream f(input);
+      if (!f) {
+        if (config.json) {
+          json.BeginObject()
+              .Key("file").String(input)
+              .Key("parse_error").String("cannot open file")
+              .Key("ok").Bool(false)
+              .EndObject();
+        } else {
+          std::cerr << "tondcheck: cannot open '" << input << "'\n";
+        }
+        exit_code = std::max(exit_code, 2);
+        continue;
+      }
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      text = ss.str();
+    }
+    exit_code = std::max(
+        exit_code,
+        CheckSource(label, text, config, config.json ? &json : nullptr));
+  }
+
+  if (config.json) {
+    json.EndArray().Key("exit_code").Int(exit_code).EndObject();
+    std::cout << json.str() << "\n";
+  }
+  return exit_code;
+}

@@ -7,9 +7,12 @@
 # limits), clang-tidy (skipped with a notice when the tool is absent),
 # tondlint over the example TondIR programs and tondcheck over the example
 # Python workloads — both with per-file .expect sidecars pinning the
-# diagnostic codes — a bench_compile smoke over all 30 workloads, and
-# tondtrace smoke runs whose JSON output is gated by the built-in minimal
-# validator (--check exits 3 on malformed JSON).
+# diagnostic codes — a bench_compile smoke over all 30 workloads,
+# tondtrace/tondstat smoke runs whose JSON output is gated by the built-in
+# minimal validator (--check exits 3 on malformed JSON), CLI argument
+# validation, a schema check over the committed BENCH_exec.json runtime
+# baseline, and the metrics overhead guard (always-on recording must cost
+# < 2% vs TOND_METRICS-off on the TPC-H suite).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,8 +30,8 @@ done
 # threaded code path).
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-    --target engine_test differential_test concurrency_test
-for t in engine_test differential_test concurrency_test; do
+    --target engine_test differential_test concurrency_test metrics_test
+for t in engine_test differential_test concurrency_test metrics_test; do
   TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t" \
       --gtest_brief=1
 done
@@ -160,5 +163,75 @@ done
 # must all succeed and emit valid JSON.
 ./build/tools/tondtrace --tpch=0.002 --query=6 --jobs=4 --threads=2 \
     --format=json --check > /dev/null 2>&1
+
+# Argument validation: bad flag values must print usage and exit 2, never
+# run with a nonsense configuration.
+for bad in "--jobs=0" "--jobs=-3" "--threads=0" "--olevel=9" "--bogus"; do
+  if ./build/tools/tondtrace --tpch=0.002 --query=6 "$bad" \
+      > /dev/null 2>&1; then
+    echo "check.sh: tondtrace accepted $bad" >&2
+    exit 1
+  fi
+  status=0
+  ./build/tools/tondtrace --tpch=0.002 --query=6 "$bad" \
+      > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: tondtrace $bad exited $status, want 2" >&2
+    exit 1
+  fi
+done
+for bad in "--jobs=0" "--reps=-1" "--watch=-2" "--format=xml" "--bogus"; do
+  status=0
+  ./build/tools/tondstat "$bad" > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: tondstat $bad exited $status, want 2" >&2
+    exit 1
+  fi
+done
+
+# tondstat smoke: the metrics exposition must validate as JSON (--check
+# exits 3 on malformed), carry the query counters it just generated, and
+# render a Prometheus page with typed families. Delta windows (--watch)
+# must stay valid JSON too.
+./build/tools/tondstat --tpch=0.002 --query=6 --reps=2 --check |
+  jq -e '.counters.tond_db_queries_total == 2 and
+         .histograms.tond_db_query_latency_ns.count == 2 and
+         .gauges.tond_mem_db_peak_bytes > 0 and
+         .gauges.tond_mem_db_current_bytes == 0' > /dev/null ||
+  { echo "check.sh: tondstat JSON smoke failed" >&2
+    exit 1; }
+./build/tools/tondstat --tpch=0.002 --query=6 --format=prom |
+  grep -q '^# TYPE tond_db_query_latency_ns histogram' ||
+  { echo "check.sh: tondstat prom smoke failed" >&2
+    exit 1; }
+./build/tools/tondstat --tpch=0.002 --query=6 --watch=2 --check |
+  tail -1 |
+  jq -e '.counters.tond_db_queries_total == 1' > /dev/null ||
+  { echo "check.sh: tondstat --watch delta smoke failed" >&2
+    exit 1; }
+# The TOND_METRICS kill switch zeroes recording but keeps exposition up.
+TOND_METRICS=off ./build/tools/tondstat --tpch=0.002 --query=6 --check |
+  jq -e '.counters.tond_db_queries_total == 0' > /dev/null ||
+  { echo "check.sh: TOND_METRICS=off still recorded metrics" >&2
+    exit 1; }
+
+# BENCH_exec.json schema sanity: the committed runtime baseline must
+# cover all 30 workloads at threads {1,2,4} with positive medians and
+# accounted memory on every entry.
+jq -e '.bench == "exec" and .ok == true and
+       (.threads == [1, 2, 4]) and (.workloads | length == 30) and
+       ([.workloads[].threads | keys | sort] | unique == [["1","2","4"]])
+       and ([.workloads[].threads[][ "median_ms"]] | min > 0)
+       and ([.workloads[].threads[][ "peak_mem_bytes"]] | min > 0)' \
+    BENCH_exec.json > /dev/null ||
+  { echo "check.sh: BENCH_exec.json schema check failed" >&2
+    exit 1; }
+
+# Overhead guard: the always-on metrics path must cost < 2% on the TPC-H
+# suite vs the same build with recording disabled.
+./build/tools/bench_exec --overhead-guard --threshold 2 |
+  jq -e '.ok == true' > /dev/null ||
+  { echo "check.sh: metrics overhead guard failed (>= 2%)" >&2
+    exit 1; }
 
 echo "check.sh: all green"

@@ -66,6 +66,17 @@ std::string CacheKey(const std::string& source, const RunOptions& options) {
 
 }  // namespace
 
+Session::Session()
+    : runs_total_(&db_.metrics().counter("tond_session_runs_total")),
+      run_failures_total_(
+          &db_.metrics().counter("tond_session_run_failures_total")),
+      run_latency_ns_(
+          &db_.metrics().histogram("tond_session_run_latency_ns")),
+      cache_hits_total_(&db_.metrics().counter("tond_cache_plan_hits_total")),
+      cache_misses_total_(
+          &db_.metrics().counter("tond_cache_plan_misses_total")),
+      cache_entries_(&db_.metrics().gauge("tond_cache_plan_entries")) {}
+
 Result<frontend::Compiled> Session::Compile(const std::string& source,
                                             const RunOptions& options) const {
   return frontend::CompileFunction(source, db_.catalog(),
@@ -78,12 +89,14 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
     PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
     return std::make_shared<const frontend::Compiled>(std::move(c));
   }
+  const bool record = db_.metrics().enabled();
   std::string key = CacheKey(source, options);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++cache_hits_;
+      if (record) cache_hits_total_->Add(1);
       // Re-emit the stored verifier warnings: a hit must surface the same
       // diagnostics the original compile did, not silently drop them.
       obs::Span span(options.trace, "plan_cache", "engine");
@@ -93,6 +106,7 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
       return it->second;
     }
     ++cache_misses_;
+    if (record) cache_misses_total_->Add(1);
   }
   // Compile outside the lock so concurrent misses don't serialize; the
   // occasional duplicate compile publishes last-writer-wins.
@@ -105,13 +119,28 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
   auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
   std::lock_guard<std::mutex> lock(cache_mu_);
   plan_cache_[std::move(key)] = shared;
+  if (record) {
+    cache_entries_->Set(static_cast<int64_t>(plan_cache_.size()));
+  }
   return shared;
 }
 
 Result<std::shared_ptr<const Table>> Session::Run(const std::string& source,
                                                   const RunOptions& options) {
-  PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, options));
-  return Execute(*c, options);
+  // End-to-end run latency (compile or cache hit + execute); failures in
+  // either phase count once.
+  const bool record = db_.metrics().enabled();
+  const uint64_t t0 = record ? obs::NowNs() : 0;
+  auto compiled = CompileCached(source, options);
+  Result<std::shared_ptr<const Table>> result =
+      compiled.ok() ? Execute(**compiled, options)
+                    : Result<std::shared_ptr<const Table>>(compiled.status());
+  if (record) {
+    runs_total_->Add(1);
+    run_latency_ns_->Record(obs::NowNs() - t0);
+    if (!result.ok()) run_failures_total_->Add(1);
+  }
+  return result;
 }
 
 Result<ProfiledRun> Session::RunProfiled(const std::string& source,
@@ -119,8 +148,18 @@ Result<ProfiledRun> Session::RunProfiled(const std::string& source,
   obs::TraceCollector local;
   RunOptions traced = options;
   if (traced.trace == nullptr) traced.trace = &local;
-  PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, traced));
-  PYTOND_ASSIGN_OR_RETURN(auto table, Execute(*c, traced));
+  const bool record = db_.metrics().enabled();
+  const uint64_t t0 = record ? obs::NowNs() : 0;
+  auto run = [&]() -> Result<std::shared_ptr<const Table>> {
+    PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, traced));
+    return Execute(*c, traced);
+  }();
+  if (record) {
+    runs_total_->Add(1);
+    run_latency_ns_->Record(obs::NowNs() - t0);
+    if (!run.ok()) run_failures_total_->Add(1);
+  }
+  PYTOND_ASSIGN_OR_RETURN(auto table, std::move(run));
   ProfiledRun out;
   out.table = std::move(table);
   out.profile = obs::SummarizeTrace(*traced.trace);
@@ -133,6 +172,7 @@ Result<std::shared_ptr<const Table>> Session::Execute(
   qopts.profile = options.profile;
   qopts.num_threads = options.num_threads;
   qopts.trace = options.trace;
+  qopts.mem = options.mem;
   return db_.Query(c.sql, qopts);
 }
 

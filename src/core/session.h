@@ -42,6 +42,9 @@ struct RunOptions {
   /// CTE materialization, and executor operators all record spans here.
   /// Null (the default) keeps every instrumentation point a null check.
   obs::TraceCollector* trace = nullptr;
+  /// Optional peak-memory observer, forwarded to QueryOptions::mem: the
+  /// executed query's accountant peak lands here via ObservePeak.
+  obs::MemoryAccountant* mem = nullptr;
 };
 
 /// Compiled-plan cache counters (cumulative per session).
@@ -79,7 +82,7 @@ struct ProfiledRun {
 /// none), so traces never mix across concurrent queries.
 class Session {
  public:
-  Session() = default;
+  Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -133,6 +136,14 @@ class Session {
       plan_cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+
+  // Hot-path metrics in the database's registry, resolved once.
+  obs::Counter* runs_total_;
+  obs::Counter* run_failures_total_;
+  obs::Histogram* run_latency_ns_;
+  obs::Counter* cache_hits_total_;
+  obs::Counter* cache_misses_total_;
+  obs::Gauge* cache_entries_;
 };
 
 }  // namespace pytond

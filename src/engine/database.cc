@@ -50,6 +50,7 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
                                                QueryScope* scope,
                                                const QueryOptions& opts,
                                                sched::WorkerPool* pool,
+                                               obs::MemoryAccountant* mem,
                                                PlanStatsMap* op_stats = nullptr,
                                                PlanPtr* out_plan = nullptr) {
   // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
@@ -92,6 +93,7 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   ctx.pool = pool;
   ctx.trace = opts.trace;
   ctx.op_stats = op_stats;
+  ctx.mem = mem;
   return ExecutePlan(*plan, ctx);
 }
 
@@ -112,6 +114,14 @@ Result<std::shared_ptr<const Table>> ApplyColumnAliases(
 }  // namespace
 
 const char* BackendProfileName(BackendProfile p) { return ProfileNameImpl(p); }
+
+Database::Database()
+    : queries_total_(&metrics_.counter("tond_db_queries_total")),
+      query_failures_total_(&metrics_.counter("tond_db_query_failures_total")),
+      rows_out_total_(&metrics_.counter("tond_db_rows_out_total")),
+      query_latency_ns_(&metrics_.histogram("tond_db_query_latency_ns")),
+      query_mem_peak_bytes_(
+          &metrics_.histogram("tond_mem_query_peak_bytes")) {}
 
 Status Database::CreateTable(const std::string& name, Table table,
                              TableConstraints constraints) {
@@ -140,6 +150,29 @@ sched::WorkerPool* Database::PoolFor(const QueryOptions& opts) {
 
 Result<std::shared_ptr<const Table>> Database::Query(
     const std::string& sql, const QueryOptions& opts) {
+  const bool record = metrics_.enabled();
+  const uint64_t t0 = record ? obs::NowNs() : 0;
+  // Per-query accountant chained to the database-wide one; operators
+  // charge/release through it, and its peak survives for observers.
+  obs::MemoryAccountant query_mem(&db_mem_);
+  auto result = QueryImpl(sql, opts, &query_mem);
+  if (opts.mem != nullptr) opts.mem->ObservePeak(query_mem.peak());
+  if (record) {
+    queries_total_->Add(1);
+    query_latency_ns_->Record(obs::NowNs() - t0);
+    query_mem_peak_bytes_->Record(query_mem.peak());
+    if (result.ok()) {
+      rows_out_total_->Add((*result)->num_rows());
+    } else {
+      query_failures_total_->Add(1);
+    }
+  }
+  return result;
+}
+
+Result<std::shared_ptr<const Table>> Database::QueryImpl(
+    const std::string& sql, const QueryOptions& opts,
+    obs::MemoryAccountant* mem) {
   sched::WorkerPool* pool = PoolFor(opts);
   obs::Span query_span(opts.trace, "query", "engine");
   if (pool != nullptr) {
@@ -152,14 +185,14 @@ Result<std::shared_ptr<const Table>> Database::Query(
   for (const auto& cte : stmt->ctes) {
     obs::Span cte_span(opts.trace, "cte:" + cte.name, "cte");
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool));
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     cte_span.AddCounter("rows", static_cast<int64_t>(t->num_rows()));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
   }
   obs::Span final_span(opts.trace, "final_select", "engine");
-  return RunSelect(*stmt, catalog_, &scope, opts, pool);
+  return RunSelect(*stmt, catalog_, &scope, opts, pool, mem);
 }
 
 Result<std::string> Database::ExplainQuery(const std::string& sql,
@@ -169,6 +202,10 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
   PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
   QueryScope scope;
   std::string out;
+  // EXPLAIN ANALYZE accounts memory like a real run so `mem=` shows
+  // per-operator peaks; plain EXPLAIN executes nothing.
+  obs::MemoryAccountant query_mem(&db_mem_);
+  obs::MemoryAccountant* mem = analyze ? &query_mem : nullptr;
 
   // Shared across all sub-plans of this statement; the annotator renders
   // `rows=`/`time=` actuals next to each operator that executed.
@@ -181,6 +218,11 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
     std::snprintf(buf, sizeof(buf), "(rows=%" PRIu64 ", time=%.3f ms",
                   s.rows_out, static_cast<double>(s.time_ns) / 1e6);
     std::string a = buf;
+    if (s.mem_bytes > 0) {
+      std::snprintf(buf, sizeof(buf), ", mem=%.1f KiB",
+                    static_cast<double>(s.mem_bytes) / 1024.0);
+      a += buf;
+    }
     if (p.kind == LogicalPlan::Kind::kJoin) {
       std::snprintf(buf, sizeof(buf), ", build=%" PRIu64, s.build_rows);
       a += buf;
@@ -208,7 +250,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
     uint64_t t0 = analyze ? obs::NowNs() : 0;
     PlanPtr plan;
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool,
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem,
                           analyze ? &stats : nullptr, &plan));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     scope.temps[cte.name] = t;
@@ -230,7 +272,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       PlanPtr plan;
       PYTOND_ASSIGN_OR_RETURN(
           auto t,
-          RunSelect(*stmt, catalog_, &scope, opts, pool, &stats, &plan));
+          RunSelect(*stmt, catalog_, &scope, opts, pool, mem, &stats, &plan));
       char buf[64];
       std::snprintf(buf, sizeof(buf), "-- Result (%zu rows, %.3f ms)\n",
                     t->num_rows(),
@@ -247,7 +289,40 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       out += plan->ToString();
     }
   }
+  if (opts.mem != nullptr) opts.mem->ObservePeak(query_mem.peak());
   return out;
+}
+
+void Database::SyncDerivedGauges() {
+  if (!metrics_.enabled()) return;
+  metrics_.gauge("tond_mem_db_current_bytes")
+      .Set(static_cast<int64_t>(db_mem_.current()));
+  metrics_.gauge("tond_mem_db_peak_bytes")
+      .Set(static_cast<int64_t>(db_mem_.peak()));
+  const sched::WorkerPool* p = pool_if_created();
+  if (p == nullptr) return;
+  metrics_.gauge("tond_sched_workers").Set(p->num_workers());
+  metrics_.gauge("tond_sched_runs")
+      .Set(static_cast<int64_t>(p->total_runs()));
+  metrics_.gauge("tond_sched_morsels")
+      .Set(static_cast<int64_t>(p->total_morsels()));
+  metrics_.gauge("tond_sched_steals")
+      .Set(static_cast<int64_t>(p->total_steals()));
+  metrics_.gauge("tond_sched_queue_depth_peak")
+      .Set(static_cast<int64_t>(p->peak_queue_depth()));
+  std::vector<sched::WorkerPool::WorkerActivity> acts = p->worker_activity();
+  for (size_t i = 0; i < acts.size(); ++i) {
+    const std::string worker = "{worker=\"" + std::to_string(i) + "\"}";
+    metrics_.gauge("tond_sched_worker_busy_ns" + worker)
+        .Set(static_cast<int64_t>(acts[i].busy_ns));
+    metrics_.gauge("tond_sched_worker_tasks" + worker)
+        .Set(static_cast<int64_t>(acts[i].tasks));
+  }
+}
+
+obs::MetricsSnapshot Database::StatsSnapshot() {
+  SyncDerivedGauges();
+  return metrics_.Snapshot();
 }
 
 }  // namespace pytond::engine

@@ -9,6 +9,8 @@
 #include "engine/exec/executor.h"
 #include "engine/profile.h"
 #include "engine/sched/worker_pool.h"
+#include "obs/metrics/memory_accountant.h"
+#include "obs/metrics/metrics.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 
@@ -29,6 +31,10 @@ struct QueryOptions {
   /// Optional per-query trace: CTE materialization, binding, and
   /// per-operator spans land here. Null = no instrumentation.
   obs::TraceCollector* trace = nullptr;
+  /// Optional peak-memory observer: after the query finishes, its
+  /// accountant's peak is mirrored here via ObservePeak (bench_exec and
+  /// tests read exact per-query peaks this way).
+  obs::MemoryAccountant* mem = nullptr;
 };
 
 /// The in-memory RDBMS substrate: a catalog plus a SQL front door.
@@ -42,7 +48,7 @@ struct QueryOptions {
 /// queries (populate first, then serve).
 class Database {
  public:
-  Database() = default;
+  Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -66,14 +72,46 @@ class Database {
   /// The pool if any parallel query ever ran (observability), else null.
   const sched::WorkerPool* pool_if_created() const;
 
+  /// Always-on operational metrics (DESIGN.md §12). Query/session/cache
+  /// series are recorded live; scheduler and database-wide memory gauges
+  /// are synced on StatsSnapshot().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Database-wide memory accountant (parent of every query accountant).
+  const obs::MemoryAccountant& memory() const { return db_mem_; }
+
+  /// Syncs derived gauges (scheduler, db memory) and snapshots the
+  /// registry — the exposition entry point for tondstat.
+  obs::MetricsSnapshot StatsSnapshot();
+
  private:
   /// Resolves the pool for one query: num_threads - 1 workers (the
   /// query's coordinating thread executes morsels too), null when serial.
   sched::WorkerPool* PoolFor(const QueryOptions& opts);
 
+  /// Query body (parse -> CTEs -> final select), with the per-query
+  /// accountant threaded into every ExecContext. Metrics recording wraps
+  /// this in Query().
+  Result<std::shared_ptr<const Table>> QueryImpl(const std::string& sql,
+                                                 const QueryOptions& opts,
+                                                 obs::MemoryAccountant* mem);
+
+  /// Copies scheduler/memory state into gauges (no-op when disabled).
+  void SyncDerivedGauges();
+
   Catalog catalog_;
   mutable std::mutex pool_mu_;
   std::unique_ptr<sched::WorkerPool> pool_;
+
+  obs::MetricsRegistry metrics_;
+  obs::MemoryAccountant db_mem_;
+  // Hot-path metrics, resolved once (see MetricsRegistry lookup contract).
+  obs::Counter* queries_total_;
+  obs::Counter* query_failures_total_;
+  obs::Counter* rows_out_total_;
+  obs::Histogram* query_latency_ns_;
+  obs::Histogram* query_mem_peak_bytes_;
 };
 
 }  // namespace pytond::engine

@@ -277,6 +277,20 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
     ht.buckets[EncodeKey(build_keys, i)].push_back(static_cast<uint32_t>(i));
   }
 
+  // Transient build-side memory: evaluated key columns plus the hash
+  // table (encoded keys, row-id vectors, node overhead). Charged for the
+  // duration of the probe, released when the join finishes.
+  uint64_t build_bytes = 0;
+  if (ctx.mem != nullptr || stats != nullptr) {
+    for (const Column& c : build_keys) build_bytes += c.MemoryBytes();
+    for (const auto& [key, rows] : ht.buckets) {
+      build_bytes += key.size() + rows.capacity() * sizeof(uint32_t) +
+                     sizeof(void*) * 4;  // unordered_map node overhead
+    }
+  }
+  obs::ScopedCharge build_charge(ctx.mem, build_bytes);
+  if (stats != nullptr) stats->mem_bytes += build_bytes;
+
   // Probe (parallel morsels over the shared read-only hash table).
   size_t pn = probe_t->num_rows();
   size_t nt = NumMorsels(pn, ctx);
@@ -645,6 +659,19 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
     global.emplace("", std::move(g));
   }
 
+  // Transient aggregate-table memory: encoded group keys plus per-group
+  // cell state, released once the output is assembled.
+  uint64_t agg_bytes = 0;
+  if (ctx.mem != nullptr || stats != nullptr) {
+    for (const auto& [key, state] : global) {
+      agg_bytes += key.size() + sizeof(GroupState) +
+                   state.cells.size() * sizeof(AggCell) +
+                   sizeof(void*) * 4;  // unordered_map node overhead
+    }
+  }
+  obs::ScopedCharge agg_charge(ctx.mem, agg_bytes);
+  if (stats != nullptr) stats->mem_bytes += agg_bytes;
+
   // Assemble output: group key columns + aggregate columns.
   Table out(plan.schema);
   std::vector<uint32_t> reps;
@@ -819,17 +846,55 @@ const char* PlanOpName(LogicalPlan::Kind kind) {
   return "?";
 }
 
+namespace {
+
+/// True when the operator's output is a uniquely owned materialization
+/// (everything except Scan/Values, which alias catalog tables or CTE
+/// temporaries and must not be charged or released by consumers).
+bool OwnsOutput(LogicalPlan::Kind kind) {
+  return kind != LogicalPlan::Kind::kScan &&
+         kind != LogicalPlan::Kind::kValues;
+}
+
+/// Charges this operator's materialized output and releases the child
+/// outputs it just consumed — child intermediates die with the parent's
+/// input vector, so query `current` tracks true co-residency and `peak`
+/// the worst overlap (output + inputs + transient builds all live here).
+uint64_t AccountNodeMemory(const LogicalPlan& plan,
+                           const std::vector<TablePtr>& inputs,
+                           const TablePtr& output,
+                           obs::MemoryAccountant* mem) {
+  uint64_t out_bytes = 0;
+  if (OwnsOutput(plan.kind)) {
+    out_bytes = output->MemoryBytes();
+    mem->Charge(out_bytes);
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (OwnsOutput(plan.children[i]->kind)) {
+      mem->Release(inputs[i]->MemoryBytes());
+    }
+  }
+  return out_bytes;
+}
+
+}  // namespace
+
 Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
   std::vector<TablePtr> inputs;
   inputs.reserve(plan.children.size());
   // Uninstrumented fast path: the only overhead vs. the pre-obs executor
-  // is this null check.
+  // is this null check (plus per-operator — never per-row — accounting
+  // when the always-on memory accountant is attached).
   if (ctx.trace == nullptr && ctx.op_stats == nullptr) {
     for (const PlanPtr& c : plan.children) {
       PYTOND_ASSIGN_OR_RETURN(TablePtr in, ExecutePlan(*c, ctx));
       inputs.push_back(std::move(in));
     }
-    return ExecNode(plan, inputs, ctx, nullptr);
+    Result<TablePtr> result = ExecNode(plan, inputs, ctx, nullptr);
+    if (result.ok() && ctx.mem != nullptr) {
+      AccountNodeMemory(plan, inputs, *result, ctx.mem);
+    }
+    return result;
   }
 
   // Span opens before the children so the trace nests like the plan tree
@@ -846,9 +911,19 @@ Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
   uint64_t t0 = obs::NowNs();
   Result<TablePtr> result = ExecNode(plan, inputs, ctx, &stats);
   stats.time_ns = obs::NowNs() - t0;
-  if (result.ok()) stats.rows_out = (*result)->num_rows();
+  if (result.ok()) {
+    stats.rows_out = (*result)->num_rows();
+    if (ctx.mem != nullptr) {
+      stats.mem_bytes += AccountNodeMemory(plan, inputs, *result, ctx.mem);
+    } else if (OwnsOutput(plan.kind)) {
+      stats.mem_bytes += (*result)->MemoryBytes();
+    }
+  }
   span.AddCounter("rows_in", static_cast<int64_t>(stats.rows_in));
   span.AddCounter("rows_out", static_cast<int64_t>(stats.rows_out));
+  if (stats.mem_bytes > 0) {
+    span.AddCounter("mem_bytes", static_cast<int64_t>(stats.mem_bytes));
+  }
   if (stats.batches > 0) {
     span.AddCounter("batches", static_cast<int64_t>(stats.batches));
   }

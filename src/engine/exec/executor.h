@@ -7,6 +7,7 @@
 
 #include "engine/plan/logical.h"
 #include "engine/sched/worker_pool.h"
+#include "obs/metrics/memory_accountant.h"
 #include "obs/trace.h"
 #include "storage/catalog.h"
 
@@ -31,6 +32,7 @@ struct OperatorStats {
   uint64_t steals = 0;         // pool loop tasks stolen across deques
   uint64_t build_rows = 0;     // join: hash-build input rows
   uint64_t build_buckets = 0;  // join: distinct hash-build keys
+  uint64_t mem_bytes = 0;      // bytes charged: output + transient builds
 };
 
 /// Keyed by plan-node identity; each node executes once per query.
@@ -54,6 +56,10 @@ struct ExecContext {
   sched::WorkerPool* pool = nullptr;
   obs::TraceCollector* trace = nullptr;
   PlanStatsMap* op_stats = nullptr;
+  /// Per-query byte accounting (always-on when queries run through
+  /// Database::Query). Operators charge hash-join builds, aggregate
+  /// tables, and materialized outputs; null skips all accounting.
+  obs::MemoryAccountant* mem = nullptr;
 };
 
 /// Effective rows per morsel for an input of n rows: ctx.morsel_rows

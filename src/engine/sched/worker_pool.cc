@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pytond::engine::sched {
 
 /// One ParallelFor invocation. Lives in a shared_ptr held by the caller and
@@ -40,9 +42,24 @@ void WorkerPool::EnsureWorkers(int workers) {
   std::lock_guard<std::mutex> lock(mu_);
   while (static_cast<int>(threads_.size()) < workers) {
     deques_.emplace_back();
+    worker_counters_.push_back(std::make_unique<WorkerCounters>());
     size_t self = threads_.size();
-    threads_.emplace_back([this, self] { WorkerMain(self); });
+    WorkerCounters* counters = worker_counters_.back().get();
+    threads_.emplace_back(
+        [this, self, counters] { WorkerMain(self, counters); });
   }
+}
+
+std::vector<WorkerPool::WorkerActivity> WorkerPool::worker_activity()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerActivity> out;
+  out.reserve(worker_counters_.size());
+  for (const auto& c : worker_counters_) {
+    out.push_back({c->busy_ns.load(std::memory_order_relaxed),
+                   c->tasks.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 void WorkerPool::RunLoop(Job& job) {
@@ -62,7 +79,7 @@ void WorkerPool::RunLoop(Job& job) {
   }
 }
 
-void WorkerPool::WorkerMain(size_t self) {
+void WorkerPool::WorkerMain(size_t self, WorkerCounters* counters) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
@@ -88,7 +105,11 @@ void WorkerPool::WorkerMain(size_t self) {
     --pending_;
     lock.unlock();
     if (stolen) task.job->steals.fetch_add(1, std::memory_order_relaxed);
+    uint64_t t0 = obs::NowNs();
     RunLoop(*task.job);
+    counters->busy_ns.fetch_add(obs::NowNs() - t0,
+                                std::memory_order_relaxed);
+    counters->tasks.fetch_add(1, std::memory_order_relaxed);
     task.job.reset();
     lock.lock();
   }

@@ -68,13 +68,26 @@ class WorkerPool {
   uint64_t total_runs() const { return total_runs_.load(); }
   uint64_t peak_queue_depth() const { return peak_queue_.load(); }
 
+  /// Per-worker lifetime activity, indexed by worker (observability).
+  struct WorkerActivity {
+    uint64_t busy_ns = 0;  // wall time spent executing loop tasks
+    uint64_t tasks = 0;    // loop tasks executed (own deque + stolen)
+  };
+  std::vector<WorkerActivity> worker_activity() const;
+
  private:
   struct Job;
   struct Task {
     std::shared_ptr<Job> job;
   };
+  /// Heap-allocated so worker threads keep a stable pointer while the
+  /// vector grows under mu_ (EnsureWorkers never shrinks).
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> tasks{0};
+  };
 
-  void WorkerMain(size_t self);
+  void WorkerMain(size_t self, WorkerCounters* counters);
   static void RunLoop(Job& job);
 
   mutable std::mutex mu_;  // guards deques_, pending_, stop_, growth
@@ -84,6 +97,7 @@ class WorkerPool {
   size_t next_deque_ = 0;  // round-robin dealing cursor
   std::vector<std::deque<Task>> deques_;
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerCounters>> worker_counters_;
 
   std::atomic<uint64_t> total_morsels_{0};
   std::atomic<uint64_t> total_steals_{0};

@@ -6,26 +6,76 @@
 
 namespace pytond::obs {
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+/// there are not well-formed UTF-8 (bad lead byte, truncated or wrong
+/// continuation bytes, overlong encoding, surrogate, > U+10FFFF).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  auto cont = [&](size_t k, unsigned char lo = 0x80,
+                  unsigned char hi = 0xBF) {
+    if (k >= s.size()) return false;
+    unsigned char b = static_cast<unsigned char>(s[k]);
+    return b >= lo && b <= hi;
+  };
+  unsigned char c = static_cast<unsigned char>(s[i]);
+  if (c <= 0x7F) return 1;
+  if (c >= 0xC2 && c <= 0xDF) return cont(i + 1) ? 2 : 0;
+  if (c == 0xE0) return cont(i + 1, 0xA0) && cont(i + 2) ? 3 : 0;
+  if (c == 0xED) return cont(i + 1, 0x80, 0x9F) && cont(i + 2) ? 3 : 0;
+  if (c >= 0xE1 && c <= 0xEF) return cont(i + 1) && cont(i + 2) ? 3 : 0;
+  if (c == 0xF0) {
+    return cont(i + 1, 0x90) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  if (c >= 0xF1 && c <= 0xF3) {
+    return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  if (c == 0xF4) {
+    return cont(i + 1, 0x80, 0x8F) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+  }
+  return 0;  // 0x80..0xC1 (stray continuation / overlong), 0xF5..0xFF
+}
+
+}  // namespace
+
 std::string EscapeJson(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (unsigned char c : s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (c < 0x80) {
+      out += static_cast<char>(c);
+      ++i;
+      continue;
+    }
+    // Multi-byte: pass well-formed UTF-8 through unchanged; replace each
+    // malformed byte with an escaped U+FFFD so arbitrary span/metric
+    // names (raw pointers, fuzzer junk) can never produce invalid JSON.
+    size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
     }
   }
   return out;

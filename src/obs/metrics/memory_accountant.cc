@@ -1,0 +1,41 @@
+#include "obs/metrics/memory_accountant.h"
+
+namespace pytond::obs {
+
+MemoryAccountant::~MemoryAccountant() {
+  // Materialized-output charges are never individually released; hand the
+  // remaining balance back to the parent so database-wide `current`
+  // returns to its pre-query level.
+  uint64_t leftover = current_.load(std::memory_order_relaxed);
+  if (parent_ != nullptr && leftover > 0) parent_->Release(leftover);
+}
+
+void MemoryAccountant::Charge(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  ObservePeak(now);
+  if (parent_ != nullptr) parent_->Charge(bytes);
+}
+
+void MemoryAccountant::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  // Clamp at zero defensively; a release larger than the balance would
+  // otherwise wrap the unsigned counter forever.
+  uint64_t cur = current_.load(std::memory_order_relaxed);
+  uint64_t dec;
+  do {
+    dec = bytes < cur ? bytes : cur;
+  } while (!current_.compare_exchange_weak(cur, cur - dec,
+                                           std::memory_order_relaxed));
+  if (parent_ != nullptr) parent_->Release(dec);
+}
+
+void MemoryAccountant::ObservePeak(uint64_t bytes) {
+  uint64_t cur = peak_.load(std::memory_order_relaxed);
+  while (bytes > cur && !peak_.compare_exchange_weak(
+                            cur, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace pytond::obs

@@ -1,0 +1,82 @@
+#ifndef PYTOND_OBS_METRICS_MEMORY_ACCOUNTANT_H_
+#define PYTOND_OBS_METRICS_MEMORY_ACCOUNTANT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pytond::obs {
+
+/// Per-query (and database-wide) byte accounting.
+///
+/// Charge/Release protocol (DESIGN.md §12): operators charge bytes for
+/// the structures they materialize — hash-join build tables, aggregate
+/// group states, and every materialized intermediate table. Transient
+/// build structures release when the operator finishes (ScopedCharge);
+/// materialized outputs stay charged until the owning query's accountant
+/// is destroyed, which releases its remaining balance from the parent.
+/// Charges propagate up the parent chain (query -> database), so the
+/// database-wide accountant's peak captures concurrent queries
+/// overlapping in time.
+///
+/// Thread-safe: morsel workers of one query charge the same accountant.
+class MemoryAccountant {
+ public:
+  explicit MemoryAccountant(MemoryAccountant* parent = nullptr)
+      : parent_(parent) {}
+  ~MemoryAccountant();
+  MemoryAccountant(const MemoryAccountant&) = delete;
+  MemoryAccountant& operator=(const MemoryAccountant&) = delete;
+
+  void Charge(uint64_t bytes);
+  void Release(uint64_t bytes);
+
+  /// Bytes currently charged (monotone peak in `peak`).
+  uint64_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Raises `peak` without touching `current` — lets an external observer
+  /// (RunOptions/QueryOptions::mem) mirror a query-local peak.
+  void ObservePeak(uint64_t bytes);
+
+  MemoryAccountant* parent() const { return parent_; }
+
+ private:
+  MemoryAccountant* parent_;
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII transient charge: charges on construction (or Add), releases the
+/// full balance on destruction. Null accountant makes every call a no-op.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryAccountant* accountant, uint64_t bytes = 0)
+      : accountant_(accountant) {
+    Add(bytes);
+  }
+  ~ScopedCharge() {
+    if (accountant_ != nullptr && bytes_ > 0) {
+      accountant_->Release(bytes_);
+    }
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  void Add(uint64_t bytes) {
+    if (accountant_ != nullptr && bytes > 0) {
+      accountant_->Charge(bytes);
+      bytes_ += bytes;
+    }
+  }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryAccountant* accountant_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_METRICS_MEMORY_ACCOUNTANT_H_

@@ -1,0 +1,364 @@
+#include "obs/metrics/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace pytond::obs {
+
+namespace {
+
+/// Shard index for the calling thread: hash the thread id once per call
+/// (cheap, and threads keep hitting the same shard).
+size_t ThreadShard() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      Counter::kShards;
+  return shard;
+}
+
+/// Bucket index for `v`: 0 for zero, else bit-width (1..64).
+size_t BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  size_t w = static_cast<size_t>(std::bit_width(v));
+  return std::min(w, Histogram::kBuckets - 1);
+}
+
+/// Inclusive upper bound of bucket i (2^i - 1; bucket 0 holds zeros).
+uint64_t BucketUpper(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+uint64_t BucketLower(size_t i) { return i == 0 ? 0 : BucketUpper(i - 1) + 1; }
+
+void AtomicSetMax(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicSetMin(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Prometheus family name: the series name with any {label} suffix cut.
+std::string_view FamilyOf(std::string_view name) {
+  size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void AppendPromType(std::string* out, std::string_view family,
+                    std::string_view type, std::string* last_family) {
+  if (*last_family == family) return;
+  *last_family = std::string(family);
+  out->append("# TYPE ");
+  out->append(family);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+bool MetricsEnabledByEnv() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("TOND_METRICS");
+    if (v == nullptr) return true;
+    return !(std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+             std::strcmp(v, "false") == 0);
+  }();
+  return enabled;
+}
+
+void Counter::Add(uint64_t delta) {
+  shards_[ThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::SetMax(int64_t v) {
+  int64_t cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicSetMin(&min_, value);
+  AtomicSetMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = mn == UINT64_MAX ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  // Count from the bucket copy, not `count`: a racing snapshot can see a
+  // bucket increment before (or after) the count increment, and quantiles
+  // must stay internally consistent with the buckets they walk.
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(seen + buckets[i]) >= target) {
+      // Linear interpolation inside the covering bucket.
+      double frac =
+          buckets[i] == 0
+              ? 0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets[i]);
+      double lo = static_cast<double>(BucketLower(i));
+      double hi = static_cast<double>(BucketUpper(i));
+      double v = lo + frac * (hi - lo);
+      // Clamp to exact observed extremes for tight tails.
+      v = std::max(v, static_cast<double>(min));
+      if (max > 0) v = std::min(v, static_cast<double>(max));
+      return v;
+    }
+    seen += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& prev) const {
+  HistogramSnapshot d;
+  d.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    uint64_t p = i < prev.buckets.size() ? prev.buckets[i] : 0;
+    d.buckets[i] = buckets[i] >= p ? buckets[i] - p : 0;
+  }
+  d.count = count >= prev.count ? count - prev.count : 0;
+  d.sum = sum >= prev.sum ? sum - prev.sum : 0;
+  // min/max are lifetime extremes; keep the current ones as the best
+  // available bound for the window.
+  d.min = min;
+  d.max = max;
+  return d;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  if (enabled()) counter(name).Add(delta);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, int64_t v) {
+  if (enabled()) gauge(name).Set(v);
+}
+
+void MetricsRegistry::SetGaugeMax(std::string_view name, int64_t v) {
+  if (enabled()) gauge(name).SetMax(v);
+}
+
+void MetricsRegistry::RecordHistogram(std::string_view name,
+                                      uint64_t value) {
+  if (enabled()) histogram(name).Record(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  s.taken_ns = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->Value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->Value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->Snapshot());
+  }
+  return s;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& prev) const {
+  MetricsSnapshot d;
+  d.taken_ns = taken_ns;
+  d.counters.reserve(counters.size());
+  for (const auto& [name, v] : counters) {
+    uint64_t p = prev.CounterValue(name);
+    d.counters.emplace_back(name, v >= p ? v - p : 0);
+  }
+  d.gauges = gauges;
+  d.histograms.reserve(histograms.size());
+  for (const auto& [name, h] : histograms) {
+    const HistogramSnapshot* p = prev.FindHistogram(name);
+    d.histograms.emplace_back(
+        name, p == nullptr ? h : h.DeltaSince(*p));
+  }
+  return d;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts_ns").UInt(taken_ns);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, v] : counters) w.Key(name).UInt(v);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, v] : gauges) w.Key(name).Int(v);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").UInt(h.count);
+    w.Key("sum").UInt(h.sum);
+    w.Key("min").UInt(h.min);
+    w.Key("max").UInt(h.max);
+    w.Key("mean").Double(h.Mean());
+    w.Key("p50").Double(h.Quantile(0.50));
+    w.Key("p95").Double(h.Quantile(0.95));
+    w.Key("p99").Double(h.Quantile(0.99));
+    // Sparse bucket list: [upper_bound, count] for non-empty buckets.
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.BeginArray().UInt(BucketUpper(i)).UInt(h.buckets[i]).EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::string last_family;
+  char buf[64];
+  for (const auto& [name, v] : counters) {
+    AppendPromType(&out, FamilyOf(name), "counter", &last_family);
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(v));
+    out += name;
+    out += buf;
+  }
+  last_family.clear();
+  for (const auto& [name, v] : gauges) {
+    AppendPromType(&out, FamilyOf(name), "gauge", &last_family);
+    std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(v));
+    out += name;
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    // Histograms with labels are not emitted today; names are families.
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    size_t highest = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] > 0) highest = i;
+    }
+    for (size_t i = 0; i <= highest; ++i) {
+      cumulative += h.buckets[i];
+      std::snprintf(buf, sizeof(buf), "\"} %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      out += name + "_bucket{le=\"" + std::to_string(BucketUpper(i)) + buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += name + "_bucket{le=\"+Inf\"}" + buf;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.sum));
+    out += name + "_sum" + buf;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h.count));
+    out += name + "_count" + buf;
+  }
+  return out;
+}
+
+}  // namespace pytond::obs

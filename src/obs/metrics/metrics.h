@@ -1,0 +1,174 @@
+#ifndef PYTOND_OBS_METRICS_METRICS_H_
+#define PYTOND_OBS_METRICS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pytond::obs {
+
+/// Always-on runtime metrics (DESIGN.md §12).
+///
+/// A MetricsRegistry lives on each engine::Database and aggregates cheap
+/// operational counters across every session and query: QPS, latency
+/// percentiles, rows moved, plan-cache hit rates, scheduler activity, and
+/// memory peaks. Unlike the per-query TraceCollector (opt-in, tree-shaped,
+/// single-threaded), everything here is designed to be hammered from many
+/// racing query threads with a handful of atomic operations per *query*
+/// (never per row), so it stays on in production serve paths.
+///
+/// Naming scheme: `tond_<area>_<name>[_<unit>]` using only
+/// [a-zA-Z0-9_] plus an optional trailing `{key="value"}` label set —
+/// directly usable as a Prometheus series name. Areas in use: `db`
+/// (query front door), `session` (Run* entry points), `cache` (plan
+/// cache), `sched` (worker pool), `mem` (accountants).
+
+/// Process-wide default switch, read once from the environment:
+/// TOND_METRICS=off|0|false disables recording (exposition still works,
+/// everything reads zero). Each registry can also be toggled at runtime.
+bool MetricsEnabledByEnv();
+
+/// Sharded monotonic counter: adds land on a per-thread shard to keep
+/// racing sessions off each other's cache lines; reads sum the shards.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t delta);
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value with a CAS-max variant for peaks.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (peak tracking).
+  void SetMax(int64_t v);
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time copy of one histogram; quantiles are interpolated within
+/// the covering log bucket and clamped to the exact observed min/max.
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;  // per-bucket counts (see Histogram)
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+
+  double Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0 : static_cast<double>(sum) / count;
+  }
+  /// Bucket-wise difference vs an earlier snapshot of the same histogram
+  /// (counters are monotonic, so this is the activity in between).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& prev) const;
+};
+
+/// Log-bucketed latency/size histogram. Bucket i counts values whose
+/// bit-width is i, i.e. the half-open range [2^(i-1), 2^i) with bucket 0
+/// holding exact zeros — so bucket upper bounds are 2^i - 1 and relative
+/// quantile error is bounded by 2x, which is plenty for p50/p95/p99
+/// operational dashboards. Recording is one fetch_add plus min/max CAS;
+/// histograms merge (and diff) bucket-wise, which is what makes per-window
+/// delta reporting in `tondstat --watch` exact.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of a whole registry, renderable as JSON or
+/// Prometheus text exposition format. Metric vectors are name-sorted.
+struct MetricsSnapshot {
+  uint64_t taken_ns = 0;  // steady-clock stamp (NowNs)
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Counter/histogram activity since `prev` (gauges stay instantaneous).
+  /// Metrics absent from `prev` diff against zero.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& prev) const;
+
+  /// Lookup helpers (0 / empty snapshot when absent).
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// One JSON object: {"ts_ns":..., "counters":{...}, "gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,mean,p50,p95,p99,buckets}}}.
+  std::string ToJson() const;
+  /// Prometheus text exposition: `# TYPE` per family, cumulative
+  /// `_bucket{le=...}` lines plus `_sum`/`_count` for histograms.
+  std::string ToPrometheus() const;
+};
+
+/// Owner of named metrics. Lookup takes a short mutex; hot paths resolve
+/// their metrics once and keep the returned references (stable for the
+/// registry's lifetime). The `enabled` flag gates the convenience
+/// recording helpers and is the contract callers with cached references
+/// must check themselves (see Database/Session).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : enabled_(MetricsEnabledByEnv()) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create; references stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-based recording, gated on enabled(). For cold paths and tools;
+  /// hot paths cache the references instead.
+  void AddCounter(std::string_view name, uint64_t delta);
+  void SetGauge(std::string_view name, int64_t v);
+  void SetGaugeMax(std::string_view name, int64_t v);
+  void RecordHistogram(std::string_view name, uint64_t value);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;  // guards the maps, not the metrics
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace pytond::obs
+
+#endif  // PYTOND_OBS_METRICS_METRICS_H_

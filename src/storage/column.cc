@@ -52,6 +52,30 @@ size_t Column::size() const {
   return 0;
 }
 
+size_t Column::MemoryBytes() const {
+  size_t bytes = validity_.size();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      bytes += ints().size() * sizeof(int64_t);
+      break;
+    case DataType::kFloat64:
+      bytes += doubles().size() * sizeof(double);
+      break;
+    case DataType::kString:
+      bytes += strings().size() * sizeof(std::string);
+      for (const std::string& s : strings()) bytes += s.size();
+      break;
+    case DataType::kBool:
+      bytes += bools().size() * sizeof(uint8_t);
+      break;
+    case DataType::kDate:
+      bytes += dates().size() * sizeof(int32_t);
+      break;
+  }
+  return bytes;
+}
+
 bool Column::has_nulls() const {
   for (uint8_t v : validity_) {
     if (!v) return true;

@@ -81,6 +81,11 @@ class Column {
   /// Gathers `rows` from this column into a new column (selection vector).
   Column Gather(const std::vector<uint32_t>& rows) const;
 
+  /// Estimated resident bytes of this column's payload: element storage
+  /// (string content bytes + per-string object overhead for kString) plus
+  /// the validity mask. Feeds the executor's memory accountant.
+  size_t MemoryBytes() const;
+
  private:
   DataType type_;
   std::variant<std::vector<int64_t>, std::vector<double>,

@@ -59,6 +59,12 @@ Table Table::Gather(const std::vector<uint32_t>& rows) const {
   return out;
 }
 
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.MemoryBytes();
+  return bytes;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;
   for (size_t i = 0; i < schema_.names.size(); ++i) {

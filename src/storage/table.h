@@ -52,6 +52,9 @@ class Table {
   /// Gathers a subset of rows into a new table.
   Table Gather(const std::vector<uint32_t>& rows) const;
 
+  /// Estimated resident bytes across all columns (see Column::MemoryBytes).
+  size_t MemoryBytes() const;
+
   /// ASCII rendering (header + up to `max_rows` rows) for examples/tests.
   std::string ToString(size_t max_rows = 20) const;
 

@@ -1,0 +1,418 @@
+// Always-on metrics (DESIGN.md §12): sharded counters, log-bucketed
+// histograms, the memory accountant, registry exposition, and — the
+// reason this suite is wired into the TSan ctest lane — racing sessions
+// hammering the same registry while snapshots are taken concurrently.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/metrics/memory_accountant.h"
+#include "obs/metrics/metrics.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge primitives under contention.
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetMaxIsMonotoneUnderRaces) {
+  obs::Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 10000; ++i) g.SetMax(t * 10000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), (kThreads - 1) * 10000 + 9999);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math and quantile error bounds.
+
+TEST(HistogramTest, QuantilesWithinLogBucketErrorBound) {
+  obs::Histogram h;
+  // 1..1000 uniformly: p50 ≈ 500, p99 ≈ 990, within a 2x relative bound
+  // (bucket width), clamped to the exact observed min/max.
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+  double p50 = s.Quantile(0.5);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  double p99 = s.Quantile(0.99);
+  EXPECT_GE(p99, 495.0);
+  EXPECT_LE(p99, 1000.0);
+  // Quantiles never exceed the observed extremes.
+  EXPECT_LE(s.Quantile(1.0), 1000.0);
+  EXPECT_GE(s.Quantile(0.0), 1.0);
+}
+
+TEST(HistogramTest, ZeroAndHugeValuesLandInTerminalBuckets) {
+  obs::Histogram h;
+  h.Record(0);
+  h.Record(UINT64_MAX);
+  obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_EQ(s.buckets[0], 1u);          // exact zeros
+  EXPECT_EQ(s.buckets.back(), 1u);      // top bit-width bucket
+}
+
+TEST(HistogramTest, DeltaSinceIsExactBucketwise) {
+  obs::Histogram h;
+  h.Record(10);
+  h.Record(100);
+  obs::HistogramSnapshot before = h.Snapshot();
+  h.Record(1000);
+  h.Record(1000);
+  obs::HistogramSnapshot delta = h.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 2000u);
+  uint64_t total = 0;
+  for (uint64_t b : delta.buckets) total += b;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingMatchesSerialTotals) {
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  // Each thread records the same value set; snapshots race with writers.
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      obs::HistogramSnapshot s = h.Snapshot();
+      // A racing snapshot is a valid histogram: bucket totals never
+      // exceed the count observed afterwards.
+      uint64_t total = 0;
+      for (uint64_t b : s.buckets) total += b;
+      EXPECT_LE(total, h.count() + kThreads);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  snapshotter.join();
+
+  obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t expected_sum =
+      static_cast<uint64_t>(kThreads) * kPerThread * (kPerThread + 1) / 2;
+  EXPECT_EQ(s.sum, expected_sum);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kPerThread));
+  uint64_t total = 0;
+  for (uint64_t b : s.buckets) total += b;
+  EXPECT_EQ(total, s.count);
+}
+
+// ---------------------------------------------------------------------------
+// Memory accountant: charge/release protocol, parent chain, peaks.
+
+TEST(MemoryAccountantTest, ChargeReleaseAndPeak) {
+  obs::MemoryAccountant a;
+  a.Charge(100);
+  a.Charge(50);
+  EXPECT_EQ(a.current(), 150u);
+  EXPECT_EQ(a.peak(), 150u);
+  a.Release(120);
+  EXPECT_EQ(a.current(), 30u);
+  EXPECT_EQ(a.peak(), 150u);
+  // Over-release clamps to zero instead of wrapping.
+  a.Release(1000);
+  EXPECT_EQ(a.current(), 0u);
+  EXPECT_EQ(a.peak(), 150u);
+}
+
+TEST(MemoryAccountantTest, ParentChainSeesChildActivity) {
+  obs::MemoryAccountant db;
+  {
+    obs::MemoryAccountant q1(&db);
+    q1.Charge(1000);
+    {
+      obs::MemoryAccountant q2(&db);
+      q2.Charge(500);
+      EXPECT_EQ(db.current(), 1500u);  // concurrent queries overlap
+      EXPECT_EQ(db.peak(), 1500u);
+    }
+    // q2's destructor released its leftover balance from the parent.
+    EXPECT_EQ(db.current(), 1000u);
+    q1.Release(1000);
+  }
+  EXPECT_EQ(db.current(), 0u);
+  EXPECT_EQ(db.peak(), 1500u);
+}
+
+TEST(MemoryAccountantTest, ScopedChargeReleasesOnScopeExit) {
+  obs::MemoryAccountant a;
+  {
+    obs::ScopedCharge charge(&a, 64);
+    charge.Add(36);
+    EXPECT_EQ(a.current(), 100u);
+    EXPECT_EQ(charge.bytes(), 100u);
+  }
+  EXPECT_EQ(a.current(), 0u);
+  EXPECT_EQ(a.peak(), 100u);
+  // Null accountant: every operation is a no-op.
+  obs::ScopedCharge noop(nullptr, 1 << 20);
+  EXPECT_EQ(noop.bytes(), 0u);
+}
+
+TEST(MemoryAccountantTest, ConcurrentChargesBalanceToZero) {
+  obs::MemoryAccountant db;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db] {
+      for (int i = 0; i < 2000; ++i) {
+        obs::MemoryAccountant q(&db);
+        q.Charge(128);
+        q.Charge(64);
+        q.Release(64);
+        // Leftover 128 released by the destructor.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.current(), 0u);
+  EXPECT_GE(db.peak(), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: lookup stability, gating, exposition formats.
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("tond_db_queries_total");
+  obs::Counter& b = reg.counter("tond_db_queries_total");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(reg.Snapshot().CounterValue("tond_db_queries_total"), 3u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryRecordsNothing) {
+  obs::MetricsRegistry reg;
+  reg.set_enabled(false);
+  reg.AddCounter("c", 5);
+  reg.SetGauge("g", 7);
+  reg.RecordHistogram("h", 100);
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("c"), 0u);
+  EXPECT_EQ(snap.GaugeValue("g"), 0);
+  const obs::HistogramSnapshot* h = snap.FindHistogram("h");
+  EXPECT_TRUE(h == nullptr || h->count == 0);
+}
+
+TEST(MetricsRegistryTest, EnvKillSwitchIsReadOnceAndSticky) {
+  // The TOND_METRICS switch is sampled once per process: late env edits
+  // must not flip already-running registries (check.sh exercises the
+  // actual off-path by launching tondstat with TOND_METRICS=off).
+  const bool initial = obs::MetricsEnabledByEnv();
+  ::setenv("TOND_METRICS", initial ? "off" : "1", 1);
+  EXPECT_EQ(obs::MetricsEnabledByEnv(), initial);
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.enabled(), initial);
+  ::unsetenv("TOND_METRICS");
+}
+
+TEST(MetricsRegistryTest, JsonExpositionValidates) {
+  obs::MetricsRegistry reg;
+  reg.counter("tond_db_queries_total").Add(2);
+  reg.gauge("tond_cache_plan_entries").Set(4);
+  reg.histogram("tond_db_query_latency_ns").Record(1234567);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"tond_db_queries_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("tond_db_queries_total").Add(2);
+  reg.gauge("tond_sched_worker_busy_ns{worker=\"0\"}").Set(42);
+  reg.histogram("tond_db_query_latency_ns").Record(100);
+  std::string prom = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE tond_db_queries_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tond_db_queries_total 2"), std::string::npos);
+  // Labeled gauge keeps its label suffix and TYPEs the bare family name.
+  EXPECT_NE(prom.find("# TYPE tond_sched_worker_busy_ns gauge"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tond_sched_worker_busy_ns{worker=\"0\"} 42"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(prom.find("tond_db_query_latency_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tond_db_query_latency_ns_sum 100"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tond_db_query_latency_ns_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeEqualityUnderRacingWriters) {
+  obs::MetricsRegistry reg;
+  obs::Counter& queries = reg.counter("tond_db_queries_total");
+  obs::Histogram& latency = reg.histogram("tond_db_query_latency_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+
+  obs::MetricsSnapshot baseline = reg.Snapshot();
+  std::atomic<bool> stop{false};
+  // Windowed deltas taken while writers hammer: each window is diffed
+  // against the previous snapshot exactly like `tondstat --watch`.
+  std::vector<obs::MetricsSnapshot> windows;
+  std::thread watcher([&] {
+    obs::MetricsSnapshot prev = baseline;
+    while (!stop.load()) {
+      obs::MetricsSnapshot cur = reg.Snapshot();
+      windows.push_back(cur.DeltaSince(prev));
+      prev = cur;
+    }
+    windows.push_back(reg.Snapshot().DeltaSince(prev));
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        queries.Add(1);
+        latency.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  watcher.join();
+
+  // Merged windows equal the cumulative delta: nothing lost or double
+  // counted across snapshot boundaries.
+  uint64_t merged_queries = 0;
+  uint64_t merged_latency_count = 0;
+  uint64_t merged_latency_sum = 0;
+  for (const obs::MetricsSnapshot& w : windows) {
+    merged_queries += w.CounterValue("tond_db_queries_total");
+    if (const obs::HistogramSnapshot* h =
+            w.FindHistogram("tond_db_query_latency_ns")) {
+      merged_latency_count += h->count;
+      merged_latency_sum += h->sum;
+    }
+  }
+  const uint64_t expected = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(merged_queries, expected);
+  EXPECT_EQ(merged_latency_count, expected);
+  EXPECT_EQ(merged_latency_sum, static_cast<uint64_t>(kThreads) *
+                                    kPerThread * (kPerThread + 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: racing sessions feed the database registry; snapshots agree.
+
+TEST(MetricsE2ETest, SessionRunsLandInRegistry) {
+  Session session;
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.002).ok());
+  const std::string q6 = workloads::tpch::GetQuery(6).source;
+  obs::MemoryAccountant observer;
+  RunOptions opts;
+  opts.mem = &observer;
+  ASSERT_TRUE(session.Run(q6, opts).ok());
+  ASSERT_TRUE(session.Run(q6, opts).ok());
+
+  obs::MetricsSnapshot snap = session.db().StatsSnapshot();
+  EXPECT_EQ(snap.CounterValue("tond_db_queries_total"), 2u);
+  EXPECT_EQ(snap.CounterValue("tond_session_runs_total"), 2u);
+  EXPECT_EQ(snap.CounterValue("tond_cache_plan_hits_total"), 1u);
+  EXPECT_EQ(snap.CounterValue("tond_cache_plan_misses_total"), 1u);
+  EXPECT_EQ(snap.GaugeValue("tond_cache_plan_entries"), 1);
+  const obs::HistogramSnapshot* lat =
+      snap.FindHistogram("tond_db_query_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_GT(lat->Quantile(0.5), 0.0);
+  // The query charged real bytes and released them all afterwards.
+  EXPECT_GT(observer.peak(), 0u);
+  EXPECT_GT(snap.GaugeValue("tond_mem_db_peak_bytes"), 0);
+  EXPECT_EQ(snap.GaugeValue("tond_mem_db_current_bytes"), 0);
+  EXPECT_EQ(session.db().memory().current(), 0u);
+}
+
+TEST(MetricsE2ETest, RacingSessionsCountEveryQueryExactly) {
+  Session session;
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.002).ok());
+  const std::string q6 = workloads::tpch::GetQuery(6).source;
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      RunOptions opts;
+      opts.num_threads = 2;  // exercise the shared pool too
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        if (!session.Run(q6, opts).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  obs::MetricsSnapshot snap = session.db().StatsSnapshot();
+  const uint64_t expected =
+      static_cast<uint64_t>(kThreads) * kRunsPerThread;
+  EXPECT_EQ(snap.CounterValue("tond_db_queries_total"), expected);
+  EXPECT_EQ(snap.CounterValue("tond_session_runs_total"), expected);
+  EXPECT_EQ(snap.CounterValue("tond_db_query_failures_total"), 0u);
+  EXPECT_EQ(snap.CounterValue("tond_cache_plan_hits_total") +
+                snap.CounterValue("tond_cache_plan_misses_total"),
+            expected);
+  const obs::HistogramSnapshot* lat =
+      snap.FindHistogram("tond_db_query_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, expected);
+  // All concurrent queries drained their charges.
+  EXPECT_EQ(snap.GaugeValue("tond_mem_db_current_bytes"), 0);
+  // Parallel runs synced scheduler gauges into the snapshot.
+  EXPECT_GT(snap.GaugeValue("tond_sched_workers"), 0);
+  EXPECT_GT(snap.GaugeValue("tond_sched_runs"), 0);
+}
+
+}  // namespace
+}  // namespace pytond

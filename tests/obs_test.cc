@@ -131,6 +131,51 @@ TEST(JsonTest, EscapeJson) {
   EXPECT_EQ(obs::EscapeJson("tab\there"), "tab\\there");
 }
 
+TEST(JsonTest, EscapeJsonControlCharacters) {
+  // Every C0 control character must leave as an escape, never raw.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string escaped = obs::EscapeJson(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ(escaped.find(static_cast<char>(c)), std::string::npos)
+        << "raw control char " << c << " leaked";
+    EXPECT_TRUE(obs::ValidateJson("\"" + escaped + "\"").ok())
+        << "control char " << c << " -> " << escaped;
+  }
+  EXPECT_EQ(obs::EscapeJson(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(obs::EscapeJson(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(obs::EscapeJson(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonTest, EscapeJsonPassesWellFormedUtf8) {
+  // 2-, 3-, and 4-byte sequences pass through untouched.
+  EXPECT_EQ(obs::EscapeJson("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(obs::EscapeJson("\xe2\x82\xac"), "\xe2\x82\xac");          // €
+  EXPECT_EQ(obs::EscapeJson("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonTest, EscapeJsonReplacesInvalidUtf8) {
+  const std::string kReplacement = "\\ufffd";
+  // Lone continuation byte.
+  EXPECT_EQ(obs::EscapeJson("a\x80z"), "a" + kReplacement + "z");
+  // Truncated 2-byte lead at end of string.
+  EXPECT_EQ(obs::EscapeJson("a\xc3"), "a" + kReplacement);
+  // Truncated 3-byte sequence followed by ASCII.
+  EXPECT_EQ(obs::EscapeJson("\xe2\x82x"),
+            kReplacement + kReplacement + "x");
+  // Overlong encoding of '/' (0xc0 0xaf) is rejected byte-by-byte.
+  EXPECT_EQ(obs::EscapeJson("\xc0\xaf"), kReplacement + kReplacement);
+  // CESU-style surrogate half (0xed 0xa0 0x80) is not valid UTF-8.
+  EXPECT_EQ(obs::EscapeJson("\xed\xa0\x80"),
+            kReplacement + kReplacement + kReplacement);
+  // Codepoints above U+10FFFF (0xf4 0x90 ...) are rejected.
+  EXPECT_EQ(obs::EscapeJson("\xf4\x90\x80\x80"),
+            kReplacement + kReplacement + kReplacement + kReplacement);
+  // 0xfe / 0xff never appear in UTF-8.
+  EXPECT_EQ(obs::EscapeJson("\xfe\xff"), kReplacement + kReplacement);
+  // The result is always embeddable in a valid JSON document.
+  std::string escaped = obs::EscapeJson("bad\xc0\xafmix\xf0\x28ok");
+  EXPECT_TRUE(obs::ValidateJson("\"" + escaped + "\"").ok()) << escaped;
+}
+
 TEST(JsonTest, ValidatorAcceptsAndRejects) {
   EXPECT_TRUE(obs::ValidateJson("{}").ok());
   EXPECT_TRUE(obs::ValidateJson("[1, 2.5, -3e2, \"x\", true, null]").ok());
@@ -299,6 +344,8 @@ TEST_F(ObsPipelineTest, ExplainAnalyzeReportsActualRowCounts) {
   EXPECT_NE(text->find("time="), std::string::npos) << *text;
   EXPECT_NE(text->find("Filter("), std::string::npos) << *text;
   EXPECT_NE(text->find("sel="), std::string::npos) << *text;
+  // Memory accounting: materializing operators report charged bytes.
+  EXPECT_NE(text->find("mem="), std::string::npos) << *text;
 
   // The result header reports the true final cardinality.
   std::string expected_header =

@@ -1,0 +1,302 @@
+// bench_exec: the runtime execution-latency baseline across the full
+// workload suite — all 22 TPC-H queries plus the 8 data-science workloads,
+// each at threads {1, 2, 4}.
+//
+//   bench_exec [--reps N] [--sf SF] [--datasci-rows N] > BENCH_exec.json
+//   bench_exec --overhead-guard [--threshold PCT]
+//
+// Each workload is compiled once (plan cache), then executed `reps` times
+// per thread count; the report carries median and p99 latency, result
+// rows, and the per-query peak accounted bytes (QueryOptions::mem
+// observer). Compile time is deliberately excluded — BENCH_compile.json
+// covers that axis.
+//
+// --overhead-guard instead measures the cost of the always-on metrics
+// path itself: it alternates the registry between enabled and disabled
+// across interleaved passes of the TPC-H suite and fails (exit 1) when
+// the enabled median exceeds the disabled median by more than
+// --threshold percent (plus a small absolute noise floor).
+//
+// Exit status: 0 ok, 1 run failure or guard breach, 2 usage error.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/metrics/memory_accountant.h"
+#include "obs/trace.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace {
+
+using pytond::Session;
+using pytond::Status;
+
+struct Workload {
+  std::string name;
+  std::string source;
+};
+
+struct BenchConfig {
+  int reps = 5;
+  double tpch_sf = 0.02;
+  int64_t datasci_rows = 10000;
+  bool overhead_guard = false;
+  double threshold_pct = 2.0;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: bench_exec [options]\n"
+      "  --reps N          executions per workload x thread count "
+      "(default 5)\n"
+      "  --sf SF           TPC-H scale factor (default 0.02)\n"
+      "  --datasci-rows N  datasci dataset rows (default 10000)\n"
+      "  --overhead-guard  measure metrics-on vs metrics-off TPC-H suite\n"
+      "                    medians instead of emitting the baseline\n"
+      "  --threshold PCT   guard failure threshold in percent (default 2)\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, BenchConfig* cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      cfg->reps = std::atoi(argv[++i]);
+    } else if (arg == "--sf" && i + 1 < argc) {
+      cfg->tpch_sf = std::atof(argv[++i]);
+    } else if (arg == "--datasci-rows" && i + 1 < argc) {
+      cfg->datasci_rows = std::atoll(argv[++i]);
+    } else if (arg == "--overhead-guard") {
+      cfg->overhead_guard = true;
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      cfg->threshold_pct = std::atof(argv[++i]);
+    } else {
+      std::cerr << "bench_exec: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (cfg->reps < 1) {
+    std::cerr << "bench_exec: --reps must be >= 1\n";
+    return false;
+  }
+  if (cfg->tpch_sf <= 0) {
+    std::cerr << "bench_exec: --sf must be > 0\n";
+    return false;
+  }
+  if (cfg->datasci_rows < 1) {
+    std::cerr << "bench_exec: --datasci-rows must be >= 1\n";
+    return false;
+  }
+  if (cfg->threshold_pct <= 0) {
+    std::cerr << "bench_exec: --threshold must be > 0\n";
+    return false;
+  }
+  return true;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0 : v[v.size() / 2];
+}
+
+double P99(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(
+      std::ceil(0.99 * static_cast<double>(v.size()))) - 1;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+Status PopulateAll(Session* session, const BenchConfig& cfg) {
+  PYTOND_RETURN_IF_ERROR(
+      pytond::workloads::tpch::Populate(&session->db(), cfg.tpch_sf));
+  namespace ds = pytond::workloads::datasci;
+  PYTOND_RETURN_IF_ERROR(
+      ds::PopulateCrimeIndex(&session->db(), cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(
+      ds::PopulateBirthAnalysis(&session->db(), cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateN3(&session->db(), cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateN9(&session->db(), cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateHybrid(&session->db(), cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(
+      ds::PopulateCovariance(&session->db(), 256, 8, 0.5));
+  return Status::OK();
+}
+
+std::vector<Workload> AllWorkloads() {
+  namespace ds = pytond::workloads::datasci;
+  std::vector<Workload> workloads;
+  for (const auto& q : pytond::workloads::tpch::AllQueries()) {
+    workloads.push_back({q.name, q.source});
+  }
+  workloads.push_back({"crime_index", ds::CrimeIndexSource()});
+  workloads.push_back({"birth_analysis", ds::BirthAnalysisSource()});
+  workloads.push_back({"n3", ds::N3Source()});
+  workloads.push_back({"n9", ds::N9Source()});
+  workloads.push_back({"hybrid_matmul", ds::HybridMatMulSource(false)});
+  workloads.push_back({"hybrid_covar", ds::HybridCovarSource(false)});
+  workloads.push_back({"covar_dense", ds::CovarDenseSource()});
+  workloads.push_back({"covar_sparse", ds::CovarSparseSource()});
+  return workloads;
+}
+
+/// One timed pass of the TPC-H suite (compile cached, execute serial).
+/// Returns total wall milliseconds, or a negative value on failure.
+double TpchSuiteMs(Session* session,
+                   const std::vector<Workload>& workloads) {
+  uint64_t t0 = pytond::obs::NowNs();
+  pytond::RunOptions opts;
+  for (const Workload& w : workloads) {
+    if (w.name.size() > 3) continue;  // q1..q22 only
+    auto result = session->Run(w.source, opts);
+    if (!result.ok()) {
+      std::cerr << "bench_exec: " << w.name << ": "
+                << result.status().ToString() << "\n";
+      return -1;
+    }
+  }
+  return static_cast<double>(pytond::obs::NowNs() - t0) / 1e6;
+}
+
+/// Interleaves metrics-on and metrics-off suite passes (A/B/A/B) so drift
+/// hits both modes equally, then compares medians.
+int RunOverheadGuard(const BenchConfig& cfg) {
+  Session session;
+  Status st = PopulateAll(&session, cfg);
+  if (!st.ok()) {
+    std::cerr << "bench_exec: populate failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::vector<Workload> workloads = AllWorkloads();
+  pytond::obs::MetricsRegistry& metrics = session.db().metrics();
+
+  // Warm the plan cache and page in both paths before timing.
+  if (TpchSuiteMs(&session, workloads) < 0) return 1;
+
+  const int passes = std::max(cfg.reps, 5);
+  std::vector<double> on_ms, off_ms;
+  for (int p = 0; p < passes; ++p) {
+    metrics.set_enabled(false);
+    double off = TpchSuiteMs(&session, workloads);
+    metrics.set_enabled(true);
+    double on = TpchSuiteMs(&session, workloads);
+    if (off < 0 || on < 0) return 1;
+    off_ms.push_back(off);
+    on_ms.push_back(on);
+  }
+
+  double off_median = Median(off_ms);
+  double on_median = Median(on_ms);
+  // Small absolute floor so sub-millisecond scheduling jitter on a fast
+  // suite cannot trip a percentage-only guard.
+  const double noise_floor_ms = 5.0;
+  double limit =
+      off_median * (1.0 + cfg.threshold_pct / 100.0) + noise_floor_ms;
+  bool ok = on_median <= limit;
+  double overhead_pct =
+      off_median > 0 ? 100.0 * (on_median - off_median) / off_median : 0;
+
+  pytond::obs::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").String("exec_overhead_guard")
+      .Key("passes").Int(passes)
+      .Key("suite_ms_metrics_off").Double(off_median)
+      .Key("suite_ms_metrics_on").Double(on_median)
+      .Key("overhead_pct").Double(overhead_pct)
+      .Key("threshold_pct").Double(cfg.threshold_pct)
+      .Key("noise_floor_ms").Double(noise_floor_ms)
+      .Key("ok").Bool(ok)
+      .EndObject();
+  std::cout << json.str() << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  if (!ParseArgs(argc, argv, &cfg)) return Usage();
+  if (cfg.overhead_guard) return RunOverheadGuard(cfg);
+
+  Session session;
+  Status st = PopulateAll(&session, cfg);
+  if (!st.ok()) {
+    std::cerr << "bench_exec: populate failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::vector<Workload> workloads = AllWorkloads();
+  const std::vector<int> thread_counts = {1, 2, 4};
+
+  pytond::obs::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").String("exec")
+      .Key("reps").Int(cfg.reps)
+      .Key("tpch_sf").Double(cfg.tpch_sf)
+      .Key("datasci_rows").Int(cfg.datasci_rows)
+      .Key("threads").BeginArray();
+  for (int t : thread_counts) json.Int(t);
+  json.EndArray().Key("workloads").BeginArray();
+
+  bool ok = true;
+  double suite_ms = 0;  // sum of single-thread medians
+  for (const Workload& w : workloads) {
+    // Compile once; every timed rep is a pure execute.
+    auto compiled = session.CompileCached(w.source, {});
+    if (!compiled.ok()) {
+      std::cerr << "bench_exec: " << w.name << ": compile failed: "
+                << compiled.status().ToString() << "\n";
+      ok = false;
+      continue;
+    }
+    json.BeginObject().Key("name").String(w.name).Key("threads")
+        .BeginObject();
+    for (int threads : thread_counts) {
+      pytond::RunOptions opts;
+      opts.num_threads = threads;
+      std::vector<double> samples;
+      uint64_t rows = 0;
+      uint64_t peak_mem = 0;
+      bool run_ok = true;
+      for (int r = 0; r < cfg.reps; ++r) {
+        pytond::obs::MemoryAccountant mem;
+        opts.mem = &mem;
+        uint64_t t0 = pytond::obs::NowNs();
+        auto result = session.Execute(**compiled, opts);
+        double ms = static_cast<double>(pytond::obs::NowNs() - t0) / 1e6;
+        if (!result.ok()) {
+          std::cerr << "bench_exec: " << w.name << " threads=" << threads
+                    << ": " << result.status().ToString() << "\n";
+          ok = run_ok = false;
+          break;
+        }
+        samples.push_back(ms);
+        rows = (*result)->num_rows();
+        peak_mem = std::max(peak_mem, mem.peak());
+      }
+      if (!run_ok) continue;
+      double median = Median(samples);
+      if (threads == 1) suite_ms += median;
+      json.Key(std::to_string(threads)).BeginObject()
+          .Key("median_ms").Double(median)
+          .Key("p99_ms").Double(P99(samples))
+          .Key("rows").Int(static_cast<int64_t>(rows))
+          .Key("peak_mem_bytes").Int(static_cast<int64_t>(peak_mem))
+          .EndObject();
+    }
+    json.EndObject().EndObject();
+  }
+
+  json.EndArray()
+      .Key("suite_exec_ms_1t").Double(suite_ms)
+      .Key("ok").Bool(ok)
+      .EndObject();
+  std::cout << json.str() << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,226 @@
+// tondstat: drive a workload through a Session and expose the engine's
+// always-on metrics registry (DESIGN.md §12) as JSON or Prometheus text.
+//
+//   tondstat --tpch --reps=3 --format=prom
+//   tondstat --tpch=0.05 --query=6 --jobs=4 --threads=2
+//   tondstat --tpch --watch=3          # per-window delta snapshots
+//
+// One-shot mode runs the selected load once and prints the cumulative
+// snapshot. --watch=K reruns the load K times, printing the *delta*
+// snapshot (counters and histogram buckets diffed, gauges instantaneous)
+// after each window — the same numbers a scraping dashboard would derive.
+//
+// Exit status: 0 ok, 1 populate/run failure, 2 usage error, 3 emitted
+// JSON failed --check validation.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "obs/json.h"
+#include "obs/metrics/metrics.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace {
+
+using pytond::Session;
+using pytond::Status;
+
+struct StatConfig {
+  double tpch_sf = 0;        // 0 = don't populate
+  int64_t datasci_rows = 0;  // 0 = don't populate
+  int query = 0;             // 0 = all 22 TPC-H queries
+  int reps = 1;
+  int jobs = 1;
+  int threads = 1;
+  int watch = 0;  // delta windows after the initial load
+  bool prom = false;
+  bool check = false;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: tondstat [options]\n"
+      "  --tpch[=SF]       populate TPC-H tables (default SF 0.01)\n"
+      "  --datasci[=ROWS]  populate crime-index + hybrid datasets and\n"
+      "                    drive their workloads too\n"
+      "  --query=N         drive only TPC-H query N (default: all 22)\n"
+      "  --reps=N          repetitions of the load (default 1)\n"
+      "  --jobs=N          concurrent session streams (default 1)\n"
+      "  --threads=N       execution threads per query (default 1)\n"
+      "  --watch=K         after the initial load, run K more windows and\n"
+      "                    print a delta snapshot per window\n"
+      "  --format=F        json | prom (default json)\n"
+      "  --check           validate emitted JSON; exit 3 on malformed\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, StatConfig* cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--tpch") {
+      cfg->tpch_sf = 0.01;
+    } else if (arg.rfind("--tpch=", 0) == 0) {
+      cfg->tpch_sf = std::atof(value_of("--tpch=").c_str());
+    } else if (arg == "--datasci") {
+      cfg->datasci_rows = 10000;
+    } else if (arg.rfind("--datasci=", 0) == 0) {
+      cfg->datasci_rows = std::atoll(value_of("--datasci=").c_str());
+    } else if (arg.rfind("--query=", 0) == 0) {
+      cfg->query = std::atoi(value_of("--query=").c_str());
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      cfg->reps = std::atoi(value_of("--reps=").c_str());
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      cfg->jobs = std::atoi(value_of("--jobs=").c_str());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg->threads = std::atoi(value_of("--threads=").c_str());
+    } else if (arg.rfind("--watch=", 0) == 0) {
+      cfg->watch = std::atoi(value_of("--watch=").c_str());
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string f = value_of("--format=");
+      if (f == "json") cfg->prom = false;
+      else if (f == "prom") cfg->prom = true;
+      else {
+        std::cerr << "tondstat: --format must be json or prom\n";
+        return false;
+      }
+    } else if (arg == "--check") {
+      cfg->check = true;
+    } else {
+      std::cerr << "tondstat: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One load window: every selected workload source, `reps` times, across
+/// `jobs` concurrent session streams. Returns false on any failure.
+bool RunLoad(Session* session, const StatConfig& cfg,
+             const std::vector<std::string>& sources) {
+  auto stream = [&](int* failures) {
+    pytond::RunOptions opts;
+    opts.num_threads = cfg.threads;
+    for (int r = 0; r < cfg.reps; ++r) {
+      for (const std::string& source : sources) {
+        auto result = session->Run(source, opts);
+        if (!result.ok()) {
+          std::cerr << "tondstat: run failed: "
+                    << result.status().ToString() << "\n";
+          ++*failures;
+          return;
+        }
+      }
+    }
+  };
+  std::vector<int> failures(static_cast<size_t>(cfg.jobs), 0);
+  if (cfg.jobs == 1) {
+    stream(&failures[0]);
+  } else {
+    std::vector<std::thread> workers;
+    for (int j = 0; j < cfg.jobs; ++j) {
+      workers.emplace_back([&, j] { stream(&failures[j]); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int f : failures) {
+    if (f > 0) return false;
+  }
+  return true;
+}
+
+/// Renders and prints one snapshot; returns the process exit code.
+int Emit(const StatConfig& cfg, const pytond::obs::MetricsSnapshot& snap) {
+  std::string rendered = cfg.prom ? snap.ToPrometheus() : snap.ToJson();
+  if (cfg.check && !cfg.prom) {
+    Status ok = pytond::obs::ValidateJson(rendered);
+    if (!ok.ok()) {
+      std::cerr << "tondstat: emitted JSON failed validation: "
+                << ok.message() << "\n";
+      return 3;
+    }
+  }
+  std::cout << rendered;
+  if (!cfg.prom) std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StatConfig cfg;
+  if (!ParseArgs(argc, argv, &cfg)) return Usage();
+  if (cfg.tpch_sf == 0 && cfg.datasci_rows == 0) cfg.tpch_sf = 0.01;
+  if (cfg.query != 0 && (cfg.query < 1 || cfg.query > 22)) {
+    std::cerr << "tondstat: --query must be 1..22\n";
+    return Usage();
+  }
+  if (cfg.reps < 1) {
+    std::cerr << "tondstat: --reps must be >= 1\n";
+    return Usage();
+  }
+  if (cfg.jobs < 1) {
+    std::cerr << "tondstat: --jobs must be >= 1\n";
+    return Usage();
+  }
+  if (cfg.threads < 1) {
+    std::cerr << "tondstat: --threads must be >= 1\n";
+    return Usage();
+  }
+  if (cfg.watch < 0) {
+    std::cerr << "tondstat: --watch must be >= 0\n";
+    return Usage();
+  }
+
+  Session session;
+  std::vector<std::string> sources;
+  if (cfg.tpch_sf > 0) {
+    Status st = pytond::workloads::tpch::Populate(&session.db(), cfg.tpch_sf);
+    if (!st.ok()) {
+      std::cerr << "tondstat: TPC-H populate failed: " << st.ToString()
+                << "\n";
+      return 1;
+    }
+    if (cfg.query != 0) {
+      sources.push_back(pytond::workloads::tpch::GetQuery(cfg.query).source);
+    } else {
+      for (const auto& q : pytond::workloads::tpch::AllQueries()) {
+        sources.push_back(q.source);
+      }
+    }
+  }
+  if (cfg.datasci_rows > 0) {
+    namespace ds = pytond::workloads::datasci;
+    Status st = ds::PopulateCrimeIndex(&session.db(), cfg.datasci_rows);
+    if (st.ok()) st = ds::PopulateHybrid(&session.db(), cfg.datasci_rows);
+    if (!st.ok()) {
+      std::cerr << "tondstat: datasci populate failed: " << st.ToString()
+                << "\n";
+      return 1;
+    }
+    sources.push_back(ds::CrimeIndexSource());
+    sources.push_back(ds::HybridMatMulSource(false));
+  }
+
+  if (!RunLoad(&session, cfg, sources)) return 1;
+  pytond::obs::MetricsSnapshot snap = session.db().StatsSnapshot();
+  int rc = Emit(cfg, snap);
+  if (rc != 0) return rc;
+
+  for (int w = 0; w < cfg.watch; ++w) {
+    pytond::obs::MetricsSnapshot prev = snap;
+    if (!RunLoad(&session, cfg, sources)) return 1;
+    snap = session.db().StatsSnapshot();
+    rc = Emit(cfg, snap.DeltaSince(prev));
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

@@ -241,6 +241,18 @@ int main(int argc, char** argv) {
     std::cerr << "tondtrace: --query must be 1..22\n";
     return 2;
   }
+  if (cfg.jobs < 1) {
+    std::cerr << "tondtrace: --jobs must be >= 1\n";
+    return Usage();
+  }
+  if (cfg.threads < 1) {
+    std::cerr << "tondtrace: --threads must be >= 1\n";
+    return Usage();
+  }
+  if (cfg.olevel < 0 || cfg.olevel > 4) {
+    std::cerr << "tondtrace: --olevel must be 0..4\n";
+    return Usage();
+  }
 
   obs::TraceCollector collector;
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: Release and ASan/UBSan builds, the test suite under
-# both (obs_test runs under ASan here too), a ThreadSanitizer pass over
-# the threaded suites (worker pool, differential, concurrency), a
+# both (obs_test runs under ASan here too), a full-suite rerun with the
+# push-based pipeline executor disabled (TOND_PIPELINE=off), a
+# ThreadSanitizer pass over the threaded suites (worker pool,
+# differential, concurrency) in both execution modes, a
 # standalone-UBSan pass over the analysis/optimizer/frontend-analysis
 # suites (the dataflow lattice code does interval arithmetic near integer
 # limits), clang-tidy (skipped with a notice when the tool is absent),
@@ -24,16 +26,27 @@ for preset in default asan; do
   ctest --preset "$preset" -j "$jobs"
 done
 
+# Pipeline-off regression lane: the materializing executor must stay a
+# fully supported fallback (it is the differential oracle's off-side and
+# the escape hatch if a pipeline bug ships), so the whole Release suite
+# reruns with push-based execution disabled.
+TOND_PIPELINE=off ctest --preset default -j "$jobs"
+
 # TSan pass: build just the suites that exercise the shared worker pool,
 # the plan cache, and concurrent sessions, and run them directly (a full
 # suite under TSan is prohibitively slow; these three cover every
-# threaded code path).
+# threaded code path). Each suite runs under both execution strategies:
+# the push-based pipelines hand thread-local sink slots to pool workers
+# and the materializing executor shares the same pool, and both must be
+# race-free.
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
     --target engine_test differential_test concurrency_test metrics_test
 for t in engine_test differential_test concurrency_test metrics_test; do
-  TSAN_OPTIONS="halt_on_error=1" "./build-tsan/tests/$t" \
-      --gtest_brief=1
+  for pipeline in on off; do
+    TOND_PIPELINE="$pipeline" TSAN_OPTIONS="halt_on_error=1" \
+        "./build-tsan/tests/$t" --gtest_brief=1
+  done
 done
 
 # Standalone-UBSan pass: the dataflow engine's interval lattice does
@@ -217,12 +230,17 @@ TOND_METRICS=off ./build/tools/tondstat --tpch=0.002 --query=6 --check |
 
 # BENCH_exec.json schema sanity: the committed runtime baseline must
 # cover all 30 workloads at threads {1,2,4} with positive medians and
-# accounted memory on every entry.
+# accounted memory on every entry, and every entry must carry the
+# pipelined-vs-materialized A/B pair (materialized_median_ms and the
+# derived speedup) — a baseline regenerated without the A/B comparison
+# is stale with respect to the push-based executor.
 jq -e '.bench == "exec" and .ok == true and
        (.threads == [1, 2, 4]) and (.workloads | length == 30) and
        ([.workloads[].threads | keys | sort] | unique == [["1","2","4"]])
        and ([.workloads[].threads[][ "median_ms"]] | min > 0)
-       and ([.workloads[].threads[][ "peak_mem_bytes"]] | min > 0)' \
+       and ([.workloads[].threads[][ "peak_mem_bytes"]] | min > 0)
+       and ([.workloads[].threads[][ "materialized_median_ms"]] | min > 0)
+       and ([.workloads[].threads[][ "speedup"]] | min > 0)' \
     BENCH_exec.json > /dev/null ||
   { echo "check.sh: BENCH_exec.json schema check failed" >&2
     exit 1; }

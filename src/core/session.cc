@@ -171,6 +171,7 @@ Result<std::shared_ptr<const Table>> Session::Execute(
   engine::QueryOptions qopts;
   qopts.profile = options.profile;
   qopts.num_threads = options.num_threads;
+  qopts.pipeline = options.pipeline;
   qopts.trace = options.trace;
   qopts.mem = options.mem;
   return db_.Query(c.sql, qopts);

@@ -21,6 +21,10 @@ struct RunOptions {
   /// "lingo-like" research); also selects the SQL dialect.
   engine::BackendProfile profile = engine::BackendProfile::kVectorized;
   int num_threads = 1;
+  /// Push-based pipelined execution (QueryOptions::pipeline). Execution-
+  /// only, like num_threads: it never changes the compiled artifact, so
+  /// it is NOT part of the plan-cache key.
+  bool pipeline = engine::PipelineEnabledDefault();
   /// TondIR optimization preset 0..4 (0 reproduces the paper's
   /// "Grizzly-simulated" competitor).
   int optimization_level = 4;

@@ -51,6 +51,7 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
                                                const QueryOptions& opts,
                                                sched::WorkerPool* pool,
                                                obs::MemoryAccountant* mem,
+                                               obs::MetricsRegistry* metrics,
                                                PlanStatsMap* op_stats = nullptr,
                                                PlanPtr* out_plan = nullptr) {
   // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
@@ -94,6 +95,8 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   ctx.trace = opts.trace;
   ctx.op_stats = op_stats;
   ctx.mem = mem;
+  ctx.pipeline = opts.pipeline;
+  ctx.metrics = metrics;
   return ExecutePlan(*plan, ctx);
 }
 
@@ -185,14 +188,15 @@ Result<std::shared_ptr<const Table>> Database::QueryImpl(
   for (const auto& cte : stmt->ctes) {
     obs::Span cte_span(opts.trace, "cte:" + cte.name, "cte");
     PYTOND_ASSIGN_OR_RETURN(
-        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem));
+        auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem,
+                          &metrics_));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     cte_span.AddCounter("rows", static_cast<int64_t>(t->num_rows()));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
   }
   obs::Span final_span(opts.trace, "final_select", "engine");
-  return RunSelect(*stmt, catalog_, &scope, opts, pool, mem);
+  return RunSelect(*stmt, catalog_, &scope, opts, pool, mem, &metrics_);
 }
 
 Result<std::string> Database::ExplainQuery(const std::string& sql,
@@ -241,6 +245,15 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
                         static_cast<double>(s.rows_in));
       a += buf;
     }
+    if (s.pipeline_id >= 0) {
+      std::snprintf(buf, sizeof(buf), ", pipe=%d", s.pipeline_id);
+      a += buf;
+    }
+    if (s.streamed_bytes > 0) {
+      std::snprintf(buf, sizeof(buf), ", streamed=%.1f KiB",
+                    static_cast<double>(s.streamed_bytes) / 1024.0);
+      a += buf;
+    }
     a += ")";
     return a;
   };
@@ -251,7 +264,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
     PlanPtr plan;
     PYTOND_ASSIGN_OR_RETURN(
         auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem,
-                          analyze ? &stats : nullptr, &plan));
+                          &metrics_, analyze ? &stats : nullptr, &plan));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
@@ -271,8 +284,8 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       uint64_t t0 = obs::NowNs();
       PlanPtr plan;
       PYTOND_ASSIGN_OR_RETURN(
-          auto t,
-          RunSelect(*stmt, catalog_, &scope, opts, pool, mem, &stats, &plan));
+          auto t, RunSelect(*stmt, catalog_, &scope, opts, pool, mem,
+                            &metrics_, &stats, &plan));
       char buf[64];
       std::snprintf(buf, sizeof(buf), "-- Result (%zu rows, %.3f ms)\n",
                     t->num_rows(),

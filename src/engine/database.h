@@ -27,6 +27,10 @@ enum class ExplainMode { kNone, kPlan, kAnalyze };
 struct QueryOptions {
   BackendProfile profile = BackendProfile::kVectorized;
   int num_threads = 1;
+  /// Push-based pipelined execution (see ExecContext::pipeline). An
+  /// execution-only switch — plans compile identically either way — so
+  /// it does NOT participate in plan-cache keys, mirroring num_threads.
+  bool pipeline = PipelineEnabledDefault();
   ExplainMode explain = ExplainMode::kNone;
   /// Optional per-query trace: CTE materialization, binding, and
   /// per-operator spans land here. Null = no instrumentation.

@@ -1,0 +1,93 @@
+#ifndef PYTOND_ENGINE_EXEC_EXEC_INTERNAL_H_
+#define PYTOND_ENGINE_EXEC_EXEC_INTERNAL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/exec/executor.h"
+#include "engine/plan/logical.h"
+#include "storage/table.h"
+
+/// Operator kernels shared by the two execution strategies: the original
+/// materializing interpreter (executor.cc) and the push-based pipeline
+/// runtime (pipeline.cc). Both must produce bit-identical results at one
+/// thread — keeping the row-level kernels (key encoding, aggregate cell
+/// accumulation/merge/finalize, sort comparisons) in one place is what
+/// makes that invariant cheap to hold.
+namespace pytond::engine::exec_internal {
+
+/// Wraps a materialized table into the shared-ownership handle operators
+/// exchange.
+TablePtr WrapTable(Table t);
+
+/// An all-null column of `n` rows (outer-join padding).
+Column NullColumn(DataType type, size_t n);
+
+/// Concatenates same-typed columns in order.
+Column ConcatColumns(std::vector<Column> parts, DataType type);
+
+/// Evaluates `expr` in parallel morsels over all of `input`; per-chunk
+/// columns concatenate in chunk order, so the result equals the
+/// sequential evaluation regardless of thread count.
+Result<Column> EvalParallel(const BoundExpr& expr, const Table& input,
+                            const ExecContext& ctx);
+
+/// Encoded-row key for hashing a set of key columns at `row`.
+std::string EncodeKey(const std::vector<Column>& cols, size_t row);
+
+/// Evaluates each expression over the whole input (parallel morsels).
+Result<std::vector<Column>> EvalKeyColumns(
+    const std::vector<BoundExprPtr>& exprs, const Table& input,
+    const ExecContext& ctx);
+
+/// One aggregate accumulator (per group, per AggSpec).
+struct AggCell {
+  double dsum = 0;
+  int64_t isum = 0;
+  int64_t count = 0;
+  bool has_value = false;
+  Value extreme;  // min/max
+  std::unique_ptr<std::unordered_set<std::string>> distinct;
+};
+
+/// Folds input row `row` (indexed into `arg_cols`) into each agg cell.
+void AccumulateRow(const LogicalPlan& plan, std::vector<AggCell>* cells,
+                   const std::vector<Column>& arg_cols, size_t row);
+
+/// Merges a partial cell into `into` (commutative up to float rounding;
+/// callers merge in chunk order to keep rounding deterministic).
+void MergeCell(const AggSpec& spec, AggCell* into, AggCell& from);
+
+/// Produces the output value for a finished cell.
+Value FinalizeCell(const AggSpec& spec, const AggCell& cell,
+                   DataType arg_type);
+
+/// Three-way row comparison over (column index, ascending) keys; nulls
+/// sort first.
+int CompareRows(const Table& t,
+                const std::vector<std::pair<int, bool>>& keys, uint32_t a,
+                uint32_t b);
+
+/// Runs one serial pipeline breaker (Sort / Limit / Distinct / Window)
+/// over a fully materialized input.
+Result<TablePtr> ExecSerialBreaker(const LogicalPlan& plan, TablePtr input);
+
+/// Runs one operator over already-materialized inputs (the materializing
+/// interpreter's dispatch, exposed for the pipeline runtime's compute
+/// fallback — e.g. cross joins). `stats` (nullable) receives
+/// operator-internal actuals.
+Result<TablePtr> ExecNodeOnInputs(const LogicalPlan& plan,
+                                  const std::vector<TablePtr>& inputs,
+                                  const ExecContext& ctx,
+                                  OperatorStats* stats);
+
+/// True when the operator's output is a uniquely owned materialization
+/// (everything except Scan/Values, which alias catalog tables or CTE
+/// temporaries and must not be charged or released by consumers).
+bool OwnsOutput(LogicalPlan::Kind kind);
+
+}  // namespace pytond::engine::exec_internal
+
+#endif  // PYTOND_ENGINE_EXEC_EXEC_INTERNAL_H_

@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/exec/exec_internal.h"
+#include "engine/exec/pipeline.h"
+
 namespace pytond::engine {
 
 size_t MorselRows(size_t n, const ExecContext& ctx) {
@@ -59,7 +62,8 @@ sched::PoolRunStats ParallelFor(
   return stats;
 }
 
-namespace {
+// Kernels shared with the pipeline runtime (see exec_internal.h).
+namespace exec_internal {
 
 TablePtr WrapTable(Table t) {
   return std::make_shared<const Table>(std::move(t));
@@ -78,9 +82,7 @@ Column ConcatColumns(std::vector<Column> parts, DataType type) {
   size_t total = 0;
   for (const Column& p : parts) total += p.size();
   out.Reserve(total);
-  for (const Column& p : parts) {
-    for (size_t i = 0; i < p.size(); ++i) out.AppendFrom(p, i);
-  }
+  for (Column& p : parts) out.AppendAll(std::move(p));
   return out;
 }
 
@@ -124,6 +126,12 @@ Result<std::vector<Column>> EvalKeyColumns(
   }
   return out;
 }
+
+}  // namespace exec_internal
+
+namespace {
+
+using namespace exec_internal;  // NOLINT(build/namespaces)
 
 // ---------------------------------------------------------------- filter
 Result<TablePtr> ExecFilter(const LogicalPlan& plan, TablePtr input,
@@ -455,26 +463,16 @@ Result<TablePtr> ExecJoin(const LogicalPlan& plan, TablePtr left,
   return WrapTable(assemble(pidx, bidx, p_unmatched, b_unmatched));
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------- aggregate
-struct AggCell {
-  double dsum = 0;
-  int64_t isum = 0;
-  int64_t count = 0;
-  bool has_value = false;
-  Value extreme;  // min/max
-  std::unique_ptr<std::unordered_set<std::string>> distinct;
-};
+namespace exec_internal {
 
-struct GroupState {
-  uint32_t representative;  // row index of first occurrence
-  std::vector<AggCell> cells;
-};
-
-void AccumulateRow(const LogicalPlan& plan, GroupState* g,
+void AccumulateRow(const LogicalPlan& plan, std::vector<AggCell>* cells,
                    const std::vector<Column>& arg_cols, size_t row) {
   for (size_t a = 0; a < plan.aggs.size(); ++a) {
     const AggSpec& spec = plan.aggs[a];
-    AggCell& cell = g->cells[a];
+    AggCell& cell = (*cells)[a];
     if (spec.op == AggOp::kCountStar) {
       ++cell.count;
       continue;
@@ -596,6 +594,15 @@ Value FinalizeCell(const AggSpec& spec, const AggCell& cell,
   return Value::Null();
 }
 
+}  // namespace exec_internal
+
+namespace {
+
+struct GroupState {
+  uint32_t representative;  // row index of first occurrence
+  std::vector<AggCell> cells;
+};
+
 Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
                                const ExecContext& ctx,
                                OperatorStats* stats = nullptr) {
@@ -628,7 +635,7 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
         it->second.representative = static_cast<uint32_t>(i);
         it->second.cells.resize(plan.aggs.size());
       }
-      AccumulateRow(plan, &it->second, args, i);
+      AccumulateRow(plan, &it->second.cells, args, i);
     }
   });
   if (stats != nullptr) {
@@ -695,7 +702,11 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
   return WrapTable(std::move(out));
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------- sort
+namespace exec_internal {
+
 int CompareRows(const Table& t,
                 const std::vector<std::pair<int, bool>>& keys, uint32_t a,
                 uint32_t b) {
@@ -733,6 +744,10 @@ int CompareRows(const Table& t,
   }
   return 0;
 }
+
+}  // namespace exec_internal
+
+namespace {
 
 Result<TablePtr> ExecSort(const LogicalPlan& plan, TablePtr input) {
   std::vector<uint32_t> idx(input->num_rows());
@@ -830,6 +845,43 @@ Result<TablePtr> ExecNode(const LogicalPlan& plan,
 
 }  // namespace
 
+namespace exec_internal {
+
+Result<TablePtr> ExecSerialBreaker(const LogicalPlan& plan, TablePtr input) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kSort:
+      return ExecSort(plan, std::move(input));
+    case LogicalPlan::Kind::kDistinct:
+      return ExecDistinct(std::move(input));
+    case LogicalPlan::Kind::kWindow:
+      return ExecWindow(plan, std::move(input));
+    case LogicalPlan::Kind::kLimit: {
+      size_t n = std::min<size_t>(input->num_rows(),
+                                  static_cast<size_t>(plan.limit));
+      std::vector<uint32_t> idx(n);
+      std::iota(idx.begin(), idx.end(), 0);
+      return WrapTable(input->Gather(idx));
+    }
+    default:
+      return Status::Internal("not a serial pipeline breaker: " +
+                              std::string(PlanOpName(plan.kind)));
+  }
+}
+
+Result<TablePtr> ExecNodeOnInputs(const LogicalPlan& plan,
+                                  const std::vector<TablePtr>& inputs,
+                                  const ExecContext& ctx,
+                                  OperatorStats* stats) {
+  return ExecNode(plan, inputs, ctx, stats);
+}
+
+bool OwnsOutput(LogicalPlan::Kind kind) {
+  return kind != LogicalPlan::Kind::kScan &&
+         kind != LogicalPlan::Kind::kValues;
+}
+
+}  // namespace exec_internal
+
 const char* PlanOpName(LogicalPlan::Kind kind) {
   switch (kind) {
     case LogicalPlan::Kind::kScan: return "Scan";
@@ -848,13 +900,7 @@ const char* PlanOpName(LogicalPlan::Kind kind) {
 
 namespace {
 
-/// True when the operator's output is a uniquely owned materialization
-/// (everything except Scan/Values, which alias catalog tables or CTE
-/// temporaries and must not be charged or released by consumers).
-bool OwnsOutput(LogicalPlan::Kind kind) {
-  return kind != LogicalPlan::Kind::kScan &&
-         kind != LogicalPlan::Kind::kValues;
-}
+using exec_internal::OwnsOutput;
 
 /// Charges this operator's materialized output and releases the child
 /// outputs it just consumed — child intermediates die with the parent's
@@ -880,6 +926,7 @@ uint64_t AccountNodeMemory(const LogicalPlan& plan,
 }  // namespace
 
 Result<TablePtr> ExecutePlan(const LogicalPlan& plan, const ExecContext& ctx) {
+  if (ctx.pipeline) return ExecutePipelined(plan, ctx);
   std::vector<TablePtr> inputs;
   inputs.reserve(plan.children.size());
   // Uninstrumented fast path: the only overhead vs. the pre-obs executor

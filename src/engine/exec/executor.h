@@ -11,6 +11,10 @@
 #include "obs/trace.h"
 #include "storage/catalog.h"
 
+namespace pytond::obs {
+class MetricsRegistry;
+}  // namespace pytond::obs
+
 namespace pytond::engine {
 
 /// Inputs below this row count always execute inline — the per-task
@@ -33,10 +37,22 @@ struct OperatorStats {
   uint64_t build_rows = 0;     // join: hash-build input rows
   uint64_t build_buckets = 0;  // join: distinct hash-build keys
   uint64_t mem_bytes = 0;      // bytes charged: output + transient builds
+  /// Pipelined execution only: which pipeline ran this operator (-1 when
+  /// the operator executed on the materializing path).
+  int32_t pipeline_id = -1;
+  /// Pipelined execution only: bytes pushed through this operator as
+  /// in-flight chunks instead of being materialized between operators.
+  uint64_t streamed_bytes = 0;
 };
 
 /// Keyed by plan-node identity; each node executes once per query.
 using PlanStatsMap = std::map<const LogicalPlan*, OperatorStats>;
+
+/// Process-wide default for push-based pipelined execution. True unless
+/// the TOND_PIPELINE environment variable is set to "0"/"off"/"false"
+/// (read once; the materializing fallback stays available per query via
+/// ExecContext::pipeline / QueryOptions::pipeline / RunOptions::pipeline).
+bool PipelineEnabledDefault();
 
 /// Execution context: base catalog, materialized CTE temporaries, the
 /// intra-operator parallelism degree plus morsel sizing, the shared worker
@@ -60,6 +76,14 @@ struct ExecContext {
   /// Database::Query). Operators charge hash-join builds, aggregate
   /// tables, and materialized outputs; null skips all accounting.
   obs::MemoryAccountant* mem = nullptr;
+  /// Push-based pipelined execution (ExecutePipelined): streaming
+  /// operator chains run fused over source morsels instead of
+  /// materializing every intermediate. Off = the original
+  /// operator-at-a-time materializing interpreter.
+  bool pipeline = PipelineEnabledDefault();
+  /// Optional always-on metrics sink (Database registry): pipelined
+  /// execution records pipeline/morsel/streamed-byte counters here.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Effective rows per morsel for an input of n rows: ctx.morsel_rows

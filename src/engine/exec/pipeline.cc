@@ -1,0 +1,1566 @@
+#include "engine/exec/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "engine/exec/exec_internal.h"
+#include "obs/metrics/metrics.h"
+
+namespace pytond::engine {
+
+bool PipelineEnabledDefault() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("TOND_PIPELINE");
+    if (v == nullptr) return true;
+    std::string s(v);
+    return !(s == "0" || s == "off" || s == "OFF" || s == "false" ||
+             s == "FALSE");
+  }();
+  return enabled;
+}
+
+namespace {
+
+using exec_internal::AccumulateRow;
+using exec_internal::AggCell;
+using exec_internal::ConcatColumns;
+using exec_internal::EncodeKey;
+using exec_internal::EvalKeyColumns;
+using exec_internal::ExecNodeOnInputs;
+using exec_internal::ExecSerialBreaker;
+using exec_internal::FinalizeCell;
+using exec_internal::MergeCell;
+using exec_internal::NullColumn;
+using exec_internal::WrapTable;
+
+// ===================================================================
+// Pipeline builder
+// ===================================================================
+
+/// Below this much chain work (source rows × chain depth) a pipeline
+/// collapses to a single inline morsel: pool dispatch, per-morsel
+/// expression batching, and the slot merge each cost more than the
+/// morsels themselves. The collapse depends only on the plan and n,
+/// never the thread count, so thread-count determinism is preserved.
+constexpr size_t kPipelineInlineRows = 32768;
+
+/// Column-parallel sink gathers only pay off with real hardware
+/// parallelism; on a single-core host pool dispatch is pure overhead.
+const bool kMultiCore = std::thread::hardware_concurrency() > 1;
+
+bool IsStreamingOp(LogicalPlan::Kind kind) {
+  return kind == LogicalPlan::Kind::kFilter ||
+         kind == LogicalPlan::Kind::kProject;
+}
+
+bool IsLeaf(LogicalPlan::Kind kind) {
+  return kind == LogicalPlan::Kind::kScan ||
+         kind == LogicalPlan::Kind::kValues;
+}
+
+/// True for joins the pipeline runtime streams on the probe side (the
+/// build side becomes a dependency pipeline). Cross joins fall back to
+/// the materializing interpreter (kCompute sink).
+bool IsProbeJoin(const LogicalPlan& plan) {
+  return plan.kind == LogicalPlan::Kind::kJoin &&
+         plan.join_type != JoinType::kCross;
+}
+
+class Builder {
+ public:
+  PipelinePlan Build(const LogicalPlan& root) {
+    BuildInto(&root);
+    return std::move(plan_);
+  }
+
+ private:
+  int Push(PipelineDesc d) {
+    d.id = static_cast<int>(plan_.pipelines.size());
+    plan_.pipelines.push_back(std::move(d));
+    return plan_.pipelines.back().id;
+  }
+
+  /// Builds the pipeline(s) that materialize `node`'s full output,
+  /// returning the producing pipeline's id.
+  int BuildInto(const LogicalPlan* node) {
+    switch (node->kind) {
+      case LogicalPlan::Kind::kAggregate: {
+        PipelineDesc d;
+        BuildStream(node->children[0].get(), &d);
+        d.breaker = node;
+        d.sink = PipelineSinkKind::kAggregate;
+        d.output = node;
+        return Push(std::move(d));
+      }
+      case LogicalPlan::Kind::kSort:
+      case LogicalPlan::Kind::kLimit:
+      case LogicalPlan::Kind::kDistinct:
+      case LogicalPlan::Kind::kWindow: {
+        PipelineDesc d;
+        BuildStream(node->children[0].get(), &d);
+        d.breaker = node;
+        d.sink = PipelineSinkKind::kSerial;
+        d.output = node;
+        return Push(std::move(d));
+      }
+      case LogicalPlan::Kind::kJoin:
+        if (!IsProbeJoin(*node)) {
+          // Cross join: materialize both children, then run the node
+          // through the interpreter.
+          PipelineDesc d;
+          d.breaker = node;
+          d.sink = PipelineSinkKind::kCompute;
+          d.output = node;
+          for (const PlanPtr& c : node->children) {
+            int pid = BuildInto(c.get());
+            d.inputs.push_back(pid);
+            d.deps.push_back(pid);
+          }
+          return Push(std::move(d));
+        }
+        [[fallthrough]];
+      case LogicalPlan::Kind::kScan:
+      case LogicalPlan::Kind::kValues:
+      case LogicalPlan::Kind::kFilter:
+      case LogicalPlan::Kind::kProject: {
+        PipelineDesc d;
+        BuildStream(node, &d);
+        d.sink = PipelineSinkKind::kResult;
+        d.output = node;
+        return Push(std::move(d));
+      }
+    }
+    return -1;  // unreachable
+  }
+
+  /// Extends `d`'s streaming chain downward from `node`: sets the morsel
+  /// source at the bottom and appends ops on the way back up.
+  void BuildStream(const LogicalPlan* node, PipelineDesc* d) {
+    if (IsLeaf(node->kind)) {
+      d->source = node;
+      return;
+    }
+    if (IsStreamingOp(node->kind)) {
+      BuildStream(node->children[0].get(), d);
+      d->ops.push_back(node);
+      d->op_build_inputs.push_back(-1);
+      return;
+    }
+    if (IsProbeJoin(*node)) {
+      bool swapped = node->join_type == JoinType::kRight ||
+                     (node->join_type == JoinType::kInner && node->build_left);
+      const LogicalPlan* build_child =
+          swapped ? node->children[0].get() : node->children[1].get();
+      const LogicalPlan* probe_child =
+          swapped ? node->children[1].get() : node->children[0].get();
+      int build_pid = BuildInto(build_child);
+      BuildStream(probe_child, d);
+      d->ops.push_back(node);
+      d->op_build_inputs.push_back(build_pid);
+      d->deps.push_back(build_pid);
+      return;
+    }
+    // A breaker feeds this chain: its pipeline's materialized output
+    // becomes the morsel source.
+    int pid = BuildInto(node);
+    d->source_pipeline = pid;
+    d->deps.push_back(pid);
+  }
+
+  PipelinePlan plan_;
+};
+
+// ===================================================================
+// Chunks and streaming operators
+// ===================================================================
+
+/// One in-flight morsel: a [begin, end) view over a source table until
+/// the first operator rewrites it, an owned table afterwards. Lives on
+/// the worker's stack for the whole chain — this is the "no materialized
+/// intermediates" part. A filter over a still-unrewritten view produces
+/// a third state: a selection vector of absolute row ids into `table`,
+/// deferred so a result sink can merge every morsel's selection and pay
+/// one gather total instead of gather-per-morsel plus a concatenation.
+struct Chunk {
+  const Table* table = nullptr;
+  size_t begin = 0;
+  size_t end = 0;
+  Table storage;
+  std::vector<uint32_t> sel;  // absolute rows into *table when has_sel
+  bool has_sel = false;
+
+  size_t rows() const { return has_sel ? sel.size() : end - begin; }
+  bool owned() const { return table == &storage; }
+  void SetOwned(Table t) {
+    size_t n = t.num_rows();
+    SetOwned(std::move(t), n);
+  }
+  /// Owned table with an explicit row count: masked tables keep dead
+  /// columns as typed empty placeholders, so column 0 (what
+  /// Table::num_rows reads) may not reflect the real row count.
+  void SetOwned(Table t, size_t nrows) {
+    storage = std::move(t);
+    table = &storage;
+    begin = 0;
+    end = nrows;
+    sel.clear();
+    has_sel = false;
+  }
+  void SetSel(std::vector<uint32_t> s) {
+    sel = std::move(s);
+    has_sel = true;
+  }
+};
+
+/// Evaluates expressions over the selected rows of a source table without
+/// materializing the full-width selection. A bare column reference
+/// gathers exactly one column; a compound expression evaluates over a
+/// lazily-assembled narrow table that gathers only the columns it
+/// references (placeholder empty columns keep indices stable — the
+/// evaluator never reads a column an expression doesn't name).
+class SelEval {
+ public:
+  SelEval(const Table& t, const std::vector<uint32_t>& sel)
+      : t_(t), sel_(sel), narrow_(t.schema()) {
+    gathered_.assign(t.num_columns(), 0);
+  }
+
+  Result<Column> Eval(const BoundExpr& e) {
+    if (e.kind == BoundExpr::Kind::kColRef) {
+      return t_.column(e.col_index).Gather(sel_);
+    }
+    EnsureNarrow(e);
+    return EvaluateExpr(e, narrow_, 0, sel_.size());
+  }
+
+  /// `keep` gets positions into `sel` (relative), not absolute row ids.
+  Status EvalPredicate(const BoundExpr& e, std::vector<uint32_t>* keep) {
+    EnsureNarrow(e);
+    return EvaluatePredicate(e, narrow_, 0, sel_.size(), keep);
+  }
+
+ private:
+  void EnsureNarrow(const BoundExpr& e) {
+    std::vector<int> cols;
+    e.CollectColumns(&cols);
+    for (int c : cols) {
+      if (gathered_[c]) continue;
+      narrow_.column(c) = t_.column(c).Gather(sel_);
+      gathered_[c] = 1;
+    }
+  }
+
+  const Table& t_;
+  const std::vector<uint32_t>& sel_;
+  Table narrow_;
+  std::vector<uint8_t> gathered_;
+};
+
+/// Gathers `rows` from `t`, skipping dead columns: a column is dead
+/// when the liveness mask says nothing downstream reads it, or when an
+/// upstream op already reduced it to a placeholder. Dead columns stay
+/// typed empty placeholders so column indices remain stable — the
+/// expression evaluator never reads a column an expression doesn't
+/// name, and nothing masked ever escapes the pipeline (result and
+/// serial sinks pin their whole chain live).
+Table GatherLive(const Table& t, const std::vector<uint32_t>& rows,
+                 const std::vector<uint8_t>* mask) {
+  Table out(t.schema());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column& col = t.column(c);
+    if ((mask != nullptr && !(*mask)[c]) ||
+        (col.size() == 0 && !rows.empty())) {
+      continue;
+    }
+    out.column(c) = col.Gather(rows);
+  }
+  return out;
+}
+
+/// A streaming operator: transforms one chunk in place on a worker
+/// thread. Prepare runs once on the coordinating thread (hash builds);
+/// Finish emits at most one trailing chunk after every morsel has been
+/// pushed (full-outer build-unmatched rows).
+class StreamOp {
+ public:
+  explicit StreamOp(const LogicalPlan* node) : node_(node) {}
+  virtual ~StreamOp() = default;
+  StreamOp(const StreamOp&) = delete;
+  StreamOp& operator=(const StreamOp&) = delete;
+
+  const LogicalPlan* node() const { return node_; }
+  /// Installs the backward-liveness mask over this op's output columns
+  /// (computed once per pipeline, before Prepare). Empty = all live.
+  void SetOutputMask(std::vector<uint8_t> m) { mask_ = std::move(m); }
+  virtual Status Prepare(const ExecContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+  virtual Status Push(Chunk* chunk, const ExecContext& ctx) = 0;
+  virtual Result<bool> Finish(Chunk* out, const ExecContext& ctx) {
+    (void)out;
+    (void)ctx;
+    return false;
+  }
+
+  // Stats surfaced by Prepare (hash-join builds).
+  uint64_t build_rows = 0;
+  uint64_t build_buckets = 0;
+  uint64_t build_bytes = 0;
+
+ protected:
+  const std::vector<uint8_t>* mask() const {
+    return mask_.empty() ? nullptr : &mask_;
+  }
+
+  const LogicalPlan* node_;
+  std::vector<uint8_t> mask_;
+};
+
+class FilterOp : public StreamOp {
+ public:
+  using StreamOp::StreamOp;
+
+  Status Push(Chunk* chunk, const ExecContext& ctx) override {
+    (void)ctx;
+    if (chunk->has_sel) {
+      // Compose with the upstream filter's selection: evaluate over the
+      // already-selected rows and keep the surviving absolute row ids.
+      SelEval ev(*chunk->table, chunk->sel);
+      std::vector<uint32_t> keep;
+      PYTOND_RETURN_IF_ERROR(ev.EvalPredicate(*node_->predicate, &keep));
+      std::vector<uint32_t> out;
+      out.reserve(keep.size());
+      for (uint32_t k : keep) out.push_back(chunk->sel[k]);
+      chunk->sel = std::move(out);
+      return Status::OK();
+    }
+    std::vector<uint32_t> sel;
+    PYTOND_RETURN_IF_ERROR(EvaluatePredicate(*node_->predicate, *chunk->table,
+                                             chunk->begin, chunk->end, &sel));
+    if (!chunk->owned()) {
+      // Keep the source view and defer the gather: downstream ops
+      // evaluate through the selection, while a result sink merges all
+      // selections and pays a single gather for the whole pipeline.
+      chunk->SetSel(std::move(sel));
+    } else {
+      size_t nsel = sel.size();
+      chunk->SetOwned(GatherLive(*chunk->table, sel, mask()), nsel);
+    }
+    return Status::OK();
+  }
+};
+
+class ProjectOp : public StreamOp {
+ public:
+  using StreamOp::StreamOp;
+
+  Status Push(Chunk* chunk, const ExecContext& ctx) override {
+    (void)ctx;
+    if (node_->exprs.empty()) {
+      chunk->SetOwned(Table(node_->schema));
+      return Status::OK();
+    }
+    // Dead output columns (nothing downstream reads them) stay typed
+    // empty placeholders; only live expressions are evaluated.
+    size_t len = chunk->rows();
+    Table out(node_->schema);
+    if (chunk->has_sel) {
+      // Project straight through the selection: each referenced column
+      // is copied exactly once (no full-width materialization first).
+      SelEval ev(*chunk->table, chunk->sel);
+      for (size_t i = 0; i < node_->exprs.size(); ++i) {
+        if (!mask_.empty() && !mask_[i]) continue;
+        PYTOND_ASSIGN_OR_RETURN(Column c, ev.Eval(*node_->exprs[i]));
+        out.column(i) = std::move(c);
+      }
+    } else {
+      for (size_t i = 0; i < node_->exprs.size(); ++i) {
+        if (!mask_.empty() && !mask_[i]) continue;
+        PYTOND_ASSIGN_OR_RETURN(Column c,
+                                EvaluateExpr(*node_->exprs[i], *chunk->table,
+                                             chunk->begin, chunk->end));
+        out.column(i) = std::move(c);
+      }
+    }
+    chunk->SetOwned(std::move(out), len);
+    return Status::OK();
+  }
+};
+
+/// Matched pairs + left-unmatched (null right) + right-unmatched, in the
+/// plan's left-cols-then-right-cols output order (same row layout the
+/// materializing ExecJoin produces). `lmask`/`rmask` (nullable) are the
+/// liveness masks over the two column blocks: dead columns — nothing
+/// downstream reads them — are never gathered and stay typed empty
+/// placeholders in the output.
+Table AssemblePairs(const Table& lt, const Table& rt,
+                    const std::vector<uint32_t>& lidx,
+                    const std::vector<uint32_t>& ridx,
+                    const std::vector<uint32_t>& l_only,
+                    const std::vector<uint32_t>& r_only,
+                    const std::vector<uint8_t>* lmask,
+                    const std::vector<uint8_t>* rmask) {
+  size_t extra_l = l_only.size(), extra_r = r_only.size();
+  Schema sch = lt.schema();
+  for (size_t c = 0; c < rt.num_columns(); ++c) {
+    sch.Add(rt.schema().names[c], rt.schema().types[c]);
+  }
+  Table out(std::move(sch));
+  bool l_any = !lidx.empty() || extra_l > 0;
+  bool r_any = !ridx.empty() || extra_r > 0;
+  for (size_t c = 0; c < lt.num_columns(); ++c) {
+    const Column& src = lt.column(c);
+    if ((lmask != nullptr && !(*lmask)[c]) || (src.size() == 0 && l_any)) {
+      continue;
+    }
+    Column col = src.Gather(lidx);
+    if (extra_l) {
+      Column lpart = src.Gather(l_only);
+      std::vector<Column> parts;
+      parts.push_back(std::move(col));
+      parts.push_back(std::move(lpart));
+      col = ConcatColumns(std::move(parts), src.type());
+    }
+    if (extra_r) {
+      std::vector<Column> parts;
+      parts.push_back(std::move(col));
+      parts.push_back(NullColumn(src.type(), extra_r));
+      col = ConcatColumns(std::move(parts), src.type());
+    }
+    out.column(c) = std::move(col);
+  }
+  for (size_t c = 0; c < rt.num_columns(); ++c) {
+    const Column& src = rt.column(c);
+    if ((rmask != nullptr && !(*rmask)[c]) || (src.size() == 0 && r_any)) {
+      continue;
+    }
+    Column col = src.Gather(ridx);
+    if (extra_l) {
+      std::vector<Column> parts;
+      parts.push_back(std::move(col));
+      parts.push_back(NullColumn(src.type(), extra_l));
+      col = ConcatColumns(std::move(parts), src.type());
+    }
+    if (extra_r) {
+      Column rpart = src.Gather(r_only);
+      std::vector<Column> parts;
+      parts.push_back(std::move(col));
+      parts.push_back(std::move(rpart));
+      col = ConcatColumns(std::move(parts), src.type());
+    }
+    out.column(lt.num_columns() + c) = std::move(col);
+  }
+  return out;
+}
+
+/// Hash-join probe: the build side is a dependency pipeline's
+/// materialized output; Prepare builds the hash table once, Push probes
+/// one chunk and assembles its share of the output in place.
+class ProbeOp : public StreamOp {
+ public:
+  ProbeOp(const LogicalPlan* node, TablePtr build)
+      : StreamOp(node), build_(std::move(build)) {}
+
+  Status Prepare(const ExecContext& ctx) override {
+    JoinType jt = node_->join_type;
+    swapped_ = jt == JoinType::kRight ||
+               (jt == JoinType::kInner && node_->build_left);
+    std::vector<BoundExprPtr> build_exprs;
+    for (const auto& [l, r] : node_->join_keys) {
+      probe_exprs_.push_back(swapped_ ? r : l);
+      build_exprs.push_back(swapped_ ? l : r);
+    }
+    // The output mask splits positionally over the left-then-right
+    // column blocks (semi/anti output the probe schema directly and use
+    // the mask whole; kFull never gets one — Finish emits full rows).
+    if (!mask_.empty() && jt != JoinType::kSemi && jt != JoinType::kAnti) {
+      size_t lsz = node_->children[0]->schema.num_columns();
+      lmask_.assign(mask_.begin(), mask_.begin() + lsz);
+      rmask_.assign(mask_.begin() + lsz, mask_.end());
+    }
+    if (node_->predicate) {
+      // Residual-predicate candidate tables only need the columns the
+      // predicate actually names (left-then-right combined space).
+      std::vector<int> cols;
+      node_->predicate->CollectColumns(&cols);
+      pred_refs_.assign(node_->children[0]->schema.num_columns() +
+                            node_->children[1]->schema.num_columns(),
+                        0);
+      for (int c : cols) {
+        if (c >= 0 && static_cast<size_t>(c) < pred_refs_.size()) {
+          pred_refs_[c] = 1;
+        }
+      }
+    }
+    PYTOND_ASSIGN_OR_RETURN(std::vector<Column> build_keys,
+                            EvalKeyColumns(build_exprs, *build_, ctx));
+    size_t bn = build_->num_rows();
+    buckets_.reserve(bn * 2);
+    for (size_t i = 0; i < bn; ++i) {
+      // SQL join semantics: NULL keys never match.
+      bool has_null = false;
+      for (const Column& c : build_keys) {
+        if (!c.IsValid(i)) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;
+      buckets_[EncodeKey(build_keys, i)].push_back(static_cast<uint32_t>(i));
+    }
+    build_rows = bn;
+    build_buckets = buckets_.size();
+    if (ctx.mem != nullptr || ctx.op_stats != nullptr ||
+        ctx.trace != nullptr) {
+      for (const Column& c : build_keys) build_bytes += c.MemoryBytes();
+      for (const auto& [key, rows] : buckets_) {
+        build_bytes += key.size() + rows.capacity() * sizeof(uint32_t) +
+                       sizeof(void*) * 4;  // unordered_map node overhead
+      }
+    }
+    if (jt == JoinType::kFull && bn > 0) {
+      build_matched_ = std::make_unique<std::atomic<uint8_t>[]>(bn);
+      for (size_t i = 0; i < bn; ++i) {
+        build_matched_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Push(Chunk* chunk, const ExecContext& ctx) override {
+    (void)ctx;
+    JoinType jt = node_->join_type;
+    const Table& probe = *chunk->table;
+    // A selection chunk (upstream filter over the source view) probes
+    // through its selection: keys are evaluated over the selected rows
+    // only and candidates carry absolute source row ids, so unmatched
+    // probe rows are never copied at all.
+    const bool use_sel = chunk->has_sel;
+    std::vector<uint32_t> sel_rows;
+    if (use_sel) sel_rows = std::move(chunk->sel);
+    size_t begin = chunk->begin, end = chunk->end;
+    size_t len = use_sel ? sel_rows.size() : end - begin;
+    auto abs_of = [&](size_t rel) {
+      return use_sel ? sel_rows[rel] : static_cast<uint32_t>(begin + rel);
+    };
+    bool need_unmatched = jt == JoinType::kLeft || jt == JoinType::kRight ||
+                          jt == JoinType::kFull;
+    bool is_semi_anti = jt == JoinType::kSemi || jt == JoinType::kAnti;
+
+    std::vector<Column> pkeys;
+    pkeys.reserve(probe_exprs_.size());
+    if (use_sel) {
+      SelEval ev(probe, sel_rows);
+      for (const BoundExprPtr& e : probe_exprs_) {
+        PYTOND_ASSIGN_OR_RETURN(Column c, ev.Eval(*e));
+        pkeys.push_back(std::move(c));
+      }
+    } else {
+      for (const BoundExprPtr& e : probe_exprs_) {
+        PYTOND_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*e, probe, begin, end));
+        pkeys.push_back(std::move(c));
+      }
+    }
+
+    std::vector<uint32_t> cand_p, cand_b;  // cand_p absolute into `probe`
+    std::vector<uint32_t> p_unmatched;
+    for (size_t rel = 0; rel < len; ++rel) {
+      bool has_null = false;
+      for (const Column& c : pkeys) {
+        if (!c.IsValid(rel)) {
+          has_null = true;
+          break;
+        }
+      }
+      const std::vector<uint32_t>* bucket = nullptr;
+      if (!has_null) {
+        auto it = buckets_.find(EncodeKey(pkeys, rel));
+        if (it != buckets_.end()) bucket = &it->second;
+      }
+      uint32_t abs = abs_of(rel);
+      if (bucket == nullptr) {
+        if (need_unmatched) p_unmatched.push_back(abs);
+        continue;
+      }
+      for (uint32_t b : *bucket) {
+        cand_p.push_back(abs);
+        cand_b.push_back(b);
+      }
+    }
+
+    // Residual filtering over candidate pairs (left/right column order).
+    // Only predicate-referenced columns are gathered; the rest stay
+    // typed empty placeholders the evaluator never reads.
+    if (node_->predicate && !cand_p.empty()) {
+      const Table& lt = swapped_ ? *build_ : probe;
+      const Table& rt = swapped_ ? probe : *build_;
+      const std::vector<uint32_t>& li = swapped_ ? cand_b : cand_p;
+      const std::vector<uint32_t>& ri = swapped_ ? cand_p : cand_b;
+      Schema psch;
+      for (size_t c = 0; c < lt.num_columns(); ++c) {
+        psch.Add("l" + std::to_string(c), lt.column(c).type());
+      }
+      for (size_t c = 0; c < rt.num_columns(); ++c) {
+        psch.Add("r" + std::to_string(c), rt.column(c).type());
+      }
+      Table pair(std::move(psch));
+      for (size_t c = 0; c < lt.num_columns(); ++c) {
+        if (!pred_refs_[c] || lt.column(c).size() == 0) continue;
+        pair.column(c) = lt.column(c).Gather(li);
+      }
+      for (size_t c = 0; c < rt.num_columns(); ++c) {
+        if (!pred_refs_[lt.num_columns() + c] || rt.column(c).size() == 0) {
+          continue;
+        }
+        pair.column(lt.num_columns() + c) = rt.column(c).Gather(ri);
+      }
+      std::vector<uint32_t> keep;
+      PYTOND_RETURN_IF_ERROR(EvaluatePredicate(*node_->predicate, pair, 0,
+                                               cand_p.size(), &keep));
+      std::vector<uint32_t> fp, fb;
+      fp.reserve(keep.size());
+      fb.reserve(keep.size());
+      for (uint32_t k : keep) {
+        fp.push_back(cand_p[k]);
+        fb.push_back(cand_b[k]);
+      }
+      cand_p = std::move(fp);
+      cand_b = std::move(fb);
+    }
+
+    if (is_semi_anti) {
+      std::unordered_set<uint32_t> matched(cand_p.begin(), cand_p.end());
+      std::vector<uint32_t> emit;
+      for (size_t rel = 0; rel < len; ++rel) {
+        uint32_t abs = abs_of(rel);
+        bool m = matched.count(abs) > 0;
+        if ((jt == JoinType::kSemi) == m) emit.push_back(abs);
+      }
+      size_t nemit = emit.size();
+      chunk->SetOwned(GatherLive(probe, emit, mask()), nemit);
+      return Status::OK();
+    }
+
+    if (need_unmatched && node_->predicate) {
+      // Rows whose candidates were all filtered out become unmatched.
+      std::unordered_set<uint32_t> matched(cand_p.begin(), cand_p.end());
+      p_unmatched.clear();
+      for (size_t rel = 0; rel < len; ++rel) {
+        uint32_t abs = abs_of(rel);
+        if (!matched.count(abs)) p_unmatched.push_back(abs);
+      }
+    }
+    if (build_matched_ != nullptr) {
+      for (uint32_t b : cand_b) {
+        build_matched_[b].store(1, std::memory_order_relaxed);
+      }
+    }
+
+    const std::vector<uint8_t>* lm = lmask_.empty() ? nullptr : &lmask_;
+    const std::vector<uint8_t>* rm = rmask_.empty() ? nullptr : &rmask_;
+    size_t nout = cand_p.size() + p_unmatched.size();
+    switch (jt) {
+      case JoinType::kInner:
+        chunk->SetOwned(swapped_
+                            ? AssemblePairs(*build_, probe, cand_b, cand_p,
+                                            {}, {}, lm, rm)
+                            : AssemblePairs(probe, *build_, cand_p, cand_b,
+                                            {}, {}, lm, rm),
+                        cand_p.size());
+        break;
+      case JoinType::kLeft:
+        chunk->SetOwned(AssemblePairs(probe, *build_, cand_p, cand_b,
+                                      p_unmatched, {}, lm, rm),
+                        nout);
+        break;
+      case JoinType::kRight:
+        // Internally probe=right, build=left; output order is left,right.
+        chunk->SetOwned(AssemblePairs(*build_, probe, cand_b, cand_p, {},
+                                      p_unmatched, lm, rm),
+                        nout);
+        break;
+      default:  // kFull (build-unmatched rows are emitted by Finish)
+        chunk->SetOwned(AssemblePairs(probe, *build_, cand_p, cand_b,
+                                      p_unmatched, {}, lm, rm));
+        break;
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Finish(Chunk* out, const ExecContext& ctx) override {
+    (void)ctx;
+    if (node_->join_type != JoinType::kFull) return false;
+    size_t bn = build_->num_rows();
+    std::vector<uint32_t> b_unmatched;
+    for (size_t i = 0; i < bn; ++i) {
+      if (build_matched_ == nullptr ||
+          build_matched_[i].load(std::memory_order_relaxed) == 0) {
+        b_unmatched.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (b_unmatched.empty()) return false;
+    // Probe-side columns are all-null for build-unmatched rows; kFull is
+    // never swapped, so the probe side is the plan's left child.
+    const Schema& ls = node_->children[0]->schema;
+    Table t;
+    for (size_t c = 0; c < ls.num_columns(); ++c) {
+      Status st = t.AddColumn(ls.names[c],
+                              NullColumn(ls.types[c], b_unmatched.size()));
+      (void)st;
+    }
+    for (size_t c = 0; c < build_->num_columns(); ++c) {
+      Status st = t.AddColumn(build_->schema().names[c],
+                              build_->column(c).Gather(b_unmatched));
+      (void)st;
+    }
+    out->SetOwned(std::move(t));
+    return true;
+  }
+
+ private:
+  TablePtr build_;
+  bool swapped_ = false;
+  std::vector<BoundExprPtr> probe_exprs_;
+  std::vector<uint8_t> lmask_, rmask_;  // liveness per output block
+  std::vector<uint8_t> pred_refs_;      // residual-predicate column refs
+  std::unordered_map<std::string, std::vector<uint32_t>> buckets_;
+  std::unique_ptr<std::atomic<uint8_t>[]> build_matched_;
+};
+
+// ===================================================================
+// Sinks (thread-local per-slot state, merged in morsel order)
+// ===================================================================
+
+/// A pipeline sink: Push is called from worker threads with a slot index
+/// that is unique per morsel (thread-local by construction — no locks);
+/// Finalize merges the slots in slot order on the coordinating thread,
+/// which keeps the merged result independent of scheduling.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Prepare(size_t slots) = 0;
+  virtual Status Push(Chunk* chunk, size_t slot, const ExecContext& ctx) = 0;
+  /// Merges slot state into the pipeline's output. `transient_bytes`
+  /// (nullable out) reports bytes charged for merge-time state.
+  virtual Result<TablePtr> Finalize(const ExecContext& ctx,
+                                    uint64_t* transient_bytes) = 0;
+};
+
+/// Collects owned chunks per slot; the slot-order concatenation is the
+/// output. Selection-view chunks (a filter over the source view) stay
+/// as selection vectors: Finalize merges consecutive selections over
+/// the same source table and pays a single gather for the whole run —
+/// the same single-copy shape as the materializing executor's filter.
+class CollectSink : public Sink {
+ public:
+  explicit CollectSink(const Schema* fallback_schema)
+      : fallback_schema_(fallback_schema) {}
+
+  void Prepare(size_t slots) override {
+    slots_.resize(slots);
+    sels_.resize(slots);
+    sel_src_.assign(slots, nullptr);
+    used_.assign(slots, 0);
+  }
+
+  Status Push(Chunk* chunk, size_t slot, const ExecContext& ctx) override {
+    (void)ctx;
+    if (chunk->has_sel) {
+      sels_[slot] = std::move(chunk->sel);
+      sel_src_[slot] = chunk->table;
+    } else if (chunk->owned()) {
+      slots_[slot] = std::move(chunk->storage);
+    } else {
+      // View chunk (no ops rewrote it): keep it as a trivial selection.
+      std::vector<uint32_t> idx(chunk->rows());
+      std::iota(idx.begin(), idx.end(),
+                static_cast<uint32_t>(chunk->begin));
+      sels_[slot] = std::move(idx);
+      sel_src_[slot] = chunk->table;
+    }
+    used_[slot] = 1;
+    return Status::OK();
+  }
+
+  Result<TablePtr> Finalize(const ExecContext& ctx,
+                            uint64_t* transient_bytes) override {
+    if (transient_bytes != nullptr) *transient_bytes = 0;
+    // Wide merged selections gather column-parallel on the pool: columns
+    // are independent and land by index, so the output is identical to
+    // the serial gather no matter how the pool schedules them. This is
+    // parallelism the materializing executor's filter never had.
+    auto gather = [&ctx](const Table& t, const std::vector<uint32_t>& rows) {
+      size_t nc = t.num_columns();
+      if (!kMultiCore || ctx.pool == nullptr || ctx.num_threads <= 1 ||
+          nc <= 1 || rows.size() * nc < kPipelineInlineRows) {
+        return t.Gather(rows);
+      }
+      std::vector<Column> cols(nc);
+      ctx.pool->ParallelFor(nc, 1, ctx.num_threads,
+                            [&](size_t, size_t b, size_t e) {
+                              for (size_t c = b; c < e; ++c) {
+                                cols[c] = t.column(c).Gather(rows);
+                              }
+                            });
+      Table out;
+      for (size_t c = 0; c < nc; ++c) {
+        Status st = out.AddColumn(t.schema().names[c], std::move(cols[c]));
+        (void)st;
+      }
+      return out;
+    };
+    // Coalesce in slot order: consecutive selections over one source
+    // table merge into a single gather; owned tables pass through.
+    std::vector<Table> parts;
+    std::vector<uint32_t> pending;
+    const Table* pending_src = nullptr;
+    auto flush = [&] {
+      if (pending_src == nullptr) return;
+      parts.push_back(gather(*pending_src, pending));
+      pending.clear();
+      pending_src = nullptr;
+    };
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!used_[i]) continue;
+      if (sel_src_[i] != nullptr) {
+        if (pending_src != nullptr && pending_src != sel_src_[i]) flush();
+        pending_src = sel_src_[i];
+        pending.insert(pending.end(), sels_[i].begin(), sels_[i].end());
+      } else {
+        flush();
+        parts.push_back(std::move(slots_[i]));
+      }
+    }
+    flush();
+    if (parts.empty()) return WrapTable(Table(*fallback_schema_));
+    if (parts.size() == 1) return WrapTable(std::move(parts[0]));
+    Table out;
+    const Table& first = parts[0];
+    for (size_t c = 0; c < first.num_columns(); ++c) {
+      std::vector<Column> cols;
+      cols.reserve(parts.size());
+      for (Table& p : parts) cols.push_back(std::move(p.column(c)));
+      PYTOND_RETURN_IF_ERROR(out.AddColumn(
+          first.schema().names[c],
+          ConcatColumns(std::move(cols), first.schema().types[c])));
+    }
+    return WrapTable(std::move(out));
+  }
+
+ private:
+  const Schema* fallback_schema_;
+  std::vector<Table> slots_;
+  std::vector<std::vector<uint32_t>> sels_;
+  std::vector<const Table*> sel_src_;
+  std::vector<uint8_t> used_;
+};
+
+/// Thread-local aggregation: each slot owns a hash table of partial
+/// groups; Finalize merges them in slot order (identical float rounding
+/// for every thread count) and assembles the output table.
+class AggSink : public Sink {
+ public:
+  explicit AggSink(const LogicalPlan* node) : node_(node) {
+    key_types_.reserve(node_->group_exprs.size());
+    for (const BoundExprPtr& e : node_->group_exprs) {
+      key_types_.push_back(e->type);
+    }
+    arg_types_.assign(node_->aggs.size(), DataType::kInt64);
+    for (size_t a = 0; a < node_->aggs.size(); ++a) {
+      if (node_->aggs[a].arg) arg_types_[a] = node_->aggs[a].arg->type;
+    }
+  }
+
+  void Prepare(size_t slots) override { locals_.resize(slots); }
+
+  Status Push(Chunk* chunk, size_t slot, const ExecContext& ctx) override {
+    (void)ctx;
+    const LogicalPlan& p = *node_;
+    const Table& in = *chunk->table;
+    size_t begin = chunk->begin, len = chunk->rows();
+    std::vector<Column> keys;
+    keys.reserve(p.group_exprs.size());
+    std::vector<Column> args(p.aggs.size());
+    if (chunk->has_sel) {
+      // Selection chunk: evaluate keys and arguments over the selected
+      // rows directly — the unreferenced (often wide) remainder of the
+      // source table is never copied.
+      SelEval ev(in, chunk->sel);
+      for (const BoundExprPtr& e : p.group_exprs) {
+        PYTOND_ASSIGN_OR_RETURN(Column c, ev.Eval(*e));
+        keys.push_back(std::move(c));
+      }
+      for (size_t a = 0; a < p.aggs.size(); ++a) {
+        if (p.aggs[a].arg) {
+          PYTOND_ASSIGN_OR_RETURN(args[a], ev.Eval(*p.aggs[a].arg));
+        }
+      }
+    } else {
+      for (const BoundExprPtr& e : p.group_exprs) {
+        PYTOND_ASSIGN_OR_RETURN(Column c,
+                                EvaluateExpr(*e, in, begin, chunk->end));
+        keys.push_back(std::move(c));
+      }
+      for (size_t a = 0; a < p.aggs.size(); ++a) {
+        if (p.aggs[a].arg) {
+          PYTOND_ASSIGN_OR_RETURN(
+              args[a], EvaluateExpr(*p.aggs[a].arg, in, begin, chunk->end));
+        }
+      }
+    }
+    LocalMap& m = locals_[slot];
+    for (size_t rel = 0; rel < len; ++rel) {
+      std::string key = EncodeKey(keys, rel);
+      auto [it, inserted] = m.try_emplace(std::move(key));
+      if (inserted) {
+        it->second.cells.resize(p.aggs.size());
+        it->second.key_vals.reserve(keys.size());
+        for (const Column& k : keys) {
+          it->second.key_vals.push_back(k.Get(rel));
+        }
+      }
+      AccumulateRow(p, &it->second.cells, args, rel);
+    }
+    return Status::OK();
+  }
+
+  Result<TablePtr> Finalize(const ExecContext& ctx,
+                            uint64_t* transient_bytes) override {
+    const LogicalPlan& p = *node_;
+    LocalMap global;
+    if (!locals_.empty()) global = std::move(locals_[0]);
+    for (size_t s = 1; s < locals_.size(); ++s) {
+      for (auto& [key, g] : locals_[s]) {
+        auto it = global.find(key);
+        if (it == global.end()) {
+          global.emplace(key, std::move(g));
+        } else {
+          for (size_t a = 0; a < p.aggs.size(); ++a) {
+            MergeCell(p.aggs[a], &it->second.cells[a], g.cells[a]);
+          }
+        }
+      }
+    }
+    // Global aggregate over empty input still yields one row.
+    if (p.group_exprs.empty() && global.empty()) {
+      AggGroup g;
+      g.cells.resize(p.aggs.size());
+      global.emplace("", std::move(g));
+    }
+
+    // Transient aggregate-table memory, released once the output is
+    // assembled (same protocol as the materializing ExecAggregate).
+    uint64_t agg_bytes = 0;
+    if (ctx.mem != nullptr || transient_bytes != nullptr) {
+      for (const auto& [key, g] : global) {
+        agg_bytes += key.size() + sizeof(AggGroup) +
+                     g.cells.size() * sizeof(AggCell) +
+                     sizeof(void*) * 4;  // unordered_map node overhead
+      }
+    }
+    obs::ScopedCharge agg_charge(ctx.mem, agg_bytes);
+    if (transient_bytes != nullptr) *transient_bytes = agg_bytes;
+
+    Table out(p.schema);
+    size_t ngroups = global.size();
+    for (size_t k = 0; k < key_types_.size(); ++k) {
+      Column col(key_types_[k]);
+      col.Reserve(ngroups);
+      for (const auto& [key, g] : global) col.Append(g.key_vals[k]);
+      out.column(k) = std::move(col);
+    }
+    for (size_t a = 0; a < p.aggs.size(); ++a) {
+      Column& col = out.column(key_types_.size() + a);
+      col.Reserve(ngroups);
+      for (const auto& [key, g] : global) {
+        col.Append(FinalizeCell(p.aggs[a], g.cells[a], arg_types_[a]));
+      }
+    }
+    return WrapTable(std::move(out));
+  }
+
+ private:
+  struct AggGroup {
+    std::vector<Value> key_vals;
+    std::vector<AggCell> cells;
+  };
+  using LocalMap = std::unordered_map<std::string, AggGroup>;
+
+  const LogicalPlan* node_;
+  std::vector<DataType> key_types_;
+  std::vector<DataType> arg_types_;
+  std::vector<LocalMap> locals_;
+};
+
+// ===================================================================
+// Pipeline executor
+// ===================================================================
+
+/// Per-(operator, slot) actuals, aggregated after the run. Slots are
+/// touched by exactly one worker each, so no synchronization.
+struct StatCell {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t time_ns = 0;
+  uint64_t bytes = 0;
+};
+
+class PipelineExecutor {
+ public:
+  PipelineExecutor(const PipelinePlan& pp, const LogicalPlan& root,
+                   const ExecContext& ctx)
+      : pp_(pp), root_(root), ctx_(ctx) {
+    if (ctx_.op_stats != nullptr) {
+      stats_ = ctx_.op_stats;
+    } else if (ctx_.trace != nullptr) {
+      stats_ = &local_stats_;
+    }
+    record_metrics_ = ctx_.metrics != nullptr && ctx_.metrics->enabled();
+    track_ = stats_ != nullptr || record_metrics_;
+  }
+
+  Result<TablePtr> Run() {
+    size_t np = pp_.pipelines.size();
+    outputs_.resize(np);
+    charged_.assign(np, 0);
+    std::vector<int> consumers(np, 0);
+    for (const PipelineDesc& d : pp_.pipelines) {
+      for (int dep : d.deps) consumers[dep]++;
+    }
+    for (const PipelineDesc& d : pp_.pipelines) {
+      PYTOND_ASSIGN_OR_RETURN(outputs_[d.id], RunPipeline(d));
+      for (int dep : d.deps) {
+        if (--consumers[dep] == 0) {
+          if (ctx_.mem != nullptr && charged_[dep] > 0) {
+            ctx_.mem->Release(charged_[dep]);
+            charged_[dep] = 0;
+          }
+          outputs_[dep].reset();
+        }
+      }
+    }
+    if (ctx_.trace != nullptr && stats_ != nullptr) SynthesizeSpans();
+    return outputs_[np - 1];
+  }
+
+ private:
+  Result<TablePtr> RunPipeline(const PipelineDesc& d);
+  Result<TablePtr> RunCompute(const PipelineDesc& d);
+  Result<TablePtr> ResolveLeaf(const LogicalPlan& leaf);
+  void SynthesizeSpans();
+  uint64_t SynthesizeNode(const LogicalPlan& p, obs::SpanNode* parent,
+                          uint64_t start);
+
+  const PipelinePlan& pp_;
+  const LogicalPlan& root_;
+  const ExecContext& ctx_;
+  std::vector<TablePtr> outputs_;
+  std::vector<uint64_t> charged_;  // pipeline-output bytes still charged
+  PlanStatsMap local_stats_;       // span synthesis without EXPLAIN ANALYZE
+  PlanStatsMap* stats_ = nullptr;
+  bool record_metrics_ = false;
+  bool track_ = false;
+};
+
+Result<TablePtr> PipelineExecutor::ResolveLeaf(const LogicalPlan& leaf) {
+  if (leaf.kind == LogicalPlan::Kind::kValues) return TablePtr(leaf.values);
+  if (ctx_.temps != nullptr) {
+    auto it = ctx_.temps->find(leaf.table_name);
+    if (it != ctx_.temps->end()) return it->second;
+  }
+  const Table* t = ctx_.catalog->GetTable(leaf.table_name);
+  if (t == nullptr) {
+    return Status::NotFound("table '" + leaf.table_name + "'");
+  }
+  return TablePtr(t, [](const Table*) {});  // non-owning
+}
+
+Result<TablePtr> PipelineExecutor::RunCompute(const PipelineDesc& d) {
+  obs::Span pspan(ctx_.trace, "pipeline:" + std::to_string(d.id),
+                  "pipeline");
+  std::vector<TablePtr> inputs;
+  inputs.reserve(d.inputs.size());
+  for (int pid : d.inputs) inputs.push_back(outputs_[pid]);
+  OperatorStats stats;
+  for (const TablePtr& in : inputs) stats.rows_in += in->num_rows();
+  uint64_t t0 = track_ ? obs::NowNs() : 0;
+  PYTOND_ASSIGN_OR_RETURN(TablePtr out,
+                          ExecNodeOnInputs(*d.breaker, inputs, ctx_, &stats));
+  stats.time_ns = track_ ? obs::NowNs() - t0 : 0;
+  stats.rows_out = out->num_rows();
+  stats.pipeline_id = d.id;
+  uint64_t out_bytes = 0;
+  if (ctx_.mem != nullptr || track_) out_bytes = out->MemoryBytes();
+  if (ctx_.mem != nullptr) ctx_.mem->Charge(out_bytes);
+  charged_[d.id] = out_bytes;
+  stats.mem_bytes += out_bytes;
+  if (stats_ != nullptr) (*stats_)[d.breaker] = stats;
+  pspan.AddCounter("rows_out", static_cast<int64_t>(stats.rows_out));
+  if (record_metrics_) {
+    ctx_.metrics->counter("tond_exec_pipelines_total").Add(1);
+  }
+  return out;
+}
+
+Result<TablePtr> PipelineExecutor::RunPipeline(const PipelineDesc& d) {
+  if (d.sink == PipelineSinkKind::kCompute) return RunCompute(d);
+
+  // --- resolve the morsel source ---
+  TablePtr src;
+  if (d.source != nullptr) {
+    PYTOND_ASSIGN_OR_RETURN(src, ResolveLeaf(*d.source));
+  } else {
+    src = outputs_[d.source_pipeline];
+  }
+  size_t n = src->num_rows();
+  if (stats_ != nullptr && d.source != nullptr) {
+    OperatorStats& ss = (*stats_)[d.source];
+    ss.rows_out = n;
+    ss.pipeline_id = d.id;
+  }
+
+  // --- passthrough shortcircuits (no ops; nothing to stream) ---
+  if (d.ops.empty() && d.sink == PipelineSinkKind::kResult) {
+    if (d.source_pipeline >= 0) {
+      // Alias of the producing pipeline's output: inherit its charge so
+      // the release-on-last-consumer logic stays balanced.
+      charged_[d.id] = charged_[d.source_pipeline];
+      charged_[d.source_pipeline] = 0;
+    }
+    return src;
+  }
+  if (d.ops.empty() && d.sink == PipelineSinkKind::kSerial) {
+    obs::Span pspan(ctx_.trace, "pipeline:" + std::to_string(d.id),
+                    "pipeline");
+    uint64_t t0 = track_ ? obs::NowNs() : 0;
+    PYTOND_ASSIGN_OR_RETURN(TablePtr out, ExecSerialBreaker(*d.breaker, src));
+    uint64_t out_bytes = 0;
+    if (ctx_.mem != nullptr || track_) out_bytes = out->MemoryBytes();
+    if (ctx_.mem != nullptr) ctx_.mem->Charge(out_bytes);
+    charged_[d.id] = out_bytes;
+    if (stats_ != nullptr) {
+      OperatorStats& bs = (*stats_)[d.breaker];
+      bs.rows_in = n;
+      bs.rows_out = out->num_rows();
+      bs.time_ns = track_ ? obs::NowNs() - t0 : 0;
+      bs.mem_bytes = out_bytes;
+      bs.pipeline_id = d.id;
+    }
+    pspan.AddCounter("rows_out", static_cast<int64_t>(out->num_rows()));
+    if (record_metrics_) {
+      ctx_.metrics->counter("tond_exec_pipelines_total").Add(1);
+    }
+    return out;
+  }
+
+  obs::Span pspan(ctx_.trace, "pipeline:" + std::to_string(d.id),
+                  "pipeline");
+
+  // --- construct operators and sink ---
+  std::vector<std::unique_ptr<StreamOp>> ops;
+  ops.reserve(d.ops.size());
+  for (size_t i = 0; i < d.ops.size(); ++i) {
+    const LogicalPlan* op_node = d.ops[i];
+    switch (op_node->kind) {
+      case LogicalPlan::Kind::kFilter:
+        ops.push_back(std::make_unique<FilterOp>(op_node));
+        break;
+      case LogicalPlan::Kind::kProject:
+        ops.push_back(std::make_unique<ProjectOp>(op_node));
+        break;
+      case LogicalPlan::Kind::kJoin:
+        ops.push_back(std::make_unique<ProbeOp>(
+            op_node, outputs_[d.op_build_inputs[i]]));
+        break;
+      default:
+        return Status::Internal("non-streaming op in pipeline chain");
+    }
+  }
+  // --- backward liveness over the chain ---
+  // An aggregate sink reads only its group/argument columns; a
+  // projection reads only the columns its live expressions name. Each
+  // op receives the mask of its output columns anything downstream
+  // still reads; masked ops leave dead columns as typed empty
+  // placeholders instead of gathering them (late materialization).
+  // Result and serial sinks consume full rows, so their chains stay
+  // fully live unless a projection narrows them.
+  if (!ops.empty()) {
+    auto refs_into = [](const BoundExpr& e, std::vector<uint8_t>* m) {
+      std::vector<int> cols;
+      e.CollectColumns(&cols);
+      for (int c : cols) {
+        if (c >= 0 && static_cast<size_t>(c) < m->size()) (*m)[c] = 1;
+      }
+    };
+    std::vector<uint8_t> after(d.ops.back()->schema.num_columns(), 1);
+    if (d.sink == PipelineSinkKind::kAggregate) {
+      std::fill(after.begin(), after.end(), 0);
+      for (const BoundExprPtr& e : d.breaker->group_exprs) {
+        refs_into(*e, &after);
+      }
+      for (const auto& a : d.breaker->aggs) {
+        if (a.arg) refs_into(*a.arg, &after);
+      }
+    }
+    for (size_t i = ops.size(); i-- > 0;) {
+      const LogicalPlan* opn = d.ops[i];
+      std::vector<uint8_t> omask = std::move(after);
+      switch (opn->kind) {
+        case LogicalPlan::Kind::kFilter:
+          after = omask;
+          refs_into(*opn->predicate, &after);
+          break;
+        case LogicalPlan::Kind::kProject:
+          after.assign(opn->children[0]->schema.num_columns(), 0);
+          for (size_t j = 0; j < opn->exprs.size(); ++j) {
+            if (omask[j]) refs_into(*opn->exprs[j], &after);
+          }
+          break;
+        case LogicalPlan::Kind::kJoin: {
+          JoinType jt = opn->join_type;
+          bool swapped = jt == JoinType::kRight ||
+                         (jt == JoinType::kInner && opn->build_left);
+          size_t lsz = opn->children[0]->schema.num_columns();
+          size_t psz = opn->children[swapped ? 1 : 0]->schema.num_columns();
+          size_t off = swapped ? lsz : 0;  // probe block within l++r
+          if (jt == JoinType::kFull) {
+            // Finish() emits full build rows; keep everything live.
+            after.assign(psz, 1);
+            std::fill(omask.begin(), omask.end(), 1);
+            break;
+          }
+          if (jt == JoinType::kSemi || jt == JoinType::kAnti) {
+            after = omask;  // output schema == probe schema
+          } else {
+            after.assign(psz, 0);
+            for (size_t c = 0; c < psz; ++c) {
+              if (omask[off + c]) after[c] = 1;
+            }
+          }
+          for (const auto& [l, r] : opn->join_keys) {
+            refs_into(*(swapped ? r : l), &after);
+          }
+          if (opn->predicate) {
+            std::vector<int> cols;
+            opn->predicate->CollectColumns(&cols);
+            for (int c : cols) {
+              size_t cc = static_cast<size_t>(c);
+              if (c >= 0 && cc >= off && cc < off + psz) after[cc - off] = 1;
+            }
+          }
+          break;
+        }
+        default:
+          after.assign(omask.size(), 1);
+          break;
+      }
+      if (std::find(omask.begin(), omask.end(), 0) != omask.end()) {
+        ops[i]->SetOutputMask(std::move(omask));
+      }
+    }
+  }
+
+  obs::ScopedCharge build_charge(ctx_.mem, 0);
+  for (const auto& op : ops) {
+    PYTOND_RETURN_IF_ERROR(op->Prepare(ctx_));
+    build_charge.Add(op->build_bytes);
+  }
+
+  // The schema chunks carry into the sink (for the all-empty case).
+  const Schema* chain_schema =
+      d.ops.empty()
+          ? (d.source != nullptr ? &d.source->schema
+                                 : &pp_.pipelines[d.source_pipeline]
+                                        .output->schema)
+          : &d.ops.back()->schema;
+  std::unique_ptr<Sink> sink;
+  if (d.sink == PipelineSinkKind::kAggregate) {
+    sink = std::make_unique<AggSink>(d.breaker);
+  } else {
+    sink = std::make_unique<CollectSink>(chain_schema);
+  }
+
+  size_t nm = std::max<size_t>(NumMorsels(n, ctx_), 1);
+  // Small chains collapse to ONE inline morsel: pool dispatch, per-morsel
+  // expression batching, and the slot merge each cost more than the
+  // morsels themselves below this much work. The collapse is a function
+  // of (n, chain depth) only — never the thread count — so any two
+  // thread counts still chunk, accumulate, and merge identically.
+  if (nm > 1 && n * (1 + d.ops.size()) < kPipelineInlineRows) nm = 1;
+  size_t slots = nm + ops.size();  // trailing slots for Finish chunks
+  sink->Prepare(slots);
+
+  // Per-(op, slot) actuals; index ops.size() is the sink.
+  std::vector<std::vector<StatCell>> cells;
+  if (track_) {
+    cells.assign(ops.size() + 1, std::vector<StatCell>(slots));
+  }
+  auto run_chain = [&](Chunk* chunk, size_t slot,
+                       size_t first_op) -> Status {
+    for (size_t oi = first_op; oi < ops.size(); ++oi) {
+      uint64_t t0 = track_ ? obs::NowNs() : 0;
+      uint64_t rin = chunk->rows();
+      PYTOND_RETURN_IF_ERROR(ops[oi]->Push(chunk, ctx_));
+      if (track_) {
+        StatCell& c = cells[oi][slot];
+        c.rows_in += rin;
+        c.rows_out += chunk->rows();
+        c.time_ns += obs::NowNs() - t0;
+        c.bytes += chunk->owned() ? chunk->storage.MemoryBytes() : 0;
+      }
+      // A fully-filtered morsel contributes nothing downstream; every op
+      // and sink treats an empty push as a no-op, so stop early instead
+      // of evaluating expressions over zero-lane inputs.
+      if (chunk->rows() == 0) return Status::OK();
+    }
+    uint64_t t0 = track_ ? obs::NowNs() : 0;
+    uint64_t rin = chunk->rows();
+    PYTOND_RETURN_IF_ERROR(sink->Push(chunk, slot, ctx_));
+    if (track_) {
+      StatCell& c = cells[ops.size()][slot];
+      c.rows_in += rin;
+      c.time_ns += obs::NowNs() - t0;
+    }
+    return Status::OK();
+  };
+
+  // --- run source morsels through the chain (workers) ---
+  uint64_t run_t0 = track_ ? obs::NowNs() : 0;
+  std::vector<Status> errs(nm);
+  auto run_morsel = [&](size_t morsel, size_t begin, size_t end) {
+    Chunk chunk;
+    chunk.table = src.get();
+    chunk.begin = begin;
+    chunk.end = end;
+    errs[morsel] = run_chain(&chunk, morsel, 0);
+  };
+  sched::PoolRunStats ps;
+  if (nm == 1) {
+    // Collapsed (or inherently serial) chain: one chunk, no pool.
+    run_morsel(0, 0, n);
+    ps.morsels = n > 0 ? 1 : 0;
+  } else {
+    ps = ParallelFor(n, ctx_, run_morsel);
+  }
+  for (const Status& s : errs) {
+    if (!s.ok()) return s;
+  }
+  // --- trailing Finish chunks (coordinating thread) ---
+  for (size_t oi = 0; oi < ops.size(); ++oi) {
+    Chunk chunk;
+    PYTOND_ASSIGN_OR_RETURN(bool has, ops[oi]->Finish(&chunk, ctx_));
+    if (!has) continue;
+    if (track_) {
+      StatCell& c = cells[oi][nm + oi];
+      c.rows_out += chunk.rows();
+      c.bytes += chunk.storage.MemoryBytes();
+    }
+    PYTOND_RETURN_IF_ERROR(run_chain(&chunk, nm + oi, oi + 1));
+  }
+  uint64_t parallel_ns = track_ ? obs::NowNs() - run_t0 : 0;
+
+  // --- finalize the sink (coordinating thread) ---
+  uint64_t fin_t0 = track_ ? obs::NowNs() : 0;
+  uint64_t sink_transient = 0;
+  PYTOND_ASSIGN_OR_RETURN(TablePtr out,
+                          sink->Finalize(ctx_, track_ ? &sink_transient
+                                                      : nullptr));
+  uint64_t serial_in_rows = out->num_rows();
+  if (d.sink == PipelineSinkKind::kSerial) {
+    // The collected table is the breaker's materialized input; charge it
+    // for the duration of the serial phase (the old path charged the
+    // child's materialized output the same way).
+    obs::ScopedCharge collect_charge(
+        ctx_.mem, ctx_.mem != nullptr ? out->MemoryBytes() : 0);
+    PYTOND_ASSIGN_OR_RETURN(out, ExecSerialBreaker(*d.breaker, out));
+  }
+  uint64_t finalize_ns = track_ ? obs::NowNs() - fin_t0 : 0;
+
+  uint64_t out_bytes = 0;
+  if (ctx_.mem != nullptr || track_) out_bytes = out->MemoryBytes();
+  if (ctx_.mem != nullptr) ctx_.mem->Charge(out_bytes);
+  charged_[d.id] = out_bytes;
+
+  // --- per-operator stats, pipeline span, metrics ---
+  uint64_t streamed_bytes = 0;
+  if (track_) {
+    // Worker busy time can exceed the parallel region's wall clock (nm
+    // workers overlap); scale self times so the plan's span tree still
+    // nests inside the query wall time.
+    uint64_t busy = 0;
+    for (const auto& op_cells : cells) {
+      for (const StatCell& c : op_cells) busy += c.time_ns;
+    }
+    double scale =
+        busy > parallel_ns && busy > 0
+            ? static_cast<double>(parallel_ns) / static_cast<double>(busy)
+            : 1.0;
+    for (size_t oi = 0; oi < ops.size(); ++oi) {
+      StatCell total;
+      for (const StatCell& c : cells[oi]) {
+        total.rows_in += c.rows_in;
+        total.rows_out += c.rows_out;
+        total.time_ns += c.time_ns;
+        total.bytes += c.bytes;
+      }
+      streamed_bytes += total.bytes;
+      if (stats_ != nullptr) {
+        const LogicalPlan* op_node = d.ops[oi];
+        OperatorStats& os = (*stats_)[op_node];
+        os.rows_in = total.rows_in;
+        os.rows_out = total.rows_out;
+        os.time_ns =
+            static_cast<uint64_t>(static_cast<double>(total.time_ns) * scale);
+        os.batches = ps.morsels;
+        os.steals = ps.steals;
+        os.pipeline_id = d.id;
+        os.streamed_bytes = total.bytes;
+        if (op_node->kind == LogicalPlan::Kind::kJoin) {
+          os.build_rows = ops[oi]->build_rows;
+          os.build_buckets = ops[oi]->build_buckets;
+          os.mem_bytes += ops[oi]->build_bytes;
+          os.rows_in += ops[oi]->build_rows;  // build side feeds the join
+        }
+        if (oi + 1 == ops.size() && d.breaker == nullptr) {
+          os.mem_bytes += out_bytes;  // the chain's single materialization
+        }
+      }
+    }
+    if (stats_ != nullptr) {
+      StatCell sink_total;
+      for (const StatCell& c : cells[ops.size()]) {
+        sink_total.rows_in += c.rows_in;
+        sink_total.time_ns += c.time_ns;
+      }
+      if (d.breaker != nullptr) {
+        OperatorStats& bs = (*stats_)[d.breaker];
+        bs.rows_in = sink_total.rows_in;
+        bs.rows_out = out->num_rows();
+        bs.time_ns = static_cast<uint64_t>(
+                         static_cast<double>(sink_total.time_ns) * scale) +
+                     finalize_ns;
+        bs.batches = ps.morsels;
+        bs.steals = ps.steals;
+        bs.pipeline_id = d.id;
+        bs.mem_bytes = sink_transient + out_bytes;
+        if (d.sink == PipelineSinkKind::kSerial) {
+          bs.rows_in = serial_in_rows;
+        }
+      } else if (d.ops.empty()) {
+        // kResult with no ops is handled by the passthrough shortcircuit.
+      }
+    }
+  }
+  pspan.AddCounter("morsels", static_cast<int64_t>(ps.morsels));
+  if (ps.steals > 0) {
+    pspan.AddCounter("steals", static_cast<int64_t>(ps.steals));
+  }
+  pspan.AddCounter("rows_source", static_cast<int64_t>(n));
+  pspan.AddCounter("rows_out", static_cast<int64_t>(out->num_rows()));
+  pspan.AddCounter("ops", static_cast<int64_t>(ops.size()));
+  if (streamed_bytes > 0) {
+    pspan.AddCounter("streamed_bytes",
+                     static_cast<int64_t>(streamed_bytes));
+  }
+  if (record_metrics_) {
+    ctx_.metrics->counter("tond_exec_pipelines_total").Add(1);
+    ctx_.metrics->counter("tond_exec_pipeline_morsels_total")
+        .Add(ps.morsels);
+    if (streamed_bytes > 0) {
+      ctx_.metrics->counter("tond_exec_streamed_bytes_total")
+          .Add(streamed_bytes);
+    }
+  }
+  return out;
+}
+
+/// Rebuilds the per-operator span tree the materializing path records
+/// live: one "operator"-category span per plan node, nested like the
+/// plan, with the same counters plus pipeline/streamed_bytes. Spans are
+/// synthesized after the run (workers never touch the collector) and
+/// appended under the innermost open span — final_select during a query.
+void PipelineExecutor::SynthesizeSpans() {
+  obs::SpanNode* parent = ctx_.trace->current();
+  SynthesizeNode(root_, parent, parent->start_ns);
+}
+
+uint64_t PipelineExecutor::SynthesizeNode(const LogicalPlan& p,
+                                          obs::SpanNode* parent,
+                                          uint64_t start) {
+  auto node = std::make_unique<obs::SpanNode>();
+  node->name = PlanOpName(p.kind);
+  if (p.kind == LogicalPlan::Kind::kScan) {
+    node->name += ":" + p.table_name;
+  }
+  node->category = "operator";
+  node->start_ns = start;
+  uint64_t child_ns = 0;
+  for (const PlanPtr& c : p.children) {
+    child_ns += SynthesizeNode(*c, node.get(), start + child_ns);
+  }
+  OperatorStats s;
+  auto it = stats_->find(&p);
+  if (it != stats_->end()) s = it->second;
+  if (s.rows_in == 0) {
+    for (const PlanPtr& c : p.children) {
+      auto cit = stats_->find(c.get());
+      if (cit != stats_->end()) s.rows_in += cit->second.rows_out;
+    }
+  }
+  node->duration_ns = child_ns + s.time_ns;
+  node->AddCounter("rows_in", static_cast<int64_t>(s.rows_in));
+  node->AddCounter("rows_out", static_cast<int64_t>(s.rows_out));
+  if (s.mem_bytes > 0) {
+    node->AddCounter("mem_bytes", static_cast<int64_t>(s.mem_bytes));
+  }
+  if (s.batches > 0) {
+    node->AddCounter("batches", static_cast<int64_t>(s.batches));
+  }
+  if (s.steals > 0) {
+    node->AddCounter("steals", static_cast<int64_t>(s.steals));
+  }
+  if (p.kind == LogicalPlan::Kind::kJoin) {
+    node->AddCounter("build_rows", static_cast<int64_t>(s.build_rows));
+    node->AddCounter("build_buckets",
+                     static_cast<int64_t>(s.build_buckets));
+  }
+  if (p.kind == LogicalPlan::Kind::kFilter && s.rows_in > 0) {
+    node->AddCounter("selectivity_bp",
+                     static_cast<int64_t>(s.rows_out * 10000 / s.rows_in));
+  }
+  if (s.pipeline_id >= 0) {
+    node->AddCounter("pipeline", s.pipeline_id);
+  }
+  if (s.streamed_bytes > 0) {
+    node->AddCounter("streamed_bytes",
+                     static_cast<int64_t>(s.streamed_bytes));
+  }
+  uint64_t dur = node->duration_ns;
+  parent->children.push_back(std::move(node));
+  return dur;
+}
+
+}  // namespace
+
+PipelinePlan BuildPipelines(const LogicalPlan& plan) {
+  return Builder().Build(plan);
+}
+
+Result<TablePtr> ExecutePipelined(const LogicalPlan& plan,
+                                  const ExecContext& ctx) {
+  PipelinePlan pp = BuildPipelines(plan);
+  PipelineExecutor exec(pp, plan, ctx);
+  return exec.Run();
+}
+
+}  // namespace pytond::engine

@@ -1,0 +1,92 @@
+#ifndef PYTOND_ENGINE_EXEC_PIPELINE_H_
+#define PYTOND_ENGINE_EXEC_PIPELINE_H_
+
+#include <vector>
+
+#include "engine/exec/executor.h"
+#include "engine/plan/logical.h"
+
+/// Push-based pipelined execution (DESIGN.md §13).
+///
+/// A plan tree is decomposed into pipelines at its *breakers* — operators
+/// that must see their whole input before producing output (aggregate,
+/// sort, distinct, window, limit, and every hash-join build side). Each
+/// pipeline owns a morsel source (a scan, a VALUES table, or another
+/// pipeline's materialized output), a chain of streaming operators
+/// (filter, project, hash-join probe) that transform one chunk in place
+/// without materializing between operators, and a sink that merges
+/// per-worker thread-local state into the pipeline's single materialized
+/// output. Pipelines execute in dependency order on the shared
+/// work-stealing pool; chunk boundaries depend only on the source row
+/// count, so results are bit-identical across thread counts.
+namespace pytond::engine {
+
+/// What a pipeline's sink does with the chunks its workers push.
+enum class PipelineSinkKind {
+  /// Collect chunks in morsel order; the concatenation is the pipeline's
+  /// output (final results, hash-join build sides).
+  kResult,
+  /// Thread-local aggregation hash tables, merged in morsel order and
+  /// finalized into the output table (the breaker is a kAggregate node).
+  kAggregate,
+  /// Collect chunks, then run a serial breaker (sort / distinct / window
+  /// / limit) over the concatenation.
+  kSerial,
+  /// No streaming at all: run the breaker node through the materializing
+  /// interpreter over its dependencies' outputs (cross joins).
+  kCompute,
+};
+
+/// One pipeline of the decomposed plan. Plan-node pointers reference the
+/// bound plan tree, which outlives execution.
+struct PipelineDesc {
+  int id = 0;
+  /// Morsel source: a kScan/kValues leaf, or null when the source is
+  /// another pipeline's output (`source_pipeline`).
+  const LogicalPlan* source = nullptr;
+  int source_pipeline = -1;
+  /// Streaming operators in push order (kFilter / kProject / kJoin probe).
+  std::vector<const LogicalPlan*> ops;
+  /// Parallel to `ops`: the pipeline whose output is the hash-join build
+  /// side for a kJoin probe op, -1 for non-join ops.
+  std::vector<int> op_build_inputs;
+  /// The breaker this pipeline feeds (kAggregate/kSerial/kCompute sinks);
+  /// null for kResult pipelines.
+  const LogicalPlan* breaker = nullptr;
+  PipelineSinkKind sink = PipelineSinkKind::kResult;
+  /// kCompute only: producing pipelines of the breaker's children, in
+  /// child order.
+  std::vector<int> inputs;
+  /// Every pipeline whose output this one reads (build sides, the source
+  /// pipeline, compute inputs). All ids are smaller than `id`, so running
+  /// pipelines in index order satisfies every dependency.
+  std::vector<int> deps;
+  /// The plan node whose output this pipeline materializes.
+  const LogicalPlan* output = nullptr;
+};
+
+/// A whole plan decomposed into pipelines, topologically ordered (deps
+/// before dependents; the last pipeline produces the query result).
+struct PipelinePlan {
+  std::vector<PipelineDesc> pipelines;
+};
+
+/// Splits `plan` at its pipeline breakers. Pure structure — nothing is
+/// executed — so tests can assert breaker placement and dependency edges
+/// directly.
+PipelinePlan BuildPipelines(const LogicalPlan& plan);
+
+/// Executes `plan` via pipeline decomposition: builds the PipelinePlan,
+/// runs each pipeline's morsels through its operator chain on the shared
+/// pool (thread-local sink state, merged in morsel order), and returns
+/// the root pipeline's output. Observability parity with the
+/// materializing path: per-operator OperatorStats (plus pipeline_id and
+/// streamed_bytes), synthesized per-operator spans, per-pipeline
+/// "pipeline" spans, metrics counters, and memory accounting all flow
+/// through the same ExecContext hooks.
+Result<TablePtr> ExecutePipelined(const LogicalPlan& plan,
+                                  const ExecContext& ctx);
+
+}  // namespace pytond::engine
+
+#endif  // PYTOND_ENGINE_EXEC_PIPELINE_H_

@@ -319,7 +319,9 @@ Result<Column> EvalBinary(const BoundExpr& expr, const Table& input,
     const auto& b = rc.strings();
     std::vector<uint8_t> out(n);
     bool rhs_const = expr.children[1]->kind == BoundExpr::Kind::kConst;
-    const std::string& pat0 = rhs_const ? b[0] : std::string();
+    // Guard n == 0: a constant pattern column has no lanes to index.
+    const std::string pat0 =
+        (rhs_const && n > 0) ? b[0] : std::string();
     for (size_t i = 0; i < n; ++i) {
       bool m = string_util::Like(a[i], rhs_const ? pat0 : b[i]);
       out[i] = (op == Expr::Op::kLike) ? m : !m;

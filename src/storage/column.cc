@@ -151,6 +151,43 @@ void Column::AppendFrom(const Column& src, size_t row) {
   }
 }
 
+void Column::AppendAll(Column&& src) {
+  const size_t m = src.size();
+  if (m == 0) return;
+  if (!validity_.empty() || !src.validity_.empty()) {
+    validity_.resize(size(), 1);
+    if (src.validity_.empty()) {
+      validity_.insert(validity_.end(), m, 1);
+    } else {
+      validity_.insert(validity_.end(), src.validity_.begin(),
+                       src.validity_.end());
+    }
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kNull:
+      ints().insert(ints().end(), src.ints().begin(), src.ints().end());
+      break;
+    case DataType::kFloat64:
+      doubles().insert(doubles().end(), src.doubles().begin(),
+                       src.doubles().end());
+      break;
+    case DataType::kString: {
+      std::vector<std::string>& s = src.strings();
+      strings().insert(strings().end(),
+                       std::make_move_iterator(s.begin()),
+                       std::make_move_iterator(s.end()));
+      break;
+    }
+    case DataType::kBool:
+      bools().insert(bools().end(), src.bools().begin(), src.bools().end());
+      break;
+    case DataType::kDate:
+      dates().insert(dates().end(), src.dates().begin(), src.dates().end());
+      break;
+  }
+}
+
 void Column::Reserve(size_t n) {
   switch (type_) {
     case DataType::kInt64:

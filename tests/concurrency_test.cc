@@ -39,8 +39,11 @@ class ConcurrencyTest : public ::testing::Test {
 Session* ConcurrencyTest::session_ = nullptr;
 
 /// 8 session threads × 6 queries each, every query itself parallel
-/// (threads=2) on the shared pool, mixed plan-cache hits and misses.
-/// Every result must equal its serially computed reference.
+/// (threads=2) on the shared pool, mixed plan-cache hits and misses —
+/// with pipelined and materializing execution racing side by side (odd
+/// threads stream, even threads materialize). Assertions are on final
+/// results only, never on execution shape: each run must equal the
+/// reference computed serially under the *same* strategy, exactly.
 TEST_F(ConcurrencyTest, RacingQueriesMatchReferences) {
   const std::vector<std::string> sources = {
       workloads::tpch::GetQuery(1).source,
@@ -50,15 +53,20 @@ TEST_F(ConcurrencyTest, RacingQueriesMatchReferences) {
       workloads::datasci::CrimeIndexSource(),
       workloads::datasci::HybridMatMulSource(false),
   };
-  RunOptions opts;
-  opts.num_threads = 2;
 
-  std::vector<std::shared_ptr<const Table>> refs(sources.size());
-  for (size_t i = 0; i < sources.size(); ++i) {
-    auto r = session_->Run(sources[i], opts);
-    ASSERT_TRUE(r.ok()) << "reference " << i << ": "
-                        << r.status().ToString();
-    refs[i] = *r;
+  // refs[pipeline][i]: per-strategy references (same thread count, same
+  // morsel chunking, same merge order => exact agreement within a mode).
+  std::shared_ptr<const Table> refs[2][6];
+  for (int pipeline = 0; pipeline < 2; ++pipeline) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      RunOptions o;
+      o.num_threads = 2;
+      o.pipeline = pipeline == 1;
+      auto r = session_->Run(sources[i], o);
+      ASSERT_TRUE(r.ok()) << "reference " << i << " pipeline=" << pipeline
+                          << ": " << r.status().ToString();
+      refs[pipeline][i] = *r;
+    }
   }
 
   constexpr int kThreads = 8;
@@ -66,6 +74,10 @@ TEST_F(ConcurrencyTest, RacingQueriesMatchReferences) {
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
+      const bool pipeline = (t % 2) == 1;
+      RunOptions opts;
+      opts.num_threads = 2;
+      opts.pipeline = pipeline;
       for (size_t q = 0; q < sources.size(); ++q) {
         // Rotate the starting query per thread so different queries race.
         const size_t i = (q + static_cast<size_t>(t)) % sources.size();
@@ -76,8 +88,8 @@ TEST_F(ConcurrencyTest, RacingQueriesMatchReferences) {
           return;
         }
         std::string diff;
-        // Same thread count, same morsel chunking: exact agreement.
-        if (!Table::UnorderedEquals(**r, *refs[i], 0.0, &diff)) {
+        if (!Table::UnorderedEquals(**r, *refs[pipeline ? 1 : 0][i], 0.0,
+                                    &diff)) {
           errors[t] = "query " + std::to_string(i) + " diverged: " + diff;
           return;
         }
@@ -231,7 +243,12 @@ TEST_F(ConcurrencyTest, PoolIsSharedAcrossConcurrentQueries) {
 
 /// Per-query TraceCollectors on racing queries: each trace must contain
 /// exactly its own query's spans — the scan labels of its tables, one
-/// "query" span — and nothing from the query racing next to it.
+/// "query" span — and nothing from the query racing next to it. The
+/// assertions are deliberately pipeline-shape-agnostic: scan spans and
+/// the query root exist under both execution strategies (pipelined runs
+/// synthesize per-operator spans, materializing runs record them live),
+/// while intermediate span layout and buffer counts differ — so both
+/// strategies race here, alternating per iteration.
 TEST_F(ConcurrencyTest, TracesDoNotCrossContaminate) {
   struct Case {
     std::string source;
@@ -260,6 +277,7 @@ TEST_F(ConcurrencyTest, TracesDoNotCrossContaminate) {
           obs::TraceCollector trace;
           RunOptions o;
           o.num_threads = 2;
+          o.pipeline = (i % 2) == 0;
           o.trace = &trace;
           auto r = session_->Run(cases[c].source, o);
           if (!r.ok()) {
@@ -314,6 +332,7 @@ TEST_F(ConcurrencyTest, ExplainAnalyzeIsolatedUnderRaces) {
     workers.emplace_back([&, t] {
       engine::QueryOptions qopts;
       qopts.num_threads = 2;
+      qopts.pipeline = (t % 2) == 0;  // both shapes race
       qopts.explain = engine::ExplainMode::kAnalyze;
       auto text = session_->db().ExplainQuery(sqls[t % sqls.size()], qopts);
       if (!text.ok()) {

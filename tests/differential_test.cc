@@ -44,33 +44,54 @@ class DifferentialTest : public ::testing::Test {
   }
 
   /// Eager runtime is the oracle; the compiled path must match it at every
-  /// thread count, and the parallel thread counts must match each other
-  /// bit-for-bit (same morsel decomposition, same merge order).
+  /// (pipeline mode, thread count) combination, and within each mode the
+  /// parallel thread counts must match each other bit-for-bit (same morsel
+  /// decomposition, same merge order). The two execution strategies share
+  /// every kernel and every merge order, so their single-threaded runs
+  /// must also agree exactly — a pipelined chain of streaming operators is
+  /// not allowed to change a single bit of any result.
   static void CheckDifferential(const std::string& source,
                                 const std::string& name) {
     auto baseline = session_->RunBaseline(source);
     ASSERT_TRUE(baseline.ok()) << name << ": "
                                << baseline.status().ToString();
-    std::map<int, std::shared_ptr<const Table>> results;
-    for (int threads : kThreadCounts) {
-      RunOptions o;
-      o.num_threads = threads;
-      auto r = session_->Run(source, o);
-      ASSERT_TRUE(r.ok()) << name << " threads=" << threads << ": "
-                          << r.status().ToString();
+    std::map<std::pair<bool, int>, std::shared_ptr<const Table>> results;
+    for (bool pipeline : {false, true}) {
+      for (int threads : kThreadCounts) {
+        RunOptions o;
+        o.num_threads = threads;
+        o.pipeline = pipeline;
+        auto r = session_->Run(source, o);
+        ASSERT_TRUE(r.ok()) << name << " pipeline=" << pipeline
+                            << " threads=" << threads << ": "
+                            << r.status().ToString();
+        std::string diff;
+        EXPECT_TRUE(Table::UnorderedEquals(**r, *baseline, 1e-6, &diff))
+            << name << " pipeline=" << pipeline << " threads=" << threads
+            << " vs eager: " << diff;
+        results[{pipeline, threads}] = *r;
+      }
       std::string diff;
-      EXPECT_TRUE(Table::UnorderedEquals(**r, *baseline, 1e-6, &diff))
-          << name << " threads=" << threads << " vs eager: " << diff;
-      results[threads] = *r;
+      // Parallel runs share one chunking: exact equality, zero tolerance.
+      EXPECT_TRUE(Table::UnorderedEquals(*results[{pipeline, 2}],
+                                         *results[{pipeline, 4}], 0.0,
+                                         &diff))
+          << name << " pipeline=" << pipeline
+          << " threads=2 vs threads=4 not identical: " << diff;
+      // Inline (1 chunk) vs morsel-merged float reassociation only.
+      EXPECT_TRUE(Table::UnorderedEquals(*results[{pipeline, 1}],
+                                         *results[{pipeline, 2}], 1e-9,
+                                         &diff))
+          << name << " pipeline=" << pipeline
+          << " threads=1 vs threads=2: " << diff;
     }
+    // Cross-strategy: a single chunk flows through identical kernels in
+    // identical order either way — bit-exact, zero tolerance.
     std::string diff;
-    // Parallel runs share one chunking: exact equality, zero tolerance.
-    EXPECT_TRUE(Table::UnorderedEquals(*results[2], *results[4], 0.0, &diff))
-        << name << " threads=2 vs threads=4 not identical: " << diff;
-    // Inline (1 chunk) vs morsel-merged float reassociation only.
-    EXPECT_TRUE(Table::UnorderedEquals(*results[1], *results[2], 1e-9,
-                                       &diff))
-        << name << " threads=1 vs threads=2: " << diff;
+    EXPECT_TRUE(Table::UnorderedEquals(*results[{false, 1}],
+                                       *results[{true, 1}], 0.0, &diff))
+        << name << " pipelined threads=1 differs from materializing: "
+        << diff;
   }
 };
 

@@ -376,7 +376,10 @@ TEST(MetricsE2ETest, SessionRunsLandInRegistry) {
 
 TEST(MetricsE2ETest, RacingSessionsCountEveryQueryExactly) {
   Session session;
-  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.002).ok());
+  // Large enough that Q6's scan-filter-agg chain exceeds the pipelined
+  // executor's inline-run threshold — the assertion below needs the
+  // shared pool to actually run, under either execution strategy.
+  ASSERT_TRUE(workloads::tpch::Populate(&session.db(), 0.02).ok());
   const std::string q6 = workloads::tpch::GetQuery(6).source;
   constexpr int kThreads = 8;
   constexpr int kRunsPerThread = 6;

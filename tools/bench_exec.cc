@@ -6,10 +6,13 @@
 //   bench_exec --overhead-guard [--threshold PCT]
 //
 // Each workload is compiled once (plan cache), then executed `reps` times
-// per thread count; the report carries median and p99 latency, result
-// rows, and the per-query peak accounted bytes (QueryOptions::mem
-// observer). Compile time is deliberately excluded — BENCH_compile.json
-// covers that axis.
+// per thread count under BOTH execution strategies — push-based pipelined
+// (the headline numbers: median_ms / p99_ms) and the materializing
+// operator-at-a-time interpreter (materialized_median_ms). The per-entry
+// `speedup` field is materialized/pipelined. The report also carries
+// result rows and the per-query peak accounted bytes (QueryOptions::mem
+// observer) from the pipelined runs. Compile time is deliberately
+// excluded — BENCH_compile.json covers that axis.
 //
 // --overhead-guard instead measures the cost of the always-on metrics
 // path itself: it alternates the registry between enabled and disabled
@@ -258,34 +261,45 @@ int main(int argc, char** argv) {
     json.BeginObject().Key("name").String(w.name).Key("threads")
         .BeginObject();
     for (int threads : thread_counts) {
-      pytond::RunOptions opts;
-      opts.num_threads = threads;
-      std::vector<double> samples;
+      // A/B both execution strategies, interleaved (A/B/A/B...) so clock
+      // and cache drift hit both modes equally.
+      std::vector<double> pipelined, materialized;
       uint64_t rows = 0;
       uint64_t peak_mem = 0;
       bool run_ok = true;
-      for (int r = 0; r < cfg.reps; ++r) {
-        pytond::obs::MemoryAccountant mem;
-        opts.mem = &mem;
-        uint64_t t0 = pytond::obs::NowNs();
-        auto result = session.Execute(**compiled, opts);
-        double ms = static_cast<double>(pytond::obs::NowNs() - t0) / 1e6;
-        if (!result.ok()) {
-          std::cerr << "bench_exec: " << w.name << " threads=" << threads
-                    << ": " << result.status().ToString() << "\n";
-          ok = run_ok = false;
-          break;
+      for (int r = 0; r < cfg.reps && run_ok; ++r) {
+        for (int mode = 0; mode < 2 && run_ok; ++mode) {
+          pytond::RunOptions opts;
+          opts.num_threads = threads;
+          opts.pipeline = mode == 1;
+          pytond::obs::MemoryAccountant mem;
+          opts.mem = &mem;
+          uint64_t t0 = pytond::obs::NowNs();
+          auto result = session.Execute(**compiled, opts);
+          double ms = static_cast<double>(pytond::obs::NowNs() - t0) / 1e6;
+          if (!result.ok()) {
+            std::cerr << "bench_exec: " << w.name << " threads=" << threads
+                      << " pipeline=" << (mode == 1) << ": "
+                      << result.status().ToString() << "\n";
+            ok = run_ok = false;
+            break;
+          }
+          (mode == 1 ? pipelined : materialized).push_back(ms);
+          if (mode == 1) {
+            rows = (*result)->num_rows();
+            peak_mem = std::max(peak_mem, mem.peak());
+          }
         }
-        samples.push_back(ms);
-        rows = (*result)->num_rows();
-        peak_mem = std::max(peak_mem, mem.peak());
       }
       if (!run_ok) continue;
-      double median = Median(samples);
+      double median = Median(pipelined);
+      double mat_median = Median(materialized);
       if (threads == 1) suite_ms += median;
       json.Key(std::to_string(threads)).BeginObject()
           .Key("median_ms").Double(median)
-          .Key("p99_ms").Double(P99(samples))
+          .Key("p99_ms").Double(P99(pipelined))
+          .Key("materialized_median_ms").Double(mat_median)
+          .Key("speedup").Double(median > 0 ? mat_median / median : 0)
           .Key("rows").Int(static_cast<int64_t>(rows))
           .Key("peak_mem_bytes").Int(static_cast<int64_t>(peak_mem))
           .EndObject();

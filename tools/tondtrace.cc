@@ -63,7 +63,8 @@ int Usage() {
       "  --query=N         run built-in TPC-H query N (1..22); implies\n"
       "                    --tpch at a small default scale if not given\n"
       "  --tpch[=SF]       populate TPC-H tables (default SF 0.01)\n"
-      "  --datasci[=ROWS]  populate crime-index + hybrid datasets\n"
+      "  --datasci[=ROWS]  populate the data-science datasets (crime\n"
+      "                    index, hybrid, births, flights, covariance)\n"
       "  --tir             inputs are textual TondIR: trace the compile\n"
       "                    pipeline (verify -> optimize -> sqlgen) only\n"
       "  --compile-only    compile but do not execute\n"
@@ -286,12 +287,15 @@ int main(int argc, char** argv) {
     }
   }
   if (cfg.datasci_rows > 0) {
-    Status st = pytond::workloads::datasci::PopulateCrimeIndex(
-        &session.db(), cfg.datasci_rows);
+    namespace ds = pytond::workloads::datasci;
+    Status st = ds::PopulateCrimeIndex(&session.db(), cfg.datasci_rows);
+    if (st.ok()) st = ds::PopulateHybrid(&session.db(), cfg.datasci_rows);
     if (st.ok()) {
-      st = pytond::workloads::datasci::PopulateHybrid(&session.db(),
-                                                      cfg.datasci_rows);
+      st = ds::PopulateBirthAnalysis(&session.db(), cfg.datasci_rows);
     }
+    if (st.ok()) st = ds::PopulateN3(&session.db(), cfg.datasci_rows);
+    if (st.ok()) st = ds::PopulateN9(&session.db(), cfg.datasci_rows);
+    if (st.ok()) st = ds::PopulateCovariance(&session.db(), 256, 8, 0.5);
     if (!st.ok()) {
       std::cerr << "tondtrace: datasci populate failed: " << st.ToString()
                 << "\n";

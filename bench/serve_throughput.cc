@@ -1,0 +1,271 @@
+// serve_throughput: QPS/latency benchmark for the serve path.
+//
+//   serve_throughput [--clients N] [--reps N] [--sf SF]
+//                    [--datasci-rows N] [--max-inflight N]
+//                    [--queue N] [--timeout-ms N] > BENCH_serve.json
+//
+// N client threads each open a Connection and sweep the full 30-workload
+// mix (22 TPC-H + 8 data-science) `reps` times through the PREPARE/EXECUTE
+// fast path (Connection::Run). Every client sends its own literal variant
+// of each workload — date literals are shifted per (client, rep) — which
+// is the serve-cache stress the literal-keyed cache fails (every variant
+// a compile) and the auto-parameterized skeleton cache must absorb: one
+// compile per workload shape, everything else a prepared hit. The report
+// carries client-observed latency percentiles (admission wait included),
+// QPS over the storm wall-clock, the prepared hit rate read back from the
+// always-on tond_serve_* metrics (not bench-private counters), and the
+// admission rejection counts.
+//
+// Exit status: 0 ok, 1 run failure, 2 usage error.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "serve/connection_manager.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace {
+
+using pytond::Status;
+
+struct Workload {
+  std::string name;
+  std::string source;
+};
+
+struct BenchConfig {
+  int clients = 8;
+  int reps = 3;
+  double tpch_sf = 0.02;
+  int64_t datasci_rows = 10000;
+  pytond::serve::ServeConfig serve;
+};
+
+int Usage() {
+  std::cerr <<
+      "usage: serve_throughput [options]\n"
+      "  --clients N       concurrent client threads (default 8)\n"
+      "  --reps N          sweeps of the 30-workload mix per client "
+      "(default 3)\n"
+      "  --sf SF           TPC-H scale factor (default 0.02)\n"
+      "  --datasci-rows N  datasci dataset rows (default 10000)\n"
+      "  --max-inflight N  admission in-flight limit (default 4)\n"
+      "  --queue N         admission queue depth (default 64)\n"
+      "  --timeout-ms N    admission queue timeout (default 30000)\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, BenchConfig* cfg) {
+  cfg->serve.max_queue = 64;
+  cfg->serve.queue_timeout_ms = 30000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--clients" && i + 1 < argc) {
+      cfg->clients = std::atoi(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      cfg->reps = std::atoi(argv[++i]);
+    } else if (arg == "--sf" && i + 1 < argc) {
+      cfg->tpch_sf = std::atof(argv[++i]);
+    } else if (arg == "--datasci-rows" && i + 1 < argc) {
+      cfg->datasci_rows = std::atoll(argv[++i]);
+    } else if (arg == "--max-inflight" && i + 1 < argc) {
+      cfg->serve.max_in_flight = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      cfg->serve.max_queue = std::atoi(argv[++i]);
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      cfg->serve.queue_timeout_ms = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "serve_throughput: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (cfg->clients < 1 || cfg->reps < 1 || cfg->tpch_sf <= 0 ||
+      cfg->datasci_rows < 1 || cfg->serve.max_in_flight < 1) {
+    std::cerr << "serve_throughput: all numeric options must be >= 1 "
+                 "(--sf > 0)\n";
+    return false;
+  }
+  return true;
+}
+
+double Percentile(std::vector<double>* v, double q) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(v->size()))) - 1;
+  return (*v)[std::min(idx, v->size() - 1)];
+}
+
+Status PopulateAll(pytond::engine::Database* db, const BenchConfig& cfg) {
+  PYTOND_RETURN_IF_ERROR(
+      pytond::workloads::tpch::Populate(db, cfg.tpch_sf));
+  namespace ds = pytond::workloads::datasci;
+  PYTOND_RETURN_IF_ERROR(ds::PopulateCrimeIndex(db, cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateBirthAnalysis(db, cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateN3(db, cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateN9(db, cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateHybrid(db, cfg.datasci_rows));
+  PYTOND_RETURN_IF_ERROR(ds::PopulateCovariance(db, 256, 8, 0.5));
+  return Status::OK();
+}
+
+std::vector<Workload> AllWorkloads() {
+  namespace ds = pytond::workloads::datasci;
+  std::vector<Workload> workloads;
+  for (const auto& q : pytond::workloads::tpch::AllQueries()) {
+    workloads.push_back({q.name, q.source});
+  }
+  workloads.push_back({"crime_index", ds::CrimeIndexSource()});
+  workloads.push_back({"birth_analysis", ds::BirthAnalysisSource()});
+  workloads.push_back({"n3", ds::N3Source()});
+  workloads.push_back({"n9", ds::N9Source()});
+  workloads.push_back({"hybrid_matmul", ds::HybridMatMulSource(false)});
+  workloads.push_back({"hybrid_covar", ds::HybridCovarSource(false)});
+  workloads.push_back({"covar_dense", ds::CovarDenseSource()});
+  workloads.push_back({"covar_sparse", ds::CovarSparseSource()});
+  return workloads;
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Per-client literal variation: every 'YYYY-MM-DD' date literal gets its
+/// day-of-month shifted by `shift` (mod 28, so any month stays valid and
+/// range predicates keep their ordering — both endpoints shift alike).
+/// Only dates are varied: numeric literals in these sources also appear
+/// in structural positions (head(n), matmul shapes) where textual edits
+/// would change the plan, not a binding. Workloads without date literals
+/// pass through unchanged and exercise the same-source hit path instead.
+std::string VaryLiterals(const std::string& source, int shift) {
+  std::string out = source;
+  for (size_t i = 0; i + 11 < out.size(); ++i) {
+    if (out[i] != '\'' || out[i + 11] != '\'') continue;
+    const char* p = out.data() + i + 1;
+    if (!(IsDigit(p[0]) && IsDigit(p[1]) && IsDigit(p[2]) &&
+          IsDigit(p[3]) && p[4] == '-' && IsDigit(p[5]) && IsDigit(p[6]) &&
+          p[7] == '-' && IsDigit(p[8]) && IsDigit(p[9]))) {
+      continue;
+    }
+    int day = (p[8] - '0') * 10 + (p[9] - '0');
+    day = (day - 1 + shift) % 28 + 1;
+    out[i + 9] = static_cast<char>('0' + day / 10);
+    out[i + 10] = static_cast<char>('0' + day % 10);
+    i += 11;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  if (!ParseArgs(argc, argv, &cfg)) return Usage();
+
+  auto db = std::make_shared<pytond::engine::Database>();
+  Status st = PopulateAll(db.get(), cfg);
+  if (!st.ok()) {
+    std::cerr << "serve_throughput: populate failed: " << st.ToString()
+              << "\n";
+    return 1;
+  }
+  const std::vector<Workload> workloads = AllWorkloads();
+
+  pytond::serve::ConnectionManager mgr(db, cfg.serve);
+  auto& metrics = db->metrics();
+  const uint64_t hits0 =
+      metrics.counter("tond_serve_prepared_hits_total").Value();
+  const uint64_t misses0 =
+      metrics.counter("tond_serve_prepared_misses_total").Value();
+
+  std::vector<std::vector<double>> latencies(cfg.clients);
+  std::vector<std::string> errors(cfg.clients);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> clients;
+  const uint64_t storm_t0 = pytond::obs::NowNs();
+  for (int c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = mgr.Connect();
+      ++ready;
+      while (ready.load() < cfg.clients) std::this_thread::yield();
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        for (size_t w = 0; w < workloads.size(); ++w) {
+          // Offset each client's sweep so the mix interleaves instead of
+          // stampeding one workload at a time.
+          const Workload& workload =
+              workloads[(w + static_cast<size_t>(c)) % workloads.size()];
+          const std::string varied =
+              VaryLiterals(workload.source, 1 + c * 3 + rep);
+          const uint64_t t0 = pytond::obs::NowNs();
+          auto r = conn->Run(varied);
+          if (!r.ok()) {
+            errors[c] = workload.name + ": " + r.status().ToString();
+            return;
+          }
+          latencies[c].push_back(
+              static_cast<double>(pytond::obs::NowNs() - t0) / 1e6);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_ms =
+      static_cast<double>(pytond::obs::NowNs() - storm_t0) / 1e6;
+
+  for (int c = 0; c < cfg.clients; ++c) {
+    if (!errors[c].empty()) {
+      std::cerr << "serve_throughput: client " << c << ": " << errors[c]
+                << "\n";
+      return 1;
+    }
+  }
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  const uint64_t hits =
+      metrics.counter("tond_serve_prepared_hits_total").Value() - hits0;
+  const uint64_t misses =
+      metrics.counter("tond_serve_prepared_misses_total").Value() - misses0;
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0;
+  const pytond::serve::ServeStats stats = mgr.stats();
+
+  pytond::obs::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").String("serve")
+      .Key("clients").Int(cfg.clients)
+      .Key("reps").Int(cfg.reps)
+      .Key("workloads").Int(static_cast<int64_t>(workloads.size()))
+      .Key("tpch_sf").Double(cfg.tpch_sf)
+      .Key("datasci_rows").Int(cfg.datasci_rows)
+      .Key("max_in_flight").Int(cfg.serve.max_in_flight)
+      .Key("max_queue").Int(cfg.serve.max_queue)
+      .Key("total_queries").Int(static_cast<int64_t>(all.size()))
+      .Key("wall_ms").Double(wall_ms)
+      .Key("qps").Double(wall_ms > 0
+                             ? 1000.0 * static_cast<double>(all.size()) /
+                                   wall_ms
+                             : 0)
+      .Key("p50_ms").Double(Percentile(&all, 0.50))
+      .Key("p95_ms").Double(Percentile(&all, 0.95))
+      .Key("p99_ms").Double(Percentile(&all, 0.99))
+      .Key("prepared_hits").UInt(hits)
+      .Key("prepared_misses").UInt(misses)
+      .Key("hit_rate").Double(hit_rate)
+      .Key("admitted").UInt(stats.admitted)
+      .Key("rejected_queue_full").UInt(stats.rejected_queue_full)
+      .Key("rejected_timeout").UInt(stats.rejected_timeout)
+      .Key("rejected_memory").UInt(stats.rejected_memory)
+      .EndObject();
+  std::cout << json.str() << "\n";
+  return 0;
+}

@@ -12,9 +12,13 @@
 # diagnostic codes — a bench_compile smoke over all 30 workloads,
 # tondtrace/tondstat smoke runs whose JSON output is gated by the built-in
 # minimal validator (--check exits 3 on malformed JSON), CLI argument
-# validation, a schema check over the committed BENCH_exec.json runtime
-# baseline, and the metrics overhead guard (always-on recording must cost
-# < 2% vs TOND_METRICS-off on the TPC-H suite).
+# validation, a serve-path smoke (one PREPARE + three EXECUTEs must cost
+# exactly one compile, verified through the tond_serve_* counters),
+# schema checks over the committed BENCH_exec.json and BENCH_serve.json
+# baselines (including the Q16 distinct-count speedup floor and the
+# >= 90% prepared hit-rate floor), and the metrics overhead guard
+# (always-on recording must cost < 2% vs TOND_METRICS-off on the TPC-H
+# suite).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,15 +38,19 @@ TOND_PIPELINE=off ctest --preset default -j "$jobs"
 
 # TSan pass: build just the suites that exercise the shared worker pool,
 # the plan cache, and concurrent sessions, and run them directly (a full
-# suite under TSan is prohibitively slow; these three cover every
-# threaded code path). Each suite runs under both execution strategies:
-# the push-based pipelines hand thread-local sink slots to pool workers
-# and the materializing executor shares the same pool, and both must be
-# race-free.
+# suite under TSan is prohibitively slow; these suites cover every
+# threaded code path). serve_test is here because its racing-connection
+# and tiny-queue storms exercise the admission condvar protocol and the
+# shared skeleton cache under contention. Each suite runs under both
+# execution strategies: the push-based pipelines hand thread-local sink
+# slots to pool workers and the materializing executor shares the same
+# pool, and both must be race-free.
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-    --target engine_test differential_test concurrency_test metrics_test
-for t in engine_test differential_test concurrency_test metrics_test; do
+    --target engine_test differential_test concurrency_test metrics_test \
+    serve_test
+for t in engine_test differential_test concurrency_test metrics_test \
+    serve_test; do
   for pipeline in on off; do
     TOND_PIPELINE="$pipeline" TSAN_OPTIONS="halt_on_error=1" \
         "./build-tsan/tests/$t" --gtest_brief=1
@@ -193,11 +201,23 @@ for bad in "--jobs=0" "--jobs=-3" "--threads=0" "--olevel=9" "--bogus"; do
     exit 1
   fi
 done
-for bad in "--jobs=0" "--reps=-1" "--watch=-2" "--format=xml" "--bogus"; do
+for bad in "--jobs=0" "--reps=-1" "--watch=-2" "--format=xml" "--serve=0" \
+    "--serve=-2" "--bogus"; do
   status=0
   ./build/tools/tondstat "$bad" > /dev/null 2>&1 || status=$?
   if [ "$status" -ne 2 ]; then
     echo "check.sh: tondstat $bad exited $status, want 2" >&2
+    exit 1
+  fi
+done
+# Flag-combination validation: the serve dashboard needs serve traffic to
+# render, and serve load owns its own client threads (no --jobs mixing).
+for combo in "--format=serve" "--serve=2 --jobs=2"; do
+  status=0
+  # shellcheck disable=SC2086  # combo is intentionally word-split
+  ./build/tools/tondstat $combo > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: tondstat $combo exited $status, want 2" >&2
     exit 1
   fi
 done
@@ -228,6 +248,27 @@ TOND_METRICS=off ./build/tools/tondstat --tpch=0.002 --query=6 --check |
   { echo "check.sh: TOND_METRICS=off still recorded metrics" >&2
     exit 1; }
 
+# Serve smoke: one connection running the same query 3 times through the
+# PREPARE/EXECUTE path must compile exactly once — the first rep misses
+# the skeleton cache (one real compile), the next two are prepared hits
+# with zero compiles — all read back from the always-on tond_serve_* /
+# tond_cache_plan_* counters rather than tool-private bookkeeping.
+./build/tools/tondstat --tpch=0.002 --query=6 --serve=1 --reps=3 --check |
+  jq -e '.counters.tond_serve_prepared_misses_total == 1 and
+         .counters.tond_serve_prepared_hits_total == 2 and
+         .counters.tond_cache_plan_misses_total == 1 and
+         .counters.tond_serve_queries_total == 3 and
+         .counters.tond_serve_rejected_queue_full_total == 0 and
+         .gauges.tond_serve_inflight == 0' > /dev/null ||
+  { echo "check.sh: tondstat serve smoke failed" >&2
+    exit 1; }
+# The serve dashboard renderer must produce its sections on live data.
+./build/tools/tondstat --tpch=0.002 --query=6 --serve=2 --reps=2 \
+    --format=serve |
+  grep -q 'prepared: hits=' ||
+  { echo "check.sh: tondstat --format=serve smoke failed" >&2
+    exit 1; }
+
 # BENCH_exec.json schema sanity: the committed runtime baseline must
 # cover all 30 workloads at threads {1,2,4} with positive medians and
 # accounted memory on every entry, and every entry must carry the
@@ -243,6 +284,31 @@ jq -e '.bench == "exec" and .ok == true and
        and ([.workloads[].threads[][ "speedup"]] | min > 0)' \
     BENCH_exec.json > /dev/null ||
   { echo "check.sh: BENCH_exec.json schema check failed" >&2
+    exit 1; }
+
+# Q16 distinct-count floor: the set-backed COUNT(DISTINCT ...) aggregate
+# must keep the pipelined side at least at parity with the materializing
+# executor on the one workload dominated by distinct-count work (observed
+# 1.19-1.33x across thread counts; parity is the regression floor, the
+# margin absorbs timer noise in the committed baseline).
+jq -e '[.workloads[] | select(.name == "Q16") | .threads[].speedup]
+       | length == 3 and min >= 1.0' BENCH_exec.json > /dev/null ||
+  { echo "check.sh: BENCH_exec.json Q16 distinct-count floor failed" >&2
+    exit 1; }
+
+# BENCH_serve.json schema sanity: the committed serve baseline must come
+# from a real concurrent storm (>= 4 clients over the full 30-workload
+# mix) and show the auto-parameterized skeleton cache absorbing per-client
+# literal variation: >= 90% prepared hit rate, i.e. roughly one compile
+# per workload shape across all clients x reps.
+jq -e '.bench == "serve" and .clients >= 4 and .workloads == 30 and
+       .total_queries >= 120 and .qps > 0 and
+       .p50_ms > 0 and .p95_ms >= .p50_ms and .p99_ms >= .p95_ms and
+       .hit_rate >= 0.9 and
+       .admitted == .total_queries and
+       .prepared_hits + .prepared_misses == .total_queries' \
+    BENCH_serve.json > /dev/null ||
+  { echo "check.sh: BENCH_serve.json schema check failed" >&2
     exit 1; }
 
 # Overhead guard: the always-on metrics path must cost < 2% on the TPC-H

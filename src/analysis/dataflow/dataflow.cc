@@ -758,6 +758,16 @@ class Analyzer {
         }
         return f;
       }
+      case Term::Kind::kParam: {
+        // Parameter slots are opaque by design: the seed literal supplies
+        // only the static type, never a constant or interval fact, so no
+        // value-dependent rewrite (constant folding, always-true filters,
+        // empty-rule caps) can specialize a prepared plan to one binding.
+        ColumnFacts f;
+        if (!t.constant.is_null()) f.type = t.constant.type();
+        f.Note("parameter $p" + std::to_string(t.param_index));
+        return f;
+      }
       case Term::Kind::kAgg:
         return EvalAgg(t, scope, report);
       case Term::Kind::kExt:

@@ -22,6 +22,7 @@ std::string Status::ToString() const {
     case StatusCode::kParseError: name = "ParseError"; break;
     case StatusCode::kTypeError: name = "TypeError"; break;
     case StatusCode::kInternal: name = "Internal"; break;
+    case StatusCode::kRejected: name = "Rejected"; break;
   }
   return std::string(name) + ": " + message_;
 }

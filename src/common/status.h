@@ -16,6 +16,7 @@ enum class StatusCode {
   kParseError,        // SQL or mini-Python syntax error
   kTypeError,         // type inference / binding failure
   kInternal,          // invariant violation inside the library
+  kRejected,          // admission control turned the request away
 };
 
 /// Lightweight RocksDB-style status object. PyTond does not use C++
@@ -44,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

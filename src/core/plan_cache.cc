@@ -1,0 +1,49 @@
+#include "core/plan_cache.h"
+
+namespace pytond {
+
+PlanCache::PlanCache(obs::MetricsRegistry* metrics)
+    : metrics_(metrics),
+      hits_total_(&metrics->counter("tond_cache_plan_hits_total")),
+      misses_total_(&metrics->counter("tond_cache_plan_misses_total")),
+      entries_(&metrics->gauge("tond_cache_plan_entries")) {}
+
+std::shared_ptr<const frontend::Compiled> PlanCache::Lookup(
+    const std::string& key) {
+  const bool record = metrics_->enabled();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    if (record) hits_total_->Add(1);
+    return it->second;
+  }
+  ++misses_;
+  if (record) misses_total_->Add(1);
+  return nullptr;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const frontend::Compiled> compiled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[key] = std::move(compiled);
+  if (metrics_->enabled()) {
+    entries_->Set(static_cast<int64_t>(cache_.size()));
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = cache_.size();
+  return s;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace pytond

@@ -1,0 +1,57 @@
+#ifndef PYTOND_CORE_PLAN_CACHE_H_
+#define PYTOND_CORE_PLAN_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "frontend/compiler.h"
+#include "obs/metrics/metrics.h"
+
+namespace pytond {
+
+/// Compiled-plan cache counters (cumulative).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+};
+
+/// The compiled-plan cache, shared by every Session (and serve-path
+/// connection) attached to one Database. Keys are opaque strings built by
+/// the owning Session: normalized or parameterized source plus every
+/// option that changes the compiled artifact. Thread-safe; lookups and
+/// inserts feed the always-on tond_cache_plan_* metrics of the registry
+/// it was constructed against.
+class PlanCache {
+ public:
+  explicit PlanCache(obs::MetricsRegistry* metrics);
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached artifact or null; counts a hit or a miss.
+  std::shared_ptr<const frontend::Compiled> Lookup(const std::string& key);
+
+  /// Publishes a compiled artifact (last writer wins on races).
+  void Insert(const std::string& key,
+              std::shared_ptr<const frontend::Compiled> compiled);
+
+  PlanCacheStats stats() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const frontend::Compiled>> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* hits_total_;
+  obs::Counter* misses_total_;
+  obs::Gauge* entries_;
+};
+
+}  // namespace pytond
+
+#endif  // PYTOND_CORE_PLAN_CACHE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "frontend/parameterize.h"
+#include "frontend/pylang/parser.h"
+
 namespace pytond {
 
 namespace {
@@ -50,9 +53,11 @@ std::string NormalizeSource(const std::string& source) {
   return out;
 }
 
-/// Everything that changes the compiled artifact must be in the key.
-std::string CacheKey(const std::string& source, const RunOptions& options) {
-  std::string key = NormalizeSource(source);
+/// Everything that changes the compiled artifact — or selects between
+/// execution strategies whose plans must not be conflated — must be in
+/// the key suffix. Shared by the literal and skeleton key builders.
+std::string KeySuffix(const RunOptions& options) {
+  std::string key;
   key += '\x1f';
   key += engine::BackendProfileName(options.profile);
   key += "|O";
@@ -61,26 +66,81 @@ std::string CacheKey(const std::string& source, const RunOptions& options) {
   // Default-on options append a marker only when off, so existing keys
   // (and tests pinning them) are unchanged.
   key += options.frontend_checks ? "" : "|nofc";
+  // TOND_PIPELINE regression isolation: a plan cached with pipelines on
+  // must never serve a pipelines-off run (and vice versa), even though
+  // the SQL is identical today — the off-switch exists to bisect
+  // executor bugs, and a shared entry would blunt it.
+  key += options.pipeline ? "" : "|nopipe";
   return key;
+}
+
+std::string CacheKey(const std::string& source, const RunOptions& options) {
+  return NormalizeSource(source) + KeySuffix(options);
+}
+
+const char* TypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64: return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString: return "string";
+    case DataType::kBool: return "bool";
+    case DataType::kDate: return "date";
+    case DataType::kNull: return "null";
+  }
+  return "?";
 }
 
 }  // namespace
 
-Session::Session()
-    : runs_total_(&db_.metrics().counter("tond_session_runs_total")),
+Session::Session() : Session(std::make_shared<engine::Database>(), nullptr) {}
+
+Session::Session(std::shared_ptr<engine::Database> db,
+                 std::shared_ptr<PlanCache> cache)
+    : db_(std::move(db)),
+      cache_(cache != nullptr
+                 ? std::move(cache)
+                 : std::make_shared<PlanCache>(&db_->metrics())),
+      runs_total_(&db_->metrics().counter("tond_session_runs_total")),
       run_failures_total_(
-          &db_.metrics().counter("tond_session_run_failures_total")),
+          &db_->metrics().counter("tond_session_run_failures_total")),
       run_latency_ns_(
-          &db_.metrics().histogram("tond_session_run_latency_ns")),
-      cache_hits_total_(&db_.metrics().counter("tond_cache_plan_hits_total")),
-      cache_misses_total_(
-          &db_.metrics().counter("tond_cache_plan_misses_total")),
-      cache_entries_(&db_.metrics().gauge("tond_cache_plan_entries")) {}
+          &db_->metrics().histogram("tond_session_run_latency_ns")),
+      prepared_hits_total_(
+          &db_->metrics().counter("tond_serve_prepared_hits_total")),
+      prepared_misses_total_(
+          &db_->metrics().counter("tond_serve_prepared_misses_total")),
+      param_fallback_total_(
+          &db_->metrics().counter("tond_serve_param_fallback_total")) {}
 
 Result<frontend::Compiled> Session::Compile(const std::string& source,
                                             const RunOptions& options) const {
-  return frontend::CompileFunction(source, db_.catalog(),
+  return frontend::CompileFunction(source, db_->catalog(),
                                    ToCompileOptions(options));
+}
+
+Result<std::shared_ptr<const frontend::Compiled>> Session::LookupOrCompile(
+    const std::string& key, const RunOptions& options,
+    const std::function<Result<frontend::Compiled>()>& compile) {
+  if (auto hit = cache_->Lookup(key)) {
+    // Re-emit the stored verifier warnings: a hit must surface the same
+    // diagnostics the original compile did, not silently drop them.
+    obs::Span span(options.trace, "plan_cache", "engine");
+    span.AddCounter("hit", 1);
+    span.AddCounter("warnings",
+                    static_cast<int64_t>(hit->diagnostics.size()));
+    return hit;
+  }
+  // Compile outside any lock so concurrent misses don't serialize; the
+  // occasional duplicate compile publishes last-writer-wins.
+  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, compile());
+  if (options.trace != nullptr) {
+    obs::Span span(options.trace, "plan_cache", "engine");
+    span.AddCounter("hit", 0);
+    span.AddCounter("warnings", static_cast<int64_t>(c.diagnostics.size()));
+  }
+  auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
+  cache_->Insert(key, shared);
+  return shared;
 }
 
 Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
@@ -89,47 +149,111 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::CompileCached(
     PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
     return std::make_shared<const frontend::Compiled>(std::move(c));
   }
-  const bool record = db_.metrics().enabled();
-  std::string key = CacheKey(source, options);
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
-      ++cache_hits_;
-      if (record) cache_hits_total_->Add(1);
-      // Re-emit the stored verifier warnings: a hit must surface the same
-      // diagnostics the original compile did, not silently drop them.
-      obs::Span span(options.trace, "plan_cache", "engine");
-      span.AddCounter("hit", 1);
-      span.AddCounter("warnings",
-                      static_cast<int64_t>(it->second->diagnostics.size()));
-      return it->second;
+  return LookupOrCompile(CacheKey(source, options), options,
+                         [&] { return Compile(source, options); });
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& source,
+                                           const RunOptions& options) {
+  const bool record = db_->metrics().enabled();
+  PreparedStatement ps;
+  ps.session_ = this;
+  ps.options_ = options;
+  ps.options_.params = nullptr;
+
+  // Parse once to discover the parameterizable literals and build the
+  // skeleton key. The compile-on-miss below re-runs the same
+  // deterministic marking, so slot order always matches the key.
+  auto parsed = frontend::py::ParseModule(source);
+  std::vector<frontend::ParamSlot> slots;
+  std::string skeleton;
+  if (parsed.ok() && parsed->functions.size() == 1) {
+    slots = frontend::ParameterizeFunction(&parsed->functions[0]);
+    skeleton = frontend::SkeletonKey(parsed->functions[0]);
+  }
+
+  if (!slots.empty() && options.use_plan_cache) {
+    PlanCacheStats before = cache_->stats();
+    std::string key = "\x1d param:" + skeleton + KeySuffix(options);
+    auto compiled = LookupOrCompile(key, options, [&] {
+      frontend::CompileOptions copts = ToCompileOptions(options);
+      copts.parameterize = true;
+      return frontend::CompileFunction(source, db_->catalog(), copts);
+    });
+    if (compiled.ok() && (*compiled)->params.size() == slots.size()) {
+      const bool was_hit = cache_->stats().hits > before.hits;
+      if (record) {
+        (was_hit ? prepared_hits_total_ : prepared_misses_total_)->Add(1);
+      }
+      ps.compiled_ = *compiled;
+      ps.parameterized_ = true;
+      ps.defaults_.reserve(slots.size());
+      for (const frontend::ParamSlot& s : slots) {
+        ps.defaults_.push_back(s.seed);
+      }
+      return ps;
     }
-    ++cache_misses_;
-    if (record) cache_misses_total_->Add(1);
+    // Parameterized compile failed (a marked literal reached a construct
+    // the translator consumes structurally) or slot accounting diverged:
+    // fall back to the literal path below so PREPARE never rejects a
+    // source that ad-hoc Run would accept.
+    if (record) param_fallback_total_->Add(1);
   }
-  // Compile outside the lock so concurrent misses don't serialize; the
-  // occasional duplicate compile publishes last-writer-wins.
-  PYTOND_ASSIGN_OR_RETURN(frontend::Compiled c, Compile(source, options));
-  if (options.trace != nullptr) {
-    obs::Span span(options.trace, "plan_cache", "engine");
-    span.AddCounter("hit", 0);
-    span.AddCounter("warnings", static_cast<int64_t>(c.diagnostics.size()));
-  }
-  auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  plan_cache_[std::move(key)] = shared;
+
+  PlanCacheStats before = cache_->stats();
+  PYTOND_ASSIGN_OR_RETURN(auto compiled, CompileCached(source, options));
   if (record) {
-    cache_entries_->Set(static_cast<int64_t>(plan_cache_.size()));
+    const bool was_hit =
+        options.use_plan_cache && cache_->stats().hits > before.hits;
+    (was_hit ? prepared_hits_total_ : prepared_misses_total_)->Add(1);
   }
-  return shared;
+  ps.compiled_ = std::move(compiled);
+  ps.parameterized_ = false;
+  return ps;
+}
+
+Result<std::shared_ptr<const Table>> PreparedStatement::Execute() const {
+  return Execute(defaults_);
+}
+
+Result<std::shared_ptr<const Table>> PreparedStatement::Execute(
+    const std::vector<Value>& params) const {
+  const auto& slots = compiled_->params;
+  if (params.size() != slots.size()) {
+    return Status::InvalidArgument(
+        "prepared statement expects " + std::to_string(slots.size()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  // Type-checked binding: each value must match the slot type the plan
+  // was compiled against (int64 promotes into a float64 slot — the usual
+  // numeric literal relaxation).
+  std::vector<Value> bound;
+  bound.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const DataType want = slots[i].type;
+    const DataType got = params[i].type();
+    if (got == want) {
+      bound.push_back(params[i]);
+    } else if (want == DataType::kFloat64 && got == DataType::kInt64) {
+      bound.push_back(Value::Float64(
+          static_cast<double>(params[i].AsInt64())));
+    } else {
+      return Status::InvalidArgument(
+          "parameter $p" + std::to_string(i) + " expects " +
+          std::string(TypeName(want)) + ", got " + TypeName(got) + " (" +
+          params[i].ToString() + ")");
+    }
+  }
+  RunOptions opts = options_;
+  opts.params = &bound;
+  return session_->Execute(*compiled_, opts);
 }
 
 Result<std::shared_ptr<const Table>> Session::Run(const std::string& source,
                                                   const RunOptions& options) {
   // End-to-end run latency (compile or cache hit + execute); failures in
   // either phase count once.
-  const bool record = db_.metrics().enabled();
+  const bool record = db_->metrics().enabled();
   const uint64_t t0 = record ? obs::NowNs() : 0;
   auto compiled = CompileCached(source, options);
   Result<std::shared_ptr<const Table>> result =
@@ -148,7 +272,7 @@ Result<ProfiledRun> Session::RunProfiled(const std::string& source,
   obs::TraceCollector local;
   RunOptions traced = options;
   if (traced.trace == nullptr) traced.trace = &local;
-  const bool record = db_.metrics().enabled();
+  const bool record = db_->metrics().enabled();
   const uint64_t t0 = record ? obs::NowNs() : 0;
   auto run = [&]() -> Result<std::shared_ptr<const Table>> {
     PYTOND_ASSIGN_OR_RETURN(auto c, CompileCached(source, traced));
@@ -172,30 +296,21 @@ Result<std::shared_ptr<const Table>> Session::Execute(
   qopts.profile = options.profile;
   qopts.num_threads = options.num_threads;
   qopts.pipeline = options.pipeline;
+  qopts.params = options.params;
   qopts.trace = options.trace;
   qopts.mem = options.mem;
-  return db_.Query(c.sql, qopts);
+  return db_->Query(c.sql, qopts);
 }
 
 Result<Table> Session::RunBaseline(const std::string& source,
                                    obs::TraceCollector* trace) const {
   runtime::InterpretOptions opts;
   opts.trace = trace;
-  return runtime::InterpretSource(source, db_.catalog(), opts);
+  return runtime::InterpretSource(source, db_->catalog(), opts);
 }
 
-PlanCacheStats Session::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  PlanCacheStats s;
-  s.hits = cache_hits_;
-  s.misses = cache_misses_;
-  s.entries = plan_cache_.size();
-  return s;
-}
+PlanCacheStats Session::plan_cache_stats() const { return cache_->stats(); }
 
-void Session::ClearPlanCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  plan_cache_.clear();
-}
+void Session::ClearPlanCache() { cache_->Clear(); }
 
 }  // namespace pytond

@@ -1,12 +1,13 @@
 #ifndef PYTOND_CORE_SESSION_H_
 #define PYTOND_CORE_SESSION_H_
 
-#include <map>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/plan_cache.h"
 #include "engine/database.h"
 #include "frontend/compiler.h"
 #include "obs/query_profile.h"
@@ -21,16 +22,20 @@ struct RunOptions {
   /// "lingo-like" research); also selects the SQL dialect.
   engine::BackendProfile profile = engine::BackendProfile::kVectorized;
   int num_threads = 1;
-  /// Push-based pipelined execution (QueryOptions::pipeline). Execution-
-  /// only, like num_threads: it never changes the compiled artifact, so
-  /// it is NOT part of the plan-cache key.
+  /// Push-based pipelined execution (QueryOptions::pipeline). The compiled
+  /// SQL is identical either way, but the mode participates in the
+  /// plan-cache key (`|nopipe` marker) so a plan cached with pipelines on
+  /// is never reused when TOND_PIPELINE=off and vice versa — execution-
+  /// mode bugs must never hide behind a stale cache entry. num_threads
+  /// stays execution-only.
   bool pipeline = engine::PipelineEnabledDefault();
   /// TondIR optimization preset 0..4 (0 reproduces the paper's
   /// "Grizzly-simulated" competitor).
   int optimization_level = 4;
-  /// Serve Run/RunProfiled from the session's compiled-plan cache (keyed
-  /// on normalized source + profile + optimization level + deep_lints);
-  /// repeated queries skip parse/translate/optimize/sqlgen entirely.
+  /// Serve Run/RunProfiled from the shared compiled-plan cache (keyed on
+  /// normalized source + profile + optimization level + pipeline mode +
+  /// deep_lints); repeated queries skip parse/translate/optimize/sqlgen
+  /// entirely.
   bool use_plan_cache = true;
   /// Run the dataflow deep-lint tier (T020-T032) during compilation.
   /// Warnings are stored on the compiled artifact (Compiled::diagnostics)
@@ -42,6 +47,11 @@ struct RunOptions {
   /// `warnings` counter) ahead of the T-series. Participates in the
   /// plan-cache key.
   bool frontend_checks = true;
+  /// Positional bindings for `$pN` placeholders in the compiled SQL,
+  /// forwarded to QueryOptions::params. Set by PreparedStatement::Execute;
+  /// plain Run/Compile paths leave it null. The caller keeps the vector
+  /// alive for the duration of the call.
+  const std::vector<Value>* params = nullptr;
   /// Optional end-to-end trace: compile phases, optimizer passes, sqlgen,
   /// CTE materialization, and executor operators all record spans here.
   /// Null (the default) keeps every instrumentation point a null check.
@@ -51,13 +61,6 @@ struct RunOptions {
   obs::MemoryAccountant* mem = nullptr;
 };
 
-/// Compiled-plan cache counters (cumulative per session).
-struct PlanCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t entries = 0;
-};
-
 /// Run result with the flattened trace summary: compile-ms broken down by
 /// phase and optimizer pass, exec-ms by operator (see obs::QueryProfile).
 struct ProfiledRun {
@@ -65,9 +68,49 @@ struct ProfiledRun {
   obs::QueryProfile profile;
 };
 
-/// The PyTond entry point: owns the database (catalog + engine), compiles
-/// mini-Python data-science functions to SQL, and executes them — or runs
-/// them eagerly through the interpreter baseline.
+class Session;
+
+/// A compiled, possibly auto-parameterized statement handle returned by
+/// Session::Prepare. Holds the cached artifact plus the literal values
+/// extracted from the *prepared* source, so Execute() with no arguments
+/// reproduces that source exactly while Execute(params) rebinds the
+/// slots without recompiling. Handles stay valid as long as the Session
+/// lives; Execute is safe to call from many threads at once.
+class PreparedStatement {
+ public:
+  /// Executes with the default bindings (the literals extracted at
+  /// Prepare time).
+  Result<std::shared_ptr<const Table>> Execute() const;
+  /// Executes with explicit bindings, one value per slot in `$pN` order.
+  /// Bindings are type-checked against the slot types the plan was
+  /// compiled with (int64 promotes to a float64 slot; anything else
+  /// mismatched is an InvalidArgument before the engine runs).
+  Result<std::shared_ptr<const Table>> Execute(
+      const std::vector<Value>& params) const;
+
+  const frontend::Compiled& compiled() const { return *compiled_; }
+  /// Slot count (0 = nothing was parameterizable; the statement executes
+  /// through the literal plan and ignores bindings' variation benefit).
+  size_t num_params() const { return compiled_->params.size(); }
+  /// True when the plan was compiled from the parameterized skeleton (a
+  /// literal-path fallback keeps the statement executable but literal-
+  /// keyed).
+  bool parameterized() const { return parameterized_; }
+  /// Default bindings = the literals the prepared source carried.
+  const std::vector<Value>& defaults() const { return defaults_; }
+
+ private:
+  friend class Session;
+  Session* session_ = nullptr;
+  std::shared_ptr<const frontend::Compiled> compiled_;
+  std::vector<Value> defaults_;
+  RunOptions options_;
+  bool parameterized_ = false;
+};
+
+/// The PyTond entry point: compiles mini-Python data-science functions to
+/// SQL against a database's catalog and executes them — or runs them
+/// eagerly through the interpreter baseline.
 ///
 /// Typical use:
 ///   Session session;
@@ -79,34 +122,54 @@ struct ProfiledRun {
 ///         return v
 ///   )");
 ///
-/// Concurrency: once the catalog is populated, Compile/CompileCached/Run/
-/// RunProfiled/Execute/RunBaseline are safe to call from many threads at
-/// once. Queries share the database's worker pool and this session's
-/// compiled-plan cache; each call carries its own trace collector (or
-/// none), so traces never mix across concurrent queries.
+/// Ownership: the default constructor creates a private Database and plan
+/// cache (the historical single-user shape). The sharing constructor
+/// attaches to an existing Database + PlanCache — the serve path creates
+/// one Session per connection this way, so all connections share one
+/// catalog, one worker pool, and one compiled-plan cache.
+///
+/// Concurrency: once the catalog is populated, Compile/CompileCached/
+/// Prepare/Run/RunProfiled/Execute/RunBaseline are safe to call from many
+/// threads at once, including across Sessions sharing one Database.
 class Session {
  public:
   Session();
+  /// Attaches to a shared database (and optionally a shared plan cache;
+  /// null creates a session-private one).
+  explicit Session(std::shared_ptr<engine::Database> db,
+                   std::shared_ptr<PlanCache> cache = nullptr);
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  engine::Database& db() { return db_; }
-  const engine::Database& db() const { return db_; }
+  engine::Database& db() { return *db_; }
+  const engine::Database& db() const { return *db_; }
+  const std::shared_ptr<engine::Database>& shared_db() const { return db_; }
+  const std::shared_ptr<PlanCache>& shared_cache() const { return cache_; }
 
   /// Compiles the (single) @pytond function in `source` to SQL without
   /// executing it.
   Result<frontend::Compiled> Compile(const std::string& source,
                                      const RunOptions& options = {}) const;
 
-  /// Compile through the session's plan cache: a hit (same normalized
-  /// source + profile + optimization level) returns the cached artifact
-  /// and skips the whole frontend. Misses compile, then publish. With
-  /// options.trace attached, records a "plan_cache" span whose `hit`
-  /// counter is 0/1 and whose `warnings` counter re-emits the number of
-  /// stored verifier diagnostics (hits included, so cached warnings are
-  /// never silently swallowed).
+  /// Compile through the shared plan cache: a hit (same normalized source
+  /// + artifact-affecting options) returns the cached artifact and skips
+  /// the whole frontend. Misses compile, then publish. With options.trace
+  /// attached, records a "plan_cache" span whose `hit` counter is 0/1 and
+  /// whose `warnings` counter re-emits the number of stored verifier
+  /// diagnostics (hits included, so cached warnings are never silently
+  /// swallowed).
   Result<std::shared_ptr<const frontend::Compiled>> CompileCached(
       const std::string& source, const RunOptions& options = {});
+
+  /// PREPARE: auto-parameterizes the source (filter-shaped literals
+  /// become `$pN` slots), keys the plan cache on the parameterized
+  /// skeleton, and compiles on miss — so two prepares that differ only in
+  /// literal values share one compiled plan (tond_serve_prepared_hits).
+  /// Sources with nothing to parameterize, or whose parameterized compile
+  /// fails (tond_serve_param_fallback counter), fall back to the literal-
+  /// keyed cache and still return an executable statement.
+  Result<PreparedStatement> Prepare(const std::string& source,
+                                    const RunOptions& options = {});
 
   /// Compiles and executes through the SQL engine.
   Result<std::shared_ptr<const Table>> Run(const std::string& source,
@@ -119,7 +182,8 @@ class Session {
   Result<ProfiledRun> RunProfiled(const std::string& source,
                                   const RunOptions& options = {});
 
-  /// Executes a previously compiled function's SQL.
+  /// Executes a previously compiled function's SQL (options.params binds
+  /// any `$pN` placeholders).
   Result<std::shared_ptr<const Table>> Execute(const frontend::Compiled& c,
                                                const RunOptions& options = {});
 
@@ -129,25 +193,26 @@ class Session {
   Result<Table> RunBaseline(const std::string& source,
                             obs::TraceCollector* trace = nullptr) const;
 
-  /// Plan-cache counters (thread-safe snapshot).
+  /// Plan-cache counters (thread-safe snapshot of the shared cache).
   PlanCacheStats plan_cache_stats() const;
   void ClearPlanCache();
 
  private:
-  engine::Database db_;
-  mutable std::mutex cache_mu_;
-  std::map<std::string, std::shared_ptr<const frontend::Compiled>>
-      plan_cache_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  /// Cache lookup + compile-on-miss with the hit/warning span protocol.
+  Result<std::shared_ptr<const frontend::Compiled>> LookupOrCompile(
+      const std::string& key, const RunOptions& options,
+      const std::function<Result<frontend::Compiled>()>& compile);
+
+  std::shared_ptr<engine::Database> db_;
+  std::shared_ptr<PlanCache> cache_;
 
   // Hot-path metrics in the database's registry, resolved once.
   obs::Counter* runs_total_;
   obs::Counter* run_failures_total_;
   obs::Histogram* run_latency_ns_;
-  obs::Counter* cache_hits_total_;
-  obs::Counter* cache_misses_total_;
-  obs::Gauge* cache_entries_;
+  obs::Counter* prepared_hits_total_;
+  obs::Counter* prepared_misses_total_;
+  obs::Counter* param_fallback_total_;
 };
 
 }  // namespace pytond

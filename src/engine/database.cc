@@ -182,7 +182,8 @@ Result<std::shared_ptr<const Table>> Database::QueryImpl(
     query_span.AddCounter("pool_workers", pool->num_workers());
   }
   obs::Span parse_span(opts.trace, "parse_sql", "engine");
-  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
+  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt,
+                          sql::ParseSql(sql, opts.params));
   parse_span.End();
   QueryScope scope;
   for (const auto& cte : stmt->ctes) {
@@ -203,7 +204,8 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
                                            const QueryOptions& opts) {
   const bool analyze = opts.explain == ExplainMode::kAnalyze;
   sched::WorkerPool* pool = analyze ? PoolFor(opts) : nullptr;
-  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSql(sql));
+  PYTOND_ASSIGN_OR_RETURN(sql::SelectPtr stmt,
+                          sql::ParseSql(sql, opts.params));
   QueryScope scope;
   std::string out;
   // EXPLAIN ANALYZE accounts memory like a real run so `mem=` shows

@@ -32,6 +32,11 @@ struct QueryOptions {
   /// it does NOT participate in plan-cache keys, mirroring num_threads.
   bool pipeline = PipelineEnabledDefault();
   ExplainMode explain = ExplainMode::kNone;
+  /// Prepared-statement bindings: positional values for `$pN`
+  /// placeholders in the SQL text, substituted at parse time (see
+  /// sql::ParseSql). Null = the query must be placeholder-free. The
+  /// caller keeps the vector alive for the duration of the query.
+  const std::vector<Value>* params = nullptr;
   /// Optional per-query trace: CTE materialization, binding, and
   /// per-operator spans land here. Null = no instrumentation.
   obs::TraceCollector* trace = nullptr;
@@ -83,6 +88,10 @@ class Database {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Database-wide memory accountant (parent of every query accountant).
+  /// The mutable overload lets external holders of database-lifetime
+  /// memory (result caches, serve-side buffers, tests exercising the
+  /// admission brake) charge against the same budget queries do.
+  obs::MemoryAccountant& memory() { return db_mem_; }
   const obs::MemoryAccountant& memory() const { return db_mem_; }
 
   /// Syncs derived gauges (scheduler, db memory) and snapshots the

@@ -1,6 +1,7 @@
 #ifndef PYTOND_ENGINE_EXEC_EXEC_INTERNAL_H_
 #define PYTOND_ENGINE_EXEC_EXEC_INTERNAL_H_
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -42,6 +43,72 @@ Result<std::vector<Column>> EvalKeyColumns(
     const std::vector<BoundExprPtr>& exprs, const Table& input,
     const ExecContext& ctx);
 
+/// COUNT(DISTINCT ...) accumulator. Fixed-width values — int64, date,
+/// bool, and float64 via its bit pattern (-0.0 normalized to +0.0, same
+/// as the encoded-row convention) — dedupe in a set of raw uint64 keys:
+/// no per-value heap string, an 8-byte hash, and a third of the memory
+/// of the old encoded-string set. Strings keep a string set. A cell only
+/// ever sees one argument type, so exactly one lane is populated.
+class DistinctSet {
+ public:
+  void Add(const Column& col, size_t row) {
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kNull:
+        fixed_.insert(static_cast<uint64_t>(col.ints()[row]));
+        break;
+      case DataType::kDate:
+        fixed_.insert(
+            static_cast<uint64_t>(static_cast<uint32_t>(col.dates()[row])));
+        break;
+      case DataType::kBool:
+        fixed_.insert(col.bools()[row] != 0 ? 1u : 0u);
+        break;
+      case DataType::kFloat64: {
+        double v = col.doubles()[row];
+        if (v == 0.0) v = 0.0;  // -0.0 counts as +0.0
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        fixed_.insert(bits);
+        break;
+      }
+      case DataType::kString:
+        strings_.insert(col.strings()[row]);
+        break;
+    }
+  }
+
+  /// Folds `other` in, stealing its storage when it is the bigger side:
+  /// a distinct *count* is insertion-order independent, so swapping
+  /// before the insert loop makes the total merge work proportional to
+  /// the smaller partials, not to whichever side happened to arrive
+  /// first — the difference between Q16's merge tail scaling with the
+  /// supplier universe and scaling with the last morsel.
+  void MergeFrom(DistinctSet* other) {
+    if (other->fixed_.size() > fixed_.size()) fixed_.swap(other->fixed_);
+    fixed_.insert(other->fixed_.begin(), other->fixed_.end());
+    if (other->strings_.size() > strings_.size()) {
+      strings_.swap(other->strings_);
+    }
+    strings_.insert(other->strings_.begin(), other->strings_.end());
+  }
+
+  size_t size() const { return fixed_.size() + strings_.size(); }
+
+  /// Rough resident bytes for the aggregate memory charge.
+  size_t MemoryBytes() const {
+    size_t bytes = fixed_.size() * (sizeof(uint64_t) + sizeof(void*) * 2);
+    for (const std::string& s : strings_) {
+      bytes += s.capacity() + sizeof(std::string) + sizeof(void*) * 2;
+    }
+    return bytes;
+  }
+
+ private:
+  std::unordered_set<uint64_t> fixed_;
+  std::unordered_set<std::string> strings_;
+};
+
 /// One aggregate accumulator (per group, per AggSpec).
 struct AggCell {
   double dsum = 0;
@@ -49,7 +116,7 @@ struct AggCell {
   int64_t count = 0;
   bool has_value = false;
   Value extreme;  // min/max
-  std::unique_ptr<std::unordered_set<std::string>> distinct;
+  std::unique_ptr<DistinctSet> distinct;
 };
 
 /// Folds input row `row` (indexed into `arg_cols`) into each agg cell.

@@ -483,15 +483,10 @@ void AccumulateRow(const LogicalPlan& plan, std::vector<AggCell>* cells,
       case AggOp::kCount:
         ++cell.count;
         break;
-      case AggOp::kCountDistinct: {
-        if (!cell.distinct) {
-          cell.distinct = std::make_unique<std::unordered_set<std::string>>();
-        }
-        std::string k;
-        AppendEncodedValue(arg, row, &k);
-        cell.distinct->insert(std::move(k));
+      case AggOp::kCountDistinct:
+        if (!cell.distinct) cell.distinct = std::make_unique<DistinctSet>();
+        cell.distinct->Add(arg, row);
         break;
-      }
       case AggOp::kSum:
       case AggOp::kAvg:
         if (arg.type() == DataType::kInt64) {
@@ -536,8 +531,7 @@ void MergeCell(const AggSpec& spec, AggCell* into, AggCell& from) {
         if (!into->distinct) {
           into->distinct = std::move(from.distinct);
         } else {
-          into->distinct->insert(from.distinct->begin(),
-                                 from.distinct->end());
+          into->distinct->MergeFrom(from.distinct.get());
         }
       }
       break;
@@ -674,6 +668,9 @@ Result<TablePtr> ExecAggregate(const LogicalPlan& plan, TablePtr input,
       agg_bytes += key.size() + sizeof(GroupState) +
                    state.cells.size() * sizeof(AggCell) +
                    sizeof(void*) * 4;  // unordered_map node overhead
+      for (const AggCell& cell : state.cells) {
+        if (cell.distinct) agg_bytes += cell.distinct->MemoryBytes();
+      }
     }
   }
   obs::ScopedCharge agg_charge(ctx.mem, agg_bytes);

@@ -9,7 +9,7 @@
 namespace pytond::engine::sql {
 namespace {
 
-enum class TokKind { kEnd, kIdent, kKeyword, kNumber, kString, kOp };
+enum class TokKind { kEnd, kIdent, kKeyword, kNumber, kString, kOp, kParam };
 
 struct Token {
   TokKind kind = TokKind::kEnd;
@@ -119,6 +119,30 @@ class Lexer {
       cur_.text = std::move(out);
       return;
     }
+    if (c == '$') {  // parameter placeholder $pN (prepared statements)
+      size_t start = pos_;
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == 'p') {
+        ++pos_;
+        size_t digits = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ > digits) {
+          cur_.kind = TokKind::kParam;
+          cur_.text = text_.substr(start, pos_ - start);
+          cur_.number = Value::Int64(
+              std::strtoll(text_.substr(digits, pos_ - digits).c_str(),
+                           nullptr, 10));
+          return;
+        }
+      }
+      pos_ = start + 1;
+      cur_.kind = TokKind::kOp;
+      cur_.text = "$";
+      return;
+    }
     if (c == '"') {  // quoted identifier
       ++pos_;
       size_t start = pos_;
@@ -171,7 +195,8 @@ ExprPtr MakeExpr(Expr::Kind kind) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : lex_(text) {}
+  Parser(const std::string& text, const std::vector<Value>* params)
+      : lex_(text), params_(params) {}
 
   Result<SelectPtr> ParseStatement() {
     PYTOND_ASSIGN_OR_RETURN(SelectPtr stmt, ParseSelect());
@@ -609,6 +634,23 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     const Token& t = lex_.Peek();
+    if (t.kind == TokKind::kParam) {
+      // Parameters substitute at parse time: the plan below the parser
+      // only ever sees ordinary literals, so binding a prepared statement
+      // costs one parse, never a re-compile.
+      if (params_ == nullptr) {
+        return lex_.error("parameter placeholder in non-prepared query");
+      }
+      int64_t idx = t.number.AsInt64();
+      if (idx < 0 || static_cast<size_t>(idx) >= params_->size()) {
+        return lex_.error("parameter index out of range (bound " +
+                          std::to_string(params_->size()) + ")");
+      }
+      lex_.Next();
+      auto e = MakeExpr(Expr::Kind::kLiteral);
+      e->literal = (*params_)[static_cast<size_t>(idx)];
+      return e;
+    }
     if (t.kind == TokKind::kNumber) {
       auto e = MakeExpr(Expr::Kind::kLiteral);
       e->literal = lex_.Next().number;
@@ -767,12 +809,14 @@ class Parser {
   }
 
   Lexer lex_;
+  const std::vector<Value>* params_;
 };
 
 }  // namespace
 
-Result<SelectPtr> ParseSql(const std::string& text) {
-  return Parser(text).ParseStatement();
+Result<SelectPtr> ParseSql(const std::string& text,
+                           const std::vector<Value>* params) {
+  return Parser(text, params).ParseStatement();
 }
 
 }  // namespace pytond::engine::sql

@@ -2,8 +2,10 @@
 #define PYTOND_ENGINE_SQL_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "common/value.h"
 #include "engine/sql/ast.h"
 
 namespace pytond::engine::sql {
@@ -16,7 +18,13 @@ namespace pytond::engine::sql {
 /// lists, LIKE, IS [NOT] NULL, BETWEEN, date literals (DATE 'Y-M-D'),
 /// row_number() OVER (ORDER BY ..), VALUES lists, and the scalar/aggregate
 /// functions of the engine.
-Result<SelectPtr> ParseSql(const std::string& text);
+///
+/// `params` binds prepared-statement placeholders: `$pN` in the text
+/// substitutes (*params)[N] as a literal at parse time, so everything
+/// below the parser is parameter-free. Null `params` (the default) makes
+/// any placeholder a parse error.
+Result<SelectPtr> ParseSql(const std::string& text,
+                           const std::vector<Value>* params = nullptr);
 
 }  // namespace pytond::engine::sql
 

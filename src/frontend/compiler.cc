@@ -144,8 +144,14 @@ Result<std::vector<Compiled>> CompileModule(const std::string& source,
     return Status::InvalidArgument("no @pytond-decorated function found");
   }
   std::vector<Compiled> out;
-  for (const py::Function& fn : module.functions) {
+  for (py::Function& fn : module.functions) {
+    // Serve-path auto-parameterization runs on the freshly parsed tree,
+    // before ANF/analysis, so every later phase sees the same marked
+    // literals Session::Prepare keyed the skeleton on.
+    std::vector<ParamSlot> slots;
+    if (options.parameterize) slots = ParameterizeFunction(&fn);
     PYTOND_ASSIGN_OR_RETURN(Compiled c, CompileOne(fn, catalog, options));
+    c.params = std::move(slots);
     out.push_back(std::move(c));
   }
   return out;

@@ -7,6 +7,7 @@
 
 #include "analysis/diagnostics.h"
 #include "common/status.h"
+#include "frontend/parameterize.h"
 #include "frontend/translate/translator.h"
 #include "obs/trace.h"
 #include "optimizer/passes.h"
@@ -36,6 +37,13 @@ struct CompileOptions {
   /// the verifier's T-warnings. The analyzer's liveness facts also gate
   /// translate-time region fusion (logged in Compiled::rewrite_log).
   bool frontend_checks = true;
+  /// Serve-path auto-parameterization (DESIGN.md §14): rewrite
+  /// filter-shaped literals into typed parameter slots before analysis,
+  /// so the emitted SQL carries `$pN` placeholders and the compiled
+  /// artifact lists the slots in Compiled::params. Value-dependent
+  /// optimizations see opaque parameters and simply don't fire, which is
+  /// what keeps one prepared plan correct for every binding.
+  bool parameterize = false;
   /// Forwarded to OptimizerOptions::verify_each_pass. Unset = keep the
   /// optimizer's build-type default (on in debug, off in release).
   std::optional<bool> verify_each_pass;
@@ -59,6 +67,10 @@ struct Compiled {
   /// One line per fact-gated optimizer rewrite, naming the pass, rule, and
   /// justifying dataflow fact (DESIGN.md §10).
   std::vector<std::string> rewrite_log;
+  /// Parameter slots extracted by auto-parameterization, in `$pN` order
+  /// (empty unless CompileOptions::parameterize). The SQL references slot
+  /// N as `$pN`; execution binds QueryOptions::params positionally.
+  std::vector<ParamSlot> params;
 };
 
 /// Compiles every @pytond-decorated function in `source` against the

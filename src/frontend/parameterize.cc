@@ -1,0 +1,206 @@
+#include "frontend/parameterize.h"
+
+namespace pytond::frontend {
+
+namespace {
+
+using py::Expr;
+using py::ExprPtr;
+using py::Stmt;
+
+bool ParameterizableLiteral(const Expr& e) {
+  if (e.kind != Expr::Kind::kLiteral) return false;
+  switch (e.literal.type()) {
+    case DataType::kInt64:
+    case DataType::kFloat64:
+    case DataType::kString:
+      return true;
+    default:
+      // Bool/None literals are plan shape (mask folding, null tests),
+      // not data the user varies per request.
+      return false;
+  }
+}
+
+class Parameterizer {
+ public:
+  std::vector<ParamSlot> Run(py::Function* fn) {
+    for (Stmt& s : fn->body) {
+      // Assignment targets (including `df['c'] = ...` subscripts) are
+      // structural; only the value side can carry filter literals.
+      Walk(s.value);
+    }
+    return std::move(slots_);
+  }
+
+ private:
+  /// Marks literals that feed a comparison operand: the literal itself,
+  /// or literals reachable through arithmetic / unary minus. Anything
+  /// behind a call, subscript, attribute, list, or nested mask is left
+  /// alone — the translator reads those values structurally.
+  void MarkOperand(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kLiteral:
+        if (ParameterizableLiteral(*e)) {
+          e->param = static_cast<int>(slots_.size());
+          ParamSlot slot;
+          slot.type = e->literal.type();
+          slot.seed = e->literal;
+          slot.line = e->line;
+          slots_.push_back(std::move(slot));
+        }
+        return;
+      case Expr::Kind::kBinOp:
+        // `**` and `//` exponents/divisors can be consumed structurally
+        // (shape-changing in the tensor paths); plain arithmetic is safe.
+        if (e->op == "+" || e->op == "-" || e->op == "*" || e->op == "/" ||
+            e->op == "%") {
+          for (const ExprPtr& c : e->children) MarkOperand(c);
+        }
+        return;
+      case Expr::Kind::kUnary:
+        if (e->op == "-") MarkOperand(e->children[0]);
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// Pre-order sweep: every comparison marks its operands, then the walk
+  /// descends everywhere (masks nest inside subscripts and calls) except
+  /// kwargs, which carry configuration rather than data.
+  void Walk(const ExprPtr& e) {
+    if (e == nullptr) return;
+    if (e->kind == Expr::Kind::kCompare) {
+      for (const ExprPtr& c : e->children) MarkOperand(c);
+    }
+    for (const ExprPtr& c : e->children) Walk(c);
+  }
+
+  std::vector<ParamSlot> slots_;
+};
+
+void SerializeExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kName:
+      out->append("n:");
+      out->append(e.name);
+      return;
+    case Expr::Kind::kLiteral:
+      if (e.param >= 0) {
+        // Slot type rides in the key: `3`, `3.0`, and `'3'` compile to
+        // different slot types, and a plan compiled against an int64
+        // slot must not be served for a float- or string-literal source
+        // (its default bindings would fail the Execute type check).
+        switch (e.literal.type()) {
+          case DataType::kFloat64: out->append("$f"); break;
+          case DataType::kString: out->append("$s"); break;
+          default: out->append("$p"); break;
+        }
+        out->append(std::to_string(e.param));
+        return;
+      }
+      // Type-tagged so `3` (int), `3.0` (float), and `'3'` (string)
+      // never collide in the key.
+      switch (e.literal.type()) {
+        case DataType::kInt64: out->append("i:"); break;
+        case DataType::kFloat64: out->append("f:"); break;
+        case DataType::kString: out->append("s:"); break;
+        case DataType::kBool: out->append("b:"); break;
+        case DataType::kDate: out->append("d:"); break;
+        case DataType::kNull: out->append("z:"); break;
+      }
+      out->append(e.literal.ToString());
+      return;
+    case Expr::Kind::kList:
+    case Expr::Kind::kTuple: {
+      out->push_back(e.kind == Expr::Kind::kList ? '[' : '(');
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i) out->push_back(',');
+        SerializeExpr(*e.children[i], out);
+      }
+      out->push_back(e.kind == Expr::Kind::kList ? ']' : ')');
+      return;
+    }
+    case Expr::Kind::kAttribute:
+      SerializeExpr(*e.children[0], out);
+      out->push_back('.');
+      out->append(e.name);
+      return;
+    case Expr::Kind::kSubscript:
+      SerializeExpr(*e.children[0], out);
+      out->push_back('[');
+      SerializeExpr(*e.children[1], out);
+      out->push_back(']');
+      return;
+    case Expr::Kind::kCall: {
+      SerializeExpr(*e.children[0], out);
+      out->push_back('(');
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) out->push_back(',');
+        SerializeExpr(*e.children[i], out);
+      }
+      for (const auto& [key, value] : e.kwargs) {
+        out->push_back(',');
+        out->append(key);
+        out->push_back('=');
+        SerializeExpr(*value, out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case Expr::Kind::kBinOp:
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kBoolOp:
+      out->push_back('(');
+      SerializeExpr(*e.children[0], out);
+      out->append(e.op);
+      SerializeExpr(*e.children[1], out);
+      out->push_back(')');
+      return;
+    case Expr::Kind::kUnary:
+      out->push_back('(');
+      out->append(e.op);
+      SerializeExpr(*e.children[0], out);
+      out->push_back(')');
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<ParamSlot> ParameterizeFunction(py::Function* fn) {
+  return Parameterizer().Run(fn);
+}
+
+std::string SkeletonKey(const py::Function& fn) {
+  std::string out = "def ";
+  out += fn.name;
+  out.push_back('(');
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out.push_back(',');
+    out += fn.params[i];
+  }
+  out.push_back(')');
+  for (const auto& [key, value] : fn.decorator_kwargs) {
+    out.push_back('@');
+    out += key;
+    out.push_back('=');
+    SerializeExpr(*value, &out);
+  }
+  out.push_back('{');
+  for (const Stmt& s : fn.body) {
+    if (s.kind == Stmt::Kind::kReturn) {
+      out += "ret ";
+    } else if (s.target != nullptr) {
+      SerializeExpr(*s.target, &out);
+      out.push_back('=');
+    }
+    if (s.value != nullptr) SerializeExpr(*s.value, &out);
+    out.push_back(';');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace pytond::frontend

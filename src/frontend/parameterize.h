@@ -1,0 +1,45 @@
+#ifndef PYTOND_FRONTEND_PARAMETERIZE_H_
+#define PYTOND_FRONTEND_PARAMETERIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "frontend/pylang/ast.h"
+
+namespace pytond::frontend {
+
+/// One extracted parameter slot of a prepared statement: the static type
+/// the plan was compiled against and the literal the slot was extracted
+/// from (the default binding when Execute() is called without arguments).
+struct ParamSlot {
+  DataType type = DataType::kNull;
+  Value seed;
+  int line = 0;
+};
+
+/// Auto-parameterization for the serve path (DESIGN.md §14): walks every
+/// expression of `fn` and replaces *filter-shaped* literals — number and
+/// string literals appearing under a comparison, possibly nested in
+/// arithmetic or unary minus — with parameter slots, in deterministic
+/// pre-order. Structural literals (subscript column names, groupby/sort
+/// lists, call and decorator kwargs, isin lists, slice bounds, head(n))
+/// are never touched: the translator consumes those values at compile
+/// time, so substituting them would change the plan shape, not a binding.
+///
+/// Marking mutates the literal nodes in place (py::Expr::param); callers
+/// own the parse tree. Returns the slots in marking order; empty means
+/// the function has nothing to parameterize and prepared execution
+/// degenerates to the literal-keyed path.
+std::vector<ParamSlot> ParameterizeFunction(py::Function* fn);
+
+/// Deterministic structural rendering of a (possibly parameterized)
+/// function: marked literals print as `$pN`, everything else by shape.
+/// Two sources that differ only in parameterizable literal values
+/// serialize identically — this is the prepared-plan cache key, which is
+/// what makes the cache hit across per-client literal variation.
+std::string SkeletonKey(const py::Function& fn);
+
+}  // namespace pytond::frontend
+
+#endif  // PYTOND_FRONTEND_PARAMETERIZE_H_

@@ -39,6 +39,11 @@ struct Expr {
   std::vector<ExprPtr> children;
   std::vector<std::pair<std::string, ExprPtr>> kwargs;  // kCall only
   int line = 0;
+  /// kLiteral only: parameter-slot ordinal assigned by the serve-path
+  /// parameterizer (frontend/parameterize.h), or -1 for a plain literal.
+  /// A marked literal keeps its value as the typing/default seed; the
+  /// translator emits a TondIR parameter term instead of a constant.
+  int param = -1;
 
   std::string ToString() const;
 };

@@ -460,7 +460,10 @@ class Translator {
       case Expr::Kind::kLiteral: {
         TValue v;
         v.kind = TValue::Kind::kScalar;
-        v.term = Term::Const(e->literal);
+        // A literal marked by the serve-path parameterizer becomes an
+        // opaque parameter slot; its value is only the typing seed.
+        v.term = e->param >= 0 ? Term::Param(e->param, e->literal)
+                               : Term::Const(e->literal);
         return v;
       }
       case Expr::Kind::kList:
@@ -636,7 +639,14 @@ class Translator {
       }
       return Status::Unsupported("~ on non-mask");
     }
-    // Unary minus.
+    // Unary minus. A parameter slot can't be folded into its literal, so
+    // it negates arithmetically (0 - $pN) like a column does.
+    if (v.kind == TValue::Kind::kScalar &&
+        v.term->kind == Term::Kind::kParam) {
+      v.term = Term::Binary(BinOp::kSub, Term::Const(Value::Int64(0)),
+                            v.term);
+      return v;
+    }
     if (v.kind == TValue::Kind::kScalar &&
         v.term->kind == Term::Kind::kConst) {
       const Value& c = v.term->constant;

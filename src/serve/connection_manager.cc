@@ -1,0 +1,166 @@
+#include "serve/connection_manager.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace pytond::serve {
+
+Connection::Connection(ConnectionManager* manager)
+    : manager_(manager),
+      session_(manager->shared_db(), manager->shared_cache()) {}
+
+Connection::~Connection() {
+  if (manager_->db().metrics().enabled()) {
+    manager_->connections_->Add(-1);
+  }
+}
+
+Result<std::shared_ptr<const Table>> Connection::Run(
+    const std::string& source, const RunOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(ConnectionManager::Ticket ticket,
+                          manager_->Admit());
+  PYTOND_ASSIGN_OR_RETURN(PreparedStatement ps,
+                          session_.Prepare(source, options));
+  return ps.Execute();
+}
+
+Result<std::shared_ptr<const Table>> Connection::RunAdHoc(
+    const std::string& source, const RunOptions& options) {
+  PYTOND_ASSIGN_OR_RETURN(ConnectionManager::Ticket ticket,
+                          manager_->Admit());
+  return session_.Run(source, options);
+}
+
+Result<PreparedStatement> Connection::Prepare(const std::string& source,
+                                              const RunOptions& options) {
+  return session_.Prepare(source, options);
+}
+
+Result<std::shared_ptr<const Table>> Connection::Execute(
+    const PreparedStatement& statement, const std::vector<Value>& params) {
+  PYTOND_ASSIGN_OR_RETURN(ConnectionManager::Ticket ticket,
+                          manager_->Admit());
+  return statement.Execute(params);
+}
+
+Result<std::shared_ptr<const Table>> Connection::Execute(
+    const PreparedStatement& statement) {
+  PYTOND_ASSIGN_OR_RETURN(ConnectionManager::Ticket ticket,
+                          manager_->Admit());
+  return statement.Execute();
+}
+
+ConnectionManager::ConnectionManager(ServeConfig config)
+    : ConnectionManager(std::make_shared<engine::Database>(), config) {}
+
+ConnectionManager::ConnectionManager(std::shared_ptr<engine::Database> db,
+                                     ServeConfig config)
+    : db_(std::move(db)),
+      cache_(std::make_shared<PlanCache>(&db_->metrics())),
+      config_(config),
+      queries_total_(&db_->metrics().counter("tond_serve_queries_total")),
+      rejected_queue_full_total_(&db_->metrics().counter(
+          "tond_serve_rejected_queue_full_total")),
+      rejected_timeout_total_(
+          &db_->metrics().counter("tond_serve_rejected_timeout_total")),
+      rejected_memory_total_(
+          &db_->metrics().counter("tond_serve_rejected_memory_total")),
+      inflight_(&db_->metrics().gauge("tond_serve_inflight")),
+      queue_depth_(&db_->metrics().gauge("tond_serve_queue_depth")),
+      connections_(&db_->metrics().gauge("tond_serve_connections")),
+      wait_ns_(&db_->metrics().histogram("tond_serve_wait_ns")) {
+  if (config_.max_in_flight < 1) config_.max_in_flight = 1;
+  if (config_.max_queue < 0) config_.max_queue = 0;
+}
+
+std::unique_ptr<Connection> ConnectionManager::Connect() {
+  if (db_->metrics().enabled()) connections_->Add(1);
+  return std::unique_ptr<Connection>(new Connection(this));
+}
+
+ServeStats ConnectionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ConnectionManager::CountRejection(RejectReason reason) {
+  // Caller holds mu_ for the ServeStats update; metric counters are
+  // lock-free either way.
+  const bool record = db_->metrics().enabled();
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      ++stats_.rejected_queue_full;
+      if (record) rejected_queue_full_total_->Add(1);
+      break;
+    case RejectReason::kTimeout:
+      ++stats_.rejected_timeout;
+      if (record) rejected_timeout_total_->Add(1);
+      break;
+    case RejectReason::kMemory:
+      ++stats_.rejected_memory;
+      if (record) rejected_memory_total_->Add(1);
+      break;
+  }
+}
+
+Result<ConnectionManager::Ticket> ConnectionManager::Admit() {
+  const bool record = db_->metrics().enabled();
+  const uint64_t t0 = record ? obs::NowNs() : 0;
+
+  // Memory brake before anything queues: admitting more work while the
+  // database is already over budget only deepens the hole, and waiting
+  // does not help a client whose problem is resident bytes, not slots.
+  if (config_.memory_limit_bytes > 0 &&
+      db_->memory().current() >= config_.memory_limit_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CountRejection(RejectReason::kMemory);
+    return Status::Rejected(
+        "memory admission: database holds " +
+        std::to_string(db_->memory().current()) + " bytes, limit " +
+        std::to_string(config_.memory_limit_bytes));
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ >= config_.max_in_flight) {
+    if (queued_ >= config_.max_queue || config_.queue_timeout_ms <= 0) {
+      CountRejection(RejectReason::kQueueFull);
+      return Status::Rejected(
+          "admission queue full (" + std::to_string(queued_) + "/" +
+          std::to_string(config_.max_queue) + " waiting, " +
+          std::to_string(in_flight_) + " in flight)");
+    }
+    ++queued_;
+    if (record) queue_depth_->Set(queued_);
+    const bool got_slot = slot_free_.wait_for(
+        lock, std::chrono::milliseconds(config_.queue_timeout_ms),
+        [&] { return in_flight_ < config_.max_in_flight; });
+    --queued_;
+    if (record) queue_depth_->Set(queued_);
+    if (!got_slot) {
+      CountRejection(RejectReason::kTimeout);
+      return Status::Rejected("admission wait exceeded " +
+                              std::to_string(config_.queue_timeout_ms) +
+                              " ms");
+    }
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  if (record) {
+    inflight_->Set(in_flight_);
+    queries_total_->Add(1);
+    wait_ns_->Record(obs::NowNs() - t0);
+  }
+  return Ticket(this);
+}
+
+void ConnectionManager::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (db_->metrics().enabled()) inflight_->Set(in_flight_);
+  }
+  slot_free_.notify_one();
+}
+
+}  // namespace pytond::serve

@@ -1,0 +1,176 @@
+#ifndef PYTOND_SERVE_CONNECTION_MANAGER_H_
+#define PYTOND_SERVE_CONNECTION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "engine/database.h"
+
+namespace pytond::serve {
+
+/// Admission-control knobs for a ConnectionManager.
+struct ServeConfig {
+  /// Queries executing concurrently across all connections. Excess
+  /// arrivals wait in the admission queue. Must be >= 1.
+  int max_in_flight = 4;
+  /// Arrivals allowed to wait once the in-flight limit is reached;
+  /// arrival number max_in_flight + max_queue + 1 is rejected
+  /// immediately (queue_full). 0 = never queue.
+  int max_queue = 16;
+  /// How long a queued arrival waits for a slot before it is rejected
+  /// (timeout). <= 0 rejects instead of queuing.
+  int queue_timeout_ms = 1000;
+  /// Reject new work while the database-wide memory accountant's
+  /// `current` gauge is at or above this many bytes. 0 = no memory
+  /// admission. Checked at admission only — already-admitted queries
+  /// run to completion, so this is a soft brake, not a hard cap.
+  uint64_t memory_limit_bytes = 0;
+};
+
+/// Why admission turned a query away (mirrors the reject counters).
+enum class RejectReason { kQueueFull, kTimeout, kMemory };
+
+/// Cumulative admission counters (thread-safe snapshot).
+struct ServeStats {
+  uint64_t admitted = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_timeout = 0;
+  uint64_t rejected_memory = 0;
+};
+
+class ConnectionManager;
+
+/// One client's handle onto the shared database: a private Session (own
+/// prepared statements and run options) over the shared catalog, worker
+/// pool, and compiled-plan cache. Every query entry point passes through
+/// the manager's admission gate. Obtain via ConnectionManager::Connect;
+/// a Connection itself is single-client (callers serialize their own use
+/// of one Connection, as with any database handle), but any number of
+/// Connections run concurrently.
+class Connection {
+ public:
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// The serve fast path: admission, then PREPARE (auto-parameterized
+  /// plan-cache lookup), then EXECUTE with the source's own literals.
+  /// Repeat arrivals of the same query shape skip the whole frontend.
+  Result<std::shared_ptr<const Table>> Run(const std::string& source,
+                                           const RunOptions& options = {});
+
+  /// Admission + plain Session::Run (literal-keyed plan cache); the
+  /// escape hatch for sources the parameterizer should not touch.
+  Result<std::shared_ptr<const Table>> RunAdHoc(const std::string& source,
+                                                const RunOptions& options = {});
+
+  /// PREPARE without executing. Compilation is admission-exempt (it
+  /// holds no worker slots); only Execute admits.
+  Result<PreparedStatement> Prepare(const std::string& source,
+                                    const RunOptions& options = {});
+
+  /// Admission + PreparedStatement::Execute with explicit bindings.
+  Result<std::shared_ptr<const Table>> Execute(
+      const PreparedStatement& statement, const std::vector<Value>& params);
+  /// Admission + execute with the statement's default (prepared) bindings.
+  Result<std::shared_ptr<const Table>> Execute(
+      const PreparedStatement& statement);
+
+  /// The underlying session (shared db + shared plan cache). Direct use
+  /// bypasses admission control.
+  Session& session() { return session_; }
+
+ private:
+  friend class ConnectionManager;
+  explicit Connection(ConnectionManager* manager);
+
+  ConnectionManager* manager_;
+  Session session_;
+};
+
+/// Owns the shared Database + PlanCache and the admission gate in front
+/// of them. Connections are cheap (a Session holding two shared_ptrs);
+/// the expensive state — catalog, worker pool, compiled plans, metrics —
+/// lives once, here.
+///
+/// Admission protocol (per query): memory brake first (reject kMemory),
+/// then an in-flight slot if free, else wait in a bounded queue
+/// (reject kQueueFull when the queue is at max_queue, kTimeout after
+/// queue_timeout_ms). Rejections return StatusCode::kRejected and never
+/// reach the engine. Counters: tond_serve_queries_total,
+/// tond_serve_rejected_{queue_full,timeout,memory}_total, gauges
+/// tond_serve_inflight / tond_serve_queue_depth /
+/// tond_serve_connections, histogram tond_serve_wait_ns (admission wait
+/// of admitted queries only).
+class ConnectionManager {
+ public:
+  /// Fresh private database.
+  explicit ConnectionManager(ServeConfig config = {});
+  /// Serve an existing (typically pre-populated) database.
+  ConnectionManager(std::shared_ptr<engine::Database> db, ServeConfig config);
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// Opens a connection. Connections must not outlive the manager.
+  std::unique_ptr<Connection> Connect();
+
+  engine::Database& db() { return *db_; }
+  const std::shared_ptr<engine::Database>& shared_db() const { return db_; }
+  const std::shared_ptr<PlanCache>& shared_cache() const { return cache_; }
+  const ServeConfig& config() const { return config_; }
+  ServeStats stats() const;
+
+ private:
+  friend class Connection;
+
+  /// RAII in-flight slot: released (and the next waiter woken) on
+  /// destruction. Obtained via Admit.
+  class Ticket {
+   public:
+    explicit Ticket(ConnectionManager* manager) : manager_(manager) {}
+    Ticket(Ticket&& other) noexcept : manager_(other.manager_) {
+      other.manager_ = nullptr;
+    }
+    Ticket& operator=(Ticket&&) = delete;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() {
+      if (manager_ != nullptr) manager_->ReleaseSlot();
+    }
+
+   private:
+    ConnectionManager* manager_;
+  };
+
+  Result<Ticket> Admit();
+  void ReleaseSlot();
+  void CountRejection(RejectReason reason);
+
+  std::shared_ptr<engine::Database> db_;
+  std::shared_ptr<PlanCache> cache_;
+  ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int in_flight_ = 0;
+  int queued_ = 0;
+  ServeStats stats_;
+
+  obs::Counter* queries_total_;
+  obs::Counter* rejected_queue_full_total_;
+  obs::Counter* rejected_timeout_total_;
+  obs::Counter* rejected_memory_total_;
+  obs::Gauge* inflight_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* connections_;
+  obs::Histogram* wait_ns_;
+};
+
+}  // namespace pytond::serve
+
+#endif  // PYTOND_SERVE_CONNECTION_MANAGER_H_

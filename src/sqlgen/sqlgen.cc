@@ -294,6 +294,17 @@ class RuleGenerator {
         return "DATE '" + t.constant.AsString() + "'";
       }
     }
+    // A parameter slot whose seed was a date-shaped string compared
+    // against a date column needs the cast at the placeholder, since the
+    // execute-time binding arrives as a plain string.
+    if (t.kind == Term::Kind::kParam &&
+        t.constant.type() == DataType::kString) {
+      auto it = var_types_.find(a.var0);
+      if (it != var_types_.end() && it->second == DataType::kDate &&
+          date_util::Parse(t.constant.AsString()).ok()) {
+        return "CAST($p" + std::to_string(t.param_index) + " AS date)";
+      }
+    }
     return RenderTerm(t);
   }
 
@@ -405,6 +416,8 @@ class RuleGenerator {
         return BindOrOuter(t.var, scope_.outer);
       case Term::Kind::kConst:
         return RenderValue(t.constant);
+      case Term::Kind::kParam:
+        return "$p" + std::to_string(t.param_index);
       case Term::Kind::kAgg: {
         PYTOND_ASSIGN_OR_RETURN(std::string arg, RenderTerm(*t.children[0]));
         switch (t.agg_fn) {

@@ -64,6 +64,14 @@ TermPtr Term::Const(Value v) {
   return t;
 }
 
+TermPtr Term::Param(int index, Value seed) {
+  auto t = std::make_shared<Term>();
+  t->kind = Kind::kParam;
+  t->param_index = index;
+  t->constant = std::move(seed);
+  return t;
+}
+
 TermPtr Term::Agg(AggFn fn, TermPtr arg) {
   auto t = std::make_shared<Term>();
   t->kind = Kind::kAgg;
@@ -254,6 +262,8 @@ bool Rule::HasOuterMarker() const {
 std::string TermToString(const Term& term) {
   switch (term.kind) {
     case Term::Kind::kVar: return term.var;
+    case Term::Kind::kParam:
+      return "$p" + std::to_string(term.param_index);
     case Term::Kind::kConst:
       if (term.constant.type() == DataType::kString) {
         return "\"" + term.constant.AsString() + "\"";

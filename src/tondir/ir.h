@@ -38,15 +38,20 @@ struct Term;
 using TermPtr = std::shared_ptr<Term>;
 
 /// Term (grammar row `t`): variable, aggregation, external function call,
-/// conditional, binary operation, or constant.
+/// conditional, binary operation, constant, or parameter slot.
 struct Term {
-  enum class Kind { kVar, kConst, kAgg, kExt, kIf, kBinary };
+  enum class Kind { kVar, kConst, kAgg, kExt, kIf, kBinary, kParam };
 
   Kind kind;
   // kVar
   std::string var;
-  // kConst
+  // kConst. For kParam this holds the *seed* literal the parameterizer
+  // extracted — used only for typing (dataflow/verifier) and as the
+  // default binding; value-dependent passes must never read it, which is
+  // the whole point of keeping parameters a distinct kind.
   Value constant;
+  // kParam: 0-based slot index into the execute-time parameter vector.
+  int param_index = -1;
   // kAgg
   AggFn agg_fn = AggFn::kSum;
   // kExt: external function name, e.g. "uid", "round", "year", "substr",
@@ -60,6 +65,8 @@ struct Term {
 
   static TermPtr Var(std::string name);
   static TermPtr Const(Value v);
+  /// Parameter slot `index` with typing seed `seed` (rendered `$p<index>`).
+  static TermPtr Param(int index, Value seed);
   static TermPtr Agg(AggFn fn, TermPtr arg);
   static TermPtr Ext(std::string name, std::vector<TermPtr> args);
   static TermPtr If(TermPtr cond, TermPtr then_t, TermPtr else_t);

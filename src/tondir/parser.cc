@@ -380,6 +380,26 @@ class Parser {
   Result<TermPtr> ParsePrimary() {
     SkipWs();
     char c = pos_ < text_.size() ? text_[pos_] : 0;
+    if (c == '$') {
+      // Parameter slot `$pN` (printed by TermToString for prepared
+      // skeletons). The textual form carries no seed value; it parses
+      // with a null seed, which types as unknown.
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != 'p') {
+        return Status::ParseError("expected 'p' after '$'");
+      }
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        return Status::ParseError("expected parameter index after '$p'");
+      }
+      int idx = std::atoi(text_.substr(start, pos_ - start).c_str());
+      return Term::Param(idx, Value::Null());
+    }
     if (c == '(') {
       ++pos_;
       PYTOND_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());

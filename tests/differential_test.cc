@@ -148,6 +148,55 @@ TEST_F(DifferentialTest, HybridCovarFiltered) {
                     "HybridCovarFiltered");
 }
 
+/// Serve-path acceptance: PREPARE + EXECUTE (auto-parameterized plan,
+/// parse-time parameter binding) must be bitwise-identical to ad-hoc
+/// Session::Run for every workload at every thread count. Parameters are
+/// typed opaque terms to the optimizer, so this differential is what
+/// proves no value-dependent pass ever specialized a prepared plan —
+/// zero tolerance, including the queries that fall back to the literal
+/// path because nothing was parameterizable.
+TEST_F(DifferentialTest, PreparedExecuteMatchesAdHocEverywhere) {
+  std::vector<std::pair<std::string, std::string>> workloads;
+  for (int q = 1; q <= 22; ++q) {
+    const auto& spec = workloads::tpch::GetQuery(q);
+    workloads.emplace_back(spec.name, spec.source);
+  }
+  workloads.emplace_back("CrimeIndex", workloads::datasci::CrimeIndexSource());
+  workloads.emplace_back("BirthAnalysis",
+                         workloads::datasci::BirthAnalysisSource());
+  workloads.emplace_back("N3", workloads::datasci::N3Source());
+  workloads.emplace_back("N9", workloads::datasci::N9Source());
+  workloads.emplace_back("HybridMatMul",
+                         workloads::datasci::HybridMatMulSource(false));
+  workloads.emplace_back("HybridMatMulFiltered",
+                         workloads::datasci::HybridMatMulSource(true));
+  workloads.emplace_back("HybridCovar",
+                         workloads::datasci::HybridCovarSource(false));
+  workloads.emplace_back("HybridCovarFiltered",
+                         workloads::datasci::HybridCovarSource(true));
+  ASSERT_EQ(workloads.size(), 30u);
+
+  for (const auto& [name, source] : workloads) {
+    for (int threads : kThreadCounts) {
+      RunOptions o;
+      o.num_threads = threads;
+      auto ps = session_->Prepare(source, o);
+      ASSERT_TRUE(ps.ok()) << name << ": " << ps.status().ToString();
+      auto prepared = ps->Execute();
+      ASSERT_TRUE(prepared.ok())
+          << name << " threads=" << threads << " prepared: "
+          << prepared.status().ToString();
+      auto adhoc = session_->Run(source, o);
+      ASSERT_TRUE(adhoc.ok()) << name << " threads=" << threads
+                              << " ad-hoc: " << adhoc.status().ToString();
+      std::string diff;
+      EXPECT_TRUE(Table::UnorderedEquals(**prepared, **adhoc, 0.0, &diff))
+          << name << " threads=" << threads
+          << " prepared vs ad-hoc not bitwise equal: " << diff;
+    }
+  }
+}
+
 /// Guards the whole suite against vacuity: the parallel runs above must
 /// actually have executed morsels on the shared pool — otherwise every
 /// "agreement" assertion silently degenerated to inline execution.

@@ -1,0 +1,484 @@
+// Serve-path tests: auto-parameterization (marking + skeleton keys),
+// PREPARE/EXECUTE semantics (cache hits across literal variation,
+// type-checked rebinding, literal-path fallback), admission control
+// (bounded queue rejections, memory brake), and ≥8 racing connections
+// whose every result must equal a serially computed oracle exactly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "frontend/parameterize.h"
+#include "frontend/pylang/parser.h"
+#include "serve/connection_manager.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parameterizer unit tests (no database needed).
+
+std::vector<frontend::ParamSlot> Parameterize(const std::string& source,
+                                              std::string* key = nullptr) {
+  auto mod = frontend::py::ParseModule(source);
+  EXPECT_TRUE(mod.ok()) << mod.status().ToString();
+  EXPECT_EQ(mod->functions.size(), 1u);
+  auto slots = frontend::ParameterizeFunction(&mod->functions[0]);
+  if (key != nullptr) *key = frontend::SkeletonKey(mod->functions[0]);
+  return slots;
+}
+
+TEST(ParameterizerTest, MarksFilterLiteralsInOrder) {
+  auto slots = Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[(t.x > 3) & (t.name == 'acme') & (t.score <= 0.5)]
+    return v
+)");
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].type, DataType::kInt64);
+  EXPECT_EQ(slots[0].seed.AsInt64(), 3);
+  EXPECT_EQ(slots[1].type, DataType::kString);
+  EXPECT_EQ(slots[1].seed.AsString(), "acme");
+  EXPECT_EQ(slots[2].type, DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(slots[2].seed.AsFloat64(), 0.5);
+}
+
+TEST(ParameterizerTest, ReachesThroughArithmeticAndUnaryMinus) {
+  auto slots = Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[t.x * 2 > -5]
+    return v
+)");
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].seed.AsInt64(), 2);
+  EXPECT_EQ(slots[1].seed.AsInt64(), 5);  // the literal under the minus
+}
+
+TEST(ParameterizerTest, LeavesStructuralLiteralsAlone) {
+  // Column names, groupby/sort lists, agg kwargs, head(n): all structural
+  // — the translator reads them at compile time, so none may become slots.
+  auto slots = Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[t.qty > 10]
+    g = v.groupby(['a', 'b']).agg(total=('qty', 'sum'))
+    s = g.sort_values(by=['a'])
+    return s.head(7)
+)");
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].seed.AsInt64(), 10);
+}
+
+TEST(ParameterizerTest, SkeletonKeyStableAcrossLiteralVariation) {
+  std::string key1, key2, key3;
+  auto s1 = Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[(t.x > 3) & (t.d >= '1994-01-01')]
+    return v
+)",
+                         &key1);
+  auto s2 = Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[(t.x > 42) & (t.d >= '1997-06-15')]
+    return v
+)",
+                         &key2);
+  // Changing the *shape* (comparison direction) must change the key.
+  Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[(t.x < 3) & (t.d >= '1994-01-01')]
+    return v
+)",
+               &key3);
+  ASSERT_EQ(s1.size(), 2u);
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_EQ(key1, key2);
+  EXPECT_NE(key1, key3);
+  EXPECT_NE(key1.find("$p0"), std::string::npos);
+  EXPECT_NE(key1.find("$s1"), std::string::npos);  // string slots tag $s
+}
+
+TEST(ParameterizerTest, TypeTagsKeepIntAndFloatKeysApart) {
+  // 3 and 3.0 compile to different slot types; their skeletons must not
+  // collide or an int-compiled plan would serve float bindings.
+  std::string int_key, float_key;
+  Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[t.x > 3]
+    return v
+)",
+               &int_key);
+  Parameterize(R"(
+@pytond()
+def q(t):
+    v = t[t.x > 3.0]
+    return v
+)",
+               &float_key);
+  EXPECT_NE(int_key, float_key);
+}
+
+// ---------------------------------------------------------------------------
+// PREPARE/EXECUTE over a populated database.
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static std::shared_ptr<engine::Database> db_;
+
+  static void SetUpTestSuite() {
+    db_ = std::make_shared<engine::Database>();
+    ASSERT_TRUE(workloads::tpch::Populate(db_.get(), 0.01).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateCrimeIndex(db_.get(), 6000).ok());
+    ASSERT_TRUE(workloads::datasci::PopulateHybrid(db_.get(), 6000).ok());
+  }
+  static void TearDownTestSuite() { db_.reset(); }
+
+  static std::string Q6Variant(const std::string& lo_date,
+                               const std::string& hi_date, double lo_disc,
+                               double hi_disc, int qty) {
+    return std::string(R"(
+@pytond()
+def q6(lineitem):
+    f = lineitem[(lineitem.l_shipdate >= ')") +
+           lo_date + R"(') &
+                 (lineitem.l_shipdate < ')" +
+           hi_date + R"(') &
+                 (lineitem.l_discount >= )" +
+           std::to_string(lo_disc) + R"() &
+                 (lineitem.l_discount <= )" +
+           std::to_string(hi_disc) + R"() &
+                 (lineitem.l_quantity < )" +
+           std::to_string(qty) + R"()]
+    f['rev'] = f.l_extendedprice * f.l_discount
+    out = f.agg(revenue=('rev', 'sum'))
+    return out
+)";
+  }
+};
+
+std::shared_ptr<engine::Database> ServeTest::db_;
+
+TEST_F(ServeTest, PreparedMatchesAdHocBitwise) {
+  Session session(db_);
+  auto ps = session.Prepare(workloads::tpch::GetQuery(6).source);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  EXPECT_TRUE(ps->parameterized());
+  EXPECT_EQ(ps->num_params(), 5u);
+
+  auto prepared = ps->Execute();
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto adhoc = session.Run(workloads::tpch::GetQuery(6).source);
+  ASSERT_TRUE(adhoc.ok()) << adhoc.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**prepared, **adhoc, 0.0, &diff))
+      << diff;
+}
+
+TEST_F(ServeTest, LiteralVariationHitsOneCompiledPlan) {
+  Session session(db_);
+  session.ClearPlanCache();
+  const std::string variants[3][2] = {
+      {"1994-01-01", "1995-01-01"},
+      {"1995-01-01", "1996-01-01"},
+      {"1996-01-01", "1997-01-01"},
+  };
+  uint64_t hits_before =
+      db_->metrics().counter("tond_serve_prepared_hits_total").Value();
+  for (int i = 0; i < 3; ++i) {
+    const std::string src =
+        Q6Variant(variants[i][0], variants[i][1], 0.05, 0.07, 24);
+    auto ps = session.Prepare(src);
+    ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+    ASSERT_TRUE(ps->parameterized());
+    // Each variant's prepared result equals its own ad-hoc compile (the
+    // cache must serve the right *bindings*, not the first prepare's).
+    auto got = ps->Execute();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    RunOptions no_cache;
+    no_cache.use_plan_cache = false;
+    auto want = session.Run(src, no_cache);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    std::string diff;
+    EXPECT_TRUE(Table::UnorderedEquals(**got, **want, 0.0, &diff))
+        << "variant " << i << ": " << diff;
+  }
+  // One skeleton entry; prepares 2 and 3 were hits.
+  EXPECT_EQ(session.plan_cache_stats().entries, 1u);
+  EXPECT_EQ(
+      db_->metrics().counter("tond_serve_prepared_hits_total").Value() -
+          hits_before,
+      2u);
+}
+
+TEST_F(ServeTest, ExecuteRebindsWithoutRecompiling) {
+  Session session(db_);
+  session.ClearPlanCache();
+  auto ps = session.Prepare(workloads::tpch::GetQuery(6).source);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  ASSERT_EQ(ps->num_params(), 5u);
+
+  // Rebind the quantity bound: must equal an ad-hoc run of the edited
+  // source, and must not add a cache entry.
+  std::vector<Value> params = ps->defaults();
+  params[4] = Value::Int64(10);
+  auto got = ps->Execute(params);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  RunOptions no_cache;
+  no_cache.use_plan_cache = false;
+  auto want = session.Run(
+      Q6Variant("1994-01-01", "1995-01-01", 0.05, 0.07, 10), no_cache);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**got, **want, 0.0, &diff)) << diff;
+  EXPECT_EQ(session.plan_cache_stats().entries, 1u);
+}
+
+TEST_F(ServeTest, ExecuteTypeChecksBindings) {
+  Session session(db_);
+  auto ps = session.Prepare(workloads::tpch::GetQuery(6).source);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  std::vector<Value> params = ps->defaults();
+
+  // Arity.
+  std::vector<Value> short_params(params.begin(), params.end() - 1);
+  auto r1 = ps->Execute(short_params);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  // String into a float64 slot.
+  params[2] = Value::String("oops");
+  auto r2 = ps->Execute(params);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Int into a float64 slot promotes.
+  params = ps->defaults();
+  params[2] = Value::Int64(0);
+  auto r3 = ps->Execute(params);
+  EXPECT_TRUE(r3.ok()) << r3.status().ToString();
+}
+
+TEST_F(ServeTest, NothingToParameterizeFallsBackToLiteralPath) {
+  Session session(db_);
+  session.ClearPlanCache();
+  const std::string src = R"(
+@pytond()
+def all_rows(nation):
+    out = nation.head(5)
+    return out
+)";
+  auto ps = session.Prepare(src);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  EXPECT_FALSE(ps->parameterized());
+  EXPECT_EQ(ps->num_params(), 0u);
+  auto got = ps->Execute();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto want = session.Run(src);
+  ASSERT_TRUE(want.ok());
+  std::string diff;
+  EXPECT_TRUE(Table::UnorderedEquals(**got, **want, 0.0, &diff)) << diff;
+}
+
+// Satellite regression: the plan-cache key must include the pipeline
+// mode. Same source, pipeline on vs off => two entries, zero hits.
+TEST_F(ServeTest, PipelineModeSplitsCacheKey) {
+  Session session(db_);
+  session.ClearPlanCache();
+  const std::string src = workloads::tpch::GetQuery(1).source;
+  RunOptions on;
+  on.pipeline = true;
+  RunOptions off;
+  off.pipeline = false;
+  ASSERT_TRUE(session.Run(src, on).ok());
+  PlanCacheStats mid = session.plan_cache_stats();
+  ASSERT_TRUE(session.Run(src, off).ok());
+  PlanCacheStats after = session.plan_cache_stats();
+  EXPECT_EQ(after.entries, mid.entries + 1);
+  EXPECT_EQ(after.hits, mid.hits);  // the off-run must NOT hit the on-plan
+  // And the same mode again is a hit.
+  ASSERT_TRUE(session.Run(src, off).ok());
+  EXPECT_EQ(session.plan_cache_stats().hits, after.hits + 1);
+  EXPECT_EQ(session.plan_cache_stats().entries, after.entries);
+}
+
+// num_threads stays execution-only: not part of the key.
+TEST_F(ServeTest, ThreadCountDoesNotSplitCacheKey) {
+  Session session(db_);
+  session.ClearPlanCache();
+  const std::string src = workloads::tpch::GetQuery(1).source;
+  for (int threads : {1, 2, 4}) {
+    RunOptions o;
+    o.num_threads = threads;
+    ASSERT_TRUE(session.Run(src, o).ok());
+  }
+  EXPECT_EQ(session.plan_cache_stats().entries, 1u);
+  EXPECT_EQ(session.plan_cache_stats().hits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST_F(ServeTest, TinyQueueRejectsOverload) {
+  serve::ServeConfig cfg;
+  cfg.max_in_flight = 1;
+  cfg.max_queue = 1;
+  cfg.queue_timeout_ms = 2000;
+  serve::ConnectionManager mgr(db_, cfg);
+
+  // One slot, one queue seat, 6 simultaneous clients: at most two are
+  // inside the gate at any instant, so with all six arriving before the
+  // first finishes, at least one must bounce with queue_full. A start
+  // barrier makes the simultaneous arrival deterministic enough.
+  constexpr int kClients = 6;
+  std::atomic<int> ready{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      auto conn = mgr.Connect();
+      ++ready;
+      while (ready.load() < kClients) std::this_thread::yield();
+      auto r = conn->RunAdHoc(workloads::tpch::GetQuery(1).source);
+      if (r.ok()) {
+        ++succeeded;
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kRejected)
+            << r.status().ToString();
+        ++rejected;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(succeeded.load() + rejected.load(), kClients);
+  EXPECT_GE(succeeded.load(), 1);
+  serve::ServeStats stats = mgr.stats();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(succeeded.load()));
+  EXPECT_EQ(stats.rejected_queue_full + stats.rejected_timeout,
+            static_cast<uint64_t>(rejected.load()));
+  EXPECT_GE(stats.rejected_queue_full, 1u);
+}
+
+TEST_F(ServeTest, MemoryBrakeRejects) {
+  serve::ServeConfig cfg;
+  cfg.memory_limit_bytes = 1;  // everything is over budget
+  serve::ConnectionManager mgr(db_, cfg);
+  auto conn = mgr.Connect();
+  {
+    // The brake reads the db-wide accountant, which only queries (and
+    // other database-lifetime holders) charge — pin it over budget for
+    // the duration of the attempt.
+    obs::ScopedCharge pressure(&mgr.db().memory(), 1 << 20);
+    ASSERT_GT(mgr.db().memory().current(), 1u);
+    auto r = conn->RunAdHoc(workloads::tpch::GetQuery(1).source);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kRejected);
+    EXPECT_EQ(mgr.stats().rejected_memory, 1u);
+    EXPECT_EQ(mgr.db()
+                  .metrics()
+                  .counter("tond_serve_rejected_memory_total")
+                  .Value(),
+              1u);
+  }
+  // Pressure released => the same query admits.
+  auto r2 = conn->RunAdHoc(workloads::tpch::GetQuery(1).source);
+  EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Racing connections vs a serial oracle.
+
+TEST_F(ServeTest, EightRacingConnectionsMatchSerialOracle) {
+  // Oracle results computed serially, single-threaded, cache off — the
+  // strictest reference available.
+  const std::vector<std::string> sources = {
+      workloads::tpch::GetQuery(1).source,
+      workloads::tpch::GetQuery(6).source,
+      workloads::tpch::GetQuery(14).source,
+      workloads::datasci::CrimeIndexSource(),
+  };
+  std::vector<std::shared_ptr<const Table>> oracle;
+  {
+    Session serial(db_);
+    RunOptions o;
+    o.use_plan_cache = false;
+    for (const auto& src : sources) {
+      auto r = serial.Run(src, o);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      oracle.push_back(*r);
+    }
+  }
+
+  const uint64_t mem_before = db_->memory().current();
+  serve::ServeConfig cfg;
+  cfg.max_in_flight = 4;
+  cfg.max_queue = 64;
+  cfg.queue_timeout_ms = 30000;
+  serve::ConnectionManager mgr(db_, cfg);
+
+  constexpr int kConnections = 8;
+  constexpr int kQueriesEach = 8;
+  std::vector<std::string> errors(kConnections);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kConnections; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = mgr.Connect();
+      for (int i = 0; i < kQueriesEach; ++i) {
+        const size_t w = (c + i) % sources.size();
+        auto r = [&]() -> Result<std::shared_ptr<const Table>> {
+          switch ((c + i) % 3) {
+            case 0:  // ad-hoc lane
+              return conn->RunAdHoc(sources[w]);
+            case 1:  // PREPARE + default EXECUTE lane
+              return conn->Run(sources[w]);
+            default: {  // explicit prepared-handle lane
+              PYTOND_ASSIGN_OR_RETURN(PreparedStatement ps,
+                                      conn->Prepare(sources[w]));
+              return conn->Execute(ps);
+            }
+          }
+        }();
+        if (!r.ok()) {
+          errors[c] = "query " + std::to_string(w) + ": " +
+                      r.status().ToString();
+          return;
+        }
+        std::string diff;
+        if (!Table::UnorderedEquals(**r, *oracle[w], 0.0, &diff)) {
+          errors[c] = "mismatch on " + std::to_string(w) + ": " + diff;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kConnections; ++c) {
+    EXPECT_EQ(errors[c], "") << "connection " << c;
+  }
+  serve::ServeStats stats = mgr.stats();
+  EXPECT_EQ(stats.admitted,
+            static_cast<uint64_t>(kConnections * kQueriesEach));
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.rejected_timeout, 0u);
+  // Every query's transient memory must have been released: the db-wide
+  // accountant is back to the base tables it held before the storm.
+  EXPECT_EQ(db_->memory().current(), mem_before);
+}
+
+}  // namespace
+}  // namespace pytond

@@ -4,15 +4,24 @@
 //   tondstat --tpch --reps=3 --format=prom
 //   tondstat --tpch=0.05 --query=6 --jobs=4 --threads=2
 //   tondstat --tpch --watch=3          # per-window delta snapshots
+//   tondstat --tpch --serve=8 --watch=3 --format=serve
 //
 // One-shot mode runs the selected load once and prints the cumulative
 // snapshot. --watch=K reruns the load K times, printing the *delta*
 // snapshot (counters and histogram buckets diffed, gauges instantaneous)
 // after each window — the same numbers a scraping dashboard would derive.
 //
+// --serve=N drives the load through a ConnectionManager with N client
+// connections on the PREPARE/EXECUTE fast path instead of plain session
+// streams, so the tond_serve_* family lights up. --format=serve renders
+// a human-oriented serve dashboard (QPS, prepared hit rate, admission
+// state, wait percentiles) instead of the raw exposition; it requires
+// --serve.
+//
 // Exit status: 0 ok, 1 populate/run failure, 2 usage error, 3 emitted
 // JSON failed --check validation.
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -22,6 +31,8 @@
 #include "core/session.h"
 #include "obs/json.h"
 #include "obs/metrics/metrics.h"
+#include "obs/trace.h"
+#include "serve/connection_manager.h"
 #include "workloads/datasci.h"
 #include "workloads/tpch/dbgen.h"
 #include "workloads/tpch/queries.h"
@@ -39,7 +50,9 @@ struct StatConfig {
   int jobs = 1;
   int threads = 1;
   int watch = 0;  // delta windows after the initial load
+  int serve = 0;  // 0 = session streams; N = serve-path connections
   bool prom = false;
+  bool serve_format = false;
   bool check = false;
 };
 
@@ -55,7 +68,10 @@ int Usage() {
       "  --threads=N       execution threads per query (default 1)\n"
       "  --watch=K         after the initial load, run K more windows and\n"
       "                    print a delta snapshot per window\n"
-      "  --format=F        json | prom (default json)\n"
+      "  --serve[=N]       drive the load through N serve-path connections\n"
+      "                    (PREPARE/EXECUTE + admission; default 4)\n"
+      "  --format=F        json | prom | serve (default json; serve\n"
+      "                    requires --serve)\n"
       "  --check           validate emitted JSON; exit 3 on malformed\n";
   return 2;
 }
@@ -84,12 +100,27 @@ bool ParseArgs(int argc, char** argv, StatConfig* cfg) {
       cfg->threads = std::atoi(value_of("--threads=").c_str());
     } else if (arg.rfind("--watch=", 0) == 0) {
       cfg->watch = std::atoi(value_of("--watch=").c_str());
+    } else if (arg == "--serve") {
+      cfg->serve = 4;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      cfg->serve = std::atoi(value_of("--serve=").c_str());
+      if (cfg->serve < 1) {
+        std::cerr << "tondstat: --serve must be >= 1\n";
+        return false;
+      }
     } else if (arg.rfind("--format=", 0) == 0) {
       std::string f = value_of("--format=");
-      if (f == "json") cfg->prom = false;
-      else if (f == "prom") cfg->prom = true;
-      else {
-        std::cerr << "tondstat: --format must be json or prom\n";
+      if (f == "json") {
+        cfg->prom = false;
+        cfg->serve_format = false;
+      } else if (f == "prom") {
+        cfg->prom = true;
+        cfg->serve_format = false;
+      } else if (f == "serve") {
+        cfg->prom = false;
+        cfg->serve_format = true;
+      } else {
+        std::cerr << "tondstat: --format must be json, prom, or serve\n";
         return false;
       }
     } else if (arg == "--check") {
@@ -137,6 +168,92 @@ bool RunLoad(Session* session, const StatConfig& cfg,
   return true;
 }
 
+/// One serve-mode load window: `serve` client connections, each sweeping
+/// the sources `reps` times through the PREPARE/EXECUTE fast path.
+bool RunServeLoad(pytond::serve::ConnectionManager* mgr,
+                  const StatConfig& cfg,
+                  const std::vector<std::string>& sources) {
+  std::vector<int> failures(static_cast<size_t>(cfg.serve), 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < cfg.serve; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = mgr->Connect();
+      pytond::RunOptions opts;
+      opts.num_threads = cfg.threads;
+      for (int r = 0; r < cfg.reps; ++r) {
+        for (const std::string& source : sources) {
+          auto result = conn->Run(source, opts);
+          if (!result.ok()) {
+            // Rejections are an expected answer under a tight admission
+            // config, not a tool failure; anything else is.
+            if (result.status().code() == pytond::StatusCode::kRejected) {
+              continue;
+            }
+            std::cerr << "tondstat: serve run failed: "
+                      << result.status().ToString() << "\n";
+            ++failures[c];
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int f : failures) {
+    if (f > 0) return false;
+  }
+  return true;
+}
+
+/// The --format=serve dashboard: the tond_serve_* family, pretty-printed.
+/// `window_ms` is the wall clock of the load window the snapshot (or
+/// delta) covers, giving an honest QPS denominator.
+void EmitServe(const pytond::obs::MetricsSnapshot& snap, double window_ms) {
+  const uint64_t queries = snap.CounterValue("tond_serve_queries_total");
+  const uint64_t hits =
+      snap.CounterValue("tond_serve_prepared_hits_total");
+  const uint64_t misses =
+      snap.CounterValue("tond_serve_prepared_misses_total");
+  const uint64_t fallbacks =
+      snap.CounterValue("tond_serve_param_fallback_total");
+  const double qps =
+      window_ms > 0 ? 1000.0 * static_cast<double>(queries) / window_ms : 0;
+  const double hit_rate =
+      hits + misses > 0 ? 100.0 * static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0;
+  std::printf("serve: queries=%llu qps=%.1f window=%.1fs\n",
+              static_cast<unsigned long long>(queries), qps,
+              window_ms / 1000.0);
+  std::printf(
+      "  prepared: hits=%llu misses=%llu hit_rate=%.1f%% fallbacks=%llu\n",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), hit_rate,
+      static_cast<unsigned long long>(fallbacks));
+  std::printf(
+      "  admission: connections=%lld inflight=%lld queue_depth=%lld "
+      "rejected(queue_full=%llu timeout=%llu memory=%llu)\n",
+      static_cast<long long>(snap.GaugeValue("tond_serve_connections")),
+      static_cast<long long>(snap.GaugeValue("tond_serve_inflight")),
+      static_cast<long long>(snap.GaugeValue("tond_serve_queue_depth")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("tond_serve_rejected_queue_full_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("tond_serve_rejected_timeout_total")),
+      static_cast<unsigned long long>(
+          snap.CounterValue("tond_serve_rejected_memory_total")));
+  const pytond::obs::HistogramSnapshot* wait =
+      snap.FindHistogram("tond_serve_wait_ns");
+  if (wait != nullptr && wait->count > 0) {
+    std::printf("  wait: p50=%.3fms p99=%.3fms max=%.3fms\n",
+                wait->Quantile(0.50) / 1e6, wait->Quantile(0.99) / 1e6,
+                static_cast<double>(wait->max) / 1e6);
+  } else {
+    std::printf("  wait: (no admissions in window)\n");
+  }
+  std::fflush(stdout);
+}
+
 /// Renders and prints one snapshot; returns the process exit code.
 int Emit(const StatConfig& cfg, const pytond::obs::MetricsSnapshot& snap) {
   std::string rendered = cfg.prom ? snap.ToPrometheus() : snap.ToJson();
@@ -179,6 +296,15 @@ int main(int argc, char** argv) {
     std::cerr << "tondstat: --watch must be >= 0\n";
     return Usage();
   }
+  if (cfg.serve_format && cfg.serve == 0) {
+    std::cerr << "tondstat: --format=serve requires --serve\n";
+    return Usage();
+  }
+  if (cfg.serve > 0 && cfg.jobs > 1) {
+    std::cerr << "tondstat: --serve and --jobs are mutually exclusive "
+                 "(connections are the concurrency in serve mode)\n";
+    return Usage();
+  }
 
   Session session;
   std::vector<std::string> sources;
@@ -210,17 +336,43 @@ int main(int argc, char** argv) {
     sources.push_back(ds::HybridMatMulSource(false));
   }
 
-  if (!RunLoad(&session, cfg, sources)) return 1;
+  // Serve mode shares the populated database; the manager's default
+  // admission config is deliberately tight enough that oversubscribed
+  // runs exercise the queue (rejections surface in the dashboard).
+  std::unique_ptr<pytond::serve::ConnectionManager> mgr;
+  if (cfg.serve > 0) {
+    mgr = std::make_unique<pytond::serve::ConnectionManager>(
+        session.shared_db(), pytond::serve::ServeConfig{});
+  }
+  auto run_window = [&](double* window_ms) {
+    const uint64_t t0 = pytond::obs::NowNs();
+    const bool ok = cfg.serve > 0 ? RunServeLoad(mgr.get(), cfg, sources)
+                                  : RunLoad(&session, cfg, sources);
+    *window_ms = static_cast<double>(pytond::obs::NowNs() - t0) / 1e6;
+    return ok;
+  };
+
+  double window_ms = 0;
+  if (!run_window(&window_ms)) return 1;
   pytond::obs::MetricsSnapshot snap = session.db().StatsSnapshot();
-  int rc = Emit(cfg, snap);
+  int rc = 0;
+  if (cfg.serve_format) {
+    EmitServe(snap, window_ms);
+  } else {
+    rc = Emit(cfg, snap);
+  }
   if (rc != 0) return rc;
 
   for (int w = 0; w < cfg.watch; ++w) {
     pytond::obs::MetricsSnapshot prev = snap;
-    if (!RunLoad(&session, cfg, sources)) return 1;
+    if (!run_window(&window_ms)) return 1;
     snap = session.db().StatsSnapshot();
-    rc = Emit(cfg, snap.DeltaSince(prev));
-    if (rc != 0) return rc;
+    if (cfg.serve_format) {
+      EmitServe(snap.DeltaSince(prev), window_ms);
+    } else {
+      rc = Emit(cfg, snap.DeltaSince(prev));
+      if (rc != 0) return rc;
+    }
   }
   return 0;
 }

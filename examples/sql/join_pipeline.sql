@@ -1,0 +1,10 @@
+-- Clean CTE + probe join: the CTE materializes through its own pipeline,
+-- the final select probes it — exercising build-side deps, chain
+-- continuity, and cross-pipeline liveness masks.
+-- @table orders(o_orderkey:int64, o_custkey:int64, o_totalprice:float64)
+-- @table customer(c_custkey:int64, c_name:string, c_nationkey:int64)
+WITH big_orders AS (
+  SELECT o_custkey, o_totalprice FROM orders WHERE o_totalprice > 100.0
+)
+SELECT c.c_name, b.o_totalprice
+FROM customer AS c JOIN big_orders AS b ON c.c_custkey = b.o_custkey

@@ -1,0 +1,11 @@
+-- Clean scan -> filter -> aggregate -> sort -> limit chain: binds, passes
+-- every optimizer pass, and decomposes into an aggregate-sink pipeline
+-- plus a serial sort/limit tail. The shape tondplan's --corrupt kinds
+-- mutate in EXPERIMENTS.md's corruption-repro recipe.
+-- @table lineitem(l_orderkey:int64, l_quantity:float64, l_extendedprice:float64, l_returnflag:string, l_shipdate:date)
+SELECT l_returnflag, SUM(l_extendedprice) AS revenue, COUNT(*) AS n
+FROM lineitem
+WHERE l_quantity > 10.0
+GROUP BY l_returnflag
+ORDER BY revenue DESC
+LIMIT 5

@@ -1,0 +1,10 @@
+-- Clean inline-VALUES CTE joined against a base table: the VALUES body
+-- binds with an inferred schema, then gets renamed by the CTE's column
+-- list — the rename path P004 guards when a later pass drops a column.
+-- @table events(ev_kind:int64, ev_count:int64)
+WITH kinds(kind_id, kind_name) AS (
+  VALUES (1, 'create'), (2, 'update'), (3, 'delete')
+)
+SELECT k.kind_name, SUM(e.ev_count) AS total
+FROM events AS e JOIN kinds AS k ON e.ev_kind = k.kind_id
+GROUP BY k.kind_name

@@ -6,10 +6,15 @@
 # differential, concurrency) in both execution modes, a
 # standalone-UBSan pass over the analysis/optimizer/frontend-analysis
 # suites (the dataflow lattice code does interval arithmetic near integer
-# limits), clang-tidy (skipped with a notice when the tool is absent),
-# tondlint over the example TondIR programs and tondcheck over the example
-# Python workloads — both with per-file .expect sidecars pinning the
-# diagnostic codes — a bench_compile smoke over all 30 workloads,
+# limits), a verified differential sweep (TOND_VERIFY_PLANS=1 across both
+# execution modes plus an ASan lane, so every plan in the 30-workload
+# oracle is structurally checked at every stage), clang-tidy (skipped
+# with a notice when the tool is absent), tondlint over the example
+# TondIR programs, tondcheck over the example Python workloads, and
+# tondplan over the example SQL queries — each with per-file .expect
+# sidecars pinning the diagnostic codes — tondplan corruption goldens
+# pinning which P-codes catch each seeded defect class, a bench_compile
+# smoke over all 30 workloads gating verifier overhead < 2%,
 # tondtrace/tondstat smoke runs whose JSON output is gated by the built-in
 # minimal validator (--check exits 3 on malformed JSON), CLI argument
 # validation, a serve-path smoke (one PREPARE + three EXECUTEs must cost
@@ -35,6 +40,19 @@ done
 # the escape hatch if a pipeline bug ships), so the whole Release suite
 # reruns with push-based execution disabled.
 TOND_PIPELINE=off ctest --preset default -j "$jobs"
+
+# Verified differential sweep: the full 30-workload differential oracle
+# (threads {1,2,4}) reruns with the physical plan verifier forced on in
+# the Release build, in both execution modes — every plan the sweep
+# touches is structurally checked after bind, after each rewriting
+# optimizer pass, and after pipeline build. One sanitizer lane repeats
+# the sweep under ASan (that build verifies by default, but the explicit
+# env makes the lane's intent unambiguous).
+for pipeline in on off; do
+  TOND_VERIFY_PLANS=1 TOND_PIPELINE="$pipeline" \
+      ./build/tests/differential_test --gtest_brief=1
+done
+TOND_VERIFY_PLANS=1 ./build-asan/tests/differential_test --gtest_brief=1
 
 # TSan pass: build just the suites that exercise the shared worker pool,
 # the plan cache, and concurrent sessions, and run them directly (a full
@@ -162,11 +180,83 @@ done
   { echo "check.sh: golden JSON check failed for bad_unknown_column" >&2
     exit 1; }
 
+# tondplan over every example SQL query, checked against its .expect
+# sidecar: "OK" means every stage verified clean, otherwise one P-code
+# per line (sorted). Error-severity codes must also fail the exit code.
+for sql in examples/sql/*.sql; do
+  expect="$sql.expect"
+  if [ ! -f "$expect" ]; then
+    echo "check.sh: missing sidecar $expect" >&2
+    exit 1
+  fi
+  status=0
+  out=$(./build/tools/tondplan --json "$sql") || status=$?
+  got=$(printf '%s' "$out" |
+      jq -r '.files[].stages[].diagnostics[].code' | sort -u)
+  [ -n "$got" ] || got="OK"
+  if ! diff -u <(sort -u "$expect") <(printf '%s\n' "$got"); then
+    echo "check.sh: tondplan codes for $sql do not match $expect" >&2
+    exit 1
+  fi
+  has_error=$(printf '%s' "$out" |
+      jq '[.files[].stages[].diagnostics[] |
+           select(.severity == "error")] | length')
+  if [ "$has_error" -gt 0 ] && [ "$status" -eq 0 ]; then
+    echo "check.sh: $sql has errors but tondplan exited 0" >&2
+    exit 1
+  fi
+  if [ "$has_error" -eq 0 ] && [ "$status" -ne 0 ]; then
+    echo "check.sh: tondplan failed on $sql (exit $status)" >&2
+    exit 1
+  fi
+done
+
+# Corruption goldens: each seeded --corrupt kind applied to a clean plan
+# must be caught by exactly the codes the verifier owns for that defect
+# class (schema/type drift -> P004, broken dep DAG -> P021 + the P028
+# undeclared read it induces, sink flip -> P026, dead liveness mask ->
+# P030), and each must fail the exit code. This pins the detection
+# surface end-to-end: a refactor that silently stops catching a class
+# fails here, not in production.
+for golden in "schema P004" "type P004" "dag P021,P028" "sink P026" \
+    "mask P030"; do
+  kind=${golden%% *}
+  want=${golden#* }
+  got=$({ ./build/tools/tondplan --json --corrupt="$kind:1" \
+            examples/sql/scan_filter_agg.sql || true; } |
+        jq -r '[.files[].stages[].diagnostics[].code] | unique |
+               join(",")')
+  if [ "$got" != "$want" ]; then
+    echo "check.sh: tondplan --corrupt=$kind caught [$got], want [$want]" \
+        >&2
+    exit 1
+  fi
+  if ./build/tools/tondplan --corrupt="$kind:1" \
+      examples/sql/scan_filter_agg.sql > /dev/null 2>&1; then
+    echo "check.sh: tondplan --corrupt=$kind exited 0 on a corruption" >&2
+    exit 1
+  fi
+done
+
+# tondplan argument validation: bad corrupt kinds, unknown flags, and a
+# missing input must print usage and exit 2.
+for bad in "--corrupt=bogus" "--bogus" ""; do
+  status=0
+  # shellcheck disable=SC2086  # empty arg is the intentional no-input case
+  ./build/tools/tondplan $bad > /dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: tondplan '$bad' exited $status, want 2" >&2
+    exit 1
+  fi
+done
+
 # bench_compile smoke: the compile-latency bench must cover all 30
-# workloads and emit valid JSON with a measured analyze phase.
+# workloads and emit valid JSON with a measured analyze phase and a
+# verifier share under the 2% overhead budget (DESIGN.md §15).
 ./build/tools/bench_compile --reps 1 |
   jq -e '.ok == true and (.workloads | length == 30) and
-         .suite_analyze_ms >= 0' > /dev/null ||
+         .suite_analyze_ms >= 0 and
+         .suite_verify_ms > 0 and .verify_share < 0.02' > /dev/null ||
   { echo "check.sh: bench_compile smoke failed" >&2
     exit 1; }
 
@@ -267,6 +357,19 @@ TOND_METRICS=off ./build/tools/tondstat --tpch=0.002 --query=6 --check |
     --format=serve |
   grep -q 'prepared: hits=' ||
   { echo "check.sh: tondstat --format=serve smoke failed" >&2
+    exit 1; }
+
+# BENCH_compile.json schema sanity: the committed compile baseline must
+# cover all 30 workloads with per-workload verify_ms and keep the
+# suite-level verifier share under the 2% budget the always-on verifier
+# is allowed to cost.
+jq -e '.bench == "compile" and .ok == true and
+       (.workloads | length == 30) and
+       ([.workloads[] | has("verify_ms")] | all) and
+       ([.workloads[].verify_ms] | min >= 0) and
+       .suite_verify_ms > 0 and .verify_share < 0.02' \
+    BENCH_compile.json > /dev/null ||
+  { echo "check.sh: BENCH_compile.json schema check failed" >&2
     exit 1; }
 
 # BENCH_exec.json schema sanity: the committed runtime baseline must

@@ -1,15 +1,67 @@
 #!/usr/bin/env bash
 # Run clang-tidy (config in .clang-tidy) over all first-party sources.
 #
+# Coverage is an asserted invariant, not an accident of a glob: every
+# first-party source directory is listed explicitly, each listed
+# directory must exist and contribute at least one translation unit
+# (so a refactor that moves code — the way src/serve/ and src/core/
+# once slipped out of the sweep — fails loudly here instead of
+# silently shrinking the lint surface), and any *.cc outside the list
+# fails the gate until the list is updated.
+#
 # Degrades gracefully: containers without clang-tidy exit 0 with a notice
 # so check.sh stays runnable everywhere; CI images that ship the tool get
 # the full gate. Pass extra args through to clang-tidy (e.g. --fix).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every directory that owns first-party C++ translation units. Keep in
+# sync with the add_subdirectory() calls in the top-level CMakeLists.
+lint_dirs=(
+  src/analysis
+  src/common
+  src/core
+  src/engine
+  src/frontend
+  src/obs
+  src/optimizer
+  src/runtime
+  src/serve
+  src/sqlgen
+  src/storage
+  src/tondir
+  src/workloads
+  tools
+  bench
+)
+
+sources=()
+for dir in "${lint_dirs[@]}"; do
+  if [ ! -d "$dir" ]; then
+    echo "tidy.sh: lint dir $dir does not exist (update lint_dirs)" >&2
+    exit 1
+  fi
+  mapfile -t found < <(find "$dir" -name '*.cc' | sort)
+  if [ "${#found[@]}" -eq 0 ]; then
+    echo "tidy.sh: lint dir $dir has no .cc files (update lint_dirs)" >&2
+    exit 1
+  fi
+  sources+=("${found[@]}")
+done
+
+# No translation unit may live outside the asserted list.
+stray=$(find src tools bench -name '*.cc' |
+    grep -vF -f <(printf '%s/\n' "${lint_dirs[@]}") || true)
+if [ -n "$stray" ]; then
+  echo "tidy.sh: sources outside lint_dirs (add their dir):" >&2
+  printf '%s\n' "$stray" >&2
+  exit 1
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "tidy.sh: clang-tidy not found on PATH; skipping (install LLVM" \
-       "tools to enable this gate)"
+  echo "tidy.sh: coverage asserted over ${#sources[@]} files in" \
+       "${#lint_dirs[@]} dirs; clang-tidy not found on PATH, skipping" \
+       "the lint pass (install LLVM tools to enable this gate)"
   exit 0
 fi
 
@@ -19,7 +71,6 @@ jobs=$(nproc 2>/dev/null || echo 4)
 # with export enabled (a no-op when already configured that way).
 cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
-mapfile -t sources < <(find src tools bench -name '*.cc' | sort)
 echo "tidy.sh: linting ${#sources[@]} files with $(clang-tidy --version |
     sed -n 's/.*version \([0-9.]*\).*/clang-tidy \1/p' | head -1)"
 

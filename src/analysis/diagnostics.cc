@@ -10,7 +10,9 @@ const char* SeverityName(Severity s) {
 
 std::string Diagnostic::ToString() const {
   std::ostringstream os;
-  if (rule_index >= 0) {
+  if (!node.empty()) {
+    os << node << ": ";
+  } else if (rule_index >= 0) {
     os << "rule " << rule_index;
     if (atom_index >= 0) os << ", atom " << atom_index;
     os << ": ";

@@ -20,7 +20,7 @@ const char* SeverityName(Severity s);
 /// identifier (see codes:: below and the tables in DESIGN.md) so that
 /// tests and CI can match on it independently of message wording.
 struct Diagnostic {
-  std::string code;                  // "T001".."T032" / "F001".."F015"
+  std::string code;                  // "T001".."T032" / "F001".."F015" / "P001"..
   Severity severity = Severity::kError;
   int rule_index = -1;               // -1 = program-level finding
   int atom_index = -1;               // index in the immediate body; -1 = head
@@ -28,6 +28,10 @@ struct Diagnostic {
   /// diagnostics only; -1 for TondIR-level findings, which have no
   /// surviving source location).
   int line = -1;
+  /// Physical location for P-series findings: a plan-tree path like
+  /// "root.child[0]:Join" or a pipeline coordinate like
+  /// "pipeline 2, op 1:Filter". Empty for T/F findings.
+  std::string node;
   std::string message;
   std::string fix_hint;              // optional remediation suggestion
   /// Inference chain for fact-based diagnostics (T020+ and the F-series):
@@ -96,6 +100,41 @@ inline constexpr const char* kShadowedBinding = "F012";
 inline constexpr const char* kMissingArgument = "F013";
 inline constexpr const char* kNonLiteralArgument = "F014";
 inline constexpr const char* kBadReturn = "F015";
+// Physical tier (P-series), produced by the plan/pipeline verifier
+// (analysis/physical/) over bound LogicalPlan trees and PipelinePlans.
+// Runs after binding, after each engine optimizer pass (with pass blame),
+// after pipeline build, and once per plan-cache insert on the serve path.
+//
+// Plan tier: column binding / schema resolution / node well-formedness.
+inline constexpr const char* kColRefOutOfRange = "P001";
+inline constexpr const char* kColRefTypeMismatch = "P002";
+inline constexpr const char* kBadChildCount = "P003";
+inline constexpr const char* kSchemaMismatch = "P004";
+inline constexpr const char* kMissingMember = "P005";
+inline constexpr const char* kScanSchemaMismatch = "P006";
+inline constexpr const char* kNonBoolPredicate = "P007";
+inline constexpr const char* kJoinKeyTypeMismatch = "P008";
+inline constexpr const char* kBuildSideOnNonInner = "P009";
+inline constexpr const char* kBadAggSpec = "P010";
+inline constexpr const char* kSortKeyOutOfRange = "P011";
+inline constexpr const char* kOuterRefEscaped = "P012";
+// Pipeline tier: shape legality, DAG soundness, liveness-mask soundness.
+inline constexpr const char* kPipelineIdOrder = "P020";
+inline constexpr const char* kPipelineDepCycle = "P021";
+inline constexpr const char* kPipelineBadSource = "P022";
+inline constexpr const char* kNonStreamingOp = "P023";
+inline constexpr const char* kBadBuildInput = "P024";
+inline constexpr const char* kChainBroken = "P025";
+inline constexpr const char* kBreakerSinkMismatch = "P026";
+inline constexpr const char* kBadPipelineOutput = "P027";
+inline constexpr const char* kReadOutsideDeps = "P028";
+inline constexpr const char* kNodeCoverage = "P029";
+inline constexpr const char* kLivenessMaskKillsLive = "P030";
+// Param tier: Term::kParam opacity and prepared-skeleton slot safety.
+inline constexpr const char* kParamIndexOutOfRange = "P040";
+inline constexpr const char* kParamFolded = "P041";
+inline constexpr const char* kParamSeedTypeMismatch = "P042";
+inline constexpr const char* kSkeletonSlotMismatch = "P043";
 }  // namespace codes
 
 /// True if any diagnostic is an error.

@@ -1,0 +1,1320 @@
+#include "analysis/physical/physical.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pytond::analysis::physical {
+
+using engine::AggOp;
+using engine::AggSpec;
+using engine::BoundExpr;
+using engine::JoinType;
+using engine::LogicalPlan;
+using engine::PipelineDesc;
+using engine::PipelinePlan;
+using engine::PipelineSinkKind;
+
+namespace {
+
+/// Correlated outer references are rewritten away during subquery
+/// decorrelation; an index at or above this base escaping into a final
+/// plan is always a bug (mirrors the binder's kOuterBase).
+constexpr int kOuterBase = 1000000;
+
+// Local name tables: this library must not pull in engine-defined
+// symbols (Label/JoinTypeName live in engine .cc files), so the few
+// names the messages need are restated here.
+const char* KindName(LogicalPlan::Kind k) {
+  switch (k) {
+    case LogicalPlan::Kind::kScan: return "Scan";
+    case LogicalPlan::Kind::kValues: return "Values";
+    case LogicalPlan::Kind::kFilter: return "Filter";
+    case LogicalPlan::Kind::kProject: return "Project";
+    case LogicalPlan::Kind::kJoin: return "Join";
+    case LogicalPlan::Kind::kAggregate: return "Aggregate";
+    case LogicalPlan::Kind::kSort: return "Sort";
+    case LogicalPlan::Kind::kLimit: return "Limit";
+    case LogicalPlan::Kind::kDistinct: return "Distinct";
+    case LogicalPlan::Kind::kWindow: return "Window";
+  }
+  return "?";
+}
+
+const char* JoinName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "inner";
+    case JoinType::kLeft: return "left";
+    case JoinType::kRight: return "right";
+    case JoinType::kFull: return "full";
+    case JoinType::kSemi: return "semi";
+    case JoinType::kAnti: return "anti";
+    case JoinType::kCross: return "cross";
+  }
+  return "?";
+}
+
+const char* AggName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum: return "sum";
+    case AggOp::kMin: return "min";
+    case AggOp::kMax: return "max";
+    case AggOp::kAvg: return "avg";
+    case AggOp::kCount: return "count";
+    case AggOp::kCountStar: return "count(*)";
+    case AggOp::kCountDistinct: return "count(distinct)";
+  }
+  return "?";
+}
+
+/// Independent reimplementation of BoundExpr::CollectColumns (an engine
+/// .cc symbol): appends every kColRef index in the tree.
+void CollectCols(const BoundExpr& e, std::vector<int>* out) {
+  if (e.kind == BoundExpr::Kind::kColRef) out->push_back(e.col_index);
+  for (const auto& c : e.children) {
+    if (c) CollectCols(*c, out);
+  }
+}
+
+std::string SchemaStr(const Schema& s) {
+  std::ostringstream os;
+  os << "(";
+  size_t shown = std::min<size_t>(s.num_columns(), 8);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ", ";
+    os << s.names[i] << ":" << DataTypeName(s.types[i]);
+  }
+  if (s.num_columns() > shown) os << ", ...";
+  os << ")";
+  return os.str();
+}
+
+struct Checker {
+  std::vector<Diagnostic> diags;
+  uint64_t checks = 0;
+
+  Diagnostic& Add(const char* code, Severity sev, std::string node,
+                  std::string message) {
+    Diagnostic d;
+    d.code = code;
+    d.severity = sev;
+    d.node = std::move(node);
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+    return diags.back();
+  }
+};
+
+void FinishStats(VerifyStats* stats, const Checker& c,
+                 std::chrono::steady_clock::time_point t0) {
+  if (stats == nullptr) return;
+  stats->stages += 1;
+  stats->checks += c.checks;
+  stats->diagnostics += c.diags.size();
+  stats->ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// ===================================================================
+// Plan tier (P001-P012)
+// ===================================================================
+
+/// Lazily-formatted role label ("projection expr 3", "join key 0
+/// (left)"): verification runs on every clean query, so diagnostic
+/// labels must cost nothing until a diagnostic actually fires.
+struct Role {
+  const char* what;
+  int64_t idx = -1;
+  const char* suffix = "";
+
+  std::string Str() const {
+    std::string out = what;
+    if (idx >= 0) {
+      out += ' ';
+      out += std::to_string(idx);
+    }
+    out += suffix;
+    return out;
+  }
+};
+
+/// Walks one bound expression, resolving every column reference against
+/// `in` (DuckDB ColumnBindingResolver-style): indices in range, annotated
+/// types agreeing with the input schema, child arity per expression kind.
+void CheckExprTree(const BoundExpr& e, const Schema& in,
+                   const std::string& node, const Role& role,
+                   Checker* c) {
+  c->checks++;
+  for (const auto& ch : e.children) {
+    if (ch == nullptr) {
+      c->Add(codes::kMissingMember, Severity::kError, node,
+             role.Str() + " has a null sub-expression");
+      return;
+    }
+  }
+  size_t n = e.children.size();
+  switch (e.kind) {
+    case BoundExpr::Kind::kColRef: {
+      if (e.col_index >= kOuterBase) {
+        Diagnostic& d = c->Add(
+            codes::kOuterRefEscaped, Severity::kError, node,
+            role.Str() + " references correlated outer column " +
+                std::to_string(e.col_index) + " after decorrelation");
+        d.notes.push_back(
+            "indices >= 1000000 are binder-internal outer-reference "
+            "placeholders and must be rewritten away before execution");
+        return;
+      }
+      if (e.col_index < 0 ||
+          static_cast<size_t>(e.col_index) >= in.num_columns()) {
+        Diagnostic& d = c->Add(
+            codes::kColRefOutOfRange, Severity::kError, node,
+            role.Str() + " references column " + std::to_string(e.col_index) +
+                " but the input has " + std::to_string(in.num_columns()) +
+                " columns");
+        d.notes.push_back("input schema: " + SchemaStr(in));
+        return;
+      }
+      DataType want = in.types[static_cast<size_t>(e.col_index)];
+      if (e.type != want) {
+        Diagnostic& d = c->Add(
+            codes::kColRefTypeMismatch, Severity::kError, node,
+            role.Str() + " column " + std::to_string(e.col_index) + " ('" +
+                in.names[static_cast<size_t>(e.col_index)] +
+                "') is annotated " + DataTypeName(e.type) +
+                " but the input column is " + DataTypeName(want));
+        d.notes.push_back("input schema: " + SchemaStr(in));
+      }
+      return;
+    }
+    case BoundExpr::Kind::kConst:
+      return;
+    case BoundExpr::Kind::kBinary:
+      if (n != 2) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               role.Str() + " binary expression has " + std::to_string(n) +
+                   " children (want 2)");
+        return;
+      }
+      break;
+    case BoundExpr::Kind::kUnary:
+    case BoundExpr::Kind::kCast:
+    case BoundExpr::Kind::kIsNull:
+    case BoundExpr::Kind::kInList:
+      if (n != 1) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               role.Str() + " unary-shaped expression has " + std::to_string(n) +
+                   " children (want 1)");
+        return;
+      }
+      break;
+    case BoundExpr::Kind::kCase:
+      if (n < 2 || n % 2 != (e.case_has_else ? 1u : 0u)) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               role.Str() + " CASE has " + std::to_string(n) +
+                   " children (want when/then pairs" +
+                   (e.case_has_else ? " plus else" : "") + ")");
+        return;
+      }
+      break;
+    case BoundExpr::Kind::kFunc:
+      break;
+  }
+  for (const auto& ch : e.children) CheckExprTree(*ch, in, node, role, c);
+}
+
+void CheckBoolPredicate(const BoundExpr& e, const std::string& node,
+                        const Role& role, Checker* c) {
+  c->checks++;
+  if (e.type != DataType::kBool) {
+    c->Add(codes::kNonBoolPredicate, Severity::kError, node,
+           role.Str() + " has type " + std::string(DataTypeName(e.type)) +
+               " (want bool)");
+  }
+}
+
+void CheckSchemaEq(const Schema& got, const Schema& want,
+                   const std::string& node, const std::string& what,
+                   Checker* c) {
+  c->checks++;
+  if (got == want) return;
+  Diagnostic& d = c->Add(codes::kSchemaMismatch, Severity::kError, node,
+                         what + " disagrees with the node's output schema");
+  d.notes.push_back("node schema:     " + SchemaStr(got));
+  d.notes.push_back("expected schema: " + SchemaStr(want));
+}
+
+/// CheckSchemaEq against an expected schema given column-wise by `col`
+/// (returning {&name, type} for index i): clean-path comparison never
+/// materializes the expected Schema — it is only built, column by
+/// column, for the mismatch note. `what1 + what2` labels the check.
+template <typename ColFn>
+void CheckSchemaDerived(const Schema& got, size_t n, ColFn col,
+                        const std::string& node, const char* what1,
+                        const char* what2, Checker* c) {
+  c->checks++;
+  bool same = got.num_columns() == n;
+  for (size_t i = 0; same && i < n; ++i) {
+    auto [name, type] = col(i);
+    same = got.names[i] == *name && got.types[i] == type;
+  }
+  if (same) return;
+  Schema want;
+  for (size_t i = 0; i < n; ++i) {
+    auto [name, type] = col(i);
+    want.Add(*name, type);
+  }
+  Diagnostic& d = c->Add(
+      codes::kSchemaMismatch, Severity::kError, node,
+      std::string(what1) + what2 + " disagrees with the node's output schema");
+  d.notes.push_back("node schema:     " + SchemaStr(got));
+  d.notes.push_back("expected schema: " + SchemaStr(want));
+}
+
+/// Orderability class for join-key agreement: the type-tagged key
+/// encoding (AppendEncodedValue) never matches across classes, so
+/// cross-class keys make a join vacuously empty.
+int TypeClass(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+    case DataType::kFloat64:
+    case DataType::kDate:
+      return 0;
+    case DataType::kString:
+      return 1;
+    case DataType::kBool:
+      return 2;
+    case DataType::kNull:
+      return -1;
+  }
+  return -1;
+}
+
+size_t ExpectedChildren(LogicalPlan::Kind k) {
+  switch (k) {
+    case LogicalPlan::Kind::kScan:
+    case LogicalPlan::Kind::kValues:
+      return 0;
+    case LogicalPlan::Kind::kJoin:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+void CheckNode(const LogicalPlan& p, const std::string& path,
+               const VerifyOptions& opts, Checker* c) {
+  const std::string node = path + ":" + KindName(p.kind);
+
+  c->checks++;
+  size_t want_children = ExpectedChildren(p.kind);
+  bool null_child = false;
+  for (const auto& ch : p.children) null_child |= (ch == nullptr);
+  if (p.children.size() != want_children || null_child) {
+    c->Add(codes::kBadChildCount, Severity::kError, node,
+           std::string(KindName(p.kind)) + " has " +
+               std::to_string(p.children.size()) +
+               (null_child ? " children (one null)" : " children") +
+               " (want " + std::to_string(want_children) + ")");
+    for (size_t i = 0; i < p.children.size(); ++i) {
+      if (p.children[i]) {
+        CheckNode(*p.children[i], path + "." + std::to_string(i), opts, c);
+      }
+    }
+    return;  // the kind-specific checks below index children
+  }
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    CheckNode(*p.children[i], path + "." + std::to_string(i), opts, c);
+  }
+
+  switch (p.kind) {
+    case LogicalPlan::Kind::kScan: {
+      c->checks++;
+      if (p.table_name.empty()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "scan has no table name");
+        break;
+      }
+      if (opts.table_schema) {
+        c->checks++;
+        const Schema* resolved = opts.table_schema(p.table_name);
+        if (resolved == nullptr) {
+          c->Add(codes::kScanSchemaMismatch, Severity::kWarning, node,
+                 "scan of '" + p.table_name +
+                     "' does not resolve in the verification scope");
+        } else if (!(*resolved == p.schema)) {
+          Diagnostic& d = c->Add(
+              codes::kScanSchemaMismatch, Severity::kError, node,
+              "scan schema of '" + p.table_name +
+                  "' disagrees with the resolved table schema");
+          d.notes.push_back("scan schema:  " + SchemaStr(p.schema));
+          d.notes.push_back("table schema: " + SchemaStr(*resolved));
+        }
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kValues: {
+      c->checks++;
+      if (p.values == nullptr) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "VALUES node has no table");
+        break;
+      }
+      if (!(p.values->schema() == p.schema)) {
+        Diagnostic& d =
+            c->Add(codes::kScanSchemaMismatch, Severity::kError, node,
+                   "VALUES schema disagrees with the inline table");
+        d.notes.push_back("node schema:  " + SchemaStr(p.schema));
+        d.notes.push_back("table schema: " + SchemaStr(p.values->schema()));
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kFilter: {
+      c->checks++;
+      if (p.predicate == nullptr) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "filter has no predicate");
+      } else {
+        CheckExprTree(*p.predicate, p.children[0]->schema, node, {"predicate"},
+                      c);
+        CheckBoolPredicate(*p.predicate, node, {"filter predicate"}, c);
+      }
+      CheckSchemaEq(p.schema, p.children[0]->schema, node,
+                    "filter passthrough schema", c);
+      break;
+    }
+    case LogicalPlan::Kind::kProject: {
+      c->checks++;
+      if (p.exprs.size() != p.names.size() ||
+          p.exprs.size() != p.schema.num_columns()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "projection arity disagrees: " + std::to_string(p.exprs.size()) +
+                   " exprs, " + std::to_string(p.names.size()) + " names, " +
+                   std::to_string(p.schema.num_columns()) + " schema columns");
+        break;
+      }
+      bool any_null = false;
+      for (size_t i = 0; i < p.exprs.size(); ++i) {
+        if (p.exprs[i] == nullptr) {
+          c->Add(codes::kMissingMember, Severity::kError, node,
+                 "projection expression " + std::to_string(i) + " is null");
+          any_null = true;
+          continue;
+        }
+        CheckExprTree(*p.exprs[i], p.children[0]->schema, node,
+                      {"projection expr", static_cast<int64_t>(i)}, c);
+      }
+      if (!any_null) {
+        CheckSchemaDerived(
+            p.schema, p.exprs.size(),
+            [&](size_t i) {
+              return std::pair<const std::string*, DataType>(
+                  &p.names[i], p.exprs[i]->type);
+            },
+            node, "", "projected schema", c);
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kJoin: {
+      const Schema& left = p.children[0]->schema;
+      const Schema& right = p.children[1]->schema;
+      c->checks++;
+      if (p.join_type == JoinType::kCross && !p.join_keys.empty()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "cross join carries " + std::to_string(p.join_keys.size()) +
+                   " equi-keys");
+      }
+      c->checks++;
+      if (p.build_left && p.join_type != JoinType::kInner) {
+        c->Add(codes::kBuildSideOnNonInner, Severity::kError, node,
+               std::string("build_left set on a ") + JoinName(p.join_type) +
+                   " join (inner only: other types fix their build side)");
+      }
+      for (size_t i = 0; i < p.join_keys.size(); ++i) {
+        const auto& [l, r] = p.join_keys[i];
+        if (l == nullptr || r == nullptr) {
+          c->Add(codes::kMissingMember, Severity::kError, node,
+                 "join key " + std::to_string(i) + " has a null side");
+          continue;
+        }
+        CheckExprTree(*l, left, node,
+                      {"join key", static_cast<int64_t>(i), " (left)"}, c);
+        CheckExprTree(*r, right, node,
+                      {"join key", static_cast<int64_t>(i), " (right)"}, c);
+        c->checks++;
+        if (l->type != r->type) {
+          int lc = TypeClass(l->type), rc = TypeClass(r->type);
+          Severity sev = (lc != rc || lc < 0) ? Severity::kError
+                                              : Severity::kWarning;
+          Diagnostic& d = c->Add(
+              codes::kJoinKeyTypeMismatch, sev, node,
+              "join key " + std::to_string(i) + " compares " +
+                  DataTypeName(l->type) + " to " + DataTypeName(r->type));
+          d.notes.push_back(
+              "hash keys use a type-tagged encoding: mismatched key types "
+              "never match, making the join vacuously empty");
+        }
+      }
+      if (p.predicate != nullptr) {
+        Schema concat = left;
+        for (size_t i = 0; i < right.num_columns(); ++i) {
+          concat.Add(right.names[i], right.types[i]);
+        }
+        CheckExprTree(*p.predicate, concat, node, {"join residual"}, c);
+        CheckBoolPredicate(*p.predicate, node, {"join residual"}, c);
+      }
+      bool left_only = p.join_type == JoinType::kSemi ||
+                       p.join_type == JoinType::kAnti;
+      size_t want_n =
+          left.num_columns() + (left_only ? 0 : right.num_columns());
+      CheckSchemaDerived(
+          p.schema, want_n,
+          [&](size_t i) {
+            const Schema& src = i < left.num_columns() ? left : right;
+            size_t j = i < left.num_columns() ? i : i - left.num_columns();
+            return std::pair<const std::string*, DataType>(&src.names[j],
+                                                           src.types[j]);
+          },
+          node, JoinName(p.join_type), " join schema", c);
+      break;
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      const Schema& in = p.children[0]->schema;
+      c->checks++;
+      if (p.group_exprs.size() != p.group_names.size()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "group arity disagrees: " +
+                   std::to_string(p.group_exprs.size()) + " exprs, " +
+                   std::to_string(p.group_names.size()) + " names");
+        break;
+      }
+      bool any_null = false;
+      for (size_t i = 0; i < p.group_exprs.size(); ++i) {
+        if (p.group_exprs[i] == nullptr) {
+          c->Add(codes::kMissingMember, Severity::kError, node,
+                 "group expression " + std::to_string(i) + " is null");
+          any_null = true;
+          continue;
+        }
+        CheckExprTree(*p.group_exprs[i], in, node,
+                      {"group expr", static_cast<int64_t>(i)}, c);
+      }
+      for (size_t i = 0; i < p.aggs.size(); ++i) {
+        const AggSpec& a = p.aggs[i];
+        c->checks++;
+        if (a.op == AggOp::kCountStar) {
+          if (a.arg != nullptr) {
+            c->Add(codes::kBadAggSpec, Severity::kError, node,
+                   "count(*) aggregate " + std::to_string(i) +
+                       " carries an argument");
+          }
+        } else if (a.arg == nullptr) {
+          c->Add(codes::kBadAggSpec, Severity::kError, node,
+                 std::string(AggName(a.op)) + " aggregate " +
+                     std::to_string(i) + " has no argument");
+          continue;
+        } else {
+          CheckExprTree(*a.arg, in, node,
+                        {"aggregate arg", static_cast<int64_t>(i)}, c);
+        }
+        // Mirror of the binder's aggregate result typing.
+        DataType want = a.out_type;
+        switch (a.op) {
+          case AggOp::kCount:
+          case AggOp::kCountStar:
+          case AggOp::kCountDistinct:
+            want = DataType::kInt64;
+            break;
+          case AggOp::kAvg:
+            want = DataType::kFloat64;
+            break;
+          case AggOp::kSum:
+            want = (a.arg != nullptr && a.arg->type == DataType::kInt64)
+                       ? DataType::kInt64
+                       : DataType::kFloat64;
+            break;
+          case AggOp::kMin:
+          case AggOp::kMax:
+            if (a.arg != nullptr) want = a.arg->type;
+            break;
+        }
+        c->checks++;
+        if (a.out_type != want) {
+          Diagnostic& d = c->Add(
+              codes::kBadAggSpec, Severity::kError, node,
+              std::string(AggName(a.op)) + " aggregate " + std::to_string(i) +
+                  " ('" + a.out_name + "') declares result type " +
+                  DataTypeName(a.out_type) + " (binder rule gives " +
+                  DataTypeName(want) + ")");
+          if (a.arg != nullptr) {
+            d.notes.push_back(std::string("argument type: ") +
+                              DataTypeName(a.arg->type));
+          }
+        }
+      }
+      size_t want_n = p.group_exprs.size() + p.aggs.size();
+      if (any_null) {
+        break;  // the null-expr diagnostics above already fail the plan
+      }
+      if (want_n == p.schema.num_columns()) {
+        CheckSchemaDerived(
+            p.schema, want_n,
+            [&](size_t i) {
+              if (i < p.group_exprs.size()) {
+                return std::pair<const std::string*, DataType>(
+                    &p.group_names[i], p.group_exprs[i]->type);
+              }
+              const AggSpec& a = p.aggs[i - p.group_exprs.size()];
+              return std::pair<const std::string*, DataType>(&a.out_name,
+                                                             a.out_type);
+            },
+            node, "", "aggregate schema", c);
+      } else {
+        c->checks++;
+        c->Add(codes::kSchemaMismatch, Severity::kError, node,
+               "aggregate schema has " +
+                   std::to_string(p.schema.num_columns()) +
+                   " columns (groups + aggs give " +
+                   std::to_string(want_n) + ")");
+      }
+      break;
+    }
+    case LogicalPlan::Kind::kSort: {
+      c->checks++;
+      if (p.sort_keys.empty()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "sort has no keys");
+      }
+      for (const auto& [idx, asc] : p.sort_keys) {
+        c->checks++;
+        if (idx < 0 ||
+            static_cast<size_t>(idx) >= p.children[0]->schema.num_columns()) {
+          c->Add(codes::kSortKeyOutOfRange, Severity::kError, node,
+                 "sort key " + std::to_string(idx) + " out of range (child has " +
+                     std::to_string(p.children[0]->schema.num_columns()) +
+                     " columns)");
+        }
+      }
+      CheckSchemaEq(p.schema, p.children[0]->schema, node,
+                    "sort passthrough schema", c);
+      break;
+    }
+    case LogicalPlan::Kind::kLimit: {
+      c->checks++;
+      if (p.limit < 0) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "negative limit " + std::to_string(p.limit));
+      }
+      CheckSchemaEq(p.schema, p.children[0]->schema, node,
+                    "limit passthrough schema", c);
+      break;
+    }
+    case LogicalPlan::Kind::kDistinct: {
+      CheckSchemaEq(p.schema, p.children[0]->schema, node,
+                    "distinct passthrough schema", c);
+      break;
+    }
+    case LogicalPlan::Kind::kWindow: {
+      c->checks++;
+      if (p.window_name.empty()) {
+        c->Add(codes::kMissingMember, Severity::kError, node,
+               "window has no output column name");
+      }
+      for (const auto& [idx, asc] : p.window_order) {
+        c->checks++;
+        if (idx < 0 ||
+            static_cast<size_t>(idx) >= p.children[0]->schema.num_columns()) {
+          c->Add(codes::kSortKeyOutOfRange, Severity::kError, node,
+                 "window order key " + std::to_string(idx) +
+                     " out of range (child has " +
+                     std::to_string(p.children[0]->schema.num_columns()) +
+                     " columns)");
+        }
+      }
+      const Schema& in = p.children[0]->schema;
+      CheckSchemaDerived(
+          p.schema, in.num_columns() + 1,
+          [&](size_t i) {
+            if (i < in.num_columns()) {
+              return std::pair<const std::string*, DataType>(&in.names[i],
+                                                             in.types[i]);
+            }
+            return std::pair<const std::string*, DataType>(&p.window_name,
+                                                           DataType::kInt64);
+          },
+          node, "", "window schema", c);
+      break;
+    }
+  }
+}
+
+// ===================================================================
+// Pipeline tier (P020-P030)
+// ===================================================================
+
+bool IsStreamingKind(const LogicalPlan& p) {
+  return p.kind == LogicalPlan::Kind::kFilter ||
+         p.kind == LogicalPlan::Kind::kProject ||
+         (p.kind == LogicalPlan::Kind::kJoin &&
+          p.join_type != JoinType::kCross);
+}
+
+bool IsSerialBreaker(LogicalPlan::Kind k) {
+  return k == LogicalPlan::Kind::kSort || k == LogicalPlan::Kind::kLimit ||
+         k == LogicalPlan::Kind::kDistinct || k == LogicalPlan::Kind::kWindow;
+}
+
+void CollectNodes(const LogicalPlan& p,
+                  std::vector<const LogicalPlan*>* out) {
+  out->push_back(&p);
+  for (const auto& ch : p.children) {
+    if (ch) CollectNodes(*ch, out);
+  }
+}
+
+void SetRefs(const BoundExpr& e, std::vector<uint8_t>* mask,
+             std::vector<int>* scratch) {
+  scratch->clear();
+  CollectCols(e, scratch);
+  for (int col : *scratch) {
+    if (col >= 0 && static_cast<size_t>(col) < mask->size()) {
+      (*mask)[static_cast<size_t>(col)] = 1;
+    }
+  }
+}
+
+/// Probe-side geometry of a probe join: which block of the op's output
+/// the streamed (probe) child occupies, mirroring the executor's
+/// swapped/off/psz arithmetic.
+struct ProbeGeom {
+  bool swapped = false;
+  size_t lsz = 0;
+  size_t psz = 0;  // probe child width
+  size_t off = 0;  // probe block offset within the l++r output
+  const LogicalPlan* probe = nullptr;
+  const LogicalPlan* build = nullptr;
+};
+
+bool ProbeGeometry(const LogicalPlan& j, ProbeGeom* g) {
+  if (j.children.size() != 2 || !j.children[0] || !j.children[1]) return false;
+  g->swapped = j.join_type == JoinType::kRight ||
+               (j.join_type == JoinType::kInner && j.build_left);
+  g->lsz = j.children[0]->schema.num_columns();
+  g->probe = g->swapped ? j.children[1].get() : j.children[0].get();
+  g->build = g->swapped ? j.children[0].get() : j.children[1].get();
+  g->psz = g->probe->schema.num_columns();
+  g->off = g->swapped ? g->lsz : 0;
+  return true;
+}
+
+/// Independently recomputes, for each chain position, which output
+/// columns anything downstream still consumes — the soundness bound a
+/// stored liveness mask must respect. Written against the *semantics*
+/// of the streaming operators (what each op reads from its input, what
+/// each sink consumes), deliberately not sharing code with the
+/// builder's mask computation so a bug there cannot hide here.
+void CheckLivenessMasks(const PipelineDesc& d, const std::string& pnode,
+                        Checker* c) {
+  if (d.ops.empty() || d.sink == PipelineSinkKind::kCompute) return;
+  const LogicalPlan* last = d.ops.back();
+  if (last == nullptr) return;
+  std::vector<int> scratch;
+
+  // Requirement over the chain's final output, per sink kind.
+  std::vector<uint8_t> req(last->schema.num_columns(), 1);
+  if (d.sink == PipelineSinkKind::kAggregate && d.breaker != nullptr &&
+      d.breaker->kind == LogicalPlan::Kind::kAggregate) {
+    std::fill(req.begin(), req.end(), 0);
+    for (const auto& g : d.breaker->group_exprs) {
+      if (g) SetRefs(*g, &req, &scratch);
+    }
+    for (const auto& a : d.breaker->aggs) {
+      if (a.arg) SetRefs(*a.arg, &req, &scratch);
+    }
+  }
+
+  for (size_t i = d.ops.size(); i-- > 0;) {
+    const LogicalPlan* opn = d.ops[i];
+    if (opn == nullptr || !IsStreamingKind(*opn)) return;  // P023 covers it
+    size_t width = opn->schema.num_columns();
+    if (req.size() != width) return;  // P004/P025 cover the shape break
+
+    if (i < d.op_masks.size() && !d.op_masks[i].empty()) {
+      c->checks++;
+      const std::vector<uint8_t>& mask = d.op_masks[i];
+      auto onode = [&] {
+        return pnode + ", op " + std::to_string(i) + ":" +
+               KindName(opn->kind);
+      };
+      if (mask.size() != width) {
+        c->Add(codes::kLivenessMaskKillsLive, Severity::kError, onode(),
+               "liveness mask has " + std::to_string(mask.size()) +
+                   " entries over a " + std::to_string(width) +
+                   "-column output");
+      } else {
+        for (size_t col = 0; col < width; ++col) {
+          if (req[col] && !mask[col]) {
+            Diagnostic& diag = c->Add(
+                codes::kLivenessMaskKillsLive, Severity::kError, onode(),
+                "liveness mask kills column " + std::to_string(col) + " ('" +
+                    opn->schema.names[col] + "') still consumed downstream");
+            diag.notes.push_back(
+                "the verifier recomputed downstream requirements "
+                "independently of the builder's backward liveness pass");
+            break;
+          }
+        }
+      }
+    }
+
+    // Requirement over this op's input (the previous chain output).
+    if (opn->children.empty() || opn->children[0] == nullptr) return;
+    switch (opn->kind) {
+      case LogicalPlan::Kind::kFilter: {
+        if (opn->predicate) SetRefs(*opn->predicate, &req, &scratch);
+        break;
+      }
+      case LogicalPlan::Kind::kProject: {
+        std::vector<uint8_t> in_req(opn->children[0]->schema.num_columns(), 0);
+        for (size_t j = 0; j < opn->exprs.size() && j < req.size(); ++j) {
+          if (req[j] && opn->exprs[j]) SetRefs(*opn->exprs[j], &in_req, &scratch);
+        }
+        req = std::move(in_req);
+        break;
+      }
+      case LogicalPlan::Kind::kJoin: {
+        ProbeGeom g;
+        if (!ProbeGeometry(*opn, &g)) return;
+        std::vector<uint8_t> in_req(g.psz, 0);
+        if (opn->join_type == JoinType::kFull) {
+          std::fill(in_req.begin(), in_req.end(), 1);
+        } else if (opn->join_type == JoinType::kSemi ||
+                   opn->join_type == JoinType::kAnti) {
+          in_req = req;  // output schema == probe schema
+          in_req.resize(g.psz, 0);
+        } else {
+          for (size_t col = 0; col < g.psz && g.off + col < req.size();
+               ++col) {
+            if (req[g.off + col]) in_req[col] = 1;
+          }
+        }
+        for (const auto& [l, r] : opn->join_keys) {
+          const auto& probe_key = g.swapped ? r : l;
+          if (probe_key) SetRefs(*probe_key, &in_req, &scratch);
+        }
+        if (opn->predicate) {
+          scratch.clear();
+          CollectCols(*opn->predicate, &scratch);
+          for (int col : scratch) {
+            size_t cc = static_cast<size_t>(col);
+            if (col >= 0 && cc >= g.off && cc < g.off + g.psz) {
+              in_req[cc - g.off] = 1;
+            }
+          }
+        }
+        req = std::move(in_req);
+        break;
+      }
+      default:
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyPlan(const LogicalPlan& plan,
+                                   const VerifyOptions& opts,
+                                   VerifyStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  Checker c;
+  CheckNode(plan, "root", opts, &c);
+  FinishStats(stats, c, t0);
+  return std::move(c.diags);
+}
+
+std::vector<Diagnostic> VerifyPipelines(const LogicalPlan& root,
+                                        const PipelinePlan& pp,
+                                        VerifyStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  Checker c;
+
+  // Flat node table: `tree` holds every node (with multiplicity, sorted
+  // by address), `covered` counts pipeline-role references in parallel —
+  // no per-node allocation on the clean path.
+  std::vector<const LogicalPlan*> tree;
+  CollectNodes(root, &tree);
+  std::sort(tree.begin(), tree.end());
+  std::vector<int> covered(tree.size(), 0);
+  // `where` is built lazily: coverage runs per op on every clean query.
+  auto cover = [&](const LogicalPlan* n, const auto& where) {
+    if (n == nullptr) return;
+    c.checks++;
+    auto it = std::lower_bound(tree.begin(), tree.end(), n);
+    if (it == tree.end() || *it != n) {
+      c.Add(codes::kNodeCoverage, Severity::kError, where(),
+            "references a node outside the plan tree");
+      return;
+    }
+    covered[static_cast<size_t>(it - tree.begin())] += 1;
+  };
+
+  const int np = static_cast<int>(pp.pipelines.size());
+  for (int i = 0; i < np; ++i) {
+    const PipelineDesc& d = pp.pipelines[i];
+    const std::string pnode = "pipeline " + std::to_string(i);
+    auto valid_pid = [&](int pid) { return pid >= 0 && pid < d.id; };
+
+    c.checks++;
+    if (d.id != i) {
+      c.Add(codes::kPipelineIdOrder, Severity::kError, pnode,
+            "pipeline at index " + std::to_string(i) + " carries id " +
+                std::to_string(d.id));
+      continue;  // every downstream check keys off d.id
+    }
+    for (int dep : d.deps) {
+      c.checks++;
+      if (!valid_pid(dep)) {
+        Diagnostic& diag = c.Add(
+            codes::kPipelineDepCycle, Severity::kError, pnode,
+            "dependency on pipeline " + std::to_string(dep) +
+                " breaks the topological order (own id " +
+                std::to_string(d.id) + ")");
+        diag.notes.push_back(
+            "pipelines run in index order; every dependency id must be "
+            "smaller than the dependent's id (acyclic by construction)");
+      }
+    }
+
+    // Sink / breaker agreement.
+    c.checks++;
+    switch (d.sink) {
+      case PipelineSinkKind::kResult:
+        if (d.breaker != nullptr) {
+          c.Add(codes::kBreakerSinkMismatch, Severity::kError, pnode,
+                "result sink carries a breaker node");
+        }
+        break;
+      case PipelineSinkKind::kAggregate:
+        if (d.breaker == nullptr ||
+            d.breaker->kind != LogicalPlan::Kind::kAggregate) {
+          c.Add(codes::kBreakerSinkMismatch, Severity::kError, pnode,
+                std::string("aggregate sink breaker is ") +
+                    (d.breaker ? KindName(d.breaker->kind) : "null"));
+        }
+        break;
+      case PipelineSinkKind::kSerial:
+        if (d.breaker == nullptr || !IsSerialBreaker(d.breaker->kind)) {
+          c.Add(codes::kBreakerSinkMismatch, Severity::kError, pnode,
+                std::string("serial sink breaker is ") +
+                    (d.breaker ? KindName(d.breaker->kind) : "null") +
+                    " (want sort/limit/distinct/window)");
+        }
+        break;
+      case PipelineSinkKind::kCompute:
+        if (d.breaker == nullptr ||
+            d.breaker->kind != LogicalPlan::Kind::kJoin ||
+            d.breaker->join_type != JoinType::kCross) {
+          c.Add(codes::kBreakerSinkMismatch, Severity::kError, pnode,
+                "compute sink is reserved for cross joins");
+        }
+        break;
+    }
+
+    // Source shape.
+    c.checks++;
+    if (d.sink == PipelineSinkKind::kCompute) {
+      if (d.source != nullptr || d.source_pipeline >= 0 || !d.ops.empty() ||
+          d.inputs.empty()) {
+        c.Add(codes::kPipelineBadSource, Severity::kError, pnode,
+              "compute pipeline must have no source and no ops, only "
+              "materialized inputs");
+      }
+    } else {
+      bool has_src = d.source != nullptr;
+      bool has_pid = d.source_pipeline >= 0;
+      if (has_src == has_pid) {
+        c.Add(codes::kPipelineBadSource, Severity::kError, pnode,
+              has_src ? "both a leaf source and a source pipeline"
+                      : "neither a leaf source nor a source pipeline");
+      } else if (has_src && d.source->kind != LogicalPlan::Kind::kScan &&
+                 d.source->kind != LogicalPlan::Kind::kValues) {
+        c.Add(codes::kPipelineBadSource, Severity::kError, pnode,
+              std::string("morsel source is a ") + KindName(d.source->kind) +
+                  " (want a scan/values leaf)");
+      } else if (has_pid && !valid_pid(d.source_pipeline)) {
+        c.Add(codes::kPipelineBadSource, Severity::kError, pnode,
+              "source pipeline " + std::to_string(d.source_pipeline) +
+                  " out of range");
+      }
+      if (!d.inputs.empty()) {
+        c.Add(codes::kPipelineBadSource, Severity::kError, pnode,
+              "materialized inputs on a non-compute pipeline");
+      }
+    }
+
+    // Ops: streaming kinds, build-input arity.
+    bool builds_ok = d.op_build_inputs.size() == d.ops.size();
+    c.checks++;
+    if (!builds_ok) {
+      c.Add(codes::kBadBuildInput, Severity::kError, pnode,
+            "op_build_inputs has " + std::to_string(d.op_build_inputs.size()) +
+                " entries for " + std::to_string(d.ops.size()) + " ops");
+    }
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      const LogicalPlan* opn = d.ops[oi];
+      auto onode = [&] {
+        return pnode + ", op " + std::to_string(oi) +
+               (opn ? std::string(":") + KindName(opn->kind) : "");
+      };
+      c.checks++;
+      if (opn == nullptr || !IsStreamingKind(*opn)) {
+        Diagnostic& diag = c.Add(
+            codes::kNonStreamingOp, Severity::kError, onode(),
+            opn == nullptr
+                ? "null op in streaming chain"
+                : std::string(KindName(opn->kind)) +
+                      " in a streaming chain (breakers must sink a pipeline)");
+        diag.notes.push_back(
+            "streaming ops transform chunks in place: filter, project, "
+            "and probe-side hash join only");
+        continue;
+      }
+      if (!builds_ok) continue;
+      int bp = d.op_build_inputs[oi];
+      c.checks++;
+      if (opn->kind == LogicalPlan::Kind::kJoin) {
+        if (!valid_pid(bp)) {
+          c.Add(codes::kBadBuildInput, Severity::kError, onode(),
+                "probe join's build pipeline " + std::to_string(bp) +
+                    " out of range");
+        } else if (std::find(d.deps.begin(), d.deps.end(), bp) ==
+                   d.deps.end()) {
+          c.Add(codes::kBadBuildInput, Severity::kError, onode(),
+                "build pipeline " + std::to_string(bp) +
+                    " missing from deps");
+        }
+      } else if (bp != -1) {
+        c.Add(codes::kBadBuildInput, Severity::kError, onode(),
+              "non-join op carries build input " + std::to_string(bp));
+      }
+    }
+
+    // Chain continuity against the plan tree.
+    const LogicalPlan* prev = nullptr;
+    if (d.source != nullptr) {
+      prev = d.source;
+    } else if (valid_pid(d.source_pipeline)) {
+      prev = pp.pipelines[d.source_pipeline].output;
+    }
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      const LogicalPlan* opn = d.ops[oi];
+      if (opn == nullptr || !IsStreamingKind(*opn)) break;
+      auto onode = [&] {
+        return pnode + ", op " + std::to_string(oi) + ":" +
+               KindName(opn->kind);
+      };
+      if (opn->kind == LogicalPlan::Kind::kJoin) {
+        ProbeGeom g;
+        if (!ProbeGeometry(*opn, &g)) break;
+        c.checks++;
+        if (g.probe != prev) {
+          c.Add(codes::kChainBroken, Severity::kError, onode(),
+                "probe child is not the previous chain node");
+        }
+        if (builds_ok && valid_pid(d.op_build_inputs[oi])) {
+          c.checks++;
+          if (pp.pipelines[d.op_build_inputs[oi]].output != g.build) {
+            Diagnostic& diag = c.Add(
+                codes::kChainBroken, Severity::kError, onode(),
+                "build pipeline " + std::to_string(d.op_build_inputs[oi]) +
+                    " materializes a different node than the join's build "
+                    "child");
+            diag.notes.push_back(
+                "a probe op hashes exactly its build child's output; any "
+                "other table changes the join result");
+          }
+        }
+      } else {
+        c.checks++;
+        if (opn->children.size() != 1 || opn->children[0].get() != prev) {
+          c.Add(codes::kChainBroken, Severity::kError, onode(),
+                "op's child is not the previous chain node");
+        }
+      }
+      prev = opn;
+    }
+    if (d.breaker != nullptr && d.sink != PipelineSinkKind::kCompute) {
+      c.checks++;
+      if (d.breaker->children.empty() ||
+          d.breaker->children[0].get() != prev) {
+        c.Add(codes::kChainBroken, Severity::kError, pnode,
+              "breaker's child is not the chain's last node");
+      }
+    }
+    if (d.sink == PipelineSinkKind::kCompute && d.breaker != nullptr) {
+      c.checks++;
+      if (d.inputs.size() != d.breaker->children.size()) {
+        c.Add(codes::kChainBroken, Severity::kError, pnode,
+              "compute pipeline has " + std::to_string(d.inputs.size()) +
+                  " inputs for a " +
+                  std::to_string(d.breaker->children.size()) +
+                  "-child breaker");
+      } else {
+        for (size_t k = 0; k < d.inputs.size(); ++k) {
+          c.checks++;
+          if (!valid_pid(d.inputs[k]) ||
+              pp.pipelines[d.inputs[k]].output !=
+                  d.breaker->children[k].get()) {
+            c.Add(codes::kChainBroken, Severity::kError, pnode,
+                  "compute input " + std::to_string(k) +
+                      " does not materialize the breaker's child");
+          }
+        }
+      }
+    }
+
+    // Output node.
+    const LogicalPlan* expect_out = d.breaker != nullptr ? d.breaker : prev;
+    c.checks++;
+    if (d.output == nullptr || d.output != expect_out) {
+      c.Add(codes::kBadPipelineOutput, Severity::kError, pnode,
+            "output node is not the pipeline's final node");
+    }
+
+    // Reads covered by declared deps (and deps actually read).
+    std::vector<int> reads;
+    if (d.source_pipeline >= 0) reads.push_back(d.source_pipeline);
+    for (int bp : d.op_build_inputs) {
+      if (bp >= 0) reads.push_back(bp);
+    }
+    for (int in : d.inputs) reads.push_back(in);
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    std::vector<int> deps = d.deps;
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    for (int r : reads) {
+      c.checks++;
+      if (!std::binary_search(deps.begin(), deps.end(), r)) {
+        Diagnostic& diag = c.Add(
+            codes::kReadOutsideDeps, Severity::kError, pnode,
+            "reads pipeline " + std::to_string(r) +
+                "'s output without declaring the dependency");
+        diag.notes.push_back(
+            "the scheduler releases an output after its last declared "
+            "consumer; an undeclared read can see freed memory");
+      }
+    }
+    for (int dep : deps) {
+      c.checks++;
+      if (!std::binary_search(reads.begin(), reads.end(), dep)) {
+        c.Add(codes::kReadOutsideDeps, Severity::kWarning, pnode,
+              "declared dependency " + std::to_string(dep) + " is never read");
+      }
+    }
+
+    // Node coverage bookkeeping.
+    cover(d.source, [&] { return pnode + " source"; });
+    for (size_t oi = 0; oi < d.ops.size(); ++oi) {
+      cover(d.ops[oi], [&] { return pnode + ", op " + std::to_string(oi); });
+    }
+    cover(d.breaker, [&] { return pnode + " breaker"; });
+
+    CheckLivenessMasks(d, pnode, &c);
+  }
+
+  // Whole-plan checks: the last pipeline materializes the root, and every
+  // plan node belongs to exactly one pipeline role.
+  c.checks++;
+  if (pp.pipelines.empty() || pp.pipelines.back().output != &root) {
+    c.Add(codes::kBadPipelineOutput, Severity::kError, "plan",
+          "the final pipeline does not materialize the plan root");
+  }
+  for (size_t i = 0; i < tree.size();) {
+    size_t j = i;
+    int sum = 0;
+    while (j < tree.size() && tree[j] == tree[i]) sum += covered[j++];
+    int cnt = static_cast<int>(j - i);
+    c.checks++;
+    if (sum != cnt) {
+      c.Add(codes::kNodeCoverage, Severity::kError, "plan",
+            std::string(KindName(tree[i]->kind)) + " node covered by " +
+                std::to_string(sum) + " pipeline roles (want " +
+                std::to_string(cnt) + ")");
+    }
+    i = j;
+  }
+
+  FinishStats(stats, c, t0);
+  return std::move(c.diags);
+}
+
+// ===================================================================
+// Param tier (P040-P043)
+// ===================================================================
+
+namespace {
+
+void WalkTermParams(
+    const tondir::Term& t,
+    const std::function<void(const tondir::Term&)>& visit) {
+  if (t.kind == tondir::Term::Kind::kParam) visit(t);
+  for (const auto& ch : t.children) {
+    if (ch) WalkTermParams(*ch, visit);
+  }
+}
+
+void WalkBodyParams(
+    const tondir::Body& body,
+    const std::function<void(const tondir::Term&)>& visit) {
+  for (const tondir::Atom& a : body) {
+    if (a.term) WalkTermParams(*a.term, visit);
+    if (a.exists_body) WalkBodyParams(*a.exists_body, visit);
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyParamSlots(const tondir::Program& program,
+                                         const std::vector<DataType>& slots,
+                                         VerifyStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  Checker c;
+  std::vector<uint8_t> seen(slots.size(), 0);
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const std::string node = "rule " + std::to_string(r);
+    WalkBodyParams(program.rules[r].body, [&](const tondir::Term& t) {
+      c.checks++;
+      if (t.param_index < 0 ||
+          static_cast<size_t>(t.param_index) >= slots.size()) {
+        Diagnostic& d = c.Add(
+            codes::kParamIndexOutOfRange, Severity::kError, node,
+            "parameter $p" + std::to_string(t.param_index) +
+                " out of range (" + std::to_string(slots.size()) +
+                " declared slots)");
+        d.notes.push_back(
+            "slots are extracted in deterministic pre-order by the "
+            "parameterizer and bound positionally at EXECUTE");
+        return;
+      }
+      seen[static_cast<size_t>(t.param_index)] = 1;
+      c.checks++;
+      DataType want = slots[static_cast<size_t>(t.param_index)];
+      if (t.constant.type() != want) {
+        Diagnostic& d = c.Add(
+            codes::kParamSeedTypeMismatch, Severity::kError, node,
+            "parameter $p" + std::to_string(t.param_index) +
+                " carries a " + DataTypeName(t.constant.type()) +
+                " seed but the slot was declared " + DataTypeName(want));
+        d.notes.push_back(
+            "the slot's static type is what the skeleton plan was "
+            "compiled against; a drifted seed means a pass rewrote the "
+            "opaque parameter's typing");
+      }
+    });
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    c.checks++;
+    if (!seen[i]) {
+      Diagnostic& d = c.Add(
+          codes::kParamFolded, Severity::kError, "params",
+          "parameter slot $p" + std::to_string(i) +
+              " is no longer referenced by the optimized program");
+      d.notes.push_back(
+          "a value-dependent pass (constant folding / interval "
+          "specialization) consumed the parameter, baking one binding "
+          "into a plan cached for every binding");
+    }
+  }
+  FinishStats(stats, c, t0);
+  return std::move(c.diags);
+}
+
+std::vector<Diagnostic> VerifySkeletonSql(const std::string& sql,
+                                          size_t num_slots,
+                                          VerifyStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  Checker c;
+  std::vector<uint8_t> seen(num_slots, 0);
+  for (size_t i = 0; i + 2 < sql.size(); ++i) {
+    if (sql[i] != '$' || sql[i + 1] != 'p' ||
+        !std::isdigit(static_cast<unsigned char>(sql[i + 2]))) {
+      continue;
+    }
+    size_t j = i + 2;
+    size_t idx = 0;
+    while (j < sql.size() &&
+           std::isdigit(static_cast<unsigned char>(sql[j]))) {
+      idx = idx * 10 + static_cast<size_t>(sql[j] - '0');
+      ++j;
+    }
+    c.checks++;
+    if (idx >= num_slots) {
+      c.Add(codes::kSkeletonSlotMismatch, Severity::kError, "skeleton",
+            "skeleton SQL references $p" + std::to_string(idx) + " but only " +
+                std::to_string(num_slots) + " slots are declared");
+    } else {
+      seen[idx] = 1;
+    }
+    i = j - 1;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    c.checks++;
+    if (!seen[i]) {
+      Diagnostic& d = c.Add(
+          codes::kSkeletonSlotMismatch, Severity::kError, "skeleton",
+          "declared slot $p" + std::to_string(i) +
+              " never appears in the skeleton SQL");
+      d.notes.push_back(
+          "the parameter was folded into a constant during lowering: "
+          "EXECUTE bindings for this slot would be silently ignored");
+    }
+  }
+  FinishStats(stats, c, t0);
+  return std::move(c.diags);
+}
+
+Status CheckOrError(const std::vector<Diagnostic>& diags,
+                    const std::string& stage) {
+  size_t errors = 0;
+  const Diagnostic* first = nullptr;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      if (first == nullptr) first = &d;
+      ++errors;
+    }
+  }
+  if (first == nullptr) return Status::OK();
+  std::string msg =
+      "plan verifier [" + stage + "]: " + first->ToString();
+  if (errors > 1) {
+    msg += " (+" + std::to_string(errors - 1) + " more)";
+  }
+  return Status::Internal(std::move(msg));
+}
+
+bool VerifyDefault() {
+  static const bool kDefault = [] {
+    const char* env = std::getenv("TOND_VERIFY_PLANS");
+    if (env != nullptr && *env != '\0') {
+      std::string v(env);
+      for (char& ch : v) ch = static_cast<char>(std::tolower(ch));
+      return !(v == "0" || v == "off" || v == "false");
+    }
+#if !defined(NDEBUG) || defined(PYTOND_SANITIZER_BUILD)
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return kDefault;
+}
+
+}  // namespace pytond::analysis::physical

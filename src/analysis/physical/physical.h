@@ -1,0 +1,104 @@
+#ifndef PYTOND_ANALYSIS_PHYSICAL_PHYSICAL_H_
+#define PYTOND_ANALYSIS_PHYSICAL_PHYSICAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/exec/pipeline.h"
+#include "engine/plan/logical.h"
+#include "storage/table.h"
+#include "tondir/ir.h"
+
+/// Physical plan & pipeline verifier — the P-series, third leg of the
+/// correctness stack after the TondIR verifier (T-series) and the
+/// frontend analyzer (F-series). Purely structural: walks a bound
+/// `LogicalPlan` tree (column-binding resolution, schema agreement,
+/// node well-formedness) and a `PipelinePlan` (sink/breaker legality,
+/// dependency-DAG soundness, chain continuity, liveness-mask soundness
+/// via an independent requirement recomputation), and audits parameter
+/// slots through the prepared path (`Term::kParam` opacity, skeleton
+/// `$pN` agreement). Emits located diagnostics with why-chains; never
+/// mutates what it checks.
+///
+/// Layering: this library consumes engine *headers* only — every helper
+/// it needs (kind names, expression column collection) is reimplemented
+/// locally — so pytond_engine can link against it without a cycle.
+namespace pytond::analysis::physical {
+
+/// Options for VerifyPlan.
+struct VerifyOptions {
+  /// Resolves a scan's table name to its catalog/temp schema for the
+  /// P006 scan-schema check. Null (or returning null) skips resolution
+  /// for that table. The returned pointer must outlive the call.
+  std::function<const Schema*(const std::string&)> table_schema;
+};
+
+/// Accumulated verification accounting (per query, across stages).
+struct VerifyStats {
+  uint64_t stages = 0;       // Verify* invocations
+  uint64_t checks = 0;       // individual invariants evaluated
+  uint64_t diagnostics = 0;  // findings (errors + warnings)
+  uint64_t ns = 0;           // wall-clock spent verifying
+
+  void Merge(const VerifyStats& o) {
+    stages += o.stages;
+    checks += o.checks;
+    diagnostics += o.diagnostics;
+    ns += o.ns;
+  }
+};
+
+/// Verifies a bound plan tree: P001–P012. Every expression input must
+/// resolve in its child's output schema with type agreement; every
+/// node's output schema must agree with what the node computes.
+std::vector<Diagnostic> VerifyPlan(const engine::LogicalPlan& plan,
+                                   const VerifyOptions& opts,
+                                   VerifyStats* stats = nullptr);
+
+/// Verifies a pipeline decomposition of `root`: P020–P030. Shape
+/// legality (one sink per pipeline, breaker matches sink kind, ops
+/// genuinely streaming), dependency soundness (acyclic, reads declared),
+/// chain continuity against the plan tree, exact node coverage, and
+/// liveness-mask soundness (a stored mask may never kill a column the
+/// verifier's own backward requirement analysis proves consumed
+/// downstream).
+std::vector<Diagnostic> VerifyPipelines(const engine::LogicalPlan& root,
+                                        const engine::PipelinePlan& pp,
+                                        VerifyStats* stats = nullptr);
+
+/// Verifies parameter-slot opacity in optimized TondIR: P040–P042.
+/// Every `Term::kParam` must carry an in-range slot index whose seed
+/// type matches the slot's static type, and every slot must still be
+/// referenced — a missing slot means a value-dependent pass folded the
+/// parameter into a constant, which would bake one binding into the
+/// cached skeleton.
+std::vector<Diagnostic> VerifyParamSlots(const tondir::Program& program,
+                                         const std::vector<DataType>& slots,
+                                         VerifyStats* stats = nullptr);
+
+/// Verifies a generated SQL skeleton against its slot count: P043.
+/// Each `$pN` must reference a declared slot and each slot must appear
+/// (run once per plan-cache insert on the serve path, not per EXECUTE).
+std::vector<Diagnostic> VerifySkeletonSql(const std::string& sql,
+                                          size_t num_slots,
+                                          VerifyStats* stats = nullptr);
+
+/// OK when no diagnostic is an error; otherwise Internal with the stage
+/// blamed ("plan verifier [optimizer:limit_pushdown]: ...") — a failed
+/// physical invariant is a bug in the engine, not in user input.
+Status CheckOrError(const std::vector<Diagnostic>& diags,
+                    const std::string& stage);
+
+/// Whether plan verification is on by default: always in debug and
+/// sanitizer builds, opt-in via TOND_VERIFY_PLANS elsewhere (an explicit
+/// "0"/"off"/"false" forces it off everywhere). Read once per process.
+bool VerifyDefault();
+
+}  // namespace pytond::analysis::physical
+
+#endif  // PYTOND_ANALYSIS_PHYSICAL_PHYSICAL_H_

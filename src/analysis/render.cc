@@ -1,0 +1,79 @@
+#include "analysis/render.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace pytond::analysis::render {
+
+void WriteDiagnosticJson(obs::JsonWriter& json, const Diagnostic& d,
+                         Location loc) {
+  json.BeginObject()
+      .Key("code").String(d.code)
+      .Key("severity").String(SeverityName(d.severity));
+  switch (loc) {
+    case Location::kRuleAtom:
+      json.Key("rule").Int(d.rule_index).Key("atom").Int(d.atom_index);
+      break;
+    case Location::kLine:
+      json.Key("line").Int(d.line);
+      break;
+    case Location::kNode:
+      json.Key("node").String(d.node);
+      break;
+  }
+  json.Key("message").String(d.message);
+  if (!d.fix_hint.empty()) json.Key("fix_hint").String(d.fix_hint);
+  if (!d.notes.empty()) {
+    json.Key("notes").BeginArray();
+    for (const auto& n : d.notes) json.String(n);
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+void WriteParseErrorJson(obs::JsonWriter& json, const std::string& label,
+                         const std::string& message) {
+  json.BeginObject()
+      .Key("file").String(label)
+      .Key("parse_error").String(message)
+      .Key("ok").Bool(false)
+      .EndObject();
+}
+
+void PrintDiagnostic(std::ostream& os, const std::string& label,
+                     const Diagnostic& d, bool explain) {
+  os << label << ": " << d.ToString() << "\n";
+  if (explain) {
+    for (const auto& n : d.notes) os << "    note: " << n << "\n";
+  }
+}
+
+bool AnyFailed(const std::vector<Diagnostic>& diags, bool werror) {
+  return HasErrors(diags) || (werror && !diags.empty());
+}
+
+SourceInput ReadInput(const std::string& input) {
+  SourceInput in;
+  if (input == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    in.label = "<stdin>";
+    in.text = ss.str();
+    in.ok = true;
+    return in;
+  }
+  in.label = input;
+  std::ifstream f(input);
+  if (!f) {
+    in.error = "cannot open file";
+    return in;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  in.text = ss.str();
+  in.ok = true;
+  return in;
+}
+
+}  // namespace pytond::analysis::render

@@ -1,0 +1,60 @@
+#ifndef PYTOND_ANALYSIS_RENDER_H_
+#define PYTOND_ANALYSIS_RENDER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "obs/json.h"
+
+namespace pytond::analysis::render {
+
+/// Shared diagnostic rendering for the lint CLIs (tondlint / tondcheck /
+/// tondplan). Each tier locates findings differently — T by rule/atom,
+/// F by source line, P by plan node / pipeline coordinate — but the JSON
+/// envelope (code, severity, location, message, fix_hint, notes) and the
+/// plain-text "label: diag" + "    note: ..." forms are identical, so the
+/// three tools emit through these helpers and CI goldens stay consistent.
+
+/// Which location keys the JSON diagnostic object carries.
+enum class Location {
+  kRuleAtom,  // T-series: "rule", "atom"
+  kLine,      // F-series: "line"
+  kNode,      // P-series: "node"
+};
+
+/// Appends one diagnostic object to an open JSON container:
+/// {code, severity, <location>, message, fix_hint?, notes?[]}.
+void WriteDiagnosticJson(obs::JsonWriter& json, const Diagnostic& d,
+                         Location loc);
+
+/// Appends the per-file parse-failure object: {file, parse_error, ok:false}.
+void WriteParseErrorJson(obs::JsonWriter& json, const std::string& label,
+                         const std::string& message);
+
+/// Plain-text form: "label: <diag.ToString()>" plus, with `explain`, one
+/// indented "    note: ..." line per why-chain entry.
+void PrintDiagnostic(std::ostream& os, const std::string& label,
+                     const Diagnostic& d, bool explain);
+
+/// The CLIs' shared failure predicate: any error, or (with --werror) any
+/// diagnostic at all.
+bool AnyFailed(const std::vector<Diagnostic>& diags, bool werror);
+
+/// One CLI input: a file path or "-" for stdin. `ok` is false when the
+/// file cannot be opened (error describes it; callers decide whether that
+/// renders as JSON or stderr).
+struct SourceInput {
+  std::string label;
+  std::string text;
+  bool ok = false;
+  std::string error;
+};
+
+/// Reads `input` (path or "-"). Stdin inputs are labelled "<stdin>".
+SourceInput ReadInput(const std::string& input);
+
+}  // namespace pytond::analysis::render
+
+#endif  // PYTOND_ANALYSIS_RENDER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/physical/physical.h"
 #include "frontend/parameterize.h"
 #include "frontend/pylang/parser.h"
 
@@ -37,16 +38,19 @@ std::string NormalizeSource(const std::string& source) {
     }
     lines.push_back(std::move(line));
   }
-  while (!lines.empty() && lines.front().empty()) lines.erase(lines.begin());
-  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  size_t first = 0;
+  size_t last = lines.size();
+  while (first < last && lines[first].empty()) ++first;
+  while (last > first && lines[last - 1].empty()) --last;
   size_t indent = std::string::npos;
-  for (const std::string& l : lines) {
-    if (l.empty()) continue;
-    indent = std::min(indent, l.find_first_not_of(' '));
+  for (size_t i = first; i < last; ++i) {
+    if (lines[i].empty()) continue;
+    indent = std::min(indent, lines[i].find_first_not_of(' '));
   }
   if (indent == std::string::npos) indent = 0;
   std::string out;
-  for (const std::string& l : lines) {
+  for (size_t i = first; i < last; ++i) {
+    const std::string& l = lines[i];
     out.append(l.empty() ? l : l.substr(std::min(indent, l.size())));
     out.push_back('\n');
   }
@@ -139,6 +143,15 @@ Result<std::shared_ptr<const frontend::Compiled>> Session::LookupOrCompile(
     span.AddCounter("warnings", static_cast<int64_t>(c.diagnostics.size()));
   }
   auto shared = std::make_shared<const frontend::Compiled>(std::move(c));
+  if (options.verify_plans && !shared->params.empty()) {
+    // Serve insert gate (P043): a parameterized skeleton is verified
+    // once, at publish time, before any other connection can hit it —
+    // every declared slot must surface as `$pN` in the cached SQL.
+    auto diags = analysis::physical::VerifySkeletonSql(
+        shared->sql, shared->params.size());
+    PYTOND_RETURN_IF_ERROR(
+        analysis::physical::CheckOrError(diags, "plan_cache_insert"));
+  }
   cache_->Insert(key, shared);
   return shared;
 }
@@ -246,6 +259,9 @@ Result<std::shared_ptr<const Table>> PreparedStatement::Execute(
   }
   RunOptions opts = options_;
   opts.params = &bound;
+  // Verify-once: all bindings share one skeleton plan, so the first
+  // execution carries the physical verifier and later ones skip it.
+  opts.verify_plans = options_.verify_plans && !verified_->exchange(true);
   return session_->Execute(*compiled_, opts);
 }
 
@@ -296,6 +312,7 @@ Result<std::shared_ptr<const Table>> Session::Execute(
   qopts.profile = options.profile;
   qopts.num_threads = options.num_threads;
   qopts.pipeline = options.pipeline;
+  qopts.verify_plans = options.verify_plans;
   qopts.params = options.params;
   qopts.trace = options.trace;
   qopts.mem = options.mem;

@@ -1,6 +1,7 @@
 #ifndef PYTOND_CORE_SESSION_H_
 #define PYTOND_CORE_SESSION_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -47,6 +48,14 @@ struct RunOptions {
   /// `warnings` counter) ahead of the T-series. Participates in the
   /// plan-cache key.
   bool frontend_checks = true;
+  /// Physical plan/pipeline verification (P-series), forwarded to
+  /// QueryOptions::verify_plans: the bound plan, every optimizer pass,
+  /// and the pipeline decomposition are structurally checked, failing
+  /// the query with a stage-blamed Internal status on violation. On by
+  /// default in debug/sanitizer builds, off in release unless
+  /// TOND_VERIFY_PLANS=1. Prepared statements verify once per handle
+  /// (first Execute) rather than per binding.
+  bool verify_plans = engine::VerifyPlansDefault();
   /// Positional bindings for `$pN` placeholders in the compiled SQL,
   /// forwarded to QueryOptions::params. Set by PreparedStatement::Execute;
   /// plain Run/Compile paths leave it null. The caller keeps the vector
@@ -106,6 +115,12 @@ class PreparedStatement {
   std::vector<Value> defaults_;
   RunOptions options_;
   bool parameterized_ = false;
+  /// Verify-once ticket: every Execute shares the same skeleton plan, so
+  /// the first execution runs the physical verifier and later ones skip
+  /// it (shared_ptr because statements are copyable handles — copies of
+  /// one PREPARE share the ticket, not re-verify).
+  std::shared_ptr<std::atomic<bool>> verified_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 /// The PyTond entry point: compiles mini-Python data-science functions to

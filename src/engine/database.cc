@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "analysis/physical/physical.h"
 #include "engine/plan/binder.h"
 #include "engine/plan/optimizer.h"
 #include "engine/sql/parser.h"
@@ -10,7 +11,22 @@
 
 namespace pytond::engine {
 
+namespace physical = pytond::analysis::physical;
+
 namespace {
+
+/// One verification point over the bound/optimized plan: walks the tree
+/// under a "verify_plans" span, accumulates accounting into `stats`, and
+/// converts any error diagnostic into a stage-blamed Internal status.
+Status VerifyPlanStage(const LogicalPlan& plan, const BinderCatalog& bc,
+                       const std::string& stage, const QueryOptions& opts,
+                       physical::VerifyStats* stats) {
+  obs::Span span(opts.trace, "verify_plans", "engine");
+  physical::VerifyOptions vopts;
+  vopts.table_schema = bc.schema;
+  auto diags = physical::VerifyPlan(plan, vopts, stats);
+  return physical::CheckOrError(diags, stage);
+}
 
 const char* ProfileNameImpl(BackendProfile p) {
   switch (p) {
@@ -53,7 +69,9 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
                                                obs::MemoryAccountant* mem,
                                                obs::MetricsRegistry* metrics,
                                                PlanStatsMap* op_stats = nullptr,
-                                               PlanPtr* out_plan = nullptr) {
+                                               PlanPtr* out_plan = nullptr,
+                                               physical::VerifyStats* vstats =
+                                                   nullptr) {
   // VALUES body (CTE like `v(c0) AS (VALUES (0),(1))`).
   if (stmt.is_values()) {
     auto t = std::make_shared<Table>();
@@ -82,8 +100,20 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   obs::Span bind_span(opts.trace, "bind", "engine");
   PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(core, bc, opts.profile));
   bind_span.End();
+  const bool verify = opts.verify_plans;
+  physical::VerifyStats vlocal;
+  if (verify) {
+    PYTOND_RETURN_IF_ERROR(
+        VerifyPlanStage(*plan, bc, "bind", opts, &vlocal));
+  }
   obs::Span tune_span(opts.trace, "plan_tuning", "engine");
-  OptimizePlan(plan, opts.profile, bc.row_count);
+  PlanPassHooks hooks;
+  hooks.after_pass = [&](const char* pass) {
+    return VerifyPlanStage(*plan, bc, std::string("optimizer:") + pass, opts,
+                           &vlocal);
+  };
+  PYTOND_RETURN_IF_ERROR(OptimizePlan(plan, opts.profile, bc.row_count,
+                                      verify ? &hooks : nullptr));
   tune_span.End();
   if (out_plan != nullptr) *out_plan = plan;
 
@@ -97,7 +127,18 @@ Result<std::shared_ptr<const Table>> RunSelect(const sql::SelectStmt& stmt,
   ctx.mem = mem;
   ctx.pipeline = opts.pipeline;
   ctx.metrics = metrics;
-  return ExecutePlan(*plan, ctx);
+  ctx.verify_plans = verify;
+  ctx.verify_stats = verify ? &vlocal : nullptr;
+  auto result = ExecutePlan(*plan, ctx);
+  if (verify) {
+    if (metrics != nullptr && metrics->enabled()) {
+      metrics->counter("tond_verify_ns_total").Add(vlocal.ns);
+      metrics->counter("tond_verify_checks_total").Add(vlocal.checks);
+      metrics->counter("tond_verify_stages_total").Add(vlocal.stages);
+    }
+    if (vstats != nullptr) vstats->Merge(vlocal);
+  }
+  return result;
 }
 
 /// Renames a result table's columns to CTE alias names when given.
@@ -216,6 +257,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
   // Shared across all sub-plans of this statement; the annotator renders
   // `rows=`/`time=` actuals next to each operator that executed.
   PlanStatsMap stats;
+  physical::VerifyStats vstats;
   LogicalPlan::Annotator annotate = [&stats](const LogicalPlan& p) {
     auto it = stats.find(&p);
     if (it == stats.end()) return std::string();
@@ -266,7 +308,8 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
     PlanPtr plan;
     PYTOND_ASSIGN_OR_RETURN(
         auto t, RunSelect(*cte.select, catalog_, &scope, opts, pool, mem,
-                          &metrics_, analyze ? &stats : nullptr, &plan));
+                          &metrics_, analyze ? &stats : nullptr, &plan,
+                          &vstats));
     PYTOND_ASSIGN_OR_RETURN(t, ApplyColumnAliases(t, cte.column_names));
     scope.temps[cte.name] = t;
     scope.temp_schemas[cte.name] = t->schema();
@@ -287,7 +330,7 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       PlanPtr plan;
       PYTOND_ASSIGN_OR_RETURN(
           auto t, RunSelect(*stmt, catalog_, &scope, opts, pool, mem,
-                            &metrics_, &stats, &plan));
+                            &metrics_, &stats, &plan, &vstats));
       char buf[64];
       std::snprintf(buf, sizeof(buf), "-- Result (%zu rows, %.3f ms)\n",
                     t->num_rows(),
@@ -300,9 +343,21 @@ Result<std::string> Database::ExplainQuery(const std::string& sql,
       core.ctes.clear();
       PYTOND_ASSIGN_OR_RETURN(PlanPtr plan,
                               BindSelect(core, bc, opts.profile));
-      OptimizePlan(plan, opts.profile, bc.row_count);
+      PYTOND_RETURN_IF_ERROR(
+          OptimizePlan(plan, opts.profile, bc.row_count));
       out += plan->ToString();
     }
+  }
+  if (analyze && opts.verify_plans) {
+    // Verification ran at every stage and found nothing (a violation
+    // would have failed the query) — report what it cost.
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "-- verify=ok stages=%" PRIu64 " checks=%" PRIu64
+                  " time=%.3f ms\n",
+                  vstats.stages, vstats.checks,
+                  static_cast<double>(vstats.ns) / 1e6);
+    out += buf;
   }
   if (opts.mem != nullptr) opts.mem->ObservePeak(query_mem.peak());
   return out;

@@ -37,6 +37,13 @@ struct QueryOptions {
   /// sql::ParseSql). Null = the query must be placeholder-free. The
   /// caller keeps the vector alive for the duration of the query.
   const std::vector<Value>* params = nullptr;
+  /// Physical plan/pipeline verification (analysis/physical/, P-series):
+  /// checks the bound plan, re-checks after every optimizer pass (with
+  /// per-pass blame), and checks the pipeline decomposition before
+  /// execution. A violation fails the query with an Internal status
+  /// naming the stage. Execution-only like `pipeline`, so it does NOT
+  /// participate in plan-cache keys.
+  bool verify_plans = VerifyPlansDefault();
   /// Optional per-query trace: CTE materialization, binding, and
   /// per-operator spans land here. Null = no instrumentation.
   obs::TraceCollector* trace = nullptr;

@@ -15,6 +15,10 @@ namespace pytond::obs {
 class MetricsRegistry;
 }  // namespace pytond::obs
 
+namespace pytond::analysis::physical {
+struct VerifyStats;
+}  // namespace pytond::analysis::physical
+
 namespace pytond::engine {
 
 /// Inputs below this row count always execute inline — the per-task
@@ -54,6 +58,12 @@ using PlanStatsMap = std::map<const LogicalPlan*, OperatorStats>;
 /// ExecContext::pipeline / QueryOptions::pipeline / RunOptions::pipeline).
 bool PipelineEnabledDefault();
 
+/// Process-wide default for the physical plan/pipeline verifier
+/// (analysis/physical/): always on in debug and sanitizer builds, opt-in
+/// via TOND_VERIFY_PLANS in release (read once; per query override via
+/// QueryOptions::verify_plans / RunOptions::verify_plans).
+bool VerifyPlansDefault();
+
 /// Execution context: base catalog, materialized CTE temporaries, the
 /// intra-operator parallelism degree plus morsel sizing, the shared worker
 /// pool, and optional instrumentation (trace/op_stats null by default —
@@ -84,6 +94,14 @@ struct ExecContext {
   /// Optional always-on metrics sink (Database registry): pipelined
   /// execution records pipeline/morsel/streamed-byte counters here.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Physical verification of the pipeline decomposition (P-series):
+  /// ExecutePipelined checks the PipelinePlan it builds before running
+  /// it, failing the query with an Internal status on any violation.
+  /// Off by default — Database::Query wires it from QueryOptions.
+  bool verify_plans = false;
+  /// Optional accumulator for verification accounting (stages / checks /
+  /// ns), shared across the per-query verification points.
+  analysis::physical::VerifyStats* verify_stats = nullptr;
 };
 
 /// Effective rows per morsel for an input of n rows: ctx.morsel_rows

@@ -12,10 +12,13 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/physical/physical.h"
 #include "engine/exec/exec_internal.h"
 #include "obs/metrics/metrics.h"
 
 namespace pytond::engine {
+
+bool VerifyPlansDefault() { return analysis::physical::VerifyDefault(); }
 
 bool PipelineEnabledDefault() {
   static const bool enabled = [] {
@@ -75,6 +78,108 @@ bool IsProbeJoin(const LogicalPlan& plan) {
          plan.join_type != JoinType::kCross;
 }
 
+/// Backward liveness over one pipeline's chain: an aggregate sink reads
+/// only its group/argument columns; a projection reads only the columns
+/// its live expressions name. Each op's mask covers its *output* columns
+/// — anything downstream (later ops + the sink) still reads — so masked
+/// ops can leave dead columns as typed empty placeholders instead of
+/// gathering them (late materialization). Result and serial sinks
+/// consume full rows, so their chains stay fully live unless a
+/// projection narrows them. Runs at build time (Push) so the masks are
+/// part of the verifiable PipelinePlan.
+void ComputeOpMasks(PipelineDesc* d) {
+  d->op_masks.assign(d->ops.size(), {});
+  if (d->ops.empty() || d->sink == PipelineSinkKind::kCompute) return;
+  // Decomposition is pure structure (the builder never reads
+  // expressions), but liveness isn't: skip masking on trees whose ops
+  // lack their expressions — e.g. the structural plans the builder unit
+  // tests hand-assemble. Missing masks just mean "everything live".
+  for (const LogicalPlan* opn : d->ops) {
+    if (opn->kind == LogicalPlan::Kind::kFilter && !opn->predicate) return;
+    if (opn->kind == LogicalPlan::Kind::kProject &&
+        opn->exprs.size() != opn->schema.num_columns()) {
+      return;
+    }
+    if (opn->kind == LogicalPlan::Kind::kJoin && opn->join_keys.empty() &&
+        !opn->predicate) {
+      return;
+    }
+  }
+  auto refs_into = [](const BoundExpr& e, std::vector<uint8_t>* m) {
+    std::vector<int> cols;
+    e.CollectColumns(&cols);
+    for (int c : cols) {
+      if (c >= 0 && static_cast<size_t>(c) < m->size()) (*m)[c] = 1;
+    }
+  };
+  std::vector<uint8_t> after(d->ops.back()->schema.num_columns(), 1);
+  if (d->sink == PipelineSinkKind::kAggregate) {
+    std::fill(after.begin(), after.end(), 0);
+    for (const BoundExprPtr& e : d->breaker->group_exprs) {
+      refs_into(*e, &after);
+    }
+    for (const auto& a : d->breaker->aggs) {
+      if (a.arg) refs_into(*a.arg, &after);
+    }
+  }
+  for (size_t i = d->ops.size(); i-- > 0;) {
+    const LogicalPlan* opn = d->ops[i];
+    std::vector<uint8_t> omask = std::move(after);
+    switch (opn->kind) {
+      case LogicalPlan::Kind::kFilter:
+        after = omask;
+        refs_into(*opn->predicate, &after);
+        break;
+      case LogicalPlan::Kind::kProject:
+        after.assign(opn->children[0]->schema.num_columns(), 0);
+        for (size_t j = 0; j < opn->exprs.size(); ++j) {
+          if (omask[j]) refs_into(*opn->exprs[j], &after);
+        }
+        break;
+      case LogicalPlan::Kind::kJoin: {
+        JoinType jt = opn->join_type;
+        bool swapped = jt == JoinType::kRight ||
+                       (jt == JoinType::kInner && opn->build_left);
+        size_t lsz = opn->children[0]->schema.num_columns();
+        size_t psz = opn->children[swapped ? 1 : 0]->schema.num_columns();
+        size_t off = swapped ? lsz : 0;  // probe block within l++r
+        if (jt == JoinType::kFull) {
+          // Finish() emits full build rows; keep everything live.
+          after.assign(psz, 1);
+          std::fill(omask.begin(), omask.end(), 1);
+          break;
+        }
+        if (jt == JoinType::kSemi || jt == JoinType::kAnti) {
+          after = omask;  // output schema == probe schema
+        } else {
+          after.assign(psz, 0);
+          for (size_t c = 0; c < psz; ++c) {
+            if (omask[off + c]) after[c] = 1;
+          }
+        }
+        for (const auto& [l, r] : opn->join_keys) {
+          refs_into(*(swapped ? r : l), &after);
+        }
+        if (opn->predicate) {
+          std::vector<int> cols;
+          opn->predicate->CollectColumns(&cols);
+          for (int c : cols) {
+            size_t cc = static_cast<size_t>(c);
+            if (c >= 0 && cc >= off && cc < off + psz) after[cc - off] = 1;
+          }
+        }
+        break;
+      }
+      default:
+        after.assign(omask.size(), 1);
+        break;
+    }
+    if (std::find(omask.begin(), omask.end(), 0) != omask.end()) {
+      d->op_masks[i] = std::move(omask);
+    }
+  }
+}
+
 class Builder {
  public:
   PipelinePlan Build(const LogicalPlan& root) {
@@ -85,6 +190,7 @@ class Builder {
  private:
   int Push(PipelineDesc d) {
     d.id = static_cast<int>(plan_.pipelines.size());
+    ComputeOpMasks(&d);
     plan_.pipelines.push_back(std::move(d));
     return plan_.pipelines.back().id;
   }
@@ -1186,87 +1292,10 @@ Result<TablePtr> PipelineExecutor::RunPipeline(const PipelineDesc& d) {
         return Status::Internal("non-streaming op in pipeline chain");
     }
   }
-  // --- backward liveness over the chain ---
-  // An aggregate sink reads only its group/argument columns; a
-  // projection reads only the columns its live expressions name. Each
-  // op receives the mask of its output columns anything downstream
-  // still reads; masked ops leave dead columns as typed empty
-  // placeholders instead of gathering them (late materialization).
-  // Result and serial sinks consume full rows, so their chains stay
-  // fully live unless a projection narrows them.
-  if (!ops.empty()) {
-    auto refs_into = [](const BoundExpr& e, std::vector<uint8_t>* m) {
-      std::vector<int> cols;
-      e.CollectColumns(&cols);
-      for (int c : cols) {
-        if (c >= 0 && static_cast<size_t>(c) < m->size()) (*m)[c] = 1;
-      }
-    };
-    std::vector<uint8_t> after(d.ops.back()->schema.num_columns(), 1);
-    if (d.sink == PipelineSinkKind::kAggregate) {
-      std::fill(after.begin(), after.end(), 0);
-      for (const BoundExprPtr& e : d.breaker->group_exprs) {
-        refs_into(*e, &after);
-      }
-      for (const auto& a : d.breaker->aggs) {
-        if (a.arg) refs_into(*a.arg, &after);
-      }
-    }
-    for (size_t i = ops.size(); i-- > 0;) {
-      const LogicalPlan* opn = d.ops[i];
-      std::vector<uint8_t> omask = std::move(after);
-      switch (opn->kind) {
-        case LogicalPlan::Kind::kFilter:
-          after = omask;
-          refs_into(*opn->predicate, &after);
-          break;
-        case LogicalPlan::Kind::kProject:
-          after.assign(opn->children[0]->schema.num_columns(), 0);
-          for (size_t j = 0; j < opn->exprs.size(); ++j) {
-            if (omask[j]) refs_into(*opn->exprs[j], &after);
-          }
-          break;
-        case LogicalPlan::Kind::kJoin: {
-          JoinType jt = opn->join_type;
-          bool swapped = jt == JoinType::kRight ||
-                         (jt == JoinType::kInner && opn->build_left);
-          size_t lsz = opn->children[0]->schema.num_columns();
-          size_t psz = opn->children[swapped ? 1 : 0]->schema.num_columns();
-          size_t off = swapped ? lsz : 0;  // probe block within l++r
-          if (jt == JoinType::kFull) {
-            // Finish() emits full build rows; keep everything live.
-            after.assign(psz, 1);
-            std::fill(omask.begin(), omask.end(), 1);
-            break;
-          }
-          if (jt == JoinType::kSemi || jt == JoinType::kAnti) {
-            after = omask;  // output schema == probe schema
-          } else {
-            after.assign(psz, 0);
-            for (size_t c = 0; c < psz; ++c) {
-              if (omask[off + c]) after[c] = 1;
-            }
-          }
-          for (const auto& [l, r] : opn->join_keys) {
-            refs_into(*(swapped ? r : l), &after);
-          }
-          if (opn->predicate) {
-            std::vector<int> cols;
-            opn->predicate->CollectColumns(&cols);
-            for (int c : cols) {
-              size_t cc = static_cast<size_t>(c);
-              if (c >= 0 && cc >= off && cc < off + psz) after[cc - off] = 1;
-            }
-          }
-          break;
-        }
-        default:
-          after.assign(omask.size(), 1);
-          break;
-      }
-      if (std::find(omask.begin(), omask.end(), 0) != omask.end()) {
-        ops[i]->SetOutputMask(std::move(omask));
-      }
+  // --- late materialization: apply the build-time liveness masks ---
+  for (size_t i = 0; i < ops.size() && i < d.op_masks.size(); ++i) {
+    if (!d.op_masks[i].empty()) {
+      ops[i]->SetOutputMask(d.op_masks[i]);
     }
   }
 
@@ -1559,6 +1588,11 @@ PipelinePlan BuildPipelines(const LogicalPlan& plan) {
 Result<TablePtr> ExecutePipelined(const LogicalPlan& plan,
                                   const ExecContext& ctx) {
   PipelinePlan pp = BuildPipelines(plan);
+  if (ctx.verify_plans) {
+    namespace physical = analysis::physical;
+    auto diags = physical::VerifyPipelines(plan, pp, ctx.verify_stats);
+    PYTOND_RETURN_IF_ERROR(physical::CheckOrError(diags, "pipeline_build"));
+  }
   PipelineExecutor exec(pp, plan, ctx);
   return exec.Run();
 }

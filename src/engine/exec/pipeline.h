@@ -1,6 +1,7 @@
 #ifndef PYTOND_ENGINE_EXEC_PIPELINE_H_
 #define PYTOND_ENGINE_EXEC_PIPELINE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "engine/exec/executor.h"
@@ -50,6 +51,12 @@ struct PipelineDesc {
   /// Parallel to `ops`: the pipeline whose output is the hash-join build
   /// side for a kJoin probe op, -1 for non-join ops.
   std::vector<int> op_build_inputs;
+  /// Parallel to `ops`: backward-liveness output mask per chain position
+  /// (1 = live, 0 = dead; empty = fully live, nothing to drop). Computed
+  /// at build time so the whole decomposition — late-materialization
+  /// masks included — is a verifiable artifact before anything executes;
+  /// masked ops leave dead columns as typed empty placeholders.
+  std::vector<std::vector<uint8_t>> op_masks;
   /// The breaker this pipeline feeds (kAggregate/kSerial/kCompute sinks);
   /// null for kResult pipelines.
   const LogicalPlan* breaker = nullptr;

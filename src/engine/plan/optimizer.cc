@@ -4,26 +4,76 @@ namespace pytond::engine {
 
 namespace {
 
-void SelectBuildSides(
+bool SelectBuildSides(
     const PlanPtr& plan,
     const std::function<double(const std::string&)>& table_rows) {
-  for (const PlanPtr& c : plan->children) SelectBuildSides(c, table_rows);
+  bool changed = false;
+  for (const PlanPtr& c : plan->children) {
+    changed = SelectBuildSides(c, table_rows) || changed;
+  }
   if (plan->kind == LogicalPlan::Kind::kJoin &&
       plan->join_type == JoinType::kInner) {
     double l = plan->children[0]->EstimateRows(table_rows);
     double r = plan->children[1]->EstimateRows(table_rows);
     // Hash-build on the (estimated) smaller side.
-    plan->build_left = l < r;
+    bool build_left = l < r;
+    changed = changed || plan->build_left != build_left;
+    plan->build_left = build_left;
   }
+  return changed;
+}
+
+/// Pushes kLimit below an immediate kProject child: a projection is
+/// stateless and 1:1, so Limit(Project(X)) == Project(Limit(X)) — and
+/// the pushed form computes projection expressions only over the rows
+/// the limit keeps. Rewrites in place by content-swapping `plan` into
+/// the projection (callers hold PlanPtrs into the tree, so node
+/// identity at the root must be preserved).
+bool PushLimitBelowProject(const PlanPtr& plan) {
+  bool changed = false;
+  for (const PlanPtr& c : plan->children) {
+    changed = PushLimitBelowProject(c) || changed;
+  }
+  while (plan->kind == LogicalPlan::Kind::kLimit &&
+         plan->children.size() == 1 &&
+         plan->children[0]->kind == LogicalPlan::Kind::kProject) {
+    PlanPtr proj = plan->children[0];
+    PlanPtr inner = MakePlan(LogicalPlan::Kind::kLimit);
+    inner->limit = plan->limit;
+    inner->children = {proj->children[0]};
+    inner->schema = proj->children[0]->schema;
+    *plan = *proj;  // the node becomes the projection...
+    plan->children = {inner};  // ...over the sunk limit
+    changed = true;
+    PushLimitBelowProject(inner);  // stacked projections: keep sinking
+  }
+  return changed;
 }
 
 }  // namespace
 
-void OptimizePlan(const PlanPtr& plan, BackendProfile profile,
-                  const std::function<double(const std::string&)>& table_rows) {
-  if (profile == BackendProfile::kCompiled) {
-    SelectBuildSides(plan, table_rows);
+Status OptimizePlan(
+    const PlanPtr& plan, BackendProfile profile,
+    const std::function<double(const std::string&)>& table_rows,
+    const PlanPassHooks* hooks) {
+  struct Pass {
+    const char* name;
+    bool applies;
+    std::function<bool()> run;  // true = the pass rewrote the plan
+  };
+  const Pass passes[] = {
+      {"limit_pushdown", true, [&] { return PushLimitBelowProject(plan); }},
+      {"build_side_selection", profile == BackendProfile::kCompiled,
+       [&] { return SelectBuildSides(plan, table_rows); }},
+  };
+  for (const Pass& pass : passes) {
+    if (!pass.applies) continue;
+    bool changed = pass.run();
+    if (changed && hooks != nullptr && hooks->after_pass) {
+      PYTOND_RETURN_IF_ERROR(hooks->after_pass(pass.name));
+    }
   }
+  return Status::OK();
 }
 
 }  // namespace pytond::engine

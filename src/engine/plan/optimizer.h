@@ -3,17 +3,36 @@
 
 #include <functional>
 
+#include "common/status.h"
 #include "engine/plan/logical.h"
 #include "engine/profile.h"
 
 namespace pytond::engine {
 
-/// Physical-plan tuning applied after binding. The kCompiled profile
-/// ("hyper-like") runs build-side selection on inner hash joins; the other
-/// profiles leave the plan as bound (the binder already differs per
-/// profile in join ordering).
-void OptimizePlan(const PlanPtr& plan, BackendProfile profile,
-                  const std::function<double(const std::string&)>& table_rows);
+/// Per-pass instrumentation for OptimizePlan. `after_pass` runs after
+/// every pass that rewrote the plan, with the pass's stable name — the
+/// physical verifier hangs off this to blame the exact pass that
+/// corrupted a plan (mirroring the TondIR optimizer's verify_each_pass).
+/// Passes that inspected but did not touch the plan are skipped: the
+/// plan they leave behind is byte-identical to one already verified, so
+/// re-verifying it could never blame them. A non-OK return aborts
+/// optimization.
+struct PlanPassHooks {
+  std::function<Status(const char* pass)> after_pass;
+};
+
+/// Physical-plan tuning applied after binding, as a sequence of named
+/// passes:
+///   - "limit_pushdown"        (all profiles): LIMIT sinks below stateless
+///     1:1 projections, so pipelined chains truncate before computing
+///     projection expressions over rows the limit would discard.
+///   - "build_side_selection"  (kCompiled only, "hyper-like"): hash-build
+///     on the estimated smaller side of inner joins; the other profiles
+///     leave join sides as bound.
+Status OptimizePlan(
+    const PlanPtr& plan, BackendProfile profile,
+    const std::function<double(const std::string&)>& table_rows,
+    const PlanPassHooks* hooks = nullptr);
 
 }  // namespace pytond::engine
 

@@ -1,6 +1,7 @@
 #include "frontend/compiler.h"
 
 #include "analysis/dataflow/dataflow.h"
+#include "analysis/physical/physical.h"
 #include "analysis/verifier.h"
 #include "frontend/analysis/analyzer.h"
 #include "frontend/anf/anf.h"
@@ -11,7 +12,8 @@ namespace pytond::frontend {
 namespace {
 
 Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
-                            const CompileOptions& options) {
+                            const CompileOptions& options,
+                            const std::vector<ParamSlot>& slots) {
   // Decorator arguments override compile options (paper §III-A).
   TranslateOptions topts;
   topts.layout = options.layout;
@@ -114,6 +116,20 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   PYTOND_RETURN_IF_ERROR(opt::Optimize(&tr.program, base, oopts));
   out.tondir_after = tr.program.ToString();
 
+  if (!slots.empty()) {
+    // Param-slot safety (P040-P042): the optimizer must treat kParam
+    // terms as opaque. A folded or retyped slot bakes one client's
+    // binding into a skeleton plan the cache shares across bindings.
+    obs::Span pspan(options.trace, "verify_params", "phase");
+    std::vector<DataType> slot_types;
+    slot_types.reserve(slots.size());
+    for (const ParamSlot& s : slots) slot_types.push_back(s.type);
+    auto pdiags =
+        analysis::physical::VerifyParamSlots(tr.program, slot_types);
+    PYTOND_RETURN_IF_ERROR(analysis::physical::CheckOrError(
+        pdiags, "parameterize:" + fn.name));
+  }
+
   // Re-derive column facts on the optimized program so codegen can emit
   // type-aware literals (dialect adaptation, e.g. DATE casts).
   analysis::dataflow::AnalyzeOptions aopts;
@@ -126,6 +142,16 @@ Result<Compiled> CompileOne(const py::Function& fn, const Catalog& catalog,
   sopts.trace = options.trace;
   sopts.facts = &facts;
   PYTOND_ASSIGN_OR_RETURN(out.sql, sqlgen::GenerateSql(tr.program, sopts));
+
+  if (!slots.empty()) {
+    // P043: every declared slot must surface as `$pN` in the emitted
+    // SQL, and no `$pN` may reference an undeclared slot — the serve
+    // path binds EXECUTE arguments positionally against this text.
+    auto sdiags =
+        analysis::physical::VerifySkeletonSql(out.sql, slots.size());
+    PYTOND_RETURN_IF_ERROR(
+        analysis::physical::CheckOrError(sdiags, "skeleton:" + fn.name));
+  }
   return out;
 }
 
@@ -150,7 +176,8 @@ Result<std::vector<Compiled>> CompileModule(const std::string& source,
     // literals Session::Prepare keyed the skeleton on.
     std::vector<ParamSlot> slots;
     if (options.parameterize) slots = ParameterizeFunction(&fn);
-    PYTOND_ASSIGN_OR_RETURN(Compiled c, CompileOne(fn, catalog, options));
+    PYTOND_ASSIGN_OR_RETURN(Compiled c,
+                            CompileOne(fn, catalog, options, slots));
     c.params = std::move(slots);
     out.push_back(std::move(c));
   }

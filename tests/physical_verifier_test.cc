@@ -1,0 +1,542 @@
+// Physical plan & pipeline verifier (analysis/physical/, P-series):
+//  - A seeded plan-mutation fuzzer: every workload's compiled SQL is
+//    bound, optimized, and decomposed, then corrupted one structural
+//    mutation at a time (drop column, retype column, swap sink kind,
+//    break the pipeline DAG, kill a live liveness mask) — the verifier
+//    must catch ≥95% of applied mutations overall and at least one per
+//    class. Seeds make every failure reproducible.
+//  - Unperturbed coverage: all 30 workloads execute P-clean with
+//    verify_plans on, in both pipeline modes (the engine wiring fails
+//    the query on any violation, so success == clean).
+//  - Param-slot tier (P040-P043) over hand-built TondIR and skeleton
+//    SQL, including the folded-parameter case the plan cache must never
+//    serve.
+//  - Build-time op_masks: masks ride on PipelineDesc, stay parallel to
+//    the op chain, and the verifier's independent liveness recompute
+//    agrees with the builder's.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/physical/physical.h"
+#include "core/session.h"
+#include "engine/exec/pipeline.h"
+#include "engine/plan/binder.h"
+#include "engine/plan/optimizer.h"
+#include "engine/sql/parser.h"
+#include "tondir/ir.h"
+#include "workloads/datasci.h"
+#include "workloads/tpch/dbgen.h"
+#include "workloads/tpch/queries.h"
+
+namespace pytond {
+namespace {
+
+namespace physical = analysis::physical;
+using analysis::Diagnostic;
+using engine::LogicalPlan;
+using engine::PipelinePlan;
+using engine::PipelineSinkKind;
+using engine::PlanPtr;
+
+bool HasErrorDiags(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == analysis::Severity::kError) return true;
+  }
+  return false;
+}
+
+// ===================================================================
+// Shared fixture: one populated database, 30 compiled workloads
+// ===================================================================
+
+struct Workload {
+  std::string name;
+  const char* source;
+};
+
+std::vector<Workload> AllWorkloads() {
+  namespace ds = workloads::datasci;
+  std::vector<Workload> out;
+  for (const auto& q : workloads::tpch::AllQueries()) {
+    out.push_back({q.name, q.source});
+  }
+  out.push_back({"crime_index", ds::CrimeIndexSource()});
+  out.push_back({"birth_analysis", ds::BirthAnalysisSource()});
+  out.push_back({"n3", ds::N3Source()});
+  out.push_back({"n9", ds::N9Source()});
+  out.push_back({"hybrid_matmul", ds::HybridMatMulSource(false)});
+  out.push_back({"hybrid_covar", ds::HybridCovarSource(false)});
+  out.push_back({"covar_dense", ds::CovarDenseSource()});
+  out.push_back({"covar_sparse", ds::CovarSparseSource()});
+  return out;
+}
+
+class PhysicalVerifierTest : public ::testing::Test {
+ protected:
+  static Session* session_;
+
+  static void SetUpTestSuite() {
+    session_ = new Session();
+    ASSERT_TRUE(workloads::tpch::Populate(&session_->db(), 0.01).ok());
+    namespace ds = workloads::datasci;
+    ASSERT_TRUE(ds::PopulateCrimeIndex(&session_->db(), 256).ok());
+    ASSERT_TRUE(ds::PopulateBirthAnalysis(&session_->db(), 256).ok());
+    ASSERT_TRUE(ds::PopulateN3(&session_->db(), 256).ok());
+    ASSERT_TRUE(ds::PopulateN9(&session_->db(), 256).ok());
+    ASSERT_TRUE(ds::PopulateHybrid(&session_->db(), 256).ok());
+    ASSERT_TRUE(
+        ds::PopulateCovariance(&session_->db(), 64, 4, 0.5).ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+};
+
+Session* PhysicalVerifierTest::session_ = nullptr;
+
+// ===================================================================
+// Schema-only binding of compiled SQL (CTEs bound in order, their
+// output schemas registered — nothing executes)
+// ===================================================================
+
+struct BoundQuery {
+  std::vector<PlanPtr> plans;  // CTE plans in order, then the final plan
+  std::map<std::string, Schema> temp_schemas;
+  physical::VerifyOptions vopts;  // resolver over catalog + temps
+};
+
+Result<BoundQuery> BindSql(const std::string& sql, const Catalog& catalog) {
+  PYTOND_ASSIGN_OR_RETURN(engine::sql::SelectPtr stmt,
+                          engine::sql::ParseSql(sql));
+  auto bound = std::make_shared<BoundQuery>();
+  engine::BinderCatalog bc;
+  bc.schema = [bound, &catalog](const std::string& name) -> const Schema* {
+    auto it = bound->temp_schemas.find(name);
+    if (it != bound->temp_schemas.end()) return &it->second;
+    const Table* t = catalog.GetTable(name);
+    return t == nullptr ? nullptr : &t->schema();
+  };
+  bc.row_count = [](const std::string&) { return 1000.0; };
+
+  auto bind_one = [&](const engine::sql::SelectStmt& s)
+      -> Result<PlanPtr> {
+    engine::sql::SelectStmt core = s;
+    core.ctes.clear();
+    PYTOND_ASSIGN_OR_RETURN(
+        PlanPtr plan,
+        BindSelect(core, bc, engine::BackendProfile::kVectorized));
+    PYTOND_RETURN_IF_ERROR(OptimizePlan(
+        plan, engine::BackendProfile::kVectorized, bc.row_count));
+    return plan;
+  };
+
+  for (const auto& cte : stmt->ctes) {
+    if (cte.select->is_values()) {
+      Schema s;
+      const auto& rows = cte.select->values_rows;
+      for (size_t i = 0; i < rows[0].size(); ++i) {
+        DataType ty = DataType::kInt64;
+        for (const auto& row : rows) {
+          if (!row[i].is_null()) {
+            ty = row[i].type();
+            break;
+          }
+        }
+        s.Add(i < cte.column_names.size() ? cte.column_names[i]
+                                          : "col" + std::to_string(i),
+              ty);
+      }
+      bound->temp_schemas[cte.name] = s;
+      continue;
+    }
+    PYTOND_ASSIGN_OR_RETURN(PlanPtr plan, bind_one(*cte.select));
+    Schema s = plan->schema;
+    for (size_t i = 0; i < cte.column_names.size() && i < s.names.size();
+         ++i) {
+      s.names[i] = cte.column_names[i];
+    }
+    bound->temp_schemas[cte.name] = s;
+    bound->plans.push_back(std::move(plan));
+  }
+  PYTOND_ASSIGN_OR_RETURN(PlanPtr final_plan, bind_one(*stmt));
+  bound->plans.push_back(std::move(final_plan));
+  bound->vopts.table_schema = bc.schema;
+
+  BoundQuery out = std::move(*bound);
+  // The resolver captured `bound`; rebuild it over the returned object.
+  // (Moved-from maps stay valid; re-point the lambda at `out` copies.)
+  return out;
+}
+
+/// Re-binds the schema resolver after BoundQuery is moved into place.
+void FixResolver(BoundQuery* bq, const Catalog& catalog) {
+  bq->vopts.table_schema =
+      [bq, &catalog](const std::string& name) -> const Schema* {
+    auto it = bq->temp_schemas.find(name);
+    if (it != bq->temp_schemas.end()) return &it->second;
+    const Table* t = catalog.GetTable(name);
+    return t == nullptr ? nullptr : &t->schema();
+  };
+}
+
+// ===================================================================
+// Seeded mutation classes
+// ===================================================================
+
+void CollectNodes(LogicalPlan* p, std::vector<LogicalPlan*>* out) {
+  out->push_back(p);
+  for (auto& c : p->children) CollectNodes(c.get(), out);
+}
+
+enum class Mutation { kDropColumn, kRetypeColumn, kSwapSink, kBreakDag,
+                      kKillMask };
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kDropColumn: return "drop_column";
+    case Mutation::kRetypeColumn: return "retype_column";
+    case Mutation::kSwapSink: return "swap_sink";
+    case Mutation::kBreakDag: return "break_dag";
+    case Mutation::kKillMask: return "kill_mask";
+  }
+  return "?";
+}
+
+/// Applies a plan-tier mutation to one node of one plan. Returns false
+/// when no node could be mutated (nothing applied — not a detection
+/// miss). Leaves are skipped: a scan whose schema drifts from the
+/// catalog is only a P006 warning (temp tables legitimately rename), so
+/// the fuzzer measures detection over nodes the verifier must hard-fail.
+bool MutatePlans(Mutation m, std::mt19937* rng,
+                 std::vector<PlanPtr>* plans) {
+  std::vector<LogicalPlan*> nodes;
+  for (auto& p : *plans) CollectNodes(p.get(), &nodes);
+  std::shuffle(nodes.begin(), nodes.end(), *rng);
+  for (LogicalPlan* n : nodes) {
+    if (n->schema.num_columns() == 0 || n->children.empty()) continue;
+    if (m == Mutation::kDropColumn) {
+      n->schema.names.pop_back();
+      n->schema.types.pop_back();
+      return true;
+    }
+    if (m == Mutation::kRetypeColumn) {
+      size_t c = (*rng)() % n->schema.num_columns();
+      n->schema.types[c] = n->schema.types[c] == DataType::kString
+                               ? DataType::kInt64
+                               : DataType::kString;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Applies a pipeline-tier mutation to one PipelinePlan. Returns false
+/// when inapplicable.
+bool MutatePipelines(Mutation m, std::mt19937* rng, PipelinePlan* pp) {
+  auto& ps = pp->pipelines;
+  if (ps.empty()) return false;
+  if (m == Mutation::kSwapSink) {
+    auto& d = ps[(*rng)() % ps.size()];
+    d.sink = d.sink == PipelineSinkKind::kResult
+                 ? PipelineSinkKind::kAggregate
+                 : PipelineSinkKind::kResult;
+    return true;
+  }
+  if (m == Mutation::kBreakDag) {
+    auto& d = ps[(*rng)() % ps.size()];
+    switch ((*rng)() % 3) {
+      case 0: d.deps.push_back(d.id); break;         // self-dependency
+      case 1: d.deps.push_back(static_cast<int>(ps.size())); break;
+      default:
+        if (!d.deps.empty()) {
+          d.deps.clear();  // undeclared reads (build/source inputs)
+        } else {
+          d.deps.push_back(d.id);
+        }
+        break;
+    }
+    return true;
+  }
+  if (m == Mutation::kKillMask) {
+    // Kill the last op's outputs in a pipeline whose sink consumes full
+    // rows (result/serial seed all-live, so an all-dead mask is always a
+    // genuine corruption there).
+    std::vector<size_t> order(ps.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), *rng);
+    for (size_t i : order) {
+      auto& d = ps[i];
+      if (d.sink != PipelineSinkKind::kResult &&
+          d.sink != PipelineSinkKind::kSerial) {
+        continue;
+      }
+      if (d.ops.empty()) continue;
+      size_t cols = d.ops.back()->schema.num_columns();
+      if (cols == 0) continue;
+      d.op_masks[d.ops.size() - 1].assign(cols, 0);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+// ===================================================================
+// The fuzzer
+// ===================================================================
+
+TEST_F(PhysicalVerifierTest, SeededMutationFuzzerCatches95Percent) {
+  const std::vector<Workload> workloads = AllWorkloads();
+  const Mutation kClasses[] = {Mutation::kDropColumn,
+                               Mutation::kRetypeColumn, Mutation::kSwapSink,
+                               Mutation::kBreakDag, Mutation::kKillMask};
+  std::map<Mutation, int> applied, detected;
+  int total_applied = 0;
+  int total_detected = 0;
+
+  for (const Workload& w : workloads) {
+    auto compiled = session_->Compile(w.source);
+    ASSERT_TRUE(compiled.ok()) << w.name << ": "
+                               << compiled.status().message();
+    for (Mutation m : kClasses) {
+      for (unsigned seed = 1; seed <= 3; ++seed) {
+        // Fresh bind per mutation: corruption must not accumulate.
+        auto bq = BindSql(compiled->sql, session_->db().catalog());
+        ASSERT_TRUE(bq.ok()) << w.name << ": " << bq.status().message();
+        FixResolver(&*bq, session_->db().catalog());
+        std::mt19937 rng(seed * 7919 + static_cast<unsigned>(m) * 104729);
+
+        bool was_applied = false;
+        bool was_detected = false;
+        if (m == Mutation::kDropColumn || m == Mutation::kRetypeColumn) {
+          was_applied = MutatePlans(m, &rng, &bq->plans);
+          if (was_applied) {
+            for (const PlanPtr& p : bq->plans) {
+              was_detected =
+                  was_detected ||
+                  HasErrorDiags(physical::VerifyPlan(*p, bq->vopts));
+            }
+          }
+        } else {
+          // Pipeline-tier: mutate the decomposition of one sub-plan
+          // (preferring one with the richest pipeline structure).
+          PlanPtr target = bq->plans.back();
+          PipelinePlan best = BuildPipelines(*target);
+          for (const PlanPtr& p : bq->plans) {
+            PipelinePlan pp = BuildPipelines(*p);
+            if (pp.pipelines.size() > best.pipelines.size()) {
+              best = std::move(pp);
+              target = p;
+            }
+          }
+          ASSERT_FALSE(HasErrorDiags(
+              physical::VerifyPipelines(*target, best)))
+              << w.name << ": pipeline plan not clean before mutation";
+          was_applied = MutatePipelines(m, &rng, &best);
+          if (was_applied) {
+            was_detected = HasErrorDiags(
+                physical::VerifyPipelines(*target, best));
+          }
+        }
+        if (!was_applied) continue;
+        applied[m]++;
+        total_applied++;
+        if (was_detected) {
+          detected[m]++;
+          total_detected++;
+        }
+      }
+    }
+  }
+
+  ASSERT_GT(total_applied, 100) << "fuzzer applied too few mutations";
+  for (Mutation m : kClasses) {
+    EXPECT_GT(applied[m], 0) << MutationName(m) << " never applied";
+    EXPECT_GT(detected[m], 0) << MutationName(m) << " never detected";
+  }
+  double rate = static_cast<double>(total_detected) / total_applied;
+  EXPECT_GE(rate, 0.95) << "detection rate " << rate << " ("
+                        << total_detected << "/" << total_applied << ")";
+}
+
+// ===================================================================
+// Unperturbed workloads stay P-clean end to end
+// ===================================================================
+
+TEST_F(PhysicalVerifierTest, All30WorkloadsExecuteCleanBothPipelineModes) {
+  for (const Workload& w : AllWorkloads()) {
+    for (bool pipeline : {false, true}) {
+      RunOptions o;
+      o.pipeline = pipeline;
+      o.verify_plans = true;  // a P-finding fails the query
+      o.use_plan_cache = false;
+      auto r = session_->Run(w.source, o);
+      EXPECT_TRUE(r.ok()) << w.name << " pipeline=" << pipeline << ": "
+                          << r.status().ToString();
+    }
+  }
+}
+
+// ===================================================================
+// Build-time op_masks
+// ===================================================================
+
+TEST_F(PhysicalVerifierTest, OpMasksRideThePipelinePlanAndVerifyClean) {
+  // `c` is never read above the filter: the build-time mask must mark it
+  // dead on the filter's output, and the verifier's independent liveness
+  // recompute must agree (no P030).
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  s.Add("b", DataType::kInt64);
+  s.Add("c", DataType::kString);
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", Table(s)).ok());
+  auto bq = BindSql("SELECT a FROM t WHERE b > 0", cat);
+  ASSERT_TRUE(bq.ok()) << bq.status().message();
+  FixResolver(&*bq, cat);
+  PipelinePlan pp = BuildPipelines(*bq->plans.back());
+  ASSERT_FALSE(pp.pipelines.empty());
+  bool masked = false;
+  for (const auto& d : pp.pipelines) {
+    ASSERT_EQ(d.op_masks.size(), d.ops.size());
+    for (size_t i = 0; i < d.ops.size(); ++i) {
+      if (d.op_masks[i].empty()) continue;
+      ASSERT_EQ(d.op_masks[i].size(), d.ops[i]->schema.num_columns());
+      for (uint8_t live : d.op_masks[i]) masked = masked || live == 0;
+    }
+  }
+  EXPECT_TRUE(masked) << "dead column 'c' not masked anywhere";
+  EXPECT_FALSE(
+      HasErrorDiags(physical::VerifyPipelines(*bq->plans.back(), pp)));
+}
+
+// ===================================================================
+// Param tier: P040-P043
+// ===================================================================
+
+tondir::Program OneParamProgram() {
+  // q(x) := t(x, y), y >= $p0.
+  tondir::Program prog;
+  tondir::Rule r;
+  r.head.relation = "q";
+  r.head.vars = {"x"};
+  r.head.col_names = {"x"};
+  r.body.push_back(tondir::Atom::RelAccess("t", {"x", "y"}));
+  r.body.push_back(tondir::Atom::Compare(
+      "y", tondir::CmpOp::kGe, tondir::Term::Param(0, Value::Int64(5))));
+  prog.rules.push_back(std::move(r));
+  prog.base_columns["t"] = {"a", "b"};
+  return prog;
+}
+
+TEST(ParamSlotVerifier, CleanProgramPasses) {
+  auto diags =
+      physical::VerifyParamSlots(OneParamProgram(), {DataType::kInt64});
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(ParamSlotVerifier, OutOfRangeIndexIsP040) {
+  auto diags = physical::VerifyParamSlots(OneParamProgram(), {});
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].code, analysis::codes::kParamIndexOutOfRange);
+}
+
+TEST(ParamSlotVerifier, SeedTypeDriftIsP042) {
+  auto diags =
+      physical::VerifyParamSlots(OneParamProgram(), {DataType::kString});
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].code, analysis::codes::kParamSeedTypeMismatch);
+}
+
+TEST(ParamSlotVerifier, FoldedSlotIsP041) {
+  // Slot 1 is declared but no kParam term references it: a
+  // value-dependent pass folded it, so EXECUTE bindings would be
+  // silently ignored.
+  auto diags = physical::VerifyParamSlots(
+      OneParamProgram(), {DataType::kInt64, DataType::kFloat64});
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].code, analysis::codes::kParamFolded);
+}
+
+TEST(ParamSlotVerifier, SkeletonSqlRoundTrip) {
+  const std::string sql = "SELECT a FROM t WHERE b > $p0 AND c < $p1";
+  EXPECT_TRUE(physical::VerifySkeletonSql(sql, 2).empty());
+  // Declared slot never surfaces -> P043.
+  auto missing = physical::VerifySkeletonSql(sql, 3);
+  ASSERT_FALSE(missing.empty());
+  EXPECT_EQ(missing[0].code, analysis::codes::kSkeletonSlotMismatch);
+  // SQL references an undeclared slot -> P043.
+  auto extra = physical::VerifySkeletonSql(sql, 1);
+  ASSERT_FALSE(extra.empty());
+  EXPECT_EQ(extra[0].code, analysis::codes::kSkeletonSlotMismatch);
+}
+
+// ===================================================================
+// Engine wiring: stats, metrics, EXPLAIN ANALYZE line, stage blame
+// ===================================================================
+
+TEST_F(PhysicalVerifierTest, VerifyMetricsAndExplainLine) {
+  engine::Database& db = session_->db();
+  const uint64_t before =
+      db.metrics().counter("tond_verify_ns_total").Value();
+  engine::QueryOptions opts;
+  opts.verify_plans = true;
+  opts.explain = engine::ExplainMode::kAnalyze;
+  auto out = db.ExplainQuery(
+      "SELECT l_orderkey FROM lineitem WHERE l_orderkey > 0 LIMIT 5",
+      opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("-- verify=ok"), std::string::npos) << *out;
+  EXPECT_GT(db.metrics().counter("tond_verify_ns_total").Value(), before);
+}
+
+TEST_F(PhysicalVerifierTest, PreparedStatementsVerifyOncePerHandle) {
+  engine::Database& db = session_->db();
+  obs::Counter& stages = db.metrics().counter("tond_verify_stages_total");
+  RunOptions o;
+  o.verify_plans = true;
+  auto ps = session_->Prepare(R"(
+@pytond()
+def q(lineitem):
+    v = lineitem[lineitem.l_quantity > 10.0]
+    return v[["l_orderkey"]]
+)",
+                              o);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  ASSERT_TRUE(ps->Execute().ok());
+  const uint64_t after_first = stages.Value();
+  ASSERT_TRUE(ps->Execute().ok());
+  ASSERT_TRUE(ps->Execute().ok());
+  // Re-executions skip verification: no new stages recorded.
+  EXPECT_EQ(stages.Value(), after_first);
+}
+
+TEST(PhysicalVerifierUnit, StageBlameNamesTheFailingStage) {
+  // A corrupted plan fed through CheckOrError carries the stage label
+  // the engine would attach (per-pass blame).
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", Table(s)).ok());
+  auto bq = BindSql("SELECT a FROM t", cat);
+  ASSERT_TRUE(bq.ok());
+  FixResolver(&*bq, cat);
+  bq->plans.back()->schema.types[0] = DataType::kString;
+  auto diags = physical::VerifyPlan(*bq->plans.back(), bq->vopts);
+  ASSERT_TRUE(HasErrorDiags(diags));
+  Status st = physical::CheckOrError(diags, "optimizer:limit_pushdown");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("optimizer:limit_pushdown"),
+            std::string::npos);
+  EXPECT_NE(st.message().find("P0"), std::string::npos) << st.message();
+}
+
+}  // namespace
+}  // namespace pytond

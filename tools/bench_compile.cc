@@ -8,14 +8,21 @@
 // anf, analyze, translate, verify, optimize, sqlgen). The `analyze` phase
 // is the frontend translatability analyzer (DESIGN.md §11); its share of
 // total compile time quantifies the static-analysis overhead.
+//
+// Each workload is also run once with the physical plan verifier forced
+// on (DESIGN.md §15); the `tond_verify_ns_total` metric delta becomes the
+// per-workload `verify_ms`. The suite-level `verify_share` (verify time
+// over compile wall-clock) is the number scripts/check.sh gates < 2%.
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/session.h"
 #include "obs/json.h"
+#include "obs/metrics/metrics.h"
 #include "obs/query_profile.h"
 #include "workloads/datasci.h"
 #include "workloads/tpch/dbgen.h"
@@ -95,8 +102,13 @@ int main(int argc, char** argv) {
       .Key("reps").Int(reps)
       .Key("workloads").BeginArray();
 
+  session.db().metrics().set_enabled(true);
+  pytond::obs::Counter& verify_ns =
+      session.db().metrics().counter("tond_verify_ns_total");
+
   double suite_total = 0;
   double suite_analyze = 0;
+  double suite_verify = 0;
   bool ok = true;
   for (const Workload& w : workloads) {
     pytond::RunOptions options;
@@ -117,11 +129,30 @@ int main(int argc, char** argv) {
       last_phases = profile.compile_phases;
     }
     if (totals.empty()) continue;
+
+    // One verified execution: the counter delta is exactly the wall-clock
+    // the P-series verifier spent on this workload's bind + per-pass +
+    // pipeline-build stages.
+    pytond::RunOptions vopts;
+    vopts.use_plan_cache = false;
+    vopts.verify_plans = true;
+    uint64_t ns_before = verify_ns.Value();
+    auto ran = session.Run(w.source, vopts);
+    if (!ran.ok()) {
+      std::cerr << w.name << " (verified run): " << ran.status().ToString()
+                << "\n";
+      ok = false;
+    }
+    double verify_ms =
+        static_cast<double>(verify_ns.Value() - ns_before) / 1e6;
+    suite_verify += verify_ms;
+
     double median = Median(totals);
     suite_total += median;
     json.BeginObject()
         .Key("name").String(w.name)
         .Key("compile_ms").Double(median)
+        .Key("verify_ms").Double(verify_ms)
         .Key("phases").BeginObject();
     for (const auto& [phase, ms] : last_phases) {
       json.Key(phase).Double(ms);
@@ -135,6 +166,9 @@ int main(int argc, char** argv) {
       .Key("suite_analyze_ms").Double(suite_analyze)
       .Key("analyze_share")
       .Double(suite_total > 0 ? suite_analyze / suite_total : 0)
+      .Key("suite_verify_ms").Double(suite_verify)
+      .Key("verify_share")
+      .Double(suite_total > 0 ? suite_verify / suite_total : 0)
       .Key("ok").Bool(ok)
       .EndObject();
   std::cout << json.str() << "\n";

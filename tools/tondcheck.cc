@@ -15,14 +15,15 @@
 // Exit status: 0 clean, 1 any error (or any warning with --werror),
 // 2 usage/parse failure.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/render.h"
 #include "frontend/analysis/analyzer.h"
 #include "obs/json.h"
+
+namespace render = pytond::analysis::render;
 
 namespace {
 
@@ -89,11 +90,7 @@ int CheckSource(const std::string& label, const std::string& text,
   auto analyzed = check::AnalyzeSource(text, options);
   if (!analyzed.ok()) {
     if (json != nullptr) {
-      json->BeginObject()
-          .Key("file").String(label)
-          .Key("parse_error").String(analyzed.status().message())
-          .Key("ok").Bool(false)
-          .EndObject();
+      render::WriteParseErrorJson(*json, label, analyzed.status().message());
     } else {
       std::cerr << label << ": parse error: " << analyzed.status().message()
                 << "\n";
@@ -102,8 +99,7 @@ int CheckSource(const std::string& label, const std::string& text,
   }
   bool failed = false;
   for (const check::FunctionFacts& f : *analyzed) {
-    failed = failed || pytond::analysis::HasErrors(f.diagnostics) ||
-             (config.werror && !f.diagnostics.empty());
+    failed = failed || render::AnyFailed(f.diagnostics, config.werror);
   }
   if (config.facts && json == nullptr) {
     for (const check::FunctionFacts& f : *analyzed) {
@@ -122,19 +118,7 @@ int CheckSource(const std::string& label, const std::string& text,
           .Key("bindings").Int(static_cast<int64_t>(f.bindings.size()))
           .Key("diagnostics").BeginArray();
       for (const auto& d : f.diagnostics) {
-        json->BeginObject()
-            .Key("code").String(d.code)
-            .Key("severity")
-            .String(pytond::analysis::SeverityName(d.severity))
-            .Key("line").Int(d.line)
-            .Key("message").String(d.message);
-        if (!d.fix_hint.empty()) json->Key("fix_hint").String(d.fix_hint);
-        if (!d.notes.empty()) {
-          json->Key("notes").BeginArray();
-          for (const auto& n : d.notes) json->String(n);
-          json->EndArray();
-        }
-        json->EndObject();
+        render::WriteDiagnosticJson(*json, d, render::Location::kLine);
       }
       json->EndArray().EndObject();
     }
@@ -144,13 +128,8 @@ int CheckSource(const std::string& label, const std::string& text,
     for (const check::FunctionFacts& f : *analyzed) {
       bindings += f.bindings.size();
       for (const auto& d : f.diagnostics) {
-        std::cout << label << ": " << f.function_name << ": "
-                  << d.ToString() << "\n";
-        if (config.explain) {
-          for (const auto& n : d.notes) {
-            std::cout << "    note: " << n << "\n";
-          }
-        }
+        render::PrintDiagnostic(std::cout, label + ": " + f.function_name,
+                                d, config.explain);
       }
     }
     if (!failed && !config.quiet) {
@@ -199,35 +178,19 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   for (const std::string& input : inputs) {
-    std::string text;
-    std::string label = input;
-    if (input == "-") {
-      std::ostringstream ss;
-      ss << std::cin.rdbuf();
-      text = ss.str();
-      label = "<stdin>";
-    } else {
-      std::ifstream f(input);
-      if (!f) {
-        if (config.json) {
-          json.BeginObject()
-              .Key("file").String(input)
-              .Key("parse_error").String("cannot open file")
-              .Key("ok").Bool(false)
-              .EndObject();
-        } else {
-          std::cerr << "tondcheck: cannot open '" << input << "'\n";
-        }
-        exit_code = std::max(exit_code, 2);
-        continue;
+    render::SourceInput in = render::ReadInput(input);
+    if (!in.ok) {
+      if (config.json) {
+        render::WriteParseErrorJson(json, input, in.error);
+      } else {
+        std::cerr << "tondcheck: cannot open '" << input << "'\n";
       }
-      std::ostringstream ss;
-      ss << f.rdbuf();
-      text = ss.str();
+      exit_code = std::max(exit_code, 2);
+      continue;
     }
     exit_code = std::max(
         exit_code,
-        CheckSource(label, text, config, config.json ? &json : nullptr));
+        CheckSource(in.label, in.text, config, config.json ? &json : nullptr));
   }
 
   if (config.json) {

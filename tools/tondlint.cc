@@ -12,16 +12,17 @@
 // Exit status: 0 clean, 1 any error (or any warning with --werror),
 // 2 usage/parse failure.
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/dataflow/dataflow.h"
+#include "analysis/render.h"
 #include "analysis/verifier.h"
 #include "obs/json.h"
 #include "tondir/ir.h"
+
+namespace render = pytond::analysis::render;
 
 namespace {
 
@@ -102,11 +103,7 @@ int LintSource(const std::string& label, const std::string& text,
   auto parsed = pytond::tondir::ParseProgram(text);
   if (!parsed.ok()) {
     if (json != nullptr) {
-      json->BeginObject()
-          .Key("file").String(label)
-          .Key("parse_error").String(parsed.status().message())
-          .Key("ok").Bool(false)
-          .EndObject();
+      render::WriteParseErrorJson(*json, label, parsed.status().message());
     } else {
       std::cerr << label << ": parse error: " << parsed.status().message()
                 << "\n";
@@ -120,8 +117,7 @@ int LintSource(const std::string& label, const std::string& text,
     options.base_relations.insert(rel);
   }
   auto diags = pytond::analysis::VerifyProgram(*parsed, options);
-  bool failed = pytond::analysis::HasErrors(diags) ||
-                (config.werror && !diags.empty());
+  bool failed = render::AnyFailed(diags, config.werror);
   if (config.facts && json == nullptr) {
     pytond::analysis::dataflow::AnalyzeOptions aopts;
     aopts.base_relations = options.base_relations;
@@ -135,30 +131,12 @@ int LintSource(const std::string& label, const std::string& text,
         .Key("rules").Int(static_cast<int64_t>(parsed->rules.size()))
         .Key("diagnostics").BeginArray();
     for (const auto& d : diags) {
-      json->BeginObject()
-          .Key("code").String(d.code)
-          .Key("severity")
-          .String(pytond::analysis::SeverityName(d.severity))
-          .Key("rule").Int(d.rule_index)
-          .Key("atom").Int(d.atom_index)
-          .Key("message").String(d.message);
-      if (!d.fix_hint.empty()) json->Key("fix_hint").String(d.fix_hint);
-      if (!d.notes.empty()) {
-        json->Key("notes").BeginArray();
-        for (const auto& n : d.notes) json->String(n);
-        json->EndArray();
-      }
-      json->EndObject();
+      render::WriteDiagnosticJson(*json, d, render::Location::kRuleAtom);
     }
     json->EndArray().EndObject();
   } else {
     for (const auto& d : diags) {
-      std::cout << label << ": " << d.ToString() << "\n";
-      if (config.explain) {
-        for (const auto& n : d.notes) {
-          std::cout << "    note: " << n << "\n";
-        }
-      }
+      render::PrintDiagnostic(std::cout, label, d, config.explain);
     }
     if (!failed && !config.quiet) {
       std::cout << label << ": OK (" << parsed->rules.size() << " rules)\n";
@@ -207,35 +185,19 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   for (const std::string& input : inputs) {
-    std::string text;
-    std::string label = input;
-    if (input == "-") {
-      std::ostringstream ss;
-      ss << std::cin.rdbuf();
-      text = ss.str();
-      label = "<stdin>";
-    } else {
-      std::ifstream f(input);
-      if (!f) {
-        if (config.json) {
-          json.BeginObject()
-              .Key("file").String(input)
-              .Key("parse_error").String("cannot open file")
-              .Key("ok").Bool(false)
-              .EndObject();
-        } else {
-          std::cerr << "tondlint: cannot open '" << input << "'\n";
-        }
-        exit_code = std::max(exit_code, 2);
-        continue;
+    render::SourceInput in = render::ReadInput(input);
+    if (!in.ok) {
+      if (config.json) {
+        render::WriteParseErrorJson(json, input, in.error);
+      } else {
+        std::cerr << "tondlint: cannot open '" << input << "'\n";
       }
-      std::ostringstream ss;
-      ss << f.rdbuf();
-      text = ss.str();
+      exit_code = std::max(exit_code, 2);
+      continue;
     }
     exit_code = std::max(
         exit_code,
-        LintSource(label, text, config, config.json ? &json : nullptr));
+        LintSource(in.label, in.text, config, config.json ? &json : nullptr));
   }
 
   if (config.json) {

@@ -1,0 +1,544 @@
+// tondplan: physical plan & pipeline verifier CLI (P-series).
+//
+//   tondplan [options] query.sql [more.sql ...]
+//   tondplan -                        # read one query from stdin
+//
+// Declares table schemas with comment directives, then runs the full
+// physical verification ladder over each input — bind, every optimizer
+// pass (with per-pass blame), and the pipeline decomposition — printing
+// one located diagnostic per finding:
+//
+//   q.sql: [optimizer:limit_pushdown] root.0:Project: error[P001]: ...
+//
+//   -- @table lineitem(l_orderkey:int64, l_shipdate:date, l_price:float64)
+//   SELECT l_orderkey, sum(l_price) FROM lineitem GROUP BY l_orderkey;
+//
+// `--corrupt=KIND[:SEED]` applies a seeded structural mutation after
+// binding (schema, type) or after pipeline build (dag, sink, mask) so CI
+// goldens can pin that each corruption class is actually caught.
+//
+// Exit status: 0 clean, 1 any error (or any warning with --werror),
+// 2 usage/parse/bind failure.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/physical/physical.h"
+#include "analysis/render.h"
+#include "engine/exec/pipeline.h"
+#include "engine/plan/binder.h"
+#include "engine/plan/optimizer.h"
+#include "engine/sql/parser.h"
+#include "obs/json.h"
+
+namespace render = pytond::analysis::render;
+namespace physical = pytond::analysis::physical;
+using pytond::DataType;
+using pytond::Schema;
+using pytond::analysis::Diagnostic;
+
+namespace {
+
+struct PlanConfig {
+  bool werror = false;
+  bool quiet = false;       // suppress per-file "OK" lines
+  bool json = false;        // machine-readable output on stdout
+  bool dump = false;        // print the optimized plan + pipeline shape
+  bool explain = false;     // print each diagnostic's why-chain
+  bool pipeline = true;     // also verify the pipeline decomposition
+  std::string corrupt;      // mutation kind ("" = none)
+  unsigned corrupt_seed = 0;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: tondplan [options] <query.sql ...|->\n"
+         "  -                  read a query from stdin\n"
+         "  --werror           treat warnings as errors (exit 1)\n"
+         "  --quiet            only print diagnostics, no per-file summary\n"
+         "  --json             emit one JSON document on stdout instead of\n"
+         "                     plain-text lines (same exit codes)\n"
+         "  --dump             print the optimized plan tree and pipeline\n"
+         "                     decomposition (source/ops/sink/deps/masks)\n"
+         "  --explain-diag     print each diagnostic's why-chain\n"
+         "  --no-pipeline      skip the pipeline decomposition checks\n"
+         "  --corrupt=K[:S]    apply a seeded mutation before verifying:\n"
+         "                     schema | type | dag | sink | mask\n"
+         "  --list-codes       print the diagnostic code table and exit\n"
+         "\n"
+         "Declare table schemas with comment directives:\n"
+         "  -- @table lineitem(l_orderkey:int64, l_shipdate:date, ...)\n";
+  return 2;
+}
+
+void ListCodes() {
+  using namespace pytond::analysis::codes;
+  const struct { const char* code; const char* what; } table[] = {
+      {kColRefOutOfRange, "column reference outside the input schema"},
+      {kColRefTypeMismatch, "expression type disagrees with the schema"},
+      {kBadChildCount, "operator has the wrong number of children"},
+      {kSchemaMismatch, "node schema disagrees with derived schema"},
+      {kMissingMember, "required expression/field is absent"},
+      {kScanSchemaMismatch, "scan schema disagrees with the catalog"},
+      {kNonBoolPredicate, "predicate is not boolean-typed"},
+      {kJoinKeyTypeMismatch, "join key sides of incompatible types"},
+      {kBuildSideOnNonInner, "build_left set on a non-inner join"},
+      {kBadAggSpec, "malformed aggregate spec / output type"},
+      {kSortKeyOutOfRange, "sort/window key outside the input schema"},
+      {kOuterRefEscaped, "correlated outer reference survived binding"},
+      {kPipelineIdOrder, "pipeline ids not in index order"},
+      {kPipelineDepCycle, "dependency does not point strictly backwards"},
+      {kPipelineBadSource, "morsel source malformed for the sink kind"},
+      {kNonStreamingOp, "non-streaming operator in a pipeline chain"},
+      {kBadBuildInput, "join probe's build input missing or invalid"},
+      {kChainBroken, "operator chain input != previous stage output"},
+      {kBreakerSinkMismatch, "sink kind disagrees with the breaker node"},
+      {kBadPipelineOutput, "pipeline output is not its last stage"},
+      {kReadOutsideDeps, "pipeline reads an output it never declared"},
+      {kNodeCoverage, "plan node unassigned or doubly assigned"},
+      {kLivenessMaskKillsLive, "liveness mask drops a column still read"},
+      {kParamIndexOutOfRange, "parameter slot index out of range"},
+      {kParamFolded, "parameter folded into a constant"},
+      {kParamSeedTypeMismatch, "parameter seed type drifted from slot"},
+      {kSkeletonSlotMismatch, "skeleton SQL / declared slots disagree"},
+  };
+  for (const auto& row : table) {
+    std::cout << row.code << "  " << row.what << "\n";
+  }
+}
+
+// ===================================================================
+// `-- @table name(col:type, ...)` directive parsing
+// ===================================================================
+
+bool ParseType(const std::string& s, DataType* out) {
+  if (s == "int64") *out = DataType::kInt64;
+  else if (s == "float64") *out = DataType::kFloat64;
+  else if (s == "string") *out = DataType::kString;
+  else if (s == "bool") *out = DataType::kBool;
+  else if (s == "date") *out = DataType::kDate;
+  else return false;
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Extracts every `-- @table name(col:type, ...)` directive. Returns
+/// false (with `error` set) on a malformed directive.
+bool ParseDirectives(const std::string& text,
+                     std::map<std::string, Schema>* tables,
+                     std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = Trim(line);
+    const std::string prefix = "-- @table ";
+    if (t.rfind(prefix, 0) != 0) continue;
+    const std::string body = Trim(t.substr(prefix.size()));
+    size_t open = body.find('(');
+    size_t close = body.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      *error = "malformed @table directive: " + t;
+      return false;
+    }
+    const std::string name = Trim(body.substr(0, open));
+    Schema schema;
+    std::istringstream cols(body.substr(open + 1, close - open - 1));
+    std::string col;
+    while (std::getline(cols, col, ',')) {
+      col = Trim(col);
+      if (col.empty()) continue;
+      size_t colon = col.find(':');
+      DataType ty = DataType::kInt64;
+      if (colon == std::string::npos ||
+          !ParseType(Trim(col.substr(colon + 1)), &ty)) {
+        *error = "bad column spec '" + col + "' in @table " + name +
+                 " (want name:int64|float64|string|bool|date)";
+        return false;
+      }
+      schema.Add(Trim(col.substr(0, colon)), ty);
+    }
+    if (name.empty() || schema.num_columns() == 0) {
+      *error = "empty @table directive: " + t;
+      return false;
+    }
+    (*tables)[name] = schema;
+  }
+  return true;
+}
+
+// ===================================================================
+// Seeded corruption (mirrors the fuzzer's mutation classes)
+// ===================================================================
+
+void CollectMutable(pytond::engine::LogicalPlan* p,
+                    std::vector<pytond::engine::LogicalPlan*>* out) {
+  out->push_back(p);
+  for (auto& c : p->children) CollectMutable(c.get(), out);
+}
+
+/// Plan-tier mutations, applied to the optimized plan before the final
+/// verification round. Deterministic in (kind, seed).
+void CorruptPlan(const std::string& kind, unsigned seed,
+                 pytond::engine::LogicalPlan* root) {
+  std::vector<pytond::engine::LogicalPlan*> nodes;
+  CollectMutable(root, &nodes);
+  pytond::engine::LogicalPlan* n = nodes[seed % nodes.size()];
+  if (kind == "schema") {
+    if (n->schema.num_columns() == 0) n = root;
+    if (n->schema.num_columns() > 0) {
+      n->schema.names.pop_back();
+      n->schema.types.pop_back();
+    }
+  } else if (kind == "type") {
+    if (n->schema.num_columns() == 0) n = root;
+    if (n->schema.num_columns() > 0) {
+      size_t c = seed % n->schema.num_columns();
+      n->schema.types[c] = n->schema.types[c] == DataType::kString
+                               ? DataType::kInt64
+                               : DataType::kString;
+    }
+  }
+}
+
+/// Pipeline-tier mutations, applied to the built PipelinePlan.
+void CorruptPipelines(const std::string& kind, unsigned seed,
+                      pytond::engine::PipelinePlan* pp) {
+  auto& ps = pp->pipelines;
+  pytond::engine::PipelineDesc& d = ps[seed % ps.size()];
+  if (kind == "dag") {
+    d.deps.push_back(d.id);  // self-dependency: scheduler would deadlock
+  } else if (kind == "sink") {
+    d.sink = d.sink == pytond::engine::PipelineSinkKind::kResult
+                 ? pytond::engine::PipelineSinkKind::kAggregate
+                 : pytond::engine::PipelineSinkKind::kResult;
+  } else if (kind == "mask") {
+    for (auto& p : ps) {
+      for (size_t i = 0; i < p.ops.size(); ++i) {
+        size_t cols = p.ops[i]->schema.num_columns();
+        if (cols == 0) continue;
+        // Kill a column the chain still reads: all-dead mask.
+        p.op_masks[i].assign(cols, 0);
+        return;
+      }
+    }
+  }
+}
+
+// ===================================================================
+// Verification ladder over one input
+// ===================================================================
+
+struct StageResult {
+  std::string stage;
+  std::vector<Diagnostic> diags;
+};
+
+const char* SinkName(pytond::engine::PipelineSinkKind k) {
+  switch (k) {
+    case pytond::engine::PipelineSinkKind::kResult: return "result";
+    case pytond::engine::PipelineSinkKind::kAggregate: return "aggregate";
+    case pytond::engine::PipelineSinkKind::kSerial: return "serial";
+    case pytond::engine::PipelineSinkKind::kCompute: return "compute";
+  }
+  return "?";
+}
+
+void DumpPipelines(std::ostream& os,
+                   const pytond::engine::PipelinePlan& pp) {
+  for (const auto& d : pp.pipelines) {
+    os << "pipeline " << d.id << ": source=";
+    if (d.source != nullptr) {
+      os << (d.source->table_name.empty() ? "values" : d.source->table_name);
+    } else if (d.source_pipeline >= 0) {
+      os << "pipeline:" << d.source_pipeline;
+    } else {
+      os << "none";
+    }
+    os << " ops=" << d.ops.size() << " sink=" << SinkName(d.sink);
+    if (!d.deps.empty()) {
+      os << " deps=[";
+      for (size_t i = 0; i < d.deps.size(); ++i) {
+        os << (i ? "," : "") << d.deps[i];
+      }
+      os << "]";
+    }
+    size_t masked = 0;
+    for (const auto& m : d.op_masks) {
+      if (!m.empty()) ++masked;
+    }
+    if (masked > 0) os << " masked_ops=" << masked;
+    os << "\n";
+  }
+}
+
+/// Verifies one query; returns 0 clean, 1 findings, 2 parse/bind error.
+int CheckSource(const std::string& label, const std::string& text,
+                const PlanConfig& config, pytond::obs::JsonWriter* json) {
+  using pytond::engine::BackendProfile;
+  using pytond::engine::BinderCatalog;
+  using pytond::engine::PlanPtr;
+
+  std::map<std::string, Schema> tables;
+  std::string derr;
+  if (!ParseDirectives(text, &tables, &derr)) {
+    if (json != nullptr) {
+      render::WriteParseErrorJson(*json, label, derr);
+    } else {
+      std::cerr << label << ": " << derr << "\n";
+    }
+    return 2;
+  }
+
+  auto parsed = pytond::engine::sql::ParseSql(text);
+  if (!parsed.ok()) {
+    if (json != nullptr) {
+      render::WriteParseErrorJson(*json, label, parsed.status().message());
+    } else {
+      std::cerr << label << ": parse error: " << parsed.status().message()
+                << "\n";
+    }
+    return 2;
+  }
+
+  // Schema-only CTE scope: bind each CTE in order and register its output
+  // schema (no execution — tondplan never touches data).
+  std::map<std::string, Schema> temp_schemas;
+  BinderCatalog bc;
+  bc.schema = [&](const std::string& name) -> const Schema* {
+    auto it = temp_schemas.find(name);
+    if (it != temp_schemas.end()) return &it->second;
+    auto jt = tables.find(name);
+    return jt == tables.end() ? nullptr : &jt->second;
+  };
+  bc.row_count = [](const std::string&) { return 1000.0; };
+
+  auto bind = [&](const pytond::engine::sql::SelectStmt& stmt)
+      -> pytond::Result<PlanPtr> {
+    if (stmt.is_values()) {
+      return pytond::Status::InvalidArgument(
+          "VALUES-only CTE bodies carry no plan to verify");
+    }
+    pytond::engine::sql::SelectStmt core = stmt;
+    core.ctes.clear();
+    return BindSelect(core, bc, BackendProfile::kVectorized);
+  };
+
+  for (const auto& cte : (*parsed)->ctes) {
+    if (cte.select->is_values()) {
+      // Schema inference mirrors Database::RunSelect's VALUES path.
+      Schema s;
+      const auto& rows = cte.select->values_rows;
+      for (size_t i = 0; i < rows[0].size(); ++i) {
+        DataType ty = DataType::kInt64;
+        for (const auto& row : rows) {
+          if (!row[i].is_null()) {
+            ty = row[i].type();
+            break;
+          }
+        }
+        std::string name = i < cte.column_names.size()
+                               ? cte.column_names[i]
+                               : "col" + std::to_string(i);
+        s.Add(name, ty);
+      }
+      temp_schemas[cte.name] = s;
+      continue;
+    }
+    auto plan = bind(*cte.select);
+    if (!plan.ok()) {
+      if (json != nullptr) {
+        render::WriteParseErrorJson(*json, label, plan.status().message());
+      } else {
+        std::cerr << label << ": cte " << cte.name
+                  << ": bind error: " << plan.status().message() << "\n";
+      }
+      return 2;
+    }
+    Schema s = (*plan)->schema;
+    for (size_t i = 0; i < cte.column_names.size() && i < s.names.size();
+         ++i) {
+      s.names[i] = cte.column_names[i];
+    }
+    temp_schemas[cte.name] = s;
+  }
+
+  auto plan = bind(**parsed);
+  if (!plan.ok()) {
+    if (json != nullptr) {
+      render::WriteParseErrorJson(*json, label, plan.status().message());
+    } else {
+      std::cerr << label << ": bind error: " << plan.status().message()
+                << "\n";
+    }
+    return 2;
+  }
+
+  physical::VerifyOptions vopts;
+  vopts.table_schema = bc.schema;
+  physical::VerifyStats stats;
+  std::vector<StageResult> stages;
+
+  stages.push_back({"bind", physical::VerifyPlan(**plan, vopts, &stats)});
+
+  pytond::engine::PlanPassHooks hooks;
+  hooks.after_pass = [&](const char* pass) {
+    stages.push_back({std::string("optimizer:") + pass,
+                      physical::VerifyPlan(**plan, vopts, &stats)});
+    return pytond::Status::OK();
+  };
+  pytond::Status opt = OptimizePlan(*plan, BackendProfile::kVectorized,
+                                    bc.row_count, &hooks);
+  if (!opt.ok()) {
+    std::cerr << label << ": optimizer error: " << opt.message() << "\n";
+    return 2;
+  }
+
+  if (config.corrupt == "schema" || config.corrupt == "type") {
+    CorruptPlan(config.corrupt, config.corrupt_seed, plan->get());
+    stages.push_back({"corrupt:" + config.corrupt,
+                      physical::VerifyPlan(**plan, vopts, &stats)});
+  }
+
+  pytond::engine::PipelinePlan pp;
+  if (config.pipeline) {
+    pp = pytond::engine::BuildPipelines(**plan);
+    stages.push_back(
+        {"pipeline_build", physical::VerifyPipelines(**plan, pp, &stats)});
+    if (config.corrupt == "dag" || config.corrupt == "sink" ||
+        config.corrupt == "mask") {
+      CorruptPipelines(config.corrupt, config.corrupt_seed, &pp);
+      stages.push_back({"corrupt:" + config.corrupt,
+                        physical::VerifyPipelines(**plan, pp, &stats)});
+    }
+  }
+
+  bool failed = false;
+  for (const StageResult& s : stages) {
+    failed = failed || render::AnyFailed(s.diags, config.werror);
+  }
+
+  if (json != nullptr) {
+    json->BeginObject()
+        .Key("file").String(label)
+        .Key("ok").Bool(!failed)
+        .Key("pipelines")
+        .Int(static_cast<int64_t>(pp.pipelines.size()))
+        .Key("checks").Int(static_cast<int64_t>(stats.checks))
+        .Key("stages").BeginArray();
+    for (const StageResult& s : stages) {
+      json->BeginObject()
+          .Key("stage").String(s.stage)
+          .Key("diagnostics").BeginArray();
+      for (const Diagnostic& d : s.diags) {
+        render::WriteDiagnosticJson(*json, d, render::Location::kNode);
+      }
+      json->EndArray().EndObject();
+    }
+    json->EndArray().EndObject();
+  } else {
+    if (config.dump) {
+      std::cout << (*plan)->ToString();
+      if (config.pipeline) DumpPipelines(std::cout, pp);
+    }
+    for (const StageResult& s : stages) {
+      for (const Diagnostic& d : s.diags) {
+        render::PrintDiagnostic(std::cout, label + ": [" + s.stage + "]", d,
+                                config.explain);
+      }
+    }
+    if (!failed && !config.quiet) {
+      std::cout << label << ": OK (" << stages.size() << " stages, "
+                << stats.checks << " checks";
+      if (config.pipeline) {
+        std::cout << ", " << pp.pipelines.size() << " pipelines";
+      }
+      std::cout << ")\n";
+    }
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PlanConfig config;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      config.werror = true;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--json") {
+      config.json = true;
+    } else if (arg == "--dump") {
+      config.dump = true;
+    } else if (arg == "--explain-diag") {
+      config.explain = true;
+    } else if (arg == "--no-pipeline") {
+      config.pipeline = false;
+    } else if (arg.rfind("--corrupt=", 0) == 0) {
+      std::string spec = arg.substr(10);
+      size_t colon = spec.find(':');
+      if (colon != std::string::npos) {
+        config.corrupt_seed =
+            static_cast<unsigned>(std::atoi(spec.c_str() + colon + 1));
+        spec = spec.substr(0, colon);
+      }
+      config.corrupt = spec;
+      if (spec != "schema" && spec != "type" && spec != "dag" &&
+          spec != "sink" && spec != "mask") {
+        std::cerr << "tondplan: unknown corruption '" << spec << "'\n";
+        return Usage();
+      }
+    } else if (arg == "--list-codes") {
+      ListCodes();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (arg == "-" || arg[0] != '-') {
+      inputs.push_back(arg);
+    } else {
+      std::cerr << "tondplan: unknown option '" << arg << "'\n";
+      return Usage();
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  pytond::obs::JsonWriter json;
+  if (config.json) json.BeginObject().Key("files").BeginArray();
+
+  int exit_code = 0;
+  for (const std::string& input : inputs) {
+    render::SourceInput in = render::ReadInput(input);
+    if (!in.ok) {
+      if (config.json) {
+        render::WriteParseErrorJson(json, input, in.error);
+      } else {
+        std::cerr << "tondplan: cannot open '" << input << "'\n";
+      }
+      exit_code = std::max(exit_code, 2);
+      continue;
+    }
+    exit_code = std::max(
+        exit_code,
+        CheckSource(in.label, in.text, config, config.json ? &json : nullptr));
+  }
+
+  if (config.json) {
+    json.EndArray().Key("exit_code").Int(exit_code).EndObject();
+    std::cout << json.str() << "\n";
+  }
+  return exit_code;
+}
